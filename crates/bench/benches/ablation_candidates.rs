@@ -1,0 +1,41 @@
+//! Ablation A1: effect of the number of candidates k in the SR list.
+//!
+//! The paper (citing Mitzenmacher) argues that two candidates capture most of
+//! the benefit; this bench runs k = 1..4 with the SR4 acceptance policy at
+//! ρ = 0.88 so both the runtime and the resulting mean response times can be
+//! compared.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use srlb_core::experiment::{ExperimentConfig, PolicyKind};
+use srlb_server::PolicyConfig;
+
+fn run_with_candidates(k: usize) -> f64 {
+    let policy = if k == 1 {
+        PolicyKind::RoundRobin
+    } else {
+        PolicyKind::Custom {
+            candidates: k,
+            policy: PolicyConfig::Static { threshold: 4 },
+        }
+    };
+    ExperimentConfig::poisson_paper(0.88, policy)
+        .with_queries(500)
+        .with_seed(42)
+        .run()
+        .expect("valid configuration")
+        .mean_response_seconds()
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_candidates");
+    group.sample_size(10);
+    for k in 1..=4usize {
+        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
+            b.iter(|| criterion::black_box(run_with_candidates(k)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Ablation A2: candidate-selection policy at the load balancer.
+//!
+//! Compares the paper's uniform-random two-choice selection against
+//! consistent hashing and a Maglev table (the related-work baselines), with
+//! the same SR4 acceptance policy, at ρ = 0.88.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use srlb_core::dispatch::DispatcherConfig;
+use srlb_core::testbed::{Testbed, TestbedConfig};
+use srlb_server::PolicyConfig;
+use srlb_workload::{PoissonWorkload, ServiceTime};
+
+fn run_with_dispatcher(dispatcher: DispatcherConfig) -> f64 {
+    let config = TestbedConfig {
+        dispatcher,
+        record_load: false,
+        seed: 42,
+        ..TestbedConfig::paper(
+            PolicyConfig::Static { threshold: 4 },
+            DispatcherConfig::Random { k: 2 },
+        )
+    };
+    // rho = 0.88 against the 12 x 2-core cluster (lambda0 = 240/s).
+    let requests = PoissonWorkload::new(0.88 * 240.0, 500, ServiceTime::paper_poisson())
+        .generate(42);
+    let result = Testbed::new(config).expect("valid configuration").run(requests);
+    result.collector.summary(None).mean() / 1e3
+}
+
+fn bench(c: &mut Criterion) {
+    let cases = [
+        ("random_k2", DispatcherConfig::Random { k: 2 }),
+        ("consistent_hash", DispatcherConfig::ConsistentHash { vnodes: 128, k: 2 }),
+        ("maglev", DispatcherConfig::Maglev { table_size: 2039, k: 2 }),
+    ];
+    let mut group = c.benchmark_group("ablation_dispatchers");
+    group.sample_size(10);
+    for (name, dispatcher) in cases {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &dispatcher, |b, d| {
+            b.iter(|| criterion::black_box(run_with_dispatcher(*d)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Micro-benchmarks of the packet layer: SRH and packet encode/decode, flow
+//! key hashing.  These are the per-packet operations a real SRLB dataplane
+//! performs on every SYN.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use srlb_net::{AddressPlan, PacketBuilder, SegmentRoutingHeader, ServerId, TcpFlags};
+
+fn bench(c: &mut Criterion) {
+    let plan = AddressPlan::default();
+    let route = vec![
+        plan.server_addr(ServerId(3)),
+        plan.server_addr(ServerId(7)),
+        plan.vip(0),
+    ];
+    let srh = SegmentRoutingHeader::from_route(&route).unwrap();
+    let packet = PacketBuilder::tcp(plan.client_addr(0), plan.vip(0))
+        .ports(49_152, 80)
+        .flags(TcpFlags::SYN)
+        .segment_routing(srh.clone())
+        .build();
+    let wire = packet.encode();
+
+    c.bench_function("srh_encode", |b| {
+        b.iter(|| criterion::black_box(srh.encode()))
+    });
+    c.bench_function("srh_decode", |b| {
+        let bytes = srh.encode();
+        b.iter(|| criterion::black_box(SegmentRoutingHeader::decode(&bytes).unwrap()))
+    });
+    c.bench_function("packet_encode", |b| {
+        b.iter(|| criterion::black_box(packet.encode()))
+    });
+    c.bench_function("packet_decode", |b| {
+        b.iter(|| criterion::black_box(srlb_net::Packet::decode(&wire).unwrap()))
+    });
+    c.bench_function("flow_key_stable_hash", |b| {
+        let key = packet.flow_key_forward();
+        b.iter(|| criterion::black_box(key.stable_hash()))
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,166 @@
+//! Regenerates the paper's figures.
+//!
+//! ```text
+//! cargo run -p srlb-bench --release --bin figures -- all          # every figure, paper scale
+//! cargo run -p srlb-bench --release --bin figures -- fig2 --quick # one figure, reduced scale
+//! ```
+//!
+//! Each figure's series is printed to stdout (policy labels, x/y columns)
+//! and written as CSV under `target/figures/`, so the curves can be plotted
+//! and compared against the paper's Figures 2–8.
+
+use srlb_bench::output::fmt;
+use srlb_bench::{
+    fig2_mean_response, fig3_cdf_high_load, fig4_load_fairness, fig5_cdf_low_load,
+    fig6_wiki_median, fig7_wiki_deciles, fig8_wiki_cdf, write_csv, Scale,
+};
+
+const SEED: u64 = 42;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let scale = if quick { Scale::Quick } else { Scale::Paper };
+    let which: Vec<&str> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .map(String::as_str)
+        .collect();
+    let all = which.is_empty() || which.contains(&"all");
+    let want = |name: &str| all || which.contains(&name);
+
+    println!("# SRLB figure harness (scale: {scale:?}, seed: {SEED})");
+
+    if want("fig2") {
+        run_fig2(scale);
+    }
+    if want("fig3") {
+        run_poisson_cdf("fig3", 0.88, fig3_cdf_high_load(scale, SEED));
+    }
+    if want("fig4") {
+        run_fig4(scale);
+    }
+    if want("fig5") {
+        run_poisson_cdf("fig5", 0.61, fig5_cdf_low_load(scale, SEED));
+    }
+    if want("fig6") || want("fig7") {
+        run_fig6_and_7(scale);
+    }
+    if want("fig8") {
+        run_fig8(scale);
+    }
+}
+
+fn run_fig2(scale: Scale) {
+    println!("\n## Figure 2 — mean response time vs load factor rho");
+    let series = fig2_mean_response(scale, SEED);
+    let mut rows = Vec::new();
+    println!("{:<8} {:>6} {:>12}", "policy", "rho", "mean (s)");
+    for s in &series {
+        for (rho, mean) in &s.points {
+            println!("{:<8} {:>6.2} {:>12.4}", s.label, rho, mean);
+            rows.push(vec![s.label.clone(), fmt(*rho), fmt(*mean)]);
+        }
+    }
+    report_write(write_csv("fig2_mean_response", &["policy", "rho", "mean_s"], &rows));
+}
+
+fn run_poisson_cdf(name: &str, rho: f64, series: Vec<srlb_bench::CdfSeries>) {
+    println!("\n## Figure {} — CDF of response time, rho = {rho}", &name[3..]);
+    println!("{:<8} {:>12} {:>12}", "policy", "median (s)", "Q3 (s)");
+    let mut rows = Vec::new();
+    for s in &series {
+        println!("{:<8} {:>12.4} {:>12.4}", s.label, s.median_s, s.third_quartile_s);
+        for (x, p) in &s.points {
+            rows.push(vec![s.label.clone(), fmt(*x), fmt(*p)]);
+        }
+    }
+    report_write(write_csv(name, &["policy", "response_s", "cdf"], &rows));
+}
+
+fn run_fig4(scale: Scale) {
+    println!("\n## Figure 4 — instantaneous server load (mean & fairness), rho = 0.88");
+    let series = fig4_load_fairness(scale, SEED);
+    let mut rows = Vec::new();
+    for s in &series {
+        let mean_of_means: f64 =
+            s.points.iter().map(|p| p.1).sum::<f64>() / s.points.len().max(1) as f64;
+        let mean_fairness: f64 =
+            s.points.iter().map(|p| p.2).sum::<f64>() / s.points.len().max(1) as f64;
+        println!(
+            "{:<8} time-average busy workers: {:>6.2}   time-average fairness: {:>5.3}",
+            s.label, mean_of_means, mean_fairness
+        );
+        for (t, mean, fairness) in &s.points {
+            rows.push(vec![s.label.clone(), fmt(*t), fmt(*mean), fmt(*fairness)]);
+        }
+    }
+    report_write(write_csv(
+        "fig4_load_fairness",
+        &["policy", "time_s", "mean_busy", "fairness"],
+        &rows,
+    ));
+}
+
+fn run_fig6_and_7(scale: Scale) {
+    println!("\n## Figures 6 & 7 — Wikipedia replay: rate, median and deciles per bin");
+    let series = fig6_wiki_median(scale, SEED);
+    let mut rows6 = Vec::new();
+    let mut rows7 = Vec::new();
+    for s in &series {
+        let overall_median: f64 = {
+            let mut medians: Vec<f64> = s.bins.iter().map(|b| b.2).filter(|m| *m > 0.0).collect();
+            medians.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            medians.get(medians.len() / 2).copied().unwrap_or(0.0)
+        };
+        println!(
+            "{:<8} bins: {:>4}   mean wiki-page rate: {:>6.1}/s   typical median: {:>6.3} s",
+            s.label,
+            s.bins.len(),
+            s.bins.iter().map(|b| b.1).sum::<f64>() / s.bins.len().max(1) as f64,
+            overall_median
+        );
+        for (start, rate, median) in &s.bins {
+            rows6.push(vec![s.label.clone(), fmt(*start), fmt(*rate), fmt(*median)]);
+        }
+        for (start, deciles) in &s.deciles {
+            let mut row = vec![s.label.clone(), fmt(*start)];
+            row.extend(deciles.iter().map(|d| fmt(*d)));
+            rows7.push(row);
+        }
+    }
+    report_write(write_csv(
+        "fig6_wiki_median",
+        &["policy", "bin_start_s", "wiki_rate_per_s", "median_s"],
+        &rows6,
+    ));
+    report_write(write_csv(
+        "fig7_wiki_deciles",
+        &["policy", "bin_start_s", "d1", "d2", "d3", "d4", "d5", "d6", "d7", "d8", "d9"],
+        &rows7,
+    ));
+    // Figure 7 uses the same runs; fig7_wiki_deciles exists for programmatic
+    // use and the Criterion bench.
+    let _ = fig7_wiki_deciles;
+}
+
+fn run_fig8(scale: Scale) {
+    println!("\n## Figure 8 — CDF of wiki-page load time over the whole replay");
+    let result = fig8_wiki_cdf(scale, SEED);
+    println!("{:<8} {:>12} {:>12}", "policy", "median (s)", "Q3 (s)");
+    let mut rows = Vec::new();
+    for s in &result.series {
+        println!("{:<8} {:>12.4} {:>12.4}", s.label, s.median_s, s.third_quartile_s);
+        for (x, p) in &s.points {
+            rows.push(vec![s.label.clone(), fmt(*x), fmt(*p)]);
+        }
+    }
+    report_write(write_csv("fig8_wiki_cdf", &["policy", "response_s", "cdf"], &rows));
+}
+
+fn report_write(result: std::io::Result<std::path::PathBuf>) {
+    match result {
+        Ok(path) => println!("  -> wrote {}", path.display()),
+        Err(err) => eprintln!("  !! could not write CSV: {err}"),
+    }
+}

@@ -1,0 +1,338 @@
+//! One function per figure of the paper's evaluation.
+
+use srlb_core::experiment::{ExperimentConfig, ExperimentResult, PolicyKind};
+use srlb_metrics::{jain_fairness, Ewma, RequestClass};
+
+/// How large to run an experiment.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Scale {
+    /// The paper's full scale: 20 000 queries per Poisson point, 24 values of
+    /// ρ, 24-hour Wikipedia replay.
+    Paper,
+    /// A reduced scale for quick command-line runs: fewer queries, fewer ρ
+    /// points, a slice of the Wikipedia day.
+    Quick,
+    /// The smallest meaningful scale, used by the Criterion benches so each
+    /// measured iteration stays in the tens-of-milliseconds range.
+    Tiny,
+}
+
+impl Scale {
+    /// Number of queries per Poisson experiment.
+    pub fn poisson_queries(self) -> usize {
+        match self {
+            Scale::Paper => 20_000,
+            Scale::Quick => 2_000,
+            Scale::Tiny => 500,
+        }
+    }
+
+    /// The ρ values swept in Figure 2.
+    pub fn rho_values(self) -> Vec<f64> {
+        match self {
+            // 24 values in (0, 1), as in the paper.
+            Scale::Paper => (1..=24).map(|i| i as f64 / 25.0).collect(),
+            Scale::Quick => vec![0.2, 0.4, 0.6, 0.8, 0.88, 0.96],
+            Scale::Tiny => vec![0.61, 0.88],
+        }
+    }
+
+    /// Duration of the Wikipedia replay in hours.
+    pub fn wiki_hours(self) -> f64 {
+        match self {
+            Scale::Paper => 24.0,
+            Scale::Quick => 0.25,
+            Scale::Tiny => 0.05,
+        }
+    }
+
+    /// Width of the Wikipedia time bins in seconds (the paper uses 10-minute
+    /// bins over 24 h; the reduced scales use shorter bins over their shorter
+    /// slices so there are still plenty of points).
+    pub fn wiki_bin_seconds(self) -> f64 {
+        match self {
+            Scale::Paper => 600.0,
+            Scale::Quick => 60.0,
+            Scale::Tiny => 30.0,
+        }
+    }
+}
+
+/// The policies compared in the Poisson figures, in the paper's order.
+pub fn poisson_policies() -> Vec<PolicyKind> {
+    vec![
+        PolicyKind::RoundRobin,
+        PolicyKind::Static { threshold: 4 },
+        PolicyKind::Static { threshold: 8 },
+        PolicyKind::Static { threshold: 16 },
+        PolicyKind::Dynamic,
+    ]
+}
+
+/// One policy's mean-response-time curve for Figure 2.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig2Series {
+    /// Policy label (`"RR"`, `"SR4"`, …).
+    pub label: String,
+    /// `(rho, mean response time in seconds)` points.
+    pub points: Vec<(f64, f64)>,
+}
+
+/// Figure 2: mean page load time as a function of the normalised request
+/// rate ρ, for RR and the SRc/SRdyn policies.
+pub fn fig2_mean_response(scale: Scale, seed: u64) -> Vec<Fig2Series> {
+    poisson_policies()
+        .into_iter()
+        .map(|policy| {
+            let points = scale
+                .rho_values()
+                .into_iter()
+                .map(|rho| {
+                    let result = ExperimentConfig::poisson_paper(rho, policy)
+                        .with_queries(scale.poisson_queries())
+                        .with_seed(seed)
+                        .run()
+                        .expect("paper poisson configuration is valid");
+                    (rho, result.mean_response_seconds())
+                })
+                .collect();
+            Fig2Series {
+                label: policy.label(),
+                points,
+            }
+        })
+        .collect()
+}
+
+/// One policy's response-time CDF (Figures 3, 5 and 8).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CdfSeries {
+    /// Policy label.
+    pub label: String,
+    /// `(response time in seconds, cumulative fraction)` points.
+    pub points: Vec<(f64, f64)>,
+    /// Median response time in seconds.
+    pub median_s: f64,
+    /// Third quartile in seconds.
+    pub third_quartile_s: f64,
+}
+
+fn cdf_series_for(result: &ExperimentResult, class: Option<RequestClass>, points: usize) -> CdfSeries {
+    let cdf = result.cdf_seconds(class);
+    CdfSeries {
+        label: result.label.clone(),
+        points: cdf.points(points),
+        median_s: cdf.median().unwrap_or(0.0),
+        third_quartile_s: cdf.third_quartile().unwrap_or(0.0),
+    }
+}
+
+fn poisson_cdf(scale: Scale, seed: u64, rho: f64) -> Vec<CdfSeries> {
+    poisson_policies()
+        .into_iter()
+        .map(|policy| {
+            let result = ExperimentConfig::poisson_paper(rho, policy)
+                .with_queries(scale.poisson_queries())
+                .with_seed(seed)
+                .run()
+                .expect("paper poisson configuration is valid");
+            cdf_series_for(&result, None, 200)
+        })
+        .collect()
+}
+
+/// Figure 3: CDF of page load time at high load (ρ = 0.88).
+pub fn fig3_cdf_high_load(scale: Scale, seed: u64) -> Vec<CdfSeries> {
+    poisson_cdf(scale, seed, 0.88)
+}
+
+/// Figure 5: CDF of page load time at moderate load (ρ = 0.61).
+pub fn fig5_cdf_low_load(scale: Scale, seed: u64) -> Vec<CdfSeries> {
+    poisson_cdf(scale, seed, 0.61)
+}
+
+/// One policy's instantaneous-load trajectory for Figure 4.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig4Series {
+    /// Policy label (`"RR"` or `"SR4"`).
+    pub label: String,
+    /// `(time in seconds, mean busy workers over servers, Jain fairness)`
+    /// samples, smoothed with the paper's EWMA.
+    pub points: Vec<(f64, f64, f64)>,
+}
+
+/// Figure 4: instantaneous server load (mean and Jain fairness over the 12
+/// servers) during a run at ρ = 0.88, for RR and SR4, smoothed with an EWMA
+/// of parameter `alpha = 1 - exp(-dt)`.
+pub fn fig4_load_fairness(scale: Scale, seed: u64) -> Vec<Fig4Series> {
+    [PolicyKind::RoundRobin, PolicyKind::Static { threshold: 4 }]
+        .into_iter()
+        .map(|policy| {
+            let result = ExperimentConfig::poisson_paper(0.88, policy)
+                .with_queries(scale.poisson_queries())
+                .with_seed(seed)
+                .with_load_recording()
+                .run()
+                .expect("paper poisson configuration is valid");
+            Fig4Series {
+                label: result.label.clone(),
+                points: load_grid(&result.load_series, result.duration_seconds, 1.0),
+            }
+        })
+        .collect()
+}
+
+/// Resamples per-server step-function load series on a regular grid and
+/// returns `(t, mean, fairness)` with the paper's EWMA smoothing.
+fn load_grid(series: &[Vec<(f64, usize)>], duration_s: f64, step_s: f64) -> Vec<(f64, f64, f64)> {
+    let n = series.len();
+    if n == 0 || duration_s <= 0.0 {
+        return Vec::new();
+    }
+    let mut cursors = vec![0usize; n];
+    let mut current = vec![0.0f64; n];
+    let mut filters: Vec<Ewma> = (0..n).map(|_| Ewma::new()).collect();
+    let mut out = Vec::new();
+    let mut t = 0.0;
+    while t <= duration_s {
+        for (i, server) in series.iter().enumerate() {
+            while cursors[i] < server.len() && server[cursors[i]].0 <= t {
+                current[i] = server[cursors[i]].1 as f64;
+                cursors[i] += 1;
+            }
+            filters[i].observe(t, current[i]);
+        }
+        let smoothed: Vec<f64> = filters.iter().map(|f| f.value().unwrap_or(0.0)).collect();
+        let mean = smoothed.iter().sum::<f64>() / n as f64;
+        out.push((t, mean, jain_fairness(&smoothed)));
+        t += step_s;
+    }
+    out
+}
+
+/// One time-binned series of the Wikipedia replay (Figure 6).
+#[derive(Debug, Clone, PartialEq)]
+pub struct WikiBinSeries {
+    /// Policy label.
+    pub label: String,
+    /// `(bin start in seconds, wiki-page queries per second, median wiki-page
+    /// load time in seconds)` per bin.
+    pub bins: Vec<(f64, f64, f64)>,
+    /// `(bin start in seconds, deciles 1..=9 in seconds)` per bin (Figure 7).
+    pub deciles: Vec<(f64, [f64; 9])>,
+}
+
+fn wikipedia_result(scale: Scale, seed: u64, policy: PolicyKind) -> ExperimentResult {
+    ExperimentConfig::wikipedia_paper(policy)
+        .with_hours(scale.wiki_hours())
+        .with_seed(seed)
+        .run()
+        .expect("paper wikipedia configuration is valid")
+}
+
+fn wiki_bins(result: &ExperimentResult, bin_seconds: f64) -> WikiBinSeries {
+    let binned = result
+        .collector
+        .binned(bin_seconds, Some(RequestClass::WikiPage));
+    let rates = result
+        .collector
+        .arrival_rate_bins(bin_seconds, Some(RequestClass::WikiPage));
+    let rate_stats = rates.stats();
+    let mut bins = Vec::new();
+    let mut deciles = Vec::new();
+    for (i, stat) in binned.stats().iter().enumerate() {
+        let rate = rate_stats.get(i).map(|r| r.rate_per_second).unwrap_or(0.0);
+        bins.push((
+            stat.start_seconds,
+            rate,
+            stat.median.unwrap_or(0.0) / 1e3,
+        ));
+        if let Some(d) = stat.deciles {
+            let mut seconds = [0.0; 9];
+            for (j, v) in d.iter().enumerate() {
+                seconds[j] = v / 1e3;
+            }
+            deciles.push((stat.start_seconds, seconds));
+        }
+    }
+    WikiBinSeries {
+        label: result.label.clone(),
+        bins,
+        deciles,
+    }
+}
+
+/// Figure 6: wiki-page query rate and median load time per time bin over the
+/// Wikipedia replay, for RR and SR4.
+pub fn fig6_wiki_median(scale: Scale, seed: u64) -> Vec<WikiBinSeries> {
+    [PolicyKind::RoundRobin, PolicyKind::Static { threshold: 4 }]
+        .into_iter()
+        .map(|policy| wiki_bins(&wikipedia_result(scale, seed, policy), scale.wiki_bin_seconds()))
+        .collect()
+}
+
+/// Figure 7: deciles 1–9 of the wiki-page load time per time bin, for RR and
+/// SR4 (same runs as Figure 6).
+pub fn fig7_wiki_deciles(scale: Scale, seed: u64) -> Vec<WikiBinSeries> {
+    fig6_wiki_median(scale, seed)
+}
+
+/// The whole-day CDF comparison of Figure 8.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WikiCdf {
+    /// CDF of wiki-page load times per policy.
+    pub series: Vec<CdfSeries>,
+}
+
+/// Figure 8: CDF of wiki-page load time over the whole replay, RR vs SR4
+/// (the paper reports the median dropping from 0.25 s to 0.20 s and the
+/// third quartile from 0.48 s to 0.28 s).
+pub fn fig8_wiki_cdf(scale: Scale, seed: u64) -> WikiCdf {
+    let series = [PolicyKind::RoundRobin, PolicyKind::Static { threshold: 4 }]
+        .into_iter()
+        .map(|policy| {
+            let result = wikipedia_result(scale, seed, policy);
+            cdf_series_for(&result, Some(RequestClass::WikiPage), 200)
+        })
+        .collect();
+    WikiCdf { series }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_parameters_are_consistent() {
+        assert_eq!(Scale::Paper.rho_values().len(), 24);
+        assert_eq!(Scale::Paper.poisson_queries(), 20_000);
+        assert_eq!(Scale::Paper.wiki_hours(), 24.0);
+        assert!(Scale::Quick.poisson_queries() < Scale::Paper.poisson_queries());
+        assert!(Scale::Quick.wiki_hours() < 1.0);
+        assert!(Scale::Paper.rho_values().iter().all(|&r| r > 0.0 && r < 1.0));
+    }
+
+    #[test]
+    fn load_grid_resamples_step_functions() {
+        // Two servers: one constant at 4, one stepping 0 -> 8 at t = 5.
+        let series = vec![
+            vec![(0.0, 4)],
+            vec![(0.0, 0), (5.0, 8)],
+        ];
+        let grid = load_grid(&series, 10.0, 1.0);
+        assert_eq!(grid.len(), 11);
+        // At t = 0 the mean is (4 + 0) / 2 = 2 and fairness is 0.5.
+        assert!((grid[0].1 - 2.0).abs() < 1e-9);
+        assert!((grid[0].2 - 0.5).abs() < 1e-9);
+        // Late in the run the smoothed loads approach 4 and 8.
+        let last = grid.last().unwrap();
+        assert!(last.1 > 5.0 && last.1 < 6.5);
+        assert!(last.2 > 0.8);
+    }
+
+    #[test]
+    fn load_grid_handles_empty_input() {
+        assert!(load_grid(&[], 10.0, 1.0).is_empty());
+        assert!(load_grid(&[vec![(0.0, 1)]], 0.0, 1.0).is_empty());
+    }
+}

@@ -1,0 +1,26 @@
+//! # srlb-bench — the figure-regeneration harness
+//!
+//! One function per figure of the paper's evaluation section (Figures 2–8),
+//! shared between:
+//!
+//! * the `figures` binary (`cargo run -p srlb-bench --release --bin figures`),
+//!   which runs the paper-scale experiments and prints/writes the series, and
+//! * the Criterion benches (`cargo bench -p srlb-bench`), which run
+//!   scaled-down versions of the same code so the whole harness is exercised
+//!   quickly and regressions in experiment runtime are visible.
+//!
+//! Every function takes a [`Scale`] so the same code path serves both uses.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod figures;
+pub mod output;
+
+pub use figures::{
+    fig2_mean_response, fig3_cdf_high_load, fig4_load_fairness, fig5_cdf_low_load,
+    fig6_wiki_median, fig7_wiki_deciles, fig8_wiki_cdf, Fig2Series, Fig4Series, CdfSeries,
+    WikiBinSeries, WikiCdf, Scale,
+};
+pub use output::{write_csv, FIGURES_DIR};

@@ -1,0 +1,56 @@
+//! CSV output for regenerated figure data.
+
+use std::fs;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+/// Directory (relative to the workspace root / current directory) where the
+/// `figures` binary writes its CSV series.
+pub const FIGURES_DIR: &str = "target/figures";
+
+/// Writes rows of `f64`/string columns as a CSV file under
+/// [`FIGURES_DIR`], creating the directory if needed.  Returns the path
+/// written.
+///
+/// # Errors
+///
+/// Returns any I/O error from creating the directory or writing the file.
+pub fn write_csv(
+    name: &str,
+    header: &[&str],
+    rows: &[Vec<String>],
+) -> std::io::Result<PathBuf> {
+    let dir = Path::new(FIGURES_DIR);
+    fs::create_dir_all(dir)?;
+    let path = dir.join(format!("{name}.csv"));
+    let mut file = fs::File::create(&path)?;
+    writeln!(file, "{}", header.join(","))?;
+    for row in rows {
+        writeln!(file, "{}", row.join(","))?;
+    }
+    Ok(path)
+}
+
+/// Formats a float with enough precision for plotting.
+pub fn fmt(value: f64) -> String {
+    format!("{value:.6}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn writes_csv_with_header_and_rows() {
+        let rows = vec![
+            vec![fmt(1.0), fmt(2.5)],
+            vec![fmt(3.0), fmt(4.25)],
+        ];
+        let path = write_csv("test_output_unit", &["a", "b"], &rows).unwrap();
+        let content = std::fs::read_to_string(&path).unwrap();
+        assert!(content.starts_with("a,b\n"));
+        assert!(content.contains("1.000000,2.500000"));
+        assert_eq!(content.lines().count(), 3);
+        std::fs::remove_file(path).ok();
+    }
+}

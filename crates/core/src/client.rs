@@ -1,0 +1,332 @@
+//! The traffic generator / measurement client.
+//!
+//! The client replays a time-ordered [`Request`] trace as an *open-loop*
+//! source (arrivals do not depend on completions, as with the paper's
+//! Poisson generator and trace replayer), performs the TCP exchange for each
+//! request, and records per-request response times and outcomes into a
+//! [`ResponseTimeCollector`].
+//!
+//! Each request gets a unique `(client address, source port)` pair so flows
+//! never collide; the mapping is arithmetic (request id → address index and
+//! port), so no per-request lookup table is needed.
+
+use std::net::Ipv6Addr;
+
+use srlb_metrics::{RequestClass, RequestOutcome, RequestRecord, ResponseTimeCollector};
+use srlb_net::{AddressPlan, Packet, PacketBuilder, TcpFlags};
+use srlb_server::server_node::encode_request_payload;
+use srlb_server::Directory;
+use srlb_sim::{Context, Node, NodeId, SimTime, TimerToken};
+use srlb_workload::Request;
+
+/// Number of source ports used per client address before moving to the next
+/// address (keeps ports in the dynamic range 1024–61023).
+pub const PORTS_PER_ADDR: u64 = 60_000;
+/// First source port used.
+pub const BASE_PORT: u16 = 1024;
+/// Destination (service) port of the VIP.
+pub const VIP_PORT: u16 = 80;
+
+/// Derives the `(client address, source port)` pair for request `id`.
+pub fn request_endpoint(plan: &AddressPlan, id: u64) -> (Ipv6Addr, u16) {
+    let addr_index = (id / PORTS_PER_ADDR) as u32;
+    let port = BASE_PORT + (id % PORTS_PER_ADDR) as u16;
+    (plan.client_addr(addr_index), port)
+}
+
+/// Inverse of [`request_endpoint`]: recovers the request id from the client
+/// address and source port of a packet.  Returns `None` for addresses or
+/// ports outside the generator's ranges.
+pub fn request_id_of(plan: &AddressPlan, addr: Ipv6Addr, port: u16) -> Option<u64> {
+    let addr_index = plan.client_of(addr)? as u64;
+    if port < BASE_PORT {
+        return None;
+    }
+    Some(addr_index * PORTS_PER_ADDR + (port - BASE_PORT) as u64)
+}
+
+/// Number of distinct client addresses needed for a trace of `n` requests.
+pub fn client_addr_count(n: usize) -> u32 {
+    (n as u64 / PORTS_PER_ADDR) as u32 + 1
+}
+
+/// Per-request in-flight bookkeeping.
+#[derive(Debug, Clone, Copy)]
+struct InFlight {
+    sent_at: SimTime,
+    class: RequestClass,
+}
+
+/// The open-loop client node.
+#[derive(Debug)]
+pub struct ClientNode {
+    plan: AddressPlan,
+    vip: Ipv6Addr,
+    directory: Directory,
+    requests: Vec<Request>,
+    in_flight: std::collections::HashMap<u64, InFlight>,
+    collector: ResponseTimeCollector,
+    next_to_send: usize,
+    sent: u64,
+    completed: u64,
+    resets: u64,
+}
+
+impl ClientNode {
+    /// Creates a client that will replay `requests` (must be sorted by
+    /// arrival time) against `vip`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the requests are not sorted by arrival time.
+    pub fn new(
+        plan: AddressPlan,
+        vip: Ipv6Addr,
+        directory: Directory,
+        requests: Vec<Request>,
+    ) -> Self {
+        assert!(
+            srlb_workload::request::is_well_formed(&requests),
+            "requests must be sorted by arrival time with increasing ids"
+        );
+        ClientNode {
+            plan,
+            vip,
+            directory,
+            requests,
+            in_flight: std::collections::HashMap::new(),
+            collector: ResponseTimeCollector::new(),
+            next_to_send: 0,
+            sent: 0,
+            completed: 0,
+            resets: 0,
+        }
+    }
+
+    /// Number of requests sent so far.
+    pub fn sent(&self) -> u64 {
+        self.sent
+    }
+
+    /// Number of completed requests.
+    pub fn completed(&self) -> u64 {
+        self.completed
+    }
+
+    /// Number of reset requests.
+    pub fn resets(&self) -> u64 {
+        self.resets
+    }
+
+    /// Number of requests still awaiting a response.
+    pub fn outstanding(&self) -> usize {
+        self.in_flight.len()
+    }
+
+    /// Consumes the client and returns its measurement collector, marking
+    /// any still-outstanding requests as unfinished.
+    pub fn into_collector(mut self) -> ResponseTimeCollector {
+        for (_, info) in self.in_flight.drain() {
+            self.collector.push(RequestRecord {
+                sent_at_seconds: info.sent_at.as_secs_f64(),
+                response_time_ms: None,
+                class: info.class,
+                outcome: RequestOutcome::Unfinished,
+                served_by: None,
+            });
+        }
+        self.collector
+    }
+
+    /// A read-only view of the collector (outstanding requests excluded).
+    pub fn collector(&self) -> &ResponseTimeCollector {
+        &self.collector
+    }
+
+    fn send_to_addr(&self, ctx: &mut Context<'_, Packet>, addr: Ipv6Addr, packet: Packet) {
+        if let Some(node) = self.directory.lookup(addr) {
+            ctx.send(node, packet);
+        }
+    }
+
+    fn schedule_next(&mut self, ctx: &mut Context<'_, Packet>) {
+        if let Some(request) = self.requests.get(self.next_to_send) {
+            let delay = request.arrival.duration_since(ctx.now());
+            ctx.schedule_timer(delay, TimerToken(request.id));
+        }
+    }
+
+    fn send_request_syn(&mut self, index: usize, ctx: &mut Context<'_, Packet>) {
+        let request = self.requests[index].clone();
+        let (addr, port) = request_endpoint(&self.plan, request.id);
+        let syn = PacketBuilder::tcp(addr, self.vip)
+            .ports(port, VIP_PORT)
+            .flags(TcpFlags::SYN)
+            .build();
+        self.in_flight.insert(
+            request.id,
+            InFlight {
+                sent_at: ctx.now(),
+                class: request.class,
+            },
+        );
+        self.sent += 1;
+        self.send_to_addr(ctx, self.vip, syn);
+    }
+
+    fn handle_syn_ack(&mut self, packet: &Packet, ctx: &mut Context<'_, Packet>) {
+        // The SYN-ACK is addressed to the per-request client endpoint; recover
+        // the request id and send the HTTP request itself.
+        let Some(id) = request_id_of(
+            &self.plan,
+            packet.current_destination(),
+            packet.tcp.destination_port,
+        ) else {
+            return;
+        };
+        let Some(request) = self.requests.get(id as usize) else {
+            return;
+        };
+        let (addr, port) = request_endpoint(&self.plan, id);
+        let http_request = PacketBuilder::tcp(addr, self.vip)
+            .ports(port, VIP_PORT)
+            .flags(TcpFlags::ACK | TcpFlags::PSH)
+            .payload(encode_request_payload(id, request.service))
+            .build();
+        self.send_to_addr(ctx, self.vip, http_request);
+    }
+
+    fn finish(&mut self, id: u64, outcome: RequestOutcome, ctx: &Context<'_, Packet>) {
+        let Some(info) = self.in_flight.remove(&id) else {
+            return;
+        };
+        let response_time_ms = match outcome {
+            RequestOutcome::Completed => {
+                Some(ctx.now().duration_since(info.sent_at).as_millis_f64())
+            }
+            _ => None,
+        };
+        match outcome {
+            RequestOutcome::Completed => self.completed += 1,
+            RequestOutcome::Reset => self.resets += 1,
+            RequestOutcome::Unfinished => {}
+        }
+        self.collector.push(RequestRecord {
+            sent_at_seconds: info.sent_at.as_secs_f64(),
+            response_time_ms,
+            class: info.class,
+            outcome,
+            served_by: None,
+        });
+    }
+}
+
+impl Node<Packet> for ClientNode {
+    fn on_start(&mut self, ctx: &mut Context<'_, Packet>) {
+        self.schedule_next(ctx);
+    }
+
+    fn on_timer(&mut self, token: TimerToken, ctx: &mut Context<'_, Packet>) {
+        // The timer for request `token.0` fired: send it, then arm the timer
+        // for the next request in the trace.
+        let index = self.next_to_send;
+        debug_assert_eq!(self.requests[index].id, token.0);
+        self.next_to_send += 1;
+        self.send_request_syn(index, ctx);
+        self.schedule_next(ctx);
+    }
+
+    fn on_message(&mut self, packet: Packet, _from: NodeId, ctx: &mut Context<'_, Packet>) {
+        let Some(id) = request_id_of(
+            &self.plan,
+            packet.current_destination(),
+            packet.tcp.destination_port,
+        ) else {
+            return;
+        };
+        if packet.is_syn_ack() {
+            self.handle_syn_ack(&packet, ctx);
+        } else if packet.is_rst() {
+            self.finish(id, RequestOutcome::Reset, ctx);
+        } else if packet.tcp.flags.contains(TcpFlags::PSH) {
+            self.finish(id, RequestOutcome::Completed, ctx);
+        }
+    }
+
+    fn name(&self) -> String {
+        "client".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use srlb_metrics::RequestClass;
+    use srlb_sim::SimDuration;
+    use srlb_workload::Request;
+
+    #[test]
+    fn endpoint_mapping_is_invertible() {
+        let plan = AddressPlan::default();
+        for id in [0u64, 1, 59_999, 60_000, 60_001, 180_000, 1_000_000] {
+            let (addr, port) = request_endpoint(&plan, id);
+            assert_eq!(request_id_of(&plan, addr, port), Some(id));
+            assert!(port >= BASE_PORT);
+        }
+    }
+
+    #[test]
+    fn endpoint_mapping_rejects_foreign_addresses() {
+        let plan = AddressPlan::default();
+        assert_eq!(request_id_of(&plan, plan.lb_addr(), 2000), None);
+        let (addr, _) = request_endpoint(&plan, 0);
+        assert_eq!(request_id_of(&plan, addr, 100), None);
+    }
+
+    #[test]
+    fn client_addr_count_covers_the_trace() {
+        assert_eq!(client_addr_count(0), 1);
+        assert_eq!(client_addr_count(59_999), 1);
+        assert_eq!(client_addr_count(60_000), 2);
+        assert_eq!(client_addr_count(1_000_000), 17);
+    }
+
+    #[test]
+    fn unsorted_trace_is_rejected() {
+        let plan = AddressPlan::default();
+        let requests = vec![
+            Request::new(
+                0,
+                SimTime::from_secs_f64(2.0),
+                RequestClass::Synthetic,
+                SimDuration::from_millis(1),
+            ),
+            Request::new(
+                1,
+                SimTime::from_secs_f64(1.0),
+                RequestClass::Synthetic,
+                SimDuration::from_millis(1),
+            ),
+        ];
+        let result = std::panic::catch_unwind(|| {
+            ClientNode::new(plan.clone(), plan.vip(0), Directory::new(), requests)
+        });
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn into_collector_marks_outstanding_as_unfinished() {
+        let plan = AddressPlan::default();
+        let mut client = ClientNode::new(plan.clone(), plan.vip(0), Directory::new(), vec![]);
+        client.in_flight.insert(
+            3,
+            InFlight {
+                sent_at: SimTime::ZERO,
+                class: RequestClass::Synthetic,
+            },
+        );
+        let collector = client.into_collector();
+        assert_eq!(collector.len(), 1);
+        assert_eq!(collector.records()[0].outcome, RequestOutcome::Unfinished);
+    }
+}

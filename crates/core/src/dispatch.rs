@@ -1,0 +1,510 @@
+//! Candidate-server selection (paper Section II-B).
+//!
+//! When a new flow arrives, the load balancer selects the *list of candidate
+//! servers* to place in the Service Hunting SRH.  The paper uses two servers
+//! chosen uniformly at random (citing the power-of-two-choices result) but
+//! notes that consistent hashing is another possibility; this module
+//! implements:
+//!
+//! * [`RandomDispatcher`] — `k` distinct servers chosen uniformly at random
+//!   (`k = 1` degenerates to the paper's RR baseline, `k = 2` is SRLB's
+//!   default),
+//! * [`ConsistentHashDispatcher`] — a hash ring with virtual nodes; the
+//!   candidates are the first `k` distinct servers clockwise from the flow's
+//!   hash (Maglev/Ananta-style flow affinity without per-flow state),
+//! * [`MaglevDispatcher`] — Maglev's permutation-filled lookup table.
+
+use std::net::Ipv6Addr;
+
+use rand::RngCore;
+use serde::{Deserialize, Serialize};
+use srlb_net::FlowKey;
+
+/// A candidate-selection policy.
+pub trait Dispatcher: std::fmt::Debug + Send {
+    /// Returns the ordered candidate list for a new flow (without the
+    /// trailing VIP segment, which the load balancer appends).
+    fn candidates(&mut self, flow: &FlowKey, rng: &mut dyn RngCore) -> Vec<Ipv6Addr>;
+
+    /// Number of candidates produced per flow.
+    fn fanout(&self) -> usize;
+
+    /// Short name for reports.
+    fn name(&self) -> String;
+}
+
+/// `k` distinct servers chosen uniformly at random.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RandomDispatcher {
+    servers: Vec<Ipv6Addr>,
+    k: usize,
+}
+
+impl RandomDispatcher {
+    /// Creates a dispatcher picking `k` distinct servers from `servers`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `servers` is empty or `k` is zero.
+    pub fn new(servers: Vec<Ipv6Addr>, k: usize) -> Self {
+        assert!(!servers.is_empty(), "at least one server is required");
+        assert!(k > 0, "k must be at least 1");
+        let k = k.min(servers.len());
+        RandomDispatcher { servers, k }
+    }
+
+    /// The paper's default: two random candidates.
+    pub fn power_of_two(servers: Vec<Ipv6Addr>) -> Self {
+        Self::new(servers, 2)
+    }
+
+    /// The RR baseline: a single random server (no hunting).
+    pub fn single_random(servers: Vec<Ipv6Addr>) -> Self {
+        Self::new(servers, 1)
+    }
+}
+
+impl Dispatcher for RandomDispatcher {
+    fn candidates(&mut self, _flow: &FlowKey, rng: &mut dyn RngCore) -> Vec<Ipv6Addr> {
+        // Partial Fisher-Yates over indices: draw k distinct servers.
+        let n = self.servers.len();
+        let mut indices: Vec<usize> = (0..n).collect();
+        let mut out = Vec::with_capacity(self.k);
+        for i in 0..self.k {
+            let j = i + (rng.next_u64() as usize) % (n - i);
+            indices.swap(i, j);
+            out.push(self.servers[indices[i]]);
+        }
+        out
+    }
+
+    fn fanout(&self) -> usize {
+        self.k
+    }
+
+    fn name(&self) -> String {
+        format!("random-{}", self.k)
+    }
+}
+
+/// A consistent-hashing ring with virtual nodes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConsistentHashDispatcher {
+    /// `(point, server)` pairs sorted by point.
+    ring: Vec<(u64, Ipv6Addr)>,
+    k: usize,
+    servers: usize,
+}
+
+impl ConsistentHashDispatcher {
+    /// Creates a ring with `vnodes` virtual nodes per server, returning `k`
+    /// candidates per flow.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `servers` is empty or `k`/`vnodes` is zero.
+    pub fn new(servers: Vec<Ipv6Addr>, vnodes: usize, k: usize) -> Self {
+        assert!(!servers.is_empty(), "at least one server is required");
+        assert!(k > 0, "k must be at least 1");
+        assert!(vnodes > 0, "at least one virtual node per server is required");
+        let mut ring = Vec::with_capacity(servers.len() * vnodes);
+        for server in &servers {
+            for v in 0..vnodes {
+                ring.push((Self::point(*server, v as u64), *server));
+            }
+        }
+        ring.sort_unstable();
+        let k = k.min(servers.len());
+        ConsistentHashDispatcher {
+            ring,
+            k,
+            servers: servers.len(),
+        }
+    }
+
+    fn point(server: Ipv6Addr, vnode: u64) -> u64 {
+        // FNV-1a over the address octets and the vnode index, followed by a
+        // SplitMix64 finaliser: FNV alone leaves the high bits (which drive
+        // the ring ordering) poorly mixed for short, similar inputs.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in server.octets() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        for b in vnode.to_be_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        mix64(h)
+    }
+
+    /// Number of points on the ring.
+    pub fn ring_size(&self) -> usize {
+        self.ring.len()
+    }
+}
+
+/// SplitMix64 finaliser, used to spread hash values uniformly over the full
+/// 64-bit range before they are used as ring points or table indices.
+fn mix64(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+impl Dispatcher for ConsistentHashDispatcher {
+    fn candidates(&mut self, flow: &FlowKey, _rng: &mut dyn RngCore) -> Vec<Ipv6Addr> {
+        let h = mix64(flow.stable_hash());
+        let start = self.ring.partition_point(|&(p, _)| p < h);
+        let mut out: Vec<Ipv6Addr> = Vec::with_capacity(self.k);
+        for i in 0..self.ring.len() {
+            let (_, server) = self.ring[(start + i) % self.ring.len()];
+            if !out.contains(&server) {
+                out.push(server);
+                if out.len() == self.k {
+                    break;
+                }
+            }
+        }
+        out
+    }
+
+    fn fanout(&self) -> usize {
+        self.k
+    }
+
+    fn name(&self) -> String {
+        format!("consistent-hash-{}x{}", self.servers, self.k)
+    }
+}
+
+/// A Maglev-style lookup table (Eisenbud et al., NSDI 2016).
+///
+/// Each server fills the table following its own permutation of the table
+/// slots, producing near-uniform slot ownership with minimal disruption on
+/// membership change.  Candidates for a flow are the owners of `k`
+/// consecutive slots starting at the flow's hash.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MaglevDispatcher {
+    table: Vec<Ipv6Addr>,
+    k: usize,
+    servers: usize,
+}
+
+impl MaglevDispatcher {
+    /// Builds the lookup table.  `table_size` should be a prime noticeably
+    /// larger than the number of servers (Maglev uses 65537 by default; the
+    /// tests use smaller primes).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `servers` is empty, `k` is zero, or `table_size` is smaller
+    /// than the number of servers.
+    pub fn new(servers: Vec<Ipv6Addr>, table_size: usize, k: usize) -> Self {
+        assert!(!servers.is_empty(), "at least one server is required");
+        assert!(k > 0, "k must be at least 1");
+        assert!(
+            table_size >= servers.len(),
+            "table must be at least as large as the server set"
+        );
+        let n = servers.len();
+        let m = table_size;
+
+        // Per-server permutation parameters (offset, skip), as in the paper.
+        let params: Vec<(usize, usize)> = servers
+            .iter()
+            .map(|s| {
+                let h1 = Self::hash(s, 0xdead_beef);
+                let h2 = Self::hash(s, 0x1234_5678);
+                ((h1 % m as u64) as usize, (h2 % (m as u64 - 1) + 1) as usize)
+            })
+            .collect();
+
+        let mut table: Vec<Option<Ipv6Addr>> = vec![None; m];
+        let mut next = vec![0usize; n];
+        let mut filled = 0;
+        while filled < m {
+            for i in 0..n {
+                if filled == m {
+                    break;
+                }
+                // Find this server's next preferred empty slot.
+                loop {
+                    let (offset, skip) = params[i];
+                    let slot = (offset + skip * next[i]) % m;
+                    next[i] += 1;
+                    if table[slot].is_none() {
+                        table[slot] = Some(servers[i]);
+                        filled += 1;
+                        break;
+                    }
+                }
+            }
+        }
+        MaglevDispatcher {
+            table: table.into_iter().map(|s| s.expect("table filled")).collect(),
+            k: k.min(n),
+            servers: n,
+        }
+    }
+
+    fn hash(server: &Ipv6Addr, salt: u64) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325 ^ salt;
+        for b in server.octets() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        h
+    }
+
+    /// The lookup table size.
+    pub fn table_size(&self) -> usize {
+        self.table.len()
+    }
+
+    /// Fraction of table slots owned by each distinct server, for uniformity
+    /// checks.
+    pub fn ownership(&self) -> std::collections::HashMap<Ipv6Addr, usize> {
+        let mut map = std::collections::HashMap::new();
+        for s in &self.table {
+            *map.entry(*s).or_insert(0) += 1;
+        }
+        map
+    }
+}
+
+impl Dispatcher for MaglevDispatcher {
+    fn candidates(&mut self, flow: &FlowKey, _rng: &mut dyn RngCore) -> Vec<Ipv6Addr> {
+        let m = self.table.len();
+        let start = (mix64(flow.stable_hash()) % m as u64) as usize;
+        let mut out: Vec<Ipv6Addr> = Vec::with_capacity(self.k);
+        for i in 0..m {
+            let server = self.table[(start + i) % m];
+            if !out.contains(&server) {
+                out.push(server);
+                if out.len() == self.k {
+                    break;
+                }
+            }
+        }
+        out
+    }
+
+    fn fanout(&self) -> usize {
+        self.k
+    }
+
+    fn name(&self) -> String {
+        format!("maglev-{}x{}", self.servers, self.k)
+    }
+}
+
+/// Serialisable dispatcher configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DispatcherConfig {
+    /// `k` servers chosen uniformly at random.
+    Random {
+        /// Number of candidates per flow.
+        k: usize,
+    },
+    /// Consistent hashing with virtual nodes.
+    ConsistentHash {
+        /// Virtual nodes per server.
+        vnodes: usize,
+        /// Number of candidates per flow.
+        k: usize,
+    },
+    /// Maglev lookup table.
+    Maglev {
+        /// Lookup table size (use a prime).
+        table_size: usize,
+        /// Number of candidates per flow.
+        k: usize,
+    },
+}
+
+impl DispatcherConfig {
+    /// The paper's default: two random candidates.
+    pub fn paper_default() -> Self {
+        DispatcherConfig::Random { k: 2 }
+    }
+
+    /// Builds the dispatcher over the given server set.
+    pub fn build(&self, servers: Vec<Ipv6Addr>) -> Box<dyn Dispatcher> {
+        match *self {
+            DispatcherConfig::Random { k } => Box::new(RandomDispatcher::new(servers, k)),
+            DispatcherConfig::ConsistentHash { vnodes, k } => {
+                Box::new(ConsistentHashDispatcher::new(servers, vnodes, k))
+            }
+            DispatcherConfig::Maglev { table_size, k } => {
+                Box::new(MaglevDispatcher::new(servers, table_size, k))
+            }
+        }
+    }
+
+    /// Number of candidates per flow.
+    pub fn fanout(&self) -> usize {
+        match *self {
+            DispatcherConfig::Random { k }
+            | DispatcherConfig::ConsistentHash { k, .. }
+            | DispatcherConfig::Maglev { k, .. } => k,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use srlb_net::{AddressPlan, Protocol, ServerId};
+    use srlb_sim::SimRng;
+
+    fn servers(n: u32) -> Vec<Ipv6Addr> {
+        let plan = AddressPlan::default();
+        (0..n).map(|i| plan.server_addr(ServerId(i))).collect()
+    }
+
+    fn flow(port: u16) -> FlowKey {
+        let plan = AddressPlan::default();
+        FlowKey::new(plan.client_addr(0), plan.vip(0), port, 80, Protocol::Tcp)
+    }
+
+    #[test]
+    fn random_dispatcher_returns_distinct_candidates() {
+        let mut d = RandomDispatcher::power_of_two(servers(12));
+        let mut rng = SimRng::new(1);
+        for port in 0..1000 {
+            let c = d.candidates(&flow(port), &mut rng);
+            assert_eq!(c.len(), 2);
+            assert_ne!(c[0], c[1], "candidates must be distinct");
+        }
+        assert_eq!(d.fanout(), 2);
+        assert_eq!(d.name(), "random-2");
+    }
+
+    #[test]
+    fn random_dispatcher_is_roughly_uniform() {
+        let all = servers(12);
+        let mut d = RandomDispatcher::single_random(all.clone());
+        let mut rng = SimRng::new(7);
+        let mut counts = std::collections::HashMap::new();
+        let trials = 24_000;
+        for port in 0..trials {
+            let c = d.candidates(&flow(port as u16), &mut rng);
+            *counts.entry(c[0]).or_insert(0usize) += 1;
+        }
+        for s in &all {
+            let count = counts.get(s).copied().unwrap_or(0);
+            let expected = trials / 12;
+            assert!(
+                (count as f64 - expected as f64).abs() < expected as f64 * 0.15,
+                "server {s} got {count}, expected ~{expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn random_dispatcher_k_capped_at_server_count() {
+        let mut d = RandomDispatcher::new(servers(3), 10);
+        let mut rng = SimRng::new(1);
+        let c = d.candidates(&flow(1), &mut rng);
+        assert_eq!(c.len(), 3);
+        let unique: std::collections::HashSet<_> = c.iter().collect();
+        assert_eq!(unique.len(), 3);
+    }
+
+    #[test]
+    fn consistent_hash_is_deterministic_per_flow() {
+        let mut d = ConsistentHashDispatcher::new(servers(12), 100, 2);
+        let mut rng = SimRng::new(1);
+        let a = d.candidates(&flow(42), &mut rng);
+        let b = d.candidates(&flow(42), &mut rng);
+        assert_eq!(a, b, "same flow must map to the same candidates");
+        assert_eq!(a.len(), 2);
+        assert_ne!(a[0], a[1]);
+        assert_eq!(d.ring_size(), 1200);
+        assert!(d.name().starts_with("consistent-hash"));
+    }
+
+    #[test]
+    fn consistent_hash_spreads_flows() {
+        let mut d = ConsistentHashDispatcher::new(servers(12), 512, 1);
+        let mut rng = SimRng::new(1);
+        let mut counts = std::collections::HashMap::new();
+        for port in 0..12_000u32 {
+            let f = FlowKey::new(
+                AddressPlan::default().client_addr(port),
+                AddressPlan::default().vip(0),
+                (port % 60_000) as u16,
+                80,
+                Protocol::Tcp,
+            );
+            let c = d.candidates(&f, &mut rng);
+            *counts.entry(c[0]).or_insert(0usize) += 1;
+        }
+        assert_eq!(counts.len(), 12, "every server should receive some flows");
+        let max = counts.values().max().unwrap();
+        let min = counts.values().min().unwrap();
+        assert!(
+            *max < min * 4,
+            "consistent hashing with many virtual nodes should be reasonably balanced \
+             (min {min}, max {max})"
+        );
+    }
+
+    #[test]
+    fn maglev_table_is_nearly_uniform() {
+        let d = MaglevDispatcher::new(servers(12), 2039, 2);
+        assert_eq!(d.table_size(), 2039);
+        let ownership = d.ownership();
+        assert_eq!(ownership.len(), 12);
+        let max = ownership.values().max().unwrap();
+        let min = ownership.values().min().unwrap();
+        // Maglev guarantees near-perfect balance of slot ownership.
+        assert!(
+            max - min <= 2039 / 12 / 5 + 2,
+            "maglev ownership should be near-uniform (min {min}, max {max})"
+        );
+    }
+
+    #[test]
+    fn maglev_is_deterministic_and_distinct() {
+        let mut d = MaglevDispatcher::new(servers(12), 251, 2);
+        let mut rng = SimRng::new(1);
+        let a = d.candidates(&flow(7), &mut rng);
+        let b = d.candidates(&flow(7), &mut rng);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 2);
+        assert_ne!(a[0], a[1]);
+        assert_eq!(d.fanout(), 2);
+        assert!(d.name().starts_with("maglev"));
+    }
+
+    #[test]
+    fn config_builds_each_kind() {
+        let s = servers(4);
+        assert_eq!(DispatcherConfig::paper_default().fanout(), 2);
+        let mut rng = SimRng::new(1);
+        for config in [
+            DispatcherConfig::Random { k: 2 },
+            DispatcherConfig::ConsistentHash { vnodes: 16, k: 2 },
+            DispatcherConfig::Maglev { table_size: 53, k: 2 },
+        ] {
+            let mut d = config.build(s.clone());
+            let c = d.candidates(&flow(3), &mut rng);
+            assert_eq!(c.len(), 2);
+            assert_eq!(config.fanout(), 2);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one server")]
+    fn empty_server_set_panics() {
+        RandomDispatcher::new(vec![], 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be at least 1")]
+    fn zero_k_panics() {
+        RandomDispatcher::new(servers(2), 0);
+    }
+}

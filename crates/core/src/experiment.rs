@@ -1,0 +1,472 @@
+//! High-level experiment configurations matching the paper's evaluation.
+//!
+//! An [`ExperimentConfig`] names a *workload* (Poisson at a normalised rate
+//! ρ, or the synthetic Wikipedia replay) and a *policy* (the RR baseline,
+//! a static `SRc`, or `SRdyn`), runs it on the simulated testbed, and
+//! returns an [`ExperimentResult`] carrying every statistic the paper's
+//! figures report.
+
+use serde::{Deserialize, Serialize};
+
+use srlb_metrics::{Cdf, RequestClass, ResponseTimeCollector, Summary};
+use srlb_server::{PolicyConfig, ServerStats};
+use srlb_sim::SimDuration;
+use srlb_workload::{PoissonWorkload, Request, WikipediaWorkload};
+
+use crate::calibration::analytic_lambda0;
+use crate::dispatch::DispatcherConfig;
+use crate::lb_node::LbStats;
+use crate::testbed::{Testbed, TestbedConfig};
+use crate::CoreError;
+
+/// The load-balancing policy under test, named as in the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum PolicyKind {
+    /// `RR`: each query is assigned to one random server, no Service
+    /// Hunting.
+    RoundRobin,
+    /// `SRc`: Service Hunting over two random candidates with the static
+    /// acceptance threshold `c`.
+    Static {
+        /// The busy-thread threshold `c`.
+        threshold: usize,
+    },
+    /// `SRdyn`: Service Hunting with the dynamic threshold policy.
+    Dynamic,
+    /// Service Hunting with an explicit candidate count and policy (used by
+    /// the ablation benches).
+    Custom {
+        /// Number of candidates in the SR list.
+        candidates: usize,
+        /// Per-server acceptance policy.
+        policy: PolicyConfig,
+    },
+}
+
+impl PolicyKind {
+    /// The display name used in the paper's figures.
+    pub fn label(&self) -> String {
+        match self {
+            PolicyKind::RoundRobin => "RR".to_string(),
+            PolicyKind::Static { threshold } => format!("SR{threshold}"),
+            PolicyKind::Dynamic => "SRdyn".to_string(),
+            PolicyKind::Custom { candidates, policy } => {
+                format!("custom-k{}-{}", candidates, policy.name())
+            }
+        }
+    }
+
+    /// The dispatcher this policy requires.
+    pub fn dispatcher(&self) -> DispatcherConfig {
+        match self {
+            PolicyKind::RoundRobin => DispatcherConfig::Random { k: 1 },
+            PolicyKind::Static { .. } | PolicyKind::Dynamic => DispatcherConfig::Random { k: 2 },
+            PolicyKind::Custom { candidates, .. } => DispatcherConfig::Random { k: *candidates },
+        }
+    }
+
+    /// The per-server acceptance policy this policy requires.
+    pub fn acceptance_policy(&self) -> PolicyConfig {
+        match self {
+            // With a single candidate the policy is never consulted.
+            PolicyKind::RoundRobin => PolicyConfig::AlwaysAccept,
+            PolicyKind::Static { threshold } => PolicyConfig::Static {
+                threshold: *threshold,
+            },
+            PolicyKind::Dynamic => PolicyConfig::paper_dynamic(),
+            PolicyKind::Custom { policy, .. } => *policy,
+        }
+    }
+}
+
+/// The workload driven through the cluster.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum WorkloadKind {
+    /// The Poisson workload of Section V.
+    Poisson {
+        /// Normalised request rate ρ = λ/λ₀.
+        rho: f64,
+        /// Maximum sustainable rate λ₀ in queries per second; `None` uses
+        /// the analytic capacity of the configured cluster.
+        lambda0: Option<f64>,
+        /// Number of queries (the paper uses 20 000).
+        queries: usize,
+        /// Mean service time in milliseconds (the paper uses 100 ms).
+        mean_service_ms: f64,
+    },
+    /// The synthetic Wikipedia replay of Section VI.
+    Wikipedia {
+        /// Trace duration in hours (the paper replays 24 hours).
+        hours: f64,
+        /// Fraction of the peak load to replay (the paper uses 50%).
+        load_fraction: f64,
+    },
+    /// An explicit, pre-generated trace.
+    Trace {
+        /// The requests to replay.
+        requests: Vec<Request>,
+    },
+}
+
+/// A complete experiment configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExperimentConfig {
+    /// The workload.
+    pub workload: WorkloadKind,
+    /// The policy under test.
+    pub policy: PolicyKind,
+    /// Number of servers (the paper uses 12).
+    pub servers: usize,
+    /// Worker threads per server (the paper uses 32).
+    pub workers: usize,
+    /// CPU cores per server (the paper's VMs have 2).
+    pub cores: usize,
+    /// TCP backlog per server (the paper uses 128).
+    pub backlog: usize,
+    /// Whether servers record load samples (needed for Figure 4).
+    pub record_load: bool,
+    /// Random seed (workload generation and candidate selection).
+    pub seed: u64,
+}
+
+impl ExperimentConfig {
+    /// The paper's Poisson experiment at normalised rate `rho` with the
+    /// given policy: 12 servers × 32 workers, 20 000 queries, exp(100 ms)
+    /// service.
+    pub fn poisson_paper(rho: f64, policy: PolicyKind) -> Self {
+        ExperimentConfig {
+            workload: WorkloadKind::Poisson {
+                rho,
+                lambda0: None,
+                queries: 20_000,
+                mean_service_ms: 100.0,
+            },
+            policy,
+            servers: 12,
+            workers: 32,
+            cores: 2,
+            backlog: 128,
+            record_load: false,
+            seed: 1,
+        }
+    }
+
+    /// A scaled-down Poisson experiment (1 000 queries) for quick runs,
+    /// examples and benches.
+    pub fn poisson_quick(rho: f64, policy: PolicyKind) -> Self {
+        let mut config = Self::poisson_paper(rho, policy);
+        if let WorkloadKind::Poisson { queries, .. } = &mut config.workload {
+            *queries = 1_000;
+        }
+        config
+    }
+
+    /// The paper's Wikipedia replay (24 hours at 50% of peak) with the given
+    /// policy.
+    pub fn wikipedia_paper(policy: PolicyKind) -> Self {
+        ExperimentConfig {
+            workload: WorkloadKind::Wikipedia {
+                hours: 24.0,
+                load_fraction: 0.5,
+            },
+            policy,
+            servers: 12,
+            workers: 32,
+            cores: 2,
+            backlog: 128,
+            record_load: false,
+            seed: 1,
+        }
+    }
+
+    /// Overrides the number of Poisson queries (builder style); no effect on
+    /// other workloads.
+    pub fn with_queries(mut self, n: usize) -> Self {
+        if let WorkloadKind::Poisson { queries, .. } = &mut self.workload {
+            *queries = n;
+        }
+        self
+    }
+
+    /// Overrides the random seed (builder style).
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Overrides the cluster size (builder style).
+    pub fn with_servers(mut self, servers: usize) -> Self {
+        self.servers = servers;
+        self
+    }
+
+    /// Overrides the Wikipedia trace duration in hours (builder style); no
+    /// effect on other workloads.
+    pub fn with_hours(mut self, h: f64) -> Self {
+        if let WorkloadKind::Wikipedia { hours, .. } = &mut self.workload {
+            *hours = h;
+        }
+        self
+    }
+
+    /// Enables per-server load recording (builder style).
+    pub fn with_load_recording(mut self) -> Self {
+        self.record_load = true;
+        self
+    }
+
+    /// The λ₀ used by this configuration's Poisson workload (explicit value
+    /// or the analytic cluster capacity).
+    pub fn effective_lambda0(&self) -> Option<f64> {
+        match &self.workload {
+            WorkloadKind::Poisson {
+                lambda0,
+                mean_service_ms,
+                ..
+            } => Some(lambda0.unwrap_or_else(|| {
+                analytic_lambda0(self.servers, self.cores, *mean_service_ms)
+            })),
+            _ => None,
+        }
+    }
+
+    /// Generates the request trace for this configuration.
+    pub fn generate_requests(&self) -> Vec<Request> {
+        match &self.workload {
+            WorkloadKind::Poisson {
+                rho,
+                queries,
+                mean_service_ms,
+                ..
+            } => {
+                let lambda0 = self
+                    .effective_lambda0()
+                    .expect("poisson workload has a lambda0");
+                PoissonWorkload::paper(*rho, lambda0)
+                    .with_queries(*queries)
+                    .with_service(srlb_workload::ServiceTime::Exponential {
+                        mean_ms: *mean_service_ms,
+                    })
+                    .generate(self.seed)
+            }
+            WorkloadKind::Wikipedia {
+                hours,
+                load_fraction,
+            } => WikipediaWorkload::paper()
+                .with_duration_hours(*hours)
+                .with_load_fraction(*load_fraction)
+                .generate(self.seed),
+            WorkloadKind::Trace { requests } => requests.clone(),
+        }
+    }
+
+    /// Runs the experiment.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidConfig`] if the derived testbed
+    /// configuration is invalid (e.g. more candidates than servers).
+    pub fn run(&self) -> Result<ExperimentResult, CoreError> {
+        let requests = self.generate_requests();
+        let testbed_config = TestbedConfig {
+            servers: self.servers,
+            workers: self.workers,
+            cores: self.cores,
+            backlog: self.backlog,
+            policy: self.policy.acceptance_policy(),
+            dispatcher: self.policy.dispatcher(),
+            link_latency: SimDuration::from_micros(50),
+            record_load: self.record_load,
+            seed: self.seed,
+        };
+        let testbed = Testbed::new(testbed_config)?;
+        let outcome = testbed.run(requests);
+
+        let summary = outcome.collector.summary(None);
+        Ok(ExperimentResult {
+            label: self.policy.label(),
+            rho: match &self.workload {
+                WorkloadKind::Poisson { rho, .. } => Some(*rho),
+                _ => None,
+            },
+            sent: outcome.collector.len(),
+            completed: outcome.collector.completed_count(),
+            resets: outcome.collector.reset_count(),
+            response_times: summary,
+            collector: outcome.collector,
+            server_stats: outcome.server_stats,
+            load_series: outcome.load_series,
+            acceptance_ratios: outcome.acceptance_ratios,
+            lb_stats: outcome.lb_stats,
+            duration_seconds: outcome.duration_seconds,
+        })
+    }
+}
+
+/// The outcome of one experiment run.
+#[derive(Debug, Clone)]
+pub struct ExperimentResult {
+    /// Policy label (`"RR"`, `"SR4"`, `"SRdyn"`, …).
+    pub label: String,
+    /// Normalised rate ρ for Poisson runs.
+    pub rho: Option<f64>,
+    /// Number of requests sent.
+    pub sent: usize,
+    /// Number of requests completed.
+    pub completed: usize,
+    /// Number of requests reset.
+    pub resets: usize,
+    /// Summary over completed response times (milliseconds).
+    pub response_times: Summary,
+    /// The full per-request collection.
+    pub collector: ResponseTimeCollector,
+    /// Per-server counters.
+    pub server_stats: Vec<ServerStats>,
+    /// Per-server `(time, busy)` load series (when recorded).
+    pub load_series: Vec<Vec<(f64, usize)>>,
+    /// Per-server first-candidate acceptance ratios.
+    pub acceptance_ratios: Vec<f64>,
+    /// Load-balancer counters.
+    pub lb_stats: LbStats,
+    /// Simulated duration in seconds.
+    pub duration_seconds: f64,
+}
+
+impl ExperimentResult {
+    /// Mean completed response time in seconds (how Figure 2 reports it).
+    pub fn mean_response_seconds(&self) -> f64 {
+        self.response_times.mean() / 1e3
+    }
+
+    /// CDF of completed response times in seconds, optionally filtered by
+    /// request class (Figures 3, 5 and 8).
+    pub fn cdf_seconds(&self, class: Option<RequestClass>) -> Cdf {
+        Cdf::from_samples(
+            self.collector
+                .response_times_ms(class)
+                .into_iter()
+                .map(|ms| ms / 1e3),
+        )
+    }
+
+    /// Fraction of requests that were reset.
+    pub fn reset_fraction(&self) -> f64 {
+        if self.sent == 0 {
+            0.0
+        } else {
+            self.resets as f64 / self.sent as f64
+        }
+    }
+
+    /// Per-server completed-request counts.
+    pub fn per_server_completed(&self) -> Vec<u64> {
+        self.server_stats.iter().map(|s| s.completed).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn policy_kind_labels_and_mappings() {
+        assert_eq!(PolicyKind::RoundRobin.label(), "RR");
+        assert_eq!(PolicyKind::Static { threshold: 4 }.label(), "SR4");
+        assert_eq!(PolicyKind::Dynamic.label(), "SRdyn");
+        assert_eq!(PolicyKind::RoundRobin.dispatcher(), DispatcherConfig::Random { k: 1 });
+        assert_eq!(
+            PolicyKind::Static { threshold: 8 }.dispatcher(),
+            DispatcherConfig::Random { k: 2 }
+        );
+        assert_eq!(
+            PolicyKind::Static { threshold: 8 }.acceptance_policy(),
+            PolicyConfig::Static { threshold: 8 }
+        );
+        assert_eq!(
+            PolicyKind::Dynamic.acceptance_policy(),
+            PolicyConfig::paper_dynamic()
+        );
+        let custom = PolicyKind::Custom {
+            candidates: 3,
+            policy: PolicyConfig::Static { threshold: 2 },
+        };
+        assert_eq!(custom.dispatcher(), DispatcherConfig::Random { k: 3 });
+        assert!(custom.label().contains("k3"));
+    }
+
+    #[test]
+    fn effective_lambda0_defaults_to_analytic_capacity() {
+        let config = ExperimentConfig::poisson_paper(0.5, PolicyKind::RoundRobin);
+        // 12 servers x 2 cores / 0.1 s = 240 queries/s.
+        assert!((config.effective_lambda0().unwrap() - 240.0).abs() < 1e-9);
+        let wiki = ExperimentConfig::wikipedia_paper(PolicyKind::RoundRobin);
+        assert_eq!(wiki.effective_lambda0(), None);
+    }
+
+    #[test]
+    fn quick_experiment_runs_and_reports() {
+        let result = ExperimentConfig::poisson_quick(0.5, PolicyKind::Static { threshold: 4 })
+            .with_queries(400)
+            .with_seed(3)
+            .run()
+            .unwrap();
+        assert_eq!(result.label, "SR4");
+        assert_eq!(result.rho, Some(0.5));
+        assert_eq!(result.sent, 400);
+        assert!(result.completed > 0);
+        assert!(result.mean_response_seconds() > 0.0);
+        assert!(result.reset_fraction() < 0.5);
+        assert_eq!(result.per_server_completed().len(), 12);
+        let cdf = result.cdf_seconds(None);
+        assert_eq!(cdf.count(), result.completed);
+    }
+
+    #[test]
+    fn trace_workload_replays_explicit_requests() {
+        let requests = ExperimentConfig::poisson_quick(0.3, PolicyKind::RoundRobin)
+            .with_queries(100)
+            .generate_requests();
+        let config = ExperimentConfig {
+            workload: WorkloadKind::Trace { requests },
+            policy: PolicyKind::RoundRobin,
+            servers: 4,
+            workers: 8,
+            cores: 2,
+            backlog: 32,
+            record_load: false,
+            seed: 5,
+        };
+        let result = config.run().unwrap();
+        assert_eq!(result.sent, 100);
+        assert_eq!(result.label, "RR");
+    }
+
+    #[test]
+    fn invalid_custom_policy_is_rejected() {
+        let config = ExperimentConfig::poisson_quick(
+            0.5,
+            PolicyKind::Custom {
+                candidates: 50,
+                policy: PolicyConfig::Static { threshold: 2 },
+            },
+        )
+        .with_queries(10);
+        assert!(config.run().is_err());
+    }
+
+    #[test]
+    fn builders_override_fields() {
+        let config = ExperimentConfig::wikipedia_paper(PolicyKind::Dynamic)
+            .with_hours(0.5)
+            .with_servers(6)
+            .with_seed(9)
+            .with_load_recording();
+        assert_eq!(config.servers, 6);
+        assert_eq!(config.seed, 9);
+        assert!(config.record_load);
+        match config.workload {
+            WorkloadKind::Wikipedia { hours, .. } => assert_eq!(hours, 0.5),
+            _ => panic!("expected wikipedia workload"),
+        }
+    }
+}

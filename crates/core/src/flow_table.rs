@@ -1,0 +1,197 @@
+//! The load balancer's flow table.
+//!
+//! The only per-flow state SRLB keeps is the mapping *flow → accepting
+//! server*, learned from the SRH the server inserts into its SYN-ACK.  Every
+//! subsequent packet of the flow is steered to that server so a connection
+//! is always handled by the instance that accepted it.
+
+use std::collections::HashMap;
+use std::net::Ipv6Addr;
+
+use srlb_net::FlowKey;
+use srlb_sim::{SimDuration, SimTime};
+
+/// One flow-table entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct FlowEntry {
+    server: Ipv6Addr,
+    last_active: SimTime,
+}
+
+/// The flow → server stickiness table.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FlowTable {
+    entries: HashMap<FlowKey, FlowEntry>,
+    idle_timeout: SimDuration,
+    /// Total number of entries ever inserted.
+    inserted: u64,
+    /// Total number of entries removed by expiry.
+    expired: u64,
+}
+
+impl FlowTable {
+    /// Creates a flow table whose entries expire after `idle_timeout` without
+    /// traffic.
+    pub fn new(idle_timeout: SimDuration) -> Self {
+        FlowTable {
+            entries: HashMap::new(),
+            idle_timeout,
+            inserted: 0,
+            expired: 0,
+        }
+    }
+
+    /// A table with a five-minute idle timeout (a typical TCP session
+    /// timeout for data-centre load balancers).
+    pub fn with_default_timeout() -> Self {
+        Self::new(SimDuration::from_secs(300))
+    }
+
+    /// Number of live entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Returns `true` if the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Total number of insertions performed.
+    pub fn inserted_total(&self) -> u64 {
+        self.inserted
+    }
+
+    /// Total number of entries removed by [`FlowTable::expire_idle`].
+    pub fn expired_total(&self) -> u64 {
+        self.expired
+    }
+
+    /// Records (or refreshes) the owner of `flow`.
+    pub fn learn(&mut self, flow: FlowKey, server: Ipv6Addr, now: SimTime) {
+        self.inserted += 1;
+        self.entries.insert(
+            flow,
+            FlowEntry {
+                server,
+                last_active: now,
+            },
+        );
+    }
+
+    /// Looks up the owner of `flow`, refreshing its activity timestamp.
+    pub fn lookup(&mut self, flow: &FlowKey, now: SimTime) -> Option<Ipv6Addr> {
+        let entry = self.entries.get_mut(flow)?;
+        entry.last_active = now;
+        Some(entry.server)
+    }
+
+    /// Looks up the owner of `flow` without refreshing it.
+    pub fn peek(&self, flow: &FlowKey) -> Option<Ipv6Addr> {
+        self.entries.get(flow).map(|e| e.server)
+    }
+
+    /// Removes the entry for `flow` (connection closed), returning the owner.
+    pub fn remove(&mut self, flow: &FlowKey) -> Option<Ipv6Addr> {
+        self.entries.remove(flow).map(|e| e.server)
+    }
+
+    /// Drops every entry idle for longer than the configured timeout;
+    /// returns how many were removed.
+    pub fn expire_idle(&mut self, now: SimTime) -> usize {
+        let timeout = self.idle_timeout;
+        let before = self.entries.len();
+        self.entries
+            .retain(|_, e| now.duration_since(e.last_active) <= timeout);
+        let removed = before - self.entries.len();
+        self.expired += removed as u64;
+        removed
+    }
+}
+
+impl Default for FlowTable {
+    fn default() -> Self {
+        Self::with_default_timeout()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use srlb_net::Protocol;
+
+    fn flow(port: u16) -> FlowKey {
+        FlowKey::new(
+            "2001:db8::1".parse().unwrap(),
+            "2001:db8:1::".parse().unwrap(),
+            port,
+            80,
+            Protocol::Tcp,
+        )
+    }
+
+    fn server(n: u16) -> Ipv6Addr {
+        Ipv6Addr::new(0xfd00, 0, 0, 1, 0, 0, 0, n)
+    }
+
+    #[test]
+    fn learn_lookup_remove() {
+        let mut table = FlowTable::with_default_timeout();
+        assert!(table.is_empty());
+        assert_eq!(table.lookup(&flow(1), SimTime::ZERO), None);
+
+        table.learn(flow(1), server(3), SimTime::ZERO);
+        table.learn(flow(2), server(5), SimTime::ZERO);
+        assert_eq!(table.len(), 2);
+        assert_eq!(table.lookup(&flow(1), SimTime::ZERO), Some(server(3)));
+        assert_eq!(table.peek(&flow(2)), Some(server(5)));
+
+        assert_eq!(table.remove(&flow(1)), Some(server(3)));
+        assert_eq!(table.remove(&flow(1)), None);
+        assert_eq!(table.len(), 1);
+        assert_eq!(table.inserted_total(), 2);
+    }
+
+    #[test]
+    fn relearning_overwrites_owner() {
+        let mut table = FlowTable::with_default_timeout();
+        table.learn(flow(1), server(3), SimTime::ZERO);
+        table.learn(flow(1), server(7), SimTime::ZERO);
+        assert_eq!(table.len(), 1);
+        assert_eq!(table.peek(&flow(1)), Some(server(7)));
+    }
+
+    #[test]
+    fn idle_entries_expire_but_active_ones_survive() {
+        let mut table = FlowTable::new(SimDuration::from_secs(10));
+        let t0 = SimTime::ZERO;
+        table.learn(flow(1), server(1), t0);
+        table.learn(flow(2), server(2), t0);
+
+        // Refresh flow 2 at t = 8s.
+        let t8 = t0 + SimDuration::from_secs(8);
+        assert_eq!(table.lookup(&flow(2), t8), Some(server(2)));
+
+        // At t = 15s, flow 1 (idle 15s) expires, flow 2 (idle 7s) survives.
+        let t15 = t0 + SimDuration::from_secs(15);
+        assert_eq!(table.expire_idle(t15), 1);
+        assert_eq!(table.peek(&flow(1)), None);
+        assert_eq!(table.peek(&flow(2)), Some(server(2)));
+        assert_eq!(table.expired_total(), 1);
+    }
+
+    #[test]
+    fn expiry_at_exact_timeout_keeps_entry() {
+        let mut table = FlowTable::new(SimDuration::from_secs(10));
+        table.learn(flow(1), server(1), SimTime::ZERO);
+        assert_eq!(table.expire_idle(SimTime::ZERO + SimDuration::from_secs(10)), 0);
+        assert_eq!(table.len(), 1);
+    }
+
+    #[test]
+    fn default_is_five_minutes() {
+        let table = FlowTable::default();
+        assert_eq!(table.len(), 0);
+        assert_eq!(table, FlowTable::with_default_timeout());
+    }
+}

@@ -1,0 +1,392 @@
+//! The SRLB load balancer as a simulation node.
+//!
+//! The load balancer sits at the edge of the data centre and advertises the
+//! VIPs.  Its entire job (paper Section II) is:
+//!
+//! 1. on a **new flow** (TCP SYN towards a VIP): pick the candidate servers,
+//!    insert the Service Hunting SRH `[candidate₁, …, candidateₖ, VIP]` and
+//!    forward the packet to the first candidate,
+//! 2. on a **connection acceptance** (SYN-ACK carrying the server-inserted
+//!    SRH, whose active segment is the load balancer): learn *flow → server*
+//!    in the flow table and forward the SYN-ACK on to the client,
+//! 3. on **subsequent packets** of a known flow: steer them to the owning
+//!    server by inserting the SRH `[server, VIP]`,
+//! 4. everything else is forwarded by plain destination routing.
+//!
+//! The load balancer never inspects application payloads and holds no
+//! application state: all it learns is which server accepted each flow.
+
+use std::net::Ipv6Addr;
+
+use serde::{Deserialize, Serialize};
+
+use srlb_net::{Packet, SegmentRoutingHeader};
+use srlb_server::Directory;
+use srlb_sim::{Context, Node, NodeId, SimDuration, TimerToken};
+
+use crate::dispatch::Dispatcher;
+use crate::flow_table::FlowTable;
+
+/// Counters exposed by the load balancer after a run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LbStats {
+    /// New flows dispatched (SYNs that received a Service Hunting SRH).
+    pub new_flows: u64,
+    /// Flow-table entries learned from acceptance SYN-ACKs.
+    pub flows_learned: u64,
+    /// Established-flow packets steered to their owning server.
+    pub steered: u64,
+    /// Established-flow packets dropped because no flow entry existed.
+    pub missing_flow: u64,
+    /// Packets forwarded by plain destination routing.
+    pub forwarded: u64,
+}
+
+/// Timer token used for the periodic flow-table expiry sweep.
+const EXPIRY_TIMER: TimerToken = TimerToken(u64::MAX);
+
+/// The SRLB load balancer node.
+#[derive(Debug)]
+pub struct LoadBalancerNode {
+    addr: Ipv6Addr,
+    vip: Ipv6Addr,
+    directory: Directory,
+    dispatcher: Box<dyn Dispatcher>,
+    flow_table: FlowTable,
+    stats: LbStats,
+    expiry_interval: Option<SimDuration>,
+}
+
+impl LoadBalancerNode {
+    /// Creates a load balancer advertising `vip`, reachable at `addr`.
+    pub fn new(
+        addr: Ipv6Addr,
+        vip: Ipv6Addr,
+        directory: Directory,
+        dispatcher: Box<dyn Dispatcher>,
+    ) -> Self {
+        LoadBalancerNode {
+            addr,
+            vip,
+            directory,
+            dispatcher,
+            flow_table: FlowTable::with_default_timeout(),
+            stats: LbStats::default(),
+            expiry_interval: None,
+        }
+    }
+
+    /// Enables a periodic flow-table expiry sweep with the given interval.
+    pub fn with_expiry_sweep(mut self, interval: SimDuration) -> Self {
+        self.expiry_interval = Some(interval);
+        self
+    }
+
+    /// Replaces the flow table (e.g. to use a shorter idle timeout in tests).
+    pub fn with_flow_table(mut self, table: FlowTable) -> Self {
+        self.flow_table = table;
+        self
+    }
+
+    /// The load balancer's own address.
+    pub fn addr(&self) -> Ipv6Addr {
+        self.addr
+    }
+
+    /// Run counters.
+    pub fn stats(&self) -> LbStats {
+        self.stats
+    }
+
+    /// Number of live flow-table entries.
+    pub fn flow_table_len(&self) -> usize {
+        self.flow_table.len()
+    }
+
+    /// The dispatcher's name (for reports).
+    pub fn dispatcher_name(&self) -> String {
+        self.dispatcher.name()
+    }
+
+    fn send_to_addr(&self, ctx: &mut Context<'_, Packet>, addr: Ipv6Addr, packet: Packet) {
+        if let Some(node) = self.directory.lookup(addr) {
+            ctx.send(node, packet);
+        }
+    }
+
+    /// Handles a new flow: builds the Service Hunting SRH and forwards the
+    /// SYN to the first candidate.
+    fn dispatch_new_flow(&mut self, mut packet: Packet, ctx: &mut Context<'_, Packet>) {
+        let flow = packet.flow_key_forward();
+        let mut route = self.dispatcher.candidates(&flow, ctx.rng());
+        route.push(self.vip);
+        let srh = SegmentRoutingHeader::from_route(&route)
+            .expect("candidate list plus VIP is a non-empty route");
+        let first_hop = srh.active_segment();
+        packet.insert_srh(srh);
+        self.stats.new_flows += 1;
+        self.send_to_addr(ctx, first_hop, packet);
+    }
+
+    /// Handles a server's acceptance SYN-ACK: learn the flow and forward the
+    /// packet towards the client.
+    fn learn_and_forward(&mut self, mut packet: Packet, ctx: &mut Context<'_, Packet>) {
+        let Some(srh) = packet.srh.as_ref() else {
+            return;
+        };
+        let server = srh.first_segment();
+        let flow = packet.flow_key_reverse();
+        self.flow_table.learn(flow, server, ctx.now());
+        self.stats.flows_learned += 1;
+        // Advance past our own segment and forward to the client.
+        if let Ok(next_hop) = packet.advance_segment() {
+            self.send_to_addr(ctx, next_hop, packet);
+        }
+    }
+
+    /// Handles an established-flow packet: steer it to the owning server.
+    fn steer(&mut self, mut packet: Packet, ctx: &mut Context<'_, Packet>) {
+        let flow = packet.flow_key_forward();
+        match self.flow_table.lookup(&flow, ctx.now()) {
+            Some(server) => {
+                let srh = SegmentRoutingHeader::from_route(&[server, self.vip])
+                    .expect("two-segment steering route is valid");
+                packet.insert_srh(srh);
+                self.stats.steered += 1;
+                self.send_to_addr(ctx, server, packet);
+            }
+            None => {
+                self.stats.missing_flow += 1;
+            }
+        }
+    }
+}
+
+impl Node<Packet> for LoadBalancerNode {
+    fn on_start(&mut self, ctx: &mut Context<'_, Packet>) {
+        if let Some(interval) = self.expiry_interval {
+            ctx.schedule_timer(interval, EXPIRY_TIMER);
+        }
+    }
+
+    fn on_message(&mut self, packet: Packet, _from: NodeId, ctx: &mut Context<'_, Packet>) {
+        let dest = packet.current_destination();
+        if dest == self.addr && packet.srh.is_some() {
+            // A packet whose active segment is the load balancer itself: a
+            // connection-acceptance SYN-ACK inserted by a server.
+            self.learn_and_forward(packet, ctx);
+        } else if dest == self.vip || packet.final_destination() == self.vip {
+            if packet.is_syn() {
+                self.dispatch_new_flow(packet, ctx);
+            } else {
+                self.steer(packet, ctx);
+            }
+        } else {
+            // Plain destination routing for anything else (e.g. return
+            // traffic transiting the load balancer).
+            self.stats.forwarded += 1;
+            self.send_to_addr(ctx, dest, packet);
+        }
+    }
+
+    fn on_timer(&mut self, token: TimerToken, ctx: &mut Context<'_, Packet>) {
+        if token == EXPIRY_TIMER {
+            self.flow_table.expire_idle(ctx.now());
+            if let Some(interval) = self.expiry_interval {
+                ctx.schedule_timer(interval, EXPIRY_TIMER);
+            }
+        }
+    }
+
+    fn name(&self) -> String {
+        "load-balancer".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dispatch::RandomDispatcher;
+    use srlb_net::{AddressPlan, PacketBuilder, ServerId, TcpFlags};
+    use srlb_server::{PolicyConfig, ServerConfig, ServerNode};
+    use srlb_sim::{Network, Topology};
+
+    /// A sink node that records every packet it receives.
+    #[derive(Debug, Default)]
+    struct Sink {
+        received: Vec<Packet>,
+    }
+
+    impl Node<Packet> for Sink {
+        fn on_message(&mut self, packet: Packet, _from: NodeId, _ctx: &mut Context<'_, Packet>) {
+            self.received.push(packet);
+        }
+    }
+
+    /// Builds a tiny cluster: one sink client, the LB, and `n` servers with
+    /// the given policy; returns (network, client id, lb id, server ids).
+    fn build_cluster(
+        n: u32,
+        policy: PolicyConfig,
+        k: usize,
+    ) -> (Network<Packet>, NodeId, NodeId, Vec<NodeId>) {
+        let plan = AddressPlan::default();
+        let mut directory = Directory::new();
+        let client_id = NodeId(0);
+        let lb_id = NodeId(1);
+        let server_ids: Vec<NodeId> = (0..n).map(|i| NodeId(2 + i as usize)).collect();
+        directory.register(plan.client_addr(0), client_id);
+        directory.register(plan.lb_addr(), lb_id);
+        directory.register(plan.vip(0), lb_id);
+        for i in 0..n {
+            directory.register(plan.server_addr(ServerId(i)), server_ids[i as usize]);
+        }
+
+        let mut net = Network::new(7, Topology::datacenter());
+        let c = net.add_node(Sink::default());
+        let servers: Vec<Ipv6Addr> = plan.server_addrs(n).collect();
+        let lb = net.add_node(LoadBalancerNode::new(
+            plan.lb_addr(),
+            plan.vip(0),
+            directory.clone(),
+            Box::new(RandomDispatcher::new(servers, k)),
+        ));
+        let mut sids = Vec::new();
+        for i in 0..n {
+            let cfg = ServerConfig::paper(i, plan.server_addr(ServerId(i)), plan.lb_addr(), policy);
+            sids.push(net.add_node(ServerNode::new(cfg, directory.clone())));
+        }
+        assert_eq!(c, client_id);
+        assert_eq!(lb, lb_id);
+        assert_eq!(sids, server_ids);
+        (net, client_id, lb_id, server_ids)
+    }
+
+    fn syn(port: u16) -> Packet {
+        let plan = AddressPlan::default();
+        PacketBuilder::tcp(plan.client_addr(0), plan.vip(0))
+            .ports(port, 80)
+            .flags(TcpFlags::SYN)
+            .build()
+    }
+
+    /// A driver node that fires one SYN towards the VIP at start-up.
+    #[derive(Debug)]
+    struct SynSource {
+        lb: NodeId,
+        port: u16,
+    }
+
+    impl Node<Packet> for SynSource {
+        fn on_start(&mut self, ctx: &mut Context<'_, Packet>) {
+            ctx.send(self.lb, syn(self.port));
+        }
+        fn on_message(&mut self, _p: Packet, _f: NodeId, _c: &mut Context<'_, Packet>) {}
+    }
+
+    #[test]
+    fn syn_gets_service_hunting_srh_and_reaches_a_server() {
+        let (mut net, _client, lb, _servers) =
+            build_cluster(4, PolicyConfig::Static { threshold: 4 }, 2);
+        // Add a driver that sends one SYN to the LB.
+        net.add_node(SynSource { lb, port: 40_000 });
+        net.run();
+
+        let lb_node: LoadBalancerNode = net.take_node(lb).unwrap();
+        assert_eq!(lb_node.stats().new_flows, 1);
+        assert_eq!(lb_node.stats().flows_learned, 1, "SYN-ACK learned the flow");
+        assert_eq!(lb_node.flow_table_len(), 1);
+        assert_eq!(lb_node.dispatcher_name(), "random-2");
+
+        // The client sink received the SYN-ACK forwarded by the LB.
+        let sink: Sink = net.take_node(NodeId(0)).unwrap();
+        assert_eq!(sink.received.len(), 1);
+        let syn_ack = &sink.received[0];
+        assert!(syn_ack.is_syn_ack());
+        let srh = syn_ack.srh.as_ref().expect("acceptance SRH present");
+        assert_eq!(srh.segments_left(), 0);
+        let plan = AddressPlan::default();
+        assert!(plan.server_of(srh.first_segment()).is_some());
+    }
+
+    #[test]
+    fn rr_baseline_uses_single_candidate() {
+        let (mut net, _client, lb, servers) = build_cluster(4, PolicyConfig::NeverAccept, 1);
+        net.add_node(SynSource { lb, port: 41_000 });
+        net.run();
+        let lb_node: LoadBalancerNode = net.take_node(lb).unwrap();
+        assert_eq!(lb_node.stats().new_flows, 1);
+        assert_eq!(lb_node.stats().flows_learned, 1);
+        // Exactly one server saw a forced accept (single candidate), and no
+        // server passed the connection on.
+        let mut forced = 0;
+        let mut passed = 0;
+        for sid in servers {
+            let s: ServerNode = net.take_node(sid).unwrap();
+            forced += s.stats().forced_accepts;
+            passed += s.stats().passed_on;
+        }
+        assert_eq!(forced, 1);
+        assert_eq!(passed, 0);
+    }
+
+    #[test]
+    fn non_syn_packet_without_flow_entry_is_dropped() {
+        let plan = AddressPlan::default();
+        let (mut net, _client, lb, _servers) =
+            build_cluster(2, PolicyConfig::Static { threshold: 4 }, 2);
+
+        #[derive(Debug)]
+        struct AckSource {
+            lb: NodeId,
+        }
+        impl Node<Packet> for AckSource {
+            fn on_start(&mut self, ctx: &mut Context<'_, Packet>) {
+                let plan = AddressPlan::default();
+                let ack = PacketBuilder::tcp(plan.client_addr(0), plan.vip(0))
+                    .ports(42_000, 80)
+                    .flags(TcpFlags::ACK)
+                    .build();
+                ctx.send(self.lb, ack);
+            }
+            fn on_message(&mut self, _p: Packet, _f: NodeId, _c: &mut Context<'_, Packet>) {}
+        }
+        net.add_node(AckSource { lb });
+        net.run();
+        let lb_node: LoadBalancerNode = net.take_node(lb).unwrap();
+        assert_eq!(lb_node.stats().missing_flow, 1);
+        assert_eq!(lb_node.stats().new_flows, 0);
+        let _ = plan;
+    }
+
+    #[test]
+    fn unrelated_destination_is_forwarded() {
+        let plan = AddressPlan::default();
+        let (mut net, client, lb, _servers) =
+            build_cluster(2, PolicyConfig::Static { threshold: 4 }, 2);
+
+        #[derive(Debug)]
+        struct StraySource {
+            lb: NodeId,
+        }
+        impl Node<Packet> for StraySource {
+            fn on_start(&mut self, ctx: &mut Context<'_, Packet>) {
+                let plan = AddressPlan::default();
+                // A packet addressed directly to the client, transiting the LB.
+                let stray = PacketBuilder::tcp(plan.server_addr(ServerId(0)), plan.client_addr(0))
+                    .ports(80, 43_000)
+                    .flags(TcpFlags::ACK)
+                    .build();
+                ctx.send(self.lb, stray);
+            }
+            fn on_message(&mut self, _p: Packet, _f: NodeId, _c: &mut Context<'_, Packet>) {}
+        }
+        net.add_node(StraySource { lb });
+        net.run();
+        let lb_node: LoadBalancerNode = net.take_node(lb).unwrap();
+        assert_eq!(lb_node.stats().forwarded, 1);
+        let sink: Sink = net.take_node(client).unwrap();
+        assert_eq!(sink.received.len(), 1);
+        let _ = plan;
+    }
+}

@@ -1,0 +1,69 @@
+//! # srlb-core — the SRLB load balancer and experiment driver
+//!
+//! This crate implements the paper's primary contribution on top of the
+//! workspace's substrates:
+//!
+//! * [`dispatch`] — candidate-server selection policies for Service Hunting:
+//!   uniform random k-choices (the paper uses two random candidates, after
+//!   Mitzenmacher's power-of-two-choices result), plus consistent-hashing and
+//!   Maglev-style selection as related-work baselines,
+//! * [`flow_table`] — the per-flow stickiness table the load balancer learns
+//!   from acceptance SYN-ACKs,
+//! * [`lb_node`] — the load balancer simulation node: SRH insertion on new
+//!   flows, flow learning, and steering of established flows,
+//! * [`client`] — the open-loop traffic generator / measurement client,
+//! * [`testbed`] — wiring of client + load balancer + N servers into a
+//!   simulated data centre,
+//! * [`experiment`] — high-level experiment configurations matching the
+//!   paper's evaluation scenarios, and their results,
+//! * [`calibration`] — the λ₀ (maximum sustainable rate) bootstrap.
+//!
+//! ## Example
+//!
+//! ```
+//! use srlb_core::experiment::{ExperimentConfig, PolicyKind};
+//!
+//! let result = ExperimentConfig::poisson_quick(0.6, PolicyKind::Static { threshold: 4 })
+//!     .with_queries(300)
+//!     .with_seed(1)
+//!     .run()
+//!     .expect("experiment runs");
+//! assert!(result.completed > 0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod calibration;
+pub mod client;
+pub mod dispatch;
+pub mod experiment;
+pub mod flow_table;
+pub mod lb_node;
+pub mod testbed;
+
+pub use client::ClientNode;
+pub use dispatch::{Dispatcher, DispatcherConfig};
+pub use experiment::{ExperimentConfig, ExperimentResult, PolicyKind, WorkloadKind};
+pub use flow_table::FlowTable;
+pub use lb_node::{LbStats, LoadBalancerNode};
+pub use testbed::{Testbed, TestbedConfig, TestbedResult};
+
+/// Errors produced by experiment configuration and execution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CoreError {
+    /// An experiment configuration was invalid.
+    InvalidConfig(String),
+}
+
+impl std::fmt::Display for CoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CoreError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}

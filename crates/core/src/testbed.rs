@@ -1,0 +1,376 @@
+//! Wiring of the simulated data centre.
+//!
+//! A [`Testbed`] assembles the client, the load balancer and `N` backend
+//! servers into one [`srlb_sim::Network`], replays a request trace, and
+//! returns every measurement the paper's figures need.
+
+use serde::{Deserialize, Serialize};
+
+use srlb_metrics::ResponseTimeCollector;
+use srlb_net::{AddressPlan, Packet, ServerId};
+use srlb_server::{Directory, PolicyConfig, ServerConfig, ServerNode, ServerStats};
+use srlb_sim::{Network, NodeId, RunLimit, SimDuration, Topology};
+use srlb_workload::Request;
+
+use crate::client::{client_addr_count, ClientNode};
+use crate::dispatch::DispatcherConfig;
+use crate::lb_node::{LbStats, LoadBalancerNode};
+use crate::CoreError;
+
+/// Static configuration of the simulated cluster.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TestbedConfig {
+    /// Number of backend servers (the paper uses 12).
+    pub servers: usize,
+    /// Worker threads per server (the paper uses 32).
+    pub workers: usize,
+    /// CPU cores per server (the paper's VMs have 2).
+    pub cores: usize,
+    /// TCP backlog per server (the paper uses 128).
+    pub backlog: usize,
+    /// Connection acceptance policy run on every server.
+    pub policy: PolicyConfig,
+    /// Candidate-selection policy at the load balancer.
+    pub dispatcher: DispatcherConfig,
+    /// One-way link latency between any two nodes.
+    pub link_latency: SimDuration,
+    /// Whether servers record per-change load samples (Figure 4).
+    pub record_load: bool,
+    /// Random seed.
+    pub seed: u64,
+}
+
+impl TestbedConfig {
+    /// The paper's testbed: 12 servers × 32 workers, backlog 128, 50 µs
+    /// links, with the given policy and dispatcher.
+    pub fn paper(policy: PolicyConfig, dispatcher: DispatcherConfig) -> Self {
+        TestbedConfig {
+            servers: 12,
+            workers: 32,
+            cores: 2,
+            backlog: 128,
+            policy,
+            dispatcher,
+            link_latency: SimDuration::from_micros(50),
+            record_load: false,
+            seed: 1,
+        }
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidConfig`] if any count is zero or the
+    /// dispatcher fan-out exceeds the number of servers.
+    pub fn validate(&self) -> Result<(), CoreError> {
+        if self.servers == 0 {
+            return Err(CoreError::InvalidConfig("at least one server required".into()));
+        }
+        if self.workers == 0 {
+            return Err(CoreError::InvalidConfig(
+                "at least one worker per server required".into(),
+            ));
+        }
+        if self.cores == 0 {
+            return Err(CoreError::InvalidConfig(
+                "at least one core per server required".into(),
+            ));
+        }
+        if self.dispatcher.fanout() == 0 {
+            return Err(CoreError::InvalidConfig("dispatcher fan-out must be ≥ 1".into()));
+        }
+        if self.dispatcher.fanout() > self.servers {
+            return Err(CoreError::InvalidConfig(format!(
+                "dispatcher fan-out {} exceeds server count {}",
+                self.dispatcher.fanout(),
+                self.servers
+            )));
+        }
+        Ok(())
+    }
+}
+
+/// Everything measured during one testbed run.
+#[derive(Debug, Clone)]
+pub struct TestbedResult {
+    /// Per-request records collected by the client.
+    pub collector: ResponseTimeCollector,
+    /// Per-server counters, indexed by server.
+    pub server_stats: Vec<ServerStats>,
+    /// Per-server `(time_seconds, busy_workers)` samples (empty unless
+    /// `record_load` was enabled).
+    pub load_series: Vec<Vec<(f64, usize)>>,
+    /// Per-server acceptance ratios of the policy agent.
+    pub acceptance_ratios: Vec<f64>,
+    /// Load balancer counters.
+    pub lb_stats: LbStats,
+    /// Simulated duration of the run in seconds.
+    pub duration_seconds: f64,
+    /// Total simulation events processed.
+    pub events: u64,
+}
+
+/// The assembled cluster, ready to replay a trace.
+#[derive(Debug)]
+pub struct Testbed {
+    config: TestbedConfig,
+    plan: AddressPlan,
+}
+
+impl Testbed {
+    /// Creates a testbed from a validated configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidConfig`] if the configuration is invalid.
+    pub fn new(config: TestbedConfig) -> Result<Self, CoreError> {
+        config.validate()?;
+        Ok(Testbed {
+            config,
+            plan: AddressPlan::default(),
+        })
+    }
+
+    /// The addressing plan used by the testbed.
+    pub fn plan(&self) -> &AddressPlan {
+        &self.plan
+    }
+
+    /// Replays `requests` through the cluster and collects the results.
+    ///
+    /// The run ends when every event has been processed (all requests
+    /// completed, reset, or abandoned), bounded by a generous safety limit on
+    /// the event count.
+    pub fn run(&self, requests: Vec<Request>) -> TestbedResult {
+        let config = &self.config;
+        let plan = &self.plan;
+        let n = config.servers;
+
+        // Node ids are assigned by insertion order: client, LB, then servers.
+        let client_id = NodeId(0);
+        let lb_id = NodeId(1);
+        let server_ids: Vec<NodeId> = (0..n).map(|i| NodeId(2 + i)).collect();
+
+        // Data-plane directory.
+        let mut directory = Directory::new();
+        for a in 0..client_addr_count(requests.len()) {
+            directory.register(plan.client_addr(a), client_id);
+        }
+        directory.register(plan.lb_addr(), lb_id);
+        directory.register(plan.vip(0), lb_id);
+        for (i, &sid) in server_ids.iter().enumerate() {
+            directory.register(plan.server_addr(ServerId(i as u32)), sid);
+        }
+
+        let request_count = requests.len() as u64;
+        let mut network: Network<Packet> =
+            Network::new(config.seed, Topology::uniform(config.link_latency));
+
+        let client = ClientNode::new(plan.clone(), plan.vip(0), directory.clone(), requests);
+        let added_client = network.add_node(client);
+
+        let server_addrs: Vec<_> = plan.server_addrs(n as u32).collect();
+        let lb = LoadBalancerNode::new(
+            plan.lb_addr(),
+            plan.vip(0),
+            directory.clone(),
+            config.dispatcher.build(server_addrs),
+        );
+        let added_lb = network.add_node(lb);
+
+        let mut added_servers = Vec::with_capacity(n);
+        for i in 0..n {
+            let server_config = ServerConfig {
+                server_index: i as u32,
+                addr: plan.server_addr(ServerId(i as u32)),
+                lb_addr: plan.lb_addr(),
+                workers: config.workers,
+                cores: config.cores,
+                backlog: config.backlog,
+                policy: config.policy,
+                record_load: config.record_load,
+            };
+            added_servers.push(network.add_node(ServerNode::new(server_config, directory.clone())));
+        }
+
+        debug_assert_eq!(added_client, client_id);
+        debug_assert_eq!(added_lb, lb_id);
+        debug_assert_eq!(added_servers, server_ids);
+
+        // Each request generates a small, bounded number of events (SYN,
+        // hunt hops, SYN-ACK, request, service timer, response, …); 64 per
+        // request is a generous safety margin against runaway loops.
+        let limit = RunLimit::max_events(request_count.saturating_mul(64) + 10_000);
+        let stats = network.run_with_limit(limit);
+
+        let client_node: ClientNode = network
+            .take_node(client_id)
+            .expect("client node present after run");
+        let mut server_stats = Vec::with_capacity(n);
+        let mut load_series = Vec::with_capacity(n);
+        let mut acceptance_ratios = Vec::with_capacity(n);
+        for &sid in &server_ids {
+            let server: ServerNode = network
+                .take_node(sid)
+                .expect("server node present after run");
+            server_stats.push(server.stats());
+            acceptance_ratios.push(server.agent().acceptance_ratio());
+            load_series.push(server.load_samples().to_vec());
+        }
+        let lb_node: LoadBalancerNode = network
+            .take_node(lb_id)
+            .expect("load balancer node present after run");
+
+        TestbedResult {
+            collector: client_node.into_collector(),
+            server_stats,
+            load_series,
+            acceptance_ratios,
+            lb_stats: lb_node.stats(),
+            duration_seconds: stats.last_event_time.as_secs_f64(),
+            events: stats.events_processed,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use srlb_workload::{PoissonWorkload, ServiceTime};
+
+    fn small_config(policy: PolicyConfig, k: usize) -> TestbedConfig {
+        TestbedConfig {
+            servers: 4,
+            workers: 4,
+            cores: 2,
+            backlog: 16,
+            policy,
+            dispatcher: DispatcherConfig::Random { k },
+            link_latency: SimDuration::from_micros(50),
+            record_load: true,
+            seed: 42,
+        }
+    }
+
+    #[test]
+    fn every_request_completes_under_light_load() {
+        let requests = PoissonWorkload::new(50.0, 300, ServiceTime::Exponential { mean_ms: 20.0 })
+            .generate(3);
+        let testbed =
+            Testbed::new(small_config(PolicyConfig::Static { threshold: 2 }, 2)).unwrap();
+        let result = testbed.run(requests);
+        assert_eq!(result.collector.len(), 300);
+        assert_eq!(result.collector.completed_count(), 300);
+        assert_eq!(result.collector.reset_count(), 0);
+        let served: u64 = result.server_stats.iter().map(|s| s.completed).sum();
+        assert_eq!(served, 300);
+        assert_eq!(result.lb_stats.new_flows, 300);
+        assert_eq!(result.lb_stats.flows_learned, 300);
+        assert!(result.duration_seconds > 0.0);
+        assert!(result.events > 300);
+        // Load was recorded on every server that served something.
+        assert!(result.load_series.iter().any(|s| !s.is_empty()));
+    }
+
+    #[test]
+    fn response_times_include_service_and_network() {
+        let requests =
+            PoissonWorkload::new(10.0, 50, ServiceTime::Constant { ms: 30.0 }).generate(1);
+        let testbed =
+            Testbed::new(small_config(PolicyConfig::Static { threshold: 2 }, 2)).unwrap();
+        let result = testbed.run(requests);
+        let summary = result.collector.summary(None);
+        // Every response takes at least the 30 ms service time plus a few
+        // network hops, and under this trivial load not much more.
+        assert!(summary.min().unwrap() >= 30.0);
+        assert!(summary.max().unwrap() < 100.0);
+    }
+
+    #[test]
+    fn overload_produces_resets() {
+        // 2 servers x 2 workers with tiny backlogs and a service time far
+        // beyond what the offered load allows: most requests must be reset.
+        let config = TestbedConfig {
+            servers: 2,
+            workers: 2,
+            cores: 1,
+            backlog: 2,
+            policy: PolicyConfig::Static { threshold: 2 },
+            dispatcher: DispatcherConfig::Random { k: 2 },
+            link_latency: SimDuration::from_micros(50),
+            record_load: false,
+            seed: 7,
+        };
+        let requests =
+            PoissonWorkload::new(200.0, 400, ServiceTime::Constant { ms: 500.0 }).generate(2);
+        let result = Testbed::new(config).unwrap().run(requests);
+        assert!(result.collector.reset_count() > 0, "backlog overflow must reset");
+        assert_eq!(
+            result.collector.len(),
+            400,
+            "every request is accounted for"
+        );
+        let resets: u64 = result.server_stats.iter().map(|s| s.resets).sum();
+        assert_eq!(resets as usize, result.collector.reset_count());
+    }
+
+    #[test]
+    fn rr_baseline_never_consults_the_policy() {
+        let requests =
+            PoissonWorkload::new(50.0, 200, ServiceTime::Exponential { mean_ms: 10.0 })
+                .generate(9);
+        let testbed = Testbed::new(small_config(PolicyConfig::NeverAccept, 1)).unwrap();
+        let result = testbed.run(requests);
+        assert_eq!(result.collector.completed_count(), 200);
+        let forced: u64 = result.server_stats.iter().map(|s| s.forced_accepts).sum();
+        let by_policy: u64 = result
+            .server_stats
+            .iter()
+            .map(|s| s.accepted_by_policy)
+            .sum();
+        assert_eq!(forced, 200);
+        assert_eq!(by_policy, 0);
+        assert!(result.acceptance_ratios.iter().all(|&r| r == 0.0));
+    }
+
+    #[test]
+    fn hunting_spreads_connections_across_both_candidates() {
+        let requests =
+            PoissonWorkload::new(400.0, 600, ServiceTime::Exponential { mean_ms: 40.0 })
+                .generate(11);
+        let testbed =
+            Testbed::new(small_config(PolicyConfig::Static { threshold: 1 }, 2)).unwrap();
+        let result = testbed.run(requests);
+        let passed: u64 = result.server_stats.iter().map(|s| s.passed_on).sum();
+        let forced: u64 = result.server_stats.iter().map(|s| s.forced_accepts).sum();
+        assert!(passed > 0, "a threshold of 1 under load must pass some on");
+        assert_eq!(passed, forced, "every pass-on lands on the final candidate");
+    }
+
+    #[test]
+    fn invalid_configurations_are_rejected() {
+        let mut config = small_config(PolicyConfig::Static { threshold: 2 }, 2);
+        config.servers = 0;
+        assert!(Testbed::new(config).is_err());
+
+        let mut config = small_config(PolicyConfig::Static { threshold: 2 }, 2);
+        config.workers = 0;
+        assert!(Testbed::new(config).is_err());
+
+        let config = small_config(PolicyConfig::Static { threshold: 2 }, 10);
+        assert!(matches!(Testbed::new(config), Err(CoreError::InvalidConfig(_))));
+    }
+
+    #[test]
+    fn identical_seeds_give_identical_results() {
+        let workload = PoissonWorkload::new(80.0, 150, ServiceTime::Exponential { mean_ms: 25.0 });
+        let run = |seed: u64| {
+            let mut config = small_config(PolicyConfig::Static { threshold: 2 }, 2);
+            config.seed = seed;
+            let result = Testbed::new(config).unwrap().run(workload.generate(5));
+            result.collector.summary(None).mean()
+        };
+        assert_eq!(run(1), run(1));
+    }
+}

@@ -1,0 +1,175 @@
+//! Empirical cumulative distribution functions.
+
+use serde::{Deserialize, Serialize};
+
+/// An empirical CDF built from a set of samples.
+///
+/// Used to reproduce the response-time CDFs of the paper's Figures 3, 5
+/// and 8.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct Cdf {
+    sorted: Vec<f64>,
+}
+
+impl Cdf {
+    /// Builds a CDF from an iterator of samples; non-finite values are
+    /// ignored.
+    pub fn from_samples<I: IntoIterator<Item = f64>>(samples: I) -> Self {
+        let mut sorted: Vec<f64> = samples.into_iter().filter(|x| x.is_finite()).collect();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite values compare"));
+        Cdf { sorted }
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// Returns `true` if the CDF holds no samples.
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// Fraction of samples less than or equal to `x`, in `[0, 1]`.
+    pub fn fraction_below(&self, x: f64) -> f64 {
+        if self.sorted.is_empty() {
+            return 0.0;
+        }
+        let count = self.sorted.partition_point(|&v| v <= x);
+        count as f64 / self.sorted.len() as f64
+    }
+
+    /// The value below which a fraction `q` (in `[0, 1]`) of the samples
+    /// fall (the `q`-quantile), or `None` for an empty CDF.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is not within `[0, 1]`.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        assert!(
+            q.is_finite() && (0.0..=1.0).contains(&q),
+            "quantile must be within [0, 1]"
+        );
+        if self.sorted.is_empty() {
+            return None;
+        }
+        let n = self.sorted.len();
+        let rank = ((q * n as f64).ceil() as usize).clamp(1, n);
+        Some(self.sorted[rank - 1])
+    }
+
+    /// Median of the distribution.
+    pub fn median(&self) -> Option<f64> {
+        self.quantile(0.5)
+    }
+
+    /// Third quartile (75th percentile), reported by the paper for Figure 8.
+    pub fn third_quartile(&self) -> Option<f64> {
+        self.quantile(0.75)
+    }
+
+    /// `n` evenly spaced `(value, cumulative_fraction)` points suitable for
+    /// plotting the CDF curve.  Returns an empty vector for an empty CDF.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn points(&self, n: usize) -> Vec<(f64, f64)> {
+        assert!(n > 0, "points requires at least one point");
+        if self.sorted.is_empty() {
+            return Vec::new();
+        }
+        let len = self.sorted.len();
+        (1..=n)
+            .map(|i| {
+                let q = i as f64 / n as f64;
+                let rank = ((q * len as f64).ceil() as usize).clamp(1, len);
+                (self.sorted[rank - 1], q)
+            })
+            .collect()
+    }
+
+    /// The raw sorted samples.
+    pub fn samples(&self) -> &[f64] {
+        &self.sorted
+    }
+}
+
+impl FromIterator<f64> for Cdf {
+    fn from_iter<T: IntoIterator<Item = f64>>(iter: T) -> Self {
+        Cdf::from_samples(iter)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_cdf() {
+        let cdf = Cdf::from_samples(std::iter::empty());
+        assert!(cdf.is_empty());
+        assert_eq!(cdf.fraction_below(1.0), 0.0);
+        assert_eq!(cdf.quantile(0.5), None);
+        assert!(cdf.points(10).is_empty());
+    }
+
+    #[test]
+    fn fraction_below_is_monotone_and_bounded() {
+        let cdf = Cdf::from_samples((1..=10).map(|x| x as f64));
+        assert_eq!(cdf.fraction_below(0.0), 0.0);
+        assert_eq!(cdf.fraction_below(5.0), 0.5);
+        assert_eq!(cdf.fraction_below(10.0), 1.0);
+        assert_eq!(cdf.fraction_below(100.0), 1.0);
+        let mut prev = 0.0;
+        for x in 0..20 {
+            let f = cdf.fraction_below(x as f64);
+            assert!(f >= prev);
+            prev = f;
+        }
+    }
+
+    #[test]
+    fn quantiles_match_expectations() {
+        let cdf = Cdf::from_samples((1..=100).map(|x| x as f64));
+        assert_eq!(cdf.median(), Some(50.0));
+        assert_eq!(cdf.third_quartile(), Some(75.0));
+        assert_eq!(cdf.quantile(1.0), Some(100.0));
+        assert_eq!(cdf.quantile(0.0), Some(1.0));
+    }
+
+    #[test]
+    fn quantile_and_fraction_are_inverse_like() {
+        let cdf = Cdf::from_samples((1..=1000).map(|x| x as f64 / 10.0));
+        for q in [0.1, 0.25, 0.5, 0.75, 0.9, 0.99] {
+            let v = cdf.quantile(q).unwrap();
+            let back = cdf.fraction_below(v);
+            assert!((back - q).abs() < 0.01, "q={q} v={v} back={back}");
+        }
+    }
+
+    #[test]
+    fn points_are_sorted_pairs() {
+        let cdf = Cdf::from_samples((0..500).map(|x| (x % 37) as f64));
+        let pts = cdf.points(100);
+        assert_eq!(pts.len(), 100);
+        for w in pts.windows(2) {
+            assert!(w[0].0 <= w[1].0);
+            assert!(w[0].1 < w[1].1);
+        }
+        assert_eq!(pts.last().unwrap().1, 1.0);
+    }
+
+    #[test]
+    fn collects_from_iterator() {
+        let cdf: Cdf = vec![3.0, 1.0, 2.0].into_iter().collect();
+        assert_eq!(cdf.samples(), &[1.0, 2.0, 3.0]);
+        assert_eq!(cdf.count(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile must be within")]
+    fn out_of_range_quantile_panics() {
+        Cdf::from_samples([1.0]).quantile(1.5);
+    }
+}

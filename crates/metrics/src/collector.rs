@@ -1,0 +1,265 @@
+//! Per-query response-time collection.
+//!
+//! The collector is filled by the experiment's client node (one record per
+//! query) and is the single source from which every figure's series is
+//! derived: CDFs, mean-vs-load curves, time-binned medians and deciles.
+
+use serde::{Deserialize, Serialize};
+
+use crate::cdf::Cdf;
+use crate::summary::Summary;
+use crate::timebin::TimeBinner;
+
+/// Classification of a request, used by the Wikipedia replay to separate
+/// cheap static pages from CPU-intensive wiki pages.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum RequestClass {
+    /// A static page (served in about a millisecond in the paper).
+    Static,
+    /// A wiki page (triggers memcached/MySQL work, CPU-intensive).
+    WikiPage,
+    /// The synthetic CPU-bound PHP page of the Poisson experiments.
+    Synthetic,
+}
+
+/// Outcome of a request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum RequestOutcome {
+    /// The request completed and a response was received.
+    Completed,
+    /// The connection was reset (backlog overflow with
+    /// `tcp_abort_on_overflow`, as configured in the paper's testbed).
+    Reset,
+    /// The request was still outstanding when the experiment ended.
+    Unfinished,
+}
+
+/// One request's measurement record.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RequestRecord {
+    /// Time the request was sent, in seconds since experiment start.
+    pub sent_at_seconds: f64,
+    /// Response time in milliseconds (`None` unless completed).
+    pub response_time_ms: Option<f64>,
+    /// Class of the request.
+    pub class: RequestClass,
+    /// Outcome.
+    pub outcome: RequestOutcome,
+    /// Which server ultimately served the request, if known.
+    pub served_by: Option<u32>,
+}
+
+/// Accumulates [`RequestRecord`]s and derives the statistics the paper
+/// reports.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct ResponseTimeCollector {
+    records: Vec<RequestRecord>,
+}
+
+impl ResponseTimeCollector {
+    /// Creates an empty collector.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a record.
+    pub fn push(&mut self, record: RequestRecord) {
+        self.records.push(record);
+    }
+
+    /// All records, in insertion order.
+    pub fn records(&self) -> &[RequestRecord] {
+        &self.records
+    }
+
+    /// Number of records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Returns `true` if no records have been collected.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Number of completed requests.
+    pub fn completed_count(&self) -> usize {
+        self.records
+            .iter()
+            .filter(|r| r.outcome == RequestOutcome::Completed)
+            .count()
+    }
+
+    /// Number of reset (refused) requests.
+    pub fn reset_count(&self) -> usize {
+        self.records
+            .iter()
+            .filter(|r| r.outcome == RequestOutcome::Reset)
+            .count()
+    }
+
+    /// Completed response times in milliseconds, optionally filtered by
+    /// class.
+    pub fn response_times_ms(&self, class: Option<RequestClass>) -> Vec<f64> {
+        self.records
+            .iter()
+            .filter(|r| class.is_none_or(|c| r.class == c))
+            .filter_map(|r| r.response_time_ms)
+            .collect()
+    }
+
+    /// Mean completed response time in milliseconds (0.0 if none).
+    pub fn mean_ms(&self) -> f64 {
+        Summary::from_samples(self.response_times_ms(None)).mean()
+    }
+
+    /// Summary over completed response times (optionally per class).
+    pub fn summary(&self, class: Option<RequestClass>) -> Summary {
+        Summary::from_samples(self.response_times_ms(class))
+    }
+
+    /// CDF over completed response times (optionally per class).
+    pub fn cdf(&self, class: Option<RequestClass>) -> Cdf {
+        Cdf::from_samples(self.response_times_ms(class))
+    }
+
+    /// Response times binned by send time (optionally per class); `width` is
+    /// the bin width in seconds (the paper uses 600 s).
+    pub fn binned(&self, width_seconds: f64, class: Option<RequestClass>) -> TimeBinner {
+        let mut binner = TimeBinner::new(width_seconds);
+        for r in &self.records {
+            if class.is_none_or(|c| r.class == c) {
+                if let Some(rt) = r.response_time_ms {
+                    binner.record(r.sent_at_seconds, rt);
+                }
+            }
+        }
+        binner
+    }
+
+    /// Request send times binned by wall clock (for the query-rate series of
+    /// Figure 6), counting every request regardless of outcome.
+    pub fn arrival_rate_bins(&self, width_seconds: f64, class: Option<RequestClass>) -> TimeBinner {
+        let mut binner = TimeBinner::new(width_seconds);
+        for r in &self.records {
+            if class.is_none_or(|c| r.class == c) {
+                binner.record(r.sent_at_seconds, 1.0);
+            }
+        }
+        binner
+    }
+
+    /// Per-server completed-request counts, keyed by server id, over servers
+    /// `0..n`.
+    pub fn per_server_counts(&self, n: usize) -> Vec<usize> {
+        let mut counts = vec![0usize; n];
+        for r in &self.records {
+            if let Some(server) = r.served_by {
+                if (server as usize) < n {
+                    counts[server as usize] += 1;
+                }
+            }
+        }
+        counts
+    }
+
+    /// Merges another collector's records into this one.
+    pub fn merge(&mut self, other: ResponseTimeCollector) {
+        self.records.extend(other.records);
+    }
+}
+
+impl Extend<RequestRecord> for ResponseTimeCollector {
+    fn extend<T: IntoIterator<Item = RequestRecord>>(&mut self, iter: T) {
+        self.records.extend(iter);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(t: f64, rt: Option<f64>, class: RequestClass, server: Option<u32>) -> RequestRecord {
+        RequestRecord {
+            sent_at_seconds: t,
+            response_time_ms: rt,
+            class,
+            outcome: if rt.is_some() {
+                RequestOutcome::Completed
+            } else {
+                RequestOutcome::Reset
+            },
+            served_by: server,
+        }
+    }
+
+    #[test]
+    fn counts_by_outcome() {
+        let mut c = ResponseTimeCollector::new();
+        c.push(record(0.0, Some(10.0), RequestClass::Synthetic, Some(0)));
+        c.push(record(1.0, Some(20.0), RequestClass::Synthetic, Some(1)));
+        c.push(record(2.0, None, RequestClass::Synthetic, None));
+        assert_eq!(c.len(), 3);
+        assert_eq!(c.completed_count(), 2);
+        assert_eq!(c.reset_count(), 1);
+        assert!(!c.is_empty());
+        assert_eq!(c.mean_ms(), 15.0);
+    }
+
+    #[test]
+    fn filters_by_class() {
+        let mut c = ResponseTimeCollector::new();
+        c.push(record(0.0, Some(1.0), RequestClass::Static, Some(0)));
+        c.push(record(0.0, Some(100.0), RequestClass::WikiPage, Some(0)));
+        c.push(record(0.0, Some(200.0), RequestClass::WikiPage, Some(1)));
+        assert_eq!(c.response_times_ms(Some(RequestClass::WikiPage)).len(), 2);
+        assert_eq!(c.response_times_ms(Some(RequestClass::Static)).len(), 1);
+        assert_eq!(c.response_times_ms(None).len(), 3);
+        assert_eq!(c.summary(Some(RequestClass::WikiPage)).mean(), 150.0);
+        assert_eq!(c.cdf(Some(RequestClass::WikiPage)).median(), Some(100.0));
+    }
+
+    #[test]
+    fn binning_uses_send_time() {
+        let mut c = ResponseTimeCollector::new();
+        c.push(record(10.0, Some(5.0), RequestClass::Synthetic, Some(0)));
+        c.push(record(610.0, Some(15.0), RequestClass::Synthetic, Some(0)));
+        let bins = c.binned(600.0, None);
+        assert_eq!(bins.bin_count(), 2);
+        assert_eq!(bins.stats()[0].median, Some(5.0));
+        assert_eq!(bins.stats()[1].median, Some(15.0));
+        let rates = c.arrival_rate_bins(600.0, None);
+        assert_eq!(rates.stats()[0].count, 1);
+    }
+
+    #[test]
+    fn per_server_counts_ignore_out_of_range() {
+        let mut c = ResponseTimeCollector::new();
+        c.push(record(0.0, Some(1.0), RequestClass::Synthetic, Some(0)));
+        c.push(record(0.0, Some(1.0), RequestClass::Synthetic, Some(0)));
+        c.push(record(0.0, Some(1.0), RequestClass::Synthetic, Some(2)));
+        c.push(record(0.0, Some(1.0), RequestClass::Synthetic, Some(99)));
+        assert_eq!(c.per_server_counts(3), vec![2, 0, 1]);
+    }
+
+    #[test]
+    fn merge_and_extend() {
+        let mut a = ResponseTimeCollector::new();
+        a.push(record(0.0, Some(1.0), RequestClass::Synthetic, None));
+        let mut b = ResponseTimeCollector::new();
+        b.push(record(1.0, Some(2.0), RequestClass::Synthetic, None));
+        a.merge(b);
+        assert_eq!(a.len(), 2);
+        a.extend(vec![record(2.0, Some(3.0), RequestClass::Synthetic, None)]);
+        assert_eq!(a.len(), 3);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let mut c = ResponseTimeCollector::new();
+        c.push(record(0.5, Some(12.0), RequestClass::WikiPage, Some(3)));
+        let json = serde_json::to_string(&c).unwrap();
+        let back: ResponseTimeCollector = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, c);
+    }
+}

@@ -1,0 +1,71 @@
+//! Jain's fairness index.
+
+/// Computes Jain's fairness index of a set of loads:
+/// `(Σ xᵢ)² / (n · Σ xᵢ²)`.
+///
+/// The index is 1 when all loads are equal and `1/n` when a single element
+/// carries all the load.  The paper plots this index over the 12 servers'
+/// instantaneous loads in Figure 4 to show that SR4 spreads queries more
+/// evenly than RR.
+///
+/// Returns 1.0 for an empty slice or when all loads are zero (an idle,
+/// perfectly balanced system).
+pub fn jain_fairness(loads: &[f64]) -> f64 {
+    if loads.is_empty() {
+        return 1.0;
+    }
+    let sum: f64 = loads.iter().sum();
+    let sum_sq: f64 = loads.iter().map(|x| x * x).sum();
+    if sum_sq == 0.0 {
+        return 1.0;
+    }
+    (sum * sum) / (loads.len() as f64 * sum_sq)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equal_loads_are_perfectly_fair() {
+        assert!((jain_fairness(&[3.0, 3.0, 3.0, 3.0]) - 1.0).abs() < 1e-12);
+        assert!((jain_fairness(&[0.5; 12]) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_loaded_server_gives_one_over_n() {
+        let n = 12;
+        let mut loads = vec![0.0; n];
+        loads[0] = 10.0;
+        assert!((jain_fairness(&loads) - 1.0 / n as f64).abs() < 1e-12);
+    }
+
+    #[test]
+    fn index_is_bounded() {
+        let cases: &[&[f64]] = &[
+            &[1.0, 2.0, 3.0],
+            &[10.0, 0.1, 5.0, 7.3],
+            &[1.0],
+            &[2.0, 2.0, 0.0],
+        ];
+        for loads in cases {
+            let f = jain_fairness(loads);
+            assert!(f > 0.0 && f <= 1.0 + 1e-12, "fairness {f} out of bounds");
+            assert!(f >= 1.0 / loads.len() as f64 - 1e-12);
+        }
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert_eq!(jain_fairness(&[]), 1.0);
+        assert_eq!(jain_fairness(&[0.0, 0.0]), 1.0);
+        assert_eq!(jain_fairness(&[5.0]), 1.0);
+    }
+
+    #[test]
+    fn more_balanced_is_fairer() {
+        let skewed = jain_fairness(&[10.0, 1.0, 1.0, 1.0]);
+        let balanced = jain_fairness(&[4.0, 3.0, 3.0, 3.0]);
+        assert!(balanced > skewed);
+    }
+}

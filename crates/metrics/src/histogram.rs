@@ -1,0 +1,184 @@
+//! Fixed-bucket histograms.
+
+use serde::{Deserialize, Serialize};
+
+/// A histogram with uniformly sized buckets over `[0, max)` plus an overflow
+/// bucket.
+///
+/// Used by the benches for compact latency distributions when retaining every
+/// raw sample (as [`crate::Summary`] does) would be wasteful.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Histogram {
+    bucket_width: f64,
+    counts: Vec<u64>,
+    overflow: u64,
+    total: u64,
+    sum: f64,
+}
+
+impl Histogram {
+    /// Creates a histogram covering `[0, max)` with `buckets` uniform
+    /// buckets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max` is not positive/finite or `buckets` is zero.
+    pub fn new(max: f64, buckets: usize) -> Self {
+        assert!(max.is_finite() && max > 0.0, "max must be positive");
+        assert!(buckets > 0, "at least one bucket is required");
+        Histogram {
+            bucket_width: max / buckets as f64,
+            counts: vec![0; buckets],
+            overflow: 0,
+            total: 0,
+            sum: 0.0,
+        }
+    }
+
+    /// Records a sample.  Negative or non-finite samples are ignored.
+    pub fn record(&mut self, value: f64) {
+        if !value.is_finite() || value < 0.0 {
+            return;
+        }
+        self.total += 1;
+        self.sum += value;
+        let index = (value / self.bucket_width) as usize;
+        if index < self.counts.len() {
+            self.counts[index] += 1;
+        } else {
+            self.overflow += 1;
+        }
+    }
+
+    /// Total number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Mean of the recorded samples (exact, not bucketed), or 0.0 if empty.
+    pub fn mean(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.sum / self.total as f64
+        }
+    }
+
+    /// Number of samples that exceeded the histogram range.
+    pub fn overflow_count(&self) -> u64 {
+        self.overflow
+    }
+
+    /// Per-bucket counts.
+    pub fn bucket_counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Upper bound of bucket `i`.
+    pub fn bucket_upper_bound(&self, i: usize) -> f64 {
+        self.bucket_width * (i as f64 + 1.0)
+    }
+
+    /// Approximate quantile (`q` in `[0, 1]`) computed from bucket upper
+    /// bounds; `None` if the histogram is empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is outside `[0, 1]`.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        assert!(
+            q.is_finite() && (0.0..=1.0).contains(&q),
+            "quantile must be within [0, 1]"
+        );
+        if self.total == 0 {
+            return None;
+        }
+        let target = (q * self.total as f64).ceil().max(1.0) as u64;
+        let mut seen = 0;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return Some(self.bucket_upper_bound(i));
+            }
+        }
+        Some(f64::INFINITY)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_into_correct_buckets() {
+        let mut h = Histogram::new(10.0, 10);
+        h.record(0.5);
+        h.record(1.5);
+        h.record(1.7);
+        h.record(9.99);
+        h.record(10.1); // overflow
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.bucket_counts()[0], 1);
+        assert_eq!(h.bucket_counts()[1], 2);
+        assert_eq!(h.bucket_counts()[9], 1);
+        assert_eq!(h.overflow_count(), 1);
+    }
+
+    #[test]
+    fn ignores_invalid_samples() {
+        let mut h = Histogram::new(1.0, 4);
+        h.record(-1.0);
+        h.record(f64::NAN);
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.quantile(0.5), None);
+    }
+
+    #[test]
+    fn mean_is_exact() {
+        let mut h = Histogram::new(100.0, 5);
+        for v in [1.0, 2.0, 3.0, 4.0] {
+            h.record(v);
+        }
+        assert_eq!(h.mean(), 2.5);
+    }
+
+    #[test]
+    fn quantile_approximates_distribution() {
+        let mut h = Histogram::new(100.0, 100);
+        for i in 0..1000 {
+            h.record((i % 100) as f64);
+        }
+        let median = h.quantile(0.5).unwrap();
+        assert!((median - 50.0).abs() <= 1.0);
+        let p99 = h.quantile(0.99).unwrap();
+        assert!(p99 >= 98.0);
+        assert_eq!(h.quantile(1.0).unwrap(), 100.0);
+    }
+
+    #[test]
+    fn quantile_of_all_overflow_is_infinite() {
+        let mut h = Histogram::new(1.0, 2);
+        h.record(5.0);
+        assert_eq!(h.quantile(0.5), Some(f64::INFINITY));
+    }
+
+    #[test]
+    fn bucket_upper_bounds() {
+        let h = Histogram::new(10.0, 5);
+        assert_eq!(h.bucket_upper_bound(0), 2.0);
+        assert_eq!(h.bucket_upper_bound(4), 10.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn invalid_max_panics() {
+        Histogram::new(0.0, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "bucket")]
+    fn zero_buckets_panics() {
+        Histogram::new(1.0, 0);
+    }
+}

@@ -1,0 +1,204 @@
+//! Flow identification.
+//!
+//! The load balancer's only state is a *flow table* mapping flows to the
+//! server that accepted them; this module defines the key of that table.
+
+use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::net::Ipv6Addr;
+
+use serde::{Deserialize, Serialize};
+
+/// Transport protocol of a flow.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Protocol {
+    /// TCP.
+    Tcp,
+    /// UDP.
+    Udp,
+    /// Any other protocol number.
+    Other(u8),
+}
+
+impl Protocol {
+    /// Protocol number as carried in the IPv6 next-header chain.
+    pub fn number(self) -> u8 {
+        match self {
+            Protocol::Tcp => 6,
+            Protocol::Udp => 17,
+            Protocol::Other(n) => n,
+        }
+    }
+}
+
+impl From<u8> for Protocol {
+    fn from(value: u8) -> Self {
+        match value {
+            6 => Protocol::Tcp,
+            17 => Protocol::Udp,
+            other => Protocol::Other(other),
+        }
+    }
+}
+
+/// A 5-tuple identifying a flow from the point of view of the load balancer:
+/// (client address, VIP, client port, VIP port, protocol).
+///
+/// The key is always expressed in the *client → VIP* direction, regardless of
+/// the direction of the packet it was extracted from, so that both directions
+/// of a connection map to the same entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FlowKey {
+    /// Client (external) address.
+    pub client: Ipv6Addr,
+    /// Virtual IP address the client targeted.
+    pub vip: Ipv6Addr,
+    /// Client source port.
+    pub client_port: u16,
+    /// Destination (service) port.
+    pub vip_port: u16,
+    /// Transport protocol.
+    pub protocol: Protocol,
+}
+
+impl FlowKey {
+    /// Creates a flow key in the client → VIP direction.
+    pub fn new(
+        client: Ipv6Addr,
+        vip: Ipv6Addr,
+        client_port: u16,
+        vip_port: u16,
+        protocol: Protocol,
+    ) -> Self {
+        FlowKey {
+            client,
+            vip,
+            client_port,
+            vip_port,
+            protocol,
+        }
+    }
+
+    /// The key of the reverse direction (VIP → client); mostly useful in
+    /// tests and assertions, since [`FlowKey`]s are normally always stored in
+    /// the forward direction.
+    pub fn reversed(&self) -> FlowKey {
+        FlowKey {
+            client: self.vip,
+            vip: self.client,
+            client_port: self.vip_port,
+            vip_port: self.client_port,
+            protocol: self.protocol,
+        }
+    }
+
+    /// A stable 64-bit hash of the flow key, usable for consistent hashing
+    /// and ECMP-style decisions.  This is *not* the `Hash` impl used by hash
+    /// maps; it is a deterministic FNV-1a over the tuple fields so that
+    /// results are reproducible across runs and platforms.
+    pub fn stable_hash(&self) -> u64 {
+        const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = FNV_OFFSET;
+        let mut eat = |byte: u8| {
+            h ^= byte as u64;
+            h = h.wrapping_mul(FNV_PRIME);
+        };
+        for b in self.client.octets() {
+            eat(b);
+        }
+        for b in self.vip.octets() {
+            eat(b);
+        }
+        for b in self.client_port.to_be_bytes() {
+            eat(b);
+        }
+        for b in self.vip_port.to_be_bytes() {
+            eat(b);
+        }
+        eat(self.protocol.number());
+        h
+    }
+}
+
+impl Hash for FlowKey {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        state.write_u64(self.stable_hash());
+    }
+}
+
+impl fmt::Display for FlowKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "[{}]:{} -> [{}]:{}/{}",
+            self.client,
+            self.client_port,
+            self.vip,
+            self.vip_port,
+            self.protocol.number()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    fn key(port: u16) -> FlowKey {
+        FlowKey::new(
+            "2001:db8::1".parse().unwrap(),
+            "2001:db8:1::80".parse().unwrap(),
+            port,
+            80,
+            Protocol::Tcp,
+        )
+    }
+
+    #[test]
+    fn protocol_number_roundtrip() {
+        for n in 0..=255u8 {
+            assert_eq!(Protocol::from(n).number(), n);
+        }
+        assert_eq!(Protocol::Tcp.number(), 6);
+        assert_eq!(Protocol::Udp.number(), 17);
+    }
+
+    #[test]
+    fn reversed_twice_is_identity() {
+        let k = key(4242);
+        assert_eq!(k.reversed().reversed(), k);
+        assert_ne!(k.reversed(), k);
+    }
+
+    #[test]
+    fn stable_hash_distinguishes_ports() {
+        let mut hashes = std::collections::HashSet::new();
+        for port in 1024..2048 {
+            assert!(hashes.insert(key(port).stable_hash()));
+        }
+    }
+
+    #[test]
+    fn stable_hash_is_deterministic() {
+        assert_eq!(key(1000).stable_hash(), key(1000).stable_hash());
+    }
+
+    #[test]
+    fn usable_as_hash_map_key() {
+        let mut map = HashMap::new();
+        map.insert(key(1), "a");
+        map.insert(key(2), "b");
+        assert_eq!(map.get(&key(1)), Some(&"a"));
+        assert_eq!(map.get(&key(2)), Some(&"b"));
+        assert_eq!(map.get(&key(3)), None);
+    }
+
+    #[test]
+    fn display_contains_both_endpoints() {
+        let text = key(5).to_string();
+        assert!(text.contains("2001:db8::1"));
+        assert!(text.contains(":80/6"));
+    }
+}

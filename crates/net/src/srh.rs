@@ -1,0 +1,476 @@
+//! IPv6 Segment Routing Header (SRH, RFC 8754).
+//!
+//! The SRH is the mechanism behind *Service Hunting*: the load balancer
+//! inserts an SRH listing candidate servers followed by the VIP, and each
+//! candidate's virtual router either delivers the packet locally or advances
+//! the header to the next candidate.
+//!
+//! ## Wire format
+//!
+//! ```text
+//!  0                   1                   2                   3
+//!  0 1 2 3 4 5 6 7 8 9 0 1 2 3 4 5 6 7 8 9 0 1 2 3 4 5 6 7 8 9 0 1
+//! +-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+
+//! | Next Header   |  Hdr Ext Len  | Routing Type=4| Segments Left |
+//! +-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+
+//! |  Last Entry   |     Flags     |              Tag              |
+//! +-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+
+//! |  Segment List[0] (128 bits, the FINAL segment of the path)    |
+//! |  ...                                                          |
+//! |  Segment List[n-1] (128 bits, the FIRST segment of the path)  |
+//! +-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+
+//! ```
+//!
+//! The segment list is stored in *reverse* traversal order: `Segment List[0]`
+//! is the last segment and `Segment List[Last Entry]` the first.  The active
+//! segment is `Segment List[Segments Left]`.
+
+use std::fmt;
+use std::net::Ipv6Addr;
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::NetError;
+use crate::ipv6::NextHeader;
+use crate::Result;
+
+/// Length in bytes of the fixed (non segment-list) part of the SRH.
+pub const SRH_FIXED_LEN: usize = 8;
+
+/// An IPv6 Segment Routing extension header.
+///
+/// Segments are stored in wire order (`segment_list[0]` is the final
+/// segment); most callers should use the traversal-order constructors and
+/// accessors ([`SegmentRoutingHeader::from_route`],
+/// [`SegmentRoutingHeader::route`], [`SegmentRoutingHeader::active_segment`]).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct SegmentRoutingHeader {
+    /// Protocol of the header following the SRH (normally TCP).
+    pub next_header: NextHeader,
+    /// Index of the active segment in the wire-order segment list.
+    segments_left: u8,
+    /// Flags field (unused by SRLB, carried for fidelity).
+    pub flags: u8,
+    /// Tag field (unused by SRLB, carried for fidelity).
+    pub tag: u16,
+    /// Segment list in wire order: `[0]` is the final segment.
+    segment_list: Vec<Ipv6Addr>,
+}
+
+impl SegmentRoutingHeader {
+    /// Builds an SRH from a route given in traversal order: the first element
+    /// is the first segment to visit, the last element the final destination
+    /// (for Service Hunting: `[candidate1, candidate2, VIP]`).
+    ///
+    /// `Segments Left` is initialised to point at the first segment, matching
+    /// what an SR source node emits.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::EmptySegmentList`] for an empty route and
+    /// [`NetError::SegmentListTooLong`] for more than 255 segments.
+    pub fn from_route(route: &[Ipv6Addr]) -> Result<Self> {
+        if route.is_empty() {
+            return Err(NetError::EmptySegmentList);
+        }
+        if route.len() > 255 {
+            return Err(NetError::SegmentListTooLong(route.len()));
+        }
+        let mut segment_list: Vec<Ipv6Addr> = route.to_vec();
+        segment_list.reverse();
+        Ok(SegmentRoutingHeader {
+            next_header: NextHeader::Tcp,
+            segments_left: (segment_list.len() - 1) as u8,
+            flags: 0,
+            tag: 0,
+            segment_list,
+        })
+    }
+
+    /// Builds an SRH directly from a wire-order segment list and an explicit
+    /// `Segments Left` value.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::EmptySegmentList`], [`NetError::SegmentListTooLong`]
+    /// or [`NetError::SegmentsLeftOutOfRange`] on invalid input.
+    pub fn from_wire_order(segment_list: Vec<Ipv6Addr>, segments_left: u8) -> Result<Self> {
+        if segment_list.is_empty() {
+            return Err(NetError::EmptySegmentList);
+        }
+        if segment_list.len() > 255 {
+            return Err(NetError::SegmentListTooLong(segment_list.len()));
+        }
+        if segments_left as usize >= segment_list.len() {
+            return Err(NetError::SegmentsLeftOutOfRange {
+                segments_left,
+                segments: segment_list.len(),
+            });
+        }
+        Ok(SegmentRoutingHeader {
+            next_header: NextHeader::Tcp,
+            segments_left,
+            flags: 0,
+            tag: 0,
+            segment_list,
+        })
+    }
+
+    /// Number of segments in the list.
+    pub fn num_segments(&self) -> usize {
+        self.segment_list.len()
+    }
+
+    /// Current `Segments Left` value.
+    pub fn segments_left(&self) -> u8 {
+        self.segments_left
+    }
+
+    /// The currently active segment, `Segment List[Segments Left]`.
+    pub fn active_segment(&self) -> Ipv6Addr {
+        self.segment_list[self.segments_left as usize]
+    }
+
+    /// The final segment of the path (`Segment List[0]`); for Service Hunting
+    /// this is the VIP.
+    pub fn final_segment(&self) -> Ipv6Addr {
+        self.segment_list[0]
+    }
+
+    /// The first segment of the path (`Segment List[Last Entry]`).
+    pub fn first_segment(&self) -> Ipv6Addr {
+        *self
+            .segment_list
+            .last()
+            .expect("segment list is never empty")
+    }
+
+    /// The `Last Entry` field (index of the last element of the list).
+    pub fn last_entry(&self) -> u8 {
+        (self.segment_list.len() - 1) as u8
+    }
+
+    /// The route in traversal order (first segment first).
+    pub fn route(&self) -> Vec<Ipv6Addr> {
+        let mut r = self.segment_list.clone();
+        r.reverse();
+        r
+    }
+
+    /// Wire-order segment list (`[0]` is the final segment).
+    pub fn segment_list(&self) -> &[Ipv6Addr] {
+        &self.segment_list
+    }
+
+    /// Advances to the next segment: decrements `Segments Left` and returns
+    /// the new active segment, which the forwarder must copy into the IPv6
+    /// destination address.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::NoSegmentsLeft`] if `Segments Left` is already 0.
+    pub fn advance(&mut self) -> Result<Ipv6Addr> {
+        if self.segments_left == 0 {
+            return Err(NetError::NoSegmentsLeft);
+        }
+        self.segments_left -= 1;
+        Ok(self.active_segment())
+    }
+
+    /// Sets `Segments Left` to an arbitrary valid value.
+    ///
+    /// This is how the paper's Algorithm 1 expresses local delivery
+    /// (`SegmentsLeft ← 0`) and hand-off to the second candidate
+    /// (`SegmentsLeft ← 1`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::SegmentsLeftOutOfRange`] if `value` does not index
+    /// into the segment list.
+    pub fn set_segments_left(&mut self, value: u8) -> Result<()> {
+        if value as usize >= self.segment_list.len() {
+            return Err(NetError::SegmentsLeftOutOfRange {
+                segments_left: value,
+                segments: self.segment_list.len(),
+            });
+        }
+        self.segments_left = value;
+        Ok(())
+    }
+
+    /// Length of the encoded header in bytes.
+    pub fn encoded_len(&self) -> usize {
+        SRH_FIXED_LEN + 16 * self.segment_list.len()
+    }
+
+    /// The `Hdr Ext Len` field: header length in 8-octet units, not counting
+    /// the first 8 octets.
+    pub fn hdr_ext_len(&self) -> u8 {
+        (2 * self.segment_list.len()) as u8
+    }
+
+    /// Encodes the SRH into `out` (appends [`Self::encoded_len`] bytes).
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
+        out.push(self.next_header.number());
+        out.push(self.hdr_ext_len());
+        out.push(4); // routing type 4 = segment routing
+        out.push(self.segments_left);
+        out.push(self.last_entry());
+        out.push(self.flags);
+        out.extend_from_slice(&self.tag.to_be_bytes());
+        for segment in &self.segment_list {
+            out.extend_from_slice(&segment.octets());
+        }
+    }
+
+    /// Encodes the SRH into a fresh byte vector.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.encoded_len());
+        self.encode_into(&mut out);
+        out
+    }
+
+    /// Decodes an SRH from the start of `bytes`, returning the header and the
+    /// number of bytes consumed.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`NetError`] if the buffer is truncated, the routing type is
+    /// not 4, or the length fields are inconsistent.
+    pub fn decode(bytes: &[u8]) -> Result<(Self, usize)> {
+        if bytes.len() < SRH_FIXED_LEN {
+            return Err(NetError::Truncated {
+                what: "segment routing header",
+                needed: SRH_FIXED_LEN,
+                available: bytes.len(),
+            });
+        }
+        let next_header = NextHeader::from(bytes[0]);
+        let hdr_ext_len = bytes[1];
+        let routing_type = bytes[2];
+        if routing_type != 4 {
+            return Err(NetError::InvalidRoutingType(routing_type));
+        }
+        let segments_left = bytes[3];
+        let last_entry = bytes[4];
+        let flags = bytes[5];
+        let tag = u16::from_be_bytes([bytes[6], bytes[7]]);
+
+        let total_len = SRH_FIXED_LEN + 8 * hdr_ext_len as usize;
+        if bytes.len() < total_len {
+            return Err(NetError::Truncated {
+                what: "segment routing header segment list",
+                needed: total_len,
+                available: bytes.len(),
+            });
+        }
+        let n_segments = last_entry as usize + 1;
+        if 16 * n_segments != 8 * hdr_ext_len as usize {
+            return Err(NetError::InvalidLength {
+                what: "segment routing header",
+                detail: format!(
+                    "hdr ext len {hdr_ext_len} inconsistent with last entry {last_entry}"
+                ),
+            });
+        }
+        if segments_left as usize >= n_segments {
+            return Err(NetError::SegmentsLeftOutOfRange {
+                segments_left,
+                segments: n_segments,
+            });
+        }
+        let mut segment_list = Vec::with_capacity(n_segments);
+        for i in 0..n_segments {
+            let start = SRH_FIXED_LEN + 16 * i;
+            let mut octets = [0u8; 16];
+            octets.copy_from_slice(&bytes[start..start + 16]);
+            segment_list.push(Ipv6Addr::from(octets));
+        }
+        Ok((
+            SegmentRoutingHeader {
+                next_header,
+                segments_left,
+                flags,
+                tag,
+                segment_list,
+            },
+            total_len,
+        ))
+    }
+}
+
+impl fmt::Display for SegmentRoutingHeader {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SRH(sl={}, route=[", self.segments_left)?;
+        for (i, seg) in self.route().iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{seg}")?;
+        }
+        write!(f, "])")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn addrs(n: usize) -> Vec<Ipv6Addr> {
+        (0..n)
+            .map(|i| Ipv6Addr::new(0xfd00, 0, 0, 0, 0, 0, 0, i as u16 + 1))
+            .collect()
+    }
+
+    #[test]
+    fn from_route_points_at_first_segment() {
+        let route = addrs(3);
+        let srh = SegmentRoutingHeader::from_route(&route).unwrap();
+        assert_eq!(srh.segments_left(), 2);
+        assert_eq!(srh.active_segment(), route[0]);
+        assert_eq!(srh.final_segment(), route[2]);
+        assert_eq!(srh.first_segment(), route[0]);
+        assert_eq!(srh.route(), route);
+        assert_eq!(srh.num_segments(), 3);
+        assert_eq!(srh.last_entry(), 2);
+    }
+
+    #[test]
+    fn empty_route_is_rejected() {
+        assert_eq!(
+            SegmentRoutingHeader::from_route(&[]).unwrap_err(),
+            NetError::EmptySegmentList
+        );
+    }
+
+    #[test]
+    fn oversized_route_is_rejected() {
+        let route = addrs(256);
+        assert_eq!(
+            SegmentRoutingHeader::from_route(&route).unwrap_err(),
+            NetError::SegmentListTooLong(256)
+        );
+    }
+
+    #[test]
+    fn advance_walks_the_route_in_order() {
+        let route = addrs(4);
+        let mut srh = SegmentRoutingHeader::from_route(&route).unwrap();
+        assert_eq!(srh.active_segment(), route[0]);
+        assert_eq!(srh.advance().unwrap(), route[1]);
+        assert_eq!(srh.advance().unwrap(), route[2]);
+        assert_eq!(srh.advance().unwrap(), route[3]);
+        assert_eq!(srh.advance().unwrap_err(), NetError::NoSegmentsLeft);
+    }
+
+    #[test]
+    fn set_segments_left_models_service_hunting_decisions() {
+        let route = addrs(3); // [candidate1, candidate2, vip]
+        let mut srh = SegmentRoutingHeader::from_route(&route).unwrap();
+        // Candidate 1 refuses: SegmentsLeft <- 1 (second candidate).
+        srh.set_segments_left(1).unwrap();
+        assert_eq!(srh.active_segment(), route[1]);
+        // Candidate 2 accepts: SegmentsLeft <- 0 (deliver to application/VIP).
+        srh.set_segments_left(0).unwrap();
+        assert_eq!(srh.active_segment(), route[2]);
+        // Out-of-range values are rejected.
+        assert!(matches!(
+            srh.set_segments_left(3),
+            Err(NetError::SegmentsLeftOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn encode_matches_rfc8754_layout() {
+        let route = addrs(2);
+        let srh = SegmentRoutingHeader::from_route(&route).unwrap();
+        let bytes = srh.encode();
+        assert_eq!(bytes.len(), 8 + 32);
+        assert_eq!(bytes[0], 6); // next header: TCP
+        assert_eq!(bytes[1], 4); // hdr ext len: 2 segments * 2
+        assert_eq!(bytes[2], 4); // routing type 4
+        assert_eq!(bytes[3], 1); // segments left
+        assert_eq!(bytes[4], 1); // last entry
+        // Segment List[0] must be the FINAL segment of the path.
+        assert_eq!(&bytes[8..24], &route[1].octets());
+        assert_eq!(&bytes[24..40], &route[0].octets());
+    }
+
+    #[test]
+    fn decode_roundtrip() {
+        for n in 1..=5 {
+            let route = addrs(n);
+            let mut srh = SegmentRoutingHeader::from_route(&route).unwrap();
+            srh.tag = 0xbeef;
+            srh.flags = 0x08;
+            let bytes = srh.encode();
+            let (decoded, consumed) = SegmentRoutingHeader::decode(&bytes).unwrap();
+            assert_eq!(consumed, bytes.len());
+            assert_eq!(decoded, srh);
+        }
+    }
+
+    #[test]
+    fn decode_rejects_wrong_routing_type() {
+        let mut bytes = SegmentRoutingHeader::from_route(&addrs(2)).unwrap().encode();
+        bytes[2] = 0;
+        assert_eq!(
+            SegmentRoutingHeader::decode(&bytes).unwrap_err(),
+            NetError::InvalidRoutingType(0)
+        );
+    }
+
+    #[test]
+    fn decode_rejects_truncation() {
+        let bytes = SegmentRoutingHeader::from_route(&addrs(2)).unwrap().encode();
+        assert!(matches!(
+            SegmentRoutingHeader::decode(&bytes[..4]).unwrap_err(),
+            NetError::Truncated { .. }
+        ));
+        assert!(matches!(
+            SegmentRoutingHeader::decode(&bytes[..20]).unwrap_err(),
+            NetError::Truncated { .. }
+        ));
+    }
+
+    #[test]
+    fn decode_rejects_inconsistent_lengths() {
+        let mut bytes = SegmentRoutingHeader::from_route(&addrs(2)).unwrap().encode();
+        bytes[4] = 0; // last entry says 1 segment but hdr ext len says 2
+        assert!(matches!(
+            SegmentRoutingHeader::decode(&bytes).unwrap_err(),
+            NetError::InvalidLength { .. }
+        ));
+    }
+
+    #[test]
+    fn decode_rejects_segments_left_out_of_range() {
+        let mut bytes = SegmentRoutingHeader::from_route(&addrs(2)).unwrap().encode();
+        bytes[3] = 7;
+        assert!(matches!(
+            SegmentRoutingHeader::decode(&bytes).unwrap_err(),
+            NetError::SegmentsLeftOutOfRange { .. }
+        ));
+    }
+
+    #[test]
+    fn from_wire_order_validates() {
+        let list = addrs(3);
+        let srh = SegmentRoutingHeader::from_wire_order(list.clone(), 1).unwrap();
+        assert_eq!(srh.segments_left(), 1);
+        assert_eq!(srh.active_segment(), list[1]);
+        assert!(SegmentRoutingHeader::from_wire_order(vec![], 0).is_err());
+        assert!(SegmentRoutingHeader::from_wire_order(list, 3).is_err());
+    }
+
+    #[test]
+    fn display_lists_route_in_traversal_order() {
+        let route = addrs(2);
+        let srh = SegmentRoutingHeader::from_route(&route).unwrap();
+        let text = srh.to_string();
+        assert!(text.contains("sl=1"));
+        let first = text.find(&route[0].to_string()).unwrap();
+        let second = text.find(&route[1].to_string()).unwrap();
+        assert!(first < second);
+    }
+}

@@ -1,0 +1,314 @@
+//! Minimal TCP header model: enough to represent connection establishment
+//! (SYN / SYN-ACK / ACK), teardown (FIN) and rejection (RST), which is all the
+//! load-balancer control logic observes.
+
+use std::fmt;
+use std::ops::{BitAnd, BitOr, BitOrAssign};
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::NetError;
+use crate::Result;
+
+/// Length in bytes of the TCP header as encoded by this crate (no options).
+pub const TCP_HEADER_LEN: usize = 20;
+
+/// TCP control flags.
+///
+/// Implemented as a transparent bit set (rather than an enum) because flags
+/// combine freely (`SYN | ACK`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub struct TcpFlags(u8);
+
+impl TcpFlags {
+    /// No flags set.
+    pub const EMPTY: TcpFlags = TcpFlags(0);
+    /// FIN: sender has finished sending.
+    pub const FIN: TcpFlags = TcpFlags(0x01);
+    /// SYN: synchronise sequence numbers (connection request).
+    pub const SYN: TcpFlags = TcpFlags(0x02);
+    /// RST: reset the connection.
+    pub const RST: TcpFlags = TcpFlags(0x04);
+    /// PSH: push buffered data to the application.
+    pub const PSH: TcpFlags = TcpFlags(0x08);
+    /// ACK: acknowledgment field is significant.
+    pub const ACK: TcpFlags = TcpFlags(0x10);
+    /// The SYN-ACK combination used for connection acceptance.
+    pub const SYN_ACK: TcpFlags = TcpFlags(0x12);
+
+    /// Builds a flag set from the raw wire bits.
+    pub fn from_bits(bits: u8) -> Self {
+        TcpFlags(bits)
+    }
+
+    /// Raw wire bits.
+    pub fn bits(self) -> u8 {
+        self.0
+    }
+
+    /// Returns `true` if every flag in `other` is set in `self`.
+    pub fn contains(self, other: TcpFlags) -> bool {
+        self.0 & other.0 == other.0
+    }
+
+    /// Returns `true` if no flags are set.
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl BitOr for TcpFlags {
+    type Output = TcpFlags;
+    fn bitor(self, rhs: TcpFlags) -> TcpFlags {
+        TcpFlags(self.0 | rhs.0)
+    }
+}
+
+impl BitOrAssign for TcpFlags {
+    fn bitor_assign(&mut self, rhs: TcpFlags) {
+        self.0 |= rhs.0;
+    }
+}
+
+impl BitAnd for TcpFlags {
+    type Output = TcpFlags;
+    fn bitand(self, rhs: TcpFlags) -> TcpFlags {
+        TcpFlags(self.0 & rhs.0)
+    }
+}
+
+impl fmt::Display for TcpFlags {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut names = Vec::new();
+        if self.contains(TcpFlags::SYN) {
+            names.push("SYN");
+        }
+        if self.contains(TcpFlags::ACK) {
+            names.push("ACK");
+        }
+        if self.contains(TcpFlags::RST) {
+            names.push("RST");
+        }
+        if self.contains(TcpFlags::FIN) {
+            names.push("FIN");
+        }
+        if self.contains(TcpFlags::PSH) {
+            names.push("PSH");
+        }
+        if names.is_empty() {
+            write!(f, "-")
+        } else {
+            write!(f, "{}", names.join("|"))
+        }
+    }
+}
+
+/// A (simplified) TCP header: ports, sequence numbers, flags and window.
+///
+/// Options are not modelled; the data offset always encodes 5 words.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct TcpHeader {
+    /// Source port.
+    pub source_port: u16,
+    /// Destination port.
+    pub destination_port: u16,
+    /// Sequence number.
+    pub sequence: u32,
+    /// Acknowledgment number.
+    pub acknowledgment: u32,
+    /// Control flags.
+    pub flags: TcpFlags,
+    /// Receive window.
+    pub window: u16,
+    /// Checksum (carried verbatim; the simulator does not verify it).
+    pub checksum: u16,
+    /// Urgent pointer.
+    pub urgent: u16,
+}
+
+impl TcpHeader {
+    /// Creates a header with the given ports and flags and zeroed counters.
+    pub fn new(source_port: u16, destination_port: u16, flags: TcpFlags) -> Self {
+        TcpHeader {
+            source_port,
+            destination_port,
+            sequence: 0,
+            acknowledgment: 0,
+            flags,
+            window: 65535,
+            checksum: 0,
+            urgent: 0,
+        }
+    }
+
+    /// Returns `true` for a pure SYN (connection request).
+    pub fn is_syn(&self) -> bool {
+        self.flags.contains(TcpFlags::SYN) && !self.flags.contains(TcpFlags::ACK)
+    }
+
+    /// Returns `true` for a SYN-ACK (connection acceptance).
+    pub fn is_syn_ack(&self) -> bool {
+        self.flags.contains(TcpFlags::SYN) && self.flags.contains(TcpFlags::ACK)
+    }
+
+    /// Returns `true` if the RST flag is set.
+    pub fn is_rst(&self) -> bool {
+        self.flags.contains(TcpFlags::RST)
+    }
+
+    /// Returns `true` if the FIN flag is set.
+    pub fn is_fin(&self) -> bool {
+        self.flags.contains(TcpFlags::FIN)
+    }
+
+    /// Encodes the header into `out` (appends exactly [`TCP_HEADER_LEN`] bytes).
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.source_port.to_be_bytes());
+        out.extend_from_slice(&self.destination_port.to_be_bytes());
+        out.extend_from_slice(&self.sequence.to_be_bytes());
+        out.extend_from_slice(&self.acknowledgment.to_be_bytes());
+        out.push(5 << 4); // data offset: 5 words, no options
+        out.push(self.flags.bits());
+        out.extend_from_slice(&self.window.to_be_bytes());
+        out.extend_from_slice(&self.checksum.to_be_bytes());
+        out.extend_from_slice(&self.urgent.to_be_bytes());
+    }
+
+    /// Encodes the header into a fresh byte vector.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(TCP_HEADER_LEN);
+        self.encode_into(&mut out);
+        out
+    }
+
+    /// Decodes a header from the start of `bytes`, returning the header and
+    /// the number of bytes consumed (the encoded data offset).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::Truncated`] if the buffer is shorter than the data
+    /// offset announces, or [`NetError::InvalidLength`] for a data offset
+    /// below the minimum of 5 words.
+    pub fn decode(bytes: &[u8]) -> Result<(Self, usize)> {
+        if bytes.len() < TCP_HEADER_LEN {
+            return Err(NetError::Truncated {
+                what: "tcp header",
+                needed: TCP_HEADER_LEN,
+                available: bytes.len(),
+            });
+        }
+        let data_offset_words = bytes[12] >> 4;
+        if data_offset_words < 5 {
+            return Err(NetError::InvalidLength {
+                what: "tcp header",
+                detail: format!("data offset {data_offset_words} below minimum of 5"),
+            });
+        }
+        let header_len = data_offset_words as usize * 4;
+        if bytes.len() < header_len {
+            return Err(NetError::Truncated {
+                what: "tcp header options",
+                needed: header_len,
+                available: bytes.len(),
+            });
+        }
+        Ok((
+            TcpHeader {
+                source_port: u16::from_be_bytes([bytes[0], bytes[1]]),
+                destination_port: u16::from_be_bytes([bytes[2], bytes[3]]),
+                sequence: u32::from_be_bytes([bytes[4], bytes[5], bytes[6], bytes[7]]),
+                acknowledgment: u32::from_be_bytes([bytes[8], bytes[9], bytes[10], bytes[11]]),
+                flags: TcpFlags::from_bits(bytes[13]),
+                window: u16::from_be_bytes([bytes[14], bytes[15]]),
+                checksum: u16::from_be_bytes([bytes[16], bytes[17]]),
+                urgent: u16::from_be_bytes([bytes[18], bytes[19]]),
+            },
+            header_len,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flags_combine_and_query() {
+        let f = TcpFlags::SYN | TcpFlags::ACK;
+        assert_eq!(f, TcpFlags::SYN_ACK);
+        assert!(f.contains(TcpFlags::SYN));
+        assert!(f.contains(TcpFlags::ACK));
+        assert!(!f.contains(TcpFlags::RST));
+        assert!(!f.is_empty());
+        assert!(TcpFlags::EMPTY.is_empty());
+        assert_eq!((f & TcpFlags::SYN), TcpFlags::SYN);
+        let mut g = TcpFlags::EMPTY;
+        g |= TcpFlags::FIN;
+        assert!(g.contains(TcpFlags::FIN));
+    }
+
+    #[test]
+    fn flags_display_names_each_bit() {
+        assert_eq!(TcpFlags::SYN_ACK.to_string(), "SYN|ACK");
+        assert_eq!(TcpFlags::RST.to_string(), "RST");
+        assert_eq!(TcpFlags::EMPTY.to_string(), "-");
+        assert_eq!((TcpFlags::FIN | TcpFlags::PSH).to_string(), "FIN|PSH");
+    }
+
+    #[test]
+    fn classification_helpers() {
+        let syn = TcpHeader::new(1000, 80, TcpFlags::SYN);
+        assert!(syn.is_syn());
+        assert!(!syn.is_syn_ack());
+        let syn_ack = TcpHeader::new(80, 1000, TcpFlags::SYN_ACK);
+        assert!(syn_ack.is_syn_ack());
+        assert!(!syn_ack.is_syn());
+        let rst = TcpHeader::new(80, 1000, TcpFlags::RST);
+        assert!(rst.is_rst());
+        let fin = TcpHeader::new(80, 1000, TcpFlags::FIN | TcpFlags::ACK);
+        assert!(fin.is_fin());
+    }
+
+    #[test]
+    fn roundtrip() {
+        let mut hdr = TcpHeader::new(49152, 80, TcpFlags::SYN);
+        hdr.sequence = 0xdead_beef;
+        hdr.acknowledgment = 0x1234_5678;
+        hdr.window = 1024;
+        hdr.checksum = 0xabcd;
+        hdr.urgent = 7;
+        let bytes = hdr.encode();
+        assert_eq!(bytes.len(), TCP_HEADER_LEN);
+        let (decoded, consumed) = TcpHeader::decode(&bytes).unwrap();
+        assert_eq!(consumed, TCP_HEADER_LEN);
+        assert_eq!(decoded, hdr);
+    }
+
+    #[test]
+    fn decode_rejects_truncation() {
+        let bytes = TcpHeader::new(1, 2, TcpFlags::SYN).encode();
+        assert!(matches!(
+            TcpHeader::decode(&bytes[..10]).unwrap_err(),
+            NetError::Truncated { .. }
+        ));
+    }
+
+    #[test]
+    fn decode_rejects_bad_data_offset() {
+        let mut bytes = TcpHeader::new(1, 2, TcpFlags::SYN).encode();
+        bytes[12] = 2 << 4;
+        assert!(matches!(
+            TcpHeader::decode(&bytes).unwrap_err(),
+            NetError::InvalidLength { .. }
+        ));
+    }
+
+    #[test]
+    fn decode_skips_options_when_data_offset_larger() {
+        let mut bytes = TcpHeader::new(1, 2, TcpFlags::SYN).encode();
+        bytes[12] = 6 << 4; // 24-byte header
+        bytes.extend_from_slice(&[0u8; 4]);
+        let (_, consumed) = TcpHeader::decode(&bytes).unwrap();
+        assert_eq!(consumed, 24);
+    }
+}

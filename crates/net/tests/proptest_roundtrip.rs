@@ -1,0 +1,160 @@
+//! Property-based tests: wire-format round trips and SR endpoint invariants.
+
+use std::net::Ipv6Addr;
+
+use proptest::prelude::*;
+use srlb_net::{
+    Ipv6Header, NextHeader, Packet, PacketBuilder, SegmentRoutingHeader, TcpFlags, TcpHeader,
+};
+
+fn arb_ipv6_addr() -> impl Strategy<Value = Ipv6Addr> {
+    any::<[u8; 16]>().prop_map(Ipv6Addr::from)
+}
+
+fn arb_flags() -> impl Strategy<Value = TcpFlags> {
+    any::<u8>().prop_map(TcpFlags::from_bits)
+}
+
+fn arb_tcp_header() -> impl Strategy<Value = TcpHeader> {
+    (
+        any::<u16>(),
+        any::<u16>(),
+        any::<u32>(),
+        any::<u32>(),
+        arb_flags(),
+        any::<u16>(),
+        any::<u16>(),
+        any::<u16>(),
+    )
+        .prop_map(
+            |(sp, dp, seq, ack, flags, window, checksum, urgent)| TcpHeader {
+                source_port: sp,
+                destination_port: dp,
+                sequence: seq,
+                acknowledgment: ack,
+                flags,
+                window,
+                checksum,
+                urgent,
+            },
+        )
+}
+
+fn arb_ipv6_header() -> impl Strategy<Value = Ipv6Header> {
+    (
+        any::<u8>(),
+        0u32..=0x000f_ffff,
+        any::<u16>(),
+        any::<u8>(),
+        any::<u8>(),
+        arb_ipv6_addr(),
+        arb_ipv6_addr(),
+    )
+        .prop_map(|(tc, fl, plen, nh, hops, src, dst)| Ipv6Header {
+            traffic_class: tc,
+            flow_label: fl,
+            payload_length: plen,
+            next_header: NextHeader::from(nh),
+            hop_limit: hops,
+            source: src,
+            destination: dst,
+        })
+}
+
+fn arb_route() -> impl Strategy<Value = Vec<Ipv6Addr>> {
+    prop::collection::vec(arb_ipv6_addr(), 1..8)
+}
+
+proptest! {
+    #[test]
+    fn ipv6_header_roundtrip(hdr in arb_ipv6_header()) {
+        let decoded = Ipv6Header::decode(&hdr.encode()).unwrap();
+        prop_assert_eq!(decoded, hdr);
+    }
+
+    #[test]
+    fn tcp_header_roundtrip(hdr in arb_tcp_header()) {
+        let (decoded, consumed) = TcpHeader::decode(&hdr.encode()).unwrap();
+        prop_assert_eq!(consumed, srlb_net::TCP_HEADER_LEN);
+        prop_assert_eq!(decoded, hdr);
+    }
+
+    #[test]
+    fn srh_roundtrip(route in arb_route(), tag in any::<u16>(), flags in any::<u8>()) {
+        let mut srh = SegmentRoutingHeader::from_route(&route).unwrap();
+        srh.tag = tag;
+        srh.flags = flags;
+        let bytes = srh.encode();
+        let (decoded, consumed) = SegmentRoutingHeader::decode(&bytes).unwrap();
+        prop_assert_eq!(consumed, bytes.len());
+        prop_assert_eq!(decoded, srh);
+    }
+
+    #[test]
+    fn srh_route_accessor_matches_input(route in arb_route()) {
+        let srh = SegmentRoutingHeader::from_route(&route).unwrap();
+        prop_assert_eq!(srh.route(), route.clone());
+        prop_assert_eq!(srh.active_segment(), route[0]);
+        prop_assert_eq!(srh.final_segment(), *route.last().unwrap());
+    }
+
+    #[test]
+    fn srh_advance_visits_route_in_order(route in arb_route()) {
+        let mut srh = SegmentRoutingHeader::from_route(&route).unwrap();
+        let mut visited = vec![srh.active_segment()];
+        while let Ok(next) = srh.advance() {
+            visited.push(next);
+        }
+        prop_assert_eq!(visited, route);
+        prop_assert_eq!(srh.segments_left(), 0);
+    }
+
+    #[test]
+    fn packet_roundtrip(
+        src in arb_ipv6_addr(),
+        dst in arb_ipv6_addr(),
+        route in proptest::option::of(arb_route()),
+        tcp in arb_tcp_header(),
+        payload in prop::collection::vec(any::<u8>(), 0..512),
+    ) {
+        let mut builder = PacketBuilder::tcp(src, dst)
+            .ports(tcp.source_port, tcp.destination_port)
+            .flags(tcp.flags)
+            .sequence(tcp.sequence)
+            .acknowledgment(tcp.acknowledgment)
+            .payload(payload);
+        if let Some(route) = route {
+            builder = builder.segment_routing(SegmentRoutingHeader::from_route(&route).unwrap());
+        }
+        let pkt = builder.build();
+        let decoded = Packet::decode(&pkt.encode()).unwrap();
+        prop_assert_eq!(decoded, pkt);
+    }
+
+    #[test]
+    fn decode_never_panics_on_arbitrary_bytes(bytes in prop::collection::vec(any::<u8>(), 0..200)) {
+        // Must not panic; errors are fine.
+        let _ = Packet::decode(&bytes);
+        let _ = Ipv6Header::decode(&bytes);
+        let _ = TcpHeader::decode(&bytes);
+        let _ = SegmentRoutingHeader::decode(&bytes);
+    }
+
+    #[test]
+    fn stable_hash_is_direction_invariant_under_flow_key_helpers(
+        client in arb_ipv6_addr(),
+        vip in arb_ipv6_addr(),
+        cport in any::<u16>(),
+        vport in any::<u16>(),
+    ) {
+        let req = PacketBuilder::tcp(client, vip)
+            .ports(cport, vport)
+            .flags(TcpFlags::SYN)
+            .build();
+        let reply = PacketBuilder::tcp(vip, client)
+            .ports(vport, cport)
+            .flags(TcpFlags::SYN_ACK)
+            .build();
+        prop_assert_eq!(req.flow_key_forward(), reply.flow_key_reverse());
+    }
+}

@@ -1,0 +1,75 @@
+//! Mapping between data-plane IPv6 addresses and simulation node ids.
+//!
+//! In the real system packets are routed by the network; in the simulator a
+//! node that wants to transmit a packet must know which [`NodeId`] hosts the
+//! destination address.  The `Directory` is that (static) routing table,
+//! built once by the experiment driver and cloned into every node.
+
+use std::collections::HashMap;
+use std::net::Ipv6Addr;
+
+use srlb_sim::NodeId;
+
+/// An address → node lookup table.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Directory {
+    entries: HashMap<Ipv6Addr, NodeId>,
+}
+
+impl Directory {
+    /// Creates an empty directory.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers `addr` as hosted by `node`.  Registering the same address
+    /// twice overwrites the previous owner and returns it.
+    pub fn register(&mut self, addr: Ipv6Addr, node: NodeId) -> Option<NodeId> {
+        self.entries.insert(addr, node)
+    }
+
+    /// Looks up the node hosting `addr`.
+    pub fn lookup(&self, addr: Ipv6Addr) -> Option<NodeId> {
+        self.entries.get(&addr).copied()
+    }
+
+    /// Number of registered addresses.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Returns `true` if no addresses are registered.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn addr(n: u16) -> Ipv6Addr {
+        Ipv6Addr::new(0xfd00, 0, 0, 0, 0, 0, 0, n)
+    }
+
+    #[test]
+    fn register_and_lookup() {
+        let mut dir = Directory::new();
+        assert!(dir.is_empty());
+        assert_eq!(dir.register(addr(1), NodeId(10)), None);
+        assert_eq!(dir.register(addr(2), NodeId(11)), None);
+        assert_eq!(dir.lookup(addr(1)), Some(NodeId(10)));
+        assert_eq!(dir.lookup(addr(2)), Some(NodeId(11)));
+        assert_eq!(dir.lookup(addr(3)), None);
+        assert_eq!(dir.len(), 2);
+    }
+
+    #[test]
+    fn reregistering_overwrites() {
+        let mut dir = Directory::new();
+        dir.register(addr(1), NodeId(10));
+        assert_eq!(dir.register(addr(1), NodeId(20)), Some(NodeId(10)));
+        assert_eq!(dir.lookup(addr(1)), Some(NodeId(20)));
+        assert_eq!(dir.len(), 1);
+    }
+}

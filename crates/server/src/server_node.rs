@@ -1,0 +1,444 @@
+//! The backend server as a simulation node.
+//!
+//! A [`ServerNode`] combines the virtual router, the application agent, the
+//! worker pool, the processor-sharing CPU and the accept backlog into one
+//! [`srlb_sim::Node`], and speaks the simple TCP-over-SRv6 protocol of the
+//! experiments:
+//!
+//! 1. a hunted **SYN** arrives with the Service Hunting SRH; the virtual
+//!    router decides locally (accept / pass on) from the scoreboard,
+//! 2. on acceptance the server answers with a **SYN-ACK** carrying the
+//!    acceptance SRH `[server, load-balancer, client]` so the load balancer
+//!    learns the owner of the flow,
+//! 3. the client then sends the **request** (an ACK/PSH packet whose payload
+//!    encodes the request id and its CPU service demand), steered by the
+//!    load balancer to the owning server,
+//! 4. the request claims an idle worker thread and its CPU demand is served
+//!    by the processor-sharing CPU (all busy threads contend for the
+//!    configured cores, as Apache's 32 prefork workers contend for the
+//!    paper's 2-core VMs); if no worker thread is idle the request waits in
+//!    the backlog, and if the backlog is full the connection is **reset**
+//!    (`tcp_abort_on_overflow`),
+//! 5. when service completes the server sends the **response** directly to
+//!    the client and pulls the next request from the backlog.
+
+use std::collections::HashMap;
+use std::net::Ipv6Addr;
+
+use bytes::Bytes;
+use serde::{Deserialize, Serialize};
+
+use srlb_net::{FlowKey, Packet, PacketBuilder, TcpFlags};
+use srlb_sim::{Context, Node, NodeId, SimDuration, SimTime, TimerToken};
+
+use crate::agent::ApplicationAgent;
+use crate::backlog::Backlog;
+use crate::cpu::ProcessorSharingCpu;
+use crate::directory::Directory;
+use crate::policy::PolicyConfig;
+use crate::vrouter::{RouterAction, VirtualRouter};
+use crate::worker::{WorkerId, WorkerPool};
+
+/// Static configuration of one backend server.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServerConfig {
+    /// Index of the server in the cluster.
+    pub server_index: u32,
+    /// The server's physical IPv6 address.
+    pub addr: Ipv6Addr,
+    /// The load balancer's address.
+    pub lb_addr: Ipv6Addr,
+    /// Number of worker threads (the paper uses 32).
+    pub workers: usize,
+    /// Number of CPU cores shared by busy worker threads (the paper's VMs
+    /// have 2).
+    pub cores: usize,
+    /// TCP backlog capacity (the paper uses 128).
+    pub backlog: usize,
+    /// Connection acceptance policy.
+    pub policy: PolicyConfig,
+    /// Whether to record per-change load samples (needed for Figure 4).
+    pub record_load: bool,
+}
+
+impl ServerConfig {
+    /// The paper's server configuration with the given policy: a 2-core VM
+    /// running 32 worker threads with a backlog of 128.
+    pub fn paper(server_index: u32, addr: Ipv6Addr, lb_addr: Ipv6Addr, policy: PolicyConfig) -> Self {
+        ServerConfig {
+            server_index,
+            addr,
+            lb_addr,
+            workers: 32,
+            cores: 2,
+            backlog: 128,
+            policy,
+            record_load: false,
+        }
+    }
+}
+
+/// Counters exposed by a server after a run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ServerStats {
+    /// Hunted connections accepted by the local policy (as a non-final
+    /// candidate).
+    pub accepted_by_policy: u64,
+    /// Hunted connections passed on to the next candidate.
+    pub passed_on: u64,
+    /// Connections accepted because this server was the final candidate.
+    pub forced_accepts: u64,
+    /// Requests that started service immediately.
+    pub served_immediately: u64,
+    /// Requests that had to wait in the backlog.
+    pub queued: u64,
+    /// Requests reset because the backlog was full.
+    pub resets: u64,
+    /// Requests completed (responses sent).
+    pub completed: u64,
+}
+
+/// A request waiting in the backlog for a worker thread.
+#[derive(Debug, Clone)]
+struct PendingJob {
+    flow: FlowKey,
+    client: Ipv6Addr,
+    request_id: u64,
+    service: SimDuration,
+}
+
+/// A request currently being served by a worker thread.
+#[derive(Debug, Clone)]
+struct RunningJob {
+    worker: WorkerId,
+    flow: FlowKey,
+    client: Ipv6Addr,
+    request_id: u64,
+}
+
+/// Encodes a request's id and CPU service demand into a packet payload.
+///
+/// The experiment's client encodes the per-request CPU demand (drawn from the
+/// workload's service-time distribution) in the request payload; this stands
+/// in for the PHP script / wiki page the paper's clients request, whose cost
+/// the server only discovers by executing it.
+pub fn encode_request_payload(request_id: u64, service: SimDuration) -> Bytes {
+    let mut buf = Vec::with_capacity(16);
+    buf.extend_from_slice(&request_id.to_be_bytes());
+    buf.extend_from_slice(&service.as_nanos().to_be_bytes());
+    Bytes::from(buf)
+}
+
+/// Decodes a payload produced by [`encode_request_payload`].
+///
+/// Returns `None` if the payload is too short.
+pub fn decode_request_payload(payload: &[u8]) -> Option<(u64, SimDuration)> {
+    if payload.len() < 16 {
+        return None;
+    }
+    let id = u64::from_be_bytes(payload[0..8].try_into().ok()?);
+    let nanos = u64::from_be_bytes(payload[8..16].try_into().ok()?);
+    Some((id, SimDuration::from_nanos(nanos)))
+}
+
+/// One backend server of the simulated cluster.
+#[derive(Debug)]
+pub struct ServerNode {
+    config: ServerConfig,
+    directory: Directory,
+    router: VirtualRouter,
+    agent: ApplicationAgent,
+    pool: WorkerPool,
+    cpu: ProcessorSharingCpu,
+    backlog: Backlog<PendingJob>,
+    connections: HashMap<FlowKey, Ipv6Addr>,
+    running: HashMap<u64, RunningJob>,
+    next_job_token: u64,
+    /// Generation counter for the single CPU completion timer: any timer
+    /// whose token does not match the current generation is stale and
+    /// ignored.
+    cpu_timer_generation: u64,
+    stats: ServerStats,
+    load_samples: Vec<(f64, usize)>,
+}
+
+impl ServerNode {
+    /// Creates a server node.
+    pub fn new(config: ServerConfig, directory: Directory) -> Self {
+        let router = VirtualRouter::new(config.addr, config.lb_addr);
+        let agent = ApplicationAgent::new(config.policy.build());
+        let pool = WorkerPool::new(config.workers);
+        let cpu = ProcessorSharingCpu::new(config.cores);
+        let backlog = Backlog::new(config.backlog);
+        ServerNode {
+            config,
+            directory,
+            router,
+            agent,
+            pool,
+            cpu,
+            backlog,
+            connections: HashMap::new(),
+            running: HashMap::new(),
+            next_job_token: 0,
+            cpu_timer_generation: 0,
+            stats: ServerStats::default(),
+            load_samples: Vec::new(),
+        }
+    }
+
+    /// The server's address.
+    pub fn addr(&self) -> Ipv6Addr {
+        self.config.addr
+    }
+
+    /// The server's index in the cluster.
+    pub fn server_index(&self) -> u32 {
+        self.config.server_index
+    }
+
+    /// Run counters.
+    pub fn stats(&self) -> ServerStats {
+        self.stats
+    }
+
+    /// Number of busy worker threads right now.
+    pub fn busy_workers(&self) -> usize {
+        self.pool.busy_count()
+    }
+
+    /// The application agent (for acceptance-ratio and threshold inspection).
+    pub fn agent(&self) -> &ApplicationAgent {
+        &self.agent
+    }
+
+    /// Per-change `(time_seconds, busy_workers)` samples (empty unless
+    /// `record_load` was enabled in the configuration).
+    pub fn load_samples(&self) -> &[(f64, usize)] {
+        &self.load_samples
+    }
+
+    /// Number of requests currently waiting in the backlog.
+    pub fn backlog_depth(&self) -> usize {
+        self.backlog.len()
+    }
+
+    fn record_load(&mut self, now: SimTime) {
+        if self.config.record_load {
+            self.load_samples
+                .push((now.as_secs_f64(), self.pool.busy_count()));
+        }
+    }
+
+    fn send_to_addr(&self, ctx: &mut Context<'_, Packet>, addr: Ipv6Addr, packet: Packet) {
+        if let Some(node) = self.directory.lookup(addr) {
+            ctx.send(node, packet);
+        }
+    }
+
+    /// Bumps the timer generation and schedules a wake-up at the CPU's next
+    /// completion instant (if any).  Must be called after every change to the
+    /// set of running jobs.
+    fn reschedule_cpu_timer(&mut self, ctx: &mut Context<'_, Packet>) {
+        self.cpu_timer_generation += 1;
+        if let Some(at) = self.cpu.next_completion(ctx.now()) {
+            let delay = at.duration_since(ctx.now());
+            ctx.schedule_timer(delay, TimerToken(self.cpu_timer_generation));
+        }
+    }
+
+    /// Handles a hunted SYN delivered locally: the connection is established
+    /// on this server and the SYN-ACK (with the acceptance SRH) is sent back
+    /// through the load balancer.
+    fn accept_connection(&mut self, packet: &Packet, ctx: &mut Context<'_, Packet>) {
+        let flow = packet.flow_key_forward();
+        let client = flow.client;
+        let vip = flow.vip;
+        self.connections.insert(flow, client);
+
+        let srh = self
+            .router
+            .acceptance_srh(client)
+            .expect("acceptance SRH construction cannot fail for 3 segments");
+        let syn_ack = PacketBuilder::tcp(vip, client)
+            .ports(flow.vip_port, flow.client_port)
+            .flags(TcpFlags::SYN_ACK)
+            .segment_routing(srh)
+            .build();
+        // The active segment of the acceptance SRH is the load balancer.
+        self.send_to_addr(ctx, self.config.lb_addr, syn_ack);
+    }
+
+    /// Handles an established-flow request packet: serve, queue or reset.
+    fn handle_request(&mut self, packet: &Packet, ctx: &mut Context<'_, Packet>) {
+        let flow = packet.flow_key_forward();
+        let Some((request_id, service)) = decode_request_payload(&packet.payload) else {
+            return; // bare ACK / FIN of the handshake: nothing to do
+        };
+        let client = self.connections.get(&flow).copied().unwrap_or(flow.client);
+        let job = PendingJob {
+            flow,
+            client,
+            request_id,
+            service,
+        };
+        if self.pool.is_saturated() {
+            match self.backlog.push(job) {
+                Ok(()) => {
+                    self.stats.queued += 1;
+                }
+                Err(job) => {
+                    // tcp_abort_on_overflow: reset the connection.
+                    self.stats.resets += 1;
+                    self.connections.remove(&job.flow);
+                    let rst = PacketBuilder::tcp(job.flow.vip, job.client)
+                        .ports(job.flow.vip_port, job.flow.client_port)
+                        .flags(TcpFlags::RST)
+                        .build();
+                    self.send_to_addr(ctx, job.client, rst);
+                }
+            }
+        } else {
+            self.stats.served_immediately += 1;
+            self.start_service(job, ctx.now());
+            self.record_load(ctx.now());
+            self.reschedule_cpu_timer(ctx);
+        }
+    }
+
+    /// Claims a worker thread and adds the job's CPU demand to the shared
+    /// CPU.  The caller is responsible for rescheduling the CPU timer.
+    fn start_service(&mut self, job: PendingJob, now: SimTime) {
+        let worker = self
+            .pool
+            .claim()
+            .expect("start_service is only called with an idle worker");
+        let token = self.next_job_token;
+        self.next_job_token += 1;
+        self.cpu.add_job(token, job.service, now);
+        self.running.insert(
+            token,
+            RunningJob {
+                worker,
+                flow: job.flow,
+                client: job.client,
+                request_id: job.request_id,
+            },
+        );
+    }
+
+    /// Completes one finished job: frees its worker thread, sends the
+    /// response to the client, and admits the next backlogged request if any.
+    fn complete_job(&mut self, token: u64, ctx: &mut Context<'_, Packet>) {
+        let Some(job) = self.running.remove(&token) else {
+            return;
+        };
+        self.pool.release(job.worker);
+        self.stats.completed += 1;
+        self.connections.remove(&job.flow);
+
+        // Response goes directly to the client (direct server return).
+        let response = PacketBuilder::tcp(job.flow.vip, job.client)
+            .ports(job.flow.vip_port, job.flow.client_port)
+            .flags(TcpFlags::PSH | TcpFlags::ACK)
+            .payload(job.request_id.to_be_bytes().to_vec())
+            .build();
+        self.send_to_addr(ctx, job.client, response);
+
+        // Pull the next waiting request onto the freed worker thread.
+        if let Some(next) = self.backlog.pop() {
+            self.start_service(next, ctx.now());
+        }
+    }
+}
+
+impl Node<Packet> for ServerNode {
+    fn on_message(&mut self, packet: Packet, _from: NodeId, ctx: &mut Context<'_, Packet>) {
+        let scoreboard = self.pool.scoreboard();
+        let accepted_before = self.agent.accepted();
+        let action = match self.router.process(packet, &mut self.agent, scoreboard) {
+            Ok(action) => action,
+            Err(_) => return, // malformed SRH: drop
+        };
+        match action {
+            RouterAction::Forward { packet, next_hop } => {
+                self.stats.passed_on += 1;
+                self.send_to_addr(ctx, next_hop, packet);
+            }
+            RouterAction::DeliverLocal(packet) => {
+                if packet.is_syn() {
+                    // A SYN accepted without consulting the agent was a
+                    // forced acceptance (this server was the last candidate).
+                    if self.agent.accepted() > accepted_before {
+                        self.stats.accepted_by_policy += 1;
+                    } else {
+                        self.stats.forced_accepts += 1;
+                    }
+                    self.accept_connection(&packet, ctx);
+                } else if packet.is_rst() || packet.is_fin() {
+                    // Connection aborted by the peer.
+                    self.connections.remove(&packet.flow_key_forward());
+                } else {
+                    self.handle_request(&packet, ctx);
+                }
+            }
+        }
+    }
+
+    fn on_timer(&mut self, token: TimerToken, ctx: &mut Context<'_, Packet>) {
+        if token.0 != self.cpu_timer_generation {
+            return; // stale wake-up from before the last CPU change
+        }
+        let finished = self.cpu.take_completed(ctx.now());
+        for job_token in finished {
+            self.complete_job(job_token, ctx);
+        }
+        self.record_load(ctx.now());
+        self.reschedule_cpu_timer(ctx);
+    }
+
+    fn name(&self) -> String {
+        format!("server-{}", self.config.server_index)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn payload_roundtrip() {
+        let payload = encode_request_payload(42, SimDuration::from_millis(100));
+        assert_eq!(payload.len(), 16);
+        let (id, service) = decode_request_payload(&payload).unwrap();
+        assert_eq!(id, 42);
+        assert_eq!(service, SimDuration::from_millis(100));
+    }
+
+    #[test]
+    fn short_payload_is_rejected() {
+        assert_eq!(decode_request_payload(&[1, 2, 3]), None);
+        assert_eq!(decode_request_payload(&[]), None);
+    }
+
+    #[test]
+    fn server_config_paper_defaults() {
+        let cfg = ServerConfig::paper(
+            3,
+            "fd00::3".parse().unwrap(),
+            "fd00::1b".parse().unwrap(),
+            PolicyConfig::Static { threshold: 4 },
+        );
+        assert_eq!(cfg.workers, 32);
+        assert_eq!(cfg.cores, 2);
+        assert_eq!(cfg.backlog, 128);
+        assert!(!cfg.record_load);
+        let node = ServerNode::new(cfg, Directory::new());
+        assert_eq!(node.busy_workers(), 0);
+        assert_eq!(node.backlog_depth(), 0);
+        assert_eq!(node.server_index(), 3);
+        assert_eq!(node.addr(), "fd00::3".parse::<Ipv6Addr>().unwrap());
+        assert_eq!(node.stats(), ServerStats::default());
+        assert_eq!(Node::<Packet>::name(&node), "server-3");
+    }
+}

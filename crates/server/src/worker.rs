@@ -1,0 +1,193 @@
+//! The worker-thread pool and its scoreboard.
+//!
+//! Models Apache's `mpm_prefork` worker model used in the paper's testbed:
+//! a fixed pool of worker threads, each either idle or busy serving exactly
+//! one request.  The pool's [`Scoreboard`] (busy/idle counts) is the
+//! application state the SRLB agent exposes to the virtual router.
+
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a worker thread within one server's pool.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct WorkerId(pub usize);
+
+/// A snapshot of the pool state, equivalent to what the paper's agent reads
+/// from Apache's scoreboard shared memory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Scoreboard {
+    /// Number of busy worker threads.
+    pub busy: usize,
+    /// Total number of worker threads.
+    pub total: usize,
+}
+
+impl Scoreboard {
+    /// Number of idle worker threads.
+    pub fn idle(&self) -> usize {
+        self.total - self.busy
+    }
+
+    /// Utilisation in `[0, 1]`.
+    pub fn utilization(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.busy as f64 / self.total as f64
+        }
+    }
+}
+
+/// A fixed pool of worker threads.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WorkerPool {
+    /// `true` for busy workers.
+    busy: Vec<bool>,
+    busy_count: usize,
+}
+
+impl WorkerPool {
+    /// Creates a pool of `n` idle workers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0, "a worker pool needs at least one worker");
+        WorkerPool {
+            busy: vec![false; n],
+            busy_count: 0,
+        }
+    }
+
+    /// The paper's configuration: 32 worker threads per server.
+    pub fn paper_default() -> Self {
+        Self::new(32)
+    }
+
+    /// Total number of workers.
+    pub fn total(&self) -> usize {
+        self.busy.len()
+    }
+
+    /// Number of busy workers.
+    pub fn busy_count(&self) -> usize {
+        self.busy_count
+    }
+
+    /// Number of idle workers.
+    pub fn idle_count(&self) -> usize {
+        self.total() - self.busy_count
+    }
+
+    /// Returns `true` if every worker is busy.
+    pub fn is_saturated(&self) -> bool {
+        self.busy_count == self.total()
+    }
+
+    /// Current scoreboard snapshot.
+    pub fn scoreboard(&self) -> Scoreboard {
+        Scoreboard {
+            busy: self.busy_count,
+            total: self.total(),
+        }
+    }
+
+    /// Claims an idle worker, marking it busy.  Returns `None` if the pool is
+    /// saturated.
+    pub fn claim(&mut self) -> Option<WorkerId> {
+        let index = self.busy.iter().position(|&b| !b)?;
+        self.busy[index] = true;
+        self.busy_count += 1;
+        Some(WorkerId(index))
+    }
+
+    /// Releases a previously claimed worker.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the worker id is out of range or the worker is already idle
+    /// (both indicate a bookkeeping bug in the caller).
+    pub fn release(&mut self, worker: WorkerId) {
+        let slot = self
+            .busy
+            .get_mut(worker.0)
+            .unwrap_or_else(|| panic!("worker {} out of range", worker.0));
+        assert!(*slot, "releasing an idle worker {}", worker.0);
+        *slot = false;
+        self.busy_count -= 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn claims_and_releases_track_busy_count() {
+        let mut pool = WorkerPool::new(3);
+        assert_eq!(pool.total(), 3);
+        assert_eq!(pool.busy_count(), 0);
+        assert_eq!(pool.idle_count(), 3);
+        assert!(!pool.is_saturated());
+
+        let a = pool.claim().unwrap();
+        let b = pool.claim().unwrap();
+        assert_eq!(pool.busy_count(), 2);
+        assert_ne!(a, b);
+
+        let c = pool.claim().unwrap();
+        assert!(pool.is_saturated());
+        assert_eq!(pool.claim(), None);
+
+        pool.release(b);
+        assert_eq!(pool.busy_count(), 2);
+        let d = pool.claim().unwrap();
+        assert_eq!(d, b, "released worker is reused");
+        pool.release(a);
+        pool.release(c);
+        pool.release(d);
+        assert_eq!(pool.busy_count(), 0);
+    }
+
+    #[test]
+    fn scoreboard_reflects_pool() {
+        let mut pool = WorkerPool::paper_default();
+        assert_eq!(pool.total(), 32);
+        for _ in 0..10 {
+            pool.claim();
+        }
+        let sb = pool.scoreboard();
+        assert_eq!(sb.busy, 10);
+        assert_eq!(sb.total, 32);
+        assert_eq!(sb.idle(), 22);
+        assert!((sb.utilization() - 10.0 / 32.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_scoreboard_utilization_is_zero() {
+        let sb = Scoreboard { busy: 0, total: 0 };
+        assert_eq!(sb.utilization(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker")]
+    fn zero_workers_panics() {
+        WorkerPool::new(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "releasing an idle worker")]
+    fn double_release_panics() {
+        let mut pool = WorkerPool::new(1);
+        let w = pool.claim().unwrap();
+        pool.release(w);
+        pool.release(w);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_release_panics() {
+        let mut pool = WorkerPool::new(1);
+        pool.release(WorkerId(5));
+    }
+}

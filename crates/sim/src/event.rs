@@ -1,0 +1,221 @@
+//! The global event queue.
+//!
+//! Events are ordered by delivery time; ties are broken by insertion order
+//! (FIFO), which keeps runs deterministic regardless of how many events share
+//! a timestamp.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+use std::fmt;
+
+use crate::node::{NodeId, TimerToken};
+use crate::time::SimTime;
+
+/// What an event delivers to its target node.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EventPayload<M> {
+    /// A message from another node.
+    Message {
+        /// The sending node.
+        from: NodeId,
+        /// The message itself.
+        msg: M,
+    },
+    /// A timer scheduled by the target node itself.
+    Timer {
+        /// The token the node attached when scheduling the timer.
+        token: TimerToken,
+    },
+}
+
+/// An event scheduled for delivery.
+#[derive(Debug, Clone)]
+pub struct ScheduledEvent<M> {
+    /// Delivery time.
+    pub time: SimTime,
+    /// Monotonic sequence number used for FIFO tie-breaking.
+    pub seq: u64,
+    /// Node the event is delivered to.
+    pub target: NodeId,
+    /// The payload.
+    pub payload: EventPayload<M>,
+}
+
+impl<M> PartialEq for ScheduledEvent<M> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+
+impl<M> Eq for ScheduledEvent<M> {}
+
+impl<M> PartialOrd for ScheduledEvent<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<M> Ord for ScheduledEvent<M> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; reverse so the earliest event pops first.
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A time-ordered queue of [`ScheduledEvent`]s with FIFO tie-breaking.
+pub struct EventQueue<M> {
+    heap: BinaryHeap<ScheduledEvent<M>>,
+    next_seq: u64,
+}
+
+impl<M> fmt::Debug for EventQueue<M> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("EventQueue")
+            .field("len", &self.heap.len())
+            .field("next_seq", &self.next_seq)
+            .finish()
+    }
+}
+
+impl<M> Default for EventQueue<M> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<M> EventQueue<M> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+        }
+    }
+
+    /// Schedules `payload` for delivery to `target` at `time`.
+    pub fn push(&mut self, time: SimTime, target: NodeId, payload: EventPayload<M>) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(ScheduledEvent {
+            time,
+            seq,
+            target,
+            payload,
+        });
+    }
+
+    /// Removes and returns the earliest event.
+    pub fn pop(&mut self) -> Option<ScheduledEvent<M>> {
+        self.heap.pop()
+    }
+
+    /// Delivery time of the earliest event, if any.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|e| e.time)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Returns `true` if no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Total number of events ever scheduled on this queue.
+    pub fn scheduled_total(&self) -> u64 {
+        self.next_seq
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn msg(queue: &mut EventQueue<u32>, t: u64, target: usize, m: u32) {
+        queue.push(
+            SimTime::from_nanos(t),
+            NodeId(target),
+            EventPayload::Message {
+                from: NodeId(0),
+                msg: m,
+            },
+        );
+    }
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        msg(&mut q, 30, 1, 3);
+        msg(&mut q, 10, 1, 1);
+        msg(&mut q, 20, 1, 2);
+        let order: Vec<u32> = std::iter::from_fn(|| q.pop()).map(|e| match e.payload {
+            EventPayload::Message { msg, .. } => msg,
+            _ => unreachable!(),
+        })
+        .collect();
+        assert_eq!(order, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn ties_are_fifo() {
+        let mut q = EventQueue::new();
+        for i in 0..100u32 {
+            msg(&mut q, 5, 0, i);
+        }
+        let order: Vec<u32> = std::iter::from_fn(|| q.pop()).map(|e| match e.payload {
+            EventPayload::Message { msg, .. } => msg,
+            _ => unreachable!(),
+        })
+        .collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn len_and_peek() {
+        let mut q: EventQueue<u32> = EventQueue::new();
+        assert!(q.is_empty());
+        assert_eq!(q.peek_time(), None);
+        msg(&mut q, 42, 0, 0);
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.peek_time(), Some(SimTime::from_nanos(42)));
+        assert_eq!(q.scheduled_total(), 1);
+        q.pop();
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn timers_and_messages_share_the_queue() {
+        let mut q: EventQueue<u32> = EventQueue::new();
+        q.push(
+            SimTime::from_nanos(1),
+            NodeId(0),
+            EventPayload::Timer {
+                token: TimerToken(9),
+            },
+        );
+        msg(&mut q, 2, 0, 7);
+        assert!(matches!(
+            q.pop().unwrap().payload,
+            EventPayload::Timer {
+                token: TimerToken(9)
+            }
+        ));
+        assert!(matches!(
+            q.pop().unwrap().payload,
+            EventPayload::Message { msg: 7, .. }
+        ));
+    }
+
+    #[test]
+    fn default_is_empty() {
+        let q: EventQueue<u32> = EventQueue::default();
+        assert!(q.is_empty());
+        assert!(!format!("{q:?}").is_empty());
+    }
+}

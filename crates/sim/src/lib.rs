@@ -1,0 +1,70 @@
+//! # srlb-sim — deterministic discrete-event network simulator
+//!
+//! This crate is the evaluation substrate of the SRLB reproduction.  The
+//! original paper evaluates its load balancer on a physical testbed (a VPP
+//! load balancer and twelve Apache VMs bridged on one link); this simulator
+//! replaces that testbed with a deterministic discrete-event model so that
+//! the same queueing dynamics can be reproduced on a laptop with controlled
+//! randomness.
+//!
+//! The building blocks are:
+//!
+//! * [`SimTime`] / [`SimDuration`] — integer-nanosecond simulated time,
+//! * [`Node`] — the trait implemented by every simulated component (clients,
+//!   the load balancer, servers); nodes exchange messages of a user-chosen
+//!   type `M` and receive timer callbacks,
+//! * [`Context`] — the API a node uses during a callback to send messages,
+//!   schedule timers and draw random numbers,
+//! * [`Topology`] — per-link one-way latencies,
+//! * [`Network`] — the engine: an event queue ordered by time, with
+//!   deterministic FIFO tie-breaking,
+//! * [`SimRng`] — a seeded random number generator that can be forked into
+//!   independent, reproducible streams.
+//!
+//! ## Example
+//!
+//! ```
+//! use srlb_sim::{Context, Network, Node, NodeId, SimDuration, Topology};
+//!
+//! struct Counter { peer: Option<NodeId>, received: u32 }
+//!
+//! impl Node<u32> for Counter {
+//!     fn on_start(&mut self, ctx: &mut Context<'_, u32>) {
+//!         if let Some(peer) = self.peer {
+//!             ctx.send(peer, 1);
+//!         }
+//!     }
+//!     fn on_message(&mut self, msg: u32, from: NodeId, ctx: &mut Context<'_, u32>) {
+//!         self.received += msg;
+//!         if msg < 3 {
+//!             ctx.send(from, msg + 1);
+//!         }
+//!     }
+//! }
+//!
+//! let mut net = Network::new(42, Topology::uniform(SimDuration::from_micros(50)));
+//! let a = net.add_node(Counter { peer: None, received: 0 });
+//! let _b = net.add_node(Counter { peer: Some(a), received: 0 });
+//! net.run();
+//! assert_eq!(net.stats().messages_delivered, 3);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod event;
+pub mod link;
+pub mod network;
+pub mod node;
+pub mod rng;
+pub mod time;
+pub mod trace;
+
+pub use event::EventQueue;
+pub use link::Topology;
+pub use network::{Network, RunLimit, SimStats};
+pub use node::{Context, Node, NodeId, TimerToken};
+pub use rng::SimRng;
+pub use time::{SimDuration, SimTime};
+pub use trace::{TraceEntry, TraceKind, TraceLog};

@@ -1,0 +1,140 @@
+//! Link latencies between nodes.
+//!
+//! The paper's testbed bridges the load balancer and all servers on the same
+//! link, so the default topology is a uniform one-way latency; specific pairs
+//! can be overridden (e.g. a slower client↔load-balancer WAN hop).
+
+use std::collections::HashMap;
+
+use crate::node::NodeId;
+use crate::time::SimDuration;
+
+/// One-way link latencies between pairs of nodes.
+#[derive(Debug, Clone)]
+pub struct Topology {
+    default_latency: SimDuration,
+    overrides: HashMap<(NodeId, NodeId), SimDuration>,
+    symmetric: bool,
+}
+
+impl Topology {
+    /// A topology in which every pair of nodes is connected with the same
+    /// one-way latency.
+    pub fn uniform(latency: SimDuration) -> Self {
+        Topology {
+            default_latency: latency,
+            overrides: HashMap::new(),
+            symmetric: true,
+        }
+    }
+
+    /// The default data-centre topology used by the SRLB experiments:
+    /// a 50 µs one-way latency between any two nodes (bridged L2 segment).
+    pub fn datacenter() -> Self {
+        Self::uniform(SimDuration::from_micros(50))
+    }
+
+    /// Sets the latency of the directed link `a → b` (and `b → a` if the
+    /// topology is symmetric, the default).
+    pub fn set_link(&mut self, a: NodeId, b: NodeId, latency: SimDuration) -> &mut Self {
+        self.overrides.insert((a, b), latency);
+        if self.symmetric {
+            self.overrides.insert((b, a), latency);
+        }
+        self
+    }
+
+    /// Makes subsequent [`Topology::set_link`] calls directional.
+    pub fn asymmetric(&mut self) -> &mut Self {
+        self.symmetric = false;
+        self
+    }
+
+    /// One-way latency from `a` to `b`.  Sending a message to oneself is
+    /// instantaneous unless explicitly overridden.
+    pub fn latency(&self, a: NodeId, b: NodeId) -> SimDuration {
+        if let Some(latency) = self.overrides.get(&(a, b)) {
+            return *latency;
+        }
+        if a == b {
+            SimDuration::ZERO
+        } else {
+            self.default_latency
+        }
+    }
+
+    /// The default latency applied to links without an override.
+    pub fn default_latency(&self) -> SimDuration {
+        self.default_latency
+    }
+}
+
+impl Default for Topology {
+    fn default() -> Self {
+        Self::datacenter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_latency_applies_to_every_pair() {
+        let topo = Topology::uniform(SimDuration::from_micros(10));
+        assert_eq!(
+            topo.latency(NodeId(0), NodeId(5)),
+            SimDuration::from_micros(10)
+        );
+        assert_eq!(
+            topo.latency(NodeId(5), NodeId(0)),
+            SimDuration::from_micros(10)
+        );
+        assert_eq!(topo.default_latency(), SimDuration::from_micros(10));
+    }
+
+    #[test]
+    fn self_links_are_instantaneous() {
+        let topo = Topology::datacenter();
+        assert_eq!(topo.latency(NodeId(3), NodeId(3)), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn overrides_are_symmetric_by_default() {
+        let mut topo = Topology::datacenter();
+        topo.set_link(NodeId(0), NodeId(1), SimDuration::from_millis(5));
+        assert_eq!(
+            topo.latency(NodeId(0), NodeId(1)),
+            SimDuration::from_millis(5)
+        );
+        assert_eq!(
+            topo.latency(NodeId(1), NodeId(0)),
+            SimDuration::from_millis(5)
+        );
+        assert_eq!(
+            topo.latency(NodeId(0), NodeId(2)),
+            SimDuration::from_micros(50)
+        );
+    }
+
+    #[test]
+    fn asymmetric_overrides_are_directional() {
+        let mut topo = Topology::uniform(SimDuration::from_micros(1));
+        topo.asymmetric()
+            .set_link(NodeId(0), NodeId(1), SimDuration::from_millis(2));
+        assert_eq!(
+            topo.latency(NodeId(0), NodeId(1)),
+            SimDuration::from_millis(2)
+        );
+        assert_eq!(
+            topo.latency(NodeId(1), NodeId(0)),
+            SimDuration::from_micros(1)
+        );
+    }
+
+    #[test]
+    fn default_topology_is_datacenter() {
+        let topo = Topology::default();
+        assert_eq!(topo.default_latency(), SimDuration::from_micros(50));
+    }
+}

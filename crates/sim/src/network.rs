@@ -1,0 +1,548 @@
+//! The simulation engine.
+
+use std::fmt;
+
+use crate::event::{EventPayload, EventQueue};
+use crate::link::Topology;
+use crate::node::{Context, Node, NodeId};
+use crate::rng::SimRng;
+use crate::time::SimTime;
+use crate::trace::{TraceEntry, TraceKind, TraceLog};
+
+/// Limits applied to a simulation run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunLimit {
+    /// Stop once simulated time exceeds this value (`None` = unlimited).
+    pub until: Option<SimTime>,
+    /// Stop after processing this many events (`None` = unlimited).
+    pub max_events: Option<u64>,
+}
+
+impl RunLimit {
+    /// No limits: run until the event queue drains or a node calls
+    /// [`Context::stop`].
+    pub fn unlimited() -> Self {
+        RunLimit {
+            until: None,
+            max_events: None,
+        }
+    }
+
+    /// Run until the given simulated time.
+    pub fn until(time: SimTime) -> Self {
+        RunLimit {
+            until: Some(time),
+            max_events: None,
+        }
+    }
+
+    /// Run for at most `n` events.
+    pub fn max_events(n: u64) -> Self {
+        RunLimit {
+            until: None,
+            max_events: Some(n),
+        }
+    }
+}
+
+/// Counters describing a finished (or paused) run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SimStats {
+    /// Events popped from the queue and dispatched.
+    pub events_processed: u64,
+    /// Messages delivered to nodes.
+    pub messages_delivered: u64,
+    /// Timers fired.
+    pub timers_fired: u64,
+    /// Messages addressed to a node id that does not exist (dropped).
+    pub messages_dropped: u64,
+    /// Simulated time of the last processed event.
+    pub last_event_time: SimTime,
+}
+
+/// The discrete-event simulation engine.
+///
+/// `M` is the message type exchanged by nodes (for SRLB experiments this is
+/// the packet/message enum defined in `srlb-core`).
+pub struct Network<M> {
+    nodes: Vec<Option<Box<dyn AnyNode<M>>>>,
+    queue: EventQueue<M>,
+    topology: Topology,
+    rng: SimRng,
+    now: SimTime,
+    started: bool,
+    stop_requested: bool,
+    stats: SimStats,
+    trace: TraceLog,
+    trace_describe: Option<Box<dyn Fn(&M) -> String>>,
+}
+
+impl<M> fmt::Debug for Network<M> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Network")
+            .field("nodes", &self.nodes.len())
+            .field("pending_events", &self.queue.len())
+            .field("now", &self.now)
+            .field("stats", &self.stats)
+            .finish()
+    }
+}
+
+impl<M> Network<M> {
+    /// Creates an empty network with the given seed and topology.
+    pub fn new(seed: u64, topology: Topology) -> Self {
+        Network {
+            nodes: Vec::new(),
+            queue: EventQueue::new(),
+            topology,
+            rng: SimRng::new(seed).fork_named("network"),
+            now: SimTime::ZERO,
+            started: false,
+            stop_requested: false,
+            stats: SimStats::default(),
+            trace: TraceLog::disabled(),
+            trace_describe: None,
+        }
+    }
+
+    /// Adds a node and returns its id.  Nodes must be added before the first
+    /// call to [`Network::run`] / [`Network::run_with_limit`].
+    pub fn add_node(&mut self, node: impl Node<M> + 'static) -> NodeId {
+        let id = NodeId(self.nodes.len());
+        self.nodes.push(Some(Box::new(node)));
+        id
+    }
+
+    /// Enables tracing of message deliveries, using `describe` to render each
+    /// message for the trace log.
+    pub fn enable_trace(&mut self, describe: impl Fn(&M) -> String + 'static) {
+        self.trace = TraceLog::new();
+        self.trace_describe = Some(Box::new(describe));
+    }
+
+    /// The trace log (empty unless [`Network::enable_trace`] was called).
+    pub fn trace(&self) -> &TraceLog {
+        &self.trace
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Run statistics so far.
+    pub fn stats(&self) -> SimStats {
+        self.stats
+    }
+
+    /// Number of nodes in the network.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// The topology used for link latencies.
+    pub fn topology(&self) -> &Topology {
+        &self.topology
+    }
+
+    /// Immutable access to a node as a `dyn Node<M>`.
+    ///
+    /// Returns `None` if the id is out of range.
+    pub fn with_node<R>(&self, id: NodeId, f: impl FnOnce(&dyn Node<M>) -> R) -> Option<R> {
+        self.nodes
+            .get(id.index())
+            .and_then(|slot| slot.as_ref())
+            .map(|node| f(node.as_node()))
+    }
+
+    /// Immutable, downcast access to a node of concrete type `T`.
+    ///
+    /// Returns `None` if the id is out of range or the node has a different
+    /// type.  Useful for peeking at node state (e.g. a server's scoreboard)
+    /// while the simulation is paused between [`Network::run_with_limit`]
+    /// calls.
+    pub fn node_as<T: 'static>(&self, id: NodeId) -> Option<&T> {
+        self.nodes
+            .get(id.index())
+            .and_then(|slot| slot.as_ref())
+            .and_then(|node| node.as_any().downcast_ref::<T>())
+    }
+
+    /// Runs `on_start` on every node (once).
+    fn start(&mut self) {
+        if self.started {
+            return;
+        }
+        self.started = true;
+        for index in 0..self.nodes.len() {
+            let mut node = self.nodes[index].take().expect("node present at start");
+            let mut ctx = Context {
+                now: self.now,
+                self_id: NodeId(index),
+                from: None,
+                queue: &mut self.queue,
+                topology: &self.topology,
+                rng: &mut self.rng,
+                stop_requested: &mut self.stop_requested,
+            };
+            node.on_start(&mut ctx);
+            self.nodes[index] = Some(node);
+        }
+    }
+
+    /// Runs until the event queue drains, a node requests a stop, or the
+    /// limit is hit.  Returns the statistics of the whole run so far.
+    pub fn run_with_limit(&mut self, limit: RunLimit) -> SimStats {
+        self.start();
+        let mut processed_this_call: u64 = 0;
+        while let Some(next_time) = self.queue.peek_time() {
+            if self.stop_requested {
+                break;
+            }
+            if let Some(until) = limit.until {
+                if next_time > until {
+                    break;
+                }
+            }
+            if let Some(max) = limit.max_events {
+                if processed_this_call >= max {
+                    break;
+                }
+            }
+            let event = self.queue.pop().expect("peeked event exists");
+            self.now = event.time;
+            self.stats.events_processed += 1;
+            self.stats.last_event_time = self.now;
+            processed_this_call += 1;
+
+            let target = event.target;
+            let Some(slot) = self.nodes.get_mut(target.index()) else {
+                self.stats.messages_dropped += 1;
+                continue;
+            };
+            let Some(mut node) = slot.take() else {
+                self.stats.messages_dropped += 1;
+                continue;
+            };
+
+            match event.payload {
+                EventPayload::Message { from, msg } => {
+                    self.stats.messages_delivered += 1;
+                    if let Some(describe) = &self.trace_describe {
+                        self.trace.record(TraceEntry {
+                            time: self.now,
+                            kind: TraceKind::MessageDelivered,
+                            target,
+                            from: Some(from),
+                            description: describe(&msg),
+                        });
+                    }
+                    let mut ctx = Context {
+                        now: self.now,
+                        self_id: target,
+                        from: Some(from),
+                        queue: &mut self.queue,
+                        topology: &self.topology,
+                        rng: &mut self.rng,
+                        stop_requested: &mut self.stop_requested,
+                    };
+                    node.on_message(msg, from, &mut ctx);
+                }
+                EventPayload::Timer { token } => {
+                    self.stats.timers_fired += 1;
+                    if self.trace.is_enabled() {
+                        self.trace.record(TraceEntry {
+                            time: self.now,
+                            kind: TraceKind::TimerFired,
+                            target,
+                            from: None,
+                            description: format!("timer {}", token.0),
+                        });
+                    }
+                    let mut ctx = Context {
+                        now: self.now,
+                        self_id: target,
+                        from: None,
+                        queue: &mut self.queue,
+                        topology: &self.topology,
+                        rng: &mut self.rng,
+                        stop_requested: &mut self.stop_requested,
+                    };
+                    node.on_timer(token, &mut ctx);
+                }
+            }
+            self.nodes[target.index()] = Some(node);
+        }
+        self.stats
+    }
+
+    /// Runs until the event queue drains or a node requests a stop.
+    pub fn run(&mut self) -> SimStats {
+        self.run_with_limit(RunLimit::unlimited())
+    }
+
+    /// Consumes the network and returns the node with id `id`, downcast to
+    /// `T`, so results accumulated inside nodes can be extracted after a run.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range or the node is not of type `T`.
+    pub fn into_node<T: 'static>(mut self, id: NodeId) -> T
+    where
+        M: 'static,
+    {
+        self.take_node(id)
+            .unwrap_or_else(|| panic!("node {id} is missing or not of the requested type"))
+    }
+
+    /// Removes the node with id `id` from the network and returns it,
+    /// downcast to `T`.  Returns `None` if the id is out of range, the node
+    /// was already taken, or it has a different concrete type.
+    ///
+    /// Use this after a run to extract results from several nodes (the
+    /// engine will simply drop any further events addressed to the removed
+    /// node, counting them in [`SimStats::messages_dropped`]).
+    pub fn take_node<T: 'static>(&mut self, id: NodeId) -> Option<T>
+    where
+        M: 'static,
+    {
+        let slot = self.nodes.get_mut(id.index())?;
+        if !slot.as_ref()?.as_any().is::<T>() {
+            return None;
+        }
+        let node = slot.take()?;
+        node.into_any().downcast::<T>().ok().map(|boxed| *boxed)
+    }
+}
+
+/// Object-safe combination of [`Node`] and `Any`, so concrete node types can
+/// be recovered after a run (used by the experiment driver to extract
+/// collected measurements).
+trait AnyNode<M>: Node<M> {
+    fn as_node(&self) -> &dyn Node<M>;
+    fn as_any(&self) -> &dyn std::any::Any;
+    fn into_any(self: Box<Self>) -> Box<dyn std::any::Any>;
+}
+
+impl<M, T: Node<M> + 'static> AnyNode<M> for T {
+    fn as_node(&self) -> &dyn Node<M> {
+        self
+    }
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+    fn into_any(self: Box<Self>) -> Box<dyn std::any::Any> {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::node::TimerToken;
+    use crate::time::SimDuration;
+
+    /// A node that echoes numbers back until a cap, counting what it saw.
+    struct Echo {
+        peer: Option<NodeId>,
+        cap: u32,
+        seen: Vec<u32>,
+    }
+
+    impl Node<u32> for Echo {
+        fn on_start(&mut self, ctx: &mut Context<'_, u32>) {
+            if let Some(peer) = self.peer {
+                ctx.send(peer, 0);
+            }
+        }
+        fn on_message(&mut self, msg: u32, from: NodeId, ctx: &mut Context<'_, u32>) {
+            self.seen.push(msg);
+            if msg < self.cap {
+                ctx.send(from, msg + 1);
+            }
+        }
+    }
+
+    #[test]
+    fn ping_pong_terminates_and_counts() {
+        let mut net = Network::new(1, Topology::uniform(SimDuration::from_micros(100)));
+        let a = net.add_node(Echo {
+            peer: None,
+            cap: 10,
+            seen: vec![],
+        });
+        let b = net.add_node(Echo {
+            peer: Some(a),
+            cap: 10,
+            seen: vec![],
+        });
+        let stats = net.run();
+        assert_eq!(stats.messages_delivered, 11); // msgs 0..=10
+        assert_eq!(stats.timers_fired, 0);
+        assert_eq!(stats.messages_dropped, 0);
+        // one-way latency 100us, 11 hops
+        assert_eq!(
+            stats.last_event_time,
+            SimTime::ZERO + SimDuration::from_micros(1100)
+        );
+        let a_node: Echo = {
+            let _ = b;
+            net.into_node(a)
+        };
+        assert_eq!(a_node.seen, vec![0, 2, 4, 6, 8, 10]);
+    }
+
+    #[test]
+    fn run_until_respects_time_limit() {
+        let mut net = Network::new(1, Topology::uniform(SimDuration::from_millis(1)));
+        let a = net.add_node(Echo {
+            peer: None,
+            cap: 1_000,
+            seen: vec![],
+        });
+        let _b = net.add_node(Echo {
+            peer: Some(a),
+            cap: 1_000,
+            seen: vec![],
+        });
+        let stats = net.run_with_limit(RunLimit::until(SimTime::from_secs_f64(0.0105)));
+        assert!(stats.messages_delivered <= 11);
+        assert!(net.now() <= SimTime::from_secs_f64(0.0105));
+    }
+
+    #[test]
+    fn run_respects_event_limit() {
+        let mut net = Network::new(1, Topology::uniform(SimDuration::from_micros(1)));
+        let a = net.add_node(Echo {
+            peer: None,
+            cap: u32::MAX,
+            seen: vec![],
+        });
+        let _b = net.add_node(Echo {
+            peer: Some(a),
+            cap: u32::MAX,
+            seen: vec![],
+        });
+        let stats = net.run_with_limit(RunLimit::max_events(50));
+        assert_eq!(stats.events_processed, 50);
+    }
+
+    /// A node that schedules a periodic timer and stops the run after 5 fires.
+    struct Ticker {
+        fired: u32,
+    }
+
+    impl Node<u32> for Ticker {
+        fn on_start(&mut self, ctx: &mut Context<'_, u32>) {
+            ctx.schedule_timer(SimDuration::from_millis(10), TimerToken(1));
+        }
+        fn on_message(&mut self, _msg: u32, _from: NodeId, _ctx: &mut Context<'_, u32>) {}
+        fn on_timer(&mut self, token: TimerToken, ctx: &mut Context<'_, u32>) {
+            assert_eq!(token, TimerToken(1));
+            self.fired += 1;
+            if self.fired >= 5 {
+                ctx.stop();
+            } else {
+                ctx.schedule_timer(SimDuration::from_millis(10), TimerToken(1));
+            }
+        }
+    }
+
+    #[test]
+    fn timers_fire_and_stop_works() {
+        let mut net = Network::new(7, Topology::datacenter());
+        let t = net.add_node(Ticker { fired: 0 });
+        let stats = net.run();
+        assert_eq!(stats.timers_fired, 5);
+        assert_eq!(net.now(), SimTime::from_secs_f64(0.05));
+        let ticker: Ticker = net.into_node(t);
+        assert_eq!(ticker.fired, 5);
+    }
+
+    struct Lost;
+    impl Node<u32> for Lost {
+        fn on_start(&mut self, ctx: &mut Context<'_, u32>) {
+            // send to a node id that does not exist
+            ctx.send(NodeId(99), 1);
+        }
+        fn on_message(&mut self, _msg: u32, _from: NodeId, _ctx: &mut Context<'_, u32>) {}
+    }
+
+    #[test]
+    fn messages_to_unknown_nodes_are_dropped_and_counted() {
+        let mut net = Network::new(7, Topology::datacenter());
+        net.add_node(Lost);
+        let stats = net.run();
+        assert_eq!(stats.messages_dropped, 1);
+        assert_eq!(stats.messages_delivered, 0);
+    }
+
+    #[test]
+    fn identical_seeds_give_identical_runs() {
+        fn run_once(seed: u64) -> Vec<u32> {
+            struct RandomSender {
+                peer: Option<NodeId>,
+                got: Vec<u32>,
+            }
+            impl Node<u32> for RandomSender {
+                fn on_start(&mut self, ctx: &mut Context<'_, u32>) {
+                    if let Some(peer) = self.peer {
+                        for _ in 0..20 {
+                            let v = ctx.random_index(1000) as u32;
+                            ctx.send(peer, v);
+                        }
+                    }
+                }
+                fn on_message(&mut self, msg: u32, _from: NodeId, _ctx: &mut Context<'_, u32>) {
+                    self.got.push(msg);
+                }
+            }
+            let mut net = Network::new(seed, Topology::datacenter());
+            let sink = net.add_node(RandomSender {
+                peer: None,
+                got: vec![],
+            });
+            let _src = net.add_node(RandomSender {
+                peer: Some(sink),
+                got: vec![],
+            });
+            net.run();
+            let sink_node: RandomSender = net.into_node(sink);
+            sink_node.got
+        }
+        assert_eq!(run_once(5), run_once(5));
+        assert_ne!(run_once(5), run_once(6));
+    }
+
+    #[test]
+    fn trace_records_deliveries_when_enabled() {
+        let mut net = Network::new(1, Topology::datacenter());
+        let a = net.add_node(Echo {
+            peer: None,
+            cap: 2,
+            seen: vec![],
+        });
+        let _b = net.add_node(Echo {
+            peer: Some(a),
+            cap: 2,
+            seen: vec![],
+        });
+        net.enable_trace(|m| format!("msg {m}"));
+        net.run();
+        assert_eq!(net.trace().len(), 3);
+        assert!(net.trace().entries()[0].description.contains("msg 0"));
+    }
+
+    #[test]
+    fn with_node_gives_read_access() {
+        let mut net = Network::new(1, Topology::datacenter());
+        let a = net.add_node(Echo {
+            peer: None,
+            cap: 0,
+            seen: vec![],
+        });
+        let name = net.with_node(a, |n| n.name()).unwrap();
+        assert_eq!(name, "");
+        assert!(net.with_node(NodeId(42), |_| ()).is_none());
+    }
+}

@@ -1,0 +1,188 @@
+//! The [`Node`] trait implemented by every simulated component, and the
+//! [`Context`] handed to nodes during callbacks.
+
+use std::fmt;
+
+use rand::RngCore;
+use serde::{Deserialize, Serialize};
+
+use crate::event::{EventPayload, EventQueue};
+use crate::link::Topology;
+use crate::rng::SimRng;
+use crate::time::{SimDuration, SimTime};
+
+/// Identifier of a node inside a [`crate::Network`].
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct NodeId(pub usize);
+
+impl NodeId {
+    /// Raw index of the node in the network's node table.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "node-{}", self.0)
+    }
+}
+
+/// Opaque token a node attaches to a timer so it can recognise it when it
+/// fires.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct TimerToken(pub u64);
+
+/// A simulated component: a traffic source, the load balancer, a server, …
+///
+/// Nodes communicate exclusively by exchanging messages of type `M` through
+/// the [`Context`]; the engine delivers each message after the link latency
+/// configured in the [`Topology`].
+pub trait Node<M> {
+    /// Called once when the simulation starts, before any message is
+    /// delivered.  The default implementation does nothing.
+    fn on_start(&mut self, ctx: &mut Context<'_, M>) {
+        let _ = ctx;
+    }
+
+    /// Called when a message sent by `from` arrives at this node.
+    fn on_message(&mut self, msg: M, from: NodeId, ctx: &mut Context<'_, M>);
+
+    /// Called when a timer scheduled by this node fires.  The default
+    /// implementation does nothing.
+    fn on_timer(&mut self, token: TimerToken, ctx: &mut Context<'_, M>) {
+        let _ = (token, ctx);
+    }
+
+    /// A short human-readable name used in traces; defaults to the node id.
+    fn name(&self) -> String {
+        String::new()
+    }
+}
+
+/// The API available to a node while it handles a callback.
+///
+/// A `Context` borrows the engine's event queue, topology and random number
+/// generator; everything a node schedules through it is inserted into the
+/// global event queue with deterministic ordering.
+#[derive(Debug)]
+pub struct Context<'a, M> {
+    pub(crate) now: SimTime,
+    pub(crate) self_id: NodeId,
+    pub(crate) from: Option<NodeId>,
+    pub(crate) queue: &'a mut EventQueue<M>,
+    pub(crate) topology: &'a Topology,
+    pub(crate) rng: &'a mut SimRng,
+    pub(crate) stop_requested: &'a mut bool,
+}
+
+impl<'a, M> Context<'a, M> {
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// The id of the node being called back.
+    pub fn self_id(&self) -> NodeId {
+        self.self_id
+    }
+
+    /// The sender of the message currently being handled, if any
+    /// (`None` inside `on_start` and `on_timer`).
+    pub fn sender(&self) -> Option<NodeId> {
+        self.from
+    }
+
+    /// Sends `msg` to node `to`; it will be delivered after the link latency
+    /// between this node and `to`.
+    pub fn send(&mut self, to: NodeId, msg: M) {
+        let latency = self.topology.latency(self.self_id, to);
+        self.send_with_extra_delay(to, msg, latency, SimDuration::ZERO);
+    }
+
+    /// Sends `msg` to node `to` with an additional delay on top of the link
+    /// latency (e.g. to model serialisation or processing time).
+    pub fn send_after(&mut self, to: NodeId, msg: M, extra: SimDuration) {
+        let latency = self.topology.latency(self.self_id, to);
+        self.send_with_extra_delay(to, msg, latency, extra);
+    }
+
+    /// Replies to the sender of the message currently being handled.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called outside of `on_message` (when there is no sender).
+    pub fn reply(&mut self, msg: M) {
+        let to = self
+            .from
+            .expect("reply() may only be used while handling a message");
+        self.send(to, msg);
+    }
+
+    fn send_with_extra_delay(
+        &mut self,
+        to: NodeId,
+        msg: M,
+        latency: SimDuration,
+        extra: SimDuration,
+    ) {
+        let deliver_at = self.now + latency + extra;
+        self.queue.push(
+            deliver_at,
+            to,
+            EventPayload::Message {
+                from: self.self_id,
+                msg,
+            },
+        );
+    }
+
+    /// Schedules a timer for this node to fire after `delay`, carrying
+    /// `token`.
+    pub fn schedule_timer(&mut self, delay: SimDuration, token: TimerToken) {
+        self.queue
+            .push(self.now + delay, self.self_id, EventPayload::Timer { token });
+    }
+
+    /// Requests that the simulation stop after the current callback returns.
+    pub fn stop(&mut self) {
+        *self.stop_requested = true;
+    }
+
+    /// Mutable access to this run's deterministic random number generator.
+    pub fn rng(&mut self) -> &mut impl RngCore {
+        &mut *self.rng
+    }
+
+    /// Draws a uniformly random index in `0..n` (convenience wrapper used by
+    /// random candidate selection).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn random_index(&mut self, n: usize) -> usize {
+        assert!(n > 0, "random_index requires a non-empty range");
+        (self.rng.next_u64() % n as u64) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_id_display_and_index() {
+        assert_eq!(NodeId(3).to_string(), "node-3");
+        assert_eq!(NodeId(3).index(), 3);
+    }
+
+    #[test]
+    fn timer_token_is_ordered() {
+        assert!(TimerToken(1) < TimerToken(2));
+        assert_eq!(TimerToken::default(), TimerToken(0));
+    }
+}

@@ -1,0 +1,170 @@
+//! Optional event tracing.
+//!
+//! A [`TraceLog`] records message deliveries and timer firings; it is used by
+//! the Service Hunting walkthrough example (the reproduction of the paper's
+//! Figure 1) and by integration tests that assert on packet paths.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::node::NodeId;
+use crate::time::SimTime;
+
+/// The kind of traced event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TraceKind {
+    /// A message was delivered from `from` to the recorded node.
+    MessageDelivered,
+    /// A timer fired at the recorded node.
+    TimerFired,
+}
+
+/// One traced event.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TraceEntry {
+    /// Simulated time of the event.
+    pub time: SimTime,
+    /// Kind of event.
+    pub kind: TraceKind,
+    /// Node the event was delivered to.
+    pub target: NodeId,
+    /// Sender, for message deliveries.
+    pub from: Option<NodeId>,
+    /// Human-readable description (e.g. the packet summary).
+    pub description: String,
+}
+
+impl fmt::Display for TraceEntry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.kind {
+            TraceKind::MessageDelivered => write!(
+                f,
+                "{} {} -> {}: {}",
+                self.time,
+                self.from.map(|n| n.to_string()).unwrap_or_default(),
+                self.target,
+                self.description
+            ),
+            TraceKind::TimerFired => {
+                write!(f, "{} timer @ {}: {}", self.time, self.target, self.description)
+            }
+        }
+    }
+}
+
+/// An in-memory log of traced events.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct TraceLog {
+    entries: Vec<TraceEntry>,
+    enabled: bool,
+}
+
+impl TraceLog {
+    /// Creates an enabled, empty log.
+    pub fn new() -> Self {
+        TraceLog {
+            entries: Vec::new(),
+            enabled: true,
+        }
+    }
+
+    /// Creates a disabled log (records nothing, costs nothing).
+    pub fn disabled() -> Self {
+        TraceLog {
+            entries: Vec::new(),
+            enabled: false,
+        }
+    }
+
+    /// Whether the log records events.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Records an entry if the log is enabled.
+    pub fn record(&mut self, entry: TraceEntry) {
+        if self.enabled {
+            self.entries.push(entry);
+        }
+    }
+
+    /// The recorded entries, in order.
+    pub fn entries(&self) -> &[TraceEntry] {
+        &self.entries
+    }
+
+    /// Number of recorded entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Returns `true` if nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Clears the log.
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+
+    /// Iterator over entries whose description contains `needle`.
+    pub fn matching<'a>(&'a self, needle: &'a str) -> impl Iterator<Item = &'a TraceEntry> + 'a {
+        self.entries.iter().filter(move |e| e.description.contains(needle))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(desc: &str) -> TraceEntry {
+        TraceEntry {
+            time: SimTime::from_nanos(1),
+            kind: TraceKind::MessageDelivered,
+            target: NodeId(1),
+            from: Some(NodeId(0)),
+            description: desc.to_string(),
+        }
+    }
+
+    #[test]
+    fn enabled_log_records() {
+        let mut log = TraceLog::new();
+        assert!(log.is_enabled());
+        assert!(log.is_empty());
+        log.record(entry("SYN"));
+        log.record(entry("SYN-ACK"));
+        assert_eq!(log.len(), 2);
+        assert_eq!(log.entries()[0].description, "SYN");
+        assert_eq!(log.matching("SYN").count(), 2);
+        assert_eq!(log.matching("ACK").count(), 1);
+        log.clear();
+        assert!(log.is_empty());
+    }
+
+    #[test]
+    fn disabled_log_records_nothing() {
+        let mut log = TraceLog::disabled();
+        log.record(entry("SYN"));
+        assert!(log.is_empty());
+        assert!(!log.is_enabled());
+    }
+
+    #[test]
+    fn display_formats_both_kinds() {
+        let delivered = entry("SYN").to_string();
+        assert!(delivered.contains("node-0"));
+        assert!(delivered.contains("node-1"));
+        assert!(delivered.contains("SYN"));
+        let timer = TraceEntry {
+            time: SimTime::from_nanos(5),
+            kind: TraceKind::TimerFired,
+            target: NodeId(2),
+            from: None,
+            description: "window end".to_string(),
+        };
+        assert!(timer.to_string().contains("timer"));
+    }
+}

@@ -1,0 +1,38 @@
+//! # srlb-workload — traffic generation for the SRLB experiments
+//!
+//! The paper evaluates SRLB against two workloads:
+//!
+//! 1. **Poisson traffic** (Section V): a Poisson stream of queries to a
+//!    CPU-bound PHP page whose service time is exponentially distributed
+//!    with a mean of 100 ms — reproduced by [`PoissonWorkload`].
+//! 2. **Wikipedia replay** (Section VI): 24 hours of real Wikipedia access
+//!    traces replayed against MediaWiki replicas.  The original traces (10%
+//!    of Wikipedia's 2007 traffic) and the MediaWiki/MySQL stack are not
+//!    available here, so [`wikipedia::WikipediaWorkload`] generates a
+//!    *synthetic* trace with the same load-shaping properties: a diurnal
+//!    rate curve matching the paper's Figure 6, a static/wiki-page request
+//!    mix, and heavy-tailed per-page service costs.  The substitution is
+//!    documented in `DESIGN.md`.
+//!
+//! Both generators produce a time-ordered list of [`Request`]s that the
+//! experiment driver in `srlb-core` feeds into the simulated cluster, and
+//! both are deterministic given a seed.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod poisson;
+pub mod request;
+pub mod service;
+pub mod trace;
+pub mod wikipedia;
+
+pub use poisson::PoissonWorkload;
+pub use request::Request;
+pub use service::ServiceTime;
+pub use trace::Trace;
+pub use wikipedia::{DiurnalProfile, WikipediaWorkload};
+
+/// Re-export of the request classification shared with `srlb-metrics`.
+pub use srlb_metrics::RequestClass;

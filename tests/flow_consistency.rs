@@ -1,0 +1,122 @@
+//! Integration tests: flow stickiness and cross-crate accounting
+//! consistency — every connection is owned by exactly one server, the flow
+//! table learns exactly one entry per connection, and the Service Hunting
+//! accounting balances.
+
+use srlb::core::experiment::{ExperimentConfig, PolicyKind};
+use srlb::core::testbed::{Testbed, TestbedConfig};
+use srlb::core::DispatcherConfig;
+use srlb::server::PolicyConfig;
+use srlb::workload::{PoissonWorkload, ServiceTime};
+
+#[test]
+fn hunting_accounting_balances() {
+    let result = ExperimentConfig::poisson_paper(0.9, PolicyKind::Static { threshold: 2 })
+        .with_queries(3_000)
+        .with_seed(5)
+        .run()
+        .expect("valid configuration");
+
+    let accepted: u64 = result
+        .server_stats
+        .iter()
+        .map(|s| s.accepted_by_policy)
+        .sum();
+    let forced: u64 = result.server_stats.iter().map(|s| s.forced_accepts).sum();
+    let passed: u64 = result.server_stats.iter().map(|s| s.passed_on).sum();
+
+    // Every connection was accepted exactly once, either by the policy at a
+    // non-final candidate or by force at the final one.
+    assert_eq!(accepted + forced, result.sent as u64);
+    // With two candidates, every pass-on leads to exactly one forced accept.
+    assert_eq!(passed, forced);
+    // The load balancer learned one flow per connection and steered exactly
+    // one request packet per completed or reset connection.
+    assert_eq!(result.lb_stats.flows_learned, result.sent as u64);
+    assert_eq!(result.lb_stats.steered, result.sent as u64);
+    assert_eq!(result.lb_stats.missing_flow, 0);
+}
+
+#[test]
+fn served_and_queued_requests_match_client_outcomes() {
+    let result = ExperimentConfig::poisson_paper(0.95, PolicyKind::Static { threshold: 4 })
+        .with_queries(3_000)
+        .with_seed(9)
+        .run()
+        .expect("valid configuration");
+    let served_immediately: u64 = result
+        .server_stats
+        .iter()
+        .map(|s| s.served_immediately)
+        .sum();
+    let queued: u64 = result.server_stats.iter().map(|s| s.queued).sum();
+    let resets: u64 = result.server_stats.iter().map(|s| s.resets).sum();
+    let completed: u64 = result.server_stats.iter().map(|s| s.completed).sum();
+
+    assert_eq!(served_immediately + queued + resets, result.sent as u64);
+    assert_eq!(completed as usize, result.completed);
+    assert_eq!(resets as usize, result.resets);
+}
+
+#[test]
+fn consistent_hash_dispatcher_keeps_connections_sticky() {
+    // The flow table guarantees stickiness regardless of the dispatcher; a
+    // consistent-hashing front end must behave identically in that respect.
+    let config = TestbedConfig {
+        dispatcher: DispatcherConfig::ConsistentHash { vnodes: 64, k: 2 },
+        seed: 17,
+        ..TestbedConfig::paper(
+            PolicyConfig::Static { threshold: 4 },
+            DispatcherConfig::Random { k: 2 },
+        )
+    };
+    let requests =
+        PoissonWorkload::new(150.0, 2_000, ServiceTime::paper_poisson()).generate(17);
+    let result = Testbed::new(config).expect("valid configuration").run(requests);
+    assert_eq!(result.lb_stats.missing_flow, 0);
+    assert_eq!(result.lb_stats.flows_learned, 2_000);
+    assert_eq!(result.collector.completed_count() + result.collector.reset_count(), 2_000);
+}
+
+#[test]
+fn maglev_dispatcher_also_works_end_to_end() {
+    let config = TestbedConfig {
+        dispatcher: DispatcherConfig::Maglev {
+            table_size: 2039,
+            k: 2,
+        },
+        seed: 23,
+        ..TestbedConfig::paper(
+            PolicyConfig::paper_dynamic(),
+            DispatcherConfig::Random { k: 2 },
+        )
+    };
+    let requests =
+        PoissonWorkload::new(180.0, 2_000, ServiceTime::paper_poisson()).generate(23);
+    let result = Testbed::new(config).expect("valid configuration").run(requests);
+    assert_eq!(result.lb_stats.missing_flow, 0);
+    assert!(result.collector.completed_count() > 1_900);
+}
+
+#[test]
+fn acceptance_ratio_of_srdyn_hovers_around_one_half() {
+    // Section III-B: SRdyn aims to keep the first-candidate acceptance ratio
+    // near 1/2 so that both choices stay useful.
+    let result = ExperimentConfig::poisson_paper(0.85, PolicyKind::Dynamic)
+        .with_queries(6_000)
+        .with_seed(29)
+        .run()
+        .expect("valid configuration");
+    let ratios: Vec<f64> = result
+        .acceptance_ratios
+        .iter()
+        .copied()
+        .filter(|r| *r > 0.0)
+        .collect();
+    assert!(!ratios.is_empty());
+    let mean_ratio = ratios.iter().sum::<f64>() / ratios.len() as f64;
+    assert!(
+        (0.25..=0.75).contains(&mean_ratio),
+        "mean acceptance ratio {mean_ratio:.2} should hover around 1/2"
+    );
+}
