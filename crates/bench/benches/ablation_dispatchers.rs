@@ -21,17 +21,28 @@ fn run_with_dispatcher(dispatcher: DispatcherConfig) -> f64 {
         )
     };
     // rho = 0.88 against the 12 x 2-core cluster (lambda0 = 240/s).
-    let requests = PoissonWorkload::new(0.88 * 240.0, 500, ServiceTime::paper_poisson())
-        .generate(42);
-    let result = Testbed::new(config).expect("valid configuration").run(requests);
+    let requests =
+        PoissonWorkload::new(0.88 * 240.0, 500, ServiceTime::paper_poisson()).generate(42);
+    let result = Testbed::new(config)
+        .expect("valid configuration")
+        .run(requests);
     result.collector.summary(None).mean() / 1e3
 }
 
 fn bench(c: &mut Criterion) {
     let cases = [
         ("random_k2", DispatcherConfig::Random { k: 2 }),
-        ("consistent_hash", DispatcherConfig::ConsistentHash { vnodes: 128, k: 2 }),
-        ("maglev", DispatcherConfig::Maglev { table_size: 2039, k: 2 }),
+        (
+            "consistent_hash",
+            DispatcherConfig::ConsistentHash { vnodes: 128, k: 2 },
+        ),
+        (
+            "maglev",
+            DispatcherConfig::Maglev {
+                table_size: 2039,
+                k: 2,
+            },
+        ),
     ];
     let mut group = c.benchmark_group("ablation_dispatchers");
     group.sample_size(10);

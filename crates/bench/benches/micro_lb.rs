@@ -13,7 +13,15 @@ use srlb_sim::{SimRng, SimTime};
 fn flows(n: u16) -> Vec<FlowKey> {
     let plan = AddressPlan::default();
     (0..n)
-        .map(|p| FlowKey::new(plan.client_addr(0), plan.vip(0), 1024 + p, 80, Protocol::Tcp))
+        .map(|p| {
+            FlowKey::new(
+                plan.client_addr(0),
+                plan.vip(0),
+                1024 + p,
+                80,
+                Protocol::Tcp,
+            )
+        })
         .collect()
 }
 

@@ -62,15 +62,25 @@ fn run_fig2(scale: Scale) {
             rows.push(vec![s.label.clone(), fmt(*rho), fmt(*mean)]);
         }
     }
-    report_write(write_csv("fig2_mean_response", &["policy", "rho", "mean_s"], &rows));
+    report_write(write_csv(
+        "fig2_mean_response",
+        &["policy", "rho", "mean_s"],
+        &rows,
+    ));
 }
 
 fn run_poisson_cdf(name: &str, rho: f64, series: Vec<srlb_bench::CdfSeries>) {
-    println!("\n## Figure {} — CDF of response time, rho = {rho}", &name[3..]);
+    println!(
+        "\n## Figure {} — CDF of response time, rho = {rho}",
+        &name[3..]
+    );
     println!("{:<8} {:>12} {:>12}", "policy", "median (s)", "Q3 (s)");
     let mut rows = Vec::new();
     for s in &series {
-        println!("{:<8} {:>12.4} {:>12.4}", s.label, s.median_s, s.third_quartile_s);
+        println!(
+            "{:<8} {:>12.4} {:>12.4}",
+            s.label, s.median_s, s.third_quartile_s
+        );
         for (x, p) in &s.points {
             rows.push(vec![s.label.clone(), fmt(*x), fmt(*p)]);
         }
@@ -136,7 +146,19 @@ fn run_fig6_and_7(scale: Scale) {
     ));
     report_write(write_csv(
         "fig7_wiki_deciles",
-        &["policy", "bin_start_s", "d1", "d2", "d3", "d4", "d5", "d6", "d7", "d8", "d9"],
+        &[
+            "policy",
+            "bin_start_s",
+            "d1",
+            "d2",
+            "d3",
+            "d4",
+            "d5",
+            "d6",
+            "d7",
+            "d8",
+            "d9",
+        ],
         &rows7,
     ));
     // Figure 7 uses the same runs; fig7_wiki_deciles exists for programmatic
@@ -150,12 +172,19 @@ fn run_fig8(scale: Scale) {
     println!("{:<8} {:>12} {:>12}", "policy", "median (s)", "Q3 (s)");
     let mut rows = Vec::new();
     for s in &result.series {
-        println!("{:<8} {:>12.4} {:>12.4}", s.label, s.median_s, s.third_quartile_s);
+        println!(
+            "{:<8} {:>12.4} {:>12.4}",
+            s.label, s.median_s, s.third_quartile_s
+        );
         for (x, p) in &s.points {
             rows.push(vec![s.label.clone(), fmt(*x), fmt(*p)]);
         }
     }
-    report_write(write_csv("fig8_wiki_cdf", &["policy", "response_s", "cdf"], &rows));
+    report_write(write_csv(
+        "fig8_wiki_cdf",
+        &["policy", "response_s", "cdf"],
+        &rows,
+    ));
 }
 
 fn report_write(result: std::io::Result<std::path::PathBuf>) {

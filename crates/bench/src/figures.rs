@@ -117,7 +117,11 @@ pub struct CdfSeries {
     pub third_quartile_s: f64,
 }
 
-fn cdf_series_for(result: &ExperimentResult, class: Option<RequestClass>, points: usize) -> CdfSeries {
+fn cdf_series_for(
+    result: &ExperimentResult,
+    class: Option<RequestClass>,
+    points: usize,
+) -> CdfSeries {
     let cdf = result.cdf_seconds(class);
     CdfSeries {
         label: result.label.clone(),
@@ -242,11 +246,7 @@ fn wiki_bins(result: &ExperimentResult, bin_seconds: f64) -> WikiBinSeries {
     let mut deciles = Vec::new();
     for (i, stat) in binned.stats().iter().enumerate() {
         let rate = rate_stats.get(i).map(|r| r.rate_per_second).unwrap_or(0.0);
-        bins.push((
-            stat.start_seconds,
-            rate,
-            stat.median.unwrap_or(0.0) / 1e3,
-        ));
+        bins.push((stat.start_seconds, rate, stat.median.unwrap_or(0.0) / 1e3));
         if let Some(d) = stat.deciles {
             let mut seconds = [0.0; 9];
             for (j, v) in d.iter().enumerate() {
@@ -267,7 +267,12 @@ fn wiki_bins(result: &ExperimentResult, bin_seconds: f64) -> WikiBinSeries {
 pub fn fig6_wiki_median(scale: Scale, seed: u64) -> Vec<WikiBinSeries> {
     [PolicyKind::RoundRobin, PolicyKind::Static { threshold: 4 }]
         .into_iter()
-        .map(|policy| wiki_bins(&wikipedia_result(scale, seed, policy), scale.wiki_bin_seconds()))
+        .map(|policy| {
+            wiki_bins(
+                &wikipedia_result(scale, seed, policy),
+                scale.wiki_bin_seconds(),
+            )
+        })
         .collect()
 }
 
@@ -309,16 +314,16 @@ mod tests {
         assert_eq!(Scale::Paper.wiki_hours(), 24.0);
         assert!(Scale::Quick.poisson_queries() < Scale::Paper.poisson_queries());
         assert!(Scale::Quick.wiki_hours() < 1.0);
-        assert!(Scale::Paper.rho_values().iter().all(|&r| r > 0.0 && r < 1.0));
+        assert!(Scale::Paper
+            .rho_values()
+            .iter()
+            .all(|&r| r > 0.0 && r < 1.0));
     }
 
     #[test]
     fn load_grid_resamples_step_functions() {
         // Two servers: one constant at 4, one stepping 0 -> 8 at t = 5.
-        let series = vec![
-            vec![(0.0, 4)],
-            vec![(0.0, 0), (5.0, 8)],
-        ];
+        let series = vec![vec![(0.0, 4)], vec![(0.0, 0), (5.0, 8)]];
         let grid = load_grid(&series, 10.0, 1.0);
         assert_eq!(grid.len(), 11);
         // At t = 0 the mean is (4 + 0) / 2 = 2 and fairness is 0.5.

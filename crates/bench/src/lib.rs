@@ -20,7 +20,7 @@ pub mod output;
 
 pub use figures::{
     fig2_mean_response, fig3_cdf_high_load, fig4_load_fairness, fig5_cdf_low_load,
-    fig6_wiki_median, fig7_wiki_deciles, fig8_wiki_cdf, Fig2Series, Fig4Series, CdfSeries,
-    WikiBinSeries, WikiCdf, Scale,
+    fig6_wiki_median, fig7_wiki_deciles, fig8_wiki_cdf, CdfSeries, Fig2Series, Fig4Series, Scale,
+    WikiBinSeries, WikiCdf,
 };
 pub use output::{write_csv, FIGURES_DIR};

@@ -15,11 +15,7 @@ pub const FIGURES_DIR: &str = "target/figures";
 /// # Errors
 ///
 /// Returns any I/O error from creating the directory or writing the file.
-pub fn write_csv(
-    name: &str,
-    header: &[&str],
-    rows: &[Vec<String>],
-) -> std::io::Result<PathBuf> {
+pub fn write_csv(name: &str, header: &[&str], rows: &[Vec<String>]) -> std::io::Result<PathBuf> {
     let dir = Path::new(FIGURES_DIR);
     fs::create_dir_all(dir)?;
     let path = dir.join(format!("{name}.csv"));
@@ -42,10 +38,7 @@ mod tests {
 
     #[test]
     fn writes_csv_with_header_and_rows() {
-        let rows = vec![
-            vec![fmt(1.0), fmt(2.5)],
-            vec![fmt(3.0), fmt(4.25)],
-        ];
+        let rows = vec![vec![fmt(1.0), fmt(2.5)], vec![fmt(3.0), fmt(4.25)]];
         let path = write_csv("test_output_unit", &["a", "b"], &rows).unwrap();
         let content = std::fs::read_to_string(&path).unwrap();
         assert!(content.starts_with("a,b\n"));

@@ -106,7 +106,10 @@ impl ConsistentHashDispatcher {
     pub fn new(servers: Vec<Ipv6Addr>, vnodes: usize, k: usize) -> Self {
         assert!(!servers.is_empty(), "at least one server is required");
         assert!(k > 0, "k must be at least 1");
-        assert!(vnodes > 0, "at least one virtual node per server is required");
+        assert!(
+            vnodes > 0,
+            "at least one virtual node per server is required"
+        );
         let mut ring = Vec::with_capacity(servers.len() * vnodes);
         for server in &servers {
             for v in 0..vnodes {
@@ -242,7 +245,10 @@ impl MaglevDispatcher {
             }
         }
         MaglevDispatcher {
-            table: table.into_iter().map(|s| s.expect("table filled")).collect(),
+            table: table
+                .into_iter()
+                .map(|s| s.expect("table filled"))
+                .collect(),
             k: k.min(n),
             servers: n,
         }
@@ -487,7 +493,10 @@ mod tests {
         for config in [
             DispatcherConfig::Random { k: 2 },
             DispatcherConfig::ConsistentHash { vnodes: 16, k: 2 },
-            DispatcherConfig::Maglev { table_size: 53, k: 2 },
+            DispatcherConfig::Maglev {
+                table_size: 53,
+                k: 2,
+            },
         ] {
             let mut d = config.build(s.clone());
             let c = d.candidates(&flow(3), &mut rng);

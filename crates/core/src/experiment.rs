@@ -223,9 +223,11 @@ impl ExperimentConfig {
                 lambda0,
                 mean_service_ms,
                 ..
-            } => Some(lambda0.unwrap_or_else(|| {
-                analytic_lambda0(self.servers, self.cores, *mean_service_ms)
-            })),
+            } => {
+                Some(lambda0.unwrap_or_else(|| {
+                    analytic_lambda0(self.servers, self.cores, *mean_service_ms)
+                }))
+            }
             _ => None,
         }
     }
@@ -373,7 +375,10 @@ mod tests {
         assert_eq!(PolicyKind::RoundRobin.label(), "RR");
         assert_eq!(PolicyKind::Static { threshold: 4 }.label(), "SR4");
         assert_eq!(PolicyKind::Dynamic.label(), "SRdyn");
-        assert_eq!(PolicyKind::RoundRobin.dispatcher(), DispatcherConfig::Random { k: 1 });
+        assert_eq!(
+            PolicyKind::RoundRobin.dispatcher(),
+            DispatcherConfig::Random { k: 1 }
+        );
         assert_eq!(
             PolicyKind::Static { threshold: 8 }.dispatcher(),
             DispatcherConfig::Random { k: 2 }

@@ -184,7 +184,10 @@ mod tests {
     fn expiry_at_exact_timeout_keeps_entry() {
         let mut table = FlowTable::new(SimDuration::from_secs(10));
         table.learn(flow(1), server(1), SimTime::ZERO);
-        assert_eq!(table.expire_idle(SimTime::ZERO + SimDuration::from_secs(10)), 0);
+        assert_eq!(
+            table.expire_idle(SimTime::ZERO + SimDuration::from_secs(10)),
+            0
+        );
         assert_eq!(table.len(), 1);
     }
 

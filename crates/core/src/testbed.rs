@@ -65,7 +65,9 @@ impl TestbedConfig {
     /// dispatcher fan-out exceeds the number of servers.
     pub fn validate(&self) -> Result<(), CoreError> {
         if self.servers == 0 {
-            return Err(CoreError::InvalidConfig("at least one server required".into()));
+            return Err(CoreError::InvalidConfig(
+                "at least one server required".into(),
+            ));
         }
         if self.workers == 0 {
             return Err(CoreError::InvalidConfig(
@@ -78,7 +80,9 @@ impl TestbedConfig {
             ));
         }
         if self.dispatcher.fanout() == 0 {
-            return Err(CoreError::InvalidConfig("dispatcher fan-out must be ≥ 1".into()));
+            return Err(CoreError::InvalidConfig(
+                "dispatcher fan-out must be ≥ 1".into(),
+            ));
         }
         if self.dispatcher.fanout() > self.servers {
             return Err(CoreError::InvalidConfig(format!(
@@ -255,10 +259,9 @@ mod tests {
 
     #[test]
     fn every_request_completes_under_light_load() {
-        let requests = PoissonWorkload::new(50.0, 300, ServiceTime::Exponential { mean_ms: 20.0 })
-            .generate(3);
-        let testbed =
-            Testbed::new(small_config(PolicyConfig::Static { threshold: 2 }, 2)).unwrap();
+        let requests =
+            PoissonWorkload::new(50.0, 300, ServiceTime::Exponential { mean_ms: 20.0 }).generate(3);
+        let testbed = Testbed::new(small_config(PolicyConfig::Static { threshold: 2 }, 2)).unwrap();
         let result = testbed.run(requests);
         assert_eq!(result.collector.len(), 300);
         assert_eq!(result.collector.completed_count(), 300);
@@ -277,8 +280,7 @@ mod tests {
     fn response_times_include_service_and_network() {
         let requests =
             PoissonWorkload::new(10.0, 50, ServiceTime::Constant { ms: 30.0 }).generate(1);
-        let testbed =
-            Testbed::new(small_config(PolicyConfig::Static { threshold: 2 }, 2)).unwrap();
+        let testbed = Testbed::new(small_config(PolicyConfig::Static { threshold: 2 }, 2)).unwrap();
         let result = testbed.run(requests);
         let summary = result.collector.summary(None);
         // Every response takes at least the 30 ms service time plus a few
@@ -305,7 +307,10 @@ mod tests {
         let requests =
             PoissonWorkload::new(200.0, 400, ServiceTime::Constant { ms: 500.0 }).generate(2);
         let result = Testbed::new(config).unwrap().run(requests);
-        assert!(result.collector.reset_count() > 0, "backlog overflow must reset");
+        assert!(
+            result.collector.reset_count() > 0,
+            "backlog overflow must reset"
+        );
         assert_eq!(
             result.collector.len(),
             400,
@@ -318,8 +323,7 @@ mod tests {
     #[test]
     fn rr_baseline_never_consults_the_policy() {
         let requests =
-            PoissonWorkload::new(50.0, 200, ServiceTime::Exponential { mean_ms: 10.0 })
-                .generate(9);
+            PoissonWorkload::new(50.0, 200, ServiceTime::Exponential { mean_ms: 10.0 }).generate(9);
         let testbed = Testbed::new(small_config(PolicyConfig::NeverAccept, 1)).unwrap();
         let result = testbed.run(requests);
         assert_eq!(result.collector.completed_count(), 200);
@@ -336,11 +340,9 @@ mod tests {
 
     #[test]
     fn hunting_spreads_connections_across_both_candidates() {
-        let requests =
-            PoissonWorkload::new(400.0, 600, ServiceTime::Exponential { mean_ms: 40.0 })
-                .generate(11);
-        let testbed =
-            Testbed::new(small_config(PolicyConfig::Static { threshold: 1 }, 2)).unwrap();
+        let requests = PoissonWorkload::new(400.0, 600, ServiceTime::Exponential { mean_ms: 40.0 })
+            .generate(11);
+        let testbed = Testbed::new(small_config(PolicyConfig::Static { threshold: 1 }, 2)).unwrap();
         let result = testbed.run(requests);
         let passed: u64 = result.server_stats.iter().map(|s| s.passed_on).sum();
         let forced: u64 = result.server_stats.iter().map(|s| s.forced_accepts).sum();
@@ -359,7 +361,10 @@ mod tests {
         assert!(Testbed::new(config).is_err());
 
         let config = small_config(PolicyConfig::Static { threshold: 2 }, 10);
-        assert!(matches!(Testbed::new(config), Err(CoreError::InvalidConfig(_))));
+        assert!(matches!(
+            Testbed::new(config),
+            Err(CoreError::InvalidConfig(_))
+        ));
     }
 
     #[test]

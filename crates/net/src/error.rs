@@ -73,7 +73,10 @@ impl fmt::Display for NetError {
             ),
             NetError::EmptySegmentList => write!(f, "segment list must not be empty"),
             NetError::SegmentListTooLong(n) => {
-                write!(f, "segment list of {n} entries exceeds the encodable maximum of 255")
+                write!(
+                    f,
+                    "segment list of {n} entries exceeds the encodable maximum of 255"
+                )
             }
             NetError::UnsupportedProtocol(p) => write!(f, "unsupported upper-layer protocol {p}"),
             NetError::MissingSegmentRoutingHeader => {

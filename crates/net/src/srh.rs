@@ -391,7 +391,7 @@ mod tests {
         assert_eq!(bytes[2], 4); // routing type 4
         assert_eq!(bytes[3], 1); // segments left
         assert_eq!(bytes[4], 1); // last entry
-        // Segment List[0] must be the FINAL segment of the path.
+                                 // Segment List[0] must be the FINAL segment of the path.
         assert_eq!(&bytes[8..24], &route[1].octets());
         assert_eq!(&bytes[24..40], &route[0].octets());
     }
@@ -412,7 +412,9 @@ mod tests {
 
     #[test]
     fn decode_rejects_wrong_routing_type() {
-        let mut bytes = SegmentRoutingHeader::from_route(&addrs(2)).unwrap().encode();
+        let mut bytes = SegmentRoutingHeader::from_route(&addrs(2))
+            .unwrap()
+            .encode();
         bytes[2] = 0;
         assert_eq!(
             SegmentRoutingHeader::decode(&bytes).unwrap_err(),
@@ -422,7 +424,9 @@ mod tests {
 
     #[test]
     fn decode_rejects_truncation() {
-        let bytes = SegmentRoutingHeader::from_route(&addrs(2)).unwrap().encode();
+        let bytes = SegmentRoutingHeader::from_route(&addrs(2))
+            .unwrap()
+            .encode();
         assert!(matches!(
             SegmentRoutingHeader::decode(&bytes[..4]).unwrap_err(),
             NetError::Truncated { .. }
@@ -435,7 +439,9 @@ mod tests {
 
     #[test]
     fn decode_rejects_inconsistent_lengths() {
-        let mut bytes = SegmentRoutingHeader::from_route(&addrs(2)).unwrap().encode();
+        let mut bytes = SegmentRoutingHeader::from_route(&addrs(2))
+            .unwrap()
+            .encode();
         bytes[4] = 0; // last entry says 1 segment but hdr ext len says 2
         assert!(matches!(
             SegmentRoutingHeader::decode(&bytes).unwrap_err(),
@@ -445,7 +451,9 @@ mod tests {
 
     #[test]
     fn decode_rejects_segments_left_out_of_range() {
-        let mut bytes = SegmentRoutingHeader::from_route(&addrs(2)).unwrap().encode();
+        let mut bytes = SegmentRoutingHeader::from_route(&addrs(2))
+            .unwrap()
+            .encode();
         bytes[3] = 7;
         assert!(matches!(
             SegmentRoutingHeader::decode(&bytes).unwrap_err(),

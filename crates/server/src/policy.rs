@@ -143,7 +143,12 @@ impl DynamicThreshold {
     ///
     /// Panics if `window_size` is zero or the ratios do not satisfy
     /// `0 <= low <= high <= 1`.
-    pub fn new(initial_threshold: usize, window_size: u32, low_ratio: f64, high_ratio: f64) -> Self {
+    pub fn new(
+        initial_threshold: usize,
+        window_size: u32,
+        low_ratio: f64,
+        high_ratio: f64,
+    ) -> Self {
         assert!(window_size > 0, "window size must be positive");
         assert!(
             (0.0..=1.0).contains(&low_ratio)

@@ -64,7 +64,12 @@ pub struct ServerConfig {
 impl ServerConfig {
     /// The paper's server configuration with the given policy: a 2-core VM
     /// running 32 worker threads with a backlog of 128.
-    pub fn paper(server_index: u32, addr: Ipv6Addr, lb_addr: Ipv6Addr, policy: PolicyConfig) -> Self {
+    pub fn paper(
+        server_index: u32,
+        addr: Ipv6Addr,
+        lb_addr: Ipv6Addr,
+        policy: PolicyConfig,
+    ) -> Self {
         ServerConfig {
             server_index,
             addr,

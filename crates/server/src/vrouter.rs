@@ -232,7 +232,10 @@ mod tests {
                 .process(packet.clone(), &mut agents[i], sb(16))
                 .unwrap()
             {
-                RouterAction::Forward { packet: p, next_hop } => {
+                RouterAction::Forward {
+                    packet: p,
+                    next_hop,
+                } => {
                     hops.push(next_hop);
                     packet = p;
                 }
@@ -252,7 +255,11 @@ mod tests {
         let srh = router.acceptance_srh(addr(100)).unwrap();
         assert_eq!(srh.segments_left(), 1);
         assert_eq!(srh.active_segment(), addr(99), "LB is the active segment");
-        assert_eq!(srh.final_segment(), addr(100), "client is the final segment");
+        assert_eq!(
+            srh.final_segment(),
+            addr(100),
+            "client is the final segment"
+        );
         assert_eq!(srh.first_segment(), addr(7), "server identity is recorded");
         assert_eq!(srh.route(), vec![addr(7), addr(99), addr(100)]);
     }

@@ -154,11 +154,12 @@ mod tests {
         msg(&mut q, 30, 1, 3);
         msg(&mut q, 10, 1, 1);
         msg(&mut q, 20, 1, 2);
-        let order: Vec<u32> = std::iter::from_fn(|| q.pop()).map(|e| match e.payload {
-            EventPayload::Message { msg, .. } => msg,
-            _ => unreachable!(),
-        })
-        .collect();
+        let order: Vec<u32> = std::iter::from_fn(|| q.pop())
+            .map(|e| match e.payload {
+                EventPayload::Message { msg, .. } => msg,
+                _ => unreachable!(),
+            })
+            .collect();
         assert_eq!(order, vec![1, 2, 3]);
     }
 
@@ -168,11 +169,12 @@ mod tests {
         for i in 0..100u32 {
             msg(&mut q, 5, 0, i);
         }
-        let order: Vec<u32> = std::iter::from_fn(|| q.pop()).map(|e| match e.payload {
-            EventPayload::Message { msg, .. } => msg,
-            _ => unreachable!(),
-        })
-        .collect();
+        let order: Vec<u32> = std::iter::from_fn(|| q.pop())
+            .map(|e| match e.payload {
+                EventPayload::Message { msg, .. } => msg,
+                _ => unreachable!(),
+            })
+            .collect();
         assert_eq!(order, (0..100).collect::<Vec<_>>());
     }
 

@@ -60,6 +60,9 @@ pub struct SimStats {
     pub last_event_time: SimTime,
 }
 
+/// Boxed callback that renders a message for the trace log.
+type DescribeFn<M> = Box<dyn Fn(&M) -> String>;
+
 /// The discrete-event simulation engine.
 ///
 /// `M` is the message type exchanged by nodes (for SRLB experiments this is
@@ -74,7 +77,7 @@ pub struct Network<M> {
     stop_requested: bool,
     stats: SimStats,
     trace: TraceLog,
-    trace_describe: Option<Box<dyn Fn(&M) -> String>>,
+    trace_describe: Option<DescribeFn<M>>,
 }
 
 impl<M> fmt::Debug for Network<M> {

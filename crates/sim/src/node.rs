@@ -12,9 +12,7 @@ use crate::rng::SimRng;
 use crate::time::{SimDuration, SimTime};
 
 /// Identifier of a node inside a [`crate::Network`].
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct NodeId(pub usize);
 
 impl NodeId {
@@ -144,8 +142,11 @@ impl<'a, M> Context<'a, M> {
     /// Schedules a timer for this node to fire after `delay`, carrying
     /// `token`.
     pub fn schedule_timer(&mut self, delay: SimDuration, token: TimerToken) {
-        self.queue
-            .push(self.now + delay, self.self_id, EventPayload::Timer { token });
+        self.queue.push(
+            self.now + delay,
+            self.self_id,
+            EventPayload::Timer { token },
+        );
     }
 
     /// Requests that the simulation stop after the current callback returns.

@@ -238,10 +238,19 @@ mod tests {
         assert_eq!(t2.duration_since(t), SimDuration::from_millis(5));
         // saturating in the other direction
         assert_eq!(t.duration_since(t2), SimDuration::ZERO);
-        assert_eq!(t2.checked_sub(SimDuration::from_millis(15)), Some(SimTime::ZERO));
+        assert_eq!(
+            t2.checked_sub(SimDuration::from_millis(15)),
+            Some(SimTime::ZERO)
+        );
         assert_eq!(t.checked_sub(SimDuration::from_millis(15)), None);
-        assert_eq!(SimDuration::from_millis(4) * 3, SimDuration::from_millis(12));
-        assert_eq!(SimDuration::from_millis(12) / 4, SimDuration::from_millis(3));
+        assert_eq!(
+            SimDuration::from_millis(4) * 3,
+            SimDuration::from_millis(12)
+        );
+        assert_eq!(
+            SimDuration::from_millis(12) / 4,
+            SimDuration::from_millis(3)
+        );
         let mut d = SimDuration::from_millis(1);
         d += SimDuration::from_millis(2);
         assert_eq!(d, SimDuration::from_millis(3));

@@ -47,7 +47,11 @@ impl fmt::Display for TraceEntry {
                 self.description
             ),
             TraceKind::TimerFired => {
-                write!(f, "{} timer @ {}: {}", self.time, self.target, self.description)
+                write!(
+                    f,
+                    "{} timer @ {}: {}",
+                    self.time, self.target, self.description
+                )
             }
         }
     }
@@ -111,7 +115,9 @@ impl TraceLog {
 
     /// Iterator over entries whose description contains `needle`.
     pub fn matching<'a>(&'a self, needle: &'a str) -> impl Iterator<Item = &'a TraceEntry> + 'a {
-        self.entries.iter().filter(move |e| e.description.contains(needle))
+        self.entries
+            .iter()
+            .filter(move |e| e.description.contains(needle))
     }
 }
 

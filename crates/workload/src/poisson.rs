@@ -97,8 +97,8 @@ impl PoissonWorkload {
     pub fn generate(&self, seed: u64) -> Vec<Request> {
         let mut arrival_rng = SimRng::new(seed).fork_named("poisson-arrivals");
         let mut service_rng = SimRng::new(seed).fork_named("poisson-service");
-        let inter_arrival = Exp::new(self.rate_per_second)
-            .expect("positive rate validated at construction");
+        let inter_arrival =
+            Exp::new(self.rate_per_second).expect("positive rate validated at construction");
         let mut now = 0.0f64;
         (0..self.queries as u64)
             .map(|id| {
@@ -191,8 +191,7 @@ mod tests {
     fn service_times_follow_configured_distribution() {
         let w = PoissonWorkload::paper(0.5, 100.0).with_queries(20_000);
         let trace = w.generate(5);
-        let mean_ms: f64 =
-            trace.iter().map(|r| r.service_ms()).sum::<f64>() / trace.len() as f64;
+        let mean_ms: f64 = trace.iter().map(|r| r.service_ms()).sum::<f64>() / trace.len() as f64;
         assert!((mean_ms - 100.0).abs() < 5.0, "mean service {mean_ms}");
     }
 

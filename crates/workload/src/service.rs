@@ -51,9 +51,7 @@ impl ServiceTime {
         match *self {
             ServiceTime::Constant { ms } => ms,
             ServiceTime::Exponential { mean_ms } => mean_ms,
-            ServiceTime::LogNormal { median_ms, sigma } => {
-                median_ms * (sigma * sigma / 2.0).exp()
-            }
+            ServiceTime::LogNormal { median_ms, sigma } => median_ms * (sigma * sigma / 2.0).exp(),
             ServiceTime::Uniform { min_ms, max_ms } => (min_ms + max_ms) / 2.0,
         }
     }
@@ -103,7 +101,10 @@ mod tests {
 
     fn sample_mean(dist: ServiceTime, n: usize) -> f64 {
         let mut rng = SimRng::new(42);
-        (0..n).map(|_| dist.sample(&mut rng).as_millis_f64()).sum::<f64>() / n as f64
+        (0..n)
+            .map(|_| dist.sample(&mut rng).as_millis_f64())
+            .sum::<f64>()
+            / n as f64
     }
 
     #[test]

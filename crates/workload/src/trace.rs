@@ -105,8 +105,8 @@ mod tests {
 
     #[test]
     fn wraps_generated_poisson_trace() {
-        let requests = PoissonWorkload::new(100.0, 200, ServiceTime::Constant { ms: 1.0 })
-            .generate(7);
+        let requests =
+            PoissonWorkload::new(100.0, 200, ServiceTime::Constant { ms: 1.0 }).generate(7);
         let trace = Trace::new("poisson test", 7, requests);
         assert_eq!(trace.len(), 200);
         assert!(!trace.is_empty());

@@ -144,7 +144,10 @@ impl WikipediaWorkload {
     ///
     /// Panics if `hours` is not strictly positive and finite.
     pub fn with_duration_hours(mut self, hours: f64) -> Self {
-        assert!(hours.is_finite() && hours > 0.0, "duration must be positive");
+        assert!(
+            hours.is_finite() && hours > 0.0,
+            "duration must be positive"
+        );
         self.duration_hours = hours;
         self
     }
@@ -165,7 +168,10 @@ impl WikipediaWorkload {
 
     /// Overrides the static-to-wiki request ratio (builder style).
     pub fn with_static_per_wiki(mut self, ratio: f64) -> Self {
-        assert!(ratio.is_finite() && ratio >= 0.0, "ratio must be non-negative");
+        assert!(
+            ratio.is_finite() && ratio >= 0.0,
+            "ratio must be non-negative"
+        );
         self.static_per_wiki = ratio;
         self
     }

@@ -15,7 +15,10 @@ fn main() {
     let seed = 42;
 
     println!("SRLB quickstart — Poisson workload, 12 servers x 32 workers, rho = {rho}");
-    println!("{:<8} {:>10} {:>10} {:>10} {:>10} {:>8}", "policy", "mean (s)", "median(s)", "p90 (s)", "p99 (s)", "resets");
+    println!(
+        "{:<8} {:>10} {:>10} {:>10} {:>10} {:>8}",
+        "policy", "mean (s)", "median(s)", "p90 (s)", "p99 (s)", "resets"
+    );
 
     for policy in [
         PolicyKind::RoundRobin,

@@ -4,7 +4,9 @@
 
 use srlb::core::calibration::{analytic_lambda0, calibrate_lambda0, CalibrationConfig};
 use srlb::core::dispatch::{Dispatcher, RandomDispatcher};
-use srlb::net::{AddressPlan, FlowKey, Packet, PacketBuilder, Protocol, SegmentRoutingHeader, TcpFlags};
+use srlb::net::{
+    AddressPlan, FlowKey, Packet, PacketBuilder, Protocol, SegmentRoutingHeader, TcpFlags,
+};
 use srlb::sim::SimRng;
 
 #[test]
@@ -24,7 +26,11 @@ fn calibrated_lambda0_is_close_to_but_below_the_analytic_capacity() {
     let result = calibrate_lambda0(&config).expect("calibration runs");
     let analytic = analytic_lambda0(4, 2, 50.0); // 160 queries/s
     assert_eq!(result.analytic_upper_bound, analytic);
-    assert!(result.lambda0 > 0.3 * analytic, "lambda0 {} too low", result.lambda0);
+    assert!(
+        result.lambda0 > 0.3 * analytic,
+        "lambda0 {} too low",
+        result.lambda0
+    );
     assert!(result.lambda0 <= analytic);
     assert_eq!(result.probes.len(), 6);
 }
@@ -70,7 +76,10 @@ fn acceptance_syn_ack_wire_roundtrip_names_the_server() {
         .build();
     let decoded = Packet::decode(&syn_ack.encode()).unwrap();
     let srh = decoded.srh.expect("SRH present");
-    assert_eq!(srh.first_segment(), plan.server_addr(srlb::net::ServerId(5)));
+    assert_eq!(
+        srh.first_segment(),
+        plan.server_addr(srlb::net::ServerId(5))
+    );
     assert_eq!(srh.active_segment(), plan.lb_addr());
     assert_eq!(srh.final_segment(), plan.client_addr(3));
 }

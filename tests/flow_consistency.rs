@@ -70,12 +70,16 @@ fn consistent_hash_dispatcher_keeps_connections_sticky() {
             DispatcherConfig::Random { k: 2 },
         )
     };
-    let requests =
-        PoissonWorkload::new(150.0, 2_000, ServiceTime::paper_poisson()).generate(17);
-    let result = Testbed::new(config).expect("valid configuration").run(requests);
+    let requests = PoissonWorkload::new(150.0, 2_000, ServiceTime::paper_poisson()).generate(17);
+    let result = Testbed::new(config)
+        .expect("valid configuration")
+        .run(requests);
     assert_eq!(result.lb_stats.missing_flow, 0);
     assert_eq!(result.lb_stats.flows_learned, 2_000);
-    assert_eq!(result.collector.completed_count() + result.collector.reset_count(), 2_000);
+    assert_eq!(
+        result.collector.completed_count() + result.collector.reset_count(),
+        2_000
+    );
 }
 
 #[test]
@@ -91,9 +95,10 @@ fn maglev_dispatcher_also_works_end_to_end() {
             DispatcherConfig::Random { k: 2 },
         )
     };
-    let requests =
-        PoissonWorkload::new(180.0, 2_000, ServiceTime::paper_poisson()).generate(23);
-    let result = Testbed::new(config).expect("valid configuration").run(requests);
+    let requests = PoissonWorkload::new(180.0, 2_000, ServiceTime::paper_poisson()).generate(23);
+    let result = Testbed::new(config)
+        .expect("valid configuration")
+        .run(requests);
     assert_eq!(result.lb_stats.missing_flow, 0);
     assert!(result.collector.completed_count() > 1_900);
 }

@@ -9,9 +9,7 @@ use srlb::core::{FlowTable, LoadBalancerNode};
 use srlb::net::{AddressPlan, Packet, PacketBuilder, ServerId, TcpFlags};
 use srlb::server::server_node::encode_request_payload;
 use srlb::server::{Directory, PolicyConfig, ServerConfig, ServerNode};
-use srlb::sim::{
-    Context, Network, Node, NodeId, RunLimit, SimDuration, SimTime, Topology,
-};
+use srlb::sim::{Context, Network, Node, NodeId, RunLimit, SimDuration, SimTime, Topology};
 
 /// A client that opens one connection at start-up and nothing else.
 #[derive(Debug)]
@@ -69,7 +67,7 @@ fn idle_flows_are_swept_from_the_flow_table() {
         plan.vip(0),
         directory.clone(),
         Box::new(RandomDispatcher::single_random(vec![
-            plan.server_addr(ServerId(0)),
+            plan.server_addr(ServerId(0))
         ])),
     )
     .with_flow_table(FlowTable::new(SimDuration::from_secs(2)))
@@ -91,7 +89,10 @@ fn idle_flows_are_swept_from_the_flow_table() {
         .node_as::<LoadBalancerNode>(lb_id)
         .expect("lb node present")
         .flow_table_len();
-    assert_eq!(still_there, 1, "the learned flow is present right after the exchange");
+    assert_eq!(
+        still_there, 1,
+        "the learned flow is present right after the exchange"
+    );
 
     // Well past the idle timeout, the sweep has removed it.
     net.run_with_limit(RunLimit::until(SimTime::from_secs_f64(10.0)));

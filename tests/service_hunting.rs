@@ -37,7 +37,10 @@ impl Node<Packet> for ScriptedClient {
             self.syn_acks += 1;
             // The acceptance SRH must name a real server as its first
             // (already consumed) segment.
-            let srh = packet.srh.as_ref().expect("SYN-ACK carries the acceptance SRH");
+            let srh = packet
+                .srh
+                .as_ref()
+                .expect("SYN-ACK carries the acceptance SRH");
             assert!(plan.server_of(srh.first_segment()).is_some());
             let request = PacketBuilder::tcp(plan.client_addr(0), plan.vip(0))
                 .ports(50_000, 80)
@@ -53,7 +56,10 @@ impl Node<Packet> for ScriptedClient {
     }
 }
 
-fn build(policy: PolicyConfig, candidates: usize) -> (Network<Packet>, NodeId, NodeId, Vec<NodeId>) {
+fn build(
+    policy: PolicyConfig,
+    candidates: usize,
+) -> (Network<Packet>, NodeId, NodeId, Vec<NodeId>) {
     let plan = AddressPlan::default();
     let servers = 3u32;
     let client_id = NodeId(0);
@@ -115,7 +121,11 @@ fn hunted_connection_reaches_the_second_candidate_when_the_first_refuses() {
     let lb: LoadBalancerNode = net.take_node(lb_id).unwrap();
     assert_eq!(lb.stats().new_flows, 1);
     assert_eq!(lb.stats().flows_learned, 1);
-    assert_eq!(lb.stats().steered, 1, "the HTTP request is steered via the flow table");
+    assert_eq!(
+        lb.stats().steered,
+        1,
+        "the HTTP request is steered via the flow table"
+    );
 
     let client: ScriptedClient = net.take_node(client_id).unwrap();
     assert_eq!(client.syn_acks, 1);
@@ -126,7 +136,11 @@ fn hunted_connection_reaches_the_second_candidate_when_the_first_refuses() {
     // cand1->cand2), SYN-ACK (server->LB, LB->client), request (client->LB,
     // LB->server), response (server->client) = 8 deliveries (plus the
     // server's internal CPU-completion timer, which is not a delivery).
-    assert_eq!(net.trace().matching("SYN").count(), 5, "SYN and SYN-ACK hops");
+    assert_eq!(
+        net.trace().matching("SYN").count(),
+        5,
+        "SYN and SYN-ACK hops"
+    );
     let deliveries = net
         .trace()
         .entries()

@@ -14,8 +14,12 @@ fn run(policy: PolicyKind, hours: f64, seed: u64) -> ExperimentResult {
 #[test]
 fn replay_contains_both_request_classes_with_expected_costs() {
     let result = run(PolicyKind::Static { threshold: 4 }, 0.02, 5);
-    let wiki = result.collector.response_times_ms(Some(RequestClass::WikiPage));
-    let statics = result.collector.response_times_ms(Some(RequestClass::Static));
+    let wiki = result
+        .collector
+        .response_times_ms(Some(RequestClass::WikiPage));
+    let statics = result
+        .collector
+        .response_times_ms(Some(RequestClass::Static));
     assert!(!wiki.is_empty());
     assert!(!statics.is_empty());
     // Static pages are served in about a millisecond (plus a few network
@@ -78,10 +82,7 @@ fn static_pages_are_unaffected_by_the_policy() {
     let hours = 0.05;
     let rr = run(PolicyKind::RoundRobin, hours, 31);
     let sr4 = run(PolicyKind::Static { threshold: 4 }, hours, 31);
-    let rr_median = rr
-        .cdf_seconds(Some(RequestClass::Static))
-        .median()
-        .unwrap();
+    let rr_median = rr.cdf_seconds(Some(RequestClass::Static)).median().unwrap();
     let sr4_median = sr4
         .cdf_seconds(Some(RequestClass::Static))
         .median()

@@ -1,0 +1,220 @@
+//! Vendored minimal stand-in for the
+//! [`criterion`](https://crates.io/crates/criterion) crate (offline build).
+//!
+//! Provides the measurement surface the SRLB benches use — `Criterion`,
+//! benchmark groups, `Bencher::iter`, `black_box`, `BenchmarkId` and the
+//! `criterion_group!` / `criterion_main!` macros — with a simple
+//! median-of-samples timer instead of criterion's full statistical engine.
+//! Results are printed as `bench <group>/<name> ... <time>/iter`.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Prevents the compiler from optimising a value away.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// An identifier for one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Builds an id from a function name and a parameter.
+    pub fn new<F: Display, P: Display>(function_name: F, parameter: P) -> Self {
+        BenchmarkId {
+            id: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    /// Builds an id from a parameter alone.
+    pub fn from_parameter<P: Display>(parameter: P) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(value: &str) -> Self {
+        BenchmarkId {
+            id: value.to_string(),
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(value: String) -> Self {
+        BenchmarkId { id: value }
+    }
+}
+
+/// Times one benchmark routine.
+#[derive(Debug)]
+pub struct Bencher {
+    samples: usize,
+    measured: Option<Duration>,
+    iters_per_sample: u64,
+}
+
+impl Bencher {
+    /// Runs `routine` repeatedly and records its median execution time.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm up, then calibrate the batch size so one timed sample spans
+        // at least ~50us — otherwise `Instant` overhead and clock
+        // resolution dominate nanosecond-scale routines.
+        black_box(routine());
+        let target = Duration::from_micros(50);
+        loop {
+            let start = Instant::now();
+            for _ in 0..self.iters_per_sample {
+                black_box(routine());
+            }
+            if start.elapsed() >= target || self.iters_per_sample >= 1 << 20 {
+                break;
+            }
+            self.iters_per_sample = self.iters_per_sample.saturating_mul(4);
+        }
+        let mut times: Vec<Duration> = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            for _ in 0..self.iters_per_sample {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            times.push(Duration::from_nanos(
+                (elapsed.as_nanos() / self.iters_per_sample as u128) as u64,
+            ));
+        }
+        times.sort();
+        self.measured = Some(times[times.len() / 2]);
+    }
+}
+
+/// A named collection of related benchmarks.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Benchmarks `routine` under `id`.
+    pub fn bench_function<I: Into<BenchmarkId>, R: FnMut(&mut Bencher)>(
+        &mut self,
+        id: I,
+        routine: R,
+    ) -> &mut Self {
+        let id = id.into();
+        let full = format!("{}/{}", self.name, id.id);
+        self.criterion.run_one(&full, self.sample_size, routine);
+        self
+    }
+
+    /// Benchmarks `routine` with an explicit input under `id`.
+    pub fn bench_with_input<I: Into<BenchmarkId>, T: ?Sized, R: FnMut(&mut Bencher, &T)>(
+        &mut self,
+        id: I,
+        input: &T,
+        mut routine: R,
+    ) -> &mut Self {
+        self.bench_function(id, |b| routine(b, input))
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// The benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Benchmarks `routine` under `id`.
+    pub fn bench_function<R: FnMut(&mut Bencher)>(&mut self, id: &str, routine: R) -> &mut Self {
+        self.run_one(id, 10, routine);
+        self
+    }
+
+    /// Starts a named benchmark group.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+            sample_size: 10,
+        }
+    }
+
+    fn run_one<R: FnMut(&mut Bencher)>(&mut self, id: &str, sample_size: usize, mut routine: R) {
+        let mut bencher = Bencher {
+            samples: sample_size,
+            measured: None,
+            iters_per_sample: 1,
+        };
+        routine(&mut bencher);
+        match bencher.measured {
+            Some(t) => println!("bench {id} ... {t:?}/iter"),
+            None => println!("bench {id} ... no measurement (routine never called iter)"),
+        }
+    }
+}
+
+/// Defines a benchmark group function, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        /// Benchmark group entry point generated by `criterion_group!`.
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Defines the benchmark `main` function, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // `cargo bench` passes harness flags like `--bench`; this simple
+            // harness runs everything unconditionally and ignores them.
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_measures_something() {
+        let mut c = Criterion::default();
+        let mut ran = 0u64;
+        c.bench_function("smoke", |b| b.iter(|| ran = black_box(ran + 1)));
+        assert!(ran > 0);
+    }
+
+    #[test]
+    fn groups_chain() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group.sample_size(3);
+        group.bench_function(BenchmarkId::from_parameter(7), |b| b.iter(|| black_box(7)));
+        group.bench_with_input(BenchmarkId::from_parameter(8), &8, |b, &v| {
+            b.iter(|| black_box(v))
+        });
+        group.finish();
+    }
+}

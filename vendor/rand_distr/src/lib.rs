@@ -1,0 +1,176 @@
+//! Vendored minimal stand-in for the
+//! [`rand_distr`](https://crates.io/crates/rand_distr) crate (offline build).
+//!
+//! Implements the distributions the SRLB workload generators draw from, with
+//! mathematically exact sampling methods (inverse transform for the
+//! exponential, Box–Muller for the normal underlying the log-normal), so the
+//! statistical convergence tests in `srlb-workload` hold.
+
+use std::fmt;
+
+use rand::{Rng, RngCore};
+
+/// Types that produce samples of `T`.
+pub trait Distribution<T> {
+    /// Draws one sample using `rng` as the source of randomness.
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// Error returned by [`Exp::new`] for invalid parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExpError {
+    /// `lambda` was non-positive or NaN.
+    LambdaTooSmall,
+}
+
+impl fmt::Display for ExpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("rate (lambda) of exponential distribution must be positive")
+    }
+}
+
+impl std::error::Error for ExpError {}
+
+/// The exponential distribution `Exp(lambda)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Exp {
+    lambda: f64,
+}
+
+impl Exp {
+    /// Creates the distribution with rate `lambda` (mean `1 / lambda`).
+    pub fn new(lambda: f64) -> Result<Exp, ExpError> {
+        if lambda > 0.0 {
+            Ok(Exp { lambda })
+        } else {
+            Err(ExpError::LambdaTooSmall)
+        }
+    }
+}
+
+impl Distribution<f64> for Exp {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        // Inverse transform: -ln(1 - U) / lambda with U uniform in [0, 1).
+        let u: f64 = rng.gen();
+        -(1.0 - u).ln() / self.lambda
+    }
+}
+
+/// Error returned by [`Normal::new`] / [`LogNormal::new`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NormalError {
+    /// The mean was NaN.
+    MeanTooSmall,
+    /// The standard deviation was negative or NaN.
+    BadVariance,
+}
+
+impl fmt::Display for NormalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NormalError::MeanTooSmall => f.write_str("mean of normal distribution is invalid"),
+            NormalError::BadVariance => {
+                f.write_str("standard deviation of normal distribution must be non-negative")
+            }
+        }
+    }
+}
+
+impl std::error::Error for NormalError {}
+
+/// The normal (Gaussian) distribution `N(mean, std_dev^2)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Normal {
+    mean: f64,
+    std_dev: f64,
+}
+
+impl Normal {
+    /// Creates the distribution from its mean and standard deviation.
+    pub fn new(mean: f64, std_dev: f64) -> Result<Normal, NormalError> {
+        if mean.is_nan() {
+            return Err(NormalError::MeanTooSmall);
+        }
+        if std_dev.is_nan() || std_dev < 0.0 {
+            return Err(NormalError::BadVariance);
+        }
+        Ok(Normal { mean, std_dev })
+    }
+}
+
+impl Distribution<f64> for Normal {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        self.mean + self.std_dev * standard_normal(rng)
+    }
+}
+
+/// The log-normal distribution: `exp(N(mu, sigma^2))`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LogNormal {
+    mu: f64,
+    sigma: f64,
+}
+
+impl LogNormal {
+    /// Creates the distribution from the mean `mu` and standard deviation
+    /// `sigma` of the underlying normal.
+    pub fn new(mu: f64, sigma: f64) -> Result<LogNormal, NormalError> {
+        if mu.is_nan() {
+            return Err(NormalError::MeanTooSmall);
+        }
+        if sigma.is_nan() || sigma < 0.0 {
+            return Err(NormalError::BadVariance);
+        }
+        Ok(LogNormal { mu, sigma })
+    }
+}
+
+impl Distribution<f64> for LogNormal {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        (self.mu + self.sigma * standard_normal(rng)).exp()
+    }
+}
+
+/// One standard-normal draw via the Box–Muller transform.
+fn standard_normal<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+    let u1: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn exp_mean_converges() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let d = Exp::new(0.01).unwrap();
+        let n = 100_000;
+        let mean: f64 = (0..n).map(|_| d.sample(&mut rng)).sum::<f64>() / n as f64;
+        assert!((mean - 100.0).abs() < 2.0, "mean was {mean}");
+    }
+
+    #[test]
+    fn lognormal_median_converges() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let d = LogNormal::new(80.0f64.ln(), 0.5).unwrap();
+        let n = 100_001;
+        let mut samples: Vec<f64> = (0..n).map(|_| d.sample(&mut rng)).collect();
+        samples.sort_by(f64::total_cmp);
+        let median = samples[n / 2];
+        assert!((median - 80.0).abs() < 2.0, "median was {median}");
+    }
+
+    #[test]
+    fn invalid_parameters_are_rejected() {
+        assert!(Exp::new(0.0).is_err());
+        assert!(Exp::new(-1.0).is_err());
+        assert!(Exp::new(f64::NAN).is_err());
+        assert!(LogNormal::new(0.0, -0.1).is_err());
+        assert!(Normal::new(f64::NAN, 1.0).is_err());
+        assert!(LogNormal::new(1.0, 0.0).is_ok());
+    }
+}

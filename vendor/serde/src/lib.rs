@@ -1,0 +1,517 @@
+//! Vendored minimal stand-in for the [`serde`](https://serde.rs) crate,
+//! used because the build environment has no registry access.
+//!
+//! The design is a simplification of real serde: instead of a streaming
+//! visitor architecture, serialization goes through an owned, JSON-shaped
+//! [`Value`] tree.  The public trait names and signatures mirror the subset
+//! of the real API this workspace uses, so the SRLB crates compile
+//! unchanged:
+//!
+//! * [`Serialize`] / [`Deserialize`] traits (and, with the `derive` feature,
+//!   the matching derive macros re-exported from `serde_derive`),
+//! * [`Serializer`] / [`Deserializer`] traits for hand-written `with`
+//!   modules (e.g. the `Bytes` field helper in `srlb-net`),
+//! * [`ser::Error`] / [`de::Error`] constructor traits.
+//!
+//! `serde_json` (also vendored) provides the concrete JSON front end.
+
+use std::net::Ipv6Addr;
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// The self-describing data model every value serializes through.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null` (used for `Option::None`).
+    Null,
+    /// A boolean.
+    Bool(bool),
+    /// A signed integer.
+    Int(i64),
+    /// An unsigned integer.
+    UInt(u64),
+    /// A floating-point number.
+    Float(f64),
+    /// A string.
+    Str(String),
+    /// A sequence of values.
+    Seq(Vec<Value>),
+    /// An ordered map with string keys (struct fields, enum tags).
+    Map(Vec<(String, Value)>),
+}
+
+/// Serialization half of the data model.
+pub mod ser {
+    use std::fmt::Display;
+
+    /// Errors producible by a [`Serializer`](super::Serializer).
+    pub trait Error: Sized + std::fmt::Debug + Display {
+        /// Builds an error from an arbitrary message.
+        fn custom<T: Display>(msg: T) -> Self;
+    }
+}
+
+/// Deserialization half of the data model.
+pub mod de {
+    use std::fmt::Display;
+
+    /// Errors producible by a [`Deserializer`](super::Deserializer).
+    pub trait Error: Sized + std::fmt::Debug + Display {
+        /// Builds an error from an arbitrary message.
+        fn custom<T: Display>(msg: T) -> Self;
+    }
+}
+
+/// A data format that can consume the [`Value`] data model.
+pub trait Serializer: Sized {
+    /// Output type produced on success.
+    type Ok;
+    /// Error type produced on failure.
+    type Error: ser::Error;
+
+    /// Consumes a fully built [`Value`].
+    fn serialize_value(self, value: Value) -> Result<Self::Ok, Self::Error>;
+
+    /// Serializes a byte slice (as a sequence of integers).
+    fn serialize_bytes(self, v: &[u8]) -> Result<Self::Ok, Self::Error> {
+        self.serialize_value(Value::Seq(
+            v.iter().map(|&b| Value::UInt(b as u64)).collect(),
+        ))
+    }
+}
+
+/// A data format that can produce the [`Value`] data model.
+pub trait Deserializer<'de>: Sized {
+    /// Error type produced on failure.
+    type Error: de::Error;
+
+    /// Yields the input as a fully built [`Value`].
+    fn take_value(self) -> Result<Value, Self::Error>;
+}
+
+/// A value that can be serialized into any [`Serializer`].
+pub trait Serialize {
+    /// Serializes `self`.
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error>;
+}
+
+/// A value that can be deserialized from any [`Deserializer`].
+pub trait Deserialize<'de>: Sized {
+    /// Deserializes an instance of `Self`.
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error>;
+}
+
+/// [`Value`]-backed [`Serializer`] / [`Deserializer`] implementations.
+pub mod value {
+    use super::{de, ser, Deserializer, Serializer, Value};
+    use std::fmt;
+
+    /// Error for value-tree (de)serialization; also the bridge error type
+    /// the derive macros route through [`de::Error::custom`].
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct ValueError(pub String);
+
+    impl fmt::Display for ValueError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str(&self.0)
+        }
+    }
+
+    impl std::error::Error for ValueError {}
+
+    impl ser::Error for ValueError {
+        fn custom<T: fmt::Display>(msg: T) -> Self {
+            ValueError(msg.to_string())
+        }
+    }
+
+    impl de::Error for ValueError {
+        fn custom<T: fmt::Display>(msg: T) -> Self {
+            ValueError(msg.to_string())
+        }
+    }
+
+    /// Serializer that materializes the [`Value`] tree itself.
+    #[derive(Debug, Clone, Copy, Default)]
+    pub struct ValueSerializer;
+
+    impl Serializer for ValueSerializer {
+        type Ok = Value;
+        type Error = ValueError;
+
+        fn serialize_value(self, value: Value) -> Result<Value, ValueError> {
+            Ok(value)
+        }
+    }
+
+    /// Deserializer reading from an owned [`Value`] tree.
+    #[derive(Debug, Clone)]
+    pub struct ValueDeserializer {
+        value: Value,
+    }
+
+    impl ValueDeserializer {
+        /// Wraps an owned value.
+        pub fn new(value: Value) -> Self {
+            ValueDeserializer { value }
+        }
+    }
+
+    impl<'de> Deserializer<'de> for ValueDeserializer {
+        type Error = ValueError;
+
+        fn take_value(self) -> Result<Value, ValueError> {
+            Ok(self.value)
+        }
+    }
+}
+
+/// Serializes `value` into the [`Value`] data model.
+pub fn to_value<T: Serialize + ?Sized>(value: &T) -> Result<Value, value::ValueError> {
+    value.serialize(value::ValueSerializer)
+}
+
+/// Deserializes a `T` out of an owned [`Value`].
+pub fn from_value<'de, T: Deserialize<'de>>(value: Value) -> Result<T, value::ValueError> {
+    T::deserialize(value::ValueDeserializer::new(value))
+}
+
+/// Support machinery for the derive macros; not part of the public API.
+pub mod __private {
+    use super::value::{ValueDeserializer, ValueError};
+    use super::{Deserialize, Value};
+
+    /// Removes field `name` from a struct map and deserializes it.
+    pub fn take_field<'de, T: Deserialize<'de>>(
+        map: &mut Vec<(String, Value)>,
+        name: &str,
+    ) -> Result<T, ValueError> {
+        match map.iter().position(|(k, _)| k == name) {
+            Some(i) => {
+                let (_, v) = map.remove(i);
+                T::deserialize(ValueDeserializer::new(v))
+            }
+            None => Err(ValueError(format!("missing field `{name}`"))),
+        }
+    }
+
+    /// Removes field `name` and returns its raw [`Value`] (for `with`
+    /// modules).
+    pub fn take_field_value(
+        map: &mut Vec<(String, Value)>,
+        name: &str,
+    ) -> Result<Value, ValueError> {
+        match map.iter().position(|(k, _)| k == name) {
+            Some(i) => Ok(map.remove(i).1),
+            None => Err(ValueError(format!("missing field `{name}`"))),
+        }
+    }
+
+    /// Interprets a value as a struct map.
+    pub fn expect_map(value: Value, what: &str) -> Result<Vec<(String, Value)>, ValueError> {
+        match value {
+            Value::Map(m) => Ok(m),
+            other => Err(ValueError(format!(
+                "expected map for {what}, found {other:?}"
+            ))),
+        }
+    }
+
+    /// Interprets a value as a sequence of exactly `n` elements.
+    pub fn expect_seq(value: Value, n: usize, what: &str) -> Result<Vec<Value>, ValueError> {
+        match value {
+            Value::Seq(s) if s.len() == n => Ok(s),
+            other => Err(ValueError(format!(
+                "expected sequence of {n} elements for {what}, found {other:?}"
+            ))),
+        }
+    }
+}
+
+macro_rules! impl_serialize_uint {
+    ($($t:ty),* $(,)?) => {
+        $(
+            impl Serialize for $t {
+                fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+                    serializer.serialize_value(Value::UInt(*self as u64))
+                }
+            }
+
+            impl<'de> Deserialize<'de> for $t {
+                fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+                    let v = deserializer.take_value()?;
+                    let n: u64 = match v {
+                        Value::UInt(n) => n,
+                        Value::Int(n) if n >= 0 => n as u64,
+                        Value::Float(f) if f >= 0.0 && f.fract() == 0.0 && f <= u64::MAX as f64 => {
+                            f as u64
+                        }
+                        other => {
+                            return Err(de::Error::custom(format!(
+                                concat!("expected ", stringify!($t), ", found {:?}"),
+                                other
+                            )))
+                        }
+                    };
+                    <$t>::try_from(n).map_err(|_| {
+                        de::Error::custom(format!(
+                            concat!("value {} out of range for ", stringify!($t)),
+                            n
+                        ))
+                    })
+                }
+            }
+        )*
+    };
+}
+
+impl_serialize_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_serialize_int {
+    ($($t:ty),* $(,)?) => {
+        $(
+            impl Serialize for $t {
+                fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+                    serializer.serialize_value(Value::Int(*self as i64))
+                }
+            }
+
+            impl<'de> Deserialize<'de> for $t {
+                fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+                    let v = deserializer.take_value()?;
+                    let n: i64 = match v {
+                        Value::Int(n) => n,
+                        Value::UInt(n) if n <= i64::MAX as u64 => n as i64,
+                        Value::Float(f)
+                            if f.fract() == 0.0
+                                && f >= i64::MIN as f64
+                                && f <= i64::MAX as f64 =>
+                        {
+                            f as i64
+                        }
+                        other => {
+                            return Err(de::Error::custom(format!(
+                                concat!("expected ", stringify!($t), ", found {:?}"),
+                                other
+                            )))
+                        }
+                    };
+                    <$t>::try_from(n).map_err(|_| {
+                        de::Error::custom(format!(
+                            concat!("value {} out of range for ", stringify!($t)),
+                            n
+                        ))
+                    })
+                }
+            }
+        )*
+    };
+}
+
+impl_serialize_int!(i8, i16, i32, i64, isize);
+
+impl Serialize for bool {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_value(Value::Bool(*self))
+    }
+}
+
+impl<'de> Deserialize<'de> for bool {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.take_value()? {
+            Value::Bool(b) => Ok(b),
+            other => Err(de::Error::custom(format!("expected bool, found {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for f64 {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_value(Value::Float(*self))
+    }
+}
+
+impl<'de> Deserialize<'de> for f64 {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.take_value()? {
+            Value::Float(f) => Ok(f),
+            Value::Int(n) => Ok(n as f64),
+            Value::UInt(n) => Ok(n as f64),
+            // The JSON writer encodes NaN as null (JSON has no NaN).
+            Value::Null => Ok(f64::NAN),
+            other => Err(de::Error::custom(format!("expected f64, found {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_value(Value::Float(*self as f64))
+    }
+}
+
+impl<'de> Deserialize<'de> for f32 {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        f64::deserialize(deserializer).map(|f| f as f32)
+    }
+}
+
+impl Serialize for String {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_value(Value::Str(self.clone()))
+    }
+}
+
+impl<'de> Deserialize<'de> for String {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.take_value()? {
+            Value::Str(s) => Ok(s),
+            other => Err(de::Error::custom(format!(
+                "expected string, found {other:?}"
+            ))),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_value(Value::Str(self.to_string()))
+    }
+}
+
+impl Serialize for char {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_value(Value::Str(self.to_string()))
+    }
+}
+
+impl<'de> Deserialize<'de> for char {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.take_value()? {
+            Value::Str(s) if s.chars().count() == 1 => Ok(s.chars().next().unwrap()),
+            other => Err(de::Error::custom(format!("expected char, found {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for Ipv6Addr {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_value(Value::Str(self.to_string()))
+    }
+}
+
+impl<'de> Deserialize<'de> for Ipv6Addr {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.take_value()? {
+            Value::Str(s) => s
+                .parse()
+                .map_err(|e| de::Error::custom(format!("invalid IPv6 address `{s}`: {e}"))),
+            other => Err(de::Error::custom(format!(
+                "expected IPv6 address string, found {other:?}"
+            ))),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        match self {
+            Some(v) => {
+                let value = to_value(v).map_err(ser::Error::custom)?;
+                serializer.serialize_value(value)
+            }
+            None => serializer.serialize_value(Value::Null),
+        }
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Option<T> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.take_value()? {
+            Value::Null => Ok(None),
+            v => from_value(v)
+                .map(Some)
+                .map_err(|e| de::Error::custom(e.to_string())),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        self[..].serialize(serializer)
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Vec<T> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.take_value()? {
+            Value::Seq(items) => items
+                .into_iter()
+                .map(|v| from_value(v).map_err(|e| de::Error::custom(e.to_string())))
+                .collect(),
+            other => Err(de::Error::custom(format!(
+                "expected sequence, found {other:?}"
+            ))),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        let items = self
+            .iter()
+            .map(to_value)
+            .collect::<Result<Vec<Value>, _>>()
+            .map_err(ser::Error::custom)?;
+        serializer.serialize_value(Value::Seq(items))
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        self[..].serialize(serializer)
+    }
+}
+
+impl<'de, T: Deserialize<'de>, const N: usize> Deserialize<'de> for [T; N] {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let items = Vec::<T>::deserialize(deserializer)?;
+        let len = items.len();
+        <[T; N]>::try_from(items)
+            .map_err(|_| de::Error::custom(format!("expected array of {N} elements, found {len}")))
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        (**self).serialize(serializer)
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        (**self).serialize(serializer)
+    }
+}
+
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        let items = vec![
+            to_value(&self.0).map_err(ser::Error::custom)?,
+            to_value(&self.1).map_err(ser::Error::custom)?,
+        ];
+        serializer.serialize_value(Value::Seq(items))
+    }
+}
+
+impl<'de, A: Deserialize<'de>, B: Deserialize<'de>> Deserialize<'de> for (A, B) {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let seq = __private::expect_seq(deserializer.take_value()?, 2, "2-tuple")
+            .map_err(|e| de::Error::custom(e.to_string()))?;
+        let mut it = seq.into_iter();
+        let a = from_value(it.next().unwrap()).map_err(|e| de::Error::custom(e.to_string()))?;
+        let b = from_value(it.next().unwrap()).map_err(|e| de::Error::custom(e.to_string()))?;
+        Ok((a, b))
+    }
+}

@@ -1,0 +1,518 @@
+//! Vendored minimal `#[derive(Serialize, Deserialize)]` macros for the
+//! vendored `serde` crate (offline build — `syn`/`quote` are unavailable, so
+//! the input is parsed directly from the token stream and code is generated
+//! as strings).
+//!
+//! Supported input shapes — exactly what the SRLB workspace derives on:
+//!
+//! * structs with named fields (including `#[serde(with = "module")]`),
+//! * tuple structs (newtype structs serialize transparently),
+//! * enums with unit, tuple and struct variants (externally tagged).
+//!
+//! Generic types are rejected with a clear error.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+struct Field {
+    name: String,
+    with: Option<String>,
+}
+
+enum Fields {
+    Named(Vec<Field>),
+    Tuple(usize),
+    Unit,
+}
+
+struct Variant {
+    name: String,
+    fields: Fields,
+}
+
+enum Input {
+    Struct {
+        name: String,
+        fields: Fields,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+/// Derives the vendored `serde::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let parsed = parse_input(input);
+    let code = match &parsed {
+        Input::Struct { name, fields } => gen_struct_serialize(name, fields),
+        Input::Enum { name, variants } => gen_enum_serialize(name, variants),
+    };
+    code.parse().expect("generated Serialize impl parses")
+}
+
+/// Derives the vendored `serde::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let parsed = parse_input(input);
+    let code = match &parsed {
+        Input::Struct { name, fields } => gen_struct_deserialize(name, fields),
+        Input::Enum { name, variants } => gen_enum_deserialize(name, variants),
+    };
+    code.parse().expect("generated Deserialize impl parses")
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+fn parse_input(input: TokenStream) -> Input {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+
+    // Skip outer attributes and visibility.
+    while i < tokens.len() {
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => i += 2,
+            TokenTree::Ident(id) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+
+    let kind = expect_ident(&tokens, i, "`struct` or `enum`");
+    i += 1;
+    let name = expect_ident(&tokens, i, "type name");
+    i += 1;
+
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            panic!("vendored serde derive does not support generic types (on `{name}`)");
+        }
+    }
+
+    match kind.as_str() {
+        "struct" => {
+            let fields = match tokens.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    Fields::Named(parse_named_fields(g.stream()))
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    Fields::Tuple(count_tuple_fields(g.stream()))
+                }
+                _ => Fields::Unit,
+            };
+            Input::Struct { name, fields }
+        }
+        "enum" => {
+            let body = match tokens.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+                _ => panic!("expected enum body for `{name}`"),
+            };
+            Input::Enum {
+                name,
+                variants: parse_variants(body),
+            }
+        }
+        other => panic!("vendored serde derive supports struct/enum, found `{other}`"),
+    }
+}
+
+fn expect_ident(tokens: &[TokenTree], i: usize, what: &str) -> String {
+    match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("vendored serde derive expected {what}, found {other:?}"),
+    }
+}
+
+/// Extracts `with = "module"` from a `#[serde(...)]` attribute body, if the
+/// bracket group is a serde attribute at all.
+fn parse_serde_with(group_tokens: TokenStream) -> Option<String> {
+    let toks: Vec<TokenTree> = group_tokens.into_iter().collect();
+    match (toks.first(), toks.get(1)) {
+        (Some(TokenTree::Ident(id)), Some(TokenTree::Group(args))) if id.to_string() == "serde" => {
+            let inner: Vec<TokenTree> = args.stream().into_iter().collect();
+            match (inner.first(), inner.get(1), inner.get(2)) {
+                (
+                    Some(TokenTree::Ident(key)),
+                    Some(TokenTree::Punct(eq)),
+                    Some(TokenTree::Literal(lit)),
+                ) if key.to_string() == "with" && eq.as_char() == '=' => {
+                    Some(lit.to_string().trim_matches('"').to_string())
+                }
+                _ => panic!(
+                    "vendored serde derive only supports #[serde(with = \"module\")] attributes"
+                ),
+            }
+        }
+        _ => None,
+    }
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
+    let toks: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        // Attributes (capture `#[serde(with = "...")]`, skip the rest).
+        let mut with = None;
+        loop {
+            match toks.get(i) {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    if let Some(TokenTree::Group(g)) = toks.get(i + 1) {
+                        if with.is_none() {
+                            with = parse_serde_with(g.stream());
+                        }
+                    }
+                    i += 2;
+                }
+                _ => break,
+            }
+        }
+        // Visibility.
+        if let Some(TokenTree::Ident(id)) = toks.get(i) {
+            if id.to_string() == "pub" {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = toks.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+            }
+        }
+        let name = expect_ident(&toks, i, "field name");
+        i += 1;
+        match toks.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => panic!("expected `:` after field `{name}`, found {other:?}"),
+        }
+        // Skip the type: everything until a comma at angle-bracket depth 0.
+        let mut angle_depth: i32 = 0;
+        while i < toks.len() {
+            match &toks[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' && angle_depth > 0 => angle_depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        fields.push(Field { name, with });
+    }
+    fields
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let toks: Vec<TokenTree> = stream.into_iter().collect();
+    if toks.is_empty() {
+        return 0;
+    }
+    let mut count = 1;
+    let mut angle_depth: i32 = 0;
+    let mut saw_tokens_since_comma = true;
+    for (idx, tok) in toks.iter().enumerate() {
+        match tok {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' && angle_depth > 0 => angle_depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                // Ignore a trailing comma.
+                if idx + 1 < toks.len() {
+                    count += 1;
+                }
+                saw_tokens_since_comma = false;
+            }
+            _ => saw_tokens_since_comma = true,
+        }
+    }
+    let _ = saw_tokens_since_comma;
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let toks: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        // Skip attributes (doc comments and the like).
+        loop {
+            match toks.get(i) {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => i += 2,
+                _ => break,
+            }
+        }
+        if i >= toks.len() {
+            break;
+        }
+        let name = expect_ident(&toks, i, "variant name");
+        i += 1;
+        let fields = match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                Fields::Named(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                Fields::Tuple(count_tuple_fields(g.stream()))
+            }
+            _ => Fields::Unit,
+        };
+        // Skip an explicit discriminant (`= expr`) and the separating comma.
+        while i < toks.len() {
+            match &toks[i] {
+                TokenTree::Punct(p) if p.as_char() == ',' => {
+                    i += 1;
+                    break;
+                }
+                _ => i += 1,
+            }
+        }
+        variants.push(Variant { name, fields });
+    }
+    variants
+}
+
+// ---------------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------------
+
+const MAP_ERR: &str = ".map_err(|e| <D::Error as ::serde::de::Error>::custom(e))?";
+const SER_MAP_ERR: &str = ".map_err(|e| <S::Error as ::serde::ser::Error>::custom(e))?";
+
+fn gen_struct_serialize(name: &str, fields: &Fields) -> String {
+    let body = match fields {
+        Fields::Named(fields) => {
+            let mut s = String::from(
+                "let mut fields: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = \
+                 ::std::vec::Vec::new();\n",
+            );
+            for f in fields {
+                s.push_str(&serialize_field_push(
+                    &f.name,
+                    &format!("&self.{}", f.name),
+                    f,
+                ));
+            }
+            s.push_str("serializer.serialize_value(::serde::Value::Map(fields))");
+            s
+        }
+        Fields::Tuple(1) => {
+            format!("serializer.serialize_value(::serde::to_value(&self.0){SER_MAP_ERR})")
+        }
+        Fields::Tuple(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::to_value(&self.{i}){SER_MAP_ERR}"))
+                .collect();
+            format!(
+                "serializer.serialize_value(::serde::Value::Seq(::std::vec![{}]))",
+                items.join(", ")
+            )
+        }
+        Fields::Unit => "serializer.serialize_value(::serde::Value::Null)".to_string(),
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn serialize<S: ::serde::Serializer>(&self, serializer: S) \
+         -> ::core::result::Result<S::Ok, S::Error> {{\n{body}\n}}\n}}\n"
+    )
+}
+
+/// One `fields.push((..))` statement for a named field, honoring
+/// `#[serde(with = "module")]`.
+fn serialize_field_push(key: &str, expr: &str, field: &Field) -> String {
+    match &field.with {
+        Some(module) => format!(
+            "fields.push((\"{key}\".to_string(), \
+             {module}::serialize({expr}, ::serde::value::ValueSerializer){SER_MAP_ERR}));\n"
+        ),
+        None => format!(
+            "fields.push((\"{key}\".to_string(), ::serde::to_value({expr}){SER_MAP_ERR}));\n"
+        ),
+    }
+}
+
+fn gen_struct_deserialize(name: &str, fields: &Fields) -> String {
+    let body = match fields {
+        Fields::Named(fields) => {
+            let mut s = format!(
+                "let mut map = ::serde::__private::expect_map(deserializer.take_value()?, \
+                 \"struct {name}\"){MAP_ERR};\n"
+            );
+            s.push_str(&format!("::core::result::Result::Ok({name} {{\n"));
+            for f in fields {
+                s.push_str(&deserialize_field_init(&f.name, f));
+            }
+            s.push_str("})");
+            s
+        }
+        Fields::Tuple(1) => format!(
+            "::core::result::Result::Ok({name}(\
+             ::serde::from_value(deserializer.take_value()?){MAP_ERR}))"
+        ),
+        Fields::Tuple(n) => {
+            let mut s = format!(
+                "let seq = ::serde::__private::expect_seq(deserializer.take_value()?, {n}, \
+                 \"tuple struct {name}\"){MAP_ERR};\n\
+                 let mut it = seq.into_iter();\n"
+            );
+            s.push_str(&format!("::core::result::Result::Ok({name}(\n"));
+            for _ in 0..*n {
+                s.push_str(&format!(
+                    "::serde::from_value(it.next().unwrap()){MAP_ERR},\n"
+                ));
+            }
+            s.push_str("))");
+            s
+        }
+        Fields::Unit => format!("::core::result::Result::Ok({name})"),
+    };
+    format!(
+        "impl<'de> ::serde::Deserialize<'de> for {name} {{\n\
+         fn deserialize<D: ::serde::Deserializer<'de>>(deserializer: D) \
+         -> ::core::result::Result<Self, D::Error> {{\n{body}\n}}\n}}\n"
+    )
+}
+
+/// One `field: ...,` initializer for a named field, honoring `with`.
+fn deserialize_field_init(key: &str, field: &Field) -> String {
+    match &field.with {
+        Some(module) => format!(
+            "{key}: {module}::deserialize(::serde::value::ValueDeserializer::new(\
+             ::serde::__private::take_field_value(&mut map, \"{key}\"){MAP_ERR})){MAP_ERR},\n"
+        ),
+        None => format!("{key}: ::serde::__private::take_field(&mut map, \"{key}\"){MAP_ERR},\n"),
+    }
+}
+
+fn gen_enum_serialize(name: &str, variants: &[Variant]) -> String {
+    let mut arms = String::new();
+    for v in variants {
+        let vname = &v.name;
+        match &v.fields {
+            Fields::Unit => {
+                arms.push_str(&format!(
+                    "{name}::{vname} => ::serde::Value::Str(\"{vname}\".to_string()),\n"
+                ));
+            }
+            Fields::Named(fields) => {
+                let bindings: Vec<&str> = fields.iter().map(|f| f.name.as_str()).collect();
+                let mut inner = String::from(
+                    "let mut fields: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = \
+                     ::std::vec::Vec::new();\n",
+                );
+                for f in fields {
+                    let binding = f.name.clone();
+                    inner.push_str(&serialize_field_push(&f.name, &binding, f));
+                }
+                arms.push_str(&format!(
+                    "{name}::{vname} {{ {} }} => {{\n{inner}\
+                     ::serde::Value::Map(::std::vec![(\"{vname}\".to_string(), \
+                     ::serde::Value::Map(fields))])\n}}\n",
+                    bindings.join(", ")
+                ));
+            }
+            Fields::Tuple(1) => {
+                arms.push_str(&format!(
+                    "{name}::{vname}(x0) => \
+                     ::serde::Value::Map(::std::vec![(\"{vname}\".to_string(), \
+                     ::serde::to_value(x0){SER_MAP_ERR})]),\n"
+                ));
+            }
+            Fields::Tuple(n) => {
+                let bindings: Vec<String> = (0..*n).map(|i| format!("x{i}")).collect();
+                let items: Vec<String> = bindings
+                    .iter()
+                    .map(|b| format!("::serde::to_value({b}){SER_MAP_ERR}"))
+                    .collect();
+                arms.push_str(&format!(
+                    "{name}::{vname}({}) => \
+                     ::serde::Value::Map(::std::vec![(\"{vname}\".to_string(), \
+                     ::serde::Value::Seq(::std::vec![{}]))]),\n",
+                    bindings.join(", "),
+                    items.join(", ")
+                ));
+            }
+        }
+    }
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn serialize<S: ::serde::Serializer>(&self, serializer: S) \
+         -> ::core::result::Result<S::Ok, S::Error> {{\n\
+         let value = match self {{\n{arms}}};\n\
+         serializer.serialize_value(value)\n}}\n}}\n"
+    )
+}
+
+fn gen_enum_deserialize(name: &str, variants: &[Variant]) -> String {
+    let mut unit_arms = String::new();
+    let mut data_arms = String::new();
+    for v in variants {
+        let vname = &v.name;
+        match &v.fields {
+            Fields::Unit => {
+                unit_arms.push_str(&format!(
+                    "\"{vname}\" => ::core::result::Result::Ok({name}::{vname}),\n"
+                ));
+            }
+            Fields::Named(fields) => {
+                let mut inner = format!(
+                    "let mut map = ::serde::__private::expect_map(inner, \
+                     \"variant {name}::{vname}\"){MAP_ERR};\n"
+                );
+                inner.push_str(&format!("::core::result::Result::Ok({name}::{vname} {{\n"));
+                for f in fields {
+                    inner.push_str(&deserialize_field_init(&f.name, f));
+                }
+                inner.push_str("})");
+                data_arms.push_str(&format!("\"{vname}\" => {{\n{inner}\n}}\n"));
+            }
+            Fields::Tuple(1) => {
+                data_arms.push_str(&format!(
+                    "\"{vname}\" => ::core::result::Result::Ok({name}::{vname}(\
+                     ::serde::from_value(inner){MAP_ERR})),\n"
+                ));
+            }
+            Fields::Tuple(n) => {
+                let mut inner = format!(
+                    "let seq = ::serde::__private::expect_seq(inner, {n}, \
+                     \"variant {name}::{vname}\"){MAP_ERR};\n\
+                     let mut it = seq.into_iter();\n"
+                );
+                inner.push_str(&format!("::core::result::Result::Ok({name}::{vname}(\n"));
+                for _ in 0..*n {
+                    inner.push_str(&format!(
+                        "::serde::from_value(it.next().unwrap()){MAP_ERR},\n"
+                    ));
+                }
+                inner.push_str("))");
+                data_arms.push_str(&format!("\"{vname}\" => {{\n{inner}\n}}\n"));
+            }
+        }
+    }
+    format!(
+        "impl<'de> ::serde::Deserialize<'de> for {name} {{\n\
+         fn deserialize<D: ::serde::Deserializer<'de>>(deserializer: D) \
+         -> ::core::result::Result<Self, D::Error> {{\n\
+         match deserializer.take_value()? {{\n\
+         ::serde::Value::Str(s) => match s.as_str() {{\n{unit_arms}\
+         other => ::core::result::Result::Err(<D::Error as ::serde::de::Error>::custom(\
+         ::std::format!(\"unknown unit variant `{{other}}` of {name}\"))),\n}},\n\
+         ::serde::Value::Map(mut m) if m.len() == 1 => {{\n\
+         let (tag, inner) = m.remove(0);\n\
+         let _ = &inner;\n\
+         match tag.as_str() {{\n{data_arms}\
+         other => ::core::result::Result::Err(<D::Error as ::serde::de::Error>::custom(\
+         ::std::format!(\"unknown variant `{{other}}` of {name}\"))),\n}}\n}},\n\
+         other => ::core::result::Result::Err(<D::Error as ::serde::de::Error>::custom(\
+         ::std::format!(\"expected variant of {name}, found {{other:?}}\"))),\n\
+         }}\n}}\n}}\n"
+    )
+}

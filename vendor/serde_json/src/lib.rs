@@ -1,0 +1,421 @@
+//! Vendored minimal stand-in for the
+//! [`serde_json`](https://crates.io/crates/serde_json) crate (offline build).
+//!
+//! Serializes the vendored `serde` crate's [`Value`] data model to JSON text
+//! and parses JSON text back into it.  Supports everything the SRLB
+//! workspace round-trips: objects, arrays, strings (with escapes), booleans,
+//! null, and numbers (kept as `i64`/`u64` when integral so `u64` timestamps
+//! survive exactly).
+
+use std::fmt;
+use std::io::{Read, Write};
+
+use serde::{Deserialize, Serialize, Value};
+
+/// Error produced by JSON (de)serialization.
+#[derive(Debug)]
+pub enum Error {
+    /// An I/O error from the underlying reader or writer.
+    Io(std::io::Error),
+    /// A syntax or data-shape error.
+    Message(String),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Io(e) => write!(f, "JSON I/O error: {e}"),
+            Error::Message(m) => f.write_str(m),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<std::io::Error> for Error {
+    fn from(value: std::io::Error) -> Self {
+        Error::Io(value)
+    }
+}
+
+impl serde::ser::Error for Error {
+    fn custom<T: fmt::Display>(msg: T) -> Self {
+        Error::Message(msg.to_string())
+    }
+}
+
+impl serde::de::Error for Error {
+    fn custom<T: fmt::Display>(msg: T) -> Self {
+        Error::Message(msg.to_string())
+    }
+}
+
+/// Serializes `value` to a JSON string.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let value = serde::to_value(value).map_err(|e| Error::Message(e.to_string()))?;
+    let mut out = String::new();
+    write_value(&mut out, &value);
+    Ok(out)
+}
+
+/// Serializes `value` as JSON into `writer`.
+pub fn to_writer<W: Write, T: Serialize + ?Sized>(mut writer: W, value: &T) -> Result<(), Error> {
+    let s = to_string(value)?;
+    writer.write_all(s.as_bytes())?;
+    Ok(())
+}
+
+/// Deserializes a `T` from a JSON string slice.
+pub fn from_str<'de, T: Deserialize<'de>>(s: &'de str) -> Result<T, Error> {
+    let mut parser = Parser {
+        bytes: s.as_bytes(),
+        pos: 0,
+    };
+    parser.skip_ws();
+    let value = parser.parse_value()?;
+    parser.skip_ws();
+    if parser.pos != parser.bytes.len() {
+        return Err(Error::Message(format!(
+            "trailing characters at offset {}",
+            parser.pos
+        )));
+    }
+    serde::from_value(value).map_err(|e| Error::Message(e.to_string()))
+}
+
+/// Deserializes a `T` from a JSON reader.
+pub fn from_reader<R: Read, T: for<'de> Deserialize<'de>>(mut reader: R) -> Result<T, Error> {
+    let mut buf = String::new();
+    reader.read_to_string(&mut buf)?;
+    from_str(&buf)
+}
+
+// ---------------------------------------------------------------------------
+// Writer
+// ---------------------------------------------------------------------------
+
+fn write_value(out: &mut String, value: &Value) {
+    match value {
+        Value::Null => out.push_str("null"),
+        Value::Bool(true) => out.push_str("true"),
+        Value::Bool(false) => out.push_str("false"),
+        Value::Int(n) => {
+            out.push_str(&n.to_string());
+        }
+        Value::UInt(n) => {
+            out.push_str(&n.to_string());
+        }
+        Value::Float(f) => write_f64(out, *f),
+        Value::Str(s) => write_string(out, s),
+        Value::Seq(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_value(out, item);
+            }
+            out.push(']');
+        }
+        Value::Map(entries) => {
+            out.push('{');
+            for (i, (k, v)) in entries.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_string(out, k);
+                out.push(':');
+                write_value(out, v);
+            }
+            out.push('}');
+        }
+    }
+}
+
+fn write_f64(out: &mut String, f: f64) {
+    if f.is_nan() {
+        // JSON has no NaN; null is the conventional lossy encoding.
+        out.push_str("null");
+    } else if f.is_infinite() {
+        out.push_str(if f > 0.0 { "1e999" } else { "-1e999" });
+    } else {
+        // `{:?}` prints the shortest representation that round-trips.
+        out.push_str(&format!("{f:?}"));
+    }
+}
+
+fn write_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+// ---------------------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------------------
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b == b' ' || b == b'\t' || b == b'\n' || b == b'\r' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), Error> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(Error::Message(format!(
+                "expected `{}` at offset {}",
+                b as char, self.pos
+            )))
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Value, Error> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'n') => self.parse_keyword("null", Value::Null),
+            Some(b't') => self.parse_keyword("true", Value::Bool(true)),
+            Some(b'f') => self.parse_keyword("false", Value::Bool(false)),
+            Some(b'"') => Ok(Value::Str(self.parse_string()?)),
+            Some(b'[') => self.parse_array(),
+            Some(b'{') => self.parse_object(),
+            Some(b'-') | Some(b'0'..=b'9') => self.parse_number(),
+            other => Err(Error::Message(format!(
+                "unexpected {:?} at offset {}",
+                other.map(|b| b as char),
+                self.pos
+            ))),
+        }
+    }
+
+    fn parse_keyword(&mut self, word: &str, value: Value) -> Result<Value, Error> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(Error::Message(format!(
+                "invalid literal at offset {}",
+                self.pos
+            )))
+        }
+    }
+
+    fn parse_array(&mut self) -> Result<Value, Error> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Seq(items));
+        }
+        loop {
+            items.push(self.parse_value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => {
+                    self.pos += 1;
+                }
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Seq(items));
+                }
+                _ => {
+                    return Err(Error::Message(format!(
+                        "expected `,` or `]` at offset {}",
+                        self.pos
+                    )))
+                }
+            }
+        }
+    }
+
+    fn parse_object(&mut self) -> Result<Value, Error> {
+        self.expect(b'{')?;
+        let mut entries = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Map(entries));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.parse_string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            let value = self.parse_value()?;
+            entries.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => {
+                    self.pos += 1;
+                }
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Map(entries));
+                }
+                _ => {
+                    return Err(Error::Message(format!(
+                        "expected `,` or `}}` at offset {}",
+                        self.pos
+                    )))
+                }
+            }
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String, Error> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(Error::Message("unterminated string".to_string())),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'b') => out.push('\u{0008}'),
+                        Some(b'f') => out.push('\u{000c}'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .ok_or_else(|| Error::Message("truncated \\u escape".into()))?;
+                            let hex = std::str::from_utf8(hex)
+                                .map_err(|_| Error::Message("invalid \\u escape".into()))?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| Error::Message("invalid \\u escape".into()))?;
+                            // Surrogate pairs are not produced by our writer;
+                            // map lone surrogates to the replacement char.
+                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                            self.pos += 4;
+                        }
+                        other => {
+                            return Err(Error::Message(format!("invalid escape {other:?}")));
+                        }
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 code point.
+                    let rest = &self.bytes[self.pos..];
+                    let s = std::str::from_utf8(rest)
+                        .map_err(|_| Error::Message("invalid UTF-8 in string".into()))?;
+                    let c = s.chars().next().unwrap();
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn parse_number(&mut self) -> Result<Value, Error> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        while let Some(b) = self.peek() {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| Error::Message("invalid number".into()))?;
+        if !is_float {
+            if let Ok(u) = text.parse::<u64>() {
+                return Ok(Value::UInt(u));
+            }
+            if let Ok(i) = text.parse::<i64>() {
+                return Ok(Value::Int(i));
+            }
+        }
+        text.parse::<f64>()
+            .map(Value::Float)
+            .map_err(|e| Error::Message(format!("invalid number `{text}`: {e}")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrips_scalars_and_containers() {
+        let v = Value::Map(vec![
+            ("a".to_string(), Value::UInt(18_446_744_073_709_551_615)),
+            ("b".to_string(), Value::Int(-42)),
+            ("c".to_string(), Value::Float(0.1)),
+            (
+                "d".to_string(),
+                Value::Seq(vec![
+                    Value::Null,
+                    Value::Bool(true),
+                    Value::Str("x\"\n".into()),
+                ]),
+            ),
+        ]);
+        let mut s = String::new();
+        write_value(&mut s, &v);
+        let mut p = Parser {
+            bytes: s.as_bytes(),
+            pos: 0,
+        };
+        let back = p.parse_value().unwrap();
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn parses_whitespace_and_escapes() {
+        let v: Vec<String> = from_str(" [ \"a\\u0041b\" , \"\\t\" ] ").unwrap();
+        assert_eq!(v, vec!["aAb".to_string(), "\t".to_string()]);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(from_str::<bool>("truex").is_err());
+        assert!(from_str::<bool>("nope").is_err());
+        assert!(from_str::<Vec<u8>>("[1,").is_err());
+    }
+}
