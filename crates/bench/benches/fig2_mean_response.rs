@@ -10,7 +10,7 @@ fn bench(c: &mut Criterion) {
     group.sample_size(10);
     group.bench_function("rho_sweep_tiny", |b| {
         b.iter(|| {
-            let series = fig2_mean_response(Scale::Tiny, 42);
+            let series = fig2_mean_response(Scale::Tiny, 42, 1);
             assert_eq!(series.len(), 5);
             criterion::black_box(series)
         })

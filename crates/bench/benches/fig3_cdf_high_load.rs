@@ -8,7 +8,7 @@ fn bench(c: &mut Criterion) {
     group.sample_size(10);
     group.bench_function("cdf_rho_0_88_tiny", |b| {
         b.iter(|| {
-            let series = fig3_cdf_high_load(Scale::Tiny, 42);
+            let series = fig3_cdf_high_load(Scale::Tiny, 42, 1);
             assert_eq!(series.len(), 5);
             assert!(series.iter().all(|s| !s.points.is_empty()));
             criterion::black_box(series)

@@ -9,7 +9,7 @@ fn bench(c: &mut Criterion) {
     group.sample_size(10);
     group.bench_function("load_fairness_tiny", |b| {
         b.iter(|| {
-            let series = fig4_load_fairness(Scale::Tiny, 42);
+            let series = fig4_load_fairness(Scale::Tiny, 42, 1);
             assert_eq!(series.len(), 2);
             assert!(series.iter().all(|s| !s.points.is_empty()));
             criterion::black_box(series)

@@ -8,7 +8,7 @@ fn bench(c: &mut Criterion) {
     group.sample_size(10);
     group.bench_function("cdf_rho_0_61_tiny", |b| {
         b.iter(|| {
-            let series = fig5_cdf_low_load(Scale::Tiny, 42);
+            let series = fig5_cdf_low_load(Scale::Tiny, 42, 1);
             assert_eq!(series.len(), 5);
             criterion::black_box(series)
         })

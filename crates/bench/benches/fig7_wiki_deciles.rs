@@ -9,7 +9,7 @@ fn bench(c: &mut Criterion) {
     group.sample_size(10);
     group.bench_function("wiki_deciles_tiny", |b| {
         b.iter(|| {
-            let series = fig7_wiki_deciles(Scale::Tiny, 42);
+            let series = fig7_wiki_deciles(Scale::Tiny, 42, 1);
             assert_eq!(series.len(), 2);
             assert!(series.iter().all(|s| !s.deciles.is_empty()));
             criterion::black_box(series)

@@ -9,7 +9,7 @@ fn bench(c: &mut Criterion) {
     group.sample_size(10);
     group.bench_function("wiki_cdf_tiny", |b| {
         b.iter(|| {
-            let result = fig8_wiki_cdf(Scale::Tiny, 42);
+            let result = fig8_wiki_cdf(Scale::Tiny, 42, 1);
             assert_eq!(result.series.len(), 2);
             criterion::black_box(result)
         })

@@ -1,18 +1,26 @@
 //! Regenerates the paper's figures.
 //!
 //! ```text
-//! cargo run -p srlb-bench --release --bin figures -- all          # every figure, paper scale
-//! cargo run -p srlb-bench --release --bin figures -- fig2 --quick # one figure, reduced scale
+//! cargo run -p srlb-bench --release --bin figures -- all             # every figure, paper scale
+//! cargo run -p srlb-bench --release --bin figures -- fig2 --quick    # one figure, reduced scale
+//! cargo run -p srlb-bench --release --bin figures -- all --jobs 4    # explicit worker count
+//! cargo run -p srlb-bench --release --bin figures -- bench-micro     # write BENCH_micro.json
 //! ```
 //!
 //! Each figure's series is printed to stdout (policy labels, x/y columns)
 //! and written as CSV under `target/figures/`, so the curves can be plotted
 //! and compared against the paper's Figures 2–8.
+//!
+//! The `(policy, ρ)` sweep runs across `--jobs` worker threads (default:
+//! the `SRLB_JOBS` environment variable, then the machine's available
+//! parallelism).  Results are assembled in input order, so the output is
+//! byte-identical whatever the worker count; `--jobs 1` forces the fully
+//! serial, single-threaded schedule for constrained CI runners.
 
 use srlb_bench::output::fmt;
 use srlb_bench::{
-    fig2_mean_response, fig3_cdf_high_load, fig4_load_fairness, fig5_cdf_low_load,
-    fig6_wiki_median, fig7_wiki_deciles, fig8_wiki_cdf, write_csv, Scale,
+    default_jobs, fig2_mean_response, fig3_cdf_high_load, fig4_load_fairness, fig5_cdf_low_load,
+    fig6_wiki_median, fig7_wiki_deciles, fig8_wiki_cdf, write_bench_micro, write_csv, Scale,
 };
 
 const SEED: u64 = 42;
@@ -20,40 +28,114 @@ const SEED: u64 = 42;
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
-    let scale = if quick { Scale::Quick } else { Scale::Paper };
-    let which: Vec<&str> = args
-        .iter()
-        .filter(|a| !a.starts_with("--"))
-        .map(String::as_str)
-        .collect();
+    let tiny = args.iter().any(|a| a == "--tiny");
+    let scale = if tiny {
+        Scale::Tiny
+    } else if quick {
+        Scale::Quick
+    } else {
+        Scale::Paper
+    };
+    let (jobs, which) = parse_args(&args);
+    let jobs = jobs.unwrap_or_else(default_jobs);
+    const KNOWN: [&str; 9] = [
+        "all",
+        "fig2",
+        "fig3",
+        "fig4",
+        "fig5",
+        "fig6",
+        "fig7",
+        "fig8",
+        "bench-micro",
+    ];
+    if let Some(unknown) = which.iter().find(|name| !KNOWN.contains(name)) {
+        eprintln!("error: unknown figure `{unknown}` (expected one of: {KNOWN:?})");
+        std::process::exit(2);
+    }
+
+    if which.contains(&"bench-micro") {
+        run_bench_micro();
+        return;
+    }
+
     let all = which.is_empty() || which.contains(&"all");
     let want = |name: &str| all || which.contains(&name);
 
-    println!("# SRLB figure harness (scale: {scale:?}, seed: {SEED})");
+    println!("# SRLB figure harness (scale: {scale:?}, seed: {SEED}, jobs: {jobs})");
 
     if want("fig2") {
-        run_fig2(scale);
+        run_fig2(scale, jobs);
     }
     if want("fig3") {
-        run_poisson_cdf("fig3", 0.88, fig3_cdf_high_load(scale, SEED));
+        run_poisson_cdf("fig3", 0.88, fig3_cdf_high_load(scale, SEED, jobs));
     }
     if want("fig4") {
-        run_fig4(scale);
+        run_fig4(scale, jobs);
     }
     if want("fig5") {
-        run_poisson_cdf("fig5", 0.61, fig5_cdf_low_load(scale, SEED));
+        run_poisson_cdf("fig5", 0.61, fig5_cdf_low_load(scale, SEED, jobs));
     }
     if want("fig6") || want("fig7") {
-        run_fig6_and_7(scale);
+        run_fig6_and_7(scale, jobs);
     }
     if want("fig8") {
-        run_fig8(scale);
+        run_fig8(scale, jobs);
     }
 }
 
-fn run_fig2(scale: Scale) {
+/// Splits the command line into an optional `--jobs` worker count
+/// (accepting both `--jobs 4` and `--jobs=4`) and the positional figure
+/// names.  Only the token actually consumed as the `--jobs` value is
+/// removed from the positionals; a malformed value aborts loudly instead of
+/// being silently reinterpreted.
+fn parse_args(args: &[String]) -> (Option<usize>, Vec<&str>) {
+    let mut jobs = None;
+    let mut which = Vec::new();
+    let bad_jobs = |value: &str| -> ! {
+        eprintln!("error: --jobs expects a positive integer, got `{value}`");
+        std::process::exit(2);
+    };
+    let mut i = 0;
+    while i < args.len() {
+        let arg = args[i].as_str();
+        if let Some(value) = arg.strip_prefix("--jobs=") {
+            match value.parse::<usize>() {
+                Ok(n) => jobs = Some(n.max(1)),
+                Err(_) => bad_jobs(value),
+            }
+        } else if arg == "--jobs" {
+            let Some(value) = args.get(i + 1) else {
+                bad_jobs("<missing>");
+            };
+            match value.parse::<usize>() {
+                Ok(n) => jobs = Some(n.max(1)),
+                Err(_) => bad_jobs(value),
+            }
+            i += 1; // consume the value token
+        } else if !arg.starts_with("--") {
+            which.push(arg);
+        }
+        i += 1;
+    }
+    (jobs, which)
+}
+
+fn run_bench_micro() {
+    println!("# SRLB micro-bench harness (medians, ns/iter)");
+    match write_bench_micro(&srlb_bench::micro::workspace_root()) {
+        Ok(path) => {
+            let content = std::fs::read_to_string(&path).unwrap_or_default();
+            println!("{}", content.trim_end());
+            println!("  -> wrote {}", path.display());
+        }
+        Err(err) => eprintln!("  !! could not write bench report: {err}"),
+    }
+}
+
+fn run_fig2(scale: Scale, jobs: usize) {
     println!("\n## Figure 2 — mean response time vs load factor rho");
-    let series = fig2_mean_response(scale, SEED);
+    let series = fig2_mean_response(scale, SEED, jobs);
     let mut rows = Vec::new();
     println!("{:<8} {:>6} {:>12}", "policy", "rho", "mean (s)");
     for s in &series {
@@ -88,9 +170,9 @@ fn run_poisson_cdf(name: &str, rho: f64, series: Vec<srlb_bench::CdfSeries>) {
     report_write(write_csv(name, &["policy", "response_s", "cdf"], &rows));
 }
 
-fn run_fig4(scale: Scale) {
+fn run_fig4(scale: Scale, jobs: usize) {
     println!("\n## Figure 4 — instantaneous server load (mean & fairness), rho = 0.88");
-    let series = fig4_load_fairness(scale, SEED);
+    let series = fig4_load_fairness(scale, SEED, jobs);
     let mut rows = Vec::new();
     for s in &series {
         let mean_of_means: f64 =
@@ -112,9 +194,9 @@ fn run_fig4(scale: Scale) {
     ));
 }
 
-fn run_fig6_and_7(scale: Scale) {
+fn run_fig6_and_7(scale: Scale, jobs: usize) {
     println!("\n## Figures 6 & 7 — Wikipedia replay: rate, median and deciles per bin");
-    let series = fig6_wiki_median(scale, SEED);
+    let series = fig6_wiki_median(scale, SEED, jobs);
     let mut rows6 = Vec::new();
     let mut rows7 = Vec::new();
     for s in &series {
@@ -166,9 +248,9 @@ fn run_fig6_and_7(scale: Scale) {
     let _ = fig7_wiki_deciles;
 }
 
-fn run_fig8(scale: Scale) {
+fn run_fig8(scale: Scale, jobs: usize) {
     println!("\n## Figure 8 — CDF of wiki-page load time over the whole replay");
-    let result = fig8_wiki_cdf(scale, SEED);
+    let result = fig8_wiki_cdf(scale, SEED, jobs);
     println!("{:<8} {:>12} {:>12}", "policy", "median (s)", "Q3 (s)");
     let mut rows = Vec::new();
     for s in &result.series {

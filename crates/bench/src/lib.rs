@@ -9,18 +9,27 @@
 //!   scaled-down versions of the same code so the whole harness is exercised
 //!   quickly and regressions in experiment runtime are visible.
 //!
-//! Every function takes a [`Scale`] so the same code path serves both uses.
+//! Every function takes a [`Scale`] so the same code path serves both uses,
+//! plus a `jobs` worker count: independent `(policy, ρ)` simulation points
+//! run across scoped threads ([`parallel`]) with deterministic,
+//! byte-identical output regardless of the worker count.  The [`micro`]
+//! module additionally writes machine-readable micro-bench medians
+//! (`BENCH_micro.json`) so PRs can diff the perf trajectory.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
 pub mod figures;
+pub mod micro;
 pub mod output;
+pub mod parallel;
 
 pub use figures::{
     fig2_mean_response, fig3_cdf_high_load, fig4_load_fairness, fig5_cdf_low_load,
     fig6_wiki_median, fig7_wiki_deciles, fig8_wiki_cdf, CdfSeries, Fig2Series, Fig4Series, Scale,
     WikiBinSeries, WikiCdf,
 };
+pub use micro::{write_bench_micro, BenchReport, BENCH_MICRO_FILE};
 pub use output::{write_csv, FIGURES_DIR};
+pub use parallel::{default_jobs, parallel_map};

@@ -1,0 +1,238 @@
+//! Machine-readable micro-benchmarks of the per-flow hot path.
+//!
+//! This module runs the same operations as the `micro_lb` / `micro_net`
+//! Criterion benches but reports the medians as JSON (`BENCH_micro.json` at
+//! the repository root), so successive PRs can diff the perf trajectory
+//! mechanically instead of eyeballing bench logs.  Invoke with:
+//!
+//! ```text
+//! cargo run -p srlb-bench --release --bin figures -- bench-micro
+//! ```
+//!
+//! The committed `BENCH_micro.json` is the baseline recorded on the machine
+//! that produced it; regenerate alongside perf-sensitive changes and compare
+//! the relative movement, not absolute nanoseconds across machines.
+
+use std::collections::BTreeMap;
+use std::hint::black_box;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use std::time::{Duration, Instant};
+
+use srlb_core::dispatch::{
+    CandidateList, ConsistentHashDispatcher, Dispatcher, MaglevDispatcher, RandomDispatcher,
+};
+use srlb_core::flow_table::FlowTable;
+use srlb_net::{
+    AddressPlan, FlowKey, Packet, PacketBuilder, Protocol, SegmentRoutingHeader, ServerId, TcpFlags,
+};
+use srlb_sim::{SimRng, SimTime};
+
+/// Default output file name, written to the workspace root (see
+/// [`workspace_root`]).
+pub const BENCH_MICRO_FILE: &str = "BENCH_micro.json";
+
+/// The workspace root directory, resolved from this crate's manifest
+/// location (`crates/bench` → two levels up) so the report lands next to
+/// the committed baseline regardless of the invocation directory.
+pub fn workspace_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("crates/bench sits two levels below the workspace root")
+        .to_path_buf()
+}
+
+/// Measures `routine`'s median per-iteration time in nanoseconds, using the
+/// same batch-calibrated median-of-samples approach as the vendored
+/// criterion stand-in (batches sized so one sample spans ≥ 50 µs, median of
+/// 10 samples).
+fn median_ns<O, R: FnMut() -> O>(mut routine: R) -> f64 {
+    black_box(routine());
+    let target = Duration::from_micros(50);
+    let mut iters_per_sample: u64 = 1;
+    loop {
+        let start = Instant::now();
+        for _ in 0..iters_per_sample {
+            black_box(routine());
+        }
+        if start.elapsed() >= target || iters_per_sample >= 1 << 20 {
+            break;
+        }
+        iters_per_sample = iters_per_sample.saturating_mul(4);
+    }
+    let samples = 10;
+    let mut times: Vec<f64> = (0..samples)
+        .map(|_| {
+            let start = Instant::now();
+            for _ in 0..iters_per_sample {
+                black_box(routine());
+            }
+            start.elapsed().as_nanos() as f64 / iters_per_sample as f64
+        })
+        .collect();
+    times.sort_by(|a, b| a.partial_cmp(b).expect("durations are finite"));
+    times[times.len() / 2]
+}
+
+fn flows(n: u16) -> Vec<FlowKey> {
+    let plan = AddressPlan::default();
+    (0..n)
+        .map(|p| {
+            FlowKey::new(
+                plan.client_addr(0),
+                plan.vip(0),
+                1024 + p,
+                80,
+                Protocol::Tcp,
+            )
+        })
+        .collect()
+}
+
+/// Runs every micro-bench and returns `name → median ns/iter` in a stable
+/// (sorted) order.
+pub fn run_all() -> BTreeMap<String, f64> {
+    let plan = AddressPlan::default();
+    let servers: Vec<_> = plan.server_addrs(12).collect();
+    let keys = flows(1024);
+    let mut rng = SimRng::new(1);
+    let mut results = BTreeMap::new();
+    let mut record = |name: &str, ns: f64| {
+        results.insert(name.to_string(), ns);
+    };
+
+    // --- micro_lb: per-flow load-balancer operations -----------------------
+    let mut out = CandidateList::new();
+
+    let mut random = RandomDispatcher::power_of_two(servers.clone());
+    let mut i = 0;
+    record(
+        "dispatch_random_two_choice",
+        median_ns(|| {
+            i = (i + 1) % keys.len();
+            random.candidates_into(&keys[i], &mut rng, &mut out);
+            out.as_slice().len()
+        }),
+    );
+
+    let mut ring = ConsistentHashDispatcher::new(servers.clone(), 128, 2);
+    let mut i = 0;
+    record(
+        "dispatch_consistent_hash",
+        median_ns(|| {
+            i = (i + 1) % keys.len();
+            ring.candidates_into(&keys[i], &mut rng, &mut out);
+            out.as_slice().len()
+        }),
+    );
+
+    let mut maglev = MaglevDispatcher::new(servers.clone(), 65_537, 2);
+    let mut i = 0;
+    record(
+        "dispatch_maglev",
+        median_ns(|| {
+            i = (i + 1) % keys.len();
+            maglev.candidates_into(&keys[i], &mut rng, &mut out);
+            out.as_slice().len()
+        }),
+    );
+
+    let mut table = FlowTable::with_default_timeout();
+    let mut i = 0;
+    record(
+        "flow_table_learn_and_lookup",
+        median_ns(|| {
+            i = (i + 1) % keys.len();
+            table.learn(keys[i], servers[i % servers.len()], SimTime::ZERO);
+            table.lookup(&keys[i], SimTime::ZERO)
+        }),
+    );
+
+    // --- micro_net: per-packet wire operations -----------------------------
+    let route = vec![
+        plan.server_addr(ServerId(3)),
+        plan.server_addr(ServerId(7)),
+        plan.vip(0),
+    ];
+    let srh = SegmentRoutingHeader::from_route(&route).expect("3-segment route is valid");
+    let packet = PacketBuilder::tcp(plan.client_addr(0), plan.vip(0))
+        .ports(49_152, 80)
+        .flags(TcpFlags::SYN)
+        .segment_routing(srh.clone())
+        .build();
+    let wire = packet.encode();
+    let srh_bytes = srh.encode();
+
+    record("srh_encode", median_ns(|| srh.encode()));
+    record(
+        "srh_decode",
+        median_ns(|| SegmentRoutingHeader::decode(&srh_bytes).expect("bench SRH decodes")),
+    );
+    record("packet_encode", median_ns(|| packet.encode()));
+    record(
+        "packet_decode",
+        median_ns(|| Packet::decode(&wire).expect("bench packet decodes")),
+    );
+    let key = packet.flow_key_forward();
+    record("flow_key_stable_hash", median_ns(|| key.stable_hash()));
+
+    results
+}
+
+/// JSON document written to [`BENCH_MICRO_FILE`].
+#[derive(Debug, serde::Serialize, serde::Deserialize)]
+pub struct BenchReport {
+    /// Schema version of this report.
+    pub schema: u32,
+    /// `bench name → median ns/iter`.
+    pub median_ns: BTreeMap<String, f64>,
+}
+
+/// Runs every micro-bench and writes the JSON report to `dir`, returning
+/// the path written.
+///
+/// # Errors
+///
+/// Returns any I/O error from writing the file.
+pub fn write_bench_micro(dir: &Path) -> std::io::Result<PathBuf> {
+    let report = BenchReport {
+        schema: 1,
+        median_ns: run_all(),
+    };
+    let json = serde_json::to_string(&report)
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
+    let path = dir.join(BENCH_MICRO_FILE);
+    let mut file = std::fs::File::create(&path)?;
+    writeln!(file, "{json}")?;
+    Ok(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn median_ns_measures_something() {
+        let mut x = 0u64;
+        let ns = median_ns(|| {
+            x = black_box(x.wrapping_add(1));
+            x
+        });
+        assert!((0.0..1e6).contains(&ns), "implausible median: {ns}");
+    }
+
+    #[test]
+    fn report_roundtrips_through_json() {
+        let mut median_ns = BTreeMap::new();
+        median_ns.insert("op".to_string(), 42.5);
+        let report = BenchReport {
+            schema: 1,
+            median_ns,
+        };
+        let json = serde_json::to_string(&report).unwrap();
+        let back: BenchReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.schema, 1);
+        assert_eq!(back.median_ns.get("op"), Some(&42.5));
+    }
+}

@@ -13,44 +13,193 @@
 //!   candidates are the first `k` distinct servers clockwise from the flow's
 //!   hash (Maglev/Ananta-style flow affinity without per-flow state),
 //! * [`MaglevDispatcher`] — Maglev's permutation-filled lookup table.
+//!
+//! ## Allocation-free selection
+//!
+//! Dispatchers write their candidates into a caller-supplied, reusable
+//! [`CandidateList`] ([`Dispatcher::candidates_into`]) instead of returning
+//! a fresh `Vec` per flow, so the per-flow fast path performs no heap
+//! allocation.  The list's inline capacity ([`MAX_CANDIDATES`] `+ 1`)
+//! leaves room for the load balancer to append the VIP and hand the same
+//! buffer to [`SegmentRoutingHeader::from_route`](srlb_net::SegmentRoutingHeader::from_route).
 
 use std::net::Ipv6Addr;
 
 use rand::RngCore;
 use serde::{Deserialize, Serialize};
-use srlb_net::FlowKey;
+use srlb_net::{mix64, FlowKey, MAX_SEGMENTS};
+
+/// Maximum number of candidates a dispatcher may produce per flow: one less
+/// than the SRH segment capacity, so a full candidate list plus the VIP
+/// still fits in one Service Hunting route.
+pub const MAX_CANDIDATES: usize = MAX_SEGMENTS - 1;
+
+/// A reusable, fixed-capacity candidate buffer.
+///
+/// The load balancer keeps one of these alive across flows and hands it to
+/// [`Dispatcher::candidates_into`]; after the dispatcher has filled it, the
+/// VIP can be appended and the whole slice used as an SRH route, all without
+/// touching the allocator.
+#[derive(Debug, Clone, Copy)]
+pub struct CandidateList {
+    addrs: [Ipv6Addr; MAX_SEGMENTS],
+    len: usize,
+}
+
+impl CandidateList {
+    /// Creates an empty list.
+    pub fn new() -> Self {
+        CandidateList {
+            addrs: [Ipv6Addr::UNSPECIFIED; MAX_SEGMENTS],
+            len: 0,
+        }
+    }
+
+    /// Empties the list (the backing storage is retained).
+    pub fn clear(&mut self) {
+        self.len = 0;
+    }
+
+    /// Appends an address.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the list is full ([`MAX_SEGMENTS`] entries); dispatchers
+    /// are constructed with `k ≤` [`MAX_CANDIDATES`], which leaves one slot
+    /// spare for the VIP.
+    pub fn push(&mut self, addr: Ipv6Addr) {
+        assert!(
+            self.len < MAX_SEGMENTS,
+            "candidate list capacity ({MAX_SEGMENTS}) exceeded"
+        );
+        self.addrs[self.len] = addr;
+        self.len += 1;
+    }
+
+    /// Number of addresses currently held.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Returns `true` if the list holds no addresses.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The live addresses as a slice.
+    pub fn as_slice(&self) -> &[Ipv6Addr] {
+        &self.addrs[..self.len]
+    }
+
+    /// Returns `true` if `addr` is already in the list.
+    pub fn contains(&self, addr: &Ipv6Addr) -> bool {
+        self.as_slice().contains(addr)
+    }
+}
+
+impl Default for CandidateList {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::ops::Deref for CandidateList {
+    type Target = [Ipv6Addr];
+
+    fn deref(&self) -> &[Ipv6Addr] {
+        self.as_slice()
+    }
+}
+
+/// Draws a uniform integer in `0..n` with Lemire-style rejection sampling
+/// (no modulo bias).
+///
+/// The naive `next_u64() % n` over-selects small residues by up to
+/// `2⁶⁴ mod n` draws; the widening-multiply method maps the raw draw to
+/// `0..n` through a 128-bit product and rejects only the (vanishingly few)
+/// draws that land in the biased low fringe.
+fn bounded(rng: &mut dyn RngCore, n: u64) -> u64 {
+    debug_assert!(n > 0);
+    let mut x = rng.next_u64();
+    let mut m = (x as u128) * (n as u128);
+    let mut low = m as u64;
+    if low < n {
+        // 2^64 mod n, computed without 128-bit division.
+        let threshold = n.wrapping_neg() % n;
+        while low < threshold {
+            x = rng.next_u64();
+            m = (x as u128) * (n as u128);
+            low = m as u64;
+        }
+    }
+    (m >> 64) as u64
+}
 
 /// A candidate-selection policy.
 pub trait Dispatcher: std::fmt::Debug + Send {
-    /// Returns the ordered candidate list for a new flow (without the
-    /// trailing VIP segment, which the load balancer appends).
-    fn candidates(&mut self, flow: &FlowKey, rng: &mut dyn RngCore) -> Vec<Ipv6Addr>;
+    /// Writes the ordered candidate list for a new flow into `out` (without
+    /// the trailing VIP segment, which the load balancer appends).  The
+    /// buffer is cleared first; on return it holds exactly
+    /// [`Dispatcher::fanout`] (capped at the server count) distinct
+    /// addresses.  Performs no heap allocation.
+    fn candidates_into(&mut self, flow: &FlowKey, rng: &mut dyn RngCore, out: &mut CandidateList);
 
     /// Number of candidates produced per flow.
     fn fanout(&self) -> usize;
 
     /// Short name for reports.
     fn name(&self) -> String;
+
+    /// Convenience wrapper around [`Dispatcher::candidates_into`] returning
+    /// a fresh `Vec`.  Allocates; intended for tests and reporting, not the
+    /// per-flow fast path.
+    fn candidates(&mut self, flow: &FlowKey, rng: &mut dyn RngCore) -> Vec<Ipv6Addr> {
+        let mut out = CandidateList::new();
+        self.candidates_into(flow, rng, &mut out);
+        out.as_slice().to_vec()
+    }
 }
 
 /// `k` distinct servers chosen uniformly at random.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone)]
 pub struct RandomDispatcher {
     servers: Vec<Ipv6Addr>,
     k: usize,
+    /// Persistent index permutation for the partial Fisher-Yates draw; any
+    /// permutation is a valid starting state, so it is never rebuilt.
+    scratch: Vec<u32>,
 }
+
+impl PartialEq for RandomDispatcher {
+    fn eq(&self, other: &Self) -> bool {
+        // The scratch permutation is internal state, not configuration.
+        self.servers == other.servers && self.k == other.k
+    }
+}
+
+impl Eq for RandomDispatcher {}
 
 impl RandomDispatcher {
     /// Creates a dispatcher picking `k` distinct servers from `servers`.
     ///
     /// # Panics
     ///
-    /// Panics if `servers` is empty or `k` is zero.
+    /// Panics if `servers` is empty, `k` is zero, or `k` (after capping at
+    /// the server count) exceeds [`MAX_CANDIDATES`].
     pub fn new(servers: Vec<Ipv6Addr>, k: usize) -> Self {
         assert!(!servers.is_empty(), "at least one server is required");
         assert!(k > 0, "k must be at least 1");
         let k = k.min(servers.len());
-        RandomDispatcher { servers, k }
+        assert!(
+            k <= MAX_CANDIDATES,
+            "at most {MAX_CANDIDATES} candidates fit in a Service Hunting SRH"
+        );
+        let scratch = (0..servers.len() as u32).collect();
+        RandomDispatcher {
+            servers,
+            k,
+            scratch,
+        }
     }
 
     /// The paper's default: two random candidates.
@@ -65,17 +214,16 @@ impl RandomDispatcher {
 }
 
 impl Dispatcher for RandomDispatcher {
-    fn candidates(&mut self, _flow: &FlowKey, rng: &mut dyn RngCore) -> Vec<Ipv6Addr> {
-        // Partial Fisher-Yates over indices: draw k distinct servers.
+    fn candidates_into(&mut self, _flow: &FlowKey, rng: &mut dyn RngCore, out: &mut CandidateList) {
+        // Partial Fisher-Yates over the persistent index permutation: draw k
+        // distinct servers without rebuilding `(0..n)` per flow.
+        out.clear();
         let n = self.servers.len();
-        let mut indices: Vec<usize> = (0..n).collect();
-        let mut out = Vec::with_capacity(self.k);
         for i in 0..self.k {
-            let j = i + (rng.next_u64() as usize) % (n - i);
-            indices.swap(i, j);
-            out.push(self.servers[indices[i]]);
+            let j = i + bounded(rng, (n - i) as u64) as usize;
+            self.scratch.swap(i, j);
+            out.push(self.servers[self.scratch[i] as usize]);
         }
-        out
     }
 
     fn fanout(&self) -> usize {
@@ -102,7 +250,8 @@ impl ConsistentHashDispatcher {
     ///
     /// # Panics
     ///
-    /// Panics if `servers` is empty or `k`/`vnodes` is zero.
+    /// Panics if `servers` is empty, `k`/`vnodes` is zero, or `k` (after
+    /// capping at the server count) exceeds [`MAX_CANDIDATES`].
     pub fn new(servers: Vec<Ipv6Addr>, vnodes: usize, k: usize) -> Self {
         assert!(!servers.is_empty(), "at least one server is required");
         assert!(k > 0, "k must be at least 1");
@@ -118,6 +267,10 @@ impl ConsistentHashDispatcher {
         }
         ring.sort_unstable();
         let k = k.min(servers.len());
+        assert!(
+            k <= MAX_CANDIDATES,
+            "at most {MAX_CANDIDATES} candidates fit in a Service Hunting SRH"
+        );
         ConsistentHashDispatcher {
             ring,
             k,
@@ -147,19 +300,13 @@ impl ConsistentHashDispatcher {
     }
 }
 
-/// SplitMix64 finaliser, used to spread hash values uniformly over the full
-/// 64-bit range before they are used as ring points or table indices.
-fn mix64(mut z: u64) -> u64 {
-    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
-    z ^ (z >> 31)
-}
-
 impl Dispatcher for ConsistentHashDispatcher {
-    fn candidates(&mut self, flow: &FlowKey, _rng: &mut dyn RngCore) -> Vec<Ipv6Addr> {
-        let h = mix64(flow.stable_hash());
+    fn candidates_into(&mut self, flow: &FlowKey, _rng: &mut dyn RngCore, out: &mut CandidateList) {
+        // The flow key's cached stable hash is already SplitMix64-finalised,
+        // so it is used as the ring position directly.
+        out.clear();
+        let h = flow.stable_hash();
         let start = self.ring.partition_point(|&(p, _)| p < h);
-        let mut out: Vec<Ipv6Addr> = Vec::with_capacity(self.k);
         for i in 0..self.ring.len() {
             let (_, server) = self.ring[(start + i) % self.ring.len()];
             if !out.contains(&server) {
@@ -169,7 +316,6 @@ impl Dispatcher for ConsistentHashDispatcher {
                 }
             }
         }
-        out
     }
 
     fn fanout(&self) -> usize {
@@ -201,8 +347,9 @@ impl MaglevDispatcher {
     ///
     /// # Panics
     ///
-    /// Panics if `servers` is empty, `k` is zero, or `table_size` is smaller
-    /// than the number of servers.
+    /// Panics if `servers` is empty, `k` is zero (or exceeds
+    /// [`MAX_CANDIDATES`] after capping at the server count), or
+    /// `table_size` is smaller than the number of servers.
     pub fn new(servers: Vec<Ipv6Addr>, table_size: usize, k: usize) -> Self {
         assert!(!servers.is_empty(), "at least one server is required");
         assert!(k > 0, "k must be at least 1");
@@ -244,12 +391,17 @@ impl MaglevDispatcher {
                 }
             }
         }
+        let k = k.min(n);
+        assert!(
+            k <= MAX_CANDIDATES,
+            "at most {MAX_CANDIDATES} candidates fit in a Service Hunting SRH"
+        );
         MaglevDispatcher {
             table: table
                 .into_iter()
                 .map(|s| s.expect("table filled"))
                 .collect(),
-            k: k.min(n),
+            k,
             servers: n,
         }
     }
@@ -280,10 +432,11 @@ impl MaglevDispatcher {
 }
 
 impl Dispatcher for MaglevDispatcher {
-    fn candidates(&mut self, flow: &FlowKey, _rng: &mut dyn RngCore) -> Vec<Ipv6Addr> {
+    fn candidates_into(&mut self, flow: &FlowKey, _rng: &mut dyn RngCore, out: &mut CandidateList) {
+        out.clear();
         let m = self.table.len();
-        let start = (mix64(flow.stable_hash()) % m as u64) as usize;
-        let mut out: Vec<Ipv6Addr> = Vec::with_capacity(self.k);
+        // The cached stable hash is already finalised; index directly.
+        let start = (flow.stable_hash() % m as u64) as usize;
         for i in 0..m {
             let server = self.table[(start + i) % m];
             if !out.contains(&server) {
@@ -293,7 +446,6 @@ impl Dispatcher for MaglevDispatcher {
                 }
             }
         }
-        out
     }
 
     fn fanout(&self) -> usize {
@@ -375,6 +527,56 @@ mod tests {
     }
 
     #[test]
+    fn bounded_draw_is_in_range_and_unbiased_at_tiny_n() {
+        let mut rng = SimRng::new(11);
+        let mut counts = [0usize; 3];
+        for _ in 0..30_000 {
+            counts[bounded(&mut rng, 3) as usize] += 1;
+        }
+        for c in counts {
+            assert!(
+                (c as f64 - 10_000.0).abs() < 500.0,
+                "bounded(3) should be uniform, got {counts:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn candidate_list_push_clear_contains() {
+        let mut list = CandidateList::new();
+        assert!(list.is_empty());
+        let a = flow(1).client();
+        list.push(a);
+        assert_eq!(list.len(), 1);
+        assert!(list.contains(&a));
+        assert_eq!(&*list, &[a][..]);
+        list.clear();
+        assert!(list.is_empty());
+        assert_eq!(CandidateList::default().len(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn candidate_list_overflow_panics() {
+        let mut list = CandidateList::new();
+        for s in servers(MAX_SEGMENTS as u32 + 1) {
+            list.push(s);
+        }
+    }
+
+    #[test]
+    fn candidates_into_reuses_the_buffer() {
+        let mut d = RandomDispatcher::power_of_two(servers(12));
+        let mut rng = SimRng::new(1);
+        let mut out = CandidateList::new();
+        for port in 0..100 {
+            d.candidates_into(&flow(port), &mut rng, &mut out);
+            assert_eq!(out.len(), 2);
+            assert_ne!(out.as_slice()[0], out.as_slice()[1]);
+        }
+    }
+
+    #[test]
     fn random_dispatcher_returns_distinct_candidates() {
         let mut d = RandomDispatcher::power_of_two(servers(12));
         let mut rng = SimRng::new(1);
@@ -416,6 +618,12 @@ mod tests {
         assert_eq!(c.len(), 3);
         let unique: std::collections::HashSet<_> = c.iter().collect();
         assert_eq!(unique.len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "candidates fit")]
+    fn random_dispatcher_rejects_oversized_fanout() {
+        RandomDispatcher::new(servers(16), MAX_CANDIDATES + 1);
     }
 
     #[test]

@@ -24,7 +24,7 @@ use srlb_net::{Packet, SegmentRoutingHeader};
 use srlb_server::Directory;
 use srlb_sim::{Context, Node, NodeId, SimDuration, TimerToken};
 
-use crate::dispatch::Dispatcher;
+use crate::dispatch::{CandidateList, Dispatcher};
 use crate::flow_table::FlowTable;
 
 /// Counters exposed by the load balancer after a run.
@@ -55,6 +55,9 @@ pub struct LoadBalancerNode {
     flow_table: FlowTable,
     stats: LbStats,
     expiry_interval: Option<SimDuration>,
+    /// Reusable candidate/route buffer, so dispatching a new flow performs
+    /// no per-packet heap allocation.
+    route_scratch: CandidateList,
 }
 
 impl LoadBalancerNode {
@@ -73,6 +76,7 @@ impl LoadBalancerNode {
             flow_table: FlowTable::with_default_timeout(),
             stats: LbStats::default(),
             expiry_interval: None,
+            route_scratch: CandidateList::new(),
         }
     }
 
@@ -118,9 +122,15 @@ impl LoadBalancerNode {
     /// SYN to the first candidate.
     fn dispatch_new_flow(&mut self, mut packet: Packet, ctx: &mut Context<'_, Packet>) {
         let flow = packet.flow_key_forward();
-        let mut route = self.dispatcher.candidates(&flow, ctx.rng());
-        route.push(self.vip);
-        let srh = SegmentRoutingHeader::from_route(&route)
+        // Dispatchers clear the buffer themselves, but the capacity
+        // invariant belongs to the buffer's owner: clear defensively so a
+        // third-party `Dispatcher` impl that only appends cannot overflow
+        // the route scratch across flows.
+        self.route_scratch.clear();
+        self.dispatcher
+            .candidates_into(&flow, ctx.rng(), &mut self.route_scratch);
+        self.route_scratch.push(self.vip);
+        let srh = SegmentRoutingHeader::from_route(self.route_scratch.as_slice())
             .expect("candidate list plus VIP is a non-empty route");
         let first_hop = srh.active_segment();
         packet.insert_srh(srh);

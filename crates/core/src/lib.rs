@@ -44,7 +44,7 @@ pub mod lb_node;
 pub mod testbed;
 
 pub use client::ClientNode;
-pub use dispatch::{Dispatcher, DispatcherConfig};
+pub use dispatch::{CandidateList, Dispatcher, DispatcherConfig, MAX_CANDIDATES};
 pub use experiment::{ExperimentConfig, ExperimentResult, PolicyKind, WorkloadKind};
 pub use flow_table::FlowTable;
 pub use lb_node::{LbStats, LoadBalancerNode};

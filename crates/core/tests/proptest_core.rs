@@ -99,6 +99,47 @@ proptest! {
         prop_assert_eq!(run(seed), run(seed));
     }
 
+    /// The flow table behaves identically to a SipHash-keyed `HashMap`
+    /// model under an arbitrary interleaving of learn / lookup / remove:
+    /// the pass-through hasher over the pre-finalised key hash changes only
+    /// *how* buckets are found, never what the map contains.
+    #[test]
+    fn flow_table_matches_siphash_model(
+        ops in prop::collection::vec(
+            // (op selector, client, port, server)
+            (0u8..3, 0u32..20, 1u16..40, 0u32..12),
+            1..200,
+        ),
+    ) {
+        let plan = AddressPlan::default();
+        let mut table = FlowTable::with_default_timeout();
+        let mut model: std::collections::HashMap<FlowKey, Ipv6Addr> =
+            std::collections::HashMap::new();
+        for &(op, client, port, server) in &ops {
+            let f = flow(client, port);
+            let addr = plan.server_addr(ServerId(server));
+            match op {
+                0 => {
+                    table.learn(f, addr, SimTime::ZERO);
+                    model.insert(f, addr);
+                }
+                1 => {
+                    prop_assert_eq!(
+                        table.lookup(&f, SimTime::ZERO),
+                        model.get(&f).copied()
+                    );
+                }
+                _ => {
+                    prop_assert_eq!(table.remove(&f), model.remove(&f));
+                }
+            }
+            prop_assert_eq!(table.len(), model.len());
+        }
+        for (f, addr) in &model {
+            prop_assert_eq!(table.peek(f), Some(*addr));
+        }
+    }
+
     /// The flow table returns exactly what was learned, expires only idle
     /// entries, and its size never exceeds the number of distinct flows.
     #[test]

@@ -36,7 +36,8 @@ pub enum NetError {
     },
     /// A segment list was empty where at least one segment is required.
     EmptySegmentList,
-    /// A segment list exceeded the maximum encodable size (255 entries).
+    /// A segment list exceeded the inline maximum
+    /// ([`MAX_SEGMENTS`](crate::srh::MAX_SEGMENTS) entries).
     SegmentListTooLong(usize),
     /// An upper-layer protocol that this model does not understand.
     UnsupportedProtocol(u8),
@@ -75,7 +76,8 @@ impl fmt::Display for NetError {
             NetError::SegmentListTooLong(n) => {
                 write!(
                     f,
-                    "segment list of {n} entries exceeds the encodable maximum of 255"
+                    "segment list of {n} entries exceeds the supported maximum of {}",
+                    crate::srh::MAX_SEGMENTS
                 )
             }
             NetError::UnsupportedProtocol(p) => write!(f, "unsupported upper-layer protocol {p}"),

@@ -47,18 +47,21 @@ impl From<u8> for Protocol {
 /// The key is always expressed in the *client → VIP* direction, regardless of
 /// the direction of the packet it was extracted from, so that both directions
 /// of a connection map to the same entry.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+///
+/// The stable 64-bit hash of the tuple is computed once at construction and
+/// carried with the key, so per-packet map operations and consistent-hashing
+/// decisions never re-hash the tuple fields.  Fields are private to keep the
+/// cached hash coherent; use the accessors.
+#[derive(Debug, Clone, Copy)]
 pub struct FlowKey {
-    /// Client (external) address.
-    pub client: Ipv6Addr,
-    /// Virtual IP address the client targeted.
-    pub vip: Ipv6Addr,
-    /// Client source port.
-    pub client_port: u16,
-    /// Destination (service) port.
-    pub vip_port: u16,
-    /// Transport protocol.
-    pub protocol: Protocol,
+    client: Ipv6Addr,
+    vip: Ipv6Addr,
+    client_port: u16,
+    vip_port: u16,
+    protocol: Protocol,
+    /// FNV-1a + SplitMix64 finaliser over the tuple fields, cached at
+    /// construction.
+    hash: u64,
 }
 
 impl FlowKey {
@@ -76,27 +79,67 @@ impl FlowKey {
             client_port,
             vip_port,
             protocol,
+            hash: Self::compute_hash(client, vip, client_port, vip_port, protocol),
         }
+    }
+
+    /// Client (external) address.
+    pub fn client(&self) -> Ipv6Addr {
+        self.client
+    }
+
+    /// Virtual IP address the client targeted.
+    pub fn vip(&self) -> Ipv6Addr {
+        self.vip
+    }
+
+    /// Client source port.
+    pub fn client_port(&self) -> u16 {
+        self.client_port
+    }
+
+    /// Destination (service) port.
+    pub fn vip_port(&self) -> u16 {
+        self.vip_port
+    }
+
+    /// Transport protocol.
+    pub fn protocol(&self) -> Protocol {
+        self.protocol
     }
 
     /// The key of the reverse direction (VIP → client); mostly useful in
     /// tests and assertions, since [`FlowKey`]s are normally always stored in
     /// the forward direction.
     pub fn reversed(&self) -> FlowKey {
-        FlowKey {
-            client: self.vip,
-            vip: self.client,
-            client_port: self.vip_port,
-            vip_port: self.client_port,
-            protocol: self.protocol,
-        }
+        FlowKey::new(
+            self.vip,
+            self.client,
+            self.vip_port,
+            self.client_port,
+            self.protocol,
+        )
     }
 
     /// A stable 64-bit hash of the flow key, usable for consistent hashing
-    /// and ECMP-style decisions.  This is *not* the `Hash` impl used by hash
-    /// maps; it is a deterministic FNV-1a over the tuple fields so that
-    /// results are reproducible across runs and platforms.
+    /// and ECMP-style decisions.  This is a deterministic FNV-1a over the
+    /// tuple fields followed by a SplitMix64 finaliser (FNV alone leaves the
+    /// high bits poorly mixed for short, similar inputs), so that results
+    /// are reproducible across runs and platforms and usable directly as
+    /// ring points, table indices or hash-map bucket indices.  It is
+    /// computed once at construction, so this accessor is a plain field
+    /// load on the per-packet fast path.
     pub fn stable_hash(&self) -> u64 {
+        self.hash
+    }
+
+    fn compute_hash(
+        client: Ipv6Addr,
+        vip: Ipv6Addr,
+        client_port: u16,
+        vip_port: u16,
+        protocol: Protocol,
+    ) -> u64 {
         const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
         const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
         let mut h = FNV_OFFSET;
@@ -104,26 +147,91 @@ impl FlowKey {
             h ^= byte as u64;
             h = h.wrapping_mul(FNV_PRIME);
         };
-        for b in self.client.octets() {
+        for b in client.octets() {
             eat(b);
         }
-        for b in self.vip.octets() {
+        for b in vip.octets() {
             eat(b);
         }
-        for b in self.client_port.to_be_bytes() {
+        for b in client_port.to_be_bytes() {
             eat(b);
         }
-        for b in self.vip_port.to_be_bytes() {
+        for b in vip_port.to_be_bytes() {
             eat(b);
         }
-        eat(self.protocol.number());
-        h
+        eat(protocol.number());
+        mix64(h)
     }
 }
 
+/// SplitMix64 finaliser, spreading hash values uniformly over the full
+/// 64-bit range.
+///
+/// This is the single definition shared by the whole workspace:
+/// [`FlowKey::stable_hash`] is pre-finalised with it, and the dispatchers in
+/// `srlb-core` use the same function for ring points and table indices so
+/// the two stay aligned by construction.
+pub fn mix64(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+impl PartialEq for FlowKey {
+    fn eq(&self, other: &Self) -> bool {
+        // The cached hash is a fast reject; the tuple comparison keeps
+        // correctness under (astronomically unlikely) FNV collisions.
+        self.hash == other.hash
+            && self.client == other.client
+            && self.vip == other.vip
+            && self.client_port == other.client_port
+            && self.vip_port == other.vip_port
+            && self.protocol == other.protocol
+    }
+}
+
+impl Eq for FlowKey {}
+
 impl Hash for FlowKey {
     fn hash<H: Hasher>(&self, state: &mut H) {
-        state.write_u64(self.stable_hash());
+        state.write_u64(self.hash);
+    }
+}
+
+/// Wire/serde form of the key: exactly the 5 tuple fields, so the cached
+/// hash never appears in serialized output and is recomputed on load.
+#[derive(Serialize, Deserialize)]
+struct FlowKeyWire {
+    client: Ipv6Addr,
+    vip: Ipv6Addr,
+    client_port: u16,
+    vip_port: u16,
+    protocol: Protocol,
+}
+
+impl Serialize for FlowKey {
+    fn serialize<S: serde::Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        FlowKeyWire {
+            client: self.client,
+            vip: self.vip,
+            client_port: self.client_port,
+            vip_port: self.vip_port,
+            protocol: self.protocol,
+        }
+        .serialize(serializer)
+    }
+}
+
+impl<'de> Deserialize<'de> for FlowKey {
+    fn deserialize<D: serde::Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let wire = FlowKeyWire::deserialize(deserializer)?;
+        Ok(FlowKey::new(
+            wire.client,
+            wire.vip,
+            wire.client_port,
+            wire.vip_port,
+            wire.protocol,
+        ))
     }
 }
 
@@ -173,6 +281,16 @@ mod tests {
     }
 
     #[test]
+    fn accessors_expose_tuple_fields() {
+        let k = key(4242);
+        assert_eq!(k.client(), "2001:db8::1".parse::<Ipv6Addr>().unwrap());
+        assert_eq!(k.vip(), "2001:db8:1::80".parse::<Ipv6Addr>().unwrap());
+        assert_eq!(k.client_port(), 4242);
+        assert_eq!(k.vip_port(), 80);
+        assert_eq!(k.protocol(), Protocol::Tcp);
+    }
+
+    #[test]
     fn stable_hash_distinguishes_ports() {
         let mut hashes = std::collections::HashSet::new();
         for port in 1024..2048 {
@@ -183,6 +301,39 @@ mod tests {
     #[test]
     fn stable_hash_is_deterministic() {
         assert_eq!(key(1000).stable_hash(), key(1000).stable_hash());
+    }
+
+    #[test]
+    fn cached_hash_matches_recomputation() {
+        // The hash carried by the key is exactly the FNV-1a of the tuple
+        // fields, i.e. what a freshly constructed identical key computes.
+        let k = key(999);
+        let fresh = FlowKey::new(
+            k.client(),
+            k.vip(),
+            k.client_port(),
+            k.vip_port(),
+            k.protocol(),
+        );
+        assert_eq!(k.stable_hash(), fresh.stable_hash());
+        assert_eq!(k, fresh);
+    }
+
+    #[test]
+    fn serde_roundtrip_recomputes_hash() {
+        let k = key(31000);
+        let value = serde::to_value(&k).unwrap();
+        // The serialized form carries only the 5 tuple fields.
+        match &value {
+            serde::Value::Map(fields) => {
+                assert_eq!(fields.len(), 5);
+                assert!(fields.iter().all(|(name, _)| name != "hash"));
+            }
+            other => panic!("expected map, got {other:?}"),
+        }
+        let back: FlowKey = serde::from_value(value).unwrap();
+        assert_eq!(back, k);
+        assert_eq!(back.stable_hash(), k.stable_hash());
     }
 
     #[test]

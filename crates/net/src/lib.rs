@@ -60,10 +60,10 @@ pub mod tcp;
 
 pub use addr::{AddressPlan, ServerId, Vip};
 pub use error::NetError;
-pub use flow::{FlowKey, Protocol};
+pub use flow::{mix64, FlowKey, Protocol};
 pub use ipv6::{Ipv6Header, NextHeader, IPV6_HEADER_LEN};
 pub use packet::{Packet, PacketBuilder};
-pub use srh::{SegmentRoutingHeader, SRH_FIXED_LEN};
+pub use srh::{SegmentRoutingHeader, MAX_SEGMENTS, SRH_FIXED_LEN};
 pub use tcp::{TcpFlags, TcpHeader, TCP_HEADER_LEN};
 
 /// Convenience result alias used throughout the crate.

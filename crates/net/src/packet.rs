@@ -252,7 +252,14 @@ impl Packet {
         }
         let (tcp, consumed) = TcpHeader::decode(&bytes[offset..declared_end])?;
         offset += consumed;
-        let payload = Bytes::copy_from_slice(&bytes[offset..declared_end]);
+        // `Bytes::new()` is allocation-free, so decoding a payload-less
+        // packet (every SYN / SYN-ACK the load balancer handles) performs no
+        // heap allocation at all.
+        let payload = if offset == declared_end {
+            Bytes::new()
+        } else {
+            Bytes::copy_from_slice(&bytes[offset..declared_end])
+        };
         Ok(Packet {
             ipv6,
             srh,
@@ -432,10 +439,10 @@ mod tests {
     fn flow_keys_are_symmetric() {
         let pkt = syn_with_srh();
         let forward = pkt.flow_key_forward();
-        assert_eq!(forward.client, a(10));
-        assert_eq!(forward.vip, a(100));
-        assert_eq!(forward.client_port, 50000);
-        assert_eq!(forward.vip_port, 80);
+        assert_eq!(forward.client(), a(10));
+        assert_eq!(forward.vip(), a(100));
+        assert_eq!(forward.client_port(), 50000);
+        assert_eq!(forward.vip_port(), 80);
 
         // A reply from the VIP to the client maps to the same key.
         let reply = PacketBuilder::tcp(a(100), a(10))

@@ -24,8 +24,17 @@
 //! The segment list is stored in *reverse* traversal order: `Segment List[0]`
 //! is the last segment and `Segment List[Last Entry]` the first.  The active
 //! segment is `Segment List[Segments Left]`.
+//!
+//! ## Allocation-free representation
+//!
+//! SRLB routes are short — `k` candidates plus the VIP, with `k + 1 ≤`
+//! [`MAX_SEGMENTS`] — so the segment list is stored inline as a
+//! fixed-capacity array rather than a heap `Vec`.  Decoding, encoding into a
+//! reused buffer and `Segments Left` manipulation therefore never touch the
+//! allocator (asserted by the `alloc_free` integration test).
 
 use std::fmt;
+use std::hash::{Hash, Hasher};
 use std::net::Ipv6Addr;
 
 use serde::{Deserialize, Serialize};
@@ -36,6 +45,103 @@ use crate::Result;
 
 /// Length in bytes of the fixed (non segment-list) part of the SRH.
 pub const SRH_FIXED_LEN: usize = 8;
+
+/// Maximum number of segments an SRH can carry in this workspace.
+///
+/// SRLB Service Hunting routes are `[candidate₁, …, candidateₖ, VIP]` with
+/// `k ≤ 7`, so eight inline slots cover every route the load balancer or a
+/// server ever builds while keeping the header a fixed-size, allocation-free
+/// value.
+pub const MAX_SEGMENTS: usize = 8;
+
+/// The SRH's segment list: a fixed-capacity inline array of IPv6 addresses.
+///
+/// Equality, hashing, ordering of serialization and the `Debug` output all
+/// consider only the live prefix, so scratch space beyond `len` can never
+/// influence observable behaviour.
+#[derive(Clone, Copy)]
+struct SegmentList {
+    segments: [Ipv6Addr; MAX_SEGMENTS],
+    len: u8,
+}
+
+impl SegmentList {
+    /// Builds a list from a slice in the same order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::EmptySegmentList`] for an empty slice and
+    /// [`NetError::SegmentListTooLong`] for more than [`MAX_SEGMENTS`]
+    /// entries.
+    fn from_slice(segments: &[Ipv6Addr]) -> Result<Self> {
+        if segments.is_empty() {
+            return Err(NetError::EmptySegmentList);
+        }
+        if segments.len() > MAX_SEGMENTS {
+            return Err(NetError::SegmentListTooLong(segments.len()));
+        }
+        let mut list = SegmentList {
+            segments: [Ipv6Addr::UNSPECIFIED; MAX_SEGMENTS],
+            len: segments.len() as u8,
+        };
+        list.segments[..segments.len()].copy_from_slice(segments);
+        Ok(list)
+    }
+
+    fn as_slice(&self) -> &[Ipv6Addr] {
+        &self.segments[..self.len as usize]
+    }
+
+    fn len(&self) -> usize {
+        self.len as usize
+    }
+
+    /// Reverses the live prefix in place (wire order ↔ traversal order).
+    fn reverse(&mut self) {
+        self.segments[..self.len as usize].reverse();
+    }
+}
+
+impl PartialEq for SegmentList {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl Eq for SegmentList {}
+
+impl Hash for SegmentList {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.as_slice().hash(state);
+    }
+}
+
+impl fmt::Debug for SegmentList {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_list().entries(self.as_slice()).finish()
+    }
+}
+
+impl Serialize for SegmentList {
+    fn serialize<S: serde::Serializer>(
+        &self,
+        serializer: S,
+    ) -> std::result::Result<S::Ok, S::Error> {
+        // Serializes exactly like the historical `Vec<Ipv6Addr>` field: a
+        // sequence of address strings, live prefix only.
+        self.as_slice().serialize(serializer)
+    }
+}
+
+impl<'de> Deserialize<'de> for SegmentList {
+    fn deserialize<D: serde::Deserializer<'de>>(
+        deserializer: D,
+    ) -> std::result::Result<Self, D::Error> {
+        let segments = Vec::<Ipv6Addr>::deserialize(deserializer)?;
+        SegmentList::from_slice(&segments)
+            .map_err(|e| <D::Error as serde::de::Error>::custom(e.to_string()))
+    }
+}
 
 /// An IPv6 Segment Routing extension header.
 ///
@@ -54,7 +160,7 @@ pub struct SegmentRoutingHeader {
     /// Tag field (unused by SRLB, carried for fidelity).
     pub tag: u16,
     /// Segment list in wire order: `[0]` is the final segment.
-    segment_list: Vec<Ipv6Addr>,
+    segment_list: SegmentList,
 }
 
 impl SegmentRoutingHeader {
@@ -68,15 +174,10 @@ impl SegmentRoutingHeader {
     /// # Errors
     ///
     /// Returns [`NetError::EmptySegmentList`] for an empty route and
-    /// [`NetError::SegmentListTooLong`] for more than 255 segments.
+    /// [`NetError::SegmentListTooLong`] for more than [`MAX_SEGMENTS`]
+    /// segments.
     pub fn from_route(route: &[Ipv6Addr]) -> Result<Self> {
-        if route.is_empty() {
-            return Err(NetError::EmptySegmentList);
-        }
-        if route.len() > 255 {
-            return Err(NetError::SegmentListTooLong(route.len()));
-        }
-        let mut segment_list: Vec<Ipv6Addr> = route.to_vec();
+        let mut segment_list = SegmentList::from_slice(route)?;
         segment_list.reverse();
         Ok(SegmentRoutingHeader {
             next_header: NextHeader::Tcp,
@@ -94,13 +195,8 @@ impl SegmentRoutingHeader {
     ///
     /// Returns [`NetError::EmptySegmentList`], [`NetError::SegmentListTooLong`]
     /// or [`NetError::SegmentsLeftOutOfRange`] on invalid input.
-    pub fn from_wire_order(segment_list: Vec<Ipv6Addr>, segments_left: u8) -> Result<Self> {
-        if segment_list.is_empty() {
-            return Err(NetError::EmptySegmentList);
-        }
-        if segment_list.len() > 255 {
-            return Err(NetError::SegmentListTooLong(segment_list.len()));
-        }
+    pub fn from_wire_order(segment_list: &[Ipv6Addr], segments_left: u8) -> Result<Self> {
+        let segment_list = SegmentList::from_slice(segment_list)?;
         if segments_left as usize >= segment_list.len() {
             return Err(NetError::SegmentsLeftOutOfRange {
                 segments_left,
@@ -128,19 +224,20 @@ impl SegmentRoutingHeader {
 
     /// The currently active segment, `Segment List[Segments Left]`.
     pub fn active_segment(&self) -> Ipv6Addr {
-        self.segment_list[self.segments_left as usize]
+        self.segment_list.as_slice()[self.segments_left as usize]
     }
 
     /// The final segment of the path (`Segment List[0]`); for Service Hunting
     /// this is the VIP.
     pub fn final_segment(&self) -> Ipv6Addr {
-        self.segment_list[0]
+        self.segment_list.as_slice()[0]
     }
 
     /// The first segment of the path (`Segment List[Last Entry]`).
     pub fn first_segment(&self) -> Ipv6Addr {
         *self
             .segment_list
+            .as_slice()
             .last()
             .expect("segment list is never empty")
     }
@@ -151,15 +248,19 @@ impl SegmentRoutingHeader {
     }
 
     /// The route in traversal order (first segment first).
+    ///
+    /// Allocates; intended for reporting and tests.  Fast-path code should
+    /// use [`SegmentRoutingHeader::segment_list`] (wire order) or the
+    /// positional accessors instead.
     pub fn route(&self) -> Vec<Ipv6Addr> {
-        let mut r = self.segment_list.clone();
+        let mut r = self.segment_list.as_slice().to_vec();
         r.reverse();
         r
     }
 
     /// Wire-order segment list (`[0]` is the final segment).
     pub fn segment_list(&self) -> &[Ipv6Addr] {
-        &self.segment_list
+        self.segment_list.as_slice()
     }
 
     /// Advances to the next segment: decrements `Segments Left` and returns
@@ -218,7 +319,7 @@ impl SegmentRoutingHeader {
         out.push(self.last_entry());
         out.push(self.flags);
         out.extend_from_slice(&self.tag.to_be_bytes());
-        for segment in &self.segment_list {
+        for segment in self.segment_list.as_slice() {
             out.extend_from_slice(&segment.octets());
         }
     }
@@ -231,12 +332,13 @@ impl SegmentRoutingHeader {
     }
 
     /// Decodes an SRH from the start of `bytes`, returning the header and the
-    /// number of bytes consumed.
+    /// number of bytes consumed.  Performs no heap allocation.
     ///
     /// # Errors
     ///
     /// Returns a [`NetError`] if the buffer is truncated, the routing type is
-    /// not 4, or the length fields are inconsistent.
+    /// not 4, the length fields are inconsistent, or the segment list exceeds
+    /// [`MAX_SEGMENTS`] entries.
     pub fn decode(bytes: &[u8]) -> Result<(Self, usize)> {
         if bytes.len() < SRH_FIXED_LEN {
             return Err(NetError::Truncated {
@@ -265,6 +367,9 @@ impl SegmentRoutingHeader {
             });
         }
         let n_segments = last_entry as usize + 1;
+        if n_segments > MAX_SEGMENTS {
+            return Err(NetError::SegmentListTooLong(n_segments));
+        }
         if 16 * n_segments != 8 * hdr_ext_len as usize {
             return Err(NetError::InvalidLength {
                 what: "segment routing header",
@@ -279,12 +384,15 @@ impl SegmentRoutingHeader {
                 segments: n_segments,
             });
         }
-        let mut segment_list = Vec::with_capacity(n_segments);
+        let mut segment_list = SegmentList {
+            segments: [Ipv6Addr::UNSPECIFIED; MAX_SEGMENTS],
+            len: n_segments as u8,
+        };
         for i in 0..n_segments {
             let start = SRH_FIXED_LEN + 16 * i;
             let mut octets = [0u8; 16];
             octets.copy_from_slice(&bytes[start..start + 16]);
-            segment_list.push(Ipv6Addr::from(octets));
+            segment_list.segments[i] = Ipv6Addr::from(octets);
         }
         Ok((
             SegmentRoutingHeader {
@@ -302,7 +410,7 @@ impl SegmentRoutingHeader {
 impl fmt::Display for SegmentRoutingHeader {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "SRH(sl={}, route=[", self.segments_left)?;
-        for (i, seg) in self.route().iter().enumerate() {
+        for (i, seg) in self.segment_list.as_slice().iter().rev().enumerate() {
             if i > 0 {
                 write!(f, ", ")?;
             }
@@ -345,11 +453,22 @@ mod tests {
 
     #[test]
     fn oversized_route_is_rejected() {
-        let route = addrs(256);
+        let route = addrs(MAX_SEGMENTS + 1);
         assert_eq!(
             SegmentRoutingHeader::from_route(&route).unwrap_err(),
-            NetError::SegmentListTooLong(256)
+            NetError::SegmentListTooLong(MAX_SEGMENTS + 1)
         );
+    }
+
+    #[test]
+    fn max_segments_route_roundtrips() {
+        let route = addrs(MAX_SEGMENTS);
+        let srh = SegmentRoutingHeader::from_route(&route).unwrap();
+        assert_eq!(srh.num_segments(), MAX_SEGMENTS);
+        assert_eq!(srh.route(), route);
+        let (decoded, consumed) = SegmentRoutingHeader::decode(&srh.encode()).unwrap();
+        assert_eq!(consumed, srh.encoded_len());
+        assert_eq!(decoded, srh);
     }
 
     #[test]
@@ -398,7 +517,7 @@ mod tests {
 
     #[test]
     fn decode_roundtrip() {
-        for n in 1..=5 {
+        for n in 1..=MAX_SEGMENTS {
             let route = addrs(n);
             let mut srh = SegmentRoutingHeader::from_route(&route).unwrap();
             srh.tag = 0xbeef;
@@ -462,13 +581,44 @@ mod tests {
     }
 
     #[test]
+    fn decode_rejects_oversized_segment_list() {
+        // A syntactically plausible SRH announcing 16 segments: more than
+        // the inline capacity, so it must be rejected (SRLB never emits
+        // routes this long).
+        let n = 16u8;
+        let mut bytes = vec![6u8, 2 * n, 4, 0, n - 1, 0, 0, 0];
+        bytes.extend(std::iter::repeat_n(0u8, 16 * n as usize));
+        assert_eq!(
+            SegmentRoutingHeader::decode(&bytes).unwrap_err(),
+            NetError::SegmentListTooLong(16)
+        );
+    }
+
+    #[test]
     fn from_wire_order_validates() {
         let list = addrs(3);
-        let srh = SegmentRoutingHeader::from_wire_order(list.clone(), 1).unwrap();
+        let srh = SegmentRoutingHeader::from_wire_order(&list, 1).unwrap();
         assert_eq!(srh.segments_left(), 1);
         assert_eq!(srh.active_segment(), list[1]);
-        assert!(SegmentRoutingHeader::from_wire_order(vec![], 0).is_err());
-        assert!(SegmentRoutingHeader::from_wire_order(list, 3).is_err());
+        assert!(SegmentRoutingHeader::from_wire_order(&[], 0).is_err());
+        assert!(SegmentRoutingHeader::from_wire_order(&list, 3).is_err());
+    }
+
+    #[test]
+    fn equality_ignores_scratch_capacity() {
+        // Two SRHs with the same live segments compare equal regardless of
+        // how their inline scratch space was produced.
+        let route = addrs(2);
+        let a = SegmentRoutingHeader::from_route(&route).unwrap();
+        let b = SegmentRoutingHeader::decode(&a.encode()).unwrap().0;
+        assert_eq!(a, b);
+        use std::collections::hash_map::DefaultHasher;
+        use std::hash::{Hash, Hasher};
+        let mut ha = DefaultHasher::new();
+        let mut hb = DefaultHasher::new();
+        a.hash(&mut ha);
+        b.hash(&mut hb);
+        assert_eq!(ha.finish(), hb.finish());
     }
 
     #[test]

@@ -62,7 +62,29 @@ fn arb_ipv6_header() -> impl Strategy<Value = Ipv6Header> {
 }
 
 fn arb_route() -> impl Strategy<Value = Vec<Ipv6Addr>> {
-    prop::collection::vec(arb_ipv6_addr(), 1..8)
+    prop::collection::vec(arb_ipv6_addr(), 1..=srlb_net::MAX_SEGMENTS)
+}
+
+/// The historical `Vec<Ipv6Addr>`-backed SRH encoder, reproduced here as an
+/// executable reference: the inline-array representation must emit exactly
+/// these bytes for every route it accepts.
+fn reference_encode(route: &[Ipv6Addr], tag: u16, flags: u8) -> Vec<u8> {
+    let mut wire_order: Vec<Ipv6Addr> = route.to_vec();
+    wire_order.reverse();
+    let last_entry = (wire_order.len() - 1) as u8;
+    let mut out = vec![
+        6, // next header: TCP
+        (2 * wire_order.len()) as u8,
+        4, // routing type 4
+        last_entry,
+        last_entry,
+        flags,
+    ];
+    out.extend_from_slice(&tag.to_be_bytes());
+    for segment in &wire_order {
+        out.extend_from_slice(&segment.octets());
+    }
+    out
 }
 
 proptest! {
@@ -88,6 +110,22 @@ proptest! {
         let (decoded, consumed) = SegmentRoutingHeader::decode(&bytes).unwrap();
         prop_assert_eq!(consumed, bytes.len());
         prop_assert_eq!(decoded, srh);
+    }
+
+    #[test]
+    fn srh_inline_encoding_matches_vec_reference(
+        route in arb_route(),
+        tag in any::<u16>(),
+        flags in any::<u8>(),
+    ) {
+        // The inline-array segment list must be byte-identical on the wire
+        // to the old heap-Vec representation, for every 1..=MAX_SEGMENTS
+        // route (fresh `from_route` headers have segments_left = last
+        // entry, as the reference emits).
+        let mut srh = SegmentRoutingHeader::from_route(&route).unwrap();
+        srh.tag = tag;
+        srh.flags = flags;
+        prop_assert_eq!(srh.encode(), reference_encode(&route, tag, flags));
     }
 
     #[test]

@@ -257,8 +257,8 @@ impl ServerNode {
     /// through the load balancer.
     fn accept_connection(&mut self, packet: &Packet, ctx: &mut Context<'_, Packet>) {
         let flow = packet.flow_key_forward();
-        let client = flow.client;
-        let vip = flow.vip;
+        let client = flow.client();
+        let vip = flow.vip();
         self.connections.insert(flow, client);
 
         let srh = self
@@ -266,7 +266,7 @@ impl ServerNode {
             .acceptance_srh(client)
             .expect("acceptance SRH construction cannot fail for 3 segments");
         let syn_ack = PacketBuilder::tcp(vip, client)
-            .ports(flow.vip_port, flow.client_port)
+            .ports(flow.vip_port(), flow.client_port())
             .flags(TcpFlags::SYN_ACK)
             .segment_routing(srh)
             .build();
@@ -280,7 +280,11 @@ impl ServerNode {
         let Some((request_id, service)) = decode_request_payload(&packet.payload) else {
             return; // bare ACK / FIN of the handshake: nothing to do
         };
-        let client = self.connections.get(&flow).copied().unwrap_or(flow.client);
+        let client = self
+            .connections
+            .get(&flow)
+            .copied()
+            .unwrap_or(flow.client());
         let job = PendingJob {
             flow,
             client,
@@ -296,8 +300,8 @@ impl ServerNode {
                     // tcp_abort_on_overflow: reset the connection.
                     self.stats.resets += 1;
                     self.connections.remove(&job.flow);
-                    let rst = PacketBuilder::tcp(job.flow.vip, job.client)
-                        .ports(job.flow.vip_port, job.flow.client_port)
+                    let rst = PacketBuilder::tcp(job.flow.vip(), job.client)
+                        .ports(job.flow.vip_port(), job.flow.client_port())
                         .flags(TcpFlags::RST)
                         .build();
                     self.send_to_addr(ctx, job.client, rst);
@@ -343,8 +347,8 @@ impl ServerNode {
         self.connections.remove(&job.flow);
 
         // Response goes directly to the client (direct server return).
-        let response = PacketBuilder::tcp(job.flow.vip, job.client)
-            .ports(job.flow.vip_port, job.flow.client_port)
+        let response = PacketBuilder::tcp(job.flow.vip(), job.client)
+            .ports(job.flow.vip_port(), job.flow.client_port())
             .flags(TcpFlags::PSH | TcpFlags::ACK)
             .payload(job.request_id.to_be_bytes().to_vec())
             .build();

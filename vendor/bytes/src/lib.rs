@@ -15,39 +15,50 @@ use std::ops::Deref;
 use std::sync::Arc;
 
 /// A cheaply clonable, immutable contiguous slice of memory.
+///
+/// The empty buffer is represented without a backing allocation, so
+/// `Bytes::new()` (and construction from an empty slice or vector) never
+/// touches the heap — this keeps decoding payload-less packets
+/// allocation-free.
 #[derive(Clone)]
 pub struct Bytes {
-    data: Arc<[u8]>,
+    /// `None` is the canonical empty buffer.
+    data: Option<Arc<[u8]>>,
 }
 
 impl Bytes {
-    /// Creates a new empty `Bytes`.
+    /// Creates a new empty `Bytes` (allocation-free).
     pub fn new() -> Self {
-        Bytes {
-            data: Arc::from(&[][..]),
-        }
+        Bytes { data: None }
     }
 
     /// Creates `Bytes` holding a copy of the given slice.
     pub fn copy_from_slice(data: &[u8]) -> Self {
-        Bytes {
-            data: Arc::from(data),
+        if data.is_empty() {
+            return Bytes::new();
         }
+        Bytes {
+            data: Some(Arc::from(data)),
+        }
+    }
+
+    fn as_slice(&self) -> &[u8] {
+        self.data.as_deref().unwrap_or(&[])
     }
 
     /// Number of bytes.
     pub fn len(&self) -> usize {
-        self.data.len()
+        self.as_slice().len()
     }
 
     /// Returns `true` if the buffer is empty.
     pub fn is_empty(&self) -> bool {
-        self.data.is_empty()
+        self.data.is_none()
     }
 
     /// Copies the contents into a fresh `Vec<u8>`.
     pub fn to_vec(&self) -> Vec<u8> {
-        self.data.to_vec()
+        self.as_slice().to_vec()
     }
 }
 
@@ -61,43 +72,42 @@ impl Deref for Bytes {
     type Target = [u8];
 
     fn deref(&self) -> &[u8] {
-        &self.data
+        self.as_slice()
     }
 }
 
 impl AsRef<[u8]> for Bytes {
     fn as_ref(&self) -> &[u8] {
-        &self.data
+        self.as_slice()
     }
 }
 
 impl Borrow<[u8]> for Bytes {
     fn borrow(&self) -> &[u8] {
-        &self.data
+        self.as_slice()
     }
 }
 
 impl From<Vec<u8>> for Bytes {
     fn from(value: Vec<u8>) -> Self {
+        if value.is_empty() {
+            return Bytes::new();
+        }
         Bytes {
-            data: Arc::from(value.into_boxed_slice()),
+            data: Some(Arc::from(value.into_boxed_slice())),
         }
     }
 }
 
 impl From<&'static [u8]> for Bytes {
     fn from(value: &'static [u8]) -> Self {
-        Bytes {
-            data: Arc::from(value),
-        }
+        Bytes::copy_from_slice(value)
     }
 }
 
 impl From<&'static str> for Bytes {
     fn from(value: &'static str) -> Self {
-        Bytes {
-            data: Arc::from(value.as_bytes()),
-        }
+        Bytes::copy_from_slice(value.as_bytes())
     }
 }
 
@@ -109,7 +119,7 @@ impl FromIterator<u8> for Bytes {
 
 impl PartialEq for Bytes {
     fn eq(&self, other: &Self) -> bool {
-        self.data[..] == other.data[..]
+        self.as_slice() == other.as_slice()
     }
 }
 
@@ -117,13 +127,13 @@ impl Eq for Bytes {}
 
 impl PartialEq<[u8]> for Bytes {
     fn eq(&self, other: &[u8]) -> bool {
-        self.data[..] == *other
+        self.as_slice() == other
     }
 }
 
 impl PartialEq<Vec<u8>> for Bytes {
     fn eq(&self, other: &Vec<u8>) -> bool {
-        self.data[..] == other[..]
+        self.as_slice() == &other[..]
     }
 }
 
@@ -135,20 +145,20 @@ impl PartialOrd for Bytes {
 
 impl Ord for Bytes {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        self.data[..].cmp(&other.data[..])
+        self.as_slice().cmp(other.as_slice())
     }
 }
 
 impl Hash for Bytes {
     fn hash<H: Hasher>(&self, state: &mut H) {
-        self.data[..].hash(state);
+        self.as_slice().hash(state);
     }
 }
 
 impl fmt::Debug for Bytes {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "b\"")?;
-        for &b in self.data.iter() {
+        for &b in self.as_slice() {
             if b.is_ascii_graphic() || b == b' ' {
                 write!(f, "{}", b as char)?;
             } else {

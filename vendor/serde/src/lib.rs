@@ -483,6 +483,34 @@ impl<'de, T: Deserialize<'de>, const N: usize> Deserialize<'de> for [T; N] {
     }
 }
 
+impl<T: Serialize> Serialize for std::collections::BTreeMap<String, T> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        let entries = self
+            .iter()
+            .map(|(k, v)| Ok((k.clone(), to_value(v)?)))
+            .collect::<Result<Vec<(String, Value)>, value::ValueError>>()
+            .map_err(ser::Error::custom)?;
+        serializer.serialize_value(Value::Map(entries))
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for std::collections::BTreeMap<String, T> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.take_value()? {
+            Value::Map(entries) => entries
+                .into_iter()
+                .map(|(k, v)| {
+                    Ok((
+                        k,
+                        from_value(v).map_err(|e| de::Error::custom(e.to_string()))?,
+                    ))
+                })
+                .collect(),
+            other => Err(de::Error::custom(format!("expected map, found {other:?}"))),
+        }
+    }
+}
+
 impl<T: Serialize + ?Sized> Serialize for &T {
     fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
         (**self).serialize(serializer)
