@@ -1,9 +1,11 @@
 //! Ablation A1: effect of the number of candidates k in the SR list.
 //!
 //! The paper (citing Mitzenmacher) argues that two candidates capture most of
-//! the benefit; this bench runs k = 1..4 with the SR4 acceptance policy at
-//! ρ = 0.88 so both the runtime and the resulting mean response times can be
-//! compared.
+//! the benefit; this bench sweeps k = 1..=7 — up to the route limit of
+//! `MAX_SEGMENTS - 1` candidates plus the VIP in one Service Hunting SRH —
+//! with the SR4 acceptance policy at ρ = 0.88 so both the runtime and the
+//! resulting mean response times can be compared across the whole feasible
+//! range.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use srlb_core::experiment::{ExperimentConfig, PolicyKind};
@@ -29,7 +31,10 @@ fn run_with_candidates(k: usize) -> f64 {
 fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablation_candidates");
     group.sample_size(10);
-    for k in 1..=4usize {
+    // The upper bound is MAX_CANDIDATES = MAX_SEGMENTS - 1: the widest
+    // candidate list that still fits a Service Hunting route.
+    assert_eq!(srlb_core::dispatch::MAX_CANDIDATES, 7);
+    for k in 1..=7usize {
         group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
             b.iter(|| criterion::black_box(run_with_candidates(k)))
         });

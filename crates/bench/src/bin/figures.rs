@@ -38,7 +38,7 @@ fn main() {
     };
     let (jobs, which) = parse_args(&args);
     let jobs = jobs.unwrap_or_else(default_jobs);
-    const KNOWN: [&str; 9] = [
+    const KNOWN: [&str; 10] = [
         "all",
         "fig2",
         "fig3",
@@ -48,6 +48,7 @@ fn main() {
         "fig7",
         "fig8",
         "bench-micro",
+        "scenarios",
     ];
     if let Some(unknown) = which.iter().find(|name| !KNOWN.contains(name)) {
         eprintln!("error: unknown figure `{unknown}` (expected one of: {KNOWN:?})");
@@ -56,6 +57,11 @@ fn main() {
 
     if which.contains(&"bench-micro") {
         run_bench_micro();
+        return;
+    }
+
+    if which.contains(&"scenarios") {
+        run_scenarios_sweep(scale, jobs);
         return;
     }
 
@@ -130,6 +136,48 @@ fn run_bench_micro() {
             println!("  -> wrote {}", path.display());
         }
         Err(err) => eprintln!("  !! could not write bench report: {err}"),
+    }
+}
+
+fn run_scenarios_sweep(scale: Scale, jobs: usize) {
+    println!(
+        "# SRLB dynamic-cluster scenario sweep (scale: {scale:?}, seed: {SEED}, jobs: {jobs})"
+    );
+    let doc = srlb_bench::run_scenarios(scale, SEED, jobs);
+    println!(
+        "{:<16} {:<22} {:>6} {:>6} {:>7} {:>7} {:>8} {:>8}",
+        "scenario", "dispatcher", "sent", "done", "broken", "orphans", "rehunts", "recon-ms"
+    );
+    for report in &doc.scenarios {
+        println!(
+            "{:<16} {:<22} {:>6} {:>6} {:>7} {:>7} {:>8} {:>8}",
+            report.name,
+            report.dispatcher,
+            report.sent,
+            report.completed,
+            report.broken_established,
+            report.orphaned,
+            report.rehunts,
+            report
+                .reconstruction_ms
+                .map_or("-".to_string(), |ms| format!("{ms:.1}")),
+        );
+    }
+    println!("\n## single-server churn remapping probes (8192 flows, 12-server base)");
+    for remap in &doc.remap {
+        println!(
+            "{:<16} {:<12} moved {:>6} ({:>6.3}) collateral {:>5} ({:>6.3})",
+            remap.dispatcher,
+            remap.op,
+            remap.moved,
+            remap.moved_fraction,
+            remap.collateral,
+            remap.collateral_fraction,
+        );
+    }
+    match srlb_bench::write_bench_scenarios(&srlb_bench::micro::workspace_root(), &doc) {
+        Ok(path) => println!("  -> wrote {}", path.display()),
+        Err(err) => eprintln!("  !! could not write scenario report: {err}"),
     }
 }
 

@@ -24,6 +24,7 @@ pub mod figures;
 pub mod micro;
 pub mod output;
 pub mod parallel;
+pub mod scenarios;
 
 pub use figures::{
     fig2_mean_response, fig3_cdf_high_load, fig4_load_fairness, fig5_cdf_low_load,
@@ -33,3 +34,4 @@ pub use figures::{
 pub use micro::{write_bench_micro, BenchReport, BENCH_MICRO_FILE};
 pub use output::{write_csv, FIGURES_DIR};
 pub use parallel::{default_jobs, parallel_map};
+pub use scenarios::{run_scenarios, write_bench_scenarios, ScenariosDoc, BENCH_SCENARIOS_FILE};

@@ -1,0 +1,289 @@
+//! The dynamic-cluster scenario sweep (`figures -- scenarios`).
+//!
+//! Runs the canned scenario presets (load-balancer failover, rolling
+//! upgrade, 2× scale-out) under each candidate-selection policy and writes
+//! a machine-readable comparison to `BENCH_scenarios.json` at the workspace
+//! root: broken/re-routed connection counts, flow-table reconstruction
+//! latency and per-phase disruption statistics, plus standalone dispatcher
+//! remapping probes for single-server churn (the quantities the property
+//! tests in `crates/core/tests/proptest_churn.rs` bound).
+//!
+//! Every `(preset, dispatcher)` cell is an independent seeded simulation
+//! run through [`parallel_map`](crate::parallel::parallel_map), so the
+//! output is byte-identical whatever the `--jobs` worker count.
+
+use std::io::Write;
+use std::net::Ipv6Addr;
+use std::path::{Path, PathBuf};
+
+use serde::{Deserialize, Serialize};
+
+use srlb_core::dispatch::DispatcherConfig;
+use srlb_net::{AddressPlan, FlowKey, Protocol, ServerId};
+use srlb_scenario::{run, Scenario, ScenarioReport};
+
+use crate::figures::Scale;
+use crate::parallel::parallel_map;
+
+/// Default output file name, written to the workspace root (see
+/// [`crate::micro::workspace_root`]).
+pub const BENCH_SCENARIOS_FILE: &str = "BENCH_scenarios.json";
+
+/// Queries per scenario run at each scale.
+fn scenario_queries(scale: Scale) -> usize {
+    match scale {
+        Scale::Paper => 10_000,
+        Scale::Quick => 1_500,
+        Scale::Tiny => 300,
+    }
+}
+
+/// The candidate-selection policies compared by the sweep.
+fn dispatchers() -> Vec<(&'static str, DispatcherConfig)> {
+    vec![
+        (
+            "consistent-hash",
+            DispatcherConfig::ConsistentHash { vnodes: 128, k: 2 },
+        ),
+        (
+            "maglev",
+            DispatcherConfig::Maglev {
+                table_size: 2039,
+                k: 2,
+            },
+        ),
+        ("random", DispatcherConfig::Random { k: 2 }),
+    ]
+}
+
+/// One dispatcher's owner-remapping behaviour under single-server churn,
+/// measured over a deterministic probe-flow population (no simulation).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RemapReport {
+    /// Dispatcher label.
+    pub dispatcher: String,
+    /// `"remove-one"` or `"add-one"`.
+    pub op: String,
+    /// Probe flows measured.
+    pub probes: u64,
+    /// Probes whose owner (first candidate) changed.
+    pub moved: u64,
+    /// `moved / probes`.
+    pub moved_fraction: f64,
+    /// Moves that were *not required* by the membership change: on removal,
+    /// flows whose old owner still exists; on addition, flows that moved to
+    /// a server other than the new one.  Zero for ideal consistent hashing.
+    pub collateral: u64,
+    /// `collateral / probes`.
+    pub collateral_fraction: f64,
+}
+
+/// Deterministic probe-flow population.
+fn probe_flows(n: u32) -> Vec<FlowKey> {
+    let plan = AddressPlan::default();
+    (0..n)
+        .map(|i| {
+            FlowKey::new(
+                plan.client_addr(i / 50_000),
+                plan.vip(0),
+                (1024 + (i % 50_000)) as u16,
+                80,
+                Protocol::Tcp,
+            )
+        })
+        .collect()
+}
+
+/// First-candidate owners of every probe flow under `config` over
+/// `servers`.
+fn owners(config: DispatcherConfig, servers: Vec<Ipv6Addr>, flows: &[FlowKey]) -> Vec<Ipv6Addr> {
+    let mut dispatcher = config.build(servers);
+    let mut rng = srlb_sim::SimRng::new(1);
+    let mut out = srlb_core::dispatch::CandidateList::new();
+    flows
+        .iter()
+        .map(|flow| {
+            dispatcher.candidates_into(flow, &mut rng, &mut out);
+            out.as_slice()[0]
+        })
+        .collect()
+}
+
+/// Measures owner remapping for one dispatcher config when one server is
+/// removed from / added to a 12-server cluster.
+fn remap_probe(label: &str, config: DispatcherConfig) -> Vec<RemapReport> {
+    let plan = AddressPlan::default();
+    let flows = probe_flows(8_192);
+    let base: Vec<Ipv6Addr> = plan.server_addrs(12).collect();
+    let before = owners(config, base.clone(), &flows);
+
+    let mut reports = Vec::with_capacity(2);
+
+    // Remove a mid-cluster server.
+    let removed = plan.server_addr(ServerId(5));
+    let shrunk: Vec<Ipv6Addr> = base.iter().copied().filter(|a| *a != removed).collect();
+    let after = owners(config, shrunk, &flows);
+    let moved = before
+        .iter()
+        .zip(&after)
+        .filter(|(old, new)| old != new)
+        .count() as u64;
+    let collateral = before
+        .iter()
+        .zip(&after)
+        .filter(|(old, new)| old != new && **old != removed)
+        .count() as u64;
+    reports.push(RemapReport {
+        dispatcher: label.to_string(),
+        op: "remove-one".to_string(),
+        probes: flows.len() as u64,
+        moved,
+        moved_fraction: moved as f64 / flows.len() as f64,
+        collateral,
+        collateral_fraction: collateral as f64 / flows.len() as f64,
+    });
+
+    // Add a thirteenth server.
+    let added = plan.server_addr(ServerId(12));
+    let mut grown = base.clone();
+    grown.push(added);
+    let after = owners(config, grown, &flows);
+    let moved = before
+        .iter()
+        .zip(&after)
+        .filter(|(old, new)| old != new)
+        .count() as u64;
+    let collateral = before
+        .iter()
+        .zip(&after)
+        .filter(|(old, new)| old != new && **new != added)
+        .count() as u64;
+    reports.push(RemapReport {
+        dispatcher: label.to_string(),
+        op: "add-one".to_string(),
+        probes: flows.len() as u64,
+        moved,
+        moved_fraction: moved as f64 / flows.len() as f64,
+        collateral,
+        collateral_fraction: collateral as f64 / flows.len() as f64,
+    });
+    reports
+}
+
+/// The JSON document written to [`BENCH_SCENARIOS_FILE`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScenariosDoc {
+    /// Schema version of this report.
+    pub schema: u32,
+    /// Scale label the sweep ran at.
+    pub scale: String,
+    /// Seed used for every run.
+    pub seed: u64,
+    /// One report per `(preset, dispatcher)` cell, in grid order.
+    pub scenarios: Vec<ScenarioReport>,
+    /// Dispatcher remapping probes under single-server churn.
+    pub remap: Vec<RemapReport>,
+}
+
+/// Runs the scenario sweep across `jobs` workers.
+pub fn run_scenarios(scale: Scale, seed: u64, jobs: usize) -> ScenariosDoc {
+    let queries = scenario_queries(scale);
+    let mut grid: Vec<Scenario> = Vec::new();
+    for (_, dispatcher) in dispatchers() {
+        grid.push(Scenario::lb_failover(dispatcher, queries).with_seed(seed));
+        grid.push(Scenario::rolling_upgrade(dispatcher, queries).with_seed(seed));
+        grid.push(Scenario::scale_out_2x(dispatcher, queries).with_seed(seed));
+    }
+    let scenarios = parallel_map(&grid, jobs, |scenario| {
+        run(scenario).expect("preset scenarios are valid").report()
+    });
+    let remap = dispatchers()
+        .into_iter()
+        .filter(|(label, _)| *label != "random")
+        .flat_map(|(label, config)| remap_probe(label, config))
+        .collect();
+    ScenariosDoc {
+        schema: 1,
+        scale: format!("{scale:?}"),
+        seed,
+        scenarios,
+        remap,
+    }
+}
+
+/// Writes an already-computed sweep report as JSON to `dir`, returning the
+/// path written.
+///
+/// # Errors
+///
+/// Returns any I/O error from writing the file.
+pub fn write_bench_scenarios(dir: &Path, doc: &ScenariosDoc) -> std::io::Result<PathBuf> {
+    let json = serde_json::to_string(doc)
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
+    let path = dir.join(BENCH_SCENARIOS_FILE);
+    let mut file = std::fs::File::create(&path)?;
+    writeln!(file, "{json}")?;
+    Ok(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn consistent_hash_remap_probe_has_no_collateral_damage() {
+        let reports = remap_probe(
+            "consistent-hash",
+            DispatcherConfig::ConsistentHash { vnodes: 128, k: 1 },
+        );
+        for report in &reports {
+            assert_eq!(
+                report.collateral, 0,
+                "consistent hashing moves only the flows it must ({})",
+                report.op
+            );
+            assert!(report.moved > 0, "some flows must remap ({})", report.op);
+            // Removing / adding 1 of 12-13 servers should move roughly
+            // 1/12th of the flows.
+            assert!(report.moved_fraction < 0.25, "{}", report.moved_fraction);
+        }
+    }
+
+    #[test]
+    fn maglev_remap_probe_is_bounded() {
+        let reports = remap_probe(
+            "maglev",
+            DispatcherConfig::Maglev {
+                table_size: 2039,
+                k: 1,
+            },
+        );
+        for report in &reports {
+            assert!(report.moved > 0);
+            assert!(
+                report.moved_fraction < 0.30,
+                "maglev disruption should stay near-minimal, got {}",
+                report.moved_fraction
+            );
+        }
+    }
+
+    #[test]
+    fn tiny_sweep_is_deterministic_across_jobs() {
+        let serial = run_scenarios(Scale::Tiny, 42, 1);
+        let parallel = run_scenarios(Scale::Tiny, 42, 4);
+        assert_eq!(serial, parallel);
+        assert_eq!(serial.scenarios.len(), 9);
+        // The acceptance property: deterministic dispatchers lose zero
+        // established connections on LB failover.
+        for report in &serial.scenarios {
+            if report.name == "lb_failover" && !report.dispatcher.starts_with("random") {
+                assert_eq!(
+                    report.broken_established, 0,
+                    "{} must not lose established connections",
+                    report.dispatcher
+                );
+            }
+        }
+    }
+}

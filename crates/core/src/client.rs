@@ -16,8 +16,13 @@ use srlb_metrics::{RequestClass, RequestOutcome, RequestRecord, ResponseTimeColl
 use srlb_net::{AddressPlan, Packet, PacketBuilder, TcpFlags};
 use srlb_server::server_node::encode_request_payload;
 use srlb_server::Directory;
-use srlb_sim::{Context, Node, NodeId, SimTime, TimerToken};
+use srlb_sim::{Context, Node, NodeId, SimDuration, SimTime, TimerToken};
 use srlb_workload::Request;
+
+/// Timer-token bit marking a deferred-request timer (the low bits carry the
+/// request id); SYN timers use the plain request id, which never reaches
+/// this bit.
+const REQUEST_TIMER_BIT: u64 = 1 << 63;
 
 /// Number of source ports used per client address before moving to the next
 /// address (keeps ports in the dynamic range 1024–61023).
@@ -61,7 +66,16 @@ struct InFlight {
 #[derive(Debug)]
 pub struct ClientNode {
     plan: AddressPlan,
-    vip: Ipv6Addr,
+    /// The VIPs requests are spread over (request id modulo the VIP count),
+    /// so several applications can share one cluster.  Always non-empty.
+    vips: Vec<Ipv6Addr>,
+    /// Client think time between the handshake completing and the HTTP
+    /// request being sent.  Zero (the default) sends the request
+    /// immediately, as the paper's closed HTTP exchange does; dynamic-cluster
+    /// scenarios use a non-zero delay so connections are *established but
+    /// quiescent* for a realistic window — the state a load-balancer
+    /// failover actually disrupts.
+    request_delay: SimDuration,
     directory: Directory,
     requests: Vec<Request>,
     in_flight: std::collections::HashMap<u64, InFlight>,
@@ -91,7 +105,8 @@ impl ClientNode {
         );
         ClientNode {
             plan,
-            vip,
+            vips: vec![vip],
+            request_delay: SimDuration::ZERO,
             directory,
             requests,
             in_flight: std::collections::HashMap::new(),
@@ -101,6 +116,29 @@ impl ClientNode {
             completed: 0,
             resets: 0,
         }
+    }
+
+    /// Replaces the VIP set; requests are assigned round-robin by id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vips` is empty.
+    pub fn with_vips(mut self, vips: Vec<Ipv6Addr>) -> Self {
+        assert!(!vips.is_empty(), "at least one VIP is required");
+        self.vips = vips;
+        self
+    }
+
+    /// The VIP request `id` is (deterministically) sent to.
+    pub fn vip_of(&self, id: u64) -> Ipv6Addr {
+        self.vips[(id % self.vips.len() as u64) as usize]
+    }
+
+    /// Sets the think time between handshake completion and the HTTP
+    /// request (default: zero, i.e. immediately).
+    pub fn with_request_delay(mut self, delay: SimDuration) -> Self {
+        self.request_delay = delay;
+        self
     }
 
     /// Number of requests sent so far.
@@ -159,7 +197,8 @@ impl ClientNode {
     fn send_request_syn(&mut self, index: usize, ctx: &mut Context<'_, Packet>) {
         let request = self.requests[index].clone();
         let (addr, port) = request_endpoint(&self.plan, request.id);
-        let syn = PacketBuilder::tcp(addr, self.vip)
+        let vip = self.vip_of(request.id);
+        let syn = PacketBuilder::tcp(addr, vip)
             .ports(port, VIP_PORT)
             .flags(TcpFlags::SYN)
             .build();
@@ -171,12 +210,13 @@ impl ClientNode {
             },
         );
         self.sent += 1;
-        self.send_to_addr(ctx, self.vip, syn);
+        self.send_to_addr(ctx, vip, syn);
     }
 
     fn handle_syn_ack(&mut self, packet: &Packet, ctx: &mut Context<'_, Packet>) {
         // The SYN-ACK is addressed to the per-request client endpoint; recover
-        // the request id and send the HTTP request itself.
+        // the request id and send the HTTP request itself — immediately, or
+        // after the configured think time.
         let Some(id) = request_id_of(
             &self.plan,
             packet.current_destination(),
@@ -184,19 +224,34 @@ impl ClientNode {
         ) else {
             return;
         };
+        if self.request_delay.is_zero() {
+            self.send_http_request(id, ctx);
+        } else {
+            ctx.schedule_timer(self.request_delay, TimerToken(id | REQUEST_TIMER_BIT));
+        }
+    }
+
+    fn send_http_request(&mut self, id: u64, ctx: &mut Context<'_, Packet>) {
         let Some(request) = self.requests.get(id as usize) else {
             return;
         };
         let (addr, port) = request_endpoint(&self.plan, id);
-        let http_request = PacketBuilder::tcp(addr, self.vip)
+        let vip = self.vip_of(id);
+        let http_request = PacketBuilder::tcp(addr, vip)
             .ports(port, VIP_PORT)
             .flags(TcpFlags::ACK | TcpFlags::PSH)
             .payload(encode_request_payload(id, request.service))
             .build();
-        self.send_to_addr(ctx, self.vip, http_request);
+        self.send_to_addr(ctx, vip, http_request);
     }
 
-    fn finish(&mut self, id: u64, outcome: RequestOutcome, ctx: &Context<'_, Packet>) {
+    fn finish(
+        &mut self,
+        id: u64,
+        outcome: RequestOutcome,
+        served_by: Option<u32>,
+        ctx: &Context<'_, Packet>,
+    ) {
         let Some(info) = self.in_flight.remove(&id) else {
             return;
         };
@@ -216,7 +271,7 @@ impl ClientNode {
             response_time_ms,
             class: info.class,
             outcome,
-            served_by: None,
+            served_by,
         });
     }
 }
@@ -227,6 +282,12 @@ impl Node<Packet> for ClientNode {
     }
 
     fn on_timer(&mut self, token: TimerToken, ctx: &mut Context<'_, Packet>) {
+        if token.0 & REQUEST_TIMER_BIT != 0 {
+            // Think time elapsed: send the HTTP request of an established
+            // connection.
+            self.send_http_request(token.0 & !REQUEST_TIMER_BIT, ctx);
+            return;
+        }
         // The timer for request `token.0` fired: send it, then arm the timer
         // for the next request in the trace.
         let index = self.next_to_send;
@@ -247,9 +308,13 @@ impl Node<Packet> for ClientNode {
         if packet.is_syn_ack() {
             self.handle_syn_ack(&packet, ctx);
         } else if packet.is_rst() {
-            self.finish(id, RequestOutcome::Reset, ctx);
+            self.finish(id, RequestOutcome::Reset, None, ctx);
         } else if packet.tcp.flags.contains(TcpFlags::PSH) {
-            self.finish(id, RequestOutcome::Completed, ctx);
+            // The response payload names the serving server, so completions
+            // are attributable (per-phase fairness in scenario runs).
+            let served_by =
+                srlb_server::server_node::decode_response_payload(&packet.payload).map(|(_, s)| s);
+            self.finish(id, RequestOutcome::Completed, served_by, ctx);
         }
     }
 

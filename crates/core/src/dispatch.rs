@@ -150,6 +150,22 @@ pub trait Dispatcher: std::fmt::Debug + Send {
     /// Short name for reports.
     fn name(&self) -> String;
 
+    /// The current backend set, in construction order.
+    fn backends(&self) -> &[Ipv6Addr];
+
+    /// Rebuilds the dispatcher over a new backend set (server churn),
+    /// preserving the originally configured parameters (candidate count,
+    /// virtual nodes, table size).  The result is identical to constructing
+    /// a fresh dispatcher over `servers`, so hash-based dispatchers keep
+    /// their minimal-disruption guarantees across add/remove cycles: flows
+    /// not owned by a changed backend keep their candidates (exactly for
+    /// consistent hashing; within the property-tested tolerance for Maglev).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `servers` is empty.
+    fn rebuild(&mut self, servers: Vec<Ipv6Addr>);
+
     /// Convenience wrapper around [`Dispatcher::candidates_into`] returning
     /// a fresh `Vec`.  Allocates; intended for tests and reporting, not the
     /// per-flow fast path.
@@ -165,6 +181,9 @@ pub trait Dispatcher: std::fmt::Debug + Send {
 pub struct RandomDispatcher {
     servers: Vec<Ipv6Addr>,
     k: usize,
+    /// The candidate count as configured (before capping at the server
+    /// count), so a rebuild over a larger server set can restore it.
+    k_config: usize,
     /// Persistent index permutation for the partial Fisher-Yates draw; any
     /// permutation is a valid starting state, so it is never rebuilt.
     scratch: Vec<u32>,
@@ -189,6 +208,7 @@ impl RandomDispatcher {
     pub fn new(servers: Vec<Ipv6Addr>, k: usize) -> Self {
         assert!(!servers.is_empty(), "at least one server is required");
         assert!(k > 0, "k must be at least 1");
+        let k_config = k;
         let k = k.min(servers.len());
         assert!(
             k <= MAX_CANDIDATES,
@@ -198,6 +218,7 @@ impl RandomDispatcher {
         RandomDispatcher {
             servers,
             k,
+            k_config,
             scratch,
         }
     }
@@ -233,6 +254,14 @@ impl Dispatcher for RandomDispatcher {
     fn name(&self) -> String {
         format!("random-{}", self.k)
     }
+
+    fn backends(&self) -> &[Ipv6Addr] {
+        &self.servers
+    }
+
+    fn rebuild(&mut self, servers: Vec<Ipv6Addr>) {
+        *self = Self::new(servers, self.k_config);
+    }
 }
 
 /// A consistent-hashing ring with virtual nodes.
@@ -241,7 +270,11 @@ pub struct ConsistentHashDispatcher {
     /// `(point, server)` pairs sorted by point.
     ring: Vec<(u64, Ipv6Addr)>,
     k: usize,
-    servers: usize,
+    /// The candidate count as configured (before capping).
+    k_config: usize,
+    /// Virtual nodes per server, kept so a rebuild reproduces the ring.
+    vnodes: usize,
+    servers: Vec<Ipv6Addr>,
 }
 
 impl ConsistentHashDispatcher {
@@ -266,6 +299,7 @@ impl ConsistentHashDispatcher {
             }
         }
         ring.sort_unstable();
+        let k_config = k;
         let k = k.min(servers.len());
         assert!(
             k <= MAX_CANDIDATES,
@@ -274,7 +308,9 @@ impl ConsistentHashDispatcher {
         ConsistentHashDispatcher {
             ring,
             k,
-            servers: servers.len(),
+            k_config,
+            vnodes,
+            servers,
         }
     }
 
@@ -323,7 +359,15 @@ impl Dispatcher for ConsistentHashDispatcher {
     }
 
     fn name(&self) -> String {
-        format!("consistent-hash-{}x{}", self.servers, self.k)
+        format!("consistent-hash-{}x{}", self.servers.len(), self.k)
+    }
+
+    fn backends(&self) -> &[Ipv6Addr] {
+        &self.servers
+    }
+
+    fn rebuild(&mut self, servers: Vec<Ipv6Addr>) {
+        *self = Self::new(servers, self.vnodes, self.k_config);
     }
 }
 
@@ -337,7 +381,9 @@ impl Dispatcher for ConsistentHashDispatcher {
 pub struct MaglevDispatcher {
     table: Vec<Ipv6Addr>,
     k: usize,
-    servers: usize,
+    /// The candidate count as configured (before capping).
+    k_config: usize,
+    servers: Vec<Ipv6Addr>,
 }
 
 impl MaglevDispatcher {
@@ -391,6 +437,7 @@ impl MaglevDispatcher {
                 }
             }
         }
+        let k_config = k;
         let k = k.min(n);
         assert!(
             k <= MAX_CANDIDATES,
@@ -402,7 +449,8 @@ impl MaglevDispatcher {
                 .map(|s| s.expect("table filled"))
                 .collect(),
             k,
-            servers: n,
+            k_config,
+            servers,
         }
     }
 
@@ -453,7 +501,16 @@ impl Dispatcher for MaglevDispatcher {
     }
 
     fn name(&self) -> String {
-        format!("maglev-{}x{}", self.servers, self.k)
+        format!("maglev-{}x{}", self.servers.len(), self.k)
+    }
+
+    fn backends(&self) -> &[Ipv6Addr] {
+        &self.servers
+    }
+
+    fn rebuild(&mut self, servers: Vec<Ipv6Addr>) {
+        let table_size = self.table.len();
+        *self = Self::new(servers, table_size, self.k_config);
     }
 }
 
@@ -711,6 +768,58 @@ mod tests {
             assert_eq!(c.len(), 2);
             assert_eq!(config.fanout(), 2);
         }
+    }
+
+    #[test]
+    fn rebuild_matches_fresh_construction() {
+        let before = servers(8);
+        let after = servers(6);
+        let mut rng = SimRng::new(3);
+
+        let mut ch = ConsistentHashDispatcher::new(before.clone(), 64, 2);
+        ch.rebuild(after.clone());
+        let mut fresh_ch = ConsistentHashDispatcher::new(after.clone(), 64, 2);
+        assert_eq!(ch, fresh_ch);
+        assert_eq!(ch.backends(), &after[..]);
+        assert_eq!(
+            ch.candidates(&flow(9), &mut rng),
+            fresh_ch.candidates(&flow(9), &mut rng)
+        );
+
+        let mut maglev = MaglevDispatcher::new(before.clone(), 251, 2);
+        maglev.rebuild(after.clone());
+        assert_eq!(maglev, MaglevDispatcher::new(after.clone(), 251, 2));
+        assert_eq!(maglev.backends(), &after[..]);
+
+        let mut random = RandomDispatcher::new(before, 2);
+        random.rebuild(after.clone());
+        assert_eq!(random, RandomDispatcher::new(after, 2));
+    }
+
+    #[test]
+    fn rebuild_restores_configured_fanout_after_capping() {
+        // Configured k = 4 but only 2 servers: effective fanout 2; growing
+        // the cluster back restores k = 4.
+        let mut d = RandomDispatcher::new(servers(2), 4);
+        assert_eq!(d.fanout(), 2);
+        d.rebuild(servers(10));
+        assert_eq!(d.fanout(), 4);
+        let mut ch = ConsistentHashDispatcher::new(servers(2), 16, 4);
+        assert_eq!(ch.fanout(), 2);
+        ch.rebuild(servers(10));
+        assert_eq!(ch.fanout(), 4);
+        let mut m = MaglevDispatcher::new(servers(2), 251, 4);
+        assert_eq!(m.fanout(), 2);
+        m.rebuild(servers(10));
+        assert_eq!(m.fanout(), 4);
+        assert_eq!(m.table_size(), 251, "rebuild keeps the table size");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one server")]
+    fn rebuild_with_empty_set_panics() {
+        let mut d = RandomDispatcher::new(servers(2), 2);
+        d.rebuild(vec![]);
     }
 
     #[test]

@@ -114,6 +114,11 @@ impl FlowTable {
         Self::new(SimDuration::from_secs(300))
     }
 
+    /// The configured idle timeout.
+    pub fn idle_timeout(&self) -> SimDuration {
+        self.idle_timeout
+    }
+
     /// Number of live entries.
     pub fn len(&self) -> usize {
         self.entries.len()

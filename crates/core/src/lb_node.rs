@@ -22,7 +22,7 @@ use serde::{Deserialize, Serialize};
 
 use srlb_net::{Packet, SegmentRoutingHeader};
 use srlb_server::Directory;
-use srlb_sim::{Context, Node, NodeId, SimDuration, TimerToken};
+use srlb_sim::{Context, Node, NodeId, SimDuration, SimTime, TimerToken};
 
 use crate::dispatch::{CandidateList, Dispatcher};
 use crate::flow_table::FlowTable;
@@ -32,12 +32,19 @@ use crate::flow_table::FlowTable;
 pub struct LbStats {
     /// New flows dispatched (SYNs that received a Service Hunting SRH).
     pub new_flows: u64,
-    /// Flow-table entries learned from acceptance SYN-ACKs.
+    /// Flow-table entries learned from acceptance SYN-ACKs (including
+    /// post-failover ownership adverts).
     pub flows_learned: u64,
     /// Established-flow packets steered to their owning server.
     pub steered: u64,
     /// Established-flow packets dropped because no flow entry existed.
     pub missing_flow: u64,
+    /// Established-flow packets with no flow entry that were *re-hunted*
+    /// through the candidate list instead of dropped (in-band flow-table
+    /// reconstruction after a failover).
+    pub rehunts: u64,
+    /// Fail-overs applied to this load balancer (flow-table wipes).
+    pub failovers: u64,
     /// Packets forwarded by plain destination routing.
     pub forwarded: u64,
 }
@@ -45,16 +52,32 @@ pub struct LbStats {
 /// Timer token used for the periodic flow-table expiry sweep.
 const EXPIRY_TIMER: TimerToken = TimerToken(u64::MAX);
 
+/// Maximum dispatcher fan-out compatible with in-band flow recovery: a
+/// re-hunt route must fit the load-balancer marker segment and the VIP
+/// alongside the candidates.
+pub const MAX_RECOVERY_CANDIDATES: usize = srlb_net::MAX_SEGMENTS - 2;
+
 /// The SRLB load balancer node.
 #[derive(Debug)]
 pub struct LoadBalancerNode {
     addr: Ipv6Addr,
-    vip: Ipv6Addr,
+    /// The VIPs this load balancer advertises (at least one; several
+    /// applications can share the same backend cluster).
+    vips: Vec<Ipv6Addr>,
     directory: Directory,
     dispatcher: Box<dyn Dispatcher>,
     flow_table: FlowTable,
     stats: LbStats,
     expiry_interval: Option<SimDuration>,
+    /// When `true`, an established-flow packet with no flow-table entry is
+    /// re-hunted through the candidate list (and the owning server adverts
+    /// itself back) instead of being dropped — the in-band SYN-ACK-style
+    /// flow-table reconstruction used after a fail-over.
+    recover_flows: bool,
+    /// Time of the last fail-over ([`LoadBalancerNode::fail_over`]).
+    failed_over_at: Option<SimTime>,
+    /// Time of the last re-hunt (drives the reconstruction-latency metric).
+    last_rehunt_at: Option<SimTime>,
     /// Reusable candidate/route buffer, so dispatching a new flow performs
     /// no per-packet heap allocation.
     route_scratch: CandidateList,
@@ -70,12 +93,15 @@ impl LoadBalancerNode {
     ) -> Self {
         LoadBalancerNode {
             addr,
-            vip,
+            vips: vec![vip],
             directory,
             dispatcher,
             flow_table: FlowTable::with_default_timeout(),
             stats: LbStats::default(),
             expiry_interval: None,
+            recover_flows: false,
+            failed_over_at: None,
+            last_rehunt_at: None,
             route_scratch: CandidateList::new(),
         }
     }
@@ -92,9 +118,44 @@ impl LoadBalancerNode {
         self
     }
 
+    /// Replaces the advertised VIP set (multi-service clusters).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vips` is empty.
+    pub fn with_vips(mut self, vips: Vec<Ipv6Addr>) -> Self {
+        assert!(!vips.is_empty(), "at least one VIP is required");
+        self.vips = vips;
+        self
+    }
+
+    /// Enables in-band flow-table reconstruction: on a flow-table miss for
+    /// an established flow, re-hunt the packet through the candidate list
+    /// instead of dropping it, and re-learn the owner from the server's
+    /// ownership advert.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dispatcher's fan-out exceeds
+    /// [`MAX_RECOVERY_CANDIDATES`] (the re-hunt route also carries the
+    /// load-balancer marker and the VIP).
+    pub fn with_flow_recovery(mut self) -> Self {
+        assert!(
+            self.dispatcher.fanout() <= MAX_RECOVERY_CANDIDATES,
+            "flow recovery supports at most {MAX_RECOVERY_CANDIDATES} candidates per flow"
+        );
+        self.recover_flows = true;
+        self
+    }
+
     /// The load balancer's own address.
     pub fn addr(&self) -> Ipv6Addr {
         self.addr
+    }
+
+    /// The advertised VIPs.
+    pub fn vips(&self) -> &[Ipv6Addr] {
+        &self.vips
     }
 
     /// Run counters.
@@ -112,16 +173,70 @@ impl LoadBalancerNode {
         self.dispatcher.name()
     }
 
+    /// The dispatcher's current backend set.
+    pub fn backends(&self) -> &[Ipv6Addr] {
+        self.dispatcher.backends()
+    }
+
+    /// Rebuilds the dispatcher over a new backend set (server churn).
+    /// Existing flow-table entries are untouched: established flows keep
+    /// flowing to their owner (even one no longer in the candidate set)
+    /// until they finish or expire.
+    ///
+    /// # Panics
+    ///
+    /// Panics if flow recovery is enabled and the rebuilt dispatcher's
+    /// fan-out (which growth can raise back to its configured value)
+    /// exceeds [`MAX_RECOVERY_CANDIDATES`].
+    pub fn rebuild_backends(&mut self, servers: Vec<Ipv6Addr>) {
+        self.dispatcher.rebuild(servers);
+        assert!(
+            !self.recover_flows || self.dispatcher.fanout() <= MAX_RECOVERY_CANDIDATES,
+            "flow recovery supports at most {MAX_RECOVERY_CANDIDATES} candidates per flow"
+        );
+    }
+
+    /// Simulates the fail-over of this load balancer to a cold standby at
+    /// the same address: all per-flow state is lost (the standby starts with
+    /// an empty flow table) and must be reconstructed in-band from SYN-ACKs
+    /// and ownership adverts.  Returns the number of entries lost.
+    pub fn fail_over(&mut self, now: SimTime) -> usize {
+        let lost = self.flow_table.len();
+        self.flow_table = FlowTable::new(self.flow_table.idle_timeout());
+        self.stats.failovers += 1;
+        self.failed_over_at = Some(now);
+        self.last_rehunt_at = None;
+        lost
+    }
+
+    /// Seconds between the last fail-over and the most recent re-hunt — an
+    /// upper bound on how long the flow table kept being reconstructed.
+    /// `None` until a fail-over has happened and a re-hunt has followed it.
+    pub fn reconstruction_latency_seconds(&self) -> Option<f64> {
+        let failed = self.failed_over_at?;
+        let last = self.last_rehunt_at?;
+        Some(last.duration_since(failed).as_secs_f64())
+    }
+
+    /// Returns `true` if `addr` is one of the advertised VIPs.
+    fn is_vip(&self, addr: Ipv6Addr) -> bool {
+        self.vips.contains(&addr)
+    }
+
     fn send_to_addr(&self, ctx: &mut Context<'_, Packet>, addr: Ipv6Addr, packet: Packet) {
         if let Some(node) = self.directory.lookup(addr) {
             ctx.send(node, packet);
         }
     }
 
-    /// Handles a new flow: builds the Service Hunting SRH and forwards the
-    /// SYN to the first candidate.
-    fn dispatch_new_flow(&mut self, mut packet: Packet, ctx: &mut Context<'_, Packet>) {
+    /// Builds the Service Hunting SRH for `packet`'s flow and forwards the
+    /// packet to the first candidate.  Shared between new-flow dispatch and
+    /// post-failover re-hunting.
+    fn hunt(&mut self, mut packet: Packet, ctx: &mut Context<'_, Packet>) {
         let flow = packet.flow_key_forward();
+        // The flow's own VIP terminates the route, so several VIPs can share
+        // one cluster.
+        let vip = flow.vip();
         // Dispatchers clear the buffer themselves, but the capacity
         // invariant belongs to the buffer's owner: clear defensively so a
         // third-party `Dispatcher` impl that only appends cannot overflow
@@ -129,12 +244,45 @@ impl LoadBalancerNode {
         self.route_scratch.clear();
         self.dispatcher
             .candidates_into(&flow, ctx.rng(), &mut self.route_scratch);
-        self.route_scratch.push(self.vip);
+        self.route_scratch.push(vip);
         let srh = SegmentRoutingHeader::from_route(self.route_scratch.as_slice())
             .expect("candidate list plus VIP is a non-empty route");
         let first_hop = srh.active_segment();
         packet.insert_srh(srh);
+        self.send_to_addr(ctx, first_hop, packet);
+    }
+
+    /// Handles a new flow: builds the Service Hunting SRH and forwards the
+    /// SYN to the first candidate.
+    fn dispatch_new_flow(&mut self, packet: Packet, ctx: &mut Context<'_, Packet>) {
         self.stats.new_flows += 1;
+        self.hunt(packet, ctx);
+    }
+
+    /// Re-hunts an established-flow packet whose flow-table entry was lost:
+    /// the route is `[lb, candidate₁, …, candidateₖ, VIP]` with the load
+    /// balancer as the (already-consumed) first segment — the same identity
+    /// trick acceptance SRHs use — so servers can tell a re-hunt from
+    /// steered traffic (whose first segment is the owning server itself)
+    /// for *any* candidate count, and route it by connection ownership.
+    fn rehunt(&mut self, mut packet: Packet, ctx: &mut Context<'_, Packet>) {
+        let flow = packet.flow_key_forward();
+        let vip = flow.vip();
+        self.route_scratch.clear();
+        self.dispatcher
+            .candidates_into(&flow, ctx.rng(), &mut self.route_scratch);
+        let k = self.route_scratch.len();
+        debug_assert!(k <= MAX_RECOVERY_CANDIDATES, "checked at construction");
+        let mut route = [Ipv6Addr::UNSPECIFIED; srlb_net::MAX_SEGMENTS];
+        route[0] = self.addr;
+        route[1..=k].copy_from_slice(self.route_scratch.as_slice());
+        route[k + 1] = vip;
+        let mut srh = SegmentRoutingHeader::from_route(&route[..k + 2])
+            .expect("lb marker, candidates and VIP fit one re-hunt route");
+        srh.set_segments_left(k as u8)
+            .expect("the first candidate is a valid active segment");
+        let first_hop = srh.active_segment();
+        packet.insert_srh(srh);
         self.send_to_addr(ctx, first_hop, packet);
     }
 
@@ -154,16 +302,24 @@ impl LoadBalancerNode {
         }
     }
 
-    /// Handles an established-flow packet: steer it to the owning server.
+    /// Handles an established-flow packet: steer it to the owning server,
+    /// or — when flow recovery is enabled and the entry is missing (lost in
+    /// a fail-over) — re-hunt it through the candidate list so the owner
+    /// re-announces itself.
     fn steer(&mut self, mut packet: Packet, ctx: &mut Context<'_, Packet>) {
         let flow = packet.flow_key_forward();
         match self.flow_table.lookup(&flow, ctx.now()) {
             Some(server) => {
-                let srh = SegmentRoutingHeader::from_route(&[server, self.vip])
+                let srh = SegmentRoutingHeader::from_route(&[server, flow.vip()])
                     .expect("two-segment steering route is valid");
                 packet.insert_srh(srh);
                 self.stats.steered += 1;
                 self.send_to_addr(ctx, server, packet);
+            }
+            None if self.recover_flows => {
+                self.stats.rehunts += 1;
+                self.last_rehunt_at = Some(ctx.now());
+                self.rehunt(packet, ctx);
             }
             None => {
                 self.stats.missing_flow += 1;
@@ -183,9 +339,10 @@ impl Node<Packet> for LoadBalancerNode {
         let dest = packet.current_destination();
         if dest == self.addr && packet.srh.is_some() {
             // A packet whose active segment is the load balancer itself: a
-            // connection-acceptance SYN-ACK inserted by a server.
+            // connection-acceptance SYN-ACK (or post-failover ownership
+            // advert) inserted by a server.
             self.learn_and_forward(packet, ctx);
-        } else if dest == self.vip || packet.final_destination() == self.vip {
+        } else if self.is_vip(dest) || self.is_vip(packet.final_destination()) {
             if packet.is_syn() {
                 self.dispatch_new_flow(packet, ctx);
             } else {
@@ -367,6 +524,157 @@ mod tests {
         assert_eq!(lb_node.stats().missing_flow, 1);
         assert_eq!(lb_node.stats().new_flows, 0);
         let _ = plan;
+    }
+
+    /// A driver node that fires one established-flow request (ACK|PSH with a
+    /// service payload) towards the VIP at start-up.
+    #[derive(Debug)]
+    struct RequestSource {
+        lb: NodeId,
+        port: u16,
+    }
+
+    impl Node<Packet> for RequestSource {
+        fn on_start(&mut self, ctx: &mut Context<'_, Packet>) {
+            let plan = AddressPlan::default();
+            let request = PacketBuilder::tcp(plan.client_addr(0), plan.vip(0))
+                .ports(self.port, 80)
+                .flags(TcpFlags::ACK | TcpFlags::PSH)
+                .payload(srlb_server::server_node::encode_request_payload(
+                    0,
+                    srlb_sim::SimDuration::from_millis(5),
+                ))
+                .build();
+            ctx.send(self.lb, request);
+        }
+        fn on_message(&mut self, _p: Packet, _f: NodeId, _c: &mut Context<'_, Packet>) {}
+    }
+
+    #[test]
+    fn failover_recovery_relearns_from_ownership_advert() {
+        // Same wiring as build_cluster, but with a deterministic
+        // consistent-hash dispatcher and in-band flow recovery enabled.
+        let plan = AddressPlan::default();
+        let n = 4u32;
+        let mut directory = Directory::new();
+        let client_id = NodeId(0);
+        let lb_id = NodeId(1);
+        directory.register(plan.client_addr(0), client_id);
+        directory.register(plan.lb_addr(), lb_id);
+        directory.register(plan.vip(0), lb_id);
+        for i in 0..n {
+            directory.register(plan.server_addr(ServerId(i)), NodeId(2 + i as usize));
+        }
+        let mut net = Network::new(7, srlb_sim::Topology::datacenter());
+        net.add_node(Sink::default());
+        let servers: Vec<Ipv6Addr> = plan.server_addrs(n).collect();
+        let lb = net.add_node(
+            LoadBalancerNode::new(
+                plan.lb_addr(),
+                plan.vip(0),
+                directory.clone(),
+                Box::new(crate::dispatch::ConsistentHashDispatcher::new(
+                    servers, 64, 2,
+                )),
+            )
+            .with_flow_recovery(),
+        );
+        for i in 0..n {
+            let cfg = ServerConfig::paper(
+                i,
+                plan.server_addr(ServerId(i)),
+                plan.lb_addr(),
+                PolicyConfig::Static { threshold: 4 },
+            );
+            net.add_node(ServerNode::new(cfg, directory.clone()));
+        }
+
+        // Establish one connection.
+        net.add_node(SynSource { lb, port: 50_000 });
+        net.run();
+        assert_eq!(
+            net.node_as::<LoadBalancerNode>(lb)
+                .unwrap()
+                .flow_table_len(),
+            1
+        );
+
+        // Fail over: the standby starts with an empty flow table.
+        let lost = net
+            .control::<LoadBalancerNode, _>(lb, |l, ctx| l.fail_over(ctx.now()))
+            .unwrap();
+        assert_eq!(lost, 1);
+        assert_eq!(
+            net.node_as::<LoadBalancerNode>(lb)
+                .unwrap()
+                .flow_table_len(),
+            0
+        );
+
+        // The request packet of the established flow arrives at the fresh
+        // table: it is re-hunted, the owner adverts itself, the table is
+        // reconstructed, and the request is served.
+        net.add_node(RequestSource { lb, port: 50_000 });
+        net.run();
+        let lb_node: LoadBalancerNode = net.take_node(lb).unwrap();
+        assert_eq!(lb_node.stats().failovers, 1);
+        assert_eq!(lb_node.stats().rehunts, 1);
+        assert_eq!(lb_node.stats().missing_flow, 0);
+        assert_eq!(lb_node.flow_table_len(), 1, "table reconstructed in-band");
+        assert!(lb_node.reconstruction_latency_seconds().unwrap() >= 0.0);
+
+        // The client received the SYN-ACK, the forwarded ownership advert
+        // and the served response; exactly one candidate advertised.
+        let sink: Sink = net.take_node(NodeId(0)).unwrap();
+        assert!(sink
+            .received
+            .iter()
+            .any(|p| p.tcp.flags.contains(TcpFlags::PSH)));
+        let mut adverts = 0;
+        for i in 0..4usize {
+            let s: ServerNode = net.take_node(NodeId(2 + i)).unwrap();
+            adverts += s.stats().ownership_adverts;
+            assert_eq!(s.stats().orphaned, 0);
+        }
+        assert_eq!(adverts, 1);
+    }
+
+    #[test]
+    fn multiple_vips_share_the_cluster() {
+        let plan = AddressPlan::default();
+        let (mut net, _client, lb, _servers) =
+            build_cluster(4, PolicyConfig::Static { threshold: 4 }, 2);
+        // Advertise a second VIP on the same load balancer.
+        let lb_vips = vec![plan.vip(0), plan.vip(1)];
+        net.control::<LoadBalancerNode, _>(lb, move |l, _| {
+            l.vips = lb_vips;
+        })
+        .unwrap();
+
+        #[derive(Debug)]
+        struct SecondVipSyn {
+            lb: NodeId,
+        }
+        impl Node<Packet> for SecondVipSyn {
+            fn on_start(&mut self, ctx: &mut Context<'_, Packet>) {
+                let plan = AddressPlan::default();
+                let syn = PacketBuilder::tcp(plan.client_addr(0), plan.vip(1))
+                    .ports(44_000, 80)
+                    .flags(TcpFlags::SYN)
+                    .build();
+                ctx.send(self.lb, syn);
+            }
+            fn on_message(&mut self, _p: Packet, _f: NodeId, _c: &mut Context<'_, Packet>) {}
+        }
+        net.add_node(SynSource { lb, port: 43_500 });
+        net.add_node(SecondVipSyn { lb });
+        net.run();
+        let lb_node: LoadBalancerNode = net.take_node(lb).unwrap();
+        assert_eq!(lb_node.stats().new_flows, 2);
+        assert_eq!(lb_node.stats().flows_learned, 2);
+        assert_eq!(lb_node.vips().len(), 2);
+        // Both flows (one per VIP) are live in the same flow table.
+        assert_eq!(lb_node.flow_table_len(), 2);
     }
 
     #[test]

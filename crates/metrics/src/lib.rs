@@ -13,6 +13,8 @@
 //!   instantaneous server loads of Figure 4,
 //! * [`TimeBinner`] — the 10-minute binning of the Wikipedia replay
 //!   (Figures 6 and 7),
+//! * [`DisruptionCollector`] — per-phase disruption statistics (broken /
+//!   rerouted connections, fairness) for dynamic-cluster scenario runs,
 //! * [`Histogram`] — fixed-bucket latency histograms used by the benches,
 //! * [`ResponseTimeCollector`] — the per-query sample store from which all
 //!   of the above are derived.
@@ -26,6 +28,7 @@
 
 pub mod cdf;
 pub mod collector;
+pub mod disruption;
 pub mod ewma;
 pub mod fairness;
 pub mod histogram;
@@ -34,6 +37,7 @@ pub mod timebin;
 
 pub use cdf::Cdf;
 pub use collector::{RequestClass, RequestOutcome, RequestRecord, ResponseTimeCollector};
+pub use disruption::{DisruptionCollector, PhaseStats};
 pub use ewma::Ewma;
 pub use fairness::jain_fairness;
 pub use histogram::Histogram;

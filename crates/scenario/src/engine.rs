@@ -1,0 +1,339 @@
+//! The scenario engine: wires the cluster, replays the workload, and
+//! injects the scheduled control events into the running simulation.
+//!
+//! The engine runs the network in **segments**: it advances the simulation
+//! up to the next control event's timestamp (delivering every packet event
+//! at or before it), applies the control action through the simulator's
+//! control-delivery primitives ([`srlb_sim::Network::control`],
+//! `take_node`/`insert_node`), and continues.  Node ids and addresses for
+//! the *whole* potential cluster (`max_servers`) are laid out up front, so
+//! adding a backend later never perturbs the id ↔ address mapping and runs
+//! stay deterministic.
+
+use std::fmt;
+use std::net::Ipv6Addr;
+
+use srlb_core::client::{client_addr_count, ClientNode};
+use srlb_core::lb_node::{LbStats, LoadBalancerNode};
+use srlb_metrics::{DisruptionCollector, PhaseStats, RequestOutcome, ResponseTimeCollector};
+use srlb_net::{AddressPlan, Packet, ServerId};
+use srlb_server::{Directory, ServerConfig, ServerNode, ServerStats};
+use srlb_sim::{Network, NodeId, RunLimit, SimDuration, SimTime, Topology};
+use srlb_workload::{PoissonWorkload, ServiceTime};
+
+use crate::schedule::{Scenario, ScenarioEvent};
+
+/// Error returned for an inconsistent [`Scenario`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScenarioError(String);
+
+impl fmt::Display for ScenarioError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid scenario: {}", self.0)
+    }
+}
+
+impl std::error::Error for ScenarioError {}
+
+/// Everything measured during one scenario run.
+#[derive(Debug, Clone)]
+pub struct ScenarioOutcome {
+    /// Name of the scenario that produced this outcome.
+    pub scenario_name: String,
+    /// The dispatcher's report name (over the initial backend set).
+    pub dispatcher_name: String,
+    /// Per-request records collected by the client.
+    pub collector: ResponseTimeCollector,
+    /// Load-balancer counters.
+    pub lb_stats: LbStats,
+    /// Per-server counters indexed by server, merged across remove/re-add
+    /// incarnations.
+    pub server_stats: Vec<ServerStats>,
+    /// Per-phase disruption statistics (phases delimited by the events).
+    pub phases: Vec<PhaseStats>,
+    /// Seconds between the fail-over and the last re-hunt, if any.
+    pub reconstruction_latency_s: Option<f64>,
+    /// Simulated duration of the run in seconds.
+    pub duration_seconds: f64,
+    /// Total simulation events processed.
+    pub events_processed: u64,
+}
+
+impl ScenarioOutcome {
+    /// Connections reset by a failed in-band reconstruction (no candidate
+    /// owned the flow).
+    pub fn orphaned(&self) -> u64 {
+        self.server_stats.iter().map(|s| s.orphaned).sum()
+    }
+
+    /// Ownership adverts sent by servers during reconstruction.
+    pub fn ownership_adverts(&self) -> u64 {
+        self.server_stats.iter().map(|s| s.ownership_adverts).sum()
+    }
+
+    /// Requests that never finished (e.g. their connection was established
+    /// on a backend that was removed, or a packet was black-holed).
+    pub fn unfinished(&self) -> u64 {
+        self.collector
+            .records()
+            .iter()
+            .filter(|r| r.outcome == RequestOutcome::Unfinished)
+            .count() as u64
+    }
+
+    /// Established connections broken by the scenario's control events:
+    /// reconstruction orphans plus never-finished requests.  Load-induced
+    /// backlog resets are *not* counted here (they also occur in a static
+    /// cluster).
+    pub fn broken_established(&self) -> u64 {
+        self.orphaned() + self.unfinished()
+    }
+
+    /// Condenses the outcome into the serialisable report.
+    pub fn report(&self) -> ScenarioReport {
+        ScenarioReport {
+            name: self.scenario_name.clone(),
+            dispatcher: self.dispatcher_name.clone(),
+            sent: self.collector.len() as u64,
+            completed: self.collector.completed_count() as u64,
+            resets: self.collector.reset_count() as u64,
+            unfinished: self.unfinished(),
+            orphaned: self.orphaned(),
+            broken_established: self.broken_established(),
+            rehunts: self.lb_stats.rehunts,
+            ownership_adverts: self.ownership_adverts(),
+            failovers: self.lb_stats.failovers,
+            flows_learned: self.lb_stats.flows_learned,
+            reconstruction_ms: self.reconstruction_latency_s.map(|s| s * 1e3),
+            duration_seconds: self.duration_seconds,
+            phases: self.phases.clone(),
+        }
+    }
+}
+
+/// Machine-readable summary of a scenario run (one entry of
+/// `BENCH_scenarios.json`).
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct ScenarioReport {
+    /// Scenario name.
+    pub name: String,
+    /// Dispatcher report name.
+    pub dispatcher: String,
+    /// Requests sent.
+    pub sent: u64,
+    /// Requests completed.
+    pub completed: u64,
+    /// Requests whose connection was reset.
+    pub resets: u64,
+    /// Requests that never finished.
+    pub unfinished: u64,
+    /// Connections reset because no candidate owned the flow after a
+    /// fail-over.
+    pub orphaned: u64,
+    /// Established connections broken by control events
+    /// (`orphaned + unfinished`).
+    pub broken_established: u64,
+    /// Flow-table misses recovered by re-hunting.
+    pub rehunts: u64,
+    /// Ownership adverts sent by servers.
+    pub ownership_adverts: u64,
+    /// Load-balancer fail-overs applied.
+    pub failovers: u64,
+    /// Flow-table entries learned in-band (SYN-ACKs + adverts).
+    pub flows_learned: u64,
+    /// Milliseconds from fail-over to the last re-hunt, if any.
+    pub reconstruction_ms: Option<f64>,
+    /// Simulated duration in seconds.
+    pub duration_seconds: f64,
+    /// Per-phase disruption statistics.
+    pub phases: Vec<PhaseStats>,
+}
+
+/// Runs `scenario` to completion and collects the outcome.
+///
+/// # Errors
+///
+/// Returns [`ScenarioError`] if [`Scenario::validate`] rejects the
+/// scenario.
+pub fn run(scenario: &Scenario) -> Result<ScenarioOutcome, ScenarioError> {
+    scenario.validate().map_err(ScenarioError)?;
+    let cluster = &scenario.cluster;
+    let plan = AddressPlan::default();
+
+    let requests = PoissonWorkload::new(
+        scenario.workload.rate_qps,
+        scenario.workload.queries,
+        ServiceTime::Exponential {
+            mean_ms: scenario.workload.mean_service_ms,
+        },
+    )
+    .generate(scenario.seed);
+
+    // Fixed id ↔ address layout over the whole potential cluster.
+    let client_id = NodeId(0);
+    let lb_id = NodeId(1);
+    let server_node_id = |i: usize| NodeId(2 + i);
+    let mut directory = Directory::new();
+    for a in 0..client_addr_count(requests.len()) {
+        directory.register(plan.client_addr(a), client_id);
+    }
+    directory.register(plan.lb_addr(), lb_id);
+    let vips: Vec<Ipv6Addr> = (0..cluster.vips).map(|v| plan.vip(v)).collect();
+    for &vip in &vips {
+        directory.register(vip, lb_id);
+    }
+    for i in 0..cluster.max_servers {
+        directory.register(plan.server_addr(ServerId(i as u32)), server_node_id(i));
+    }
+
+    let mut network: Network<Packet> = Network::new(
+        scenario.seed,
+        Topology::uniform(SimDuration::from_micros(cluster.link_latency_us)),
+    );
+
+    let client = ClientNode::new(plan.clone(), vips[0], directory.clone(), requests.clone())
+        .with_vips(vips.clone())
+        .with_request_delay(SimDuration::from_millis_f64(
+            scenario.workload.request_delay_ms,
+        ));
+    let added_client = network.add_node(client);
+    debug_assert_eq!(added_client, client_id);
+
+    let mut alive: Vec<bool> = (0..cluster.max_servers)
+        .map(|i| i < cluster.initial_servers)
+        .collect();
+    let alive_addrs = |alive: &[bool]| -> Vec<Ipv6Addr> {
+        alive
+            .iter()
+            .enumerate()
+            .filter(|(_, &up)| up)
+            .map(|(i, _)| plan.server_addr(ServerId(i as u32)))
+            .collect()
+    };
+
+    let mut lb = LoadBalancerNode::new(
+        plan.lb_addr(),
+        vips[0],
+        directory.clone(),
+        cluster.dispatcher.build(alive_addrs(&alive)),
+    )
+    .with_vips(vips.clone());
+    if cluster.recover_flows {
+        lb = lb.with_flow_recovery();
+    }
+    let dispatcher_name = lb.dispatcher_name();
+    let added_lb = network.add_node(lb);
+    debug_assert_eq!(added_lb, lb_id);
+
+    let server_config = |i: usize| -> ServerConfig {
+        let (workers, cores) = cluster.capacity_of(i as u32);
+        ServerConfig {
+            server_index: i as u32,
+            addr: plan.server_addr(ServerId(i as u32)),
+            lb_addr: plan.lb_addr(),
+            workers,
+            cores,
+            backlog: cluster.backlog,
+            policy: cluster.policy,
+            record_load: false,
+        }
+    };
+    for (i, up) in alive.iter().enumerate() {
+        if *up {
+            let added = network.add_node(ServerNode::new(server_config(i), directory.clone()));
+            debug_assert_eq!(added, server_node_id(i));
+        } else {
+            let reserved = network.reserve_node();
+            debug_assert_eq!(reserved, server_node_id(i));
+        }
+    }
+
+    // Segment the run at each control event's timestamp.
+    let mut merged_stats = vec![ServerStats::default(); cluster.max_servers];
+    let mut boundaries: Vec<(String, f64)> = Vec::with_capacity(scenario.events.len());
+    for timed in &scenario.events {
+        network.run_with_limit(RunLimit::until(SimTime::from_secs_f64(timed.at_seconds)));
+        boundaries.push((timed.event.label(), timed.at_seconds));
+        match timed.event {
+            ScenarioEvent::AddServer { server } => {
+                let i = server as usize;
+                network.insert_node(
+                    server_node_id(i),
+                    ServerNode::new(server_config(i), directory.clone()),
+                );
+                alive[i] = true;
+                let addrs = alive_addrs(&alive);
+                network
+                    .node_as_mut::<LoadBalancerNode>(lb_id)
+                    .expect("load balancer present")
+                    .rebuild_backends(addrs);
+            }
+            ScenarioEvent::RemoveServer { server } => {
+                let i = server as usize;
+                let node: ServerNode = network
+                    .take_node(server_node_id(i))
+                    .expect("validated schedule removes only live servers");
+                merged_stats[i].absorb(node.stats());
+                alive[i] = false;
+                let addrs = alive_addrs(&alive);
+                network
+                    .node_as_mut::<LoadBalancerNode>(lb_id)
+                    .expect("load balancer present")
+                    .rebuild_backends(addrs);
+            }
+            ScenarioEvent::LbFailover => {
+                network
+                    .control::<LoadBalancerNode, _>(lb_id, |lb, ctx| lb.fail_over(ctx.now()))
+                    .expect("load balancer present");
+            }
+            ScenarioEvent::SetCapacity {
+                server,
+                workers,
+                cores,
+            } => {
+                network
+                    .control::<ServerNode, _>(server_node_id(server as usize), |s, ctx| {
+                        s.set_capacity(workers, cores, ctx)
+                    })
+                    .expect("validated schedule resizes only live servers");
+            }
+        }
+    }
+
+    // Drain the remaining events (same generous safety margin as the static
+    // testbed, plus headroom for re-hunts and adverts).
+    let limit = RunLimit::max_events((requests.len() as u64).saturating_mul(96) + 10_000);
+    let stats = network.run_with_limit(limit);
+
+    // Harvest.
+    for (i, up) in alive.iter().enumerate() {
+        if *up {
+            let node: ServerNode = network
+                .take_node(server_node_id(i))
+                .expect("live server present after run");
+            merged_stats[i].absorb(node.stats());
+        }
+    }
+    let lb_node: LoadBalancerNode = network
+        .take_node(lb_id)
+        .expect("load balancer present after run");
+    let client_node: ClientNode = network
+        .take_node(client_id)
+        .expect("client present after run");
+    let collector = client_node.into_collector();
+
+    let phases =
+        DisruptionCollector::new(boundaries, cluster.max_servers).stats(collector.records());
+
+    Ok(ScenarioOutcome {
+        scenario_name: scenario.name.clone(),
+        dispatcher_name,
+        reconstruction_latency_s: lb_node.reconstruction_latency_seconds(),
+        lb_stats: lb_node.stats(),
+        server_stats: merged_stats,
+        phases,
+        collector,
+        duration_seconds: stats.last_event_time.as_secs_f64(),
+        events_processed: stats.events_processed,
+    })
+}

@@ -1,0 +1,50 @@
+//! # srlb-scenario — dynamic-cluster scenario engine
+//!
+//! The paper's evaluation (§VII) runs on a *static* 12-server cluster, but
+//! SRLB's core mechanisms — per-connection consistency from in-band SYN-ACK
+//! learning and hash-based candidate selection — only pay off when the
+//! cluster *changes*.  This crate makes those dynamics first-class:
+//!
+//! * [`Scenario`] / [`ScenarioEvent`] — a declarative, serde-serialisable
+//!   schedule of timed control events (server add/remove under load,
+//!   load-balancer failover, capacity re-provisioning) over a cluster
+//!   specification ([`ClusterSpec`]) that supports heterogeneous capacities
+//!   and multiple VIPs sharing one backend pool,
+//! * canned presets — [`Scenario::lb_failover`],
+//!   [`Scenario::rolling_upgrade`], [`Scenario::scale_out_2x`],
+//! * [`run`] — the engine: it advances the simulation in segments between
+//!   event timestamps and applies each control action through the
+//!   simulator's control-delivery primitives, keeping runs bit-for-bit
+//!   deterministic,
+//! * [`ScenarioOutcome`] / [`ScenarioReport`] — disruption metrics: broken
+//!   and re-routed connections, flow-table reconstruction latency, and
+//!   per-phase fairness ([`srlb_metrics::DisruptionCollector`]).
+//!
+//! ## Example
+//!
+//! ```
+//! use srlb_scenario::{run, Scenario};
+//! use srlb_core::dispatch::DispatcherConfig;
+//!
+//! // A small LB-failover run with consistent-hash candidate selection.
+//! let scenario = Scenario::lb_failover(
+//!     DispatcherConfig::ConsistentHash { vnodes: 64, k: 2 },
+//!     200,
+//! );
+//! let outcome = run(&scenario).expect("scenario is valid");
+//! assert_eq!(outcome.lb_stats.failovers, 1);
+//! // In-band SYN-ACK reconstruction: no established connection is lost.
+//! assert_eq!(outcome.broken_established(), 0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod engine;
+pub mod schedule;
+
+pub use engine::{run, ScenarioError, ScenarioOutcome, ScenarioReport};
+pub use schedule::{
+    CapacityOverride, ClusterSpec, Scenario, ScenarioEvent, TimedEvent, WorkloadSpec,
+};

@@ -1,0 +1,471 @@
+//! The declarative scenario schema: a cluster specification, a workload,
+//! and a time-ordered schedule of control events.
+//!
+//! A [`Scenario`] is plain data (serde-serialisable), so dynamic-cluster
+//! experiments can be described in JSON, checked into a repository, and
+//! replayed bit-for-bit.  The [presets](Scenario::lb_failover) cover the
+//! cases the paper's static testbed leaves out: load-balancer failover,
+//! rolling upgrades, scale-out under load.
+
+use serde::{Deserialize, Serialize};
+
+use srlb_core::dispatch::DispatcherConfig;
+use srlb_server::PolicyConfig;
+
+/// A control action injected into a running experiment.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum ScenarioEvent {
+    /// Brings up the backend with the given index (fresh state), which must
+    /// currently be down, and rebuilds the dispatcher over the grown set.
+    AddServer {
+        /// Index of the server (must be `< max_servers`).
+        server: u32,
+    },
+    /// Removes the backend with the given index abruptly (its established
+    /// connections are lost) and rebuilds the dispatcher over the shrunk
+    /// set.
+    RemoveServer {
+        /// Index of the server to remove.
+        server: u32,
+    },
+    /// Fails the load balancer over to a cold standby at the same address:
+    /// the flow table is lost and must be reconstructed in-band.
+    LbFailover,
+    /// Re-provisions a live backend's capacity (workers and cores) without
+    /// interrupting running requests.
+    SetCapacity {
+        /// Index of the server to re-provision.
+        server: u32,
+        /// New worker-thread count.
+        workers: usize,
+        /// New CPU core count.
+        cores: usize,
+    },
+}
+
+impl ScenarioEvent {
+    /// A short label naming the event (used for phase labels in reports).
+    pub fn label(&self) -> String {
+        match self {
+            ScenarioEvent::AddServer { server } => format!("add-server-{server}"),
+            ScenarioEvent::RemoveServer { server } => format!("remove-server-{server}"),
+            ScenarioEvent::LbFailover => "lb-failover".to_string(),
+            ScenarioEvent::SetCapacity {
+                server,
+                workers,
+                cores,
+            } => format!("set-capacity-{server}-{workers}w{cores}c"),
+        }
+    }
+}
+
+/// A [`ScenarioEvent`] scheduled at an absolute simulated time.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TimedEvent {
+    /// When the event fires, in seconds since the start of the run.  All
+    /// packet events at or before this instant are delivered first.
+    pub at_seconds: f64,
+    /// The control action.
+    pub event: ScenarioEvent,
+}
+
+/// Initial capacity override for one backend (heterogeneous clusters).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CapacityOverride {
+    /// Index of the server.
+    pub server: u32,
+    /// Worker threads (instead of the cluster-wide default).
+    pub workers: usize,
+    /// CPU cores (instead of the cluster-wide default).
+    pub cores: usize,
+}
+
+/// Static description of the cluster a scenario runs on.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClusterSpec {
+    /// Backends alive when the run starts.
+    pub initial_servers: usize,
+    /// Upper bound on the backend count (fixes the address/node-id layout;
+    /// `AddServer` events may only name indices below this).
+    pub max_servers: usize,
+    /// Default worker threads per backend.
+    pub workers: usize,
+    /// Default CPU cores per backend.
+    pub cores: usize,
+    /// TCP backlog per backend.
+    pub backlog: usize,
+    /// Per-backend initial capacity overrides (heterogeneous clusters).
+    pub capacity_overrides: Vec<CapacityOverride>,
+    /// Connection-acceptance policy run on every backend.
+    pub policy: PolicyConfig,
+    /// Candidate-selection policy at the load balancer.
+    pub dispatcher: DispatcherConfig,
+    /// Number of VIPs sharing the cluster (requests are assigned round-robin
+    /// by request id).
+    pub vips: u32,
+    /// One-way link latency between any two nodes, in microseconds.
+    pub link_latency_us: u64,
+    /// Whether the load balancer reconstructs lost flow-table entries
+    /// in-band (re-hunt on miss + server ownership adverts).
+    pub recover_flows: bool,
+}
+
+impl Default for ClusterSpec {
+    fn default() -> Self {
+        ClusterSpec {
+            initial_servers: 8,
+            max_servers: 8,
+            workers: 16,
+            cores: 2,
+            backlog: 64,
+            capacity_overrides: Vec::new(),
+            policy: PolicyConfig::Static { threshold: 4 },
+            dispatcher: DispatcherConfig::ConsistentHash { vnodes: 64, k: 2 },
+            vips: 1,
+            link_latency_us: 50,
+            recover_flows: true,
+        }
+    }
+}
+
+impl ClusterSpec {
+    /// The initial `(workers, cores)` of server `index`, honouring
+    /// overrides.
+    pub fn capacity_of(&self, index: u32) -> (usize, usize) {
+        self.capacity_overrides
+            .iter()
+            .find(|o| o.server == index)
+            .map_or((self.workers, self.cores), |o| (o.workers, o.cores))
+    }
+}
+
+/// The open-loop Poisson workload a scenario drives through the cluster.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct WorkloadSpec {
+    /// Total number of queries.
+    pub queries: usize,
+    /// Arrival rate in queries per second.
+    pub rate_qps: f64,
+    /// Mean (exponential) service time in milliseconds.
+    pub mean_service_ms: f64,
+    /// Client think time between the handshake completing and the HTTP
+    /// request, in milliseconds.  A non-zero value keeps connections
+    /// *established but quiescent* for a realistic window — the state that
+    /// a load-balancer failover actually disrupts (their next packet hits
+    /// the rebuilt flow table).
+    pub request_delay_ms: f64,
+}
+
+impl Default for WorkloadSpec {
+    fn default() -> Self {
+        WorkloadSpec {
+            queries: 800,
+            rate_qps: 96.0,
+            mean_service_ms: 100.0,
+            request_delay_ms: 200.0,
+        }
+    }
+}
+
+impl WorkloadSpec {
+    /// Approximate time at which the last request is sent (seconds).
+    pub fn send_window_seconds(&self) -> f64 {
+        self.queries as f64 / self.rate_qps
+    }
+}
+
+/// A complete, declarative scenario: cluster + workload + event schedule.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Scenario {
+    /// Name used in reports and file names.
+    pub name: String,
+    /// Random seed (workload generation and candidate selection).
+    pub seed: u64,
+    /// The cluster description.
+    pub cluster: ClusterSpec,
+    /// The workload.
+    pub workload: WorkloadSpec,
+    /// Control events, sorted by time.
+    pub events: Vec<TimedEvent>,
+}
+
+impl Scenario {
+    /// Creates a scenario with the default cluster and workload and an empty
+    /// schedule.
+    pub fn new(name: impl Into<String>) -> Self {
+        Scenario {
+            name: name.into(),
+            seed: 1,
+            cluster: ClusterSpec::default(),
+            workload: WorkloadSpec::default(),
+            events: Vec::new(),
+        }
+    }
+
+    /// Overrides the seed (builder style).
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Overrides the cluster spec (builder style).
+    pub fn with_cluster(mut self, cluster: ClusterSpec) -> Self {
+        self.cluster = cluster;
+        self
+    }
+
+    /// Overrides the dispatcher (builder style).
+    pub fn with_dispatcher(mut self, dispatcher: DispatcherConfig) -> Self {
+        self.cluster.dispatcher = dispatcher;
+        self
+    }
+
+    /// Overrides the workload (builder style).
+    pub fn with_workload(mut self, workload: WorkloadSpec) -> Self {
+        self.workload = workload;
+        self
+    }
+
+    /// Overrides the query count, keeping the configured rate (builder
+    /// style).
+    pub fn with_queries(mut self, queries: usize) -> Self {
+        self.workload.queries = queries;
+        self
+    }
+
+    /// Appends a control event at `at_seconds` (builder style).  Events must
+    /// be appended in chronological order.
+    pub fn at(mut self, at_seconds: f64, event: ScenarioEvent) -> Self {
+        self.events.push(TimedEvent { at_seconds, event });
+        self
+    }
+
+    /// Checks the scenario for consistency.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message describing the first problem found: empty or
+    /// oversized cluster, unsorted or out-of-range events, an `AddServer`
+    /// for a live index, a `RemoveServer` for a dead one, or a schedule that
+    /// leaves the cluster empty.
+    pub fn validate(&self) -> Result<(), String> {
+        let c = &self.cluster;
+        if c.initial_servers == 0 {
+            return Err("at least one initial server is required".into());
+        }
+        if c.max_servers < c.initial_servers {
+            return Err(format!(
+                "max_servers {} is below initial_servers {}",
+                c.max_servers, c.initial_servers
+            ));
+        }
+        if c.workers == 0 || c.cores == 0 || c.backlog == 0 {
+            return Err("workers, cores and backlog must all be at least 1".into());
+        }
+        if c.vips == 0 {
+            return Err("at least one VIP is required".into());
+        }
+        if c.dispatcher.fanout() == 0 {
+            return Err("dispatcher fan-out must be at least 1".into());
+        }
+        if c.dispatcher.fanout() > c.initial_servers {
+            return Err(format!(
+                "dispatcher fan-out {} exceeds the initial server count {}",
+                c.dispatcher.fanout(),
+                c.initial_servers
+            ));
+        }
+        if c.recover_flows && c.dispatcher.fanout() > srlb_core::lb_node::MAX_RECOVERY_CANDIDATES {
+            return Err(format!(
+                "flow recovery supports at most {} candidates per flow (re-hunt routes also \
+                 carry the load-balancer marker and the VIP)",
+                srlb_core::lb_node::MAX_RECOVERY_CANDIDATES
+            ));
+        }
+        if self.workload.queries == 0 || self.workload.rate_qps <= 0.0 {
+            return Err("the workload needs at least one query at a positive rate".into());
+        }
+        let mut alive: Vec<bool> = (0..c.max_servers).map(|i| i < c.initial_servers).collect();
+        let mut last_at = 0.0f64;
+        for timed in &self.events {
+            if !timed.at_seconds.is_finite() || timed.at_seconds < 0.0 {
+                return Err(format!("event time {} is invalid", timed.at_seconds));
+            }
+            if timed.at_seconds < last_at {
+                return Err("events must be sorted by time".into());
+            }
+            last_at = timed.at_seconds;
+            match timed.event {
+                ScenarioEvent::AddServer { server } => {
+                    let i = server as usize;
+                    if i >= c.max_servers {
+                        return Err(format!("add-server index {server} is out of range"));
+                    }
+                    if alive[i] {
+                        return Err(format!("server {server} is already up"));
+                    }
+                    alive[i] = true;
+                }
+                ScenarioEvent::RemoveServer { server } => {
+                    let i = server as usize;
+                    if i >= c.max_servers || !alive[i] {
+                        return Err(format!("server {server} is not up"));
+                    }
+                    alive[i] = false;
+                    if !alive.iter().any(|&a| a) {
+                        return Err("the schedule leaves the cluster empty".into());
+                    }
+                }
+                ScenarioEvent::LbFailover => {}
+                ScenarioEvent::SetCapacity {
+                    server,
+                    workers,
+                    cores,
+                } => {
+                    let i = server as usize;
+                    if i >= c.max_servers || !alive[i] {
+                        return Err(format!("server {server} is not up"));
+                    }
+                    if workers == 0 || cores == 0 {
+                        return Err("capacity must stay at least 1 worker / 1 core".into());
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    // ---- Canned presets ---------------------------------------------------
+
+    /// Load-balancer failover at the midpoint of the send window, with
+    /// in-band flow-table reconstruction enabled: established connections
+    /// must survive with a deterministic (consistent-hash / Maglev)
+    /// dispatcher.
+    pub fn lb_failover(dispatcher: DispatcherConfig, queries: usize) -> Self {
+        let scenario = Scenario::new("lb_failover")
+            .with_dispatcher(dispatcher)
+            .with_queries(queries);
+        let mid = scenario.workload.send_window_seconds() * 0.5;
+        scenario.at(mid, ScenarioEvent::LbFailover)
+    }
+
+    /// A rolling upgrade of one backend: server 0 is removed under load and
+    /// a fresh instance re-joins later.  Connections established on it while
+    /// it was up are disrupted; the dispatcher's remapping bounds limit the
+    /// impact on everything else.
+    pub fn rolling_upgrade(dispatcher: DispatcherConfig, queries: usize) -> Self {
+        let scenario = Scenario::new("rolling_upgrade")
+            .with_dispatcher(dispatcher)
+            .with_queries(queries);
+        let window = scenario.workload.send_window_seconds();
+        scenario
+            .at(window * 0.35, ScenarioEvent::RemoveServer { server: 0 })
+            .at(window * 0.70, ScenarioEvent::AddServer { server: 0 })
+    }
+
+    /// Doubles the cluster under load: 4 initial backends, 4 more joining at
+    /// the midpoint of the send window.
+    pub fn scale_out_2x(dispatcher: DispatcherConfig, queries: usize) -> Self {
+        let mut scenario = Scenario::new("scale_out_2x")
+            .with_dispatcher(dispatcher)
+            .with_queries(queries);
+        scenario.cluster.initial_servers = 4;
+        scenario.cluster.max_servers = 8;
+        let mid = scenario.workload.send_window_seconds() * 0.5;
+        for server in 4..8 {
+            scenario = scenario.at(mid, ScenarioEvent::AddServer { server });
+        }
+        scenario
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_validate() {
+        let d = DispatcherConfig::ConsistentHash { vnodes: 64, k: 2 };
+        for scenario in [
+            Scenario::lb_failover(d, 500),
+            Scenario::rolling_upgrade(d, 500),
+            Scenario::scale_out_2x(d, 500),
+        ] {
+            scenario.validate().expect("preset is valid");
+            assert!(!scenario.events.is_empty());
+        }
+    }
+
+    #[test]
+    fn serde_roundtrip_preserves_the_schedule() {
+        let scenario = Scenario::rolling_upgrade(
+            DispatcherConfig::Maglev {
+                table_size: 251,
+                k: 2,
+            },
+            300,
+        )
+        .with_seed(9);
+        let json = serde_json::to_string(&scenario).unwrap();
+        let back: Scenario = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, scenario);
+        assert_eq!(back.events.len(), 2);
+    }
+
+    #[test]
+    fn capacity_overrides_apply_per_server() {
+        let mut cluster = ClusterSpec::default();
+        cluster.capacity_overrides.push(CapacityOverride {
+            server: 2,
+            workers: 4,
+            cores: 1,
+        });
+        assert_eq!(cluster.capacity_of(2), (4, 1));
+        assert_eq!(cluster.capacity_of(0), (16, 2));
+    }
+
+    #[test]
+    fn event_labels_are_descriptive() {
+        assert_eq!(
+            ScenarioEvent::AddServer { server: 3 }.label(),
+            "add-server-3"
+        );
+        assert_eq!(ScenarioEvent::LbFailover.label(), "lb-failover");
+        assert!(ScenarioEvent::SetCapacity {
+            server: 1,
+            workers: 8,
+            cores: 4
+        }
+        .label()
+        .contains("8w4c"));
+    }
+
+    #[test]
+    fn validation_rejects_inconsistent_schedules() {
+        let d = DispatcherConfig::paper_default();
+        // Removing a server that is not up.
+        let bad = Scenario::new("x")
+            .with_dispatcher(d)
+            .at(1.0, ScenarioEvent::RemoveServer { server: 99 });
+        assert!(bad.validate().is_err());
+        // Adding a server that is already up.
+        let bad = Scenario::new("x").at(1.0, ScenarioEvent::AddServer { server: 0 });
+        assert!(bad.validate().is_err());
+        // Unsorted events.
+        let bad = Scenario::new("x")
+            .at(5.0, ScenarioEvent::LbFailover)
+            .at(1.0, ScenarioEvent::LbFailover);
+        assert!(bad.validate().is_err());
+        // Emptying the cluster.
+        let mut bad = Scenario::new("x");
+        bad.cluster.initial_servers = 1;
+        bad.cluster.max_servers = 1;
+        bad.cluster.dispatcher = DispatcherConfig::Random { k: 1 };
+        let bad = bad.at(1.0, ScenarioEvent::RemoveServer { server: 0 });
+        assert!(bad.validate().is_err());
+        // Fan-out larger than the initial cluster.
+        let mut bad = Scenario::new("x");
+        bad.cluster.initial_servers = 1;
+        assert!(bad.validate().is_err());
+    }
+}

@@ -1,0 +1,171 @@
+//! End-to-end scenario-engine tests: LB failover with in-band flow-table
+//! reconstruction, server churn, scale-out, heterogeneous capacities and
+//! multi-VIP clusters, plus determinism of the whole pipeline.
+
+use srlb_core::dispatch::DispatcherConfig;
+use srlb_scenario::{run, CapacityOverride, Scenario, ScenarioEvent};
+
+const CH: DispatcherConfig = DispatcherConfig::ConsistentHash { vnodes: 64, k: 2 };
+const MAGLEV: DispatcherConfig = DispatcherConfig::Maglev {
+    table_size: 251,
+    k: 2,
+};
+
+#[test]
+fn lb_failover_with_consistent_hash_loses_no_established_connection() {
+    let outcome = run(&Scenario::lb_failover(CH, 400).with_seed(7)).unwrap();
+    assert_eq!(outcome.lb_stats.failovers, 1);
+    assert!(outcome.lb_stats.rehunts > 0, "flows were re-hunted");
+    assert!(outcome.ownership_adverts() > 0, "owners re-announced");
+    assert_eq!(
+        outcome.broken_established(),
+        0,
+        "in-band SYN-ACK reconstruction must lose zero established connections"
+    );
+    assert_eq!(outcome.unfinished(), 0);
+    assert_eq!(
+        outcome.collector.completed_count() + outcome.collector.reset_count(),
+        400
+    );
+    let latency = outcome
+        .reconstruction_latency_s
+        .expect("reconstruction happened");
+    assert!(latency >= 0.0 && latency < outcome.duration_seconds);
+    // Re-hunts and adverts agree: every re-hunted flow found its owner.
+    assert_eq!(outcome.lb_stats.rehunts, outcome.ownership_adverts());
+}
+
+#[test]
+fn lb_failover_with_maglev_loses_no_established_connection() {
+    let outcome = run(&Scenario::lb_failover(MAGLEV, 400).with_seed(7)).unwrap();
+    assert_eq!(outcome.broken_established(), 0);
+    assert!(outcome.lb_stats.rehunts > 0);
+}
+
+#[test]
+fn lb_failover_with_random_candidates_breaks_connections() {
+    // The contrast case: random candidate lists are not reproducible, so
+    // after the flow table is wiped the owner is usually *not* in the
+    // re-hunt list and the connection must be reset.
+    let outcome =
+        run(&Scenario::lb_failover(DispatcherConfig::Random { k: 2 }, 400).with_seed(7)).unwrap();
+    assert!(outcome.lb_stats.rehunts > 0);
+    assert!(
+        outcome.orphaned() > 0,
+        "random dispatch cannot reconstruct ownership deterministically"
+    );
+}
+
+#[test]
+fn single_candidate_rehunts_are_still_recognised() {
+    // With k = 1 a re-hunt route would be shape-identical to steered
+    // traffic were it not for the load-balancer marker segment; this pins
+    // that the marker keeps ownership routing working at the degenerate
+    // fan-out.
+    let ch1 = DispatcherConfig::ConsistentHash { vnodes: 64, k: 1 };
+    let outcome = run(&Scenario::lb_failover(ch1, 400).with_seed(7)).unwrap();
+    assert!(outcome.lb_stats.rehunts > 0);
+    assert_eq!(
+        outcome.broken_established(),
+        0,
+        "k = 1 consistent hashing still finds the owner deterministically"
+    );
+    assert_eq!(outcome.lb_stats.rehunts, outcome.ownership_adverts());
+
+    // Random k = 1: the single re-hunt candidate is almost never the owner,
+    // so those connections are reset rather than silently served elsewhere.
+    let outcome =
+        run(&Scenario::lb_failover(DispatcherConfig::Random { k: 1 }, 400).with_seed(7)).unwrap();
+    assert!(outcome.lb_stats.rehunts > 0);
+    assert!(outcome.orphaned() > 0);
+}
+
+#[test]
+fn recovery_rejects_oversized_fanout() {
+    let mut scenario = Scenario::new("too_wide").with_queries(10);
+    scenario.cluster.initial_servers = 8;
+    scenario.cluster.dispatcher = DispatcherConfig::ConsistentHash { vnodes: 16, k: 7 };
+    assert!(scenario.cluster.recover_flows);
+    let err = run(&scenario).unwrap_err();
+    assert!(err.to_string().contains("at most"));
+}
+
+#[test]
+fn rolling_upgrade_disrupts_only_the_removed_server() {
+    let outcome = run(&Scenario::rolling_upgrade(CH, 600).with_seed(3)).unwrap();
+    assert_eq!(outcome.lb_stats.failovers, 0);
+    // Connections established on server 0 when it was removed are broken.
+    assert!(
+        outcome.broken_established() > 0,
+        "an abrupt removal must disrupt the connections it hosted"
+    );
+    // The cluster as a whole kept serving: the vast majority completed.
+    let sent = outcome.collector.len() as u64;
+    assert_eq!(sent, 600);
+    assert!(outcome.collector.completed_count() as u64 >= sent * 9 / 10);
+    // Server 0 served in both incarnations (before removal and after
+    // re-add).
+    assert!(outcome.server_stats[0].completed > 0);
+    // Three phases: start, remove, re-add.
+    assert_eq!(outcome.phases.len(), 3);
+    assert_eq!(outcome.phases[1].label, "remove-server-0");
+}
+
+#[test]
+fn scale_out_2x_shifts_load_onto_the_new_servers() {
+    let outcome = run(&Scenario::scale_out_2x(CH, 600).with_seed(5)).unwrap();
+    // The four late-joining servers all end up serving traffic.
+    for i in 4..8 {
+        assert!(
+            outcome.server_stats[i].completed > 0,
+            "server {i} joined mid-run and must serve requests"
+        );
+    }
+    // Scale-out itself breaks nothing: only remappings of *new* flows.
+    assert_eq!(outcome.unfinished(), 0);
+    assert_eq!(outcome.phases.len(), 5, "start + four add events");
+}
+
+#[test]
+fn heterogeneous_capacity_and_multi_vip_cluster() {
+    let mut scenario = Scenario::new("hetero_multi_vip")
+        .with_dispatcher(CH)
+        .with_queries(400)
+        .with_seed(11);
+    scenario.cluster.vips = 2;
+    // Server 1 starts tiny and is re-provisioned upwards mid-run.
+    scenario.cluster.capacity_overrides.push(CapacityOverride {
+        server: 1,
+        workers: 2,
+        cores: 1,
+    });
+    let mid = scenario.workload.send_window_seconds() * 0.5;
+    let scenario = scenario.at(
+        mid,
+        ScenarioEvent::SetCapacity {
+            server: 1,
+            workers: 16,
+            cores: 2,
+        },
+    );
+    let outcome = run(&scenario).unwrap();
+    assert_eq!(outcome.collector.len(), 400);
+    // Both VIPs are served through the same cluster and flow table.
+    assert_eq!(outcome.lb_stats.new_flows, 400);
+    assert!(outcome.collector.completed_count() > 350);
+    assert_eq!(outcome.broken_established(), 0);
+    assert_eq!(outcome.phases.len(), 2);
+    assert!(outcome.phases[1].label.starts_with("set-capacity-1"));
+}
+
+#[test]
+fn scenario_runs_are_deterministic() {
+    let scenario = Scenario::rolling_upgrade(MAGLEV, 300).with_seed(13);
+    let a = run(&scenario).unwrap().report();
+    let b = run(&scenario).unwrap().report();
+    assert_eq!(a, b);
+    let json_a = serde_json::to_string(&a).unwrap();
+    let json_b = serde_json::to_string(&b).unwrap();
+    assert_eq!(json_a, json_b);
+    assert!(json_a.contains("\"rolling_upgrade\""));
+}

@@ -43,6 +43,20 @@ impl ProcessorSharingCpu {
         }
     }
 
+    /// Changes the number of cores at runtime (capacity re-provisioning in
+    /// dynamic-cluster scenarios).  Work already performed is preserved:
+    /// running jobs are advanced to `now` at the old rate before the new
+    /// core count takes effect.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cores` is zero.
+    pub fn set_cores(&mut self, cores: usize, now: SimTime) {
+        assert!(cores > 0, "at least one core is required");
+        self.progress_to(now);
+        self.cores = cores as f64;
+    }
+
     /// Number of jobs currently running.
     pub fn job_count(&self) -> usize {
         self.remaining.len()
@@ -236,6 +250,25 @@ mod tests {
                 "job {id} completed at {at}, expected {exp_at}"
             );
         }
+    }
+
+    #[test]
+    fn set_cores_preserves_progress() {
+        let mut cpu = ProcessorSharingCpu::new(1);
+        // Two 100 ms jobs share one core; after 100 ms each has 50 ms left.
+        cpu.add_job(0, SimDuration::from_millis(100), t(0));
+        cpu.add_job(1, SimDuration::from_millis(100), t(0));
+        cpu.set_cores(2, t(100));
+        // With two cores both now run at full speed: done 50 ms later.
+        assert_eq!(cpu.rate(), 1.0);
+        assert_eq!(cpu.next_completion(t(100)), Some(t(150)));
+        assert_eq!(cpu.take_completed(t(150)), vec![0, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one core")]
+    fn set_cores_to_zero_panics() {
+        ProcessorSharingCpu::new(1).set_cores(0, t(0));
     }
 
     #[test]

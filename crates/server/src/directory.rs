@@ -33,6 +33,19 @@ impl Directory {
         self.entries.get(&addr).copied()
     }
 
+    /// Removes the registration for `addr`, returning the node that hosted
+    /// it.
+    ///
+    /// The directory is **cloned** into every node at construction, so this
+    /// only affects the instance it is called on — use it while *composing*
+    /// a directory, before distribution.  To black-hole a live address
+    /// mid-run, remove the node from the network instead (packets to an
+    /// empty node slot are dropped and counted), which is what the scenario
+    /// engine does for server removal.
+    pub fn unregister(&mut self, addr: Ipv6Addr) -> Option<NodeId> {
+        self.entries.remove(&addr)
+    }
+
     /// Number of registered addresses.
     pub fn len(&self) -> usize {
         self.entries.len()
@@ -62,6 +75,16 @@ mod tests {
         assert_eq!(dir.lookup(addr(2)), Some(NodeId(11)));
         assert_eq!(dir.lookup(addr(3)), None);
         assert_eq!(dir.len(), 2);
+    }
+
+    #[test]
+    fn unregister_removes_the_entry() {
+        let mut dir = Directory::new();
+        dir.register(addr(1), NodeId(10));
+        assert_eq!(dir.unregister(addr(1)), Some(NodeId(10)));
+        assert_eq!(dir.unregister(addr(1)), None);
+        assert_eq!(dir.lookup(addr(1)), None);
+        assert!(dir.is_empty());
     }
 
     #[test]

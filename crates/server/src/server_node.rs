@@ -101,6 +101,31 @@ pub struct ServerStats {
     pub resets: u64,
     /// Requests completed (responses sent).
     pub completed: u64,
+    /// Ownership adverts sent to the load balancer for re-hunted packets of
+    /// flows this server owns (in-band flow-table reconstruction after a
+    /// load-balancer failover).
+    pub ownership_adverts: u64,
+    /// Re-hunted packets that reached this server as the last candidate
+    /// without any candidate owning the flow: the connection is
+    /// unrecoverable and was reset.
+    pub orphaned: u64,
+}
+
+impl ServerStats {
+    /// Adds another stats snapshot field-wise (used by scenario runs to
+    /// merge the counters of successive incarnations of the same server
+    /// index across a remove/re-add cycle).
+    pub fn absorb(&mut self, other: ServerStats) {
+        self.accepted_by_policy += other.accepted_by_policy;
+        self.passed_on += other.passed_on;
+        self.forced_accepts += other.forced_accepts;
+        self.served_immediately += other.served_immediately;
+        self.queued += other.queued;
+        self.resets += other.resets;
+        self.completed += other.completed;
+        self.ownership_adverts += other.ownership_adverts;
+        self.orphaned += other.orphaned;
+    }
 }
 
 /// A request waiting in the backlog for a worker thread.
@@ -144,6 +169,28 @@ pub fn decode_request_payload(payload: &[u8]) -> Option<(u64, SimDuration)> {
     let id = u64::from_be_bytes(payload[0..8].try_into().ok()?);
     let nanos = u64::from_be_bytes(payload[8..16].try_into().ok()?);
     Some((id, SimDuration::from_nanos(nanos)))
+}
+
+/// Encodes a response payload: the request id plus the index of the server
+/// that served it, so the measurement client can attribute completions to
+/// servers (per-phase fairness in dynamic-cluster scenarios).
+pub fn encode_response_payload(request_id: u64, server_index: u32) -> Bytes {
+    let mut buf = Vec::with_capacity(12);
+    buf.extend_from_slice(&request_id.to_be_bytes());
+    buf.extend_from_slice(&server_index.to_be_bytes());
+    Bytes::from(buf)
+}
+
+/// Decodes a payload produced by [`encode_response_payload`].
+///
+/// Returns `None` if the payload is too short.
+pub fn decode_response_payload(payload: &[u8]) -> Option<(u64, u32)> {
+    if payload.len() < 12 {
+        return None;
+    }
+    let id = u64::from_be_bytes(payload[0..8].try_into().ok()?);
+    let server = u32::from_be_bytes(payload[8..12].try_into().ok()?);
+    Some((id, server))
 }
 
 /// One backend server of the simulated cluster.
@@ -226,6 +273,30 @@ impl ServerNode {
     /// Number of requests currently waiting in the backlog.
     pub fn backlog_depth(&self) -> usize {
         self.backlog.len()
+    }
+
+    /// Number of connections currently established on this server.
+    pub fn connection_count(&self) -> usize {
+        self.connections.len()
+    }
+
+    /// Re-provisions the server's capacity at runtime (dynamic-cluster
+    /// scenarios with heterogeneous or re-provisioned backends).  Worker
+    /// growth takes effect immediately; shrinking drains gracefully (running
+    /// requests are never interrupted).  The CPU's core count changes after
+    /// in-flight work is advanced at the old rate, and the completion timer
+    /// is rescheduled for the new rate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workers` or `cores` is zero.
+    pub fn set_capacity(&mut self, workers: usize, cores: usize, ctx: &mut Context<'_, Packet>) {
+        self.config.workers = workers;
+        self.config.cores = cores;
+        self.pool.resize(workers);
+        self.cpu.set_cores(cores, ctx.now());
+        self.record_load(ctx.now());
+        self.reschedule_cpu_timer(ctx);
     }
 
     fn record_load(&mut self, now: SimTime) {
@@ -346,11 +417,15 @@ impl ServerNode {
         self.stats.completed += 1;
         self.connections.remove(&job.flow);
 
-        // Response goes directly to the client (direct server return).
+        // Response goes directly to the client (direct server return); the
+        // payload names this server so completions are attributable.
         let response = PacketBuilder::tcp(job.flow.vip(), job.client)
             .ports(job.flow.vip_port(), job.flow.client_port())
             .flags(TcpFlags::PSH | TcpFlags::ACK)
-            .payload(job.request_id.to_be_bytes().to_vec())
+            .payload(encode_response_payload(
+                job.request_id,
+                self.config.server_index,
+            ))
             .build();
         self.send_to_addr(ctx, job.client, response);
 
@@ -359,10 +434,86 @@ impl ServerNode {
             self.start_service(next, ctx.now());
         }
     }
+
+    /// Handles a *re-hunted* packet: a non-SYN packet carrying a Service
+    /// Hunting SRH, which only happens when a (recovered) load balancer had
+    /// no flow-table entry for an established flow and fell back to the
+    /// candidate list.  Unlike connection establishment, the decision here
+    /// is by **ownership**, not instantaneous load:
+    ///
+    /// * this server owns the connection — deliver locally and send an
+    ///   ownership advert (an acceptance-style SRH) to the load balancer so
+    ///   its flow table is reconstructed in-band,
+    /// * another candidate may own it — forward along the SR list,
+    /// * last candidate and nobody owned it — the connection is
+    ///   unrecoverable: reset it so the client learns immediately.
+    fn handle_rehunted(&mut self, mut packet: Packet, ctx: &mut Context<'_, Packet>) {
+        let flow = packet.flow_key_forward();
+        let segments_left = packet.srh.as_ref().map_or(0, |s| s.segments_left());
+        if self.connections.contains_key(&flow) {
+            if packet.set_segments_left(0).is_err() {
+                return;
+            }
+            self.stats.ownership_adverts += 1;
+            self.send_ownership_advert(&flow, ctx);
+            self.deliver_established(packet, ctx);
+        } else if segments_left >= 2 {
+            if let Ok(next_hop) = packet.advance_segment() {
+                self.send_to_addr(ctx, next_hop, packet);
+            }
+        } else {
+            self.stats.orphaned += 1;
+            let rst = PacketBuilder::tcp(flow.vip(), flow.client())
+                .ports(flow.vip_port(), flow.client_port())
+                .flags(TcpFlags::RST)
+                .build();
+            self.send_to_addr(ctx, flow.client(), rst);
+        }
+    }
+
+    /// Re-announces ownership of `flow` to the load balancer with the same
+    /// acceptance SRH a SYN-ACK carries, so the (recovered) load balancer
+    /// re-learns *flow → server* purely in-band.
+    fn send_ownership_advert(&self, flow: &FlowKey, ctx: &mut Context<'_, Packet>) {
+        let srh = self
+            .router
+            .acceptance_srh(flow.client())
+            .expect("acceptance SRH construction cannot fail for 3 segments");
+        let advert = PacketBuilder::tcp(flow.vip(), flow.client())
+            .ports(flow.vip_port(), flow.client_port())
+            .flags(TcpFlags::ACK)
+            .segment_routing(srh)
+            .build();
+        self.send_to_addr(ctx, self.config.lb_addr, advert);
+    }
+
+    /// Handles a locally delivered non-SYN packet of an established flow.
+    fn deliver_established(&mut self, packet: Packet, ctx: &mut Context<'_, Packet>) {
+        if packet.is_rst() || packet.is_fin() {
+            // Connection aborted or closed by the peer.
+            self.connections.remove(&packet.flow_key_forward());
+        } else {
+            self.handle_request(&packet, ctx);
+        }
+    }
 }
 
 impl Node<Packet> for ServerNode {
     fn on_message(&mut self, packet: Packet, _from: NodeId, ctx: &mut Context<'_, Packet>) {
+        // A non-SYN packet whose SRH leads with a *foreign* first segment is
+        // a re-hunt (flow-table reconstruction after load-balancer
+        // failover): the load balancer marks re-hunt routes with itself as
+        // the already-consumed first segment, whereas steered traffic always
+        // arrives as `[self, VIP]`.  Re-hunts are routed by connection
+        // ownership, not load.
+        if !packet.is_syn() {
+            if let Some(srh) = packet.srh.as_ref() {
+                if srh.segments_left() >= 1 && srh.first_segment() != self.config.addr {
+                    self.handle_rehunted(packet, ctx);
+                    return;
+                }
+            }
+        }
         let scoreboard = self.pool.scoreboard();
         let accepted_before = self.agent.accepted();
         let action = match self.router.process(packet, &mut self.agent, scoreboard) {
@@ -384,11 +535,8 @@ impl Node<Packet> for ServerNode {
                         self.stats.forced_accepts += 1;
                     }
                     self.accept_connection(&packet, ctx);
-                } else if packet.is_rst() || packet.is_fin() {
-                    // Connection aborted by the peer.
-                    self.connections.remove(&packet.flow_key_forward());
                 } else {
-                    self.handle_request(&packet, ctx);
+                    self.deliver_established(packet, ctx);
                 }
             }
         }
@@ -422,6 +570,34 @@ mod tests {
         let (id, service) = decode_request_payload(&payload).unwrap();
         assert_eq!(id, 42);
         assert_eq!(service, SimDuration::from_millis(100));
+    }
+
+    #[test]
+    fn response_payload_roundtrip() {
+        let payload = encode_response_payload(42, 7);
+        assert_eq!(payload.len(), 12);
+        assert_eq!(decode_response_payload(&payload), Some((42, 7)));
+        assert_eq!(decode_response_payload(&payload[..8]), None);
+    }
+
+    #[test]
+    fn stats_absorb_sums_fieldwise() {
+        let mut a = ServerStats {
+            completed: 3,
+            resets: 1,
+            ..ServerStats::default()
+        };
+        let b = ServerStats {
+            completed: 2,
+            orphaned: 4,
+            ownership_adverts: 5,
+            ..ServerStats::default()
+        };
+        a.absorb(b);
+        assert_eq!(a.completed, 5);
+        assert_eq!(a.resets, 1);
+        assert_eq!(a.orphaned, 4);
+        assert_eq!(a.ownership_adverts, 5);
     }
 
     #[test]

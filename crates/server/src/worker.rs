@@ -37,12 +37,19 @@ impl Scoreboard {
     }
 }
 
-/// A fixed pool of worker threads.
+/// A pool of worker threads.
+///
+/// The pool size is normally fixed (Apache's `mpm_prefork` model), but it
+/// can be [resized](WorkerPool::resize) at runtime to model heterogeneous
+/// or re-provisioned servers in dynamic-cluster scenarios.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct WorkerPool {
     /// `true` for busy workers.
     busy: Vec<bool>,
     busy_count: usize,
+    /// Number of live slots still to be retired by a pending shrink; they
+    /// are popped from the tail as the workers occupying it finish.
+    pending_shrink: usize,
 }
 
 impl WorkerPool {
@@ -56,7 +63,37 @@ impl WorkerPool {
         WorkerPool {
             busy: vec![false; n],
             busy_count: 0,
+            pending_shrink: 0,
         }
+    }
+
+    /// Resizes the pool to `target` workers.
+    ///
+    /// Growth takes effect immediately (new idle workers are appended).
+    /// Shrinking never interrupts a running request: idle workers at the
+    /// tail of the pool are retired immediately, and any remainder is
+    /// retired lazily as busy tail workers release
+    /// ([`WorkerPool::pending_shrink`] reports the backlog).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `target` is zero.
+    pub fn resize(&mut self, target: usize) {
+        assert!(target > 0, "a worker pool needs at least one worker");
+        self.pending_shrink = 0;
+        if target >= self.busy.len() {
+            self.busy.resize(target, false);
+            return;
+        }
+        while self.busy.len() > target && self.busy.last() == Some(&false) {
+            self.busy.pop();
+        }
+        self.pending_shrink = self.busy.len() - target;
+    }
+
+    /// Number of live slots still awaiting retirement by a deferred shrink.
+    pub fn pending_shrink(&self) -> usize {
+        self.pending_shrink
     }
 
     /// The paper's configuration: 32 worker threads per server.
@@ -115,6 +152,11 @@ impl WorkerPool {
         assert!(*slot, "releasing an idle worker {}", worker.0);
         *slot = false;
         self.busy_count -= 1;
+        // Complete any deferred shrink that this release unblocks.
+        while self.pending_shrink > 0 && self.busy.last() == Some(&false) {
+            self.busy.pop();
+            self.pending_shrink -= 1;
+        }
     }
 }
 
@@ -170,9 +212,74 @@ mod tests {
     }
 
     #[test]
+    fn resize_grows_immediately() {
+        let mut pool = WorkerPool::new(2);
+        pool.resize(5);
+        assert_eq!(pool.total(), 5);
+        assert_eq!(pool.idle_count(), 5);
+        assert_eq!(pool.pending_shrink(), 0);
+    }
+
+    #[test]
+    fn resize_shrinks_idle_workers_immediately() {
+        let mut pool = WorkerPool::new(8);
+        pool.resize(3);
+        assert_eq!(pool.total(), 3);
+        assert_eq!(pool.pending_shrink(), 0);
+    }
+
+    #[test]
+    fn resize_defers_shrink_past_busy_workers() {
+        let mut pool = WorkerPool::new(4);
+        let a = pool.claim().unwrap();
+        let b = pool.claim().unwrap();
+        let c = pool.claim().unwrap();
+        let d = pool.claim().unwrap();
+        // Every worker busy: shrinking to 1 retires nothing yet.
+        pool.resize(1);
+        assert_eq!(pool.total(), 4);
+        assert_eq!(pool.pending_shrink(), 3);
+        // Releasing a mid-pool worker cannot retire the busy tail.
+        pool.release(b);
+        assert_eq!(pool.total(), 4);
+        assert_eq!(pool.pending_shrink(), 3);
+        // Releasing the tail retires it; the busy slot before it stays.
+        pool.release(d);
+        assert_eq!(pool.total(), 3);
+        assert_eq!(pool.pending_shrink(), 2);
+        // Releasing c retires its slot *and* the already-idle b slot.
+        pool.release(c);
+        assert_eq!(pool.total(), 1);
+        assert_eq!(pool.pending_shrink(), 0);
+        assert!(pool.is_saturated(), "only worker a remains, and it is busy");
+        pool.release(a);
+        assert_eq!(pool.idle_count(), 1);
+    }
+
+    #[test]
+    fn regrowing_cancels_a_pending_shrink() {
+        let mut pool = WorkerPool::new(3);
+        let _a = pool.claim().unwrap();
+        let _b = pool.claim().unwrap();
+        let _c = pool.claim().unwrap();
+        pool.resize(1);
+        assert_eq!(pool.pending_shrink(), 2);
+        pool.resize(6);
+        assert_eq!(pool.pending_shrink(), 0);
+        assert_eq!(pool.total(), 6);
+        assert_eq!(pool.idle_count(), 3);
+    }
+
+    #[test]
     #[should_panic(expected = "at least one worker")]
     fn zero_workers_panics() {
         WorkerPool::new(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker")]
+    fn resize_to_zero_panics() {
+        WorkerPool::new(2).resize(0);
     }
 
     #[test]

@@ -66,6 +66,12 @@ impl<M> Ord for ScheduledEvent<M> {
 }
 
 /// A time-ordered queue of [`ScheduledEvent`]s with FIFO tie-breaking.
+///
+/// Events are stored **inline** in the backing binary heap — there is no
+/// per-event `Box` or other indirection — so pushing and popping events on a
+/// warm queue (one whose heap has already grown to its high-water mark)
+/// performs no heap allocation at all.  This property is pinned by the
+/// counting-allocator test in `tests/alloc_free_sim.rs`.
 pub struct EventQueue<M> {
     heap: BinaryHeap<ScheduledEvent<M>>,
     next_seq: u64,
@@ -93,6 +99,25 @@ impl<M> EventQueue<M> {
             heap: BinaryHeap::new(),
             next_seq: 0,
         }
+    }
+
+    /// Creates an empty queue with room for `capacity` pending events, so
+    /// the first `capacity` pushes never touch the allocator.
+    pub fn with_capacity(capacity: usize) -> Self {
+        EventQueue {
+            heap: BinaryHeap::with_capacity(capacity),
+            next_seq: 0,
+        }
+    }
+
+    /// Number of pending events the queue can hold without reallocating.
+    pub fn capacity(&self) -> usize {
+        self.heap.capacity()
+    }
+
+    /// Reserves room for at least `additional` more pending events.
+    pub fn reserve(&mut self, additional: usize) {
+        self.heap.reserve(additional);
     }
 
     /// Schedules `payload` for delivery to `target` at `time`.

@@ -108,12 +108,67 @@ impl<M> Network<M> {
         }
     }
 
-    /// Adds a node and returns its id.  Nodes must be added before the first
-    /// call to [`Network::run`] / [`Network::run_with_limit`].
+    /// Adds a node and returns its id.
+    ///
+    /// Nodes added before the first call to [`Network::run`] /
+    /// [`Network::run_with_limit`] receive their `on_start` callback when the
+    /// run begins; a node added to an already-started network (e.g. a backend
+    /// brought up mid-experiment by a scenario schedule) is started
+    /// immediately at the current simulated time.
     pub fn add_node(&mut self, node: impl Node<M> + 'static) -> NodeId {
         let id = NodeId(self.nodes.len());
         self.nodes.push(Some(Box::new(node)));
+        if self.started {
+            self.start_node(id);
+        }
         id
+    }
+
+    /// Reserves an empty node slot and returns its id, so a scenario can fix
+    /// the id ↔ address layout of backends that only join the cluster later
+    /// (via [`Network::insert_node`]).  Events addressed to a reserved but
+    /// unfilled slot are dropped and counted in
+    /// [`SimStats::messages_dropped`].
+    pub fn reserve_node(&mut self) -> NodeId {
+        let id = NodeId(self.nodes.len());
+        self.nodes.push(None);
+        id
+    }
+
+    /// Fills an empty node slot (from [`Network::reserve_node`] or a
+    /// [`Network::take_node`] removal) with `node`.  On an already-started
+    /// network the node's `on_start` runs immediately at the current
+    /// simulated time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range or the slot is occupied.
+    pub fn insert_node(&mut self, id: NodeId, node: impl Node<M> + 'static) {
+        let slot = self
+            .nodes
+            .get_mut(id.index())
+            .unwrap_or_else(|| panic!("node slot {id} out of range"));
+        assert!(slot.is_none(), "node slot {id} is already occupied");
+        *slot = Some(Box::new(node));
+        if self.started {
+            self.start_node(id);
+        }
+    }
+
+    /// Runs `on_start` on the node in slot `id` (which must be occupied).
+    fn start_node(&mut self, id: NodeId) {
+        let mut node = self.nodes[id.index()].take().expect("node present");
+        let mut ctx = Context {
+            now: self.now,
+            self_id: id,
+            from: None,
+            queue: &mut self.queue,
+            topology: &self.topology,
+            rng: &mut self.rng,
+            stop_requested: &mut self.stop_requested,
+        };
+        node.on_start(&mut ctx);
+        self.nodes[id.index()] = Some(node);
     }
 
     /// Enables tracing of message deliveries, using `describe` to render each
@@ -171,6 +226,55 @@ impl<M> Network<M> {
             .and_then(|node| node.as_any().downcast_ref::<T>())
     }
 
+    /// Mutable, downcast access to a node of concrete type `T`.
+    ///
+    /// Returns `None` if the id is out of range or the node has a different
+    /// type.  Intended for applying out-of-band state changes between
+    /// [`Network::run_with_limit`] segments; prefer [`Network::control`] when
+    /// the change needs to schedule timers or send messages.
+    pub fn node_as_mut<T: 'static>(&mut self, id: NodeId) -> Option<&mut T> {
+        self.nodes
+            .get_mut(id.index())
+            .and_then(|slot| slot.as_mut())
+            .and_then(|node| node.as_any_mut().downcast_mut::<T>())
+    }
+
+    /// Delivers a **control event** to the node in slot `id`: runs `f` with
+    /// mutable access to the node (downcast to `T`) and a [`Context`] at the
+    /// current simulated time, exactly as if the engine were delivering a
+    /// callback.  This is how a scenario schedule applies out-of-band
+    /// changes — failing a load balancer, resizing a server — that may need
+    /// to reschedule timers or emit messages.
+    ///
+    /// Returns `None` (without running `f`) if the id is out of range, the
+    /// slot is empty, or the node is not of type `T`.
+    pub fn control<T: 'static, R>(
+        &mut self,
+        id: NodeId,
+        f: impl FnOnce(&mut T, &mut Context<'_, M>) -> R,
+    ) -> Option<R> {
+        let slot = self.nodes.get_mut(id.index())?;
+        if !slot.as_ref()?.as_any().is::<T>() {
+            return None;
+        }
+        let mut node = slot.take()?;
+        let mut ctx = Context {
+            now: self.now,
+            self_id: id,
+            from: None,
+            queue: &mut self.queue,
+            topology: &self.topology,
+            rng: &mut self.rng,
+            stop_requested: &mut self.stop_requested,
+        };
+        let result = node
+            .as_any_mut()
+            .downcast_mut::<T>()
+            .map(|typed| f(typed, &mut ctx));
+        self.nodes[id.index()] = Some(node);
+        result
+    }
+
     /// Runs `on_start` on every node (once).
     fn start(&mut self) {
         if self.started {
@@ -178,24 +282,23 @@ impl<M> Network<M> {
         }
         self.started = true;
         for index in 0..self.nodes.len() {
-            let mut node = self.nodes[index].take().expect("node present at start");
-            let mut ctx = Context {
-                now: self.now,
-                self_id: NodeId(index),
-                from: None,
-                queue: &mut self.queue,
-                topology: &self.topology,
-                rng: &mut self.rng,
-                stop_requested: &mut self.stop_requested,
-            };
-            node.on_start(&mut ctx);
-            self.nodes[index] = Some(node);
+            if self.nodes[index].is_some() {
+                self.start_node(NodeId(index));
+            }
         }
     }
 
     /// Runs until the event queue drains, a node requests a stop, or the
     /// limit is hit.  Returns the statistics of the whole run so far.
+    ///
+    /// A [`Context::stop`] request only ends the run segment it was issued
+    /// in (including one issued from an `on_start` of this call); a
+    /// subsequent `run_with_limit` call resumes processing (scenario drivers
+    /// alternate run segments with control events).
     pub fn run_with_limit(&mut self, limit: RunLimit) -> SimStats {
+        // Clear before start() so a stop issued from an on_start callback
+        // still ends this segment before any event is processed.
+        self.stop_requested = false;
         self.start();
         let mut processed_this_call: u64 = 0;
         while let Some(next_time) = self.queue.peek_time() {
@@ -324,6 +427,7 @@ impl<M> Network<M> {
 trait AnyNode<M>: Node<M> {
     fn as_node(&self) -> &dyn Node<M>;
     fn as_any(&self) -> &dyn std::any::Any;
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any;
     fn into_any(self: Box<Self>) -> Box<dyn std::any::Any>;
 }
 
@@ -332,6 +436,9 @@ impl<M, T: Node<M> + 'static> AnyNode<M> for T {
         self
     }
     fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
         self
     }
     fn into_any(self: Box<Self>) -> Box<dyn std::any::Any> {
@@ -547,5 +654,115 @@ mod tests {
         let name = net.with_node(a, |n| n.name()).unwrap();
         assert_eq!(name, "");
         assert!(net.with_node(NodeId(42), |_| ()).is_none());
+    }
+
+    #[test]
+    fn reserved_slots_drop_messages_until_filled() {
+        let mut net = Network::new(1, Topology::datacenter());
+        let reserved = net.reserve_node();
+
+        #[derive(Debug)]
+        struct To {
+            target: NodeId,
+        }
+        impl Node<u32> for To {
+            fn on_start(&mut self, ctx: &mut Context<'_, u32>) {
+                ctx.send(self.target, 5);
+            }
+            fn on_message(&mut self, _m: u32, _f: NodeId, _c: &mut Context<'_, u32>) {}
+        }
+        net.add_node(To { target: reserved });
+        let stats = net.run();
+        assert_eq!(stats.messages_dropped, 1);
+        assert_eq!(stats.messages_delivered, 0);
+
+        // Filling the slot mid-run starts the node and delivers to it.
+        net.insert_node(
+            reserved,
+            Echo {
+                peer: None,
+                cap: 0,
+                seen: vec![],
+            },
+        );
+        net.add_node(To { target: reserved });
+        net.run();
+        let echo: Echo = net.take_node(reserved).unwrap();
+        assert_eq!(echo.seen, vec![5]);
+    }
+
+    #[test]
+    fn late_added_nodes_are_started_immediately() {
+        let mut net = Network::new(7, Topology::datacenter());
+        net.add_node(Ticker { fired: 0 });
+        net.run();
+        // The network has already started and stopped once; a node added now
+        // receives on_start right away and its timers are delivered by the
+        // next run segment.
+        let t2 = net.add_node(Ticker { fired: 0 });
+        net.run();
+        let ticker: Ticker = net.into_node(t2);
+        assert_eq!(ticker.fired, 5);
+    }
+
+    #[test]
+    fn control_runs_with_a_context_and_node_as_mut_mutates() {
+        let mut net = Network::new(1, Topology::datacenter());
+        let a = net.add_node(Echo {
+            peer: None,
+            cap: 0,
+            seen: vec![],
+        });
+        net.run();
+        // A control event can both mutate the node and send messages.
+        let sent = net
+            .control::<Echo, _>(a, |echo, ctx| {
+                echo.seen.push(99);
+                ctx.send(a, 1);
+                echo.seen.len()
+            })
+            .unwrap();
+        assert_eq!(sent, 1);
+        net.run();
+        net.node_as_mut::<Echo>(a).unwrap().cap = 7;
+        let echo: Echo = net.into_node(a);
+        assert_eq!(echo.seen, vec![99, 1]);
+        assert_eq!(echo.cap, 7);
+    }
+
+    #[test]
+    fn stop_from_on_start_ends_the_segment_before_any_event() {
+        struct StopImmediately {
+            got: u32,
+        }
+        impl Node<u32> for StopImmediately {
+            fn on_start(&mut self, ctx: &mut Context<'_, u32>) {
+                let me = ctx.self_id();
+                ctx.send(me, 1);
+                ctx.stop();
+            }
+            fn on_message(&mut self, msg: u32, _f: NodeId, _c: &mut Context<'_, u32>) {
+                self.got += msg;
+            }
+        }
+        let mut net = Network::new(1, Topology::datacenter());
+        let a = net.add_node(StopImmediately { got: 0 });
+        let stats = net.run();
+        assert_eq!(stats.events_processed, 0, "stop from on_start is honoured");
+        // The stop only ended that segment: a further run delivers normally.
+        net.run();
+        let node: StopImmediately = net.into_node(a);
+        assert_eq!(node.got, 1);
+    }
+
+    #[test]
+    fn control_on_wrong_type_or_empty_slot_is_none() {
+        let mut net: Network<u32> = Network::new(1, Topology::datacenter());
+        let a = net.add_node(Lost);
+        let reserved = net.reserve_node();
+        assert!(net.control::<Echo, _>(a, |_, _| ()).is_none());
+        assert!(net.control::<Lost, _>(reserved, |_, _| ()).is_none());
+        assert!(net.control::<Lost, _>(NodeId(99), |_, _| ()).is_none());
+        assert!(net.node_as_mut::<Echo>(a).is_none());
     }
 }

@@ -22,7 +22,11 @@
 //! * [`server`] — backend server model: worker pool, backlog, scoreboard,
 //!   acceptance policies, SR-aware virtual router ([`srlb_server`]),
 //! * [`core`] — the load balancer itself: dispatchers, flow table, testbed
-//!   and experiment orchestration ([`srlb_core`]).
+//!   and experiment orchestration ([`srlb_core`]),
+//! * [`scenario`] — dynamic-cluster scenario engine: timed server churn,
+//!   load-balancer failover with in-band flow-table reconstruction,
+//!   capacity re-provisioning and multi-VIP clusters, with disruption
+//!   metrics ([`srlb_scenario`]).
 //!
 //! ## Quickstart
 //!
@@ -41,6 +45,7 @@
 pub use srlb_core as core;
 pub use srlb_metrics as metrics;
 pub use srlb_net as net;
+pub use srlb_scenario as scenario;
 pub use srlb_server as server;
 pub use srlb_sim as sim;
 pub use srlb_workload as workload;
