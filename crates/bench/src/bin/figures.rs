@@ -1,10 +1,13 @@
-//! Regenerates the paper's figures.
+//! Regenerates the paper's figures and runs committed experiment specs.
 //!
 //! ```text
 //! cargo run -p srlb-bench --release --bin figures -- all             # every figure, paper scale
 //! cargo run -p srlb-bench --release --bin figures -- fig2 --quick    # one figure, reduced scale
 //! cargo run -p srlb-bench --release --bin figures -- all --jobs 4    # explicit worker count
 //! cargo run -p srlb-bench --release --bin figures -- bench-micro     # write BENCH_micro.json
+//! cargo run -p srlb-bench --release --bin figures -- run examples/specs/poisson_rho089.json
+//! cargo run -p srlb-bench --release --bin figures -- run <spec> --tiny  # scaled-down smoke run
+//! cargo run -p srlb-bench --release --bin figures -- write-specs    # regenerate examples/specs/
 //! ```
 //!
 //! Each figure's series is printed to stdout (policy labels, x/y columns)
@@ -38,6 +41,18 @@ fn main() {
     };
     let (jobs, which) = parse_args(&args);
     let jobs = jobs.unwrap_or_else(default_jobs);
+
+    // `run <spec.json>` and `write-specs [dir]` take positional operands of
+    // their own, so they are dispatched before figure-name validation.
+    if which.first() == Some(&"run") {
+        run_spec_command(&which[1..], scale);
+        return;
+    }
+    if which.first() == Some(&"write-specs") {
+        write_specs_command(&which[1..]);
+        return;
+    }
+
     const KNOWN: [&str; 10] = [
         "all",
         "fig2",
@@ -51,7 +66,10 @@ fn main() {
         "scenarios",
     ];
     if let Some(unknown) = which.iter().find(|name| !KNOWN.contains(name)) {
-        eprintln!("error: unknown figure `{unknown}` (expected one of: {KNOWN:?})");
+        eprintln!(
+            "error: unknown command `{unknown}` (expected `run <spec.json>`, `write-specs` or \
+             one of: {KNOWN:?})"
+        );
         std::process::exit(2);
     }
 
@@ -125,6 +143,87 @@ fn parse_args(args: &[String]) -> (Option<usize>, Vec<&str>) {
         i += 1;
     }
     (jobs, which)
+}
+
+/// `figures -- run <spec.json> [--quick|--tiny]`: execute one committed
+/// [`srlb_core::spec::ExperimentSpec`], print the summary and write a
+/// machine-readable report next to the figure CSVs.
+fn run_spec_command(operands: &[&str], scale: Scale) {
+    let [path] = operands else {
+        eprintln!("error: `run` expects exactly one spec file, got {operands:?}");
+        std::process::exit(2);
+    };
+    let path = std::path::Path::new(path);
+    println!(
+        "# SRLB spec runner (spec: {}, scale: {scale:?})",
+        path.display()
+    );
+    let report = match srlb_bench::run_spec_file(path, scale) {
+        Ok(report) => report,
+        Err(err) => {
+            eprintln!("error: could not run {}: {err}", path.display());
+            std::process::exit(1);
+        }
+    };
+    println!(
+        "{:<22} {:<12} {:>7} {:>7} {:>7} {:>9} {:>9} {:>9}",
+        "spec", "policy", "sent", "done", "resets", "mean-ms", "p99-ms", "dur-s"
+    );
+    println!(
+        "{:<22} {:<12} {:>7} {:>7} {:>7} {:>9} {:>9} {:>9.1}",
+        report.name,
+        report.label,
+        report.sent,
+        report.completed,
+        report.resets,
+        report
+            .mean_response_ms
+            .map_or("-".to_string(), |ms| format!("{ms:.1}")),
+        report
+            .p99_response_ms
+            .map_or("-".to_string(), |ms| format!("{ms:.1}")),
+        report.duration_seconds,
+    );
+    for phase in &report.phases {
+        println!(
+            "  phase {:<20} sent {:>6} done {:>6} resets {:>5} p99 {:>8.1} ms fairness {:>5.3}",
+            phase.label,
+            phase.sent,
+            phase.completed,
+            phase.resets,
+            phase.p99_response_ms,
+            phase.fairness,
+        );
+    }
+    let dir = std::path::Path::new(srlb_bench::FIGURES_DIR);
+    match srlb_bench::write_spec_report(dir, &report) {
+        Ok(path) => println!("  -> wrote {}", path.display()),
+        Err(err) => eprintln!("  !! could not write report: {err}"),
+    }
+}
+
+/// `figures -- write-specs [dir]`: regenerate the canonical example specs
+/// (default: `examples/specs/` at the workspace root).
+fn write_specs_command(operands: &[&str]) {
+    let dir = match operands {
+        [] => srlb_bench::micro::workspace_root().join("examples/specs"),
+        [dir] => std::path::PathBuf::from(dir),
+        more => {
+            eprintln!("error: `write-specs` expects at most one directory, got {more:?}");
+            std::process::exit(2);
+        }
+    };
+    match srlb_bench::write_example_specs(&dir) {
+        Ok(paths) => {
+            for path in paths {
+                println!("  -> wrote {}", path.display());
+            }
+        }
+        Err(err) => {
+            eprintln!("error: could not write specs: {err}");
+            std::process::exit(1);
+        }
+    }
 }
 
 fn run_bench_micro() {

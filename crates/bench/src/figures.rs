@@ -6,7 +6,9 @@
 //! results in input order — so output is byte-identical whatever the worker
 //! count, and `jobs = 1` is a fully serial run.
 
-use srlb_core::experiment::{ExperimentConfig, ExperimentResult, PolicyKind};
+use srlb_core::experiment::ExperimentResult;
+use srlb_core::runner::Runner;
+use srlb_core::spec::{ExperimentSpec, PolicyKind};
 use srlb_metrics::{jain_fairness, Ewma, RequestClass};
 
 use crate::parallel::parallel_map;
@@ -77,6 +79,27 @@ pub fn poisson_policies() -> Vec<PolicyKind> {
     ]
 }
 
+/// Runs one paper-testbed Poisson point through the unified
+/// [`Runner`](srlb_core::runner::Runner).
+fn poisson_result(
+    scale: Scale,
+    seed: u64,
+    rho: f64,
+    policy: PolicyKind,
+    record_load: bool,
+) -> ExperimentResult {
+    let mut spec = ExperimentSpec::poisson_paper(rho, policy)
+        .with_queries(scale.poisson_queries())
+        .with_seed(seed);
+    if record_load {
+        spec = spec.with_load_recording();
+    }
+    let outcome = Runner::new(spec)
+        .expect("paper poisson spec is valid")
+        .run();
+    ExperimentResult::from_outcome(outcome, Some(rho))
+}
+
 /// One policy's mean-response-time curve for Figure 2.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Fig2Series {
@@ -100,12 +123,7 @@ pub fn fig2_mean_response(scale: Scale, seed: u64, jobs: usize) -> Vec<Fig2Serie
         .flat_map(|&policy| rhos.iter().map(move |&rho| (policy, rho)))
         .collect();
     let means = parallel_map(&grid, jobs, |&(policy, rho)| {
-        let result = ExperimentConfig::poisson_paper(rho, policy)
-            .with_queries(scale.poisson_queries())
-            .with_seed(seed)
-            .run()
-            .expect("paper poisson configuration is valid");
-        result.mean_response_seconds()
+        poisson_result(scale, seed, rho, policy, false).mean_response_seconds()
     });
     policies
         .iter()
@@ -150,12 +168,7 @@ fn cdf_series_for(
 
 fn poisson_cdf(scale: Scale, seed: u64, rho: f64, jobs: usize) -> Vec<CdfSeries> {
     parallel_map(&poisson_policies(), jobs, |&policy| {
-        let result = ExperimentConfig::poisson_paper(rho, policy)
-            .with_queries(scale.poisson_queries())
-            .with_seed(seed)
-            .run()
-            .expect("paper poisson configuration is valid");
-        cdf_series_for(&result, None, 200)
+        cdf_series_for(&poisson_result(scale, seed, rho, policy, false), None, 200)
     })
 }
 
@@ -187,12 +200,7 @@ pub fn fig4_load_fairness(scale: Scale, seed: u64, jobs: usize) -> Vec<Fig4Serie
         &[PolicyKind::RoundRobin, PolicyKind::Static { threshold: 4 }],
         jobs,
         |&policy| {
-            let result = ExperimentConfig::poisson_paper(0.88, policy)
-                .with_queries(scale.poisson_queries())
-                .with_seed(seed)
-                .with_load_recording()
-                .run()
-                .expect("paper poisson configuration is valid");
+            let result = poisson_result(scale, seed, 0.88, policy, true);
             Fig4Series {
                 label: result.label.clone(),
                 points: load_grid(&result.load_series, result.duration_seconds, 1.0),
@@ -242,11 +250,13 @@ pub struct WikiBinSeries {
 }
 
 fn wikipedia_result(scale: Scale, seed: u64, policy: PolicyKind) -> ExperimentResult {
-    ExperimentConfig::wikipedia_paper(policy)
+    let spec = ExperimentSpec::wikipedia_paper(policy)
         .with_hours(scale.wiki_hours())
-        .with_seed(seed)
-        .run()
-        .expect("paper wikipedia configuration is valid")
+        .with_seed(seed);
+    let outcome = Runner::new(spec)
+        .expect("paper wikipedia spec is valid")
+        .run();
+    ExperimentResult::from_outcome(outcome, None)
 }
 
 fn wiki_bins(result: &ExperimentResult, bin_seconds: f64) -> WikiBinSeries {

@@ -25,6 +25,7 @@ pub mod micro;
 pub mod output;
 pub mod parallel;
 pub mod scenarios;
+pub mod spec_run;
 
 pub use figures::{
     fig2_mean_response, fig3_cdf_high_load, fig4_load_fairness, fig5_cdf_low_load,
@@ -35,3 +36,7 @@ pub use micro::{write_bench_micro, BenchReport, BENCH_MICRO_FILE};
 pub use output::{write_csv, FIGURES_DIR};
 pub use parallel::{default_jobs, parallel_map};
 pub use scenarios::{run_scenarios, write_bench_scenarios, ScenariosDoc, BENCH_SCENARIOS_FILE};
+pub use spec_run::{
+    example_specs, load_spec, run_spec_file, scale_spec, write_example_specs, write_spec_report,
+    SpecRunReport,
+};

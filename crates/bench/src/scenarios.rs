@@ -268,6 +268,61 @@ mod tests {
         }
     }
 
+    /// Correlated failures: removing *two* servers at once must keep the
+    /// dispatchers' remapping bounds — consistent hashing moves exactly the
+    /// flows the dead pair owned (zero collateral), Maglev stays near
+    /// minimal (moved ≈ 2/12 plus a small table-reshuffle term).
+    #[test]
+    fn correlated_two_server_removal_keeps_remap_bounds() {
+        let plan = AddressPlan::default();
+        let flows = probe_flows(8_192);
+        let base: Vec<Ipv6Addr> = plan.server_addrs(12).collect();
+        let dead = [plan.server_addr(ServerId(2)), plan.server_addr(ServerId(5))];
+        let shrunk: Vec<Ipv6Addr> = base.iter().copied().filter(|a| !dead.contains(a)).collect();
+
+        for (label, config, max_moved, max_collateral) in [
+            (
+                "consistent-hash",
+                DispatcherConfig::ConsistentHash { vnodes: 128, k: 1 },
+                0.40,
+                0.0,
+            ),
+            (
+                "maglev",
+                DispatcherConfig::Maglev {
+                    table_size: 2039,
+                    k: 1,
+                },
+                0.40,
+                0.05,
+            ),
+        ] {
+            let before = owners(config, base.clone(), &flows);
+            let after = owners(config, shrunk.clone(), &flows);
+            let moved = before
+                .iter()
+                .zip(&after)
+                .filter(|(old, new)| old != new)
+                .count() as f64
+                / flows.len() as f64;
+            let collateral = before
+                .iter()
+                .zip(&after)
+                .filter(|(old, new)| old != new && !dead.contains(old))
+                .count() as f64
+                / flows.len() as f64;
+            assert!(moved > 0.0, "{label}: some flows must remap");
+            assert!(
+                moved <= max_moved,
+                "{label}: moved fraction {moved} above bound {max_moved}"
+            );
+            assert!(
+                collateral <= max_collateral,
+                "{label}: collateral fraction {collateral} above bound {max_collateral}"
+            );
+        }
+    }
+
     #[test]
     fn tiny_sweep_is_deterministic_across_jobs() {
         let serial = run_scenarios(Scale::Tiny, 42, 1);

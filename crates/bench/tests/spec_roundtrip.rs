@@ -1,0 +1,59 @@
+//! Round-trips every committed spec under `examples/specs/`:
+//! parse → serialize → byte-compare against the file.
+//!
+//! This pins two properties CI relies on:
+//!
+//! 1. the committed files stay parseable by the current
+//!    `ExperimentSpec` schema (schema drift fails loudly here first), and
+//! 2. the files stay in canonical form (`figures -- write-specs` output),
+//!    so `figures -- run <spec>` reproduces exactly what is reviewed.
+
+use std::path::PathBuf;
+
+use srlb_bench::{example_specs, load_spec};
+use srlb_core::spec::ExperimentSpec;
+
+fn specs_dir() -> PathBuf {
+    srlb_bench::micro::workspace_root().join("examples/specs")
+}
+
+#[test]
+fn every_committed_spec_round_trips_byte_identically() {
+    let dir = specs_dir();
+    let mut checked = 0;
+    let mut entries: Vec<_> = std::fs::read_dir(&dir)
+        .unwrap_or_else(|e| panic!("examples/specs missing at {}: {e}", dir.display()))
+        .map(|e| e.unwrap().path())
+        .filter(|p| p.extension().is_some_and(|ext| ext == "json"))
+        .collect();
+    entries.sort();
+    for path in entries {
+        let text = std::fs::read_to_string(&path).unwrap();
+        let spec: ExperimentSpec = serde_json::from_str(&text)
+            .unwrap_or_else(|e| panic!("{} does not parse: {e}", path.display()));
+        spec.validate()
+            .unwrap_or_else(|e| panic!("{} is invalid: {e}", path.display()));
+        let reserialized = format!("{}\n", serde_json::to_string(&spec).unwrap());
+        assert_eq!(
+            reserialized,
+            text,
+            "{} is not in canonical form; regenerate with `figures -- write-specs`",
+            path.display()
+        );
+        checked += 1;
+    }
+    assert!(checked >= 3, "expected at least 3 committed specs");
+}
+
+#[test]
+fn committed_specs_match_the_generator() {
+    // The files on disk are exactly what `write_example_specs` would write
+    // today — name by name, byte by byte.
+    let dir = specs_dir();
+    for (stem, spec) in example_specs() {
+        let path = dir.join(format!("{stem}.json"));
+        let committed =
+            load_spec(&path).unwrap_or_else(|e| panic!("{} unreadable: {e}", path.display()));
+        assert_eq!(committed, spec, "{stem} drifted from the generator");
+    }
+}

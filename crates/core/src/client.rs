@@ -1,10 +1,16 @@
 //! The traffic generator / measurement client.
 //!
-//! The client replays a time-ordered [`Request`] trace as an *open-loop*
+//! The client replays a time-ordered request stream as an *open-loop*
 //! source (arrivals do not depend on completions, as with the paper's
 //! Poisson generator and trace replayer), performs the TCP exchange for each
 //! request, and records per-request response times and outcomes into a
 //! [`ResponseTimeCollector`].
+//!
+//! Requests are **pulled on demand** from a streaming
+//! [`Workload`](srlb_workload::Workload): the client holds at most one
+//! not-yet-sent request, so a 24-hour replay never needs the whole trace in
+//! memory ([`ClientNode::new`] keeps the old eager `Vec<Request>` entry
+//! point as a wrapper).
 //!
 //! Each request gets a unique `(client address, source port)` pair so flows
 //! never collide; the mapping is arithmetic (request id → address index and
@@ -17,7 +23,7 @@ use srlb_net::{AddressPlan, Packet, PacketBuilder, TcpFlags};
 use srlb_server::server_node::encode_request_payload;
 use srlb_server::Directory;
 use srlb_sim::{Context, Node, NodeId, SimDuration, SimTime, TimerToken};
-use srlb_workload::Request;
+use srlb_workload::{requests_into_stream, BoxedWorkload, Request};
 
 /// Timer-token bit marking a deferred-request timer (the low bits carry the
 /// request id); SYN timers use the plain request id, which never reaches
@@ -60,6 +66,9 @@ pub fn client_addr_count(n: usize) -> u32 {
 struct InFlight {
     sent_at: SimTime,
     class: RequestClass,
+    /// CPU service demand carried in the HTTP request payload once the
+    /// handshake completes (the trace itself is streamed, not retained).
+    service: SimDuration,
 }
 
 /// The open-loop client node.
@@ -77,10 +86,12 @@ pub struct ClientNode {
     /// failover actually disrupts.
     request_delay: SimDuration,
     directory: Directory,
-    requests: Vec<Request>,
+    /// The request stream, pulled one request at a time.
+    source: BoxedWorkload,
+    /// The next request to send: pulled from the stream, timer armed.
+    pending: Option<Request>,
     in_flight: std::collections::HashMap<u64, InFlight>,
     collector: ResponseTimeCollector,
-    next_to_send: usize,
     sent: u64,
     completed: u64,
     resets: u64,
@@ -89,6 +100,8 @@ pub struct ClientNode {
 impl ClientNode {
     /// Creates a client that will replay `requests` (must be sorted by
     /// arrival time) against `vip`.
+    ///
+    /// Eager-trace convenience over [`ClientNode::from_workload`].
     ///
     /// # Panics
     ///
@@ -103,15 +116,32 @@ impl ClientNode {
             srlb_workload::request::is_well_formed(&requests),
             "requests must be sorted by arrival time with increasing ids"
         );
+        Self::from_workload(
+            plan,
+            vip,
+            directory,
+            Box::new(requests_into_stream(requests)),
+        )
+    }
+
+    /// Creates a client that pulls requests on demand from a streaming
+    /// workload (which yields them sorted by arrival time with increasing
+    /// ids, as the [`srlb_workload::Workload`] contract requires).
+    pub fn from_workload(
+        plan: AddressPlan,
+        vip: Ipv6Addr,
+        directory: Directory,
+        source: BoxedWorkload,
+    ) -> Self {
         ClientNode {
             plan,
             vips: vec![vip],
             request_delay: SimDuration::ZERO,
             directory,
-            requests,
+            source,
+            pending: None,
             in_flight: std::collections::HashMap::new(),
             collector: ResponseTimeCollector::new(),
-            next_to_send: 0,
             sent: 0,
             completed: 0,
             resets: 0,
@@ -187,15 +217,19 @@ impl ClientNode {
         }
     }
 
+    /// Pulls the next request from the stream (if none is already pending)
+    /// and arms its arrival timer.
     fn schedule_next(&mut self, ctx: &mut Context<'_, Packet>) {
-        if let Some(request) = self.requests.get(self.next_to_send) {
+        if self.pending.is_none() {
+            self.pending = self.source.next_request();
+        }
+        if let Some(request) = &self.pending {
             let delay = request.arrival.duration_since(ctx.now());
             ctx.schedule_timer(delay, TimerToken(request.id));
         }
     }
 
-    fn send_request_syn(&mut self, index: usize, ctx: &mut Context<'_, Packet>) {
-        let request = self.requests[index].clone();
+    fn send_request_syn(&mut self, request: Request, ctx: &mut Context<'_, Packet>) {
         let (addr, port) = request_endpoint(&self.plan, request.id);
         let vip = self.vip_of(request.id);
         let syn = PacketBuilder::tcp(addr, vip)
@@ -207,6 +241,7 @@ impl ClientNode {
             InFlight {
                 sent_at: ctx.now(),
                 class: request.class,
+                service: request.service,
             },
         );
         self.sent += 1;
@@ -232,15 +267,18 @@ impl ClientNode {
     }
 
     fn send_http_request(&mut self, id: u64, ctx: &mut Context<'_, Packet>) {
-        let Some(request) = self.requests.get(id as usize) else {
+        // The service demand travels with the in-flight record; a flow that
+        // already finished (or was never sent) has nothing to request.
+        let Some(info) = self.in_flight.get(&id) else {
             return;
         };
+        let service = info.service;
         let (addr, port) = request_endpoint(&self.plan, id);
         let vip = self.vip_of(id);
         let http_request = PacketBuilder::tcp(addr, vip)
             .ports(port, VIP_PORT)
             .flags(TcpFlags::ACK | TcpFlags::PSH)
-            .payload(encode_request_payload(id, request.service))
+            .payload(encode_request_payload(id, service))
             .build();
         self.send_to_addr(ctx, vip, http_request);
     }
@@ -288,12 +326,14 @@ impl Node<Packet> for ClientNode {
             self.send_http_request(token.0 & !REQUEST_TIMER_BIT, ctx);
             return;
         }
-        // The timer for request `token.0` fired: send it, then arm the timer
-        // for the next request in the trace.
-        let index = self.next_to_send;
-        debug_assert_eq!(self.requests[index].id, token.0);
-        self.next_to_send += 1;
-        self.send_request_syn(index, ctx);
+        // The timer for request `token.0` fired: send it, then pull and arm
+        // the next request in the stream.
+        let request = self
+            .pending
+            .take()
+            .expect("a request timer only fires for the pending request");
+        debug_assert_eq!(request.id, token.0);
+        self.send_request_syn(request, ctx);
         self.schedule_next(ctx);
     }
 
@@ -388,6 +428,7 @@ mod tests {
             InFlight {
                 sent_at: SimTime::ZERO,
                 class: RequestClass::Synthetic,
+                service: SimDuration::from_millis(1),
             },
         );
         let collector = client.into_collector();

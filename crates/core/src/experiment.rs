@@ -1,85 +1,27 @@
-//! High-level experiment configurations matching the paper's evaluation.
+//! High-level experiment configurations matching the paper's evaluation
+//! (compatibility layer).
 //!
-//! An [`ExperimentConfig`] names a *workload* (Poisson at a normalised rate
-//! ρ, or the synthetic Wikipedia replay) and a *policy* (the RR baseline,
-//! a static `SRc`, or `SRdyn`), runs it on the simulated testbed, and
-//! returns an [`ExperimentResult`] carrying every statistic the paper's
-//! figures report.
+//! [`ExperimentConfig`] predates the unified [`ExperimentSpec`] and
+//! survives as a thin shim: it converts itself to a spec
+//! ([`ExperimentConfig::to_spec`]) and runs through the one
+//! [`Runner`](crate::runner::Runner).  New code should build
+//! [`ExperimentSpec`]s directly.
 
 use serde::{Deserialize, Serialize};
 
 use srlb_metrics::{Cdf, RequestClass, ResponseTimeCollector, Summary};
-use srlb_server::{PolicyConfig, ServerStats};
-use srlb_sim::SimDuration;
-use srlb_workload::{PoissonWorkload, Request, WikipediaWorkload};
+use srlb_server::ServerStats;
+use srlb_workload::Request;
 
-use crate::calibration::analytic_lambda0;
-use crate::dispatch::DispatcherConfig;
 use crate::lb_node::LbStats;
-use crate::testbed::{Testbed, TestbedConfig};
+use crate::runner::{RunOutcome, Runner};
+use crate::spec::{ClusterSpec, ExperimentSpec, WorkloadSpec};
 use crate::CoreError;
 
-/// The load-balancing policy under test, named as in the paper.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
-pub enum PolicyKind {
-    /// `RR`: each query is assigned to one random server, no Service
-    /// Hunting.
-    RoundRobin,
-    /// `SRc`: Service Hunting over two random candidates with the static
-    /// acceptance threshold `c`.
-    Static {
-        /// The busy-thread threshold `c`.
-        threshold: usize,
-    },
-    /// `SRdyn`: Service Hunting with the dynamic threshold policy.
-    Dynamic,
-    /// Service Hunting with an explicit candidate count and policy (used by
-    /// the ablation benches).
-    Custom {
-        /// Number of candidates in the SR list.
-        candidates: usize,
-        /// Per-server acceptance policy.
-        policy: PolicyConfig,
-    },
-}
+pub use crate::spec::PolicyKind;
 
-impl PolicyKind {
-    /// The display name used in the paper's figures.
-    pub fn label(&self) -> String {
-        match self {
-            PolicyKind::RoundRobin => "RR".to_string(),
-            PolicyKind::Static { threshold } => format!("SR{threshold}"),
-            PolicyKind::Dynamic => "SRdyn".to_string(),
-            PolicyKind::Custom { candidates, policy } => {
-                format!("custom-k{}-{}", candidates, policy.name())
-            }
-        }
-    }
-
-    /// The dispatcher this policy requires.
-    pub fn dispatcher(&self) -> DispatcherConfig {
-        match self {
-            PolicyKind::RoundRobin => DispatcherConfig::Random { k: 1 },
-            PolicyKind::Static { .. } | PolicyKind::Dynamic => DispatcherConfig::Random { k: 2 },
-            PolicyKind::Custom { candidates, .. } => DispatcherConfig::Random { k: *candidates },
-        }
-    }
-
-    /// The per-server acceptance policy this policy requires.
-    pub fn acceptance_policy(&self) -> PolicyConfig {
-        match self {
-            // With a single candidate the policy is never consulted.
-            PolicyKind::RoundRobin => PolicyConfig::AlwaysAccept,
-            PolicyKind::Static { threshold } => PolicyConfig::Static {
-                threshold: *threshold,
-            },
-            PolicyKind::Dynamic => PolicyConfig::paper_dynamic(),
-            PolicyKind::Custom { policy, .. } => *policy,
-        }
-    }
-}
-
-/// The workload driven through the cluster.
+/// The workload driven through the cluster (legacy shape; the spec's
+/// [`WorkloadSpec`] adds explicit-rate Poisson).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum WorkloadKind {
     /// The Poisson workload of Section V.
@@ -108,7 +50,36 @@ pub enum WorkloadKind {
     },
 }
 
-/// A complete experiment configuration.
+impl WorkloadKind {
+    /// The spec-level workload this legacy shape maps to.
+    pub fn to_spec(&self) -> WorkloadSpec {
+        match self {
+            WorkloadKind::Poisson {
+                rho,
+                lambda0,
+                queries,
+                mean_service_ms,
+            } => WorkloadSpec::Poisson {
+                rho: *rho,
+                lambda0: *lambda0,
+                queries: *queries,
+                mean_service_ms: *mean_service_ms,
+            },
+            WorkloadKind::Wikipedia {
+                hours,
+                load_fraction,
+            } => WorkloadSpec::Wikipedia {
+                hours: *hours,
+                load_fraction: *load_fraction,
+            },
+            WorkloadKind::Trace { requests } => WorkloadSpec::Trace {
+                requests: requests.clone(),
+            },
+        }
+    }
+}
+
+/// A complete experiment configuration (legacy shape).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ExperimentConfig {
     /// The workload.
@@ -223,85 +194,66 @@ impl ExperimentConfig {
                 lambda0,
                 mean_service_ms,
                 ..
-            } => {
-                Some(lambda0.unwrap_or_else(|| {
-                    analytic_lambda0(self.servers, self.cores, *mean_service_ms)
-                }))
-            }
+            } => Some(lambda0.unwrap_or_else(|| {
+                crate::calibration::analytic_lambda0(self.servers, self.cores, *mean_service_ms)
+            })),
             _ => None,
         }
     }
 
-    /// Generates the request trace for this configuration.
+    /// Generates the request trace for this configuration (eager
+    /// convenience; the runner itself streams).
     pub fn generate_requests(&self) -> Vec<Request> {
-        match &self.workload {
-            WorkloadKind::Poisson {
-                rho,
-                queries,
-                mean_service_ms,
-                ..
-            } => {
-                let lambda0 = self
-                    .effective_lambda0()
-                    .expect("poisson workload has a lambda0");
-                PoissonWorkload::paper(*rho, lambda0)
-                    .with_queries(*queries)
-                    .with_service(srlb_workload::ServiceTime::Exponential {
-                        mean_ms: *mean_service_ms,
-                    })
-                    .generate(self.seed)
-            }
-            WorkloadKind::Wikipedia {
-                hours,
-                load_fraction,
-            } => WikipediaWorkload::paper()
-                .with_duration_hours(*hours)
-                .with_load_fraction(*load_fraction)
-                .generate(self.seed),
-            WorkloadKind::Trace { requests } => requests.clone(),
+        // An explicit trace is already materialised: one copy, not a
+        // spec-level clone followed by a stream drain.
+        if let WorkloadKind::Trace { requests } = &self.workload {
+            return requests.clone();
+        }
+        let spec = self.to_spec();
+        let mut stream = spec.workload.stream(spec.seed, &spec.cluster);
+        srlb_workload::stream::collect(stream.as_mut())
+    }
+
+    /// The unified [`ExperimentSpec`] this configuration denotes: a static
+    /// cluster (no scenario events) on the paper's uniform topology.
+    pub fn to_spec(&self) -> ExperimentSpec {
+        ExperimentSpec {
+            name: self.policy.label(),
+            seed: self.seed,
+            workload: self.workload.to_spec(),
+            cluster: ClusterSpec {
+                initial_servers: self.servers,
+                max_servers: self.servers,
+                workers: self.workers,
+                cores: self.cores,
+                backlog: self.backlog,
+                capacity_overrides: Vec::new(),
+                vips: 1,
+                recover_flows: false,
+                record_load: self.record_load,
+            },
+            topology: srlb_sim::TopologyModel::paper(),
+            scenario: Vec::new(),
+            policy: self.policy,
+            request_delay_ms: 0.0,
         }
     }
 
-    /// Runs the experiment.
+    /// Runs the experiment through the unified [`Runner`].
     ///
     /// # Errors
     ///
-    /// Returns [`CoreError::InvalidConfig`] if the derived testbed
-    /// configuration is invalid (e.g. more candidates than servers).
+    /// Returns [`CoreError::InvalidConfig`] if the derived spec is invalid
+    /// (e.g. more candidates than servers).
     pub fn run(&self) -> Result<ExperimentResult, CoreError> {
-        let requests = self.generate_requests();
-        let testbed_config = TestbedConfig {
-            servers: self.servers,
-            workers: self.workers,
-            cores: self.cores,
-            backlog: self.backlog,
-            policy: self.policy.acceptance_policy(),
-            dispatcher: self.policy.dispatcher(),
-            link_latency: SimDuration::from_micros(50),
-            record_load: self.record_load,
-            seed: self.seed,
-        };
-        let testbed = Testbed::new(testbed_config)?;
-        let outcome = testbed.run(requests);
-
-        let summary = outcome.collector.summary(None);
-        Ok(ExperimentResult {
-            label: self.policy.label(),
-            rho: match &self.workload {
+        let outcome = Runner::new(self.to_spec())?.run();
+        Ok(ExperimentResult::from_outcome(
+            outcome,
+            match &self.workload {
                 WorkloadKind::Poisson { rho, .. } => Some(*rho),
                 _ => None,
             },
-            sent: outcome.collector.len(),
-            completed: outcome.collector.completed_count(),
-            resets: outcome.collector.reset_count(),
-            response_times: summary,
-            collector: outcome.collector,
-            server_stats: outcome.server_stats,
-            load_series: outcome.load_series,
-            acceptance_ratios: outcome.acceptance_ratios,
-            lb_stats: outcome.lb_stats,
-            duration_seconds: outcome.duration_seconds,
-        })
+        ))
     }
 }
 
@@ -335,6 +287,25 @@ pub struct ExperimentResult {
 }
 
 impl ExperimentResult {
+    /// Projects a [`RunOutcome`] into the legacy result shape.
+    pub fn from_outcome(outcome: RunOutcome, rho: Option<f64>) -> Self {
+        let summary = outcome.collector.summary(None);
+        ExperimentResult {
+            label: outcome.label,
+            rho,
+            sent: outcome.collector.len(),
+            completed: outcome.collector.completed_count(),
+            resets: outcome.collector.reset_count(),
+            response_times: summary,
+            collector: outcome.collector,
+            server_stats: outcome.server_stats,
+            load_series: outcome.load_series,
+            acceptance_ratios: outcome.acceptance_ratios,
+            lb_stats: outcome.lb_stats,
+            duration_seconds: outcome.duration_seconds,
+        }
+    }
+
     /// Mean completed response time in seconds (how Figure 2 reports it).
     pub fn mean_response_seconds(&self) -> f64 {
         self.response_times.mean() / 1e3
@@ -369,35 +340,7 @@ impl ExperimentResult {
 #[cfg(test)]
 mod tests {
     use super::*;
-
-    #[test]
-    fn policy_kind_labels_and_mappings() {
-        assert_eq!(PolicyKind::RoundRobin.label(), "RR");
-        assert_eq!(PolicyKind::Static { threshold: 4 }.label(), "SR4");
-        assert_eq!(PolicyKind::Dynamic.label(), "SRdyn");
-        assert_eq!(
-            PolicyKind::RoundRobin.dispatcher(),
-            DispatcherConfig::Random { k: 1 }
-        );
-        assert_eq!(
-            PolicyKind::Static { threshold: 8 }.dispatcher(),
-            DispatcherConfig::Random { k: 2 }
-        );
-        assert_eq!(
-            PolicyKind::Static { threshold: 8 }.acceptance_policy(),
-            PolicyConfig::Static { threshold: 8 }
-        );
-        assert_eq!(
-            PolicyKind::Dynamic.acceptance_policy(),
-            PolicyConfig::paper_dynamic()
-        );
-        let custom = PolicyKind::Custom {
-            candidates: 3,
-            policy: PolicyConfig::Static { threshold: 2 },
-        };
-        assert_eq!(custom.dispatcher(), DispatcherConfig::Random { k: 3 });
-        assert!(custom.label().contains("k3"));
-    }
+    use srlb_server::PolicyConfig;
 
     #[test]
     fn effective_lambda0_defaults_to_analytic_capacity() {
@@ -473,5 +416,10 @@ mod tests {
             WorkloadKind::Wikipedia { hours, .. } => assert_eq!(hours, 0.5),
             _ => panic!("expected wikipedia workload"),
         }
+        let spec = config.to_spec();
+        assert_eq!(spec.cluster.initial_servers, 6);
+        assert_eq!(spec.cluster.max_servers, 6);
+        assert!(spec.cluster.record_load);
+        assert!(spec.scenario.is_empty());
     }
 }

@@ -12,23 +12,28 @@
 //! * [`lb_node`] — the load balancer simulation node: SRH insertion on new
 //!   flows, flow learning, and steering of established flows,
 //! * [`client`] — the open-loop traffic generator / measurement client,
-//! * [`testbed`] — wiring of client + load balancer + N servers into a
-//!   simulated data centre,
-//! * [`experiment`] — high-level experiment configurations matching the
-//!   paper's evaluation scenarios, and their results,
+//! * [`spec`] — the **unified experiment schema**: a serde-round-trippable
+//!   [`ExperimentSpec`] = `workload × cluster × topology × scenario ×
+//!   policy`,
+//! * [`runner`] — the one [`Runner`] every experiment goes through: it
+//!   streams the workload on demand and advances the simulation in
+//!   segments around the scheduled control events (a static cluster is the
+//!   degenerate single-segment case),
+//! * [`testbed`] / [`experiment`] — legacy configuration shapes, now thin
+//!   shims over `spec` + `runner`,
 //! * [`calibration`] — the λ₀ (maximum sustainable rate) bootstrap.
 //!
 //! ## Example
 //!
 //! ```
-//! use srlb_core::experiment::{ExperimentConfig, PolicyKind};
+//! use srlb_core::spec::{ExperimentSpec, PolicyKind};
+//! use srlb_core::runner::Runner;
 //!
-//! let result = ExperimentConfig::poisson_quick(0.6, PolicyKind::Static { threshold: 4 })
+//! let spec = ExperimentSpec::poisson_paper(0.6, PolicyKind::Static { threshold: 4 })
 //!     .with_queries(300)
-//!     .with_seed(1)
-//!     .run()
-//!     .expect("experiment runs");
-//! assert!(result.completed > 0);
+//!     .with_seed(1);
+//! let outcome = Runner::new(spec).expect("spec is valid").run();
+//! assert!(outcome.collector.completed_count() > 0);
 //! ```
 
 #![forbid(unsafe_code)]
@@ -41,13 +46,20 @@ pub mod dispatch;
 pub mod experiment;
 pub mod flow_table;
 pub mod lb_node;
+pub mod runner;
+pub mod spec;
 pub mod testbed;
 
 pub use client::ClientNode;
 pub use dispatch::{CandidateList, Dispatcher, DispatcherConfig, MAX_CANDIDATES};
-pub use experiment::{ExperimentConfig, ExperimentResult, PolicyKind, WorkloadKind};
+pub use experiment::{ExperimentConfig, ExperimentResult, WorkloadKind};
 pub use flow_table::FlowTable;
 pub use lb_node::{LbStats, LoadBalancerNode};
+pub use runner::{RunOutcome, Runner};
+pub use spec::{
+    CapacityOverride, ClusterSpec, ExperimentSpec, PolicyKind, ScenarioEvent, TimedEvent,
+    WorkloadSpec,
+};
 pub use testbed::{Testbed, TestbedConfig, TestbedResult};
 
 /// Errors produced by experiment configuration and execution.

@@ -1,0 +1,384 @@
+//! The unified experiment runner.
+//!
+//! [`Runner`] executes an [`ExperimentSpec`] end to end: it lays out node
+//! ids and addresses for the *whole potential cluster* (`max_servers`) up
+//! front — so adding a backend later never perturbs the id ↔ address
+//! mapping and runs stay deterministic — pulls the workload on demand from
+//! its [`Workload`](srlb_workload::Workload) stream, and advances the
+//! simulation in **segments**: up to each scheduled control event's
+//! timestamp, apply the event through the simulator's control-delivery
+//! primitives, continue.  A static cluster is simply the degenerate
+//! single-segment case with an empty schedule.
+//!
+//! Both the figure harness (`srlb-bench`) and the scenario crate
+//! (`srlb-scenario`) are thin clients of this runner.
+
+use std::net::Ipv6Addr;
+
+use srlb_metrics::{DisruptionCollector, PhaseStats, ResponseTimeCollector};
+use srlb_net::{AddressPlan, Packet, ServerId};
+use srlb_server::{Directory, ServerConfig, ServerNode, ServerStats};
+use srlb_sim::{Network, NodeId, RunLimit, SimDuration, SimTime};
+
+use crate::client::{client_addr_count, ClientNode};
+use crate::lb_node::{LbStats, LoadBalancerNode};
+use crate::spec::{ExperimentSpec, ScenarioEvent};
+use crate::CoreError;
+
+/// Everything measured during one experiment run.
+///
+/// This is the superset both legacy result types project from:
+/// `ExperimentResult` (paper figures) and the scenario crate's
+/// `ScenarioOutcome`.
+#[derive(Debug, Clone)]
+pub struct RunOutcome {
+    /// The spec's name.
+    pub name: String,
+    /// Policy label (`"RR"`, `"SR4"`, `"SRdyn"`, `"explicit-…"`, …).
+    pub label: String,
+    /// The dispatcher's report name (over the initial backend set).
+    pub dispatcher_name: String,
+    /// Per-request records collected by the client.
+    pub collector: ResponseTimeCollector,
+    /// Load-balancer counters.
+    pub lb_stats: LbStats,
+    /// Per-server counters indexed by server (over `max_servers`), merged
+    /// across remove/re-add incarnations.
+    pub server_stats: Vec<ServerStats>,
+    /// Per-server `(time_seconds, busy_workers)` samples (empty unless
+    /// `record_load` was enabled), merged across incarnations.
+    pub load_series: Vec<Vec<(f64, usize)>>,
+    /// Per-server first-candidate acceptance ratios: the latest
+    /// incarnation's ratio — as of removal time for servers that ended the
+    /// run down, `0.0` for reserved slots that never came up.
+    pub acceptance_ratios: Vec<f64>,
+    /// Per-phase disruption statistics (phases delimited by the scenario
+    /// events; a single phase for static runs).
+    pub phases: Vec<PhaseStats>,
+    /// Seconds between the fail-over and the last re-hunt, if any.
+    pub reconstruction_latency_s: Option<f64>,
+    /// Simulated duration of the run in seconds.
+    pub duration_seconds: f64,
+    /// Total simulation events processed.
+    pub events_processed: u64,
+}
+
+/// Executes [`ExperimentSpec`]s.
+#[derive(Debug, Clone)]
+pub struct Runner {
+    spec: ExperimentSpec,
+}
+
+impl Runner {
+    /// Creates a runner for a validated spec.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidConfig`] if
+    /// [`ExperimentSpec::validate`] rejects the spec.
+    pub fn new(spec: ExperimentSpec) -> Result<Self, CoreError> {
+        spec.validate()?;
+        Ok(Runner { spec })
+    }
+
+    /// The spec this runner executes.
+    pub fn spec(&self) -> &ExperimentSpec {
+        &self.spec
+    }
+
+    /// Runs the experiment to completion.  Deterministic: the same spec
+    /// always produces the same outcome.
+    pub fn run(&self) -> RunOutcome {
+        let spec = &self.spec;
+        let cluster = &spec.cluster;
+        let plan = AddressPlan::default();
+
+        let source = spec.workload.stream(spec.seed, cluster);
+        let total_requests = source.remaining();
+
+        // Fixed id ↔ address layout over the whole potential cluster.
+        let client_id = NodeId(0);
+        let lb_id = NodeId(1);
+        let server_node_id = |i: usize| NodeId(2 + i);
+        let server_ids: Vec<NodeId> = (0..cluster.max_servers).map(server_node_id).collect();
+
+        let mut directory = Directory::new();
+        for a in 0..client_addr_count(total_requests) {
+            directory.register(plan.client_addr(a), client_id);
+        }
+        directory.register(plan.lb_addr(), lb_id);
+        let vips: Vec<Ipv6Addr> = (0..cluster.vips).map(|v| plan.vip(v)).collect();
+        for &vip in &vips {
+            directory.register(vip, lb_id);
+        }
+        for (i, &sid) in server_ids.iter().enumerate() {
+            directory.register(plan.server_addr(ServerId(i as u32)), sid);
+        }
+
+        let mut network: Network<Packet> = Network::new(
+            spec.seed,
+            spec.topology.build(client_id, lb_id, &server_ids),
+        );
+
+        let client = ClientNode::from_workload(plan.clone(), vips[0], directory.clone(), source)
+            .with_vips(vips.clone())
+            .with_request_delay(SimDuration::from_millis_f64(spec.request_delay_ms));
+        let added_client = network.add_node(client);
+        debug_assert_eq!(added_client, client_id);
+
+        let mut alive: Vec<bool> = (0..cluster.max_servers)
+            .map(|i| i < cluster.initial_servers)
+            .collect();
+        let alive_addrs = |alive: &[bool]| -> Vec<Ipv6Addr> {
+            alive
+                .iter()
+                .enumerate()
+                .filter(|(_, &up)| up)
+                .map(|(i, _)| plan.server_addr(ServerId(i as u32)))
+                .collect()
+        };
+
+        let mut lb = LoadBalancerNode::new(
+            plan.lb_addr(),
+            vips[0],
+            directory.clone(),
+            spec.policy.dispatcher().build(alive_addrs(&alive)),
+        )
+        .with_vips(vips.clone());
+        if cluster.recover_flows {
+            lb = lb.with_flow_recovery();
+        }
+        let dispatcher_name = lb.dispatcher_name();
+        let added_lb = network.add_node(lb);
+        debug_assert_eq!(added_lb, lb_id);
+
+        let acceptance = spec.policy.acceptance_policy();
+        let server_config = |i: usize| -> ServerConfig {
+            let (workers, cores) = cluster.capacity_of(i as u32);
+            ServerConfig {
+                server_index: i as u32,
+                addr: plan.server_addr(ServerId(i as u32)),
+                lb_addr: plan.lb_addr(),
+                workers,
+                cores,
+                backlog: cluster.backlog,
+                policy: acceptance,
+                record_load: cluster.record_load,
+            }
+        };
+        for (i, up) in alive.iter().enumerate() {
+            if *up {
+                let added = network.add_node(ServerNode::new(server_config(i), directory.clone()));
+                debug_assert_eq!(added, server_node_id(i));
+            } else {
+                let reserved = network.reserve_node();
+                debug_assert_eq!(reserved, server_node_id(i));
+            }
+        }
+
+        // Per-server accumulators, merged across remove/re-add incarnations.
+        let mut merged_stats = vec![ServerStats::default(); cluster.max_servers];
+        let mut load_series: Vec<Vec<(f64, usize)>> = vec![Vec::new(); cluster.max_servers];
+        let mut acceptance_ratios = vec![0.0f64; cluster.max_servers];
+        let mut harvest = |node: ServerNode, i: usize| {
+            merged_stats[i].absorb(node.stats());
+            load_series[i].extend_from_slice(node.load_samples());
+            acceptance_ratios[i] = node.agent().acceptance_ratio();
+        };
+
+        // Segment the run at each control event's timestamp.
+        let mut boundaries: Vec<(String, f64)> = Vec::with_capacity(spec.scenario.len());
+        for timed in &spec.scenario {
+            network.run_with_limit(RunLimit::until(SimTime::from_secs_f64(timed.at_seconds)));
+            boundaries.push((timed.event.label(), timed.at_seconds));
+            match timed.event {
+                ScenarioEvent::AddServer { server } => {
+                    let i = server as usize;
+                    network.insert_node(
+                        server_node_id(i),
+                        ServerNode::new(server_config(i), directory.clone()),
+                    );
+                    alive[i] = true;
+                    let addrs = alive_addrs(&alive);
+                    network
+                        .node_as_mut::<LoadBalancerNode>(lb_id)
+                        .expect("load balancer present")
+                        .rebuild_backends(addrs);
+                }
+                ScenarioEvent::RemoveServer { server } => {
+                    let i = server as usize;
+                    let node: ServerNode = network
+                        .take_node(server_node_id(i))
+                        .expect("validated schedule removes only live servers");
+                    harvest(node, i);
+                    alive[i] = false;
+                    let addrs = alive_addrs(&alive);
+                    network
+                        .node_as_mut::<LoadBalancerNode>(lb_id)
+                        .expect("load balancer present")
+                        .rebuild_backends(addrs);
+                }
+                ScenarioEvent::LbFailover => {
+                    network
+                        .control::<LoadBalancerNode, _>(lb_id, |lb, ctx| lb.fail_over(ctx.now()))
+                        .expect("load balancer present");
+                }
+                ScenarioEvent::SetCapacity {
+                    server,
+                    workers,
+                    cores,
+                } => {
+                    network
+                        .control::<ServerNode, _>(server_node_id(server as usize), |s, ctx| {
+                            s.set_capacity(workers, cores, ctx)
+                        })
+                        .expect("validated schedule resizes only live servers");
+                }
+            }
+        }
+
+        // Drain the remaining events.  Each request generates a small,
+        // bounded number of simulation events (SYN, hunt hops, SYN-ACK,
+        // request, service timer, response, …); 96 per request is a
+        // generous safety margin that also covers post-failover re-hunts
+        // and ownership adverts.
+        let limit = RunLimit::max_events((total_requests as u64).saturating_mul(96) + 10_000);
+        let stats = network.run_with_limit(limit);
+
+        for (i, up) in alive.iter().enumerate() {
+            if *up {
+                let node: ServerNode = network
+                    .take_node(server_node_id(i))
+                    .expect("live server present after run");
+                harvest(node, i);
+            }
+        }
+        let lb_node: LoadBalancerNode = network
+            .take_node(lb_id)
+            .expect("load balancer present after run");
+        let client_node: ClientNode = network
+            .take_node(client_id)
+            .expect("client present after run");
+        let collector = client_node.into_collector();
+
+        let phases =
+            DisruptionCollector::new(boundaries, cluster.max_servers).stats(collector.records());
+
+        RunOutcome {
+            name: spec.name.clone(),
+            label: spec.policy.label(),
+            dispatcher_name,
+            reconstruction_latency_s: lb_node.reconstruction_latency_seconds(),
+            lb_stats: lb_node.stats(),
+            server_stats: merged_stats,
+            load_series,
+            acceptance_ratios,
+            phases,
+            collector,
+            duration_seconds: stats.last_event_time.as_secs_f64(),
+            events_processed: stats.events_processed,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{PolicyKind, WorkloadSpec};
+    use srlb_sim::TopologyModel;
+
+    fn quick_spec(rho: f64, policy: PolicyKind) -> ExperimentSpec {
+        ExperimentSpec::poisson_paper(rho, policy).with_queries(400)
+    }
+
+    #[test]
+    fn static_run_completes_and_reports() {
+        let outcome = Runner::new(quick_spec(0.5, PolicyKind::Static { threshold: 4 }))
+            .unwrap()
+            .run();
+        assert_eq!(outcome.label, "SR4");
+        assert_eq!(outcome.collector.len(), 400);
+        assert!(outcome.collector.completed_count() > 0);
+        assert_eq!(outcome.server_stats.len(), 12);
+        assert_eq!(outcome.phases.len(), 1, "static run is a single phase");
+        assert!(outcome.duration_seconds > 0.0);
+        assert!(outcome.events_processed > 400);
+    }
+
+    #[test]
+    fn invalid_spec_is_rejected_at_construction() {
+        let mut spec = quick_spec(0.5, PolicyKind::RoundRobin);
+        spec.cluster.initial_servers = 0;
+        assert!(Runner::new(spec).is_err());
+    }
+
+    #[test]
+    fn identical_specs_give_identical_outcomes() {
+        let spec = quick_spec(0.7, PolicyKind::Dynamic).with_seed(11);
+        let a = Runner::new(spec.clone()).unwrap().run();
+        let b = Runner::new(spec).unwrap().run();
+        assert_eq!(a.collector.records(), b.collector.records());
+        assert_eq!(a.events_processed, b.events_processed);
+    }
+
+    #[test]
+    fn scenario_events_segment_the_run() {
+        let spec = quick_spec(
+            0.6,
+            PolicyKind::Explicit {
+                dispatcher: crate::dispatch::DispatcherConfig::ConsistentHash { vnodes: 64, k: 2 },
+                acceptance: srlb_server::PolicyConfig::Static { threshold: 4 },
+            },
+        )
+        .at(1.0, ScenarioEvent::LbFailover);
+        let mut spec = spec;
+        spec.cluster.recover_flows = true;
+        let outcome = Runner::new(spec).unwrap().run();
+        assert_eq!(outcome.lb_stats.failovers, 1);
+        assert_eq!(outcome.phases.len(), 2);
+        assert!(outcome.dispatcher_name.contains("consistent"));
+    }
+
+    #[test]
+    fn rack_zone_topology_runs_end_to_end() {
+        let spec = quick_spec(0.4, PolicyKind::Static { threshold: 4 })
+            .with_topology(TopologyModel::rack_zone_default());
+        let outcome = Runner::new(spec).unwrap().run();
+        assert_eq!(outcome.collector.len(), 400);
+        assert!(outcome.collector.completed_count() > 0);
+    }
+
+    #[test]
+    fn asymmetric_topology_changes_response_times_but_not_determinism() {
+        let uniform = Runner::new(quick_spec(0.4, PolicyKind::RoundRobin))
+            .unwrap()
+            .run();
+        let spec = quick_spec(0.4, PolicyKind::RoundRobin).with_topology(TopologyModel::RackZone {
+            racks: 3,
+            intra_rack_us: 50,
+            cross_rack_us: 50,
+            client_link_us: 5_000,
+        });
+        let remote = Runner::new(spec.clone()).unwrap().run();
+        let remote2 = Runner::new(spec).unwrap().run();
+        assert_eq!(remote.collector.records(), remote2.collector.records());
+        // A 5 ms client edge adds ≥ 10 ms round trip to every response.
+        let u = uniform.collector.summary(None).mean();
+        let r = remote.collector.summary(None).mean();
+        assert!(r > u + 10.0, "uniform mean {u} ms vs remote mean {r} ms");
+    }
+
+    #[test]
+    fn trace_workload_replays_explicit_requests() {
+        let requests = srlb_workload::PoissonWorkload::new(
+            50.0,
+            100,
+            srlb_workload::ServiceTime::Exponential { mean_ms: 10.0 },
+        )
+        .generate(3);
+        let mut spec = quick_spec(0.5, PolicyKind::RoundRobin);
+        spec.workload = WorkloadSpec::Trace { requests };
+        let outcome = Runner::new(spec).unwrap().run();
+        assert_eq!(outcome.collector.len(), 100);
+    }
+}

@@ -1,0 +1,881 @@
+//! The unified, declarative experiment schema.
+//!
+//! An [`ExperimentSpec`] is the single description every SRLB experiment
+//! runs from: a *workload* (streamed, never pre-materialised), a *cluster*,
+//! a *topology* model, an optional *scenario* (a time-ordered schedule of
+//! control events), and a *policy*.  It is plain serde data, so any
+//! experiment — a paper figure point, a dynamic-cluster scenario, or a
+//! cross product of both — can be committed as JSON and replayed
+//! bit-for-bit with [`Runner`](crate::runner::Runner) (see
+//! `examples/specs/` at the workspace root).
+//!
+//! This module subsumes what used to be three disjoint schemas:
+//! `ExperimentConfig` (paper figures), `TestbedConfig` (cluster wiring) and
+//! the scenario crate's schedule.  Those types survive as thin
+//! compatibility shims over this one.
+
+use serde::{Deserialize, Serialize};
+
+use srlb_server::PolicyConfig;
+use srlb_sim::TopologyModel;
+use srlb_workload::{
+    requests_into_stream, BoxedWorkload, PoissonWorkload, Request, ServiceTime, WikipediaWorkload,
+};
+
+use crate::calibration::analytic_lambda0;
+use crate::dispatch::DispatcherConfig;
+use crate::lb_node::MAX_RECOVERY_CANDIDATES;
+use crate::CoreError;
+
+// ---------------------------------------------------------------------------
+// Policy
+// ---------------------------------------------------------------------------
+
+/// The load-balancing policy under test, named as in the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum PolicyKind {
+    /// `RR`: each query is assigned to one random server, no Service
+    /// Hunting.
+    RoundRobin,
+    /// `SRc`: Service Hunting over two random candidates with the static
+    /// acceptance threshold `c`.
+    Static {
+        /// The busy-thread threshold `c`.
+        threshold: usize,
+    },
+    /// `SRdyn`: Service Hunting with the dynamic threshold policy.
+    Dynamic,
+    /// Service Hunting with an explicit candidate count and policy (used by
+    /// the ablation benches).
+    Custom {
+        /// Number of candidates in the SR list.
+        candidates: usize,
+        /// Per-server acceptance policy.
+        policy: PolicyConfig,
+    },
+    /// Fully explicit pairing of a candidate-selection dispatcher and a
+    /// per-server acceptance policy — the form the dynamic-cluster
+    /// scenarios use (consistent-hash / Maglev selection).
+    Explicit {
+        /// Candidate-selection policy at the load balancer.
+        dispatcher: DispatcherConfig,
+        /// Per-server acceptance policy.
+        acceptance: PolicyConfig,
+    },
+}
+
+impl PolicyKind {
+    /// The display name used in the paper's figures.
+    pub fn label(&self) -> String {
+        match self {
+            PolicyKind::RoundRobin => "RR".to_string(),
+            PolicyKind::Static { threshold } => format!("SR{threshold}"),
+            PolicyKind::Dynamic => "SRdyn".to_string(),
+            PolicyKind::Custom { candidates, policy } => {
+                format!("custom-k{}-{}", candidates, policy.name())
+            }
+            PolicyKind::Explicit {
+                dispatcher,
+                acceptance,
+            } => format!("explicit-k{}-{}", dispatcher.fanout(), acceptance.name()),
+        }
+    }
+
+    /// The dispatcher this policy requires.
+    pub fn dispatcher(&self) -> DispatcherConfig {
+        match self {
+            PolicyKind::RoundRobin => DispatcherConfig::Random { k: 1 },
+            PolicyKind::Static { .. } | PolicyKind::Dynamic => DispatcherConfig::Random { k: 2 },
+            PolicyKind::Custom { candidates, .. } => DispatcherConfig::Random { k: *candidates },
+            PolicyKind::Explicit { dispatcher, .. } => *dispatcher,
+        }
+    }
+
+    /// The per-server acceptance policy this policy requires.
+    pub fn acceptance_policy(&self) -> PolicyConfig {
+        match self {
+            // With a single candidate the policy is never consulted.
+            PolicyKind::RoundRobin => PolicyConfig::AlwaysAccept,
+            PolicyKind::Static { threshold } => PolicyConfig::Static {
+                threshold: *threshold,
+            },
+            PolicyKind::Dynamic => PolicyConfig::paper_dynamic(),
+            PolicyKind::Custom { policy, .. } => *policy,
+            PolicyKind::Explicit { acceptance, .. } => *acceptance,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Scenario schedule
+// ---------------------------------------------------------------------------
+
+/// A control action injected into a running experiment.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum ScenarioEvent {
+    /// Brings up the backend with the given index (fresh state), which must
+    /// currently be down, and rebuilds the dispatcher over the grown set.
+    AddServer {
+        /// Index of the server (must be `< max_servers`).
+        server: u32,
+    },
+    /// Removes the backend with the given index abruptly (its established
+    /// connections are lost) and rebuilds the dispatcher over the shrunk
+    /// set.
+    RemoveServer {
+        /// Index of the server to remove.
+        server: u32,
+    },
+    /// Fails the load balancer over to a cold standby at the same address:
+    /// the flow table is lost and must be reconstructed in-band.
+    LbFailover,
+    /// Re-provisions a live backend's capacity (workers and cores) without
+    /// interrupting running requests.
+    SetCapacity {
+        /// Index of the server to re-provision.
+        server: u32,
+        /// New worker-thread count.
+        workers: usize,
+        /// New CPU core count.
+        cores: usize,
+    },
+}
+
+impl ScenarioEvent {
+    /// A short label naming the event (used for phase labels in reports).
+    pub fn label(&self) -> String {
+        match self {
+            ScenarioEvent::AddServer { server } => format!("add-server-{server}"),
+            ScenarioEvent::RemoveServer { server } => format!("remove-server-{server}"),
+            ScenarioEvent::LbFailover => "lb-failover".to_string(),
+            ScenarioEvent::SetCapacity {
+                server,
+                workers,
+                cores,
+            } => format!("set-capacity-{server}-{workers}w{cores}c"),
+        }
+    }
+}
+
+/// A [`ScenarioEvent`] scheduled at an absolute simulated time.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TimedEvent {
+    /// When the event fires, in seconds since the start of the run.  All
+    /// packet events at or before this instant are delivered first.
+    pub at_seconds: f64,
+    /// The control action.
+    pub event: ScenarioEvent,
+}
+
+/// Initial capacity override for one backend (heterogeneous clusters).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CapacityOverride {
+    /// Index of the server.
+    pub server: u32,
+    /// Worker threads (instead of the cluster-wide default).
+    pub workers: usize,
+    /// CPU cores (instead of the cluster-wide default).
+    pub cores: usize,
+}
+
+// ---------------------------------------------------------------------------
+// Cluster
+// ---------------------------------------------------------------------------
+
+/// Static description of the cluster an experiment runs on.
+///
+/// The candidate-selection and acceptance policies live in
+/// [`ExperimentSpec::policy`], not here: the cluster is the *capacity*
+/// axis, the policy is the *algorithm* axis, and specs sweep them
+/// independently.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClusterSpec {
+    /// Backends alive when the run starts.
+    pub initial_servers: usize,
+    /// Upper bound on the backend count (fixes the address/node-id layout;
+    /// `AddServer` events may only name indices below this).
+    pub max_servers: usize,
+    /// Default worker threads per backend.
+    pub workers: usize,
+    /// Default CPU cores per backend.
+    pub cores: usize,
+    /// TCP backlog per backend.
+    pub backlog: usize,
+    /// Per-backend initial capacity overrides (heterogeneous clusters).
+    pub capacity_overrides: Vec<CapacityOverride>,
+    /// Number of VIPs sharing the cluster (requests are assigned
+    /// round-robin by request id).
+    pub vips: u32,
+    /// Whether the load balancer reconstructs lost flow-table entries
+    /// in-band (re-hunt on miss + server ownership adverts).
+    pub recover_flows: bool,
+    /// Whether servers record per-change load samples (Figure 4).
+    pub record_load: bool,
+}
+
+impl ClusterSpec {
+    /// The paper's testbed: 12 servers × 32 workers × 2 cores, backlog 128.
+    pub fn paper() -> Self {
+        ClusterSpec {
+            initial_servers: 12,
+            max_servers: 12,
+            workers: 32,
+            cores: 2,
+            backlog: 128,
+            capacity_overrides: Vec::new(),
+            vips: 1,
+            recover_flows: false,
+            record_load: false,
+        }
+    }
+
+    /// The initial `(workers, cores)` of server `index`, honouring
+    /// overrides.
+    pub fn capacity_of(&self, index: u32) -> (usize, usize) {
+        self.capacity_overrides
+            .iter()
+            .find(|o| o.server == index)
+            .map_or((self.workers, self.cores), |o| (o.workers, o.cores))
+    }
+}
+
+impl Default for ClusterSpec {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Workload
+// ---------------------------------------------------------------------------
+
+/// The workload driven through the cluster, streamed on demand.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum WorkloadSpec {
+    /// The Poisson workload of Section V, parameterised by the normalised
+    /// rate ρ.
+    Poisson {
+        /// Normalised request rate ρ = λ/λ₀.
+        rho: f64,
+        /// Maximum sustainable rate λ₀ in queries per second; `None` uses
+        /// the analytic capacity of the configured cluster.
+        lambda0: Option<f64>,
+        /// Number of queries (the paper uses 20 000).
+        queries: usize,
+        /// Mean (exponential) service time in milliseconds (the paper uses
+        /// 100 ms).
+        mean_service_ms: f64,
+    },
+    /// A Poisson workload at an explicit arrival rate (the form the
+    /// dynamic-cluster scenarios use).
+    PoissonRate {
+        /// Arrival rate in queries per second.
+        rate_qps: f64,
+        /// Total number of queries.
+        queries: usize,
+        /// Mean (exponential) service time in milliseconds.
+        mean_service_ms: f64,
+    },
+    /// The synthetic Wikipedia replay of Section VI.
+    Wikipedia {
+        /// Trace duration in hours (the paper replays 24 hours).
+        hours: f64,
+        /// Fraction of the peak load to replay (the paper uses 50%).
+        load_fraction: f64,
+    },
+    /// An explicit, pre-generated trace.
+    Trace {
+        /// The requests to replay.
+        requests: Vec<Request>,
+    },
+}
+
+impl WorkloadSpec {
+    /// The λ₀ a `Poisson` workload resolves against `cluster` (explicit
+    /// value or the analytic cluster capacity); `None` for other variants.
+    pub fn effective_lambda0(&self, cluster: &ClusterSpec) -> Option<f64> {
+        match self {
+            WorkloadSpec::Poisson {
+                lambda0,
+                mean_service_ms,
+                ..
+            } => Some(lambda0.unwrap_or_else(|| {
+                analytic_lambda0(cluster.initial_servers, cluster.cores, *mean_service_ms)
+            })),
+            _ => None,
+        }
+    }
+
+    /// Opens the workload as a request stream seeded with `seed`.
+    /// `cluster` resolves the analytic λ₀ of normalised-rate Poisson
+    /// workloads.
+    ///
+    /// The generator variants hold O(1) state; the `Trace` variant clones
+    /// its materialised request list so the spec stays reusable — prefer a
+    /// generator variant for very long traces.
+    pub fn stream(&self, seed: u64, cluster: &ClusterSpec) -> BoxedWorkload {
+        match self {
+            WorkloadSpec::Poisson {
+                rho,
+                queries,
+                mean_service_ms,
+                ..
+            } => {
+                let lambda0 = self
+                    .effective_lambda0(cluster)
+                    .expect("poisson workload has a lambda0");
+                Box::new(
+                    PoissonWorkload::paper(*rho, lambda0)
+                        .with_queries(*queries)
+                        .with_service(ServiceTime::Exponential {
+                            mean_ms: *mean_service_ms,
+                        })
+                        .stream(seed),
+                )
+            }
+            WorkloadSpec::PoissonRate {
+                rate_qps,
+                queries,
+                mean_service_ms,
+            } => Box::new(
+                PoissonWorkload::new(
+                    *rate_qps,
+                    *queries,
+                    ServiceTime::Exponential {
+                        mean_ms: *mean_service_ms,
+                    },
+                )
+                .stream(seed),
+            ),
+            WorkloadSpec::Wikipedia {
+                hours,
+                load_fraction,
+            } => Box::new(
+                WikipediaWorkload::paper()
+                    .with_duration_hours(*hours)
+                    .with_load_fraction(*load_fraction)
+                    .stream(seed),
+            ),
+            WorkloadSpec::Trace { requests } => Box::new(requests_into_stream(requests.clone())),
+        }
+    }
+
+    /// Checks the workload's parameters.
+    fn validate(&self) -> Result<(), CoreError> {
+        let bad = |msg: String| Err(CoreError::InvalidConfig(msg));
+        match self {
+            WorkloadSpec::Poisson {
+                rho,
+                lambda0,
+                queries,
+                mean_service_ms,
+            } => {
+                if !rho.is_finite() || *rho <= 0.0 {
+                    return bad(format!("poisson rho {rho} must be positive"));
+                }
+                if let Some(l0) = lambda0 {
+                    if !l0.is_finite() || *l0 <= 0.0 {
+                        return bad(format!("poisson lambda0 {l0} must be positive"));
+                    }
+                }
+                if *queries == 0 {
+                    return bad("the workload needs at least one query".into());
+                }
+                if !mean_service_ms.is_finite() || *mean_service_ms <= 0.0 {
+                    return bad("poisson mean service time must be positive".into());
+                }
+                Ok(())
+            }
+            WorkloadSpec::PoissonRate {
+                rate_qps,
+                queries,
+                mean_service_ms,
+            } => {
+                if *queries == 0 || !rate_qps.is_finite() || *rate_qps <= 0.0 {
+                    return bad("the workload needs at least one query at a positive rate".into());
+                }
+                if !mean_service_ms.is_finite() || *mean_service_ms <= 0.0 {
+                    return bad("poisson mean service time must be positive".into());
+                }
+                Ok(())
+            }
+            WorkloadSpec::Wikipedia {
+                hours,
+                load_fraction,
+            } => {
+                if !hours.is_finite() || *hours <= 0.0 {
+                    return bad("wikipedia trace duration must be positive".into());
+                }
+                if !load_fraction.is_finite() || *load_fraction <= 0.0 {
+                    return bad("wikipedia load fraction must be positive".into());
+                }
+                Ok(())
+            }
+            WorkloadSpec::Trace { requests } => {
+                // The guard the eager client constructor used to enforce:
+                // without it an unsorted or gap-id trace would run to
+                // completion with silently dropped packets (ids map to
+                // client addresses the directory never registered).
+                if !srlb_workload::request::is_well_formed(requests) {
+                    return bad(
+                        "trace requests must be sorted by arrival time with increasing ids".into(),
+                    );
+                }
+                if let Some(last) = requests.last() {
+                    if last.id >= requests.len() as u64 {
+                        return bad(format!(
+                            "trace ids must be contiguous from 0 (last id {} for {} requests)",
+                            last.id,
+                            requests.len()
+                        ));
+                    }
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The spec itself
+// ---------------------------------------------------------------------------
+
+/// A complete, declarative experiment:
+/// `workload × cluster × topology × scenario × policy`.
+///
+/// Every axis is independent, so the spec space is a cross product rather
+/// than a set of hand-wired pairs — e.g. a Wikipedia replay through an
+/// LB-failover schedule on a rack-asymmetric topology is just a spec, not
+/// new driver code.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExperimentSpec {
+    /// Name used in reports and file names.
+    pub name: String,
+    /// Random seed (workload generation and candidate selection).
+    pub seed: u64,
+    /// The workload, streamed on demand.
+    pub workload: WorkloadSpec,
+    /// The cluster description.
+    pub cluster: ClusterSpec,
+    /// The link-latency model.
+    pub topology: TopologyModel,
+    /// Control events, sorted by time; empty for a static cluster (the
+    /// degenerate single-segment run).
+    pub scenario: Vec<TimedEvent>,
+    /// The load-balancing policy under test.
+    pub policy: PolicyKind,
+    /// Client think time between the handshake completing and the HTTP
+    /// request, in milliseconds.  Non-zero values keep connections
+    /// *established but quiescent* for a realistic window — the state a
+    /// load-balancer failover actually disrupts.
+    pub request_delay_ms: f64,
+}
+
+impl ExperimentSpec {
+    /// The paper's Poisson experiment at normalised rate `rho` with the
+    /// given policy: 12 servers × 32 workers, 20 000 queries, exp(100 ms)
+    /// service.
+    pub fn poisson_paper(rho: f64, policy: PolicyKind) -> Self {
+        ExperimentSpec {
+            name: format!("poisson-rho{rho:.2}-{}", policy.label()),
+            seed: 1,
+            workload: WorkloadSpec::Poisson {
+                rho,
+                lambda0: None,
+                queries: 20_000,
+                mean_service_ms: 100.0,
+            },
+            cluster: ClusterSpec::paper(),
+            topology: TopologyModel::paper(),
+            scenario: Vec::new(),
+            policy,
+            request_delay_ms: 0.0,
+        }
+    }
+
+    /// The paper's Wikipedia replay (24 hours at 50% of peak) with the
+    /// given policy.
+    pub fn wikipedia_paper(policy: PolicyKind) -> Self {
+        ExperimentSpec {
+            name: format!("wikipedia-{}", policy.label()),
+            seed: 1,
+            workload: WorkloadSpec::Wikipedia {
+                hours: 24.0,
+                load_fraction: 0.5,
+            },
+            cluster: ClusterSpec::paper(),
+            topology: TopologyModel::paper(),
+            scenario: Vec::new(),
+            policy,
+            request_delay_ms: 0.0,
+        }
+    }
+
+    /// Overrides the name (builder style).
+    pub fn with_name(mut self, name: impl Into<String>) -> Self {
+        self.name = name.into();
+        self
+    }
+
+    /// Overrides the random seed (builder style).
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Overrides the query count of Poisson workloads (builder style); no
+    /// effect on other workloads.
+    pub fn with_queries(mut self, n: usize) -> Self {
+        match &mut self.workload {
+            WorkloadSpec::Poisson { queries, .. } | WorkloadSpec::PoissonRate { queries, .. } => {
+                *queries = n;
+            }
+            _ => {}
+        }
+        self
+    }
+
+    /// Overrides the Wikipedia trace duration in hours (builder style); no
+    /// effect on other workloads.
+    pub fn with_hours(mut self, h: f64) -> Self {
+        if let WorkloadSpec::Wikipedia { hours, .. } = &mut self.workload {
+            *hours = h;
+        }
+        self
+    }
+
+    /// Overrides the cluster size, keeping `max_servers` in lock-step when
+    /// it matched (builder style).
+    pub fn with_servers(mut self, servers: usize) -> Self {
+        if self.cluster.max_servers == self.cluster.initial_servers {
+            self.cluster.max_servers = servers;
+        }
+        self.cluster.initial_servers = servers;
+        self
+    }
+
+    /// Overrides the topology model (builder style).
+    pub fn with_topology(mut self, topology: TopologyModel) -> Self {
+        self.topology = topology;
+        self
+    }
+
+    /// Enables per-server load recording (builder style).
+    pub fn with_load_recording(mut self) -> Self {
+        self.cluster.record_load = true;
+        self
+    }
+
+    /// Sets the client think time in milliseconds (builder style).
+    pub fn with_request_delay_ms(mut self, ms: f64) -> Self {
+        self.request_delay_ms = ms;
+        self
+    }
+
+    /// Appends a control event at `at_seconds` (builder style).  Events
+    /// must be appended in chronological order.
+    pub fn at(mut self, at_seconds: f64, event: ScenarioEvent) -> Self {
+        self.scenario.push(TimedEvent { at_seconds, event });
+        self
+    }
+
+    /// Checks the spec for consistency: cluster and workload parameters,
+    /// topology model, dispatcher fan-out, and the scenario schedule
+    /// (sorted events, only live servers removed/resized, only dead servers
+    /// added, the cluster never left empty).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidConfig`] describing the first problem
+    /// found.
+    pub fn validate(&self) -> Result<(), CoreError> {
+        let bad = |msg: String| Err(CoreError::InvalidConfig(msg));
+        let c = &self.cluster;
+        if c.initial_servers == 0 {
+            return bad("at least one initial server is required".into());
+        }
+        if c.max_servers < c.initial_servers {
+            return bad(format!(
+                "max_servers {} is below initial_servers {}",
+                c.max_servers, c.initial_servers
+            ));
+        }
+        if c.workers == 0 || c.cores == 0 || c.backlog == 0 {
+            return bad("workers, cores and backlog must all be at least 1".into());
+        }
+        if c.vips == 0 {
+            return bad("at least one VIP is required".into());
+        }
+        for o in &c.capacity_overrides {
+            if o.server as usize >= c.max_servers {
+                return bad(format!("capacity override for unknown server {}", o.server));
+            }
+            if o.workers == 0 || o.cores == 0 {
+                return bad("capacity overrides must keep at least 1 worker / 1 core".into());
+            }
+        }
+        self.topology.validate().map_err(CoreError::InvalidConfig)?;
+        let dispatcher = self.policy.dispatcher();
+        if dispatcher.fanout() == 0 {
+            return bad("dispatcher fan-out must be at least 1".into());
+        }
+        if dispatcher.fanout() > c.initial_servers {
+            return bad(format!(
+                "dispatcher fan-out {} exceeds the initial server count {}",
+                dispatcher.fanout(),
+                c.initial_servers
+            ));
+        }
+        if c.recover_flows && dispatcher.fanout() > MAX_RECOVERY_CANDIDATES {
+            return bad(format!(
+                "flow recovery supports at most {MAX_RECOVERY_CANDIDATES} candidates per flow \
+                 (re-hunt routes also carry the load-balancer marker and the VIP)"
+            ));
+        }
+        self.workload.validate()?;
+        if !self.request_delay_ms.is_finite() || self.request_delay_ms < 0.0 {
+            return bad("request delay must be finite and non-negative".into());
+        }
+
+        // The schedule: replay it against the alive set.
+        let mut alive: Vec<bool> = (0..c.max_servers).map(|i| i < c.initial_servers).collect();
+        let mut last_at = 0.0f64;
+        for timed in &self.scenario {
+            if !timed.at_seconds.is_finite() || timed.at_seconds < 0.0 {
+                return bad(format!("event time {} is invalid", timed.at_seconds));
+            }
+            if timed.at_seconds < last_at {
+                return bad("events must be sorted by time".into());
+            }
+            last_at = timed.at_seconds;
+            match timed.event {
+                ScenarioEvent::AddServer { server } => {
+                    let i = server as usize;
+                    if i >= c.max_servers {
+                        return bad(format!("add-server index {server} is out of range"));
+                    }
+                    if alive[i] {
+                        return bad(format!("server {server} is already up"));
+                    }
+                    alive[i] = true;
+                }
+                ScenarioEvent::RemoveServer { server } => {
+                    let i = server as usize;
+                    if i >= c.max_servers || !alive[i] {
+                        return bad(format!("server {server} is not up"));
+                    }
+                    alive[i] = false;
+                    if !alive.iter().any(|&a| a) {
+                        return bad("the schedule leaves the cluster empty".into());
+                    }
+                }
+                ScenarioEvent::LbFailover => {}
+                ScenarioEvent::SetCapacity {
+                    server,
+                    workers,
+                    cores,
+                } => {
+                    let i = server as usize;
+                    if i >= c.max_servers || !alive[i] {
+                        return bad(format!("server {server} is not up"));
+                    }
+                    if workers == 0 || cores == 0 {
+                        return bad("capacity must stay at least 1 worker / 1 core".into());
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn policy_kind_labels_and_mappings() {
+        assert_eq!(PolicyKind::RoundRobin.label(), "RR");
+        assert_eq!(PolicyKind::Static { threshold: 4 }.label(), "SR4");
+        assert_eq!(PolicyKind::Dynamic.label(), "SRdyn");
+        assert_eq!(
+            PolicyKind::RoundRobin.dispatcher(),
+            DispatcherConfig::Random { k: 1 }
+        );
+        assert_eq!(
+            PolicyKind::Static { threshold: 8 }.dispatcher(),
+            DispatcherConfig::Random { k: 2 }
+        );
+        assert_eq!(
+            PolicyKind::Static { threshold: 8 }.acceptance_policy(),
+            PolicyConfig::Static { threshold: 8 }
+        );
+        assert_eq!(
+            PolicyKind::Dynamic.acceptance_policy(),
+            PolicyConfig::paper_dynamic()
+        );
+        let explicit = PolicyKind::Explicit {
+            dispatcher: DispatcherConfig::ConsistentHash { vnodes: 64, k: 2 },
+            acceptance: PolicyConfig::Static { threshold: 4 },
+        };
+        assert_eq!(
+            explicit.dispatcher(),
+            DispatcherConfig::ConsistentHash { vnodes: 64, k: 2 }
+        );
+        assert_eq!(
+            explicit.acceptance_policy(),
+            PolicyConfig::Static { threshold: 4 }
+        );
+        assert!(explicit.label().contains("k2"));
+    }
+
+    #[test]
+    fn paper_specs_validate_and_resolve_lambda0() {
+        let spec = ExperimentSpec::poisson_paper(0.89, PolicyKind::Dynamic);
+        spec.validate().unwrap();
+        // 12 servers × 2 cores / 0.1 s = 240 queries/s.
+        let lambda0 = spec.workload.effective_lambda0(&spec.cluster).unwrap();
+        assert!((lambda0 - 240.0).abs() < 1e-9);
+        let wiki = ExperimentSpec::wikipedia_paper(PolicyKind::Static { threshold: 4 });
+        wiki.validate().unwrap();
+        assert_eq!(wiki.workload.effective_lambda0(&wiki.cluster), None);
+    }
+
+    #[test]
+    fn builders_override_fields() {
+        let spec = ExperimentSpec::wikipedia_paper(PolicyKind::Dynamic)
+            .with_hours(0.5)
+            .with_servers(6)
+            .with_seed(9)
+            .with_name("renamed")
+            .with_topology(TopologyModel::rack_zone_default())
+            .with_request_delay_ms(50.0)
+            .with_load_recording();
+        assert_eq!(spec.cluster.initial_servers, 6);
+        assert_eq!(spec.cluster.max_servers, 6);
+        assert_eq!(spec.seed, 9);
+        assert_eq!(spec.name, "renamed");
+        assert!(spec.cluster.record_load);
+        assert_eq!(spec.request_delay_ms, 50.0);
+        assert_eq!(spec.topology, TopologyModel::rack_zone_default());
+        match spec.workload {
+            WorkloadSpec::Wikipedia { hours, .. } => assert_eq!(hours, 0.5),
+            _ => panic!("expected wikipedia workload"),
+        }
+        spec.validate().unwrap();
+    }
+
+    #[test]
+    fn spec_serde_roundtrip() {
+        let spec = ExperimentSpec::poisson_paper(0.61, PolicyKind::Static { threshold: 4 })
+            .with_queries(500)
+            .at(1.0, ScenarioEvent::LbFailover);
+        let json = serde_json::to_string(&spec).unwrap();
+        let back: ExperimentSpec = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, spec);
+    }
+
+    #[test]
+    fn validation_rejects_inconsistent_specs() {
+        // Zero servers.
+        let mut spec = ExperimentSpec::poisson_paper(0.5, PolicyKind::RoundRobin);
+        spec.cluster.initial_servers = 0;
+        assert!(spec.validate().is_err());
+        // max below initial.
+        let mut spec = ExperimentSpec::poisson_paper(0.5, PolicyKind::RoundRobin);
+        spec.cluster.max_servers = 4;
+        assert!(spec.validate().is_err());
+        // Fan-out above server count.
+        let spec = ExperimentSpec::poisson_paper(
+            0.5,
+            PolicyKind::Custom {
+                candidates: 50,
+                policy: PolicyConfig::Static { threshold: 2 },
+            },
+        );
+        assert!(spec.validate().is_err());
+        // Unsorted schedule.
+        let spec = ExperimentSpec::poisson_paper(0.5, PolicyKind::RoundRobin)
+            .at(5.0, ScenarioEvent::LbFailover)
+            .at(1.0, ScenarioEvent::LbFailover);
+        assert!(spec.validate().is_err());
+        // Removing a server that is not up.
+        let spec = ExperimentSpec::poisson_paper(0.5, PolicyKind::RoundRobin)
+            .at(1.0, ScenarioEvent::RemoveServer { server: 99 });
+        assert!(spec.validate().is_err());
+        // Emptying the cluster.
+        let mut spec = ExperimentSpec::poisson_paper(0.5, PolicyKind::RoundRobin);
+        spec.cluster.initial_servers = 1;
+        spec.cluster.max_servers = 1;
+        let spec = spec.at(1.0, ScenarioEvent::RemoveServer { server: 0 });
+        assert!(spec.validate().is_err());
+        // Simultaneous removals of *different* live servers are fine
+        // (correlated failures).
+        let spec = ExperimentSpec::poisson_paper(0.5, PolicyKind::RoundRobin)
+            .at(1.0, ScenarioEvent::RemoveServer { server: 2 })
+            .at(1.0, ScenarioEvent::RemoveServer { server: 5 });
+        spec.validate().unwrap();
+        // Invalid workload.
+        let mut spec = ExperimentSpec::poisson_paper(0.5, PolicyKind::RoundRobin);
+        spec.workload = WorkloadSpec::Wikipedia {
+            hours: 0.0,
+            load_fraction: 0.5,
+        };
+        assert!(spec.validate().is_err());
+        // Invalid capacity override.
+        let mut spec = ExperimentSpec::poisson_paper(0.5, PolicyKind::RoundRobin);
+        spec.cluster.capacity_overrides.push(CapacityOverride {
+            server: 99,
+            workers: 1,
+            cores: 1,
+        });
+        assert!(spec.validate().is_err());
+    }
+
+    #[test]
+    fn validation_rejects_malformed_traces() {
+        use srlb_sim::{SimDuration, SimTime};
+        let req = |id: u64, at: f64| {
+            srlb_workload::Request::new(
+                id,
+                SimTime::from_secs_f64(at),
+                srlb_metrics::RequestClass::Synthetic,
+                SimDuration::from_millis(1),
+            )
+        };
+        let with_trace = |requests| {
+            let mut spec = ExperimentSpec::poisson_paper(0.5, PolicyKind::RoundRobin);
+            spec.workload = WorkloadSpec::Trace { requests };
+            spec
+        };
+        // Unsorted arrivals.
+        assert!(with_trace(vec![req(0, 2.0), req(1, 1.0)])
+            .validate()
+            .is_err());
+        // Gap in the id space (ids map to unregistered client endpoints).
+        assert!(with_trace(vec![req(0, 1.0), req(5, 2.0)])
+            .validate()
+            .is_err());
+        // A well-formed, zero-based trace passes (empty traces too).
+        with_trace(vec![req(0, 1.0), req(1, 2.0)])
+            .validate()
+            .unwrap();
+        with_trace(Vec::new()).validate().unwrap();
+    }
+
+    #[test]
+    fn event_labels_are_descriptive() {
+        assert_eq!(
+            ScenarioEvent::AddServer { server: 3 }.label(),
+            "add-server-3"
+        );
+        assert_eq!(ScenarioEvent::LbFailover.label(), "lb-failover");
+        assert!(ScenarioEvent::SetCapacity {
+            server: 1,
+            workers: 8,
+            cores: 4
+        }
+        .label()
+        .contains("8w4c"));
+    }
+}

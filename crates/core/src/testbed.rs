@@ -1,20 +1,25 @@
-//! Wiring of the simulated data centre.
+//! Wiring of the simulated data centre (compatibility layer).
 //!
 //! A [`Testbed`] assembles the client, the load balancer and `N` backend
-//! servers into one [`srlb_sim::Network`], replays a request trace, and
-//! returns every measurement the paper's figures need.
+//! servers and replays a request trace.  Since the unified
+//! [`Runner`](crate::runner::Runner) refactor it is a thin client of it:
+//! [`Testbed::run`] wraps the trace into an [`ExperimentSpec`] with an
+//! empty scenario — the degenerate single-segment run.  The
+//! [`TestbedConfig`] now names its link latencies through a declarative
+//! [`TopologyModel`] rather than a single uniform duration, so
+//! latency-asymmetric topologies are available here too.
 
 use serde::{Deserialize, Serialize};
 
 use srlb_metrics::ResponseTimeCollector;
-use srlb_net::{AddressPlan, Packet, ServerId};
-use srlb_server::{Directory, PolicyConfig, ServerConfig, ServerNode, ServerStats};
-use srlb_sim::{Network, NodeId, RunLimit, SimDuration, Topology};
+use srlb_server::{PolicyConfig, ServerStats};
+use srlb_sim::TopologyModel;
 use srlb_workload::Request;
 
-use crate::client::{client_addr_count, ClientNode};
 use crate::dispatch::DispatcherConfig;
-use crate::lb_node::{LbStats, LoadBalancerNode};
+use crate::lb_node::LbStats;
+use crate::runner::Runner;
+use crate::spec::{ClusterSpec, ExperimentSpec, PolicyKind, WorkloadSpec};
 use crate::CoreError;
 
 /// Static configuration of the simulated cluster.
@@ -32,8 +37,8 @@ pub struct TestbedConfig {
     pub policy: PolicyConfig,
     /// Candidate-selection policy at the load balancer.
     pub dispatcher: DispatcherConfig,
-    /// One-way link latency between any two nodes.
-    pub link_latency: SimDuration,
+    /// Link-latency model of the cluster.
+    pub topology: TopologyModel,
     /// Whether servers record per-change load samples (Figure 4).
     pub record_load: bool,
     /// Random seed.
@@ -41,8 +46,8 @@ pub struct TestbedConfig {
 }
 
 impl TestbedConfig {
-    /// The paper's testbed: 12 servers × 32 workers, backlog 128, 50 µs
-    /// links, with the given policy and dispatcher.
+    /// The paper's testbed: 12 servers × 32 workers, backlog 128, uniform
+    /// 50 µs links, with the given policy and dispatcher.
     pub fn paper(policy: PolicyConfig, dispatcher: DispatcherConfig) -> Self {
         TestbedConfig {
             servers: 12,
@@ -51,9 +56,36 @@ impl TestbedConfig {
             backlog: 128,
             policy,
             dispatcher,
-            link_latency: SimDuration::from_micros(50),
+            topology: TopologyModel::paper(),
             record_load: false,
             seed: 1,
+        }
+    }
+
+    /// The [`ExperimentSpec`] that replays `requests` on this testbed.
+    pub fn to_spec(&self, requests: Vec<Request>) -> ExperimentSpec {
+        ExperimentSpec {
+            name: "testbed".to_string(),
+            seed: self.seed,
+            workload: WorkloadSpec::Trace { requests },
+            cluster: ClusterSpec {
+                initial_servers: self.servers,
+                max_servers: self.servers,
+                workers: self.workers,
+                cores: self.cores,
+                backlog: self.backlog,
+                capacity_overrides: Vec::new(),
+                vips: 1,
+                recover_flows: false,
+                record_load: self.record_load,
+            },
+            topology: self.topology,
+            scenario: Vec::new(),
+            policy: PolicyKind::Explicit {
+                dispatcher: self.dispatcher,
+                acceptance: self.policy,
+            },
+            request_delay_ms: 0.0,
         }
     }
 
@@ -64,34 +96,7 @@ impl TestbedConfig {
     /// Returns [`CoreError::InvalidConfig`] if any count is zero or the
     /// dispatcher fan-out exceeds the number of servers.
     pub fn validate(&self) -> Result<(), CoreError> {
-        if self.servers == 0 {
-            return Err(CoreError::InvalidConfig(
-                "at least one server required".into(),
-            ));
-        }
-        if self.workers == 0 {
-            return Err(CoreError::InvalidConfig(
-                "at least one worker per server required".into(),
-            ));
-        }
-        if self.cores == 0 {
-            return Err(CoreError::InvalidConfig(
-                "at least one core per server required".into(),
-            ));
-        }
-        if self.dispatcher.fanout() == 0 {
-            return Err(CoreError::InvalidConfig(
-                "dispatcher fan-out must be ≥ 1".into(),
-            ));
-        }
-        if self.dispatcher.fanout() > self.servers {
-            return Err(CoreError::InvalidConfig(format!(
-                "dispatcher fan-out {} exceeds server count {}",
-                self.dispatcher.fanout(),
-                self.servers
-            )));
-        }
-        Ok(())
+        self.to_spec(Vec::new()).validate()
     }
 }
 
@@ -119,7 +124,7 @@ pub struct TestbedResult {
 #[derive(Debug)]
 pub struct Testbed {
     config: TestbedConfig,
-    plan: AddressPlan,
+    plan: srlb_net::AddressPlan,
 }
 
 impl Testbed {
@@ -132,12 +137,12 @@ impl Testbed {
         config.validate()?;
         Ok(Testbed {
             config,
-            plan: AddressPlan::default(),
+            plan: srlb_net::AddressPlan::default(),
         })
     }
 
     /// The addressing plan used by the testbed.
-    pub fn plan(&self) -> &AddressPlan {
+    pub fn plan(&self) -> &srlb_net::AddressPlan {
         &self.plan
     }
 
@@ -147,93 +152,17 @@ impl Testbed {
     /// completed, reset, or abandoned), bounded by a generous safety limit on
     /// the event count.
     pub fn run(&self, requests: Vec<Request>) -> TestbedResult {
-        let config = &self.config;
-        let plan = &self.plan;
-        let n = config.servers;
-
-        // Node ids are assigned by insertion order: client, LB, then servers.
-        let client_id = NodeId(0);
-        let lb_id = NodeId(1);
-        let server_ids: Vec<NodeId> = (0..n).map(|i| NodeId(2 + i)).collect();
-
-        // Data-plane directory.
-        let mut directory = Directory::new();
-        for a in 0..client_addr_count(requests.len()) {
-            directory.register(plan.client_addr(a), client_id);
-        }
-        directory.register(plan.lb_addr(), lb_id);
-        directory.register(plan.vip(0), lb_id);
-        for (i, &sid) in server_ids.iter().enumerate() {
-            directory.register(plan.server_addr(ServerId(i as u32)), sid);
-        }
-
-        let request_count = requests.len() as u64;
-        let mut network: Network<Packet> =
-            Network::new(config.seed, Topology::uniform(config.link_latency));
-
-        let client = ClientNode::new(plan.clone(), plan.vip(0), directory.clone(), requests);
-        let added_client = network.add_node(client);
-
-        let server_addrs: Vec<_> = plan.server_addrs(n as u32).collect();
-        let lb = LoadBalancerNode::new(
-            plan.lb_addr(),
-            plan.vip(0),
-            directory.clone(),
-            config.dispatcher.build(server_addrs),
-        );
-        let added_lb = network.add_node(lb);
-
-        let mut added_servers = Vec::with_capacity(n);
-        for i in 0..n {
-            let server_config = ServerConfig {
-                server_index: i as u32,
-                addr: plan.server_addr(ServerId(i as u32)),
-                lb_addr: plan.lb_addr(),
-                workers: config.workers,
-                cores: config.cores,
-                backlog: config.backlog,
-                policy: config.policy,
-                record_load: config.record_load,
-            };
-            added_servers.push(network.add_node(ServerNode::new(server_config, directory.clone())));
-        }
-
-        debug_assert_eq!(added_client, client_id);
-        debug_assert_eq!(added_lb, lb_id);
-        debug_assert_eq!(added_servers, server_ids);
-
-        // Each request generates a small, bounded number of events (SYN,
-        // hunt hops, SYN-ACK, request, service timer, response, …); 64 per
-        // request is a generous safety margin against runaway loops.
-        let limit = RunLimit::max_events(request_count.saturating_mul(64) + 10_000);
-        let stats = network.run_with_limit(limit);
-
-        let client_node: ClientNode = network
-            .take_node(client_id)
-            .expect("client node present after run");
-        let mut server_stats = Vec::with_capacity(n);
-        let mut load_series = Vec::with_capacity(n);
-        let mut acceptance_ratios = Vec::with_capacity(n);
-        for &sid in &server_ids {
-            let server: ServerNode = network
-                .take_node(sid)
-                .expect("server node present after run");
-            server_stats.push(server.stats());
-            acceptance_ratios.push(server.agent().acceptance_ratio());
-            load_series.push(server.load_samples().to_vec());
-        }
-        let lb_node: LoadBalancerNode = network
-            .take_node(lb_id)
-            .expect("load balancer node present after run");
-
+        let outcome = Runner::new(self.config.to_spec(requests))
+            .expect("configuration validated at construction")
+            .run();
         TestbedResult {
-            collector: client_node.into_collector(),
-            server_stats,
-            load_series,
-            acceptance_ratios,
-            lb_stats: lb_node.stats(),
-            duration_seconds: stats.last_event_time.as_secs_f64(),
-            events: stats.events_processed,
+            collector: outcome.collector,
+            server_stats: outcome.server_stats,
+            load_series: outcome.load_series,
+            acceptance_ratios: outcome.acceptance_ratios,
+            lb_stats: outcome.lb_stats,
+            duration_seconds: outcome.duration_seconds,
+            events: outcome.events_processed,
         }
     }
 }
@@ -251,7 +180,7 @@ mod tests {
             backlog: 16,
             policy,
             dispatcher: DispatcherConfig::Random { k },
-            link_latency: SimDuration::from_micros(50),
+            topology: TopologyModel::paper(),
             record_load: true,
             seed: 42,
         }
@@ -300,7 +229,7 @@ mod tests {
             backlog: 2,
             policy: PolicyConfig::Static { threshold: 2 },
             dispatcher: DispatcherConfig::Random { k: 2 },
-            link_latency: SimDuration::from_micros(50),
+            topology: TopologyModel::paper(),
             record_load: false,
             seed: 7,
         };

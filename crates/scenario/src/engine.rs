@@ -1,27 +1,25 @@
-//! The scenario engine: wires the cluster, replays the workload, and
-//! injects the scheduled control events into the running simulation.
+//! The scenario engine: a thin client of the unified
+//! [`srlb_core::runner::Runner`].
 //!
-//! The engine runs the network in **segments**: it advances the simulation
-//! up to the next control event's timestamp (delivering every packet event
-//! at or before it), applies the control action through the simulator's
-//! control-delivery primitives ([`srlb_sim::Network::control`],
-//! `take_node`/`insert_node`), and continues.  Node ids and addresses for
-//! the *whole* potential cluster (`max_servers`) are laid out up front, so
-//! adding a backend later never perturbs the id ↔ address mapping and runs
-//! stay deterministic.
+//! The runner advances the network in **segments**: it delivers every
+//! packet event at or before the next control event's timestamp, applies
+//! the control action through the simulator's control-delivery primitives
+//! ([`srlb_sim::Network::control`], `take_node`/`insert_node`), and
+//! continues.  Node ids and addresses for the *whole* potential cluster
+//! (`max_servers`) are laid out up front, so adding a backend later never
+//! perturbs the id ↔ address mapping and runs stay deterministic.  This
+//! module converts a [`Scenario`] to an `ExperimentSpec`, runs it, and
+//! projects the [`RunOutcome`](srlb_core::runner::RunOutcome) into the
+//! scenario-flavoured [`ScenarioOutcome`] / [`ScenarioReport`].
 
 use std::fmt;
-use std::net::Ipv6Addr;
 
-use srlb_core::client::{client_addr_count, ClientNode};
-use srlb_core::lb_node::{LbStats, LoadBalancerNode};
-use srlb_metrics::{DisruptionCollector, PhaseStats, RequestOutcome, ResponseTimeCollector};
-use srlb_net::{AddressPlan, Packet, ServerId};
-use srlb_server::{Directory, ServerConfig, ServerNode, ServerStats};
-use srlb_sim::{Network, NodeId, RunLimit, SimDuration, SimTime, Topology};
-use srlb_workload::{PoissonWorkload, ServiceTime};
+use srlb_core::lb_node::LbStats;
+use srlb_core::runner::Runner;
+use srlb_metrics::{PhaseStats, RequestOutcome, ResponseTimeCollector};
+use srlb_server::ServerStats;
 
-use crate::schedule::{Scenario, ScenarioEvent};
+use crate::schedule::Scenario;
 
 /// Error returned for an inconsistent [`Scenario`].
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -156,184 +154,17 @@ pub struct ScenarioReport {
 /// Returns [`ScenarioError`] if [`Scenario::validate`] rejects the
 /// scenario.
 pub fn run(scenario: &Scenario) -> Result<ScenarioOutcome, ScenarioError> {
-    scenario.validate().map_err(ScenarioError)?;
-    let cluster = &scenario.cluster;
-    let plan = AddressPlan::default();
-
-    let requests = PoissonWorkload::new(
-        scenario.workload.rate_qps,
-        scenario.workload.queries,
-        ServiceTime::Exponential {
-            mean_ms: scenario.workload.mean_service_ms,
-        },
-    )
-    .generate(scenario.seed);
-
-    // Fixed id ↔ address layout over the whole potential cluster.
-    let client_id = NodeId(0);
-    let lb_id = NodeId(1);
-    let server_node_id = |i: usize| NodeId(2 + i);
-    let mut directory = Directory::new();
-    for a in 0..client_addr_count(requests.len()) {
-        directory.register(plan.client_addr(a), client_id);
-    }
-    directory.register(plan.lb_addr(), lb_id);
-    let vips: Vec<Ipv6Addr> = (0..cluster.vips).map(|v| plan.vip(v)).collect();
-    for &vip in &vips {
-        directory.register(vip, lb_id);
-    }
-    for i in 0..cluster.max_servers {
-        directory.register(plan.server_addr(ServerId(i as u32)), server_node_id(i));
-    }
-
-    let mut network: Network<Packet> = Network::new(
-        scenario.seed,
-        Topology::uniform(SimDuration::from_micros(cluster.link_latency_us)),
-    );
-
-    let client = ClientNode::new(plan.clone(), vips[0], directory.clone(), requests.clone())
-        .with_vips(vips.clone())
-        .with_request_delay(SimDuration::from_millis_f64(
-            scenario.workload.request_delay_ms,
-        ));
-    let added_client = network.add_node(client);
-    debug_assert_eq!(added_client, client_id);
-
-    let mut alive: Vec<bool> = (0..cluster.max_servers)
-        .map(|i| i < cluster.initial_servers)
-        .collect();
-    let alive_addrs = |alive: &[bool]| -> Vec<Ipv6Addr> {
-        alive
-            .iter()
-            .enumerate()
-            .filter(|(_, &up)| up)
-            .map(|(i, _)| plan.server_addr(ServerId(i as u32)))
-            .collect()
-    };
-
-    let mut lb = LoadBalancerNode::new(
-        plan.lb_addr(),
-        vips[0],
-        directory.clone(),
-        cluster.dispatcher.build(alive_addrs(&alive)),
-    )
-    .with_vips(vips.clone());
-    if cluster.recover_flows {
-        lb = lb.with_flow_recovery();
-    }
-    let dispatcher_name = lb.dispatcher_name();
-    let added_lb = network.add_node(lb);
-    debug_assert_eq!(added_lb, lb_id);
-
-    let server_config = |i: usize| -> ServerConfig {
-        let (workers, cores) = cluster.capacity_of(i as u32);
-        ServerConfig {
-            server_index: i as u32,
-            addr: plan.server_addr(ServerId(i as u32)),
-            lb_addr: plan.lb_addr(),
-            workers,
-            cores,
-            backlog: cluster.backlog,
-            policy: cluster.policy,
-            record_load: false,
-        }
-    };
-    for (i, up) in alive.iter().enumerate() {
-        if *up {
-            let added = network.add_node(ServerNode::new(server_config(i), directory.clone()));
-            debug_assert_eq!(added, server_node_id(i));
-        } else {
-            let reserved = network.reserve_node();
-            debug_assert_eq!(reserved, server_node_id(i));
-        }
-    }
-
-    // Segment the run at each control event's timestamp.
-    let mut merged_stats = vec![ServerStats::default(); cluster.max_servers];
-    let mut boundaries: Vec<(String, f64)> = Vec::with_capacity(scenario.events.len());
-    for timed in &scenario.events {
-        network.run_with_limit(RunLimit::until(SimTime::from_secs_f64(timed.at_seconds)));
-        boundaries.push((timed.event.label(), timed.at_seconds));
-        match timed.event {
-            ScenarioEvent::AddServer { server } => {
-                let i = server as usize;
-                network.insert_node(
-                    server_node_id(i),
-                    ServerNode::new(server_config(i), directory.clone()),
-                );
-                alive[i] = true;
-                let addrs = alive_addrs(&alive);
-                network
-                    .node_as_mut::<LoadBalancerNode>(lb_id)
-                    .expect("load balancer present")
-                    .rebuild_backends(addrs);
-            }
-            ScenarioEvent::RemoveServer { server } => {
-                let i = server as usize;
-                let node: ServerNode = network
-                    .take_node(server_node_id(i))
-                    .expect("validated schedule removes only live servers");
-                merged_stats[i].absorb(node.stats());
-                alive[i] = false;
-                let addrs = alive_addrs(&alive);
-                network
-                    .node_as_mut::<LoadBalancerNode>(lb_id)
-                    .expect("load balancer present")
-                    .rebuild_backends(addrs);
-            }
-            ScenarioEvent::LbFailover => {
-                network
-                    .control::<LoadBalancerNode, _>(lb_id, |lb, ctx| lb.fail_over(ctx.now()))
-                    .expect("load balancer present");
-            }
-            ScenarioEvent::SetCapacity {
-                server,
-                workers,
-                cores,
-            } => {
-                network
-                    .control::<ServerNode, _>(server_node_id(server as usize), |s, ctx| {
-                        s.set_capacity(workers, cores, ctx)
-                    })
-                    .expect("validated schedule resizes only live servers");
-            }
-        }
-    }
-
-    // Drain the remaining events (same generous safety margin as the static
-    // testbed, plus headroom for re-hunts and adverts).
-    let limit = RunLimit::max_events((requests.len() as u64).saturating_mul(96) + 10_000);
-    let stats = network.run_with_limit(limit);
-
-    // Harvest.
-    for (i, up) in alive.iter().enumerate() {
-        if *up {
-            let node: ServerNode = network
-                .take_node(server_node_id(i))
-                .expect("live server present after run");
-            merged_stats[i].absorb(node.stats());
-        }
-    }
-    let lb_node: LoadBalancerNode = network
-        .take_node(lb_id)
-        .expect("load balancer present after run");
-    let client_node: ClientNode = network
-        .take_node(client_id)
-        .expect("client present after run");
-    let collector = client_node.into_collector();
-
-    let phases =
-        DisruptionCollector::new(boundaries, cluster.max_servers).stats(collector.records());
-
+    let runner = Runner::new(scenario.to_spec()).map_err(|e| ScenarioError(e.to_string()))?;
+    let outcome = runner.run();
     Ok(ScenarioOutcome {
-        scenario_name: scenario.name.clone(),
-        dispatcher_name,
-        reconstruction_latency_s: lb_node.reconstruction_latency_seconds(),
-        lb_stats: lb_node.stats(),
-        server_stats: merged_stats,
-        phases,
-        collector,
-        duration_seconds: stats.last_event_time.as_secs_f64(),
-        events_processed: stats.events_processed,
+        scenario_name: outcome.name,
+        dispatcher_name: outcome.dispatcher_name,
+        reconstruction_latency_s: outcome.reconstruction_latency_s,
+        lb_stats: outcome.lb_stats,
+        server_stats: outcome.server_stats,
+        phases: outcome.phases,
+        collector: outcome.collector,
+        duration_seconds: outcome.duration_seconds,
+        events_processed: outcome.events_processed,
     })
 }

@@ -5,80 +5,23 @@
 //! experiments can be described in JSON, checked into a repository, and
 //! replayed bit-for-bit.  The [presets](Scenario::lb_failover) cover the
 //! cases the paper's static testbed leaves out: load-balancer failover,
-//! rolling upgrades, scale-out under load.
+//! rolling upgrades, scale-out under load, correlated failures.
+//!
+//! Since the unified-spec refactor the schedule's event types
+//! ([`ScenarioEvent`], [`TimedEvent`], [`CapacityOverride`]) live in
+//! `srlb_core::spec` and are re-exported here; a `Scenario` is a
+//! scenario-flavoured view that converts losslessly into an
+//! [`ExperimentSpec`] via [`Scenario::to_spec`] — which is also how the
+//! engine runs it.
 
 use serde::{Deserialize, Serialize};
 
 use srlb_core::dispatch::DispatcherConfig;
+use srlb_core::spec::{ExperimentSpec, PolicyKind};
 use srlb_server::PolicyConfig;
+use srlb_sim::TopologyModel;
 
-/// A control action injected into a running experiment.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
-pub enum ScenarioEvent {
-    /// Brings up the backend with the given index (fresh state), which must
-    /// currently be down, and rebuilds the dispatcher over the grown set.
-    AddServer {
-        /// Index of the server (must be `< max_servers`).
-        server: u32,
-    },
-    /// Removes the backend with the given index abruptly (its established
-    /// connections are lost) and rebuilds the dispatcher over the shrunk
-    /// set.
-    RemoveServer {
-        /// Index of the server to remove.
-        server: u32,
-    },
-    /// Fails the load balancer over to a cold standby at the same address:
-    /// the flow table is lost and must be reconstructed in-band.
-    LbFailover,
-    /// Re-provisions a live backend's capacity (workers and cores) without
-    /// interrupting running requests.
-    SetCapacity {
-        /// Index of the server to re-provision.
-        server: u32,
-        /// New worker-thread count.
-        workers: usize,
-        /// New CPU core count.
-        cores: usize,
-    },
-}
-
-impl ScenarioEvent {
-    /// A short label naming the event (used for phase labels in reports).
-    pub fn label(&self) -> String {
-        match self {
-            ScenarioEvent::AddServer { server } => format!("add-server-{server}"),
-            ScenarioEvent::RemoveServer { server } => format!("remove-server-{server}"),
-            ScenarioEvent::LbFailover => "lb-failover".to_string(),
-            ScenarioEvent::SetCapacity {
-                server,
-                workers,
-                cores,
-            } => format!("set-capacity-{server}-{workers}w{cores}c"),
-        }
-    }
-}
-
-/// A [`ScenarioEvent`] scheduled at an absolute simulated time.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
-pub struct TimedEvent {
-    /// When the event fires, in seconds since the start of the run.  All
-    /// packet events at or before this instant are delivered first.
-    pub at_seconds: f64,
-    /// The control action.
-    pub event: ScenarioEvent,
-}
-
-/// Initial capacity override for one backend (heterogeneous clusters).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
-pub struct CapacityOverride {
-    /// Index of the server.
-    pub server: u32,
-    /// Worker threads (instead of the cluster-wide default).
-    pub workers: usize,
-    /// CPU cores (instead of the cluster-wide default).
-    pub cores: usize,
-}
+pub use srlb_core::spec::{CapacityOverride, ScenarioEvent, TimedEvent};
 
 /// Static description of the cluster a scenario runs on.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -240,6 +183,42 @@ impl Scenario {
         self
     }
 
+    /// The unified [`ExperimentSpec`] this scenario denotes: the same
+    /// cluster and schedule, the Poisson workload at its explicit rate, and
+    /// an `Explicit` dispatcher/acceptance policy pairing.
+    pub fn to_spec(&self) -> ExperimentSpec {
+        let c = &self.cluster;
+        ExperimentSpec {
+            name: self.name.clone(),
+            seed: self.seed,
+            workload: srlb_core::spec::WorkloadSpec::PoissonRate {
+                rate_qps: self.workload.rate_qps,
+                queries: self.workload.queries,
+                mean_service_ms: self.workload.mean_service_ms,
+            },
+            cluster: srlb_core::spec::ClusterSpec {
+                initial_servers: c.initial_servers,
+                max_servers: c.max_servers,
+                workers: c.workers,
+                cores: c.cores,
+                backlog: c.backlog,
+                capacity_overrides: c.capacity_overrides.clone(),
+                vips: c.vips,
+                recover_flows: c.recover_flows,
+                record_load: false,
+            },
+            topology: TopologyModel::Uniform {
+                latency_us: c.link_latency_us,
+            },
+            scenario: self.events.clone(),
+            policy: PolicyKind::Explicit {
+                dispatcher: c.dispatcher,
+                acceptance: c.policy,
+            },
+            request_delay_ms: self.workload.request_delay_ms,
+        }
+    }
+
     /// Checks the scenario for consistency.
     ///
     /// # Errors
@@ -249,90 +228,7 @@ impl Scenario {
     /// for a live index, a `RemoveServer` for a dead one, or a schedule that
     /// leaves the cluster empty.
     pub fn validate(&self) -> Result<(), String> {
-        let c = &self.cluster;
-        if c.initial_servers == 0 {
-            return Err("at least one initial server is required".into());
-        }
-        if c.max_servers < c.initial_servers {
-            return Err(format!(
-                "max_servers {} is below initial_servers {}",
-                c.max_servers, c.initial_servers
-            ));
-        }
-        if c.workers == 0 || c.cores == 0 || c.backlog == 0 {
-            return Err("workers, cores and backlog must all be at least 1".into());
-        }
-        if c.vips == 0 {
-            return Err("at least one VIP is required".into());
-        }
-        if c.dispatcher.fanout() == 0 {
-            return Err("dispatcher fan-out must be at least 1".into());
-        }
-        if c.dispatcher.fanout() > c.initial_servers {
-            return Err(format!(
-                "dispatcher fan-out {} exceeds the initial server count {}",
-                c.dispatcher.fanout(),
-                c.initial_servers
-            ));
-        }
-        if c.recover_flows && c.dispatcher.fanout() > srlb_core::lb_node::MAX_RECOVERY_CANDIDATES {
-            return Err(format!(
-                "flow recovery supports at most {} candidates per flow (re-hunt routes also \
-                 carry the load-balancer marker and the VIP)",
-                srlb_core::lb_node::MAX_RECOVERY_CANDIDATES
-            ));
-        }
-        if self.workload.queries == 0 || self.workload.rate_qps <= 0.0 {
-            return Err("the workload needs at least one query at a positive rate".into());
-        }
-        let mut alive: Vec<bool> = (0..c.max_servers).map(|i| i < c.initial_servers).collect();
-        let mut last_at = 0.0f64;
-        for timed in &self.events {
-            if !timed.at_seconds.is_finite() || timed.at_seconds < 0.0 {
-                return Err(format!("event time {} is invalid", timed.at_seconds));
-            }
-            if timed.at_seconds < last_at {
-                return Err("events must be sorted by time".into());
-            }
-            last_at = timed.at_seconds;
-            match timed.event {
-                ScenarioEvent::AddServer { server } => {
-                    let i = server as usize;
-                    if i >= c.max_servers {
-                        return Err(format!("add-server index {server} is out of range"));
-                    }
-                    if alive[i] {
-                        return Err(format!("server {server} is already up"));
-                    }
-                    alive[i] = true;
-                }
-                ScenarioEvent::RemoveServer { server } => {
-                    let i = server as usize;
-                    if i >= c.max_servers || !alive[i] {
-                        return Err(format!("server {server} is not up"));
-                    }
-                    alive[i] = false;
-                    if !alive.iter().any(|&a| a) {
-                        return Err("the schedule leaves the cluster empty".into());
-                    }
-                }
-                ScenarioEvent::LbFailover => {}
-                ScenarioEvent::SetCapacity {
-                    server,
-                    workers,
-                    cores,
-                } => {
-                    let i = server as usize;
-                    if i >= c.max_servers || !alive[i] {
-                        return Err(format!("server {server} is not up"));
-                    }
-                    if workers == 0 || cores == 0 {
-                        return Err("capacity must stay at least 1 worker / 1 core".into());
-                    }
-                }
-            }
-        }
-        Ok(())
+        self.to_spec().validate().map_err(|e| e.to_string())
     }
 
     // ---- Canned presets ---------------------------------------------------
@@ -377,6 +273,23 @@ impl Scenario {
         }
         scenario
     }
+
+    /// Correlated failures: two backends (servers 2 and 5) die at the *same
+    /// instant* at the midpoint of the send window — the multi-failure case
+    /// a single rolling upgrade never exercises.  Consistent-hash and
+    /// Maglev dispatchers must keep their remapping bounds: only flows
+    /// owned by the failed pair move (see
+    /// `crates/core/tests/proptest_churn.rs` and the two-removal probes in
+    /// `srlb-bench`).
+    pub fn correlated_failures(dispatcher: DispatcherConfig, queries: usize) -> Self {
+        let scenario = Scenario::new("correlated_failures")
+            .with_dispatcher(dispatcher)
+            .with_queries(queries);
+        let mid = scenario.workload.send_window_seconds() * 0.5;
+        scenario
+            .at(mid, ScenarioEvent::RemoveServer { server: 2 })
+            .at(mid, ScenarioEvent::RemoveServer { server: 5 })
+    }
 }
 
 #[cfg(test)]
@@ -390,6 +303,7 @@ mod tests {
             Scenario::lb_failover(d, 500),
             Scenario::rolling_upgrade(d, 500),
             Scenario::scale_out_2x(d, 500),
+            Scenario::correlated_failures(d, 500),
         ] {
             scenario.validate().expect("preset is valid");
             assert!(!scenario.events.is_empty());
@@ -438,6 +352,34 @@ mod tests {
         }
         .label()
         .contains("8w4c"));
+    }
+
+    #[test]
+    fn to_spec_is_lossless() {
+        let scenario = Scenario::correlated_failures(
+            DispatcherConfig::ConsistentHash { vnodes: 64, k: 2 },
+            400,
+        )
+        .with_seed(7);
+        let spec = scenario.to_spec();
+        assert_eq!(spec.name, "correlated_failures");
+        assert_eq!(spec.seed, 7);
+        assert_eq!(spec.scenario, scenario.events);
+        assert_eq!(spec.cluster.initial_servers, 8);
+        assert!(spec.cluster.recover_flows);
+        assert_eq!(spec.topology, TopologyModel::Uniform { latency_us: 50 });
+        assert_eq!(spec.request_delay_ms, 200.0);
+        spec.validate().unwrap();
+    }
+
+    #[test]
+    fn correlated_failures_events_are_simultaneous() {
+        let scenario = Scenario::correlated_failures(
+            DispatcherConfig::ConsistentHash { vnodes: 64, k: 2 },
+            600,
+        );
+        assert_eq!(scenario.events.len(), 2);
+        assert_eq!(scenario.events[0].at_seconds, scenario.events[1].at_seconds);
     }
 
     #[test]

@@ -159,6 +159,39 @@ fn heterogeneous_capacity_and_multi_vip_cluster() {
 }
 
 #[test]
+fn correlated_failures_disrupt_only_the_failed_pair() {
+    let outcome = run(&Scenario::correlated_failures(CH, 600).with_seed(3)).unwrap();
+    // Both removals fire at the same instant: the two phases collapse onto
+    // one boundary (start + two zero-width-separated phases).
+    assert_eq!(outcome.phases.len(), 3);
+    assert_eq!(outcome.phases[1].label, "remove-server-2");
+    assert_eq!(outcome.phases[2].label, "remove-server-5");
+    assert_eq!(
+        outcome.phases[1].start_seconds,
+        outcome.phases[2].start_seconds
+    );
+    // The failed pair hosted connections, which are broken…
+    assert!(outcome.broken_established() > 0);
+    // …but the cluster as a whole keeps serving.
+    assert_eq!(outcome.collector.len(), 600);
+    assert!(outcome.collector.completed_count() as u64 >= 600 * 85 / 100);
+    // The dead servers serve nothing after the removal: every completion
+    // they report happened in their single (pre-removal) incarnation.
+    assert!(outcome.server_stats[2].completed > 0);
+    assert!(outcome.server_stats[5].completed > 0);
+    for i in [0, 1, 3, 4, 6, 7] {
+        assert!(outcome.server_stats[i].completed > 0, "survivor {i} serves");
+    }
+}
+
+#[test]
+fn correlated_failures_with_maglev_complete_most_requests() {
+    let outcome = run(&Scenario::correlated_failures(MAGLEV, 600).with_seed(3)).unwrap();
+    assert_eq!(outcome.collector.len(), 600);
+    assert!(outcome.collector.completed_count() as u64 >= 600 * 85 / 100);
+}
+
+#[test]
 fn scenario_runs_are_deterministic() {
     let scenario = Scenario::rolling_upgrade(MAGLEV, 300).with_seed(13);
     let a = run(&scenario).unwrap().report();

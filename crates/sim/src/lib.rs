@@ -62,7 +62,7 @@ pub mod time;
 pub mod trace;
 
 pub use event::EventQueue;
-pub use link::Topology;
+pub use link::{Topology, TopologyModel};
 pub use network::{Network, RunLimit, SimStats};
 pub use node::{Context, Node, NodeId, TimerToken};
 pub use rng::SimRng;

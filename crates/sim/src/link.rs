@@ -3,8 +3,16 @@
 //! The paper's testbed bridges the load balancer and all servers on the same
 //! link, so the default topology is a uniform one-way latency; specific pairs
 //! can be overridden (e.g. a slower client↔load-balancer WAN hop).
+//!
+//! [`Topology`] is the low-level, per-`NodeId` latency table the event loop
+//! consults.  [`TopologyModel`] is its declarative, serde-round-trippable
+//! counterpart: a *named* latency model (uniform, or rack/zone asymmetric)
+//! that experiment specs carry and that is instantiated into a `Topology`
+//! once the node layout (client, load balancer, servers) is known.
 
 use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
 
 use crate::node::NodeId;
 use crate::time::SimDuration;
@@ -75,6 +83,140 @@ impl Default for Topology {
     }
 }
 
+/// A declarative link-latency model, instantiated into a [`Topology`] once
+/// the node layout is known.
+///
+/// The SRLB experiments wire one client, one load balancer and `N` backend
+/// servers; the model decides the one-way latency of every pair.  Being
+/// plain serde data, it travels inside experiment specs so that
+/// latency-asymmetric topologies are a first-class experiment axis rather
+/// than hand-wired `set_link` calls.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TopologyModel {
+    /// Every pair of nodes shares the same one-way latency (the paper's
+    /// bridged L2 segment).
+    Uniform {
+        /// One-way latency in microseconds.
+        latency_us: u64,
+    },
+    /// Servers are spread round-robin across `racks` racks (server `i`
+    /// lives in rack `i % racks`); the load balancer is attached to the
+    /// top-of-rack switch of rack 0, and the client reaches the data
+    /// centre over a longer edge link.
+    ///
+    /// The asymmetry matters for Service Hunting specifically: a SYN that
+    /// is passed on travels server→server, so candidates in the same rack
+    /// are cheaper to hunt through than candidates across the fabric.
+    RackZone {
+        /// Number of racks (must be at least 1).
+        racks: usize,
+        /// One-way latency between two nodes in the same rack, in
+        /// microseconds.
+        intra_rack_us: u64,
+        /// One-way latency between two nodes in different racks, in
+        /// microseconds.
+        cross_rack_us: u64,
+        /// One-way latency of any link touching the client, in
+        /// microseconds.
+        client_link_us: u64,
+    },
+}
+
+impl TopologyModel {
+    /// The paper's testbed: a uniform 50 µs one-way latency.
+    pub fn paper() -> Self {
+        TopologyModel::Uniform { latency_us: 50 }
+    }
+
+    /// A representative latency-asymmetric data centre: 4 racks, 15 µs
+    /// within a rack, 80 µs across racks, 300 µs to the client.
+    pub fn rack_zone_default() -> Self {
+        TopologyModel::RackZone {
+            racks: 4,
+            intra_rack_us: 15,
+            cross_rack_us: 80,
+            client_link_us: 300,
+        }
+    }
+
+    /// Checks the model's parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the first invalid parameter (currently only
+    /// a zero rack count).
+    pub fn validate(&self) -> Result<(), String> {
+        match self {
+            TopologyModel::Uniform { .. } => Ok(()),
+            TopologyModel::RackZone { racks, .. } if *racks == 0 => {
+                Err("rack/zone topology needs at least one rack".into())
+            }
+            TopologyModel::RackZone { .. } => Ok(()),
+        }
+    }
+
+    /// The rack that server index `i` lives in under this model (`0` for
+    /// the uniform model).
+    pub fn rack_of(&self, server_index: usize) -> usize {
+        match *self {
+            TopologyModel::Uniform { .. } => 0,
+            TopologyModel::RackZone { racks, .. } => server_index % racks.max(1),
+        }
+    }
+
+    /// Instantiates the model over a concrete layout: `client`, `lb`, and
+    /// `servers[i]` as the node of backend index `i`.
+    ///
+    /// For the uniform model this is exactly
+    /// [`Topology::uniform`]`(latency)`; the rack/zone model sets the
+    /// cross-rack latency as the default and overrides intra-rack and
+    /// client links pairwise.
+    pub fn build(&self, client: NodeId, lb: NodeId, servers: &[NodeId]) -> Topology {
+        match *self {
+            TopologyModel::Uniform { latency_us } => {
+                Topology::uniform(SimDuration::from_micros(latency_us))
+            }
+            TopologyModel::RackZone {
+                racks,
+                intra_rack_us,
+                cross_rack_us,
+                client_link_us,
+            } => {
+                let racks = racks.max(1);
+                let intra = SimDuration::from_micros(intra_rack_us);
+                let edge = SimDuration::from_micros(client_link_us);
+                let mut topo = Topology::uniform(SimDuration::from_micros(cross_rack_us));
+                // The client is remote to everything.
+                topo.set_link(client, lb, edge);
+                for &server in servers {
+                    topo.set_link(client, server, edge);
+                }
+                // The load balancer shares rack 0's top-of-rack switch.
+                for (i, &server) in servers.iter().enumerate() {
+                    if i % racks == 0 {
+                        topo.set_link(lb, server, intra);
+                    }
+                }
+                // Server pairs in the same rack.
+                for (i, &a) in servers.iter().enumerate() {
+                    for (j, &b) in servers.iter().enumerate().skip(i + 1) {
+                        if i % racks == j % racks {
+                            topo.set_link(a, b, intra);
+                        }
+                    }
+                }
+                topo
+            }
+        }
+    }
+}
+
+impl Default for TopologyModel {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -136,5 +278,79 @@ mod tests {
     fn default_topology_is_datacenter() {
         let topo = Topology::default();
         assert_eq!(topo.default_latency(), SimDuration::from_micros(50));
+    }
+
+    #[test]
+    fn uniform_model_builds_the_paper_topology() {
+        let model = TopologyModel::paper();
+        model.validate().unwrap();
+        let servers: Vec<NodeId> = (2..6).map(NodeId).collect();
+        let topo = model.build(NodeId(0), NodeId(1), &servers);
+        assert_eq!(
+            topo.latency(NodeId(0), NodeId(4)),
+            SimDuration::from_micros(50)
+        );
+        assert_eq!(topo.default_latency(), SimDuration::from_micros(50));
+        assert_eq!(model.rack_of(7), 0);
+    }
+
+    #[test]
+    fn rack_zone_model_is_latency_asymmetric() {
+        let model = TopologyModel::RackZone {
+            racks: 2,
+            intra_rack_us: 10,
+            cross_rack_us: 100,
+            client_link_us: 500,
+        };
+        model.validate().unwrap();
+        let client = NodeId(0);
+        let lb = NodeId(1);
+        let servers: Vec<NodeId> = (2..6).map(NodeId).collect(); // indices 0..4
+        let topo = model.build(client, lb, &servers);
+
+        // Servers 0 and 2 share rack 0; servers 1 and 3 share rack 1.
+        assert_eq!(model.rack_of(0), 0);
+        assert_eq!(model.rack_of(3), 1);
+        assert_eq!(
+            topo.latency(servers[0], servers[2]),
+            SimDuration::from_micros(10)
+        );
+        assert_eq!(
+            topo.latency(servers[1], servers[3]),
+            SimDuration::from_micros(10)
+        );
+        assert_eq!(
+            topo.latency(servers[0], servers[1]),
+            SimDuration::from_micros(100)
+        );
+        // The LB sits in rack 0.
+        assert_eq!(topo.latency(lb, servers[0]), SimDuration::from_micros(10));
+        assert_eq!(topo.latency(lb, servers[1]), SimDuration::from_micros(100));
+        // The client is remote to everything, symmetrically.
+        assert_eq!(topo.latency(client, lb), SimDuration::from_micros(500));
+        assert_eq!(
+            topo.latency(servers[3], client),
+            SimDuration::from_micros(500)
+        );
+    }
+
+    #[test]
+    fn rack_zone_validation_rejects_zero_racks() {
+        let model = TopologyModel::RackZone {
+            racks: 0,
+            intra_rack_us: 1,
+            cross_rack_us: 2,
+            client_link_us: 3,
+        };
+        assert!(model.validate().is_err());
+    }
+
+    #[test]
+    fn topology_model_serde_roundtrip() {
+        for model in [TopologyModel::paper(), TopologyModel::rack_zone_default()] {
+            let json = serde_json::to_string(&model).unwrap();
+            let back: TopologyModel = serde_json::from_str(&json).unwrap();
+            assert_eq!(back, model);
+        }
     }
 }

@@ -14,9 +14,14 @@
 //!    mix, and heavy-tailed per-page service costs.  The substitution is
 //!    documented in `DESIGN.md`.
 //!
-//! Both generators produce a time-ordered list of [`Request`]s that the
-//! experiment driver in `srlb-core` feeds into the simulated cluster, and
-//! both are deterministic given a seed.
+//! Both generators are deterministic given a seed and produce a
+//! time-ordered sequence of [`Request`]s.  Since the streaming refactor
+//! the primary interface is the [`Workload`] trait ([`stream`] module):
+//! the experiment driver in `srlb-core` *pulls* requests on demand, so a
+//! 24-hour replay never has to be materialised in memory; the eager
+//! `generate()` methods survive as compatibility shims that drain the
+//! stream (property-tested byte-identical to the pre-refactor output in
+//! `tests/proptest_stream.rs`).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -25,12 +30,16 @@
 pub mod poisson;
 pub mod request;
 pub mod service;
+pub mod stream;
 pub mod trace;
 pub mod wikipedia;
 
 pub use poisson::PoissonWorkload;
 pub use request::Request;
 pub use service::ServiceTime;
+pub use stream::{
+    requests_into_stream, BoxedWorkload, PoissonStream, TraceStream, WikipediaStream, Workload,
+};
 pub use trace::Trace;
 pub use wikipedia::{DiurnalProfile, WikipediaWorkload};
 

@@ -1,7 +1,6 @@
 //! The Poisson workload of the paper's Section V.
 
 use rand::Rng;
-use rand_distr::{Distribution, Exp};
 use serde::{Deserialize, Serialize};
 use srlb_metrics::RequestClass;
 use srlb_sim::{SimRng, SimTime};
@@ -94,23 +93,11 @@ impl PoissonWorkload {
     }
 
     /// Generates the request trace deterministically from `seed`.
+    ///
+    /// Compatibility shim: drains [`PoissonWorkload::stream`], so the eager
+    /// and streaming paths cannot diverge.
     pub fn generate(&self, seed: u64) -> Vec<Request> {
-        let mut arrival_rng = SimRng::new(seed).fork_named("poisson-arrivals");
-        let mut service_rng = SimRng::new(seed).fork_named("poisson-service");
-        let inter_arrival =
-            Exp::new(self.rate_per_second).expect("positive rate validated at construction");
-        let mut now = 0.0f64;
-        (0..self.queries as u64)
-            .map(|id| {
-                now += inter_arrival.sample(&mut arrival_rng);
-                Request::new(
-                    id,
-                    SimTime::from_secs_f64(now),
-                    self.class,
-                    self.service.sample(&mut service_rng),
-                )
-            })
-            .collect()
+        crate::stream::collect(&mut self.stream(seed))
     }
 
     /// Generates a trace whose arrivals are deterministic (evenly spaced at

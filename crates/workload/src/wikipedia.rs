@@ -19,14 +19,9 @@
 //! [`Request`] list spanning the configured duration.
 
 use serde::{Deserialize, Serialize};
-use srlb_metrics::RequestClass;
-use srlb_sim::{SimRng, SimTime};
 
-use crate::poisson::poisson_count;
 use crate::request::Request;
 use crate::service::ServiceTime;
-
-use rand::Rng;
 
 /// A 24-hour diurnal rate profile (requests per second as a function of the
 /// time of day).
@@ -193,50 +188,11 @@ impl WikipediaWorkload {
     /// Wiki-page arrivals follow a non-homogeneous Poisson process with the
     /// diurnal rate; static requests are attached around each interval with
     /// the configured ratio.
+    ///
+    /// Compatibility shim: drains [`WikipediaWorkload::stream`], so the
+    /// eager and streaming paths cannot diverge.
     pub fn generate(&self, seed: u64) -> Vec<Request> {
-        let mut count_rng = SimRng::new(seed).fork_named("wiki-counts");
-        let mut place_rng = SimRng::new(seed).fork_named("wiki-placement");
-        let mut service_rng = SimRng::new(seed).fork_named("wiki-service");
-
-        let end_seconds = self.duration_hours * 3600.0;
-        let mut arrivals: Vec<(f64, RequestClass)> = Vec::new();
-
-        let mut t = 0.0;
-        while t < end_seconds {
-            let wiki_rate = self.profile.rate_at_seconds(t) * self.load_fraction;
-            let wiki_mean = wiki_rate * self.interval_seconds;
-            let wiki_count = poisson_count(&mut count_rng, wiki_mean);
-            let static_mean = wiki_mean * self.static_per_wiki;
-            let static_count = poisson_count(&mut count_rng, static_mean);
-
-            for _ in 0..wiki_count {
-                let at = t + place_rng.gen::<f64>() * self.interval_seconds;
-                if at < end_seconds {
-                    arrivals.push((at, RequestClass::WikiPage));
-                }
-            }
-            for _ in 0..static_count {
-                let at = t + place_rng.gen::<f64>() * self.interval_seconds;
-                if at < end_seconds {
-                    arrivals.push((at, RequestClass::Static));
-                }
-            }
-            t += self.interval_seconds;
-        }
-
-        arrivals.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite arrival times"));
-
-        arrivals
-            .into_iter()
-            .enumerate()
-            .map(|(id, (at, class))| {
-                let service = match class {
-                    RequestClass::WikiPage => self.wiki_service.sample(&mut service_rng),
-                    _ => self.static_service.sample(&mut service_rng),
-                };
-                Request::new(id as u64, SimTime::from_secs_f64(at), class, service)
-            })
-            .collect()
+        crate::stream::collect(&mut self.stream(seed))
     }
 }
 
@@ -250,6 +206,7 @@ impl Default for WikipediaWorkload {
 mod tests {
     use super::*;
     use crate::request::is_well_formed;
+    use srlb_metrics::RequestClass;
 
     #[test]
     fn profile_matches_figure6_anchor_points() {

@@ -1,0 +1,159 @@
+//! Property tests: the streaming [`Workload`] path yields byte-identical
+//! traces to the legacy eager generation path.
+//!
+//! `generate()` is now a shim that drains the stream, so these tests pin
+//! the equivalence against *independent reference implementations* — the
+//! eager generators as they existed before the streaming refactor
+//! (generate-everything, sort globally, then sample service times in
+//! sorted order).  If the streaming generators ever reorder an RNG draw or
+//! mis-handle an interval boundary, these properties fail.
+
+use proptest::prelude::*;
+
+use rand::Rng;
+use rand_distr::{Distribution, Exp};
+use srlb_metrics::RequestClass;
+use srlb_sim::{SimRng, SimTime};
+use srlb_workload::stream::collect;
+use srlb_workload::{PoissonWorkload, Request, ServiceTime, WikipediaWorkload, Workload};
+
+/// The pre-refactor eager Poisson generator, kept verbatim as a model.
+fn reference_poisson(w: &PoissonWorkload, seed: u64) -> Vec<Request> {
+    let mut arrival_rng = SimRng::new(seed).fork_named("poisson-arrivals");
+    let mut service_rng = SimRng::new(seed).fork_named("poisson-service");
+    let inter_arrival = Exp::new(w.rate_per_second).expect("positive rate");
+    let mut now = 0.0f64;
+    (0..w.queries as u64)
+        .map(|id| {
+            now += inter_arrival.sample(&mut arrival_rng);
+            Request::new(
+                id,
+                SimTime::from_secs_f64(now),
+                w.class,
+                w.service.sample(&mut service_rng),
+            )
+        })
+        .collect()
+}
+
+/// Re-implementation of the vendored-`rand_distr`-free Poisson counter the
+/// generators share; mirrors `srlb_workload::poisson::poisson_count`.
+fn reference_poisson_count<R: Rng + ?Sized>(rng: &mut R, mean: f64) -> u64 {
+    if mean <= 0.0 {
+        return 0;
+    }
+    if mean < 30.0 {
+        let l = (-mean).exp();
+        let mut k = 0u64;
+        let mut p = 1.0;
+        loop {
+            p *= rng.gen::<f64>();
+            if p <= l {
+                return k;
+            }
+            k += 1;
+        }
+    }
+    let normal: f64 = {
+        let u1: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
+        let u2: f64 = rng.gen();
+        (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+    };
+    (mean + mean.sqrt() * normal).round().max(0.0) as u64
+}
+
+/// The pre-refactor eager Wikipedia generator: batch every interval's
+/// arrivals, sort the whole day globally, then sample service times in
+/// sorted order.
+fn reference_wikipedia(w: &WikipediaWorkload, seed: u64) -> Vec<Request> {
+    let mut count_rng = SimRng::new(seed).fork_named("wiki-counts");
+    let mut place_rng = SimRng::new(seed).fork_named("wiki-placement");
+    let mut service_rng = SimRng::new(seed).fork_named("wiki-service");
+
+    let end_seconds = w.duration_hours * 3600.0;
+    let mut arrivals: Vec<(f64, RequestClass)> = Vec::new();
+
+    let mut t = 0.0;
+    while t < end_seconds {
+        let wiki_rate = w.profile.rate_at_seconds(t) * w.load_fraction;
+        let wiki_mean = wiki_rate * w.interval_seconds;
+        let wiki_count = reference_poisson_count(&mut count_rng, wiki_mean);
+        let static_mean = wiki_mean * w.static_per_wiki;
+        let static_count = reference_poisson_count(&mut count_rng, static_mean);
+
+        for _ in 0..wiki_count {
+            let at = t + place_rng.gen::<f64>() * w.interval_seconds;
+            if at < end_seconds {
+                arrivals.push((at, RequestClass::WikiPage));
+            }
+        }
+        for _ in 0..static_count {
+            let at = t + place_rng.gen::<f64>() * w.interval_seconds;
+            if at < end_seconds {
+                arrivals.push((at, RequestClass::Static));
+            }
+        }
+        t += w.interval_seconds;
+    }
+
+    arrivals.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite arrival times"));
+
+    arrivals
+        .into_iter()
+        .enumerate()
+        .map(|(id, (at, class))| {
+            let service = match class {
+                RequestClass::WikiPage => w.wiki_service.sample(&mut service_rng),
+                _ => w.static_service.sample(&mut service_rng),
+            };
+            Request::new(id as u64, SimTime::from_secs_f64(at), class, service)
+        })
+        .collect()
+}
+
+proptest! {
+    #[test]
+    fn poisson_stream_is_byte_identical_to_legacy(
+        seed in 0u64..10_000,
+        rate in 1.0f64..400.0,
+        queries in 1usize..2_000,
+        mean_ms in 1.0f64..200.0,
+    ) {
+        let w = PoissonWorkload::new(rate, queries, ServiceTime::Exponential { mean_ms });
+        let reference = reference_poisson(&w, seed);
+        let streamed = collect(&mut w.stream(seed));
+        prop_assert_eq!(&streamed, &reference);
+        prop_assert_eq!(&w.generate(seed), &reference);
+    }
+
+    #[test]
+    fn wikipedia_stream_is_byte_identical_to_legacy(
+        seed in 0u64..10_000,
+        // Durations chosen to exercise both exact-multiple and ragged
+        // final intervals (interval_seconds stays at the paper's 10 s).
+        duration_s in 15.0f64..400.0,
+        load in 0.05f64..1.0,
+        static_ratio in 0.0f64..3.0,
+    ) {
+        let w = WikipediaWorkload::paper()
+            .with_duration_hours(duration_s / 3600.0)
+            .with_load_fraction(load)
+            .with_static_per_wiki(static_ratio);
+        let reference = reference_wikipedia(&w, seed);
+        let streamed = collect(&mut w.stream(seed));
+        prop_assert_eq!(&streamed, &reference);
+        prop_assert_eq!(&w.generate(seed), &reference);
+    }
+
+    #[test]
+    fn wikipedia_remaining_hint_is_exact(
+        seed in 0u64..10_000,
+        duration_s in 15.0f64..200.0,
+    ) {
+        let w = WikipediaWorkload::paper().with_duration_hours(duration_s / 3600.0);
+        let mut stream = w.stream(seed);
+        let hinted = stream.remaining();
+        let actual = collect(&mut stream).len();
+        prop_assert_eq!(hinted, actual);
+    }
+}
