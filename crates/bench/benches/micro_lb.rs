@@ -1,6 +1,6 @@
 //! Micro-benchmarks of the load balancer's per-flow operations: candidate
-//! selection (random two-choice, consistent hash, Maglev) and flow-table
-//! learn/lookup.
+//! selection (random two-choice, consistent hash, Maglev), ECMP steering
+//! across the LB tier, and flow-table learn/lookup.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use srlb_core::dispatch::{
@@ -8,7 +8,7 @@ use srlb_core::dispatch::{
 };
 use srlb_core::flow_table::FlowTable;
 use srlb_net::{AddressPlan, FlowKey, Protocol};
-use srlb_sim::{SimRng, SimTime};
+use srlb_sim::{ecmp_steer, NodeId, SimRng, SimTime};
 
 fn flows(n: u16) -> Vec<FlowKey> {
     let plan = AddressPlan::default();
@@ -62,6 +62,15 @@ fn bench(c: &mut Criterion) {
             i = (i + 1) % keys.len();
             maglev.candidates_into(&keys[i], &mut rng, &mut out);
             criterion::black_box(out.as_slice().len())
+        })
+    });
+
+    let tier: Vec<NodeId> = (1..=4).map(NodeId).collect();
+    c.bench_function("steer_ecmp_tier4", |b| {
+        let mut i = 0;
+        b.iter(|| {
+            i = (i + 1) % keys.len();
+            criterion::black_box(ecmp_steer(keys[i].stable_hash(), &tier))
         })
     });
 

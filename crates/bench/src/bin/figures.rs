@@ -274,6 +274,23 @@ fn run_scenarios_sweep(scale: Scale, jobs: usize) {
             remap.collateral_fraction,
         );
     }
+    println!("\n## ECMP reshuffle sweep (dispatcher x LB tier size, one instance withdrawn)");
+    println!(
+        "{:<16} {:>4} {:>6} {:>6} {:>7} {:>7} {:>8}",
+        "dispatcher", "lbs", "sent", "done", "broken", "orphans", "rehunts"
+    );
+    for cell in &doc.ecmp_reshuffle {
+        println!(
+            "{:<16} {:>4} {:>6} {:>6} {:>7} {:>7} {:>8}",
+            cell.dispatcher,
+            cell.lb_count,
+            cell.report.sent,
+            cell.report.completed,
+            cell.report.broken_established,
+            cell.report.orphaned,
+            cell.report.rehunts,
+        );
+    }
     match srlb_bench::write_bench_scenarios(&srlb_bench::micro::workspace_root(), &doc) {
         Ok(path) => println!("  -> wrote {}", path.display()),
         Err(err) => eprintln!("  !! could not write scenario report: {err}"),

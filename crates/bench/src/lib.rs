@@ -35,7 +35,10 @@ pub use figures::{
 pub use micro::{write_bench_micro, BenchReport, BENCH_MICRO_FILE};
 pub use output::{write_csv, FIGURES_DIR};
 pub use parallel::{default_jobs, parallel_map};
-pub use scenarios::{run_scenarios, write_bench_scenarios, ScenariosDoc, BENCH_SCENARIOS_FILE};
+pub use scenarios::{
+    run_scenarios, write_bench_scenarios, EcmpReshuffleReport, ScenariosDoc, BENCH_SCENARIOS_FILE,
+    ECMP_RESHUFFLE_LB_COUNTS,
+};
 pub use spec_run::{
     example_specs, load_spec, run_spec_file, scale_spec, write_example_specs, write_spec_report,
     SpecRunReport,

@@ -138,6 +138,19 @@ pub fn run_all() -> BTreeMap<String, f64> {
         }),
     );
 
+    // Resilient ECMP steering across a 4-instance LB tier: the per-packet
+    // cost the multi-LB refactor adds to every VIP-bound send.  Target:
+    // alloc-free and the same order as `dispatch_maglev`.
+    let tier: Vec<srlb_sim::NodeId> = (1..=4).map(srlb_sim::NodeId).collect();
+    let mut i = 0;
+    record(
+        "steer_ecmp_tier4",
+        median_ns(|| {
+            i = (i + 1) % keys.len();
+            srlb_sim::ecmp_steer(keys[i].stable_hash(), &tier)
+        }),
+    );
+
     let mut table = FlowTable::with_default_timeout();
     let mut i = 0;
     record(

@@ -8,6 +8,14 @@
 //! remapping probes for single-server churn (the quantities the property
 //! tests in `crates/core/tests/proptest_churn.rs` bound).
 //!
+//! The **ECMP-reshuffle sweep** is appended to the same report: every
+//! dispatcher crossed with LB tier sizes {1, 2, 4}, withdrawing one tier
+//! instance mid-run ([`srlb_scenario::Scenario::ecmp_reshuffle`]).  It
+//! demonstrates end-to-end that consistent-hash and Maglev candidates keep
+//! every established connection alive when flows are re-steered onto LB
+//! instances that have never seen them, while random candidates orphan
+//! them.
+//!
 //! Every `(preset, dispatcher)` cell is an independent seeded simulation
 //! run through [`parallel_map`](crate::parallel::parallel_map), so the
 //! output is byte-identical whatever the `--jobs` worker count.
@@ -170,6 +178,20 @@ fn remap_probe(label: &str, config: DispatcherConfig) -> Vec<RemapReport> {
     reports
 }
 
+/// One cell of the ECMP-reshuffle sweep: an `lb_count`-instance LB tier
+/// with the last instance withdrawn mid-run (`lb_count = 1` is the
+/// event-free degenerate control).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EcmpReshuffleReport {
+    /// Dispatcher label.
+    pub dispatcher: String,
+    /// Tier size at the start of the run.
+    pub lb_count: usize,
+    /// The scenario report (per-instance LB counters included for
+    /// multi-instance tiers).
+    pub report: ScenarioReport,
+}
+
 /// The JSON document written to [`BENCH_SCENARIOS_FILE`].
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ScenariosDoc {
@@ -183,7 +205,15 @@ pub struct ScenariosDoc {
     pub scenarios: Vec<ScenarioReport>,
     /// Dispatcher remapping probes under single-server churn.
     pub remap: Vec<RemapReport>,
+    /// The ECMP-reshuffle sweep: dispatcher × lb_count ∈ {1, 2, 4}
+    /// (absent from reports written before the multi-LB refactor).
+    #[serde(default)]
+    pub ecmp_reshuffle: Vec<EcmpReshuffleReport>,
 }
+
+/// The LB tier sizes the ECMP-reshuffle sweep crosses each dispatcher
+/// with.
+pub const ECMP_RESHUFFLE_LB_COUNTS: [usize; 3] = [1, 2, 4];
 
 /// Runs the scenario sweep across `jobs` workers.
 pub fn run_scenarios(scale: Scale, seed: u64, jobs: usize) -> ScenariosDoc {
@@ -202,12 +232,33 @@ pub fn run_scenarios(scale: Scale, seed: u64, jobs: usize) -> ScenariosDoc {
         .filter(|(label, _)| *label != "random")
         .flat_map(|(label, config)| remap_probe(label, config))
         .collect();
+
+    // The ECMP-reshuffle sweep: dispatcher × tier size.
+    let mut reshuffle_grid: Vec<(String, usize, Scenario)> = Vec::new();
+    for (label, dispatcher) in dispatchers() {
+        for lb_count in ECMP_RESHUFFLE_LB_COUNTS {
+            reshuffle_grid.push((
+                label.to_string(),
+                lb_count,
+                Scenario::ecmp_reshuffle(dispatcher, lb_count, queries).with_seed(seed),
+            ));
+        }
+    }
+    let ecmp_reshuffle = parallel_map(&reshuffle_grid, jobs, |(label, lb_count, scenario)| {
+        EcmpReshuffleReport {
+            dispatcher: label.clone(),
+            lb_count: *lb_count,
+            report: run(scenario).expect("reshuffle preset is valid").report(),
+        }
+    });
+
     ScenariosDoc {
         schema: 1,
         scale: format!("{scale:?}"),
         seed,
         scenarios,
         remap,
+        ecmp_reshuffle,
     }
 }
 
@@ -337,6 +388,37 @@ mod tests {
                     report.broken_established, 0,
                     "{} must not lose established connections",
                     report.dispatcher
+                );
+            }
+        }
+        // The ECMP-reshuffle acceptance property: consistent-hash and
+        // Maglev candidates survive re-steering onto LB instances that
+        // never saw the flows; random candidates orphan them.
+        assert_eq!(serial.ecmp_reshuffle.len(), 9);
+        for cell in &serial.ecmp_reshuffle {
+            assert_eq!(cell.report.name, "ecmp_reshuffle");
+            if cell.lb_count > 1 {
+                assert!(
+                    cell.report.rehunts > 0,
+                    "{} x{} must re-hunt re-steered flows",
+                    cell.dispatcher,
+                    cell.lb_count
+                );
+                assert_eq!(cell.report.per_lb.len(), cell.lb_count);
+            }
+            if cell.dispatcher == "random" {
+                if cell.lb_count > 1 {
+                    assert!(
+                        cell.report.broken_established > 0,
+                        "random x{} should orphan re-steered flows",
+                        cell.lb_count
+                    );
+                }
+            } else {
+                assert_eq!(
+                    cell.report.broken_established, 0,
+                    "{} x{} must not lose established connections",
+                    cell.dispatcher, cell.lb_count
                 );
             }
         }

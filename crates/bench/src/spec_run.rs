@@ -4,7 +4,7 @@
 //! *any* experiment — a paper figure point, a dynamic-cluster scenario, or
 //! a cross product such as an LB failover during a Wikipedia replay — is a
 //! spec file that can be committed, reviewed, and replayed bit-for-bit.
-//! Three canonical specs live in `examples/specs/` at the workspace root
+//! Five canonical specs live in `examples/specs/` at the workspace root
 //! (regenerate them with `figures -- write-specs`, round-trip-checked by
 //! `crates/bench/tests/spec_roundtrip.rs`).
 
@@ -26,15 +26,26 @@ use crate::figures::Scale;
 ///
 /// * `poisson_rho089` — the paper's Poisson testbed at ρ = 0.89 under
 ///   `SRdyn` (Section V's high-load regime),
+/// * `poisson_rho089_48s` — the same experiment on a 48-server cluster
+///   (4× the paper's testbed; the cluster axis makes growth a one-line
+///   change, with λ₀ re-derived analytically from the larger capacity),
 /// * `wikipedia_replay` — the 24-hour Wikipedia replay under `SR4`
 ///   (Section VI),
 /// * `lb_failover_wikipedia` — the scenario × workload cross product the
 ///   two old orchestration stacks could not express: a load-balancer
 ///   failover (with in-band flow-table reconstruction over
 ///   consistent-hash candidates) in the middle of a Wikipedia replay
-///   slice.
+///   slice,
+/// * `multi_lb_ecmp` — a four-instance LB tier behind deterministic
+///   resilient ECMP steering, with one instance withdrawn mid-run: live
+///   flows re-steer onto peers that have never seen them and survive via
+///   re-hunt over consistent-hash candidates.
 pub fn example_specs() -> Vec<(&'static str, ExperimentSpec)> {
     let poisson = ExperimentSpec::poisson_paper(0.89, PolicyKind::Dynamic).with_seed(42);
+    let poisson_48 = ExperimentSpec::poisson_paper(0.89, PolicyKind::Dynamic)
+        .with_servers(48)
+        .with_seed(42)
+        .with_name("poisson-rho0.89-SRdyn-48s");
     let wikipedia =
         ExperimentSpec::wikipedia_paper(PolicyKind::Static { threshold: 4 }).with_seed(42);
     let mut failover_wiki = ExperimentSpec::wikipedia_paper(PolicyKind::Explicit {
@@ -49,10 +60,20 @@ pub fn example_specs() -> Vec<(&'static str, ExperimentSpec)> {
     // stay inside even the `--tiny` scaled-down slice.
     .at(60.0, ScenarioEvent::LbFailover);
     failover_wiki.cluster.recover_flows = true;
+    let multi_lb = srlb_scenario::Scenario::ecmp_reshuffle(
+        DispatcherConfig::ConsistentHash { vnodes: 128, k: 2 },
+        4,
+        800,
+    )
+    .to_spec()
+    .with_seed(42)
+    .with_name("multi_lb_ecmp");
     vec![
         ("poisson_rho089", poisson),
+        ("poisson_rho089_48s", poisson_48),
         ("wikipedia_replay", wikipedia),
         ("lb_failover_wikipedia", failover_wiki),
+        ("multi_lb_ecmp", multi_lb),
     ]
 }
 
@@ -239,7 +260,10 @@ mod tests {
 
     #[test]
     fn scale_spec_shrinks_only_the_workload() {
-        let (_, wiki) = example_specs().swap_remove(2);
+        let (_, wiki) = example_specs()
+            .into_iter()
+            .find(|(stem, _)| *stem == "lb_failover_wikipedia")
+            .unwrap();
         let tiny = scale_spec(wiki.clone(), Scale::Tiny);
         assert_eq!(tiny.scenario, wiki.scenario);
         assert_eq!(tiny.cluster, wiki.cluster);
@@ -255,7 +279,7 @@ mod tests {
     fn write_load_run_roundtrip() {
         let dir = std::env::temp_dir().join("srlb-spec-run-test");
         let paths = write_example_specs(&dir).unwrap();
-        assert_eq!(paths.len(), 3);
+        assert_eq!(paths.len(), 5);
         // Byte-level round trip of every written file.
         for path in &paths {
             let text = std::fs::read_to_string(path).unwrap();
@@ -269,6 +293,15 @@ mod tests {
         assert_eq!(report.name, "lb_failover_wikipedia");
         assert_eq!(report.failovers, 1);
         assert!(report.completed > 0);
+        assert_eq!(report.phases.len(), 2);
+        // The multi-LB ECMP reshuffle spec runs end to end at tiny scale:
+        // the withdrawal lands inside the scaled-down send window, so the
+        // re-hunt path across instances is exercised even in CI smoke.
+        let report = run_spec_file(&dir.join("multi_lb_ecmp.json"), Scale::Tiny).unwrap();
+        assert_eq!(report.name, "multi_lb_ecmp");
+        assert_eq!(report.sent, Scale::Tiny.poisson_queries() as u64);
+        assert_eq!(report.completed, report.sent, "zero connections lost");
+        assert!(report.rehunts > 0, "re-steered flows were re-hunted");
         assert_eq!(report.phases.len(), 2);
         let _ = std::fs::remove_dir_all(&dir);
     }

@@ -211,8 +211,14 @@ impl ClientNode {
         &self.collector
     }
 
-    fn send_to_addr(&self, ctx: &mut Context<'_, Packet>, addr: Ipv6Addr, packet: Packet) {
-        if let Some(node) = self.directory.lookup(addr) {
+    /// Sends a VIP-bound packet: the VIP is anycast to the load-balancer
+    /// tier, so the packet is ECMP-steered by its flow's 5-tuple hash —
+    /// the simulator's model of the routers in front of the LB fleet.
+    /// With a single load balancer the steering degenerates to that
+    /// instance and runs are identical to the pre-tier client.
+    fn send_to_vip(&self, ctx: &mut Context<'_, Packet>, vip: Ipv6Addr, packet: Packet) {
+        let hash = packet.flow_key_forward().stable_hash();
+        if let Some(node) = self.directory.lookup_flow(vip, hash) {
             ctx.send(node, packet);
         }
     }
@@ -245,7 +251,7 @@ impl ClientNode {
             },
         );
         self.sent += 1;
-        self.send_to_addr(ctx, vip, syn);
+        self.send_to_vip(ctx, vip, syn);
     }
 
     fn handle_syn_ack(&mut self, packet: &Packet, ctx: &mut Context<'_, Packet>) {
@@ -280,7 +286,7 @@ impl ClientNode {
             .flags(TcpFlags::ACK | TcpFlags::PSH)
             .payload(encode_request_payload(id, service))
             .build();
-        self.send_to_addr(ctx, vip, http_request);
+        self.send_to_vip(ctx, vip, http_request);
     }
 
     fn finish(

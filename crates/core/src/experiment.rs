@@ -229,6 +229,7 @@ impl ExperimentConfig {
                 backlog: self.backlog,
                 capacity_overrides: Vec::new(),
                 vips: 1,
+                lb_count: 1,
                 recover_flows: false,
                 record_load: self.record_load,
             },

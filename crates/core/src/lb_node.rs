@@ -49,6 +49,34 @@ pub struct LbStats {
     pub forwarded: u64,
 }
 
+impl LbStats {
+    /// Adds another counter snapshot field-wise.  `LbStats::default()` is
+    /// the identity and the operation is associative (and commutative), so
+    /// folding any grouping of per-instance snapshots yields the same
+    /// tier-wide aggregate — the property the multi-LB runner relies on
+    /// when it merges N instances' counters (and, for N = 1, exactly the
+    /// single load balancer's own counters).
+    pub fn merge(&mut self, other: LbStats) {
+        self.new_flows += other.new_flows;
+        self.flows_learned += other.flows_learned;
+        self.steered += other.steered;
+        self.missing_flow += other.missing_flow;
+        self.rehunts += other.rehunts;
+        self.failovers += other.failovers;
+        self.forwarded += other.forwarded;
+    }
+
+    /// Folds an iterator of per-instance snapshots into the tier-wide
+    /// aggregate.
+    pub fn merged(stats: impl IntoIterator<Item = LbStats>) -> LbStats {
+        let mut total = LbStats::default();
+        for s in stats {
+            total.merge(s);
+        }
+        total
+    }
+}
+
 /// Timer token used for the periodic flow-table expiry sweep.
 const EXPIRY_TIMER: TimerToken = TimerToken(u64::MAX);
 
@@ -374,6 +402,47 @@ impl Node<Packet> for LoadBalancerNode {
 mod tests {
     use super::*;
     use crate::dispatch::RandomDispatcher;
+
+    fn sample_stats(seed: u64) -> LbStats {
+        LbStats {
+            new_flows: seed,
+            flows_learned: seed.wrapping_mul(3) % 97,
+            steered: seed.wrapping_mul(5) % 89,
+            missing_flow: seed % 7,
+            rehunts: seed % 11,
+            failovers: seed % 3,
+            forwarded: seed % 13,
+        }
+    }
+
+    #[test]
+    fn lb_stats_merge_identity() {
+        for seed in [0u64, 1, 17, 123_456] {
+            let s = sample_stats(seed);
+            let mut left = LbStats::default();
+            left.merge(s);
+            assert_eq!(left, s, "default is a left identity");
+            let mut right = s;
+            right.merge(LbStats::default());
+            assert_eq!(right, s, "default is a right identity");
+        }
+        assert_eq!(LbStats::merged([]), LbStats::default());
+    }
+
+    #[test]
+    fn lb_stats_merge_associativity() {
+        let (a, b, c) = (sample_stats(3), sample_stats(40), sample_stats(777));
+        let mut ab = a;
+        ab.merge(b);
+        let mut ab_c = ab;
+        ab_c.merge(c);
+        let mut bc = b;
+        bc.merge(c);
+        let mut a_bc = a;
+        a_bc.merge(bc);
+        assert_eq!(ab_c, a_bc, "(a+b)+c == a+(b+c)");
+        assert_eq!(LbStats::merged([a, b, c]), ab_c);
+    }
     use srlb_net::{AddressPlan, PacketBuilder, ServerId, TcpFlags};
     use srlb_server::{PolicyConfig, ServerConfig, ServerNode};
     use srlb_sim::{Network, Topology};

@@ -1,14 +1,24 @@
 //! The unified experiment runner.
 //!
 //! [`Runner`] executes an [`ExperimentSpec`] end to end: it lays out node
-//! ids and addresses for the *whole potential cluster* (`max_servers`) up
-//! front — so adding a backend later never perturbs the id ↔ address
-//! mapping and runs stay deterministic — pulls the workload on demand from
-//! its [`Workload`](srlb_workload::Workload) stream, and advances the
+//! ids and addresses for the *whole potential cluster* (`max_servers`
+//! backends behind an `lb_count`-instance load-balancer tier) up front — so
+//! adding a backend later never perturbs the id ↔ address mapping and runs
+//! stay deterministic — pulls the workload on demand from its
+//! [`Workload`](srlb_workload::Workload) stream, and advances the
 //! simulation in **segments**: up to each scheduled control event's
 //! timestamp, apply the event through the simulator's control-delivery
 //! primitives, continue.  A static cluster is simply the degenerate
 //! single-segment case with an empty schedule.
+//!
+//! The load-balancer tier is fronted by deterministic resilient ECMP
+//! steering ([`srlb_sim::ecmp_steer`]): every instance advertises the same
+//! anycast address and VIPs, registered in the [`Directory`] as a shared
+//! tier whose membership the runner mutates on `AddLb` / `RemoveLb` events
+//! — route advertisement and withdrawal, observed by every node on its
+//! next send.  With `lb_count = 1` the tier degenerates to the single load
+//! balancer of the paper's testbed and runs are byte-identical to the
+//! pre-tier runner.
 //!
 //! Both the figure harness (`srlb-bench`) and the scenario crate
 //! (`srlb-scenario`) are thin clients of this runner.
@@ -17,7 +27,7 @@ use std::net::Ipv6Addr;
 
 use srlb_metrics::{DisruptionCollector, PhaseStats, ResponseTimeCollector};
 use srlb_net::{AddressPlan, Packet, ServerId};
-use srlb_server::{Directory, ServerConfig, ServerNode, ServerStats};
+use srlb_server::{tier_members, Directory, ServerConfig, ServerNode, ServerStats};
 use srlb_sim::{Network, NodeId, RunLimit, SimDuration, SimTime};
 
 use crate::client::{client_addr_count, ClientNode};
@@ -40,8 +50,12 @@ pub struct RunOutcome {
     pub dispatcher_name: String,
     /// Per-request records collected by the client.
     pub collector: ResponseTimeCollector,
-    /// Load-balancer counters.
+    /// Tier-wide load-balancer counters: the [`LbStats::merge`] of every
+    /// instance's counters (for `lb_count = 1`, exactly that instance's
+    /// own counters).
     pub lb_stats: LbStats,
+    /// Per-instance load-balancer counters, indexed by LB instance.
+    pub per_lb_stats: Vec<LbStats>,
     /// Per-server counters indexed by server (over `max_servers`), merged
     /// across remove/re-add incarnations.
     pub server_stats: Vec<ServerStats>,
@@ -55,7 +69,8 @@ pub struct RunOutcome {
     /// Per-phase disruption statistics (phases delimited by the scenario
     /// events; a single phase for static runs).
     pub phases: Vec<PhaseStats>,
-    /// Seconds between the fail-over and the last re-hunt, if any.
+    /// Seconds between the fail-over and the last re-hunt, if any (the
+    /// maximum across LB instances that reconstructed state).
     pub reconstruction_latency_s: Option<f64>,
     /// Simulated duration of the run in seconds.
     pub duration_seconds: f64,
@@ -96,20 +111,28 @@ impl Runner {
         let source = spec.workload.stream(spec.seed, cluster);
         let total_requests = source.remaining();
 
-        // Fixed id ↔ address layout over the whole potential cluster.
+        // Fixed id ↔ address layout over the whole potential cluster: the
+        // client, then the LB tier, then every backend slot.  With
+        // `lb_count = 1` this is exactly the pre-tier layout.
+        let lb_count = cluster.lb_count;
         let client_id = NodeId(0);
-        let lb_id = NodeId(1);
-        let server_node_id = |i: usize| NodeId(2 + i);
+        let lb_node_id = |j: usize| NodeId(1 + j);
+        let lb_ids: Vec<NodeId> = (0..lb_count).map(lb_node_id).collect();
+        let server_node_id = |i: usize| NodeId(1 + lb_count + i);
         let server_ids: Vec<NodeId> = (0..cluster.max_servers).map(server_node_id).collect();
 
+        // The whole tier advertises one anycast LB address and the VIPs;
+        // the shared membership handle is the runner's model of the ECMP
+        // routing table, mutated on AddLb/RemoveLb events below.
+        let tier = tier_members(lb_ids.clone());
         let mut directory = Directory::new();
         for a in 0..client_addr_count(total_requests) {
             directory.register(plan.client_addr(a), client_id);
         }
-        directory.register(plan.lb_addr(), lb_id);
+        directory.register_tier(plan.lb_addr(), tier.clone());
         let vips: Vec<Ipv6Addr> = (0..cluster.vips).map(|v| plan.vip(v)).collect();
         for &vip in &vips {
-            directory.register(vip, lb_id);
+            directory.register_tier(vip, tier.clone());
         }
         for (i, &sid) in server_ids.iter().enumerate() {
             directory.register(plan.server_addr(ServerId(i as u32)), sid);
@@ -117,7 +140,7 @@ impl Runner {
 
         let mut network: Network<Packet> = Network::new(
             spec.seed,
-            spec.topology.build(client_id, lb_id, &server_ids),
+            spec.topology.build(client_id, &lb_ids, &server_ids),
         );
 
         let client = ClientNode::from_workload(plan.clone(), vips[0], directory.clone(), source)
@@ -138,19 +161,26 @@ impl Runner {
                 .collect()
         };
 
-        let mut lb = LoadBalancerNode::new(
-            plan.lb_addr(),
-            vips[0],
-            directory.clone(),
-            spec.policy.dispatcher().build(alive_addrs(&alive)),
-        )
-        .with_vips(vips.clone());
-        if cluster.recover_flows {
-            lb = lb.with_flow_recovery();
+        // Every instance of the tier: same anycast address, same VIPs, its
+        // own dispatcher and flow table.
+        let mut dispatcher_name = String::new();
+        for j in 0..lb_count {
+            let mut lb = LoadBalancerNode::new(
+                plan.lb_addr(),
+                vips[0],
+                directory.clone(),
+                spec.policy.dispatcher().build(alive_addrs(&alive)),
+            )
+            .with_vips(vips.clone());
+            if cluster.recover_flows {
+                lb = lb.with_flow_recovery();
+            }
+            if j == 0 {
+                dispatcher_name = lb.dispatcher_name();
+            }
+            let added_lb = network.add_node(lb);
+            debug_assert_eq!(added_lb, lb_node_id(j));
         }
-        let dispatcher_name = lb.dispatcher_name();
-        let added_lb = network.add_node(lb);
-        debug_assert_eq!(added_lb, lb_id);
 
         let acceptance = spec.policy.acceptance_policy();
         let server_config = |i: usize| -> ServerConfig {
@@ -186,6 +216,18 @@ impl Runner {
             acceptance_ratios[i] = node.agent().acceptance_ratio();
         };
 
+        // Rebuilds every tier instance's dispatcher over the current
+        // backend set (server churn is tier-wide: withdrawn instances are
+        // rebuilt too, so a later re-advertisement steers correctly).
+        let rebuild_tier = |network: &mut Network<Packet>, addrs: &[Ipv6Addr]| {
+            for &lb in &lb_ids {
+                network
+                    .node_as_mut::<LoadBalancerNode>(lb)
+                    .expect("load balancer present")
+                    .rebuild_backends(addrs.to_vec());
+            }
+        };
+
         // Segment the run at each control event's timestamp.
         let mut boundaries: Vec<(String, f64)> = Vec::with_capacity(spec.scenario.len());
         for timed in &spec.scenario {
@@ -199,11 +241,7 @@ impl Runner {
                         ServerNode::new(server_config(i), directory.clone()),
                     );
                     alive[i] = true;
-                    let addrs = alive_addrs(&alive);
-                    network
-                        .node_as_mut::<LoadBalancerNode>(lb_id)
-                        .expect("load balancer present")
-                        .rebuild_backends(addrs);
+                    rebuild_tier(&mut network, &alive_addrs(&alive));
                 }
                 ScenarioEvent::RemoveServer { server } => {
                     let i = server as usize;
@@ -212,16 +250,37 @@ impl Runner {
                         .expect("validated schedule removes only live servers");
                     harvest(node, i);
                     alive[i] = false;
-                    let addrs = alive_addrs(&alive);
-                    network
-                        .node_as_mut::<LoadBalancerNode>(lb_id)
-                        .expect("load balancer present")
-                        .rebuild_backends(addrs);
+                    rebuild_tier(&mut network, &alive_addrs(&alive));
                 }
                 ScenarioEvent::LbFailover => {
-                    network
-                        .control::<LoadBalancerNode, _>(lb_id, |lb, ctx| lb.fail_over(ctx.now()))
-                        .expect("load balancer present");
+                    // Fail over every *advertised* instance; the shared
+                    // tier is the single source of truth for advertisement.
+                    let advertised: Vec<usize> = {
+                        let tier = tier.read().expect("tier lock poisoned");
+                        (0..lb_count)
+                            .filter(|&j| tier.contains(lb_node_id(j)))
+                            .collect()
+                    };
+                    for j in advertised {
+                        network
+                            .control::<LoadBalancerNode, _>(lb_node_id(j), |lb, ctx| {
+                                lb.fail_over(ctx.now())
+                            })
+                            .expect("load balancer present");
+                    }
+                }
+                ScenarioEvent::AddLb { lb } => {
+                    tier.write()
+                        .expect("tier lock poisoned")
+                        .add(lb_node_id(lb as usize));
+                }
+                ScenarioEvent::RemoveLb { lb } => {
+                    // A route withdrawal, not a node removal: packets
+                    // already in the fabric still deliver, subsequent
+                    // packets of the instance's flows re-steer to peers.
+                    tier.write()
+                        .expect("tier lock poisoned")
+                        .remove(lb_node_id(lb as usize));
                 }
                 ScenarioEvent::SetCapacity {
                     server,
@@ -253,9 +312,21 @@ impl Runner {
                 harvest(node, i);
             }
         }
-        let lb_node: LoadBalancerNode = network
-            .take_node(lb_id)
-            .expect("load balancer present after run");
+        // Every tier instance still exists (withdrawal keeps the node so
+        // in-fabric packets deliver); the tier-wide aggregate is the merge
+        // of the per-instance counters.
+        let mut per_lb_stats = Vec::with_capacity(lb_count);
+        let mut reconstruction_latency_s: Option<f64> = None;
+        for j in 0..lb_count {
+            let lb_node: LoadBalancerNode = network
+                .take_node(lb_node_id(j))
+                .expect("load balancer present after run");
+            if let Some(latency) = lb_node.reconstruction_latency_seconds() {
+                reconstruction_latency_s =
+                    Some(reconstruction_latency_s.map_or(latency, |best| best.max(latency)));
+            }
+            per_lb_stats.push(lb_node.stats());
+        }
         let client_node: ClientNode = network
             .take_node(client_id)
             .expect("client present after run");
@@ -268,8 +339,9 @@ impl Runner {
             name: spec.name.clone(),
             label: spec.policy.label(),
             dispatcher_name,
-            reconstruction_latency_s: lb_node.reconstruction_latency_seconds(),
-            lb_stats: lb_node.stats(),
+            reconstruction_latency_s,
+            lb_stats: LbStats::merged(per_lb_stats.iter().copied()),
+            per_lb_stats,
             server_stats: merged_stats,
             load_series,
             acceptance_ratios,
@@ -337,6 +409,83 @@ mod tests {
         assert_eq!(outcome.lb_stats.failovers, 1);
         assert_eq!(outcome.phases.len(), 2);
         assert!(outcome.dispatcher_name.contains("consistent"));
+    }
+
+    #[test]
+    fn multi_lb_tier_spreads_flows_and_completes() {
+        let spec = quick_spec(
+            0.5,
+            PolicyKind::Explicit {
+                dispatcher: crate::dispatch::DispatcherConfig::ConsistentHash { vnodes: 64, k: 2 },
+                acceptance: srlb_server::PolicyConfig::Static { threshold: 4 },
+            },
+        )
+        .with_lb_count(4);
+        let outcome = Runner::new(spec).unwrap().run();
+        assert_eq!(outcome.collector.len(), 400);
+        assert_eq!(outcome.collector.completed_count(), 400);
+        assert_eq!(outcome.per_lb_stats.len(), 4);
+        // ECMP spreads new flows across every instance, and the tier-wide
+        // aggregate is the merge of the per-instance counters.
+        for (j, stats) in outcome.per_lb_stats.iter().enumerate() {
+            assert!(stats.new_flows > 0, "LB {j} received no flows");
+        }
+        assert_eq!(
+            outcome.lb_stats,
+            LbStats::merged(outcome.per_lb_stats.iter().copied())
+        );
+        assert_eq!(outcome.lb_stats.new_flows, 400);
+        assert_eq!(outcome.lb_stats.flows_learned, 400);
+    }
+
+    #[test]
+    fn multi_lb_run_is_deterministic() {
+        let spec = quick_spec(0.6, PolicyKind::Static { threshold: 4 })
+            .with_lb_count(2)
+            .with_seed(5);
+        let a = Runner::new(spec.clone()).unwrap().run();
+        let b = Runner::new(spec).unwrap().run();
+        assert_eq!(a.collector.records(), b.collector.records());
+        assert_eq!(a.per_lb_stats, b.per_lb_stats);
+        assert_eq!(a.events_processed, b.events_processed);
+    }
+
+    #[test]
+    fn lb_withdrawal_re_steers_onto_peers_without_breaking_flows() {
+        // Two-instance tier with consistent-hash candidates and in-band
+        // flow recovery: withdrawing one instance mid-run re-steers its
+        // established flows onto a peer that has never seen them; the peer
+        // re-hunts and every connection survives.
+        let mut spec = ExperimentSpec {
+            name: "remove-lb-test".to_string(),
+            seed: 3,
+            workload: WorkloadSpec::PoissonRate {
+                rate_qps: 150.0,
+                queries: 600,
+                mean_service_ms: 20.0,
+            },
+            cluster: crate::spec::ClusterSpec::paper(),
+            topology: TopologyModel::paper(),
+            scenario: Vec::new(),
+            policy: PolicyKind::Explicit {
+                dispatcher: crate::dispatch::DispatcherConfig::ConsistentHash { vnodes: 64, k: 2 },
+                acceptance: srlb_server::PolicyConfig::Static { threshold: 4 },
+            },
+            request_delay_ms: 100.0,
+        };
+        spec.cluster.lb_count = 2;
+        spec.cluster.recover_flows = true;
+        let spec = spec.at(2.0, ScenarioEvent::RemoveLb { lb: 1 });
+        let outcome = Runner::new(spec).unwrap().run();
+
+        assert_eq!(outcome.collector.len(), 600);
+        assert_eq!(outcome.collector.completed_count(), 600, "zero loss");
+        assert_eq!(outcome.phases.len(), 2);
+        // The withdrawn instance saw flows before the reshuffle; the
+        // survivor re-hunted the re-steered ones.
+        assert!(outcome.per_lb_stats[1].new_flows > 0);
+        assert!(outcome.per_lb_stats[0].rehunts > 0, "re-hunts expected");
+        assert_eq!(outcome.lb_stats.missing_flow, 0);
     }
 
     #[test]

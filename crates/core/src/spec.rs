@@ -126,9 +126,27 @@ pub enum ScenarioEvent {
         /// Index of the server to remove.
         server: u32,
     },
-    /// Fails the load balancer over to a cold standby at the same address:
-    /// the flow table is lost and must be reconstructed in-band.
+    /// Fails every advertised load-balancer instance over to a cold standby
+    /// at the same address: the flow tables are lost and must be
+    /// reconstructed in-band.  (With `lb_count = 1` this is the classic
+    /// single-LB failover.)
     LbFailover,
+    /// Advertises load-balancer instance `lb` (which must currently be
+    /// withdrawn) back into the ECMP tier: it resumes receiving the flows
+    /// it wins under resilient hashing, stealing them from peers.
+    AddLb {
+        /// Index of the instance (must be `< lb_count`).
+        lb: u32,
+    },
+    /// Withdraws load-balancer instance `lb` from the ECMP tier — the
+    /// reshuffle event: packets already in the fabric still deliver, but
+    /// every subsequent packet of the flows it carried is re-steered to a
+    /// surviving peer that has never seen them (and must re-hunt them when
+    /// flow recovery is enabled).
+    RemoveLb {
+        /// Index of the instance to withdraw.
+        lb: u32,
+    },
     /// Re-provisions a live backend's capacity (workers and cores) without
     /// interrupting running requests.
     SetCapacity {
@@ -148,6 +166,8 @@ impl ScenarioEvent {
             ScenarioEvent::AddServer { server } => format!("add-server-{server}"),
             ScenarioEvent::RemoveServer { server } => format!("remove-server-{server}"),
             ScenarioEvent::LbFailover => "lb-failover".to_string(),
+            ScenarioEvent::AddLb { lb } => format!("add-lb-{lb}"),
+            ScenarioEvent::RemoveLb { lb } => format!("remove-lb-{lb}"),
             ScenarioEvent::SetCapacity {
                 server,
                 workers,
@@ -182,6 +202,20 @@ pub struct CapacityOverride {
 // Cluster
 // ---------------------------------------------------------------------------
 
+/// Serde default for [`ClusterSpec::lb_count`]: the paper's single load
+/// balancer.  Public so every schema carrying an `lb_count` field (e.g.
+/// the scenario crate's cluster spec) shares one definition of the
+/// "omitted means 1" contract.
+pub fn default_lb_count() -> usize {
+    1
+}
+
+/// Serde skip predicate for [`ClusterSpec::lb_count`]: the degenerate
+/// single-LB tier is not serialised, keeping committed specs byte-stable.
+pub fn lb_count_is_one(n: &usize) -> bool {
+    *n == 1
+}
+
 /// Static description of the cluster an experiment runs on.
 ///
 /// The candidate-selection and acceptance policies live in
@@ -206,7 +240,15 @@ pub struct ClusterSpec {
     /// Number of VIPs sharing the cluster (requests are assigned
     /// round-robin by request id).
     pub vips: u32,
-    /// Whether the load balancer reconstructs lost flow-table entries
+    /// Number of load-balancer instances in the ECMP-steered tier fronting
+    /// the cluster.  All instances advertise the same anycast address and
+    /// VIPs; flows are spread across them by deterministic resilient ECMP
+    /// hashing of the 5-tuple ([`srlb_sim::ecmp_steer`]).  `1` — the
+    /// paper's single-LB testbed — is the serde default and is omitted
+    /// from serialised specs, so committed spec JSONs stay byte-stable.
+    #[serde(default = "default_lb_count", skip_serializing_if = "lb_count_is_one")]
+    pub lb_count: usize,
+    /// Whether the load balancers reconstruct lost flow-table entries
     /// in-band (re-hunt on miss + server ownership adverts).
     pub recover_flows: bool,
     /// Whether servers record per-change load samples (Figure 4).
@@ -224,6 +266,7 @@ impl ClusterSpec {
             backlog: 128,
             capacity_overrides: Vec::new(),
             vips: 1,
+            lb_count: 1,
             recover_flows: false,
             record_load: false,
         }
@@ -554,6 +597,12 @@ impl ExperimentSpec {
         self
     }
 
+    /// Overrides the load-balancer tier size (builder style).
+    pub fn with_lb_count(mut self, lb_count: usize) -> Self {
+        self.cluster.lb_count = lb_count;
+        self
+    }
+
     /// Overrides the topology model (builder style).
     pub fn with_topology(mut self, topology: TopologyModel) -> Self {
         self.topology = topology;
@@ -582,7 +631,8 @@ impl ExperimentSpec {
     /// Checks the spec for consistency: cluster and workload parameters,
     /// topology model, dispatcher fan-out, and the scenario schedule
     /// (sorted events, only live servers removed/resized, only dead servers
-    /// added, the cluster never left empty).
+    /// added, only advertised LBs withdrawn and vice versa, neither the
+    /// cluster nor the LB tier ever left empty).
     ///
     /// # Errors
     ///
@@ -605,6 +655,9 @@ impl ExperimentSpec {
         }
         if c.vips == 0 {
             return bad("at least one VIP is required".into());
+        }
+        if c.lb_count == 0 {
+            return bad("at least one load balancer is required".into());
         }
         for o in &c.capacity_overrides {
             if o.server as usize >= c.max_servers {
@@ -637,8 +690,9 @@ impl ExperimentSpec {
             return bad("request delay must be finite and non-negative".into());
         }
 
-        // The schedule: replay it against the alive set.
+        // The schedule: replay it against the alive server and LB sets.
         let mut alive: Vec<bool> = (0..c.max_servers).map(|i| i < c.initial_servers).collect();
+        let mut lb_alive: Vec<bool> = vec![true; c.lb_count];
         let mut last_at = 0.0f64;
         for timed in &self.scenario {
             if !timed.at_seconds.is_finite() || timed.at_seconds < 0.0 {
@@ -670,6 +724,26 @@ impl ExperimentSpec {
                     }
                 }
                 ScenarioEvent::LbFailover => {}
+                ScenarioEvent::AddLb { lb } => {
+                    let j = lb as usize;
+                    if j >= c.lb_count {
+                        return bad(format!("add-lb index {lb} is out of range"));
+                    }
+                    if lb_alive[j] {
+                        return bad(format!("load balancer {lb} is already advertised"));
+                    }
+                    lb_alive[j] = true;
+                }
+                ScenarioEvent::RemoveLb { lb } => {
+                    let j = lb as usize;
+                    if j >= c.lb_count || !lb_alive[j] {
+                        return bad(format!("load balancer {lb} is not advertised"));
+                    }
+                    lb_alive[j] = false;
+                    if !lb_alive.iter().any(|&a| a) {
+                        return bad("the schedule leaves the LB tier empty".into());
+                    }
+                }
                 ScenarioEvent::SetCapacity {
                     server,
                     workers,
@@ -833,6 +907,60 @@ mod tests {
     }
 
     #[test]
+    fn lb_count_serde_is_byte_stable_and_defaulted() {
+        // The degenerate single-LB tier is omitted from the JSON entirely,
+        // so committed specs written before the multi-LB refactor parse
+        // and re-serialise byte-identically.
+        let spec = ExperimentSpec::poisson_paper(0.5, PolicyKind::Dynamic);
+        let json = serde_json::to_string(&spec).unwrap();
+        assert!(!json.contains("lb_count"), "lb_count = 1 must be skipped");
+        let back: ExperimentSpec = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.cluster.lb_count, 1);
+        assert_eq!(back, spec);
+
+        // A multi-LB tier round-trips explicitly.
+        let spec = spec.with_lb_count(4);
+        let json = serde_json::to_string(&spec).unwrap();
+        assert!(json.contains("\"lb_count\":4"));
+        let back: ExperimentSpec = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, spec);
+    }
+
+    #[test]
+    fn validation_checks_the_lb_tier_schedule() {
+        // Zero LBs.
+        let mut spec = ExperimentSpec::poisson_paper(0.5, PolicyKind::RoundRobin);
+        spec.cluster.lb_count = 0;
+        assert!(spec.validate().is_err());
+        // Withdraw + re-advertise round trip is valid.
+        let spec = ExperimentSpec::poisson_paper(0.5, PolicyKind::RoundRobin)
+            .with_lb_count(3)
+            .at(1.0, ScenarioEvent::RemoveLb { lb: 2 })
+            .at(2.0, ScenarioEvent::AddLb { lb: 2 });
+        spec.validate().unwrap();
+        // Withdrawing an instance that is not advertised.
+        let spec = ExperimentSpec::poisson_paper(0.5, PolicyKind::RoundRobin)
+            .with_lb_count(2)
+            .at(1.0, ScenarioEvent::RemoveLb { lb: 1 })
+            .at(2.0, ScenarioEvent::RemoveLb { lb: 1 });
+        assert!(spec.validate().is_err());
+        // Advertising an instance that is already advertised.
+        let spec = ExperimentSpec::poisson_paper(0.5, PolicyKind::RoundRobin)
+            .with_lb_count(2)
+            .at(1.0, ScenarioEvent::AddLb { lb: 0 });
+        assert!(spec.validate().is_err());
+        // Out-of-range index.
+        let spec = ExperimentSpec::poisson_paper(0.5, PolicyKind::RoundRobin)
+            .with_lb_count(2)
+            .at(1.0, ScenarioEvent::RemoveLb { lb: 7 });
+        assert!(spec.validate().is_err());
+        // Emptying the tier.
+        let spec = ExperimentSpec::poisson_paper(0.5, PolicyKind::RoundRobin)
+            .at(1.0, ScenarioEvent::RemoveLb { lb: 0 });
+        assert!(spec.validate().is_err());
+    }
+
+    #[test]
     fn validation_rejects_malformed_traces() {
         use srlb_sim::{SimDuration, SimTime};
         let req = |id: u64, at: f64| {
@@ -870,6 +998,8 @@ mod tests {
             "add-server-3"
         );
         assert_eq!(ScenarioEvent::LbFailover.label(), "lb-failover");
+        assert_eq!(ScenarioEvent::AddLb { lb: 1 }.label(), "add-lb-1");
+        assert_eq!(ScenarioEvent::RemoveLb { lb: 2 }.label(), "remove-lb-2");
         assert!(ScenarioEvent::SetCapacity {
             server: 1,
             workers: 8,

@@ -76,6 +76,7 @@ impl TestbedConfig {
                 backlog: self.backlog,
                 capacity_overrides: Vec::new(),
                 vips: 1,
+                lb_count: 1,
                 recover_flows: false,
                 record_load: self.record_load,
             },

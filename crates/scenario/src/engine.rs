@@ -42,8 +42,11 @@ pub struct ScenarioOutcome {
     pub dispatcher_name: String,
     /// Per-request records collected by the client.
     pub collector: ResponseTimeCollector,
-    /// Load-balancer counters.
+    /// Tier-wide load-balancer counters (the [`LbStats::merge`] of every
+    /// instance).
     pub lb_stats: LbStats,
+    /// Per-instance load-balancer counters, indexed by LB instance.
+    pub per_lb_stats: Vec<LbStats>,
     /// Per-server counters indexed by server, merged across remove/re-add
     /// incarnations.
     pub server_stats: Vec<ServerStats>,
@@ -105,8 +108,23 @@ impl ScenarioOutcome {
             reconstruction_ms: self.reconstruction_latency_s.map(|s| s * 1e3),
             duration_seconds: self.duration_seconds,
             phases: self.phases.clone(),
+            // Populated only for multi-instance tiers (a single instance
+            // adds nothing over the aggregate counters), so the report's
+            // "empty" and the JSON's "omitted" coincide and value -> JSON
+            // -> value round trips are exact -- and pre-tier report bytes
+            // stay stable.
+            per_lb: if self.per_lb_stats.len() > 1 {
+                self.per_lb_stats.clone()
+            } else {
+                Vec::new()
+            },
         }
     }
+}
+
+/// Serde skip predicate for [`ScenarioReport::per_lb`].
+fn per_lb_is_trivial(per_lb: &[LbStats]) -> bool {
+    per_lb.is_empty()
 }
 
 /// Machine-readable summary of a scenario run (one entry of
@@ -145,6 +163,9 @@ pub struct ScenarioReport {
     pub duration_seconds: f64,
     /// Per-phase disruption statistics.
     pub phases: Vec<PhaseStats>,
+    /// Per-instance load-balancer counters (omitted for single-LB tiers).
+    #[serde(default, skip_serializing_if = "per_lb_is_trivial")]
+    pub per_lb: Vec<LbStats>,
 }
 
 /// Runs `scenario` to completion and collects the outcome.
@@ -161,6 +182,7 @@ pub fn run(scenario: &Scenario) -> Result<ScenarioOutcome, ScenarioError> {
         dispatcher_name: outcome.dispatcher_name,
         reconstruction_latency_s: outcome.reconstruction_latency_s,
         lb_stats: outcome.lb_stats,
+        per_lb_stats: outcome.per_lb_stats,
         server_stats: outcome.server_stats,
         phases: outcome.phases,
         collector: outcome.collector,

@@ -12,6 +12,9 @@
 //!   and multiple VIPs sharing one backend pool,
 //! * canned presets — [`Scenario::lb_failover`],
 //!   [`Scenario::rolling_upgrade`], [`Scenario::scale_out_2x`],
+//!   [`Scenario::correlated_failures`], and [`Scenario::ecmp_reshuffle`]
+//!   (a multi-instance LB tier behind resilient ECMP steering with one
+//!   instance withdrawn mid-run),
 //! * [`run`] — the engine: it advances the simulation in segments between
 //!   event timestamps and applies each control action through the
 //!   simulator's control-delivery primitives, keeping runs bit-for-bit

@@ -21,6 +21,8 @@ use srlb_core::spec::{ExperimentSpec, PolicyKind};
 use srlb_server::PolicyConfig;
 use srlb_sim::TopologyModel;
 
+use srlb_core::spec::{default_lb_count, lb_count_is_one};
+
 pub use srlb_core::spec::{CapacityOverride, ScenarioEvent, TimedEvent};
 
 /// Static description of the cluster a scenario runs on.
@@ -46,6 +48,12 @@ pub struct ClusterSpec {
     /// Number of VIPs sharing the cluster (requests are assigned round-robin
     /// by request id).
     pub vips: u32,
+    /// Number of load-balancer instances in the ECMP-steered tier fronting
+    /// the cluster (all advertise the same anycast address; flows are
+    /// spread by deterministic resilient ECMP hashing).  Defaults to the
+    /// classic single LB and is omitted from serialised scenarios then.
+    #[serde(default = "default_lb_count", skip_serializing_if = "lb_count_is_one")]
+    pub lb_count: usize,
     /// One-way link latency between any two nodes, in microseconds.
     pub link_latency_us: u64,
     /// Whether the load balancer reconstructs lost flow-table entries
@@ -65,6 +73,7 @@ impl Default for ClusterSpec {
             policy: PolicyConfig::Static { threshold: 4 },
             dispatcher: DispatcherConfig::ConsistentHash { vnodes: 64, k: 2 },
             vips: 1,
+            lb_count: 1,
             link_latency_us: 50,
             recover_flows: true,
         }
@@ -204,6 +213,7 @@ impl Scenario {
                 backlog: c.backlog,
                 capacity_overrides: c.capacity_overrides.clone(),
                 vips: c.vips,
+                lb_count: c.lb_count,
                 recover_flows: c.recover_flows,
                 record_load: false,
             },
@@ -274,6 +284,37 @@ impl Scenario {
         scenario
     }
 
+    /// ECMP reshuffle across a multi-LB tier: `lb_count` load-balancer
+    /// instances share the anycast VIP behind deterministic resilient ECMP
+    /// steering, and at the midpoint of the send window the last instance
+    /// is *withdrawn* from the tier (crash or drain — route withdrawal
+    /// either way).  Every live flow it carried is re-steered onto peers
+    /// that have never seen it, so its next packet hits a flow table with
+    /// no entry: with in-band recovery (on by default here) a
+    /// deterministic dispatcher re-hunts the owner back and no established
+    /// connection is lost, while random candidates orphan the re-steered
+    /// flows.
+    ///
+    /// With `lb_count = 1` there is no peer to withdraw to, so the
+    /// schedule is empty: the degenerate control run showing the tier
+    /// refactor preserves single-LB behaviour.
+    pub fn ecmp_reshuffle(dispatcher: DispatcherConfig, lb_count: usize, queries: usize) -> Self {
+        let mut scenario = Scenario::new("ecmp_reshuffle")
+            .with_dispatcher(dispatcher)
+            .with_queries(queries);
+        scenario.cluster.lb_count = lb_count;
+        if lb_count > 1 {
+            let mid = scenario.workload.send_window_seconds() * 0.5;
+            scenario = scenario.at(
+                mid,
+                ScenarioEvent::RemoveLb {
+                    lb: lb_count as u32 - 1,
+                },
+            );
+        }
+        scenario
+    }
+
     /// Correlated failures: two backends (servers 2 and 5) die at the *same
     /// instant* at the midpoint of the send window — the multi-failure case
     /// a single rolling upgrade never exercises.  Consistent-hash and
@@ -304,10 +345,40 @@ mod tests {
             Scenario::rolling_upgrade(d, 500),
             Scenario::scale_out_2x(d, 500),
             Scenario::correlated_failures(d, 500),
+            Scenario::ecmp_reshuffle(d, 2, 500),
+            Scenario::ecmp_reshuffle(d, 4, 500),
         ] {
             scenario.validate().expect("preset is valid");
             assert!(!scenario.events.is_empty());
         }
+        // The degenerate single-LB reshuffle is a valid, event-free control.
+        let control = Scenario::ecmp_reshuffle(d, 1, 500);
+        control.validate().expect("control preset is valid");
+        assert!(control.events.is_empty());
+    }
+
+    #[test]
+    fn ecmp_reshuffle_withdraws_the_last_instance_at_midpoint() {
+        let scenario = Scenario::ecmp_reshuffle(DispatcherConfig::paper_default(), 4, 800);
+        assert_eq!(scenario.cluster.lb_count, 4);
+        assert_eq!(scenario.events.len(), 1);
+        assert_eq!(scenario.events[0].event, ScenarioEvent::RemoveLb { lb: 3 });
+        let spec = scenario.to_spec();
+        assert_eq!(spec.cluster.lb_count, 4);
+        spec.validate().unwrap();
+        // lb_count defaults to 1 when absent from serialised scenarios.
+        let json = serde_json::to_string(&Scenario::lb_failover(
+            DispatcherConfig::paper_default(),
+            100,
+        ))
+        .unwrap();
+        assert!(!json.contains("lb_count"));
+        let back: Scenario = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.cluster.lb_count, 1);
+        let json = serde_json::to_string(&scenario).unwrap();
+        assert!(json.contains("\"lb_count\":4"));
+        let back: Scenario = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, scenario);
     }
 
     #[test]

@@ -312,6 +312,19 @@ impl ServerNode {
         }
     }
 
+    /// Sends a packet to the load-balancer tier, ECMP-steered by the flow's
+    /// canonical (client → VIP) hash so it reaches the same instance the
+    /// client's own packets are steered to.  With a single load balancer
+    /// (`lb_addr` registered unicast) this degenerates to a plain lookup.
+    fn send_to_lb(&self, ctx: &mut Context<'_, Packet>, flow: &FlowKey, packet: Packet) {
+        if let Some(node) = self
+            .directory
+            .lookup_flow(self.config.lb_addr, flow.stable_hash())
+        {
+            ctx.send(node, packet);
+        }
+    }
+
     /// Bumps the timer generation and schedules a wake-up at the CPU's next
     /// completion instant (if any).  Must be called after every change to the
     /// set of running jobs.
@@ -341,8 +354,11 @@ impl ServerNode {
             .flags(TcpFlags::SYN_ACK)
             .segment_routing(srh)
             .build();
-        // The active segment of the acceptance SRH is the load balancer.
-        self.send_to_addr(ctx, self.config.lb_addr, syn_ack);
+        // The active segment of the acceptance SRH is the load balancer —
+        // specifically the tier instance this flow is ECMP-steered to, so
+        // the flow table that learns the owner is the one that will steer
+        // the flow's subsequent packets.
+        self.send_to_lb(ctx, &flow, syn_ack);
     }
 
     /// Handles an established-flow request packet: serve, queue or reset.
@@ -484,7 +500,7 @@ impl ServerNode {
             .flags(TcpFlags::ACK)
             .segment_routing(srh)
             .build();
-        self.send_to_addr(ctx, self.config.lb_addr, advert);
+        self.send_to_lb(ctx, flow, advert);
     }
 
     /// Handles a locally delivered non-SYN packet of an established flow.

@@ -16,6 +16,8 @@
 //! * [`Context`] — the API a node uses during a callback to send messages,
 //!   schedule timers and draw random numbers,
 //! * [`Topology`] — per-link one-way latencies,
+//! * [`Steering`] — resilient ECMP hashing across a tier of equal-cost
+//!   nodes (the model of the routers in front of a load-balancer fleet),
 //! * [`Network`] — the engine: an event queue ordered by time, with
 //!   deterministic FIFO tie-breaking,
 //! * [`SimRng`] — a seeded random number generator that can be forked into
@@ -58,6 +60,7 @@ pub mod link;
 pub mod network;
 pub mod node;
 pub mod rng;
+pub mod steering;
 pub mod time;
 pub mod trace;
 
@@ -66,5 +69,6 @@ pub use link::{Topology, TopologyModel};
 pub use network::{Network, RunLimit, SimStats};
 pub use node::{Context, Node, NodeId, TimerToken};
 pub use rng::SimRng;
+pub use steering::{ecmp_steer, Steering};
 pub use time::{SimDuration, SimTime};
 pub use trace::{TraceEntry, TraceKind, TraceLog};

@@ -100,9 +100,10 @@ pub enum TopologyModel {
         latency_us: u64,
     },
     /// Servers are spread round-robin across `racks` racks (server `i`
-    /// lives in rack `i % racks`); the load balancer is attached to the
-    /// top-of-rack switch of rack 0, and the client reaches the data
-    /// centre over a longer edge link.
+    /// lives in rack `i % racks`); load balancer `j` is attached to the
+    /// top-of-rack switch of rack `j % racks` (a single LB lands in rack
+    /// 0, as before the LB-tier refactor), and the client reaches the
+    /// data centre over a longer edge link.
     ///
     /// The asymmetry matters for Service Hunting specifically: a SYN that
     /// is passed on travels server→server, so candidates in the same rack
@@ -164,14 +165,17 @@ impl TopologyModel {
         }
     }
 
-    /// Instantiates the model over a concrete layout: `client`, `lb`, and
-    /// `servers[i]` as the node of backend index `i`.
+    /// Instantiates the model over a concrete layout: `client`, the load
+    /// balancer tier `lbs` (one or more instances behind the same ECMP
+    /// steering, see [`crate::Steering`]), and `servers[i]` as the node of
+    /// backend index `i`.
     ///
     /// For the uniform model this is exactly
     /// [`Topology::uniform`]`(latency)`; the rack/zone model sets the
     /// cross-rack latency as the default and overrides intra-rack and
-    /// client links pairwise.
-    pub fn build(&self, client: NodeId, lb: NodeId, servers: &[NodeId]) -> Topology {
+    /// client links pairwise, with load balancer `j` attached to rack
+    /// `j % racks`.
+    pub fn build(&self, client: NodeId, lbs: &[NodeId], servers: &[NodeId]) -> Topology {
         match *self {
             TopologyModel::Uniform { latency_us } => {
                 Topology::uniform(SimDuration::from_micros(latency_us))
@@ -187,14 +191,24 @@ impl TopologyModel {
                 let edge = SimDuration::from_micros(client_link_us);
                 let mut topo = Topology::uniform(SimDuration::from_micros(cross_rack_us));
                 // The client is remote to everything.
-                topo.set_link(client, lb, edge);
+                for &lb in lbs {
+                    topo.set_link(client, lb, edge);
+                }
                 for &server in servers {
                     topo.set_link(client, server, edge);
                 }
-                // The load balancer shares rack 0's top-of-rack switch.
-                for (i, &server) in servers.iter().enumerate() {
-                    if i % racks == 0 {
-                        topo.set_link(lb, server, intra);
+                // Load balancer `j` shares rack `j % racks`'s top-of-rack
+                // switch: with its servers, and with its co-racked peers.
+                for (j, &lb) in lbs.iter().enumerate() {
+                    for (i, &server) in servers.iter().enumerate() {
+                        if i % racks == j % racks {
+                            topo.set_link(lb, server, intra);
+                        }
+                    }
+                    for (j2, &peer) in lbs.iter().enumerate().skip(j + 1) {
+                        if j % racks == j2 % racks {
+                            topo.set_link(lb, peer, intra);
+                        }
                     }
                 }
                 // Server pairs in the same rack.
@@ -285,7 +299,7 @@ mod tests {
         let model = TopologyModel::paper();
         model.validate().unwrap();
         let servers: Vec<NodeId> = (2..6).map(NodeId).collect();
-        let topo = model.build(NodeId(0), NodeId(1), &servers);
+        let topo = model.build(NodeId(0), &[NodeId(1)], &servers);
         assert_eq!(
             topo.latency(NodeId(0), NodeId(4)),
             SimDuration::from_micros(50)
@@ -306,7 +320,7 @@ mod tests {
         let client = NodeId(0);
         let lb = NodeId(1);
         let servers: Vec<NodeId> = (2..6).map(NodeId).collect(); // indices 0..4
-        let topo = model.build(client, lb, &servers);
+        let topo = model.build(client, &[lb], &servers);
 
         // Servers 0 and 2 share rack 0; servers 1 and 3 share rack 1.
         assert_eq!(model.rack_of(0), 0);
@@ -332,6 +346,46 @@ mod tests {
             topo.latency(servers[3], client),
             SimDuration::from_micros(500)
         );
+    }
+
+    #[test]
+    fn rack_zone_spreads_an_lb_tier_across_racks() {
+        let model = TopologyModel::RackZone {
+            racks: 2,
+            intra_rack_us: 10,
+            cross_rack_us: 100,
+            client_link_us: 500,
+        };
+        let client = NodeId(0);
+        let lbs: Vec<NodeId> = (1..4).map(NodeId).collect(); // LB j in rack j % 2
+        let servers: Vec<NodeId> = (4..8).map(NodeId).collect(); // server i in rack i % 2
+        let topo = model.build(client, &lbs, &servers);
+
+        // LB 0 (rack 0) is local to servers 0 and 2, remote to server 1.
+        assert_eq!(
+            topo.latency(lbs[0], servers[0]),
+            SimDuration::from_micros(10)
+        );
+        assert_eq!(
+            topo.latency(lbs[0], servers[2]),
+            SimDuration::from_micros(10)
+        );
+        assert_eq!(
+            topo.latency(lbs[0], servers[1]),
+            SimDuration::from_micros(100)
+        );
+        // LB 1 (rack 1) is local to servers 1 and 3.
+        assert_eq!(
+            topo.latency(lbs[1], servers[1]),
+            SimDuration::from_micros(10)
+        );
+        // LBs 0 and 2 share rack 0; LBs 0 and 1 do not.
+        assert_eq!(topo.latency(lbs[0], lbs[2]), SimDuration::from_micros(10));
+        assert_eq!(topo.latency(lbs[0], lbs[1]), SimDuration::from_micros(100));
+        // Every LB is remote to the client.
+        for &lb in &lbs {
+            assert_eq!(topo.latency(client, lb), SimDuration::from_micros(500));
+        }
     }
 
     #[test]

@@ -2,26 +2,40 @@
 //! allocations** per event in steady state: events are stored inline in the
 //! backing binary heap (no per-event `Box` or other indirection), so once
 //! the heap has grown to its high-water mark, scheduling and delivering
-//! events never touches the allocator.
+//! events never touches the allocator.  The ECMP steering fast path is
+//! pinned alloc-free the same way.
 //!
-//! The whole file is a single `#[test]` so the counting global allocator is
-//! never polluted by a concurrently running sibling test.
+//! The counter is **per-thread**: the libtest harness runs its own
+//! bookkeeping (progress output, timeouts) on other threads whose
+//! allocations would otherwise race into a counted section on a loaded
+//! machine, so only allocations made by the measuring thread itself are
+//! counted.  Every assertion is a strict single-pass `== 0` — a lazily
+//! allocated structure on the first warm operation fails immediately.
 
 use std::alloc::{GlobalAlloc, Layout, System};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::cell::Cell;
 
 use srlb_sim::{Context, EventQueue, Network, Node, NodeId, SimTime, TimerToken, Topology};
 
-/// Wraps the system allocator, counting every allocation.
+/// Wraps the system allocator, counting every allocation of the current
+/// thread.
 struct CountingAllocator;
 
-static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+std::thread_local! {
+    static ALLOCATIONS: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Bumps the current thread's allocation count; `try_with` so allocations
+/// during thread teardown (after TLS destruction) stay safe to count-skip.
+fn bump() {
+    let _ = ALLOCATIONS.try_with(|c| c.set(c.get() + 1));
+}
 
 // SAFETY: delegates directly to the system allocator; the counter has no
 // effect on allocation behaviour.
 unsafe impl GlobalAlloc for CountingAllocator {
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
-        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        bump();
         unsafe { System.alloc(layout) }
     }
 
@@ -30,7 +44,7 @@ unsafe impl GlobalAlloc for CountingAllocator {
     }
 
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
-        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        bump();
         unsafe { System.realloc(ptr, layout, new_size) }
     }
 }
@@ -38,11 +52,11 @@ unsafe impl GlobalAlloc for CountingAllocator {
 #[global_allocator]
 static ALLOC: CountingAllocator = CountingAllocator;
 
-/// Runs `f` and returns `(allocations performed, result)`.
+/// Runs `f` and returns `(allocations performed by this thread, result)`.
 fn counting_allocs<R>(f: impl FnOnce() -> R) -> (u64, R) {
-    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    let before = ALLOCATIONS.with(Cell::get);
     let result = f();
-    (ALLOCATIONS.load(Ordering::Relaxed) - before, result)
+    (ALLOCATIONS.with(Cell::get) - before, result)
 }
 
 /// A ping-pong node holding no growable state, so a running network's only
@@ -128,4 +142,18 @@ fn event_scheduling_is_allocation_free_in_steady_state() {
     assert!(stats.messages_delivered >= 400);
     let b2_node: Counter = net.into_node(b2);
     assert!(b2_node.received > 0);
+
+    // --- ECMP steering: per-packet tier selection never allocates ----------
+    let members: Vec<NodeId> = (1..=4).map(NodeId).collect();
+    let (allocs, picked) = counting_allocs(|| {
+        let mut picked = 0usize;
+        for h in 0..10_000u64 {
+            picked += srlb_sim::ecmp_steer(h.wrapping_mul(0x9e37_79b9_7f4a_7c15), &members)
+                .expect("tier is non-empty")
+                .0;
+        }
+        picked
+    });
+    assert_eq!(allocs, 0, "ecmp_steer must not allocate");
+    assert!(picked > 0);
 }

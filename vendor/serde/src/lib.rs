@@ -196,6 +196,14 @@ pub mod __private {
         }
     }
 
+    /// Removes field `name` and returns its raw [`Value`], or `None` if the
+    /// field is absent (for `#[serde(default)]` fields).
+    pub fn opt_field_value(map: &mut Vec<(String, Value)>, name: &str) -> Option<Value> {
+        map.iter()
+            .position(|(k, _)| k == name)
+            .map(|i| map.remove(i).1)
+    }
+
     /// Removes field `name` and returns its raw [`Value`] (for `with`
     /// modules).
     pub fn take_field_value(

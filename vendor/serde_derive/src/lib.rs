@@ -16,6 +16,19 @@ use proc_macro::{Delimiter, TokenStream, TokenTree};
 struct Field {
     name: String,
     with: Option<String>,
+    /// `#[serde(default)]` (`Some(None)`: use `Default::default()`) or
+    /// `#[serde(default = "path")]` (`Some(Some(path))`: call `path()`).
+    default: Option<Option<String>>,
+    /// `#[serde(skip_serializing_if = "path")]`.
+    skip_if: Option<String>,
+}
+
+/// Field-level serde attributes accumulated while parsing.
+#[derive(Default)]
+struct FieldAttrs {
+    with: Option<String>,
+    default: Option<Option<String>>,
+    skip_if: Option<String>,
 }
 
 enum Fields {
@@ -131,27 +144,51 @@ fn expect_ident(tokens: &[TokenTree], i: usize, what: &str) -> String {
     }
 }
 
-/// Extracts `with = "module"` from a `#[serde(...)]` attribute body, if the
-/// bracket group is a serde attribute at all.
-fn parse_serde_with(group_tokens: TokenStream) -> Option<String> {
+/// Extracts the supported keys from a `#[serde(...)]` attribute body into
+/// `attrs`, if the bracket group is a serde attribute at all.  Supported
+/// (comma-separated): `with = "module"`, `default`, `default = "path"`,
+/// `skip_serializing_if = "path"`.
+fn parse_serde_attrs(group_tokens: TokenStream, attrs: &mut FieldAttrs) {
     let toks: Vec<TokenTree> = group_tokens.into_iter().collect();
-    match (toks.first(), toks.get(1)) {
-        (Some(TokenTree::Ident(id)), Some(TokenTree::Group(args))) if id.to_string() == "serde" => {
-            let inner: Vec<TokenTree> = args.stream().into_iter().collect();
-            match (inner.first(), inner.get(1), inner.get(2)) {
-                (
-                    Some(TokenTree::Ident(key)),
-                    Some(TokenTree::Punct(eq)),
-                    Some(TokenTree::Literal(lit)),
-                ) if key.to_string() == "with" && eq.as_char() == '=' => {
+    let (Some(TokenTree::Ident(id)), Some(TokenTree::Group(args))) = (toks.first(), toks.get(1))
+    else {
+        return;
+    };
+    if id.to_string() != "serde" {
+        return;
+    }
+    let inner: Vec<TokenTree> = args.stream().into_iter().collect();
+    let mut i = 0;
+    while i < inner.len() {
+        let key = match &inner[i] {
+            TokenTree::Ident(k) => k.to_string(),
+            other => panic!("vendored serde derive expected an attribute key, found {other:?}"),
+        };
+        i += 1;
+        let value = match inner.get(i) {
+            Some(TokenTree::Punct(eq)) if eq.as_char() == '=' => match inner.get(i + 1) {
+                Some(TokenTree::Literal(lit)) => {
+                    i += 2;
                     Some(lit.to_string().trim_matches('"').to_string())
                 }
-                _ => panic!(
-                    "vendored serde derive only supports #[serde(with = \"module\")] attributes"
-                ),
+                other => panic!("vendored serde derive expected a string value, found {other:?}"),
+            },
+            _ => None,
+        };
+        if let Some(TokenTree::Punct(p)) = inner.get(i) {
+            if p.as_char() == ',' {
+                i += 1;
             }
         }
-        _ => None,
+        match (key.as_str(), value) {
+            ("with", Some(path)) => attrs.with = Some(path),
+            ("default", path) => attrs.default = Some(path),
+            ("skip_serializing_if", Some(path)) => attrs.skip_if = Some(path),
+            (other, _) => panic!(
+                "vendored serde derive supports with/default/skip_serializing_if \
+                 field attributes, found `{other}`"
+            ),
+        }
     }
 }
 
@@ -160,15 +197,13 @@ fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
     let mut fields = Vec::new();
     let mut i = 0;
     while i < toks.len() {
-        // Attributes (capture `#[serde(with = "...")]`, skip the rest).
-        let mut with = None;
+        // Attributes (capture `#[serde(...)]`, skip the rest).
+        let mut attrs = FieldAttrs::default();
         loop {
             match toks.get(i) {
                 Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
                     if let Some(TokenTree::Group(g)) = toks.get(i + 1) {
-                        if with.is_none() {
-                            with = parse_serde_with(g.stream());
-                        }
+                        parse_serde_attrs(g.stream(), &mut attrs);
                     }
                     i += 2;
                 }
@@ -206,7 +241,17 @@ fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
             }
             i += 1;
         }
-        fields.push(Field { name, with });
+        assert!(
+            attrs.with.is_none() || attrs.default.is_none(),
+            "vendored serde derive does not support combining `with` and `default` \
+             (on field `{name}`)"
+        );
+        fields.push(Field {
+            name,
+            with: attrs.with,
+            default: attrs.default,
+            skip_if: attrs.skip_if,
+        });
     }
     fields
 }
@@ -326,9 +371,9 @@ fn gen_struct_serialize(name: &str, fields: &Fields) -> String {
 }
 
 /// One `fields.push((..))` statement for a named field, honoring
-/// `#[serde(with = "module")]`.
+/// `#[serde(with = "module")]` and `#[serde(skip_serializing_if = "path")]`.
 fn serialize_field_push(key: &str, expr: &str, field: &Field) -> String {
-    match &field.with {
+    let push = match &field.with {
         Some(module) => format!(
             "fields.push((\"{key}\".to_string(), \
              {module}::serialize({expr}, ::serde::value::ValueSerializer){SER_MAP_ERR}));\n"
@@ -336,6 +381,10 @@ fn serialize_field_push(key: &str, expr: &str, field: &Field) -> String {
         None => format!(
             "fields.push((\"{key}\".to_string(), ::serde::to_value({expr}){SER_MAP_ERR}));\n"
         ),
+    };
+    match &field.skip_if {
+        Some(path) => format!("if !{path}({expr}) {{\n{push}}}\n"),
+        None => push,
     }
 }
 
@@ -381,8 +430,20 @@ fn gen_struct_deserialize(name: &str, fields: &Fields) -> String {
     )
 }
 
-/// One `field: ...,` initializer for a named field, honoring `with`.
+/// One `field: ...,` initializer for a named field, honoring `with` and
+/// `default`.
 fn deserialize_field_init(key: &str, field: &Field) -> String {
+    if let Some(default) = &field.default {
+        let default_expr = match default {
+            Some(path) => format!("{path}()"),
+            None => "::core::default::Default::default()".to_string(),
+        };
+        return format!(
+            "{key}: match ::serde::__private::opt_field_value(&mut map, \"{key}\") {{\n\
+             ::core::option::Option::Some(v) => ::serde::from_value(v){MAP_ERR},\n\
+             ::core::option::Option::None => {default_expr},\n}},\n"
+        );
+    }
     match &field.with {
         Some(module) => format!(
             "{key}: {module}::deserialize(::serde::value::ValueDeserializer::new(\
