@@ -4,6 +4,7 @@
 //! cargo run -p srlb-bench --release --bin figures -- all             # every figure, paper scale
 //! cargo run -p srlb-bench --release --bin figures -- fig2 --quick    # one figure, reduced scale
 //! cargo run -p srlb-bench --release --bin figures -- all --jobs 4    # explicit worker count
+//! cargo run -p srlb-bench --release --bin figures -- all --sim-threads 2  # shard each simulation
 //! cargo run -p srlb-bench --release --bin figures -- bench-micro     # write BENCH_micro.json
 //! cargo run -p srlb-bench --release --bin figures -- run examples/specs/poisson_rho089.json
 //! cargo run -p srlb-bench --release --bin figures -- run <spec> --tiny  # scaled-down smoke run
@@ -19,6 +20,12 @@
 //! parallelism).  Results are assembled in input order, so the output is
 //! byte-identical whatever the worker count; `--jobs 1` forces the fully
 //! serial, single-threaded schedule for constrained CI runners.
+//!
+//! Orthogonally, `--sim-threads N` shards every *individual* simulation
+//! across `N` worker threads (the conservative-window parallel event core;
+//! it sets the `SRLB_SIM_THREADS` environment variable picked up by the
+//! runner).  Simulation outputs are byte-identical at every thread count,
+//! so `--jobs` × `--sim-threads` is a pure throughput matrix.
 
 use srlb_bench::output::fmt;
 use srlb_bench::{
@@ -39,8 +46,13 @@ fn main() {
     } else {
         Scale::Paper
     };
-    let (jobs, which) = parse_args(&args);
+    let (jobs, sim_threads, which) = parse_args(&args);
     let jobs = jobs.unwrap_or_else(default_jobs);
+    if let Some(n) = sim_threads {
+        // The runner reads the mode from the environment at construction,
+        // so one early set covers every simulation this process runs.
+        std::env::set_var(srlb_sim::ExecMode::ENV_VAR, n.to_string());
+    }
 
     // `run <spec.json>` and `write-specs [dir]` take positional operands of
     // their own, so they are dispatched before figure-name validation.
@@ -86,7 +98,10 @@ fn main() {
     let all = which.is_empty() || which.contains(&"all");
     let want = |name: &str| all || which.contains(&name);
 
-    println!("# SRLB figure harness (scale: {scale:?}, seed: {SEED}, jobs: {jobs})");
+    println!(
+        "# SRLB figure harness (scale: {scale:?}, seed: {SEED}, jobs: {jobs}, sim: {:?})",
+        srlb_sim::ExecMode::from_env()
+    );
 
     if want("fig2") {
         run_fig2(scale, jobs);
@@ -108,41 +123,51 @@ fn main() {
     }
 }
 
-/// Splits the command line into an optional `--jobs` worker count
-/// (accepting both `--jobs 4` and `--jobs=4`) and the positional figure
-/// names.  Only the token actually consumed as the `--jobs` value is
-/// removed from the positionals; a malformed value aborts loudly instead of
-/// being silently reinterpreted.
-fn parse_args(args: &[String]) -> (Option<usize>, Vec<&str>) {
+/// Splits the command line into the optional `--jobs` worker count, the
+/// optional `--sim-threads` per-simulation shard count (both accepting
+/// `--flag 4` and `--flag=4`) and the positional figure names.  Only the
+/// token actually consumed as a flag's value is removed from the
+/// positionals; a malformed value aborts loudly instead of being silently
+/// reinterpreted.
+fn parse_args(args: &[String]) -> (Option<usize>, Option<usize>, Vec<&str>) {
     let mut jobs = None;
+    let mut sim_threads = None;
     let mut which = Vec::new();
-    let bad_jobs = |value: &str| -> ! {
-        eprintln!("error: --jobs expects a positive integer, got `{value}`");
+    let bad = |flag: &str, value: &str| -> ! {
+        eprintln!("error: {flag} expects a positive integer, got `{value}`");
         std::process::exit(2);
+    };
+    let parse = |flag: &str, value: &str| -> usize {
+        match value.parse::<usize>() {
+            Ok(n) => n.max(1),
+            Err(_) => bad(flag, value),
+        }
     };
     let mut i = 0;
     while i < args.len() {
         let arg = args[i].as_str();
         if let Some(value) = arg.strip_prefix("--jobs=") {
-            match value.parse::<usize>() {
-                Ok(n) => jobs = Some(n.max(1)),
-                Err(_) => bad_jobs(value),
-            }
+            jobs = Some(parse("--jobs", value));
         } else if arg == "--jobs" {
             let Some(value) = args.get(i + 1) else {
-                bad_jobs("<missing>");
+                bad("--jobs", "<missing>");
             };
-            match value.parse::<usize>() {
-                Ok(n) => jobs = Some(n.max(1)),
-                Err(_) => bad_jobs(value),
-            }
+            jobs = Some(parse("--jobs", value));
+            i += 1; // consume the value token
+        } else if let Some(value) = arg.strip_prefix("--sim-threads=") {
+            sim_threads = Some(parse("--sim-threads", value));
+        } else if arg == "--sim-threads" {
+            let Some(value) = args.get(i + 1) else {
+                bad("--sim-threads", "<missing>");
+            };
+            sim_threads = Some(parse("--sim-threads", value));
             i += 1; // consume the value token
         } else if !arg.starts_with("--") {
             which.push(arg);
         }
         i += 1;
     }
-    (jobs, which)
+    (jobs, sim_threads, which)
 }
 
 /// `figures -- run <spec.json> [--quick|--tiny]`: execute one committed

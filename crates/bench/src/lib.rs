@@ -32,7 +32,7 @@ pub use figures::{
     fig6_wiki_median, fig7_wiki_deciles, fig8_wiki_cdf, CdfSeries, Fig2Series, Fig4Series, Scale,
     WikiBinSeries, WikiCdf,
 };
-pub use micro::{write_bench_micro, BenchReport, BENCH_MICRO_FILE};
+pub use micro::{engine_events_per_sec, write_bench_micro, BenchReport, BENCH_MICRO_FILE};
 pub use output::{write_csv, FIGURES_DIR};
 pub use parallel::{default_jobs, parallel_map};
 pub use scenarios::{

@@ -194,7 +194,11 @@ impl ClientNode {
     /// Consumes the client and returns its measurement collector, marking
     /// any still-outstanding requests as unfinished.
     pub fn into_collector(mut self) -> ResponseTimeCollector {
-        for (_, info) in self.in_flight.drain() {
+        // Drain in request-id order: HashMap iteration order is randomized
+        // per instance, and leftover records must not depend on it.
+        let mut leftover: Vec<(u64, InFlight)> = self.in_flight.drain().collect();
+        leftover.sort_by_key(|&(id, _)| id);
+        for (_, info) in leftover {
             self.collector.push(RequestRecord {
                 sent_at_seconds: info.sent_at.as_secs_f64(),
                 response_time_ms: None,

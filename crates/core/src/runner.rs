@@ -22,13 +22,30 @@
 //!
 //! Both the figure harness (`srlb-bench`) and the scenario crate
 //! (`srlb-scenario`) are thin clients of this runner.
+//!
+//! # Execution modes
+//!
+//! The runner drives the simulation through [`srlb_sim::ShardedNetwork`]
+//! under an [`ExecMode`]: the reference per-event loop, the single-threaded
+//! same-timestamp batched loop (default), or conservative-window sharding
+//! across worker threads.  All three produce **byte-identical** outcomes —
+//! event ordering keys and per-node RNG streams are interleaving-independent
+//! by construction — so the mode is a pure throughput knob.  The default is
+//! taken from the `SRLB_SIM_THREADS` environment variable (set by the bench
+//! CLI's `--sim-threads` flag) and can be overridden per runner with
+//! [`Runner::with_exec`].  Shards are aligned with the ECMP steering
+//! boundary: each LB instance — and with it the flow state of every flow the
+//! ECMP tier steers to that instance — lives on one shard, with the backend
+//! slots round-robined across shards.
 
 use std::net::Ipv6Addr;
 
 use srlb_metrics::{DisruptionCollector, PhaseStats, ResponseTimeCollector};
 use srlb_net::{AddressPlan, Packet, ServerId};
 use srlb_server::{tier_members, Directory, ServerConfig, ServerNode, ServerStats};
-use srlb_sim::{Network, NodeId, RunLimit, SimDuration, SimTime};
+use srlb_sim::{
+    ExecMode, NodeId, RunUntil, ShardPlan, ShardedNetwork, SimDuration, SimStats, SimTime,
+};
 
 use crate::client::{client_addr_count, ClientNode};
 use crate::lb_node::{LbStats, LoadBalancerNode};
@@ -82,10 +99,15 @@ pub struct RunOutcome {
 #[derive(Debug, Clone)]
 pub struct Runner {
     spec: ExperimentSpec,
+    exec: ExecMode,
 }
 
 impl Runner {
     /// Creates a runner for a validated spec.
+    ///
+    /// The execution mode defaults to [`ExecMode::from_env`], i.e. the
+    /// batched single-threaded loop unless `SRLB_SIM_THREADS` asks for
+    /// shards.
     ///
     /// # Errors
     ///
@@ -93,12 +115,57 @@ impl Runner {
     /// [`ExperimentSpec::validate`] rejects the spec.
     pub fn new(spec: ExperimentSpec) -> Result<Self, CoreError> {
         spec.validate()?;
-        Ok(Runner { spec })
+        Ok(Runner {
+            spec,
+            exec: ExecMode::from_env(),
+        })
+    }
+
+    /// Overrides the execution mode.  Every mode produces byte-identical
+    /// outcomes; this is a throughput knob only.
+    #[must_use]
+    pub fn with_exec(mut self, exec: ExecMode) -> Self {
+        self.exec = exec;
+        self
+    }
+
+    /// The execution mode this runner will use.
+    pub fn exec(&self) -> ExecMode {
+        self.exec
     }
 
     /// The spec this runner executes.
     pub fn spec(&self) -> &ExperimentSpec {
         &self.spec
+    }
+
+    /// The shard layout for this spec: the client and LB instance `j` on
+    /// shard `j % s` (keeping each instance's flow table and its steered
+    /// flows on one shard), backend slot `i` on shard `i % s`.
+    fn shard_plan(&self) -> ShardPlan {
+        let lb_count = self.spec.cluster.lb_count;
+        let total = 1 + lb_count + self.spec.cluster.max_servers;
+        let threads = self.exec.threads().min(total);
+        if threads <= 1 {
+            return ShardPlan::single(total);
+        }
+        let mut shard_of = vec![0u32; total];
+        for j in 0..lb_count {
+            shard_of[1 + j] = (j % threads) as u32;
+        }
+        for i in 0..self.spec.cluster.max_servers {
+            shard_of[1 + lb_count + i] = (i % threads) as u32;
+        }
+        ShardPlan::from_assignments(shard_of, threads as u32)
+    }
+
+    /// Advances the network under `policy` using the configured execution
+    /// mode's loop.
+    fn drive(&self, network: &mut ShardedNetwork<Packet>, policy: RunUntil) -> SimStats {
+        match self.exec {
+            ExecMode::SerialStep => network.run_until_stepwise(policy),
+            ExecMode::Batched | ExecMode::Sharded { .. } => network.run_until(policy),
+        }
     }
 
     /// Runs the experiment to completion.  Deterministic: the same spec
@@ -138,9 +205,10 @@ impl Runner {
             directory.register(plan.server_addr(ServerId(i as u32)), sid);
         }
 
-        let mut network: Network<Packet> = Network::new(
+        let mut network: ShardedNetwork<Packet> = ShardedNetwork::new(
             spec.seed,
             spec.topology.build(client_id, &lb_ids, &server_ids),
+            self.shard_plan(),
         );
 
         let client = ClientNode::from_workload(plan.clone(), vips[0], directory.clone(), source)
@@ -219,7 +287,7 @@ impl Runner {
         // Rebuilds every tier instance's dispatcher over the current
         // backend set (server churn is tier-wide: withdrawn instances are
         // rebuilt too, so a later re-advertisement steers correctly).
-        let rebuild_tier = |network: &mut Network<Packet>, addrs: &[Ipv6Addr]| {
+        let rebuild_tier = |network: &mut ShardedNetwork<Packet>, addrs: &[Ipv6Addr]| {
             for &lb in &lb_ids {
                 network
                     .node_as_mut::<LoadBalancerNode>(lb)
@@ -231,7 +299,10 @@ impl Runner {
         // Segment the run at each control event's timestamp.
         let mut boundaries: Vec<(String, f64)> = Vec::with_capacity(spec.scenario.len());
         for timed in &spec.scenario {
-            network.run_with_limit(RunLimit::until(SimTime::from_secs_f64(timed.at_seconds)));
+            self.drive(
+                &mut network,
+                RunUntil::Time(SimTime::from_secs_f64(timed.at_seconds)),
+            );
             boundaries.push((timed.event.label(), timed.at_seconds));
             match timed.event {
                 ScenarioEvent::AddServer { server } => {
@@ -301,8 +372,8 @@ impl Runner {
         // request, service timer, response, …); 96 per request is a
         // generous safety margin that also covers post-failover re-hunts
         // and ownership adverts.
-        let limit = RunLimit::max_events((total_requests as u64).saturating_mul(96) + 10_000);
-        let stats = network.run_with_limit(limit);
+        let limit = RunUntil::Events((total_requests as u64).saturating_mul(96) + 10_000);
+        let stats = self.drive(&mut network, limit);
 
         for (i, up) in alive.iter().enumerate() {
             if *up {
@@ -486,6 +557,37 @@ mod tests {
         assert!(outcome.per_lb_stats[1].new_flows > 0);
         assert!(outcome.per_lb_stats[0].rehunts > 0, "re-hunts expected");
         assert_eq!(outcome.lb_stats.missing_flow, 0);
+    }
+
+    #[test]
+    fn every_exec_mode_produces_identical_outcomes() {
+        // The full matrix on a churny spec: serial reference loop, batched
+        // loop, and 2/4-way sharding must agree event for event.
+        let spec = quick_spec(0.6, PolicyKind::Dynamic)
+            .with_lb_count(2)
+            .with_seed(9)
+            .at(0.5, ScenarioEvent::RemoveServer { server: 3 })
+            .at(1.0, ScenarioEvent::AddServer { server: 3 });
+        let reference = Runner::new(spec.clone())
+            .unwrap()
+            .with_exec(ExecMode::SerialStep)
+            .run();
+        for exec in [
+            ExecMode::Batched,
+            ExecMode::Sharded { threads: 2 },
+            ExecMode::Sharded { threads: 4 },
+        ] {
+            let outcome = Runner::new(spec.clone()).unwrap().with_exec(exec).run();
+            assert_eq!(
+                outcome.collector.records(),
+                reference.collector.records(),
+                "{exec:?} diverged from the serial loop"
+            );
+            assert_eq!(outcome.events_processed, reference.events_processed);
+            assert_eq!(outcome.per_lb_stats, reference.per_lb_stats);
+            assert_eq!(outcome.server_stats, reference.server_stats);
+            assert_eq!(outcome.duration_seconds, reference.duration_seconds);
+        }
     }
 
     #[test]

@@ -1,0 +1,102 @@
+//! Property-based equivalence of the execution modes.
+//!
+//! The sharded event core's whole contract is that the execution mode is
+//! invisible: the reference one-event-at-a-time loop, the same-timestamp
+//! batched loop, and conservative-window sharding at any thread count must
+//! produce **byte-identical** outcomes for every spec.  These tests throw
+//! randomly generated small experiments — varying load, policy (including
+//! the RNG-drawing random dispatcher), tier size, seed and mid-run churn —
+//! at all five loops and compare the fully serialized `RunOutcome`s.
+
+use proptest::prelude::*;
+use srlb_core::spec::{ExperimentSpec, PolicyKind, ScenarioEvent};
+use srlb_core::{RunOutcome, Runner};
+use srlb_sim::ExecMode;
+
+/// Serializes everything observable about an outcome.  `RunOutcome` derives
+/// `Debug` all the way down (per-request records, per-LB and per-server
+/// counters, phase stats, durations), so two equal strings mean the runs
+/// were indistinguishable event for event.
+fn fingerprint(outcome: &RunOutcome) -> String {
+    format!("{outcome:?}")
+}
+
+fn policy(choice: u8) -> PolicyKind {
+    match choice % 4 {
+        0 => PolicyKind::RoundRobin,
+        1 => PolicyKind::Static { threshold: 4 },
+        2 => PolicyKind::Dynamic,
+        // Two random candidates per flow: every SYN draws from the LB's
+        // RNG, the sharpest detector of interleaving-dependent randomness.
+        _ => PolicyKind::Explicit {
+            dispatcher: srlb_core::DispatcherConfig::Random { k: 2 },
+            acceptance: srlb_server::PolicyConfig::Static { threshold: 4 },
+        },
+    }
+}
+
+proptest! {
+    /// Batched and sharded loops reproduce the serial reference loop
+    /// byte for byte on random static specs.
+    #[test]
+    fn exec_modes_agree_on_random_specs(
+        rho in 0.3f64..0.9,
+        choice in 0u8..4,
+        queries in 60usize..160,
+        seed in 0u64..1_000,
+        lb_count in 1usize..4,
+    ) {
+        let spec = ExperimentSpec::poisson_paper(rho, policy(choice))
+            .with_queries(queries)
+            .with_seed(seed)
+            .with_lb_count(lb_count);
+        let reference = fingerprint(
+            &Runner::new(spec.clone()).unwrap().with_exec(ExecMode::SerialStep).run(),
+        );
+        for exec in [
+            ExecMode::Batched,
+            ExecMode::Sharded { threads: 1 },
+            ExecMode::Sharded { threads: 2 },
+            ExecMode::Sharded { threads: 4 },
+        ] {
+            let outcome = Runner::new(spec.clone()).unwrap().with_exec(exec).run();
+            prop_assert_eq!(
+                &fingerprint(&outcome),
+                &reference,
+                "{:?} diverged from the serial loop",
+                exec
+            );
+        }
+    }
+
+    /// Mid-run control events (server churn, LB fail-over) land at segment
+    /// boundaries identically in every mode.
+    #[test]
+    fn exec_modes_agree_under_churn(
+        rho in 0.4f64..0.8,
+        seed in 0u64..1_000,
+        churn_at in 0.2f64..1.0,
+        server in 0u32..4,
+    ) {
+        let mut spec = ExperimentSpec::poisson_paper(rho, PolicyKind::Dynamic)
+            .with_queries(120)
+            .with_seed(seed)
+            .with_lb_count(2)
+            .at(churn_at, ScenarioEvent::RemoveServer { server })
+            .at(churn_at + 0.4, ScenarioEvent::AddServer { server })
+            .at(churn_at + 0.6, ScenarioEvent::LbFailover);
+        spec.cluster.recover_flows = true;
+        let reference = fingerprint(
+            &Runner::new(spec.clone()).unwrap().with_exec(ExecMode::SerialStep).run(),
+        );
+        for exec in [ExecMode::Batched, ExecMode::Sharded { threads: 3 }] {
+            let outcome = Runner::new(spec.clone()).unwrap().with_exec(exec).run();
+            prop_assert_eq!(
+                &fingerprint(&outcome),
+                &reference,
+                "{:?} diverged from the serial loop under churn",
+                exec
+            );
+        }
+    }
+}

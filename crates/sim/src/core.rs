@@ -1,0 +1,869 @@
+//! The reusable simulation core: clock + event queue + node registry +
+//! statistics, drivable one event at a time.
+//!
+//! [`SimCore`] owns the dispatch logic once; the serial loop
+//! ([`crate::Network`]), the batched loop and the sharded worker threads
+//! ([`crate::ShardedNetwork`]) are all thin drivers over [`SimCore::step`] /
+//! [`SimCore::step_batch`] / [`SimCore::peek_time`] instead of three copies
+//! of the dispatch `match`.
+
+use std::fmt;
+use std::sync::Arc;
+
+use crate::event::{EventPayload, EventQueue, ScheduledEvent};
+use crate::link::Topology;
+use crate::node::{Context, Node, NodeId, ShardRouter};
+use crate::rng::SimRng;
+use crate::time::SimTime;
+use crate::trace::{TraceEntry, TraceKind, TraceLog};
+
+/// Counters describing a finished (or paused) run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SimStats {
+    /// Events popped from the queue and dispatched.
+    pub events_processed: u64,
+    /// Messages delivered to nodes.
+    pub messages_delivered: u64,
+    /// Timers fired.
+    pub timers_fired: u64,
+    /// Total messages dropped; always equals
+    /// `dropped_unroutable + dropped_vacant`.
+    pub messages_dropped: u64,
+    /// Messages addressed to a node id outside the node table (dropped).
+    pub dropped_unroutable: u64,
+    /// Messages addressed to a valid slot that holds no node — reserved but
+    /// never filled, or removed via `take_node` (dropped).
+    pub dropped_vacant: u64,
+    /// Simulated time of the last processed event.
+    pub last_event_time: SimTime,
+}
+
+impl SimStats {
+    /// Folds another core's counters into this one (used to merge per-shard
+    /// statistics): counts add, `last_event_time` takes the maximum.
+    pub fn absorb(&mut self, other: SimStats) {
+        self.events_processed += other.events_processed;
+        self.messages_delivered += other.messages_delivered;
+        self.timers_fired += other.timers_fired;
+        self.messages_dropped += other.messages_dropped;
+        self.dropped_unroutable += other.dropped_unroutable;
+        self.dropped_vacant += other.dropped_vacant;
+        self.last_event_time = self.last_event_time.max(other.last_event_time);
+    }
+}
+
+/// What a single [`SimCore::step`] call did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StepOutcome {
+    /// One event was dispatched; the clock now reads `time`.
+    Processed {
+        /// Delivery time of the dispatched event.
+        time: SimTime,
+    },
+    /// The event queue is empty; nothing was done.
+    Idle,
+}
+
+/// Boxed callback that renders a message for the trace log.
+type DescribeFn<M> = Box<dyn Fn(&M) -> String + Send>;
+
+/// Per-slot engine state that must survive node removal/re-insertion.
+///
+/// The scheduling counter in particular may never reset: event keys are
+/// `(time, src, seq)` and a reset would let a re-inserted node reuse a key,
+/// breaking the global-uniqueness property the deterministic ordering
+/// depends on.
+#[derive(Debug)]
+struct SlotMeta {
+    rng: SimRng,
+    send_seq: u64,
+}
+
+/// A node held out of its registry slot while (a batch of) its events are
+/// dispatched.
+type HeldNode<M> = Option<(NodeId, Box<dyn AnyNode<M>>)>;
+
+/// The reusable discrete-event simulation core.
+///
+/// `M` is the message type exchanged by nodes (for SRLB experiments this is
+/// the packet/message enum defined in `srlb-core`).
+pub struct SimCore<M> {
+    nodes: Vec<Option<Box<dyn AnyNode<M>>>>,
+    meta: Vec<SlotMeta>,
+    queue: EventQueue<M>,
+    topology: Topology,
+    /// Root generator that node streams are forked from; a pure function of
+    /// the run seed, so every core built from the same seed derives the same
+    /// per-node streams.
+    rng_root: SimRng,
+    now: SimTime,
+    started: bool,
+    stop_requested: bool,
+    stats: SimStats,
+    trace: TraceLog,
+    trace_describe: Option<DescribeFn<M>>,
+    router: Option<ShardRouter<M>>,
+}
+
+impl<M> fmt::Debug for SimCore<M> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SimCore")
+            .field("nodes", &self.nodes.len())
+            .field("pending_events", &self.queue.len())
+            .field("now", &self.now)
+            .field("stats", &self.stats)
+            .finish()
+    }
+}
+
+impl<M> SimCore<M> {
+    /// Creates an empty core with the given seed and topology.
+    pub fn new(seed: u64, topology: Topology) -> Self {
+        SimCore {
+            nodes: Vec::new(),
+            meta: Vec::new(),
+            queue: EventQueue::new(),
+            topology,
+            rng_root: SimRng::new(seed).fork_named("node"),
+            now: SimTime::ZERO,
+            started: false,
+            stop_requested: false,
+            stats: SimStats::default(),
+            trace: TraceLog::disabled(),
+            trace_describe: None,
+            router: None,
+        }
+    }
+
+    /// Installs the cross-shard router (sharded execution only).  Must be
+    /// called before any node is started.
+    pub(crate) fn set_router(&mut self, shard_of: Arc<[u32]>, my_shard: u32, shards: usize) {
+        debug_assert!(!self.started, "router must be installed before start");
+        self.router = Some(ShardRouter::new(shard_of, my_shard, shards));
+    }
+
+    /// Appends a fresh slot (node table + per-slot engine state) and returns
+    /// its id.
+    fn push_slot(&mut self) -> NodeId {
+        let id = NodeId(self.nodes.len());
+        self.nodes.push(None);
+        self.meta.push(SlotMeta {
+            rng: self.rng_root.fork(id.0 as u64),
+            send_seq: 0,
+        });
+        id
+    }
+
+    /// Adds a node and returns its id.
+    ///
+    /// Nodes added before the core starts receive their `on_start` callback
+    /// when the first run begins; a node added to an already-started core
+    /// (e.g. a backend brought up mid-experiment by a scenario schedule) is
+    /// started immediately at the current simulated time.
+    pub fn add_node(&mut self, node: impl Node<M> + Send + 'static) -> NodeId {
+        let id = self.push_slot();
+        self.nodes[id.index()] = Some(Box::new(node));
+        if self.started {
+            self.start_node(id);
+        }
+        id
+    }
+
+    /// Reserves an empty node slot and returns its id, so a scenario can fix
+    /// the id ↔ address layout of backends that only join the cluster later
+    /// (via [`SimCore::insert_node`]).  Events addressed to a reserved but
+    /// unfilled slot are dropped and counted in [`SimStats::dropped_vacant`].
+    pub fn reserve_node(&mut self) -> NodeId {
+        self.push_slot()
+    }
+
+    /// Fills an empty node slot (from [`SimCore::reserve_node`] or a
+    /// [`SimCore::take_node`] removal) with `node`.  On an already-started
+    /// core the node's `on_start` runs immediately at the current simulated
+    /// time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range or the slot is occupied.
+    pub fn insert_node(&mut self, id: NodeId, node: impl Node<M> + Send + 'static) {
+        let slot = self
+            .nodes
+            .get_mut(id.index())
+            .unwrap_or_else(|| panic!("node slot {id} out of range"));
+        assert!(slot.is_none(), "node slot {id} is already occupied");
+        *slot = Some(Box::new(node));
+        if self.started {
+            self.start_node(id);
+        }
+    }
+
+    /// Runs `on_start` on the node in slot `id` (which must be occupied).
+    fn start_node(&mut self, id: NodeId) {
+        let mut node = self.nodes[id.index()].take().expect("node present");
+        let meta = &mut self.meta[id.index()];
+        let mut ctx = Context {
+            now: self.now,
+            self_id: id,
+            from: None,
+            queue: &mut self.queue,
+            send_seq: &mut meta.send_seq,
+            router: self.router.as_mut(),
+            topology: &self.topology,
+            rng: &mut meta.rng,
+            stop_requested: &mut self.stop_requested,
+        };
+        node.on_start(&mut ctx);
+        self.nodes[id.index()] = Some(node);
+    }
+
+    /// Runs `on_start` on every node (idempotent; only the first call does
+    /// anything).
+    pub fn start(&mut self) {
+        if self.started {
+            return;
+        }
+        self.started = true;
+        for index in 0..self.nodes.len() {
+            if self.nodes[index].is_some() {
+                self.start_node(NodeId(index));
+            }
+        }
+    }
+
+    /// Enables tracing of message deliveries, using `describe` to render each
+    /// message for the trace log.
+    pub fn enable_trace(&mut self, describe: impl Fn(&M) -> String + Send + 'static) {
+        self.trace = TraceLog::new();
+        self.trace_describe = Some(Box::new(describe));
+    }
+
+    /// The trace log (empty unless [`SimCore::enable_trace`] was called).
+    pub fn trace(&self) -> &TraceLog {
+        &self.trace
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Advances the clock to `t` without processing events (never moves it
+    /// backwards).  The sharded driver uses this at window barriers so that
+    /// control callbacks observe the same `now` on every shard as they would
+    /// on the serial engine.
+    pub fn align_clock(&mut self, t: SimTime) {
+        self.now = self.now.max(t);
+    }
+
+    /// Run statistics so far.
+    pub fn stats(&self) -> SimStats {
+        self.stats
+    }
+
+    /// Number of node slots (occupied or not).
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// The topology used for link latencies.
+    pub fn topology(&self) -> &Topology {
+        &self.topology
+    }
+
+    /// Whether a node requested a stop that has not been cleared yet.
+    pub fn stop_requested(&self) -> bool {
+        self.stop_requested
+    }
+
+    /// Clears a pending stop request (drivers call this when a new run
+    /// segment begins).
+    pub fn clear_stop_request(&mut self) {
+        self.stop_requested = false;
+    }
+
+    /// Delivery time of the next pending event, if any — the driver's view
+    /// for deciding whether stepping is worthwhile under a time bound.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.queue.peek_time()
+    }
+
+    /// Number of pending events.
+    pub fn pending_events(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Total number of events ever scheduled on this core.
+    pub fn scheduled_total(&self) -> u64 {
+        self.queue.scheduled_total()
+    }
+
+    /// Ingests an event that another shard scheduled for a node owned by
+    /// this core.
+    pub(crate) fn ingest(&mut self, event: ScheduledEvent<M>) {
+        self.queue.admit(event);
+    }
+
+    /// Drains this core's cross-shard outboxes (empty when no router is
+    /// installed).
+    pub(crate) fn drain_outboxes(&mut self) -> Vec<(usize, Vec<ScheduledEvent<M>>)> {
+        self.router
+            .as_mut()
+            .map(ShardRouter::drain_outboxes)
+            .unwrap_or_default()
+    }
+
+    /// Puts a held node back into its registry slot.
+    fn put_back(&mut self, held: HeldNode<M>) {
+        if let Some((id, node)) = held {
+            self.nodes[id.index()] = Some(node);
+        }
+    }
+
+    /// Dispatches one already-popped event.  `held` carries the most
+    /// recently used node between consecutive dispatches so a burst of
+    /// events for one target pays the registry take/put only once.
+    fn dispatch(&mut self, event: ScheduledEvent<M>, held: &mut HeldNode<M>) {
+        self.now = event.key.time;
+        self.stats.events_processed += 1;
+        self.stats.last_event_time = self.now;
+
+        let target = event.target;
+        if held.as_ref().is_none_or(|(id, _)| *id != target) {
+            if let Some((id, node)) = held.take() {
+                self.nodes[id.index()] = Some(node);
+            }
+            let Some(slot) = self.nodes.get_mut(target.index()) else {
+                self.stats.messages_dropped += 1;
+                self.stats.dropped_unroutable += 1;
+                return;
+            };
+            let Some(node) = slot.take() else {
+                self.stats.messages_dropped += 1;
+                self.stats.dropped_vacant += 1;
+                return;
+            };
+            *held = Some((target, node));
+        }
+        let (_, node) = held.as_mut().expect("node held for dispatch");
+        let meta = &mut self.meta[target.index()];
+
+        match event.payload {
+            EventPayload::Message { from, msg } => {
+                self.stats.messages_delivered += 1;
+                if let Some(describe) = &self.trace_describe {
+                    self.trace.record(TraceEntry {
+                        time: self.now,
+                        kind: TraceKind::MessageDelivered,
+                        target,
+                        from: Some(from),
+                        description: describe(&msg),
+                    });
+                }
+                let mut ctx = Context {
+                    now: self.now,
+                    self_id: target,
+                    from: Some(from),
+                    queue: &mut self.queue,
+                    send_seq: &mut meta.send_seq,
+                    router: self.router.as_mut(),
+                    topology: &self.topology,
+                    rng: &mut meta.rng,
+                    stop_requested: &mut self.stop_requested,
+                };
+                node.on_message(msg, from, &mut ctx);
+            }
+            EventPayload::Timer { token } => {
+                self.stats.timers_fired += 1;
+                if self.trace.is_enabled() {
+                    self.trace.record(TraceEntry {
+                        time: self.now,
+                        kind: TraceKind::TimerFired,
+                        target,
+                        from: None,
+                        description: format!("timer {}", token.0),
+                    });
+                }
+                let mut ctx = Context {
+                    now: self.now,
+                    self_id: target,
+                    from: None,
+                    queue: &mut self.queue,
+                    send_seq: &mut meta.send_seq,
+                    router: self.router.as_mut(),
+                    topology: &self.topology,
+                    rng: &mut meta.rng,
+                    stop_requested: &mut self.stop_requested,
+                };
+                node.on_timer(token, &mut ctx);
+            }
+        }
+    }
+
+    /// Pops and dispatches the single next event.
+    ///
+    /// This is the reference entry point: every other execution mode is
+    /// defined as "produces exactly the per-event effects of repeated
+    /// `step()` calls in key order".
+    pub fn step(&mut self) -> StepOutcome {
+        let Some(event) = self.queue.pop() else {
+            return StepOutcome::Idle;
+        };
+        let time = event.key.time;
+        let mut held = None;
+        self.dispatch(event, &mut held);
+        self.put_back(held);
+        StepOutcome::Processed { time }
+    }
+
+    /// Dispatches every event sharing the next pending timestamp (at most
+    /// `budget` of them), amortising registry take/put across consecutive
+    /// events for the same node.  Returns the number of events processed.
+    ///
+    /// Equivalence with the serial loop is preserved even when a callback
+    /// schedules *new* events at the current timestamp: events are popped
+    /// one at a time, and the heap always yields the globally smallest key,
+    /// so dispatch order is exactly ascending key order.  If a stop request
+    /// or the budget interrupts the batch, the remaining ties simply stay
+    /// queued with their keys intact.
+    pub fn step_batch(&mut self, budget: u64) -> u64 {
+        if budget == 0 || self.stop_requested {
+            return 0;
+        }
+        let Some(batch_time) = self.queue.peek_time() else {
+            return 0;
+        };
+        let mut held = None;
+        let processed = self.drain_time_group(batch_time, budget, &mut held);
+        self.put_back(held);
+        processed
+    }
+
+    /// Dispatches events straight off the heap while the head's timestamp
+    /// equals `batch_time` (at most `budget` of them).  The heap always
+    /// yields the globally smallest key, so a callback scheduling *new*
+    /// events at the current timestamp has them interleaved in exact key
+    /// order automatically; a stop request or an exhausted budget simply
+    /// leaves the remaining ties in the queue.
+    fn drain_time_group(
+        &mut self,
+        batch_time: SimTime,
+        budget: u64,
+        held: &mut HeldNode<M>,
+    ) -> u64 {
+        let mut processed = 0u64;
+        loop {
+            let event = self.queue.pop().expect("peeked event exists");
+            self.dispatch(event, held);
+            processed += 1;
+            if self.stop_requested || processed >= budget {
+                break;
+            }
+            match self.queue.peek_time() {
+                Some(time) if time == batch_time => {}
+                _ => break,
+            }
+        }
+        processed
+    }
+
+    /// Runs events in key order until the queue drains, an event at a time
+    /// later than `until` surfaces, `budget` events have been dispatched, or
+    /// a callback requests a stop — the batched engine loop.  Exactly
+    /// equivalent to driving [`SimCore::step`] under the same bounds, but
+    /// with one fused queue peek per event instead of separate
+    /// peek/pop/policy passes, and the target node staying out of the
+    /// registry across consecutive events that hit it.  Returns the number
+    /// of events processed.
+    pub fn run_segment(&mut self, until: Option<SimTime>, budget: u64) -> u64 {
+        let mut processed = 0u64;
+        let mut held: HeldNode<M> = None;
+        while processed < budget && !self.stop_requested {
+            let Some(event) = self.queue.pop_within(until) else {
+                break;
+            };
+            self.dispatch(event, &mut held);
+            processed += 1;
+        }
+        self.put_back(held);
+        processed
+    }
+
+    /// Immutable access to a node as a `dyn Node<M>`.
+    ///
+    /// Returns `None` if the id is out of range.
+    pub fn with_node<R>(&self, id: NodeId, f: impl FnOnce(&dyn Node<M>) -> R) -> Option<R> {
+        self.nodes
+            .get(id.index())
+            .and_then(|slot| slot.as_ref())
+            .map(|node| f(node.as_node()))
+    }
+
+    /// Immutable, downcast access to a node of concrete type `T`.
+    ///
+    /// Returns `None` if the id is out of range or the node has a different
+    /// type.  Useful for peeking at node state (e.g. a server's scoreboard)
+    /// while the simulation is paused between run segments.
+    pub fn node_as<T: 'static>(&self, id: NodeId) -> Option<&T> {
+        self.nodes
+            .get(id.index())
+            .and_then(|slot| slot.as_ref())
+            .and_then(|node| node.as_any().downcast_ref::<T>())
+    }
+
+    /// Mutable, downcast access to a node of concrete type `T`.
+    ///
+    /// Returns `None` if the id is out of range or the node has a different
+    /// type.  Intended for applying out-of-band state changes between run
+    /// segments; prefer [`SimCore::control`] when the change needs to
+    /// schedule timers or send messages.
+    pub fn node_as_mut<T: 'static>(&mut self, id: NodeId) -> Option<&mut T> {
+        self.nodes
+            .get_mut(id.index())
+            .and_then(|slot| slot.as_mut())
+            .and_then(|node| node.as_any_mut().downcast_mut::<T>())
+    }
+
+    /// Delivers a **control event** to the node in slot `id`: runs `f` with
+    /// mutable access to the node (downcast to `T`) and a [`Context`] at the
+    /// current simulated time, exactly as if the engine were delivering a
+    /// callback.  This is how a scenario schedule applies out-of-band
+    /// changes — failing a load balancer, resizing a server — that may need
+    /// to reschedule timers or emit messages.
+    ///
+    /// Returns `None` (without running `f`) if the id is out of range, the
+    /// slot is empty, or the node is not of type `T`.
+    pub fn control<T: 'static, R>(
+        &mut self,
+        id: NodeId,
+        f: impl FnOnce(&mut T, &mut Context<'_, M>) -> R,
+    ) -> Option<R> {
+        let slot = self.nodes.get_mut(id.index())?;
+        if !slot.as_ref()?.as_any().is::<T>() {
+            return None;
+        }
+        let mut node = slot.take()?;
+        let meta = &mut self.meta[id.index()];
+        let mut ctx = Context {
+            now: self.now,
+            self_id: id,
+            from: None,
+            queue: &mut self.queue,
+            send_seq: &mut meta.send_seq,
+            router: self.router.as_mut(),
+            topology: &self.topology,
+            rng: &mut meta.rng,
+            stop_requested: &mut self.stop_requested,
+        };
+        let result = node
+            .as_any_mut()
+            .downcast_mut::<T>()
+            .map(|typed| f(typed, &mut ctx));
+        self.nodes[id.index()] = Some(node);
+        result
+    }
+
+    /// Removes the node with id `id` from the core and returns it, downcast
+    /// to `T`.  Returns `None` if the id is out of range, the node was
+    /// already taken, or it has a different concrete type.
+    ///
+    /// Use this after a run to extract results from several nodes (the
+    /// engine will simply drop any further events addressed to the removed
+    /// node, counting them in [`SimStats::dropped_vacant`]).
+    pub fn take_node<T: 'static>(&mut self, id: NodeId) -> Option<T>
+    where
+        M: 'static,
+    {
+        let slot = self.nodes.get_mut(id.index())?;
+        if !slot.as_ref()?.as_any().is::<T>() {
+            return None;
+        }
+        let node = slot.take()?;
+        node.into_any().downcast::<T>().ok().map(|boxed| *boxed)
+    }
+}
+
+/// Object-safe combination of [`Node`], `Any` and `Send`, so concrete node
+/// types can be recovered after a run (used by the experiment driver to
+/// extract collected measurements) and node tables can move across worker
+/// threads.
+pub(crate) trait AnyNode<M>: Node<M> + Send {
+    fn as_node(&self) -> &dyn Node<M>;
+    fn as_any(&self) -> &dyn std::any::Any;
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any;
+    fn into_any(self: Box<Self>) -> Box<dyn std::any::Any>;
+}
+
+impl<M, T: Node<M> + Send + 'static> AnyNode<M> for T {
+    fn as_node(&self) -> &dyn Node<M> {
+        self
+    }
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+    fn into_any(self: Box<Self>) -> Box<dyn std::any::Any> {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::node::TimerToken;
+    use crate::time::SimDuration;
+
+    struct Echo {
+        peer: Option<NodeId>,
+        cap: u32,
+        seen: Vec<u32>,
+    }
+
+    impl Node<u32> for Echo {
+        fn on_start(&mut self, ctx: &mut Context<'_, u32>) {
+            if let Some(peer) = self.peer {
+                ctx.send(peer, 0);
+            }
+        }
+        fn on_message(&mut self, msg: u32, from: NodeId, ctx: &mut Context<'_, u32>) {
+            self.seen.push(msg);
+            if msg < self.cap {
+                ctx.send(from, msg + 1);
+            }
+        }
+    }
+
+    fn drained(core: &mut SimCore<u32>) -> u64 {
+        core.start();
+        let mut n = 0;
+        while let StepOutcome::Processed { .. } = core.step() {
+            n += 1;
+        }
+        n
+    }
+
+    #[test]
+    fn step_processes_one_event_and_reports_time() {
+        let mut core = SimCore::new(1, Topology::uniform(SimDuration::from_micros(100)));
+        let a = core.add_node(Echo {
+            peer: None,
+            cap: 2,
+            seen: vec![],
+        });
+        let _b = core.add_node(Echo {
+            peer: Some(a),
+            cap: 2,
+            seen: vec![],
+        });
+        core.start();
+        assert_eq!(core.peek_time(), Some(SimTime::from_nanos(100_000)));
+        let outcome = core.step();
+        assert_eq!(
+            outcome,
+            StepOutcome::Processed {
+                time: SimTime::from_nanos(100_000)
+            }
+        );
+        assert_eq!(core.stats().events_processed, 1);
+    }
+
+    #[test]
+    fn idle_step_on_empty_queue() {
+        let mut core: SimCore<u32> = SimCore::new(1, Topology::datacenter());
+        core.start();
+        assert_eq!(core.step(), StepOutcome::Idle);
+        assert_eq!(core.stats().events_processed, 0);
+    }
+
+    #[test]
+    fn drop_counters_distinguish_unroutable_from_vacant() {
+        struct Sprayer {
+            vacant: NodeId,
+        }
+        impl Node<u32> for Sprayer {
+            fn on_start(&mut self, ctx: &mut Context<'_, u32>) {
+                ctx.send(NodeId(99), 1); // no such slot
+                ctx.send(self.vacant, 2); // reserved, never filled
+                ctx.send(NodeId(99), 3); // no such slot, again
+            }
+            fn on_message(&mut self, _m: u32, _f: NodeId, _c: &mut Context<'_, u32>) {}
+        }
+        let mut core = SimCore::new(1, Topology::datacenter());
+        let vacant = core.reserve_node();
+        core.add_node(Sprayer { vacant });
+        drained(&mut core);
+        let stats = core.stats();
+        assert_eq!(stats.dropped_unroutable, 2);
+        assert_eq!(stats.dropped_vacant, 1);
+        assert_eq!(
+            stats.messages_dropped,
+            stats.dropped_unroutable + stats.dropped_vacant,
+            "the legacy total stays the sum of the split counters"
+        );
+        assert_eq!(stats.messages_delivered, 0);
+    }
+
+    #[test]
+    fn step_batch_matches_stepwise_execution() {
+        // A fan-out node whose messages all land at the same timestamp; the
+        // batched loop must deliver them in the same order as step().
+        struct Fan {
+            peers: Vec<NodeId>,
+        }
+        impl Node<u32> for Fan {
+            fn on_start(&mut self, ctx: &mut Context<'_, u32>) {
+                for (i, &p) in self.peers.iter().enumerate() {
+                    ctx.send(p, i as u32);
+                }
+            }
+            fn on_message(&mut self, _m: u32, _f: NodeId, _c: &mut Context<'_, u32>) {}
+        }
+        fn build(batched: bool) -> (SimStats, Vec<Vec<u32>>) {
+            let mut core = SimCore::new(9, Topology::uniform(SimDuration::from_micros(10)));
+            let sinks: Vec<NodeId> = (0..4)
+                .map(|_| {
+                    core.add_node(Echo {
+                        peer: None,
+                        cap: 0,
+                        seen: vec![],
+                    })
+                })
+                .collect();
+            core.add_node(Fan {
+                peers: sinks.clone(),
+            });
+            core.start();
+            if batched {
+                while core.step_batch(u64::MAX) > 0 {}
+            } else {
+                while let StepOutcome::Processed { .. } = core.step() {}
+            }
+            let seen = sinks
+                .iter()
+                .map(|&s| core.take_node::<Echo>(s).unwrap().seen)
+                .collect();
+            (core.stats(), seen)
+        }
+        assert_eq!(build(true), build(false));
+    }
+
+    #[test]
+    fn step_batch_interleaves_same_time_events_in_key_order() {
+        // Node 0's timer callback schedules another timer at the *same*
+        // timestamp (zero delay).  Its key (src 0) sorts before the buffered
+        // tie from node 1, so the batched loop must interleave it first —
+        // exactly like the serial loop would.
+        struct ZeroDelay {
+            fired: Vec<u64>,
+            chain: bool,
+        }
+        impl Node<u32> for ZeroDelay {
+            fn on_start(&mut self, ctx: &mut Context<'_, u32>) {
+                ctx.schedule_timer(SimDuration::from_micros(5), TimerToken(1));
+            }
+            fn on_message(&mut self, _m: u32, _f: NodeId, _c: &mut Context<'_, u32>) {}
+            fn on_timer(&mut self, token: TimerToken, ctx: &mut Context<'_, u32>) {
+                self.fired.push(token.0);
+                if self.chain && token == TimerToken(1) {
+                    ctx.schedule_timer(SimDuration::ZERO, TimerToken(2));
+                }
+            }
+        }
+        fn order(batched: bool) -> Vec<(usize, u64)> {
+            let mut core = SimCore::new(3, Topology::datacenter());
+            let a = core.add_node(ZeroDelay {
+                fired: vec![],
+                chain: true,
+            });
+            let b = core.add_node(ZeroDelay {
+                fired: vec![],
+                chain: false,
+            });
+            core.start();
+            if batched {
+                while core.step_batch(u64::MAX) > 0 {}
+            } else {
+                while let StepOutcome::Processed { .. } = core.step() {}
+            }
+            let mut log = vec![];
+            for (idx, id) in [a, b].into_iter().enumerate() {
+                for t in core.take_node::<ZeroDelay>(id).unwrap().fired {
+                    log.push((idx, t));
+                }
+            }
+            log
+        }
+        assert_eq!(order(true), order(false));
+    }
+
+    #[test]
+    fn step_batch_respects_budget_and_keeps_ties_queued() {
+        struct Fan {
+            peers: Vec<NodeId>,
+        }
+        impl Node<u32> for Fan {
+            fn on_start(&mut self, ctx: &mut Context<'_, u32>) {
+                for &p in &self.peers {
+                    ctx.send(p, 1);
+                }
+            }
+            fn on_message(&mut self, _m: u32, _f: NodeId, _c: &mut Context<'_, u32>) {}
+        }
+        let mut core = SimCore::new(9, Topology::uniform(SimDuration::from_micros(10)));
+        let sinks: Vec<NodeId> = (0..6)
+            .map(|_| {
+                core.add_node(Echo {
+                    peer: None,
+                    cap: 0,
+                    seen: vec![],
+                })
+            })
+            .collect();
+        core.add_node(Fan {
+            peers: sinks.clone(),
+        });
+        core.start();
+        assert_eq!(core.step_batch(2), 2);
+        assert_eq!(core.pending_events(), 4, "unprocessed ties stay queued");
+        assert_eq!(core.step_batch(u64::MAX), 4);
+        assert_eq!(core.stats().messages_delivered, 6);
+    }
+
+    #[test]
+    fn align_clock_never_moves_backwards() {
+        let mut core: SimCore<u32> = SimCore::new(1, Topology::datacenter());
+        core.align_clock(SimTime::from_nanos(50));
+        assert_eq!(core.now(), SimTime::from_nanos(50));
+        core.align_clock(SimTime::from_nanos(10));
+        assert_eq!(core.now(), SimTime::from_nanos(50));
+    }
+
+    #[test]
+    fn stats_absorb_sums_counts_and_maxes_time() {
+        let mut a = SimStats {
+            events_processed: 2,
+            messages_delivered: 1,
+            timers_fired: 1,
+            messages_dropped: 1,
+            dropped_unroutable: 1,
+            dropped_vacant: 0,
+            last_event_time: SimTime::from_nanos(10),
+        };
+        let b = SimStats {
+            events_processed: 3,
+            messages_delivered: 2,
+            timers_fired: 0,
+            messages_dropped: 2,
+            dropped_unroutable: 0,
+            dropped_vacant: 2,
+            last_event_time: SimTime::from_nanos(7),
+        };
+        a.absorb(b);
+        assert_eq!(a.events_processed, 5);
+        assert_eq!(a.messages_dropped, 3);
+        assert_eq!(a.dropped_unroutable, 1);
+        assert_eq!(a.dropped_vacant, 2);
+        assert_eq!(a.last_event_time, SimTime::from_nanos(10));
+    }
+}

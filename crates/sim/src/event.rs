@@ -1,8 +1,12 @@
-//! The global event queue.
+//! The event queue.
 //!
-//! Events are ordered by delivery time; ties are broken by insertion order
-//! (FIFO), which keeps runs deterministic regardless of how many events share
-//! a timestamp.
+//! Events are ordered by an [`EventKey`]: delivery time first, then the
+//! *scheduling* node's id, then a per-source sequence number.  Unlike a
+//! global push counter, this key is a pure function of the scheduling node's
+//! own history — two runs that deliver the same callbacks to each node in the
+//! same order produce bit-identical keys no matter how the engine interleaves
+//! work across batches or worker shards.  That property is what lets the
+//! batched and sharded execution modes reproduce the serial loop exactly.
 
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
@@ -28,13 +32,30 @@ pub enum EventPayload<M> {
     },
 }
 
+/// Globally unique, interleaving-independent ordering key of a scheduled
+/// event.
+///
+/// Ordering is lexicographic: `(time, src, seq)`.  `src` is the node that
+/// *scheduled* the event and `seq` is that node's private scheduling counter,
+/// so the key depends only on the scheduling node's own callback history —
+/// never on how the engine happened to interleave other nodes' work.  Keys
+/// are globally unique because each node's counter never repeats a value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct EventKey {
+    /// Delivery time.
+    pub time: SimTime,
+    /// The node that scheduled the event (tie-break #1).
+    pub src: NodeId,
+    /// The scheduling node's private sequence counter (tie-break #2; FIFO
+    /// per source).
+    pub seq: u64,
+}
+
 /// An event scheduled for delivery.
 #[derive(Debug, Clone)]
 pub struct ScheduledEvent<M> {
-    /// Delivery time.
-    pub time: SimTime,
-    /// Monotonic sequence number used for FIFO tie-breaking.
-    pub seq: u64,
+    /// Ordering key (delivery time + scheduling source + per-source seq).
+    pub key: EventKey,
     /// Node the event is delivered to.
     pub target: NodeId,
     /// The payload.
@@ -43,7 +64,7 @@ pub struct ScheduledEvent<M> {
 
 impl<M> PartialEq for ScheduledEvent<M> {
     fn eq(&self, other: &Self) -> bool {
-        self.time == other.time && self.seq == other.seq
+        self.key == other.key
     }
 }
 
@@ -57,31 +78,77 @@ impl<M> PartialOrd for ScheduledEvent<M> {
 
 impl<M> Ord for ScheduledEvent<M> {
     fn cmp(&self, other: &Self) -> Ordering {
-        // BinaryHeap is a max-heap; reverse so the earliest event pops first.
-        other
-            .time
-            .cmp(&self.time)
-            .then_with(|| other.seq.cmp(&self.seq))
+        // Reversed key order, matching the queue's pop order (smallest key
+        // first).
+        other.key.cmp(&self.key)
     }
 }
 
-/// A time-ordered queue of [`ScheduledEvent`]s with FIFO tie-breaking.
+/// A heap entry: the ordering key plus the slab slot holding the event's
+/// body.  Entries are small (32 bytes) and `Copy`, so heap sift operations
+/// move fixed-size keys instead of full message payloads — for a packet-level
+/// simulation the payload is an order of magnitude larger, and the heap is
+/// the engine's hottest data structure.
+#[derive(Debug, Clone, Copy)]
+struct HeapEntry {
+    key: EventKey,
+    slot: u32,
+}
+
+impl PartialEq for HeapEntry {
+    fn eq(&self, other: &Self) -> bool {
+        (self.key, self.slot) == (other.key, other.slot)
+    }
+}
+
+impl Eq for HeapEntry {}
+
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; reverse so the smallest key pops first.
+        // Keys are globally unique; the slot tie-break only keeps the order
+        // total for hypothetical duplicates.
+        (other.key, other.slot).cmp(&(self.key, self.slot))
+    }
+}
+
+/// The slab-stored part of a scheduled event (everything but the key).
+struct EventBody<M> {
+    target: NodeId,
+    payload: EventPayload<M>,
+}
+
+/// A key-ordered queue of [`ScheduledEvent`]s.
 ///
-/// Events are stored **inline** in the backing binary heap — there is no
-/// per-event `Box` or other indirection — so pushing and popping events on a
-/// warm queue (one whose heap has already grown to its high-water mark)
-/// performs no heap allocation at all.  This property is pinned by the
-/// counting-allocator test in `tests/alloc_free_sim.rs`.
+/// Event bodies live in a free-listed slab; the binary heap orders small
+/// `(key, slot)` entries, so sift operations never move message payloads.
+/// No per-event `Box` is involved and freed slots are reused, so pushing and
+/// popping events on a warm queue (one whose heap and slab have already
+/// grown to their high-water mark) performs no heap allocation at all.  This
+/// property is pinned by the counting-allocator test in
+/// `tests/alloc_free_sim.rs`.
+///
+/// Because [`EventKey`]s are globally unique, the pop order is a pure
+/// function of the *set* of pending events — independent of insertion order —
+/// which is what makes cross-shard event exchange deterministic.
 pub struct EventQueue<M> {
-    heap: BinaryHeap<ScheduledEvent<M>>,
-    next_seq: u64,
+    heap: BinaryHeap<HeapEntry>,
+    bodies: Vec<Option<EventBody<M>>>,
+    free: Vec<u32>,
+    admitted: u64,
 }
 
 impl<M> fmt::Debug for EventQueue<M> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("EventQueue")
             .field("len", &self.heap.len())
-            .field("next_seq", &self.next_seq)
+            .field("admitted", &self.admitted)
             .finish()
     }
 }
@@ -97,7 +164,9 @@ impl<M> EventQueue<M> {
     pub fn new() -> Self {
         EventQueue {
             heap: BinaryHeap::new(),
-            next_seq: 0,
+            bodies: Vec::new(),
+            free: Vec::new(),
+            admitted: 0,
         }
     }
 
@@ -106,40 +175,108 @@ impl<M> EventQueue<M> {
     pub fn with_capacity(capacity: usize) -> Self {
         EventQueue {
             heap: BinaryHeap::with_capacity(capacity),
-            next_seq: 0,
+            bodies: Vec::with_capacity(capacity),
+            free: Vec::with_capacity(capacity),
+            admitted: 0,
         }
     }
 
     /// Number of pending events the queue can hold without reallocating.
     pub fn capacity(&self) -> usize {
-        self.heap.capacity()
+        self.heap.capacity().min(self.bodies.capacity())
     }
 
     /// Reserves room for at least `additional` more pending events.
     pub fn reserve(&mut self, additional: usize) {
         self.heap.reserve(additional);
+        self.bodies.reserve(additional);
+        self.free.reserve(additional);
     }
 
-    /// Schedules `payload` for delivery to `target` at `time`.
-    pub fn push(&mut self, time: SimTime, target: NodeId, payload: EventPayload<M>) {
-        let seq = self.next_seq;
-        self.next_seq += 1;
-        self.heap.push(ScheduledEvent {
-            time,
-            seq,
-            target,
-            payload,
+    /// Stores an event body, reusing a freed slab slot when one exists.
+    fn store(&mut self, target: NodeId, payload: EventPayload<M>) -> u32 {
+        let body = EventBody { target, payload };
+        match self.free.pop() {
+            Some(slot) => {
+                debug_assert!(self.bodies[slot as usize].is_none());
+                self.bodies[slot as usize] = Some(body);
+                slot
+            }
+            None => {
+                let slot = u32::try_from(self.bodies.len()).expect("fewer than 2^32 pending");
+                self.bodies.push(Some(body));
+                slot
+            }
+        }
+    }
+
+    /// Schedules `payload` for delivery to `target`, ordered by `key`.
+    pub fn push(&mut self, key: EventKey, target: NodeId, payload: EventPayload<M>) {
+        self.admitted += 1;
+        let slot = self.store(target, payload);
+        self.heap.push(HeapEntry { key, slot });
+    }
+
+    /// Admits an already-built event (first entry into this queue — counted
+    /// in [`EventQueue::scheduled_total`]).  Used when a worker shard ingests
+    /// an event that a *different* shard scheduled.
+    pub fn admit(&mut self, event: ScheduledEvent<M>) {
+        self.push(event.key, event.target, event.payload);
+    }
+
+    /// Re-inserts an event that was previously popped from **this** queue,
+    /// preserving its key.  Unlike [`EventQueue::admit`] this does not count
+    /// towards [`EventQueue::scheduled_total`].
+    pub fn restore(&mut self, event: ScheduledEvent<M>) {
+        let slot = self.store(event.target, event.payload);
+        self.heap.push(HeapEntry {
+            key: event.key,
+            slot,
         });
     }
 
-    /// Removes and returns the earliest event.
+    /// Pops the earliest event if its delivery time is at or before `bound`
+    /// (no bound = always): a single fused peek-and-pop, the batched engine
+    /// loop's per-event queue operation.
+    pub fn pop_within(&mut self, bound: Option<SimTime>) -> Option<ScheduledEvent<M>> {
+        let entry = self.heap.peek()?;
+        if bound.is_some_and(|u| entry.key.time > u) {
+            return None;
+        }
+        self.pop()
+    }
+
+    /// Removes and returns the event with the smallest key.
     pub fn pop(&mut self) -> Option<ScheduledEvent<M>> {
-        self.heap.pop()
+        let entry = self.heap.pop()?;
+        let body = self.bodies[entry.slot as usize]
+            .take()
+            .expect("heap entry points at a live slab slot");
+        self.free.push(entry.slot);
+        Some(ScheduledEvent {
+            key: entry.key,
+            target: body.target,
+            payload: body.payload,
+        })
+    }
+
+    /// Pops every pending event whose delivery time equals `time` into
+    /// `out` (cleared first), in ascending key order.
+    pub fn pop_ties_into(&mut self, time: SimTime, out: &mut Vec<ScheduledEvent<M>>) {
+        out.clear();
+        while self.peek_time() == Some(time) {
+            out.push(self.pop().expect("peeked event exists"));
+        }
     }
 
     /// Delivery time of the earliest event, if any.
     pub fn peek_time(&self) -> Option<SimTime> {
-        self.heap.peek().map(|e| e.time)
+        self.heap.peek().map(|e| e.key.time)
+    }
+
+    /// Ordering key of the earliest event, if any.
+    pub fn peek_key(&self) -> Option<EventKey> {
+        self.heap.peek().map(|e| e.key)
     }
 
     /// Number of pending events.
@@ -152,9 +289,10 @@ impl<M> EventQueue<M> {
         self.heap.is_empty()
     }
 
-    /// Total number of events ever scheduled on this queue.
+    /// Total number of events ever scheduled on (or ingested into) this
+    /// queue.  Re-insertions via [`EventQueue::restore`] are not counted.
     pub fn scheduled_total(&self) -> u64 {
-        self.next_seq
+        self.admitted
     }
 }
 
@@ -162,45 +300,100 @@ impl<M> EventQueue<M> {
 mod tests {
     use super::*;
 
-    fn msg(queue: &mut EventQueue<u32>, t: u64, target: usize, m: u32) {
+    fn key(t: u64, src: usize, seq: u64) -> EventKey {
+        EventKey {
+            time: SimTime::from_nanos(t),
+            src: NodeId(src),
+            seq,
+        }
+    }
+
+    fn msg(queue: &mut EventQueue<u32>, k: EventKey, target: usize, m: u32) {
         queue.push(
-            SimTime::from_nanos(t),
+            k,
             NodeId(target),
             EventPayload::Message {
-                from: NodeId(0),
+                from: k.src,
                 msg: m,
             },
         );
     }
 
-    #[test]
-    fn pops_in_time_order() {
-        let mut q = EventQueue::new();
-        msg(&mut q, 30, 1, 3);
-        msg(&mut q, 10, 1, 1);
-        msg(&mut q, 20, 1, 2);
-        let order: Vec<u32> = std::iter::from_fn(|| q.pop())
+    fn drain(q: &mut EventQueue<u32>) -> Vec<u32> {
+        std::iter::from_fn(|| q.pop())
             .map(|e| match e.payload {
                 EventPayload::Message { msg, .. } => msg,
                 _ => unreachable!(),
             })
-            .collect();
-        assert_eq!(order, vec![1, 2, 3]);
+            .collect()
     }
 
     #[test]
-    fn ties_are_fifo() {
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        msg(&mut q, key(30, 0, 0), 1, 3);
+        msg(&mut q, key(10, 0, 1), 1, 1);
+        msg(&mut q, key(20, 0, 2), 1, 2);
+        assert_eq!(drain(&mut q), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn same_source_ties_are_fifo() {
         let mut q = EventQueue::new();
         for i in 0..100u32 {
-            msg(&mut q, 5, 0, i);
+            msg(&mut q, key(5, 0, i as u64), 0, i);
         }
-        let order: Vec<u32> = std::iter::from_fn(|| q.pop())
-            .map(|e| match e.payload {
-                EventPayload::Message { msg, .. } => msg,
-                _ => unreachable!(),
-            })
-            .collect();
-        assert_eq!(order, (0..100).collect::<Vec<_>>());
+        assert_eq!(drain(&mut q), (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn cross_source_ties_order_by_source_then_seq() {
+        let mut q = EventQueue::new();
+        msg(&mut q, key(5, 2, 0), 0, 20);
+        msg(&mut q, key(5, 1, 1), 0, 11);
+        msg(&mut q, key(5, 1, 0), 0, 10);
+        assert_eq!(drain(&mut q), vec![10, 11, 20]);
+    }
+
+    #[test]
+    fn pop_order_is_independent_of_insertion_order() {
+        // The same *set* of events pops identically no matter the push order
+        // — the property cross-shard ingestion relies on.
+        let keys = [key(5, 3, 0), key(5, 1, 7), key(4, 9, 2), key(5, 1, 6)];
+        let mut forward = EventQueue::new();
+        let mut backward = EventQueue::new();
+        for (i, &k) in keys.iter().enumerate() {
+            msg(&mut forward, k, 0, i as u32);
+        }
+        for (i, &k) in keys.iter().enumerate().rev() {
+            msg(&mut backward, k, 0, i as u32);
+        }
+        assert_eq!(drain(&mut forward), drain(&mut backward));
+    }
+
+    #[test]
+    fn pop_ties_into_drains_exactly_one_timestamp() {
+        let mut q = EventQueue::new();
+        msg(&mut q, key(5, 0, 0), 0, 1);
+        msg(&mut q, key(5, 1, 0), 0, 2);
+        msg(&mut q, key(6, 0, 1), 0, 3);
+        let mut out = Vec::new();
+        q.pop_ties_into(SimTime::from_nanos(5), &mut out);
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0].key, key(5, 0, 0));
+        assert_eq!(out[1].key, key(5, 1, 0));
+        assert_eq!(q.peek_time(), Some(SimTime::from_nanos(6)));
+    }
+
+    #[test]
+    fn restore_preserves_key_and_is_not_recounted() {
+        let mut q = EventQueue::new();
+        msg(&mut q, key(5, 0, 0), 0, 1);
+        msg(&mut q, key(6, 0, 1), 0, 2);
+        let first = q.pop().unwrap();
+        q.restore(first);
+        assert_eq!(q.scheduled_total(), 2, "restore does not re-count");
+        assert_eq!(drain(&mut q), vec![1, 2]);
     }
 
     #[test]
@@ -208,9 +401,11 @@ mod tests {
         let mut q: EventQueue<u32> = EventQueue::new();
         assert!(q.is_empty());
         assert_eq!(q.peek_time(), None);
-        msg(&mut q, 42, 0, 0);
+        assert_eq!(q.peek_key(), None);
+        msg(&mut q, key(42, 7, 3), 0, 0);
         assert_eq!(q.len(), 1);
         assert_eq!(q.peek_time(), Some(SimTime::from_nanos(42)));
+        assert_eq!(q.peek_key(), Some(key(42, 7, 3)));
         assert_eq!(q.scheduled_total(), 1);
         q.pop();
         assert!(q.is_empty());
@@ -220,13 +415,13 @@ mod tests {
     fn timers_and_messages_share_the_queue() {
         let mut q: EventQueue<u32> = EventQueue::new();
         q.push(
-            SimTime::from_nanos(1),
+            key(1, 0, 0),
             NodeId(0),
             EventPayload::Timer {
                 token: TimerToken(9),
             },
         );
-        msg(&mut q, 2, 0, 7);
+        msg(&mut q, key(2, 0, 1), 0, 7);
         assert!(matches!(
             q.pop().unwrap().payload,
             EventPayload::Timer {

@@ -18,10 +18,23 @@
 //! * [`Topology`] — per-link one-way latencies,
 //! * [`Steering`] — resilient ECMP hashing across a tier of equal-cost
 //!   nodes (the model of the routers in front of a load-balancer fleet),
-//! * [`Network`] — the engine: an event queue ordered by time, with
-//!   deterministic FIFO tie-breaking,
+//! * [`SimCore`] — the reusable engine core: clock + event queue + node
+//!   registry, drivable one event ([`SimCore::step`]) or one
+//!   same-timestamp batch at a time,
+//! * [`Network`] — the single-threaded frontend over the core, run under a
+//!   [`RunUntil`] policy,
+//! * [`ShardedNetwork`] — the multi-threaded frontend: worker-thread shards
+//!   synchronised by conservative time windows, byte-identical to the
+//!   serial loop,
 //! * [`SimRng`] — a seeded random number generator that can be forked into
 //!   independent, reproducible streams.
+//!
+//! Determinism rests on two properties: every event is ordered by a
+//! globally unique key `(time, scheduling node, per-node seq)` that depends
+//! only on the scheduling node's own history, and every node draws
+//! randomness from a private stream forked from the run seed.  Any
+//! execution order that respects the keys therefore reproduces the same
+//! run, bit for bit.
 //!
 //! ## Example
 //!
@@ -55,20 +68,24 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod core;
 pub mod event;
 pub mod link;
 pub mod network;
 pub mod node;
 pub mod rng;
+pub mod shard;
 pub mod steering;
 pub mod time;
 pub mod trace;
 
-pub use event::EventQueue;
+pub use crate::core::{SimCore, SimStats, StepOutcome};
+pub use event::{EventKey, EventQueue};
 pub use link::{Topology, TopologyModel};
-pub use network::{Network, RunLimit, SimStats};
+pub use network::{Network, RunLimit, RunUntil};
 pub use node::{Context, Node, NodeId, TimerToken};
 pub use rng::SimRng;
+pub use shard::{ExecMode, ShardPlan, ShardedNetwork};
 pub use steering::{ecmp_steer, Steering};
 pub use time::{SimDuration, SimTime};
 pub use trace::{TraceEntry, TraceKind, TraceLog};

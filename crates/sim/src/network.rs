@@ -1,15 +1,87 @@
-//! The simulation engine.
+//! The single-threaded simulation engine frontend.
+//!
+//! [`Network`] is now a thin driver over [`SimCore`]: the node registry,
+//! clock, event queue and dispatch logic live in the core, and this type
+//! only decides *how far* to run it (the [`RunUntil`] policy) and *how* to
+//! step it (batched by default, per-event via
+//! [`Network::run_until_stepwise`]).  The multi-threaded frontend over the
+//! same core is [`crate::ShardedNetwork`].
 
 use std::fmt;
 
-use crate::event::{EventPayload, EventQueue};
+use crate::core::{SimCore, SimStats, StepOutcome};
 use crate::link::Topology;
 use crate::node::{Context, Node, NodeId};
-use crate::rng::SimRng;
 use crate::time::SimTime;
-use crate::trace::{TraceEntry, TraceKind, TraceLog};
+use crate::trace::TraceLog;
 
-/// Limits applied to a simulation run.
+/// How far a run segment should advance the simulation.
+///
+/// This collapses the historical `run()` / `run_with_limit(RunLimit)` / stop
+/// flag trio into one policy value.  All variants additionally end early if
+/// the queue drains or a node calls [`Context::stop`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunUntil {
+    /// Run until the event queue drains.
+    Drained,
+    /// Run until a node requests a stop (or the queue drains).  Semantically
+    /// identical to [`RunUntil::Drained`] — every policy honours stop
+    /// requests — but states the intent that a node is expected to end the
+    /// run; combinators normalise it to `Drained`.
+    Stopped,
+    /// Run until simulated time would exceed this value.
+    Time(SimTime),
+    /// Run for at most this many events.
+    Events(u64),
+    /// Run until the time bound **or** the event budget is hit, whichever
+    /// comes first.
+    TimeOrEvents {
+        /// Stop once simulated time would exceed this value.
+        until: SimTime,
+        /// Stop after processing this many events.
+        max_events: u64,
+    },
+}
+
+impl RunUntil {
+    /// The `(time bound, event budget)` pair this policy imposes.
+    pub fn bounds(self) -> (Option<SimTime>, Option<u64>) {
+        match self {
+            RunUntil::Drained | RunUntil::Stopped => (None, None),
+            RunUntil::Time(t) => (Some(t), None),
+            RunUntil::Events(n) => (None, Some(n)),
+            RunUntil::TimeOrEvents { until, max_events } => (Some(until), Some(max_events)),
+        }
+    }
+
+    fn from_bounds(until: Option<SimTime>, max_events: Option<u64>) -> Self {
+        match (until, max_events) {
+            (None, None) => RunUntil::Drained,
+            (Some(t), None) => RunUntil::Time(t),
+            (None, Some(n)) => RunUntil::Events(n),
+            (Some(t), Some(n)) => RunUntil::TimeOrEvents {
+                until: t,
+                max_events: n,
+            },
+        }
+    }
+
+    /// Additionally bounds the policy by simulated time; the tighter of two
+    /// time bounds wins.
+    pub fn or_time(self, t: SimTime) -> Self {
+        let (until, max_events) = self.bounds();
+        Self::from_bounds(Some(until.map_or(t, |u| u.min(t))), max_events)
+    }
+
+    /// Additionally bounds the policy by an event budget; the tighter of two
+    /// budgets wins.
+    pub fn or_events(self, n: u64) -> Self {
+        let (until, max_events) = self.bounds();
+        Self::from_bounds(until, Some(max_events.map_or(n, |m| m.min(n))))
+    }
+}
+
+/// Limits applied to a simulation run (legacy form of [`RunUntil`]).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RunLimit {
     /// Stop once simulated time exceeds this value (`None` = unlimited).
@@ -45,49 +117,61 @@ impl RunLimit {
     }
 }
 
-/// Counters describing a finished (or paused) run.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
-pub struct SimStats {
-    /// Events popped from the queue and dispatched.
-    pub events_processed: u64,
-    /// Messages delivered to nodes.
-    pub messages_delivered: u64,
-    /// Timers fired.
-    pub timers_fired: u64,
-    /// Messages addressed to a node id that does not exist (dropped).
-    pub messages_dropped: u64,
-    /// Simulated time of the last processed event.
-    pub last_event_time: SimTime,
+impl From<RunLimit> for RunUntil {
+    fn from(limit: RunLimit) -> Self {
+        RunUntil::from_bounds(limit.until, limit.max_events)
+    }
 }
 
-/// Boxed callback that renders a message for the trace log.
-type DescribeFn<M> = Box<dyn Fn(&M) -> String>;
+/// Drives `core` under `policy`, either batched (same-timestamp bursts) or
+/// one event at a time.  Returns the number of events processed by this
+/// call.  Shared by [`Network`] and the single-shard fast path of
+/// [`crate::ShardedNetwork`].
+pub(crate) fn drive_core<M>(core: &mut SimCore<M>, policy: RunUntil, batched: bool) -> u64 {
+    // Clear before start() so a stop issued from an on_start callback still
+    // ends this segment before any event is processed.
+    core.clear_stop_request();
+    core.start();
+    let (until, max_events) = policy.bounds();
+    let mut processed = 0u64;
+    loop {
+        if core.stop_requested() {
+            break;
+        }
+        let Some(next_time) = core.peek_time() else {
+            break;
+        };
+        if until.is_some_and(|u| next_time > u) {
+            break;
+        }
+        if max_events.is_some_and(|m| processed >= m) {
+            break;
+        }
+        if batched {
+            // One call runs whole same-timestamp groups with every policy
+            // check hoisted to the group boundary; the outer loop re-checks
+            // the exit conditions and terminates on the next pass.
+            let budget = max_events.map_or(u64::MAX, |m| m - processed);
+            processed += core.run_segment(until, budget);
+        } else {
+            core.step();
+            processed += 1;
+        }
+    }
+    processed
+}
 
-/// The discrete-event simulation engine.
+/// The single-threaded discrete-event simulation engine.
 ///
 /// `M` is the message type exchanged by nodes (for SRLB experiments this is
 /// the packet/message enum defined in `srlb-core`).
 pub struct Network<M> {
-    nodes: Vec<Option<Box<dyn AnyNode<M>>>>,
-    queue: EventQueue<M>,
-    topology: Topology,
-    rng: SimRng,
-    now: SimTime,
-    started: bool,
-    stop_requested: bool,
-    stats: SimStats,
-    trace: TraceLog,
-    trace_describe: Option<DescribeFn<M>>,
+    core: SimCore<M>,
 }
 
 impl<M> fmt::Debug for Network<M> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_struct("Network")
-            .field("nodes", &self.nodes.len())
-            .field("pending_events", &self.queue.len())
-            .field("now", &self.now)
-            .field("stats", &self.stats)
-            .finish()
+        f.debug_struct("Network").field("core", &self.core).finish()
     }
 }
 
@@ -95,296 +179,150 @@ impl<M> Network<M> {
     /// Creates an empty network with the given seed and topology.
     pub fn new(seed: u64, topology: Topology) -> Self {
         Network {
-            nodes: Vec::new(),
-            queue: EventQueue::new(),
-            topology,
-            rng: SimRng::new(seed).fork_named("network"),
-            now: SimTime::ZERO,
-            started: false,
-            stop_requested: false,
-            stats: SimStats::default(),
-            trace: TraceLog::disabled(),
-            trace_describe: None,
+            core: SimCore::new(seed, topology),
         }
+    }
+
+    /// The underlying [`SimCore`] (for drivers that want to step manually).
+    pub fn core(&self) -> &SimCore<M> {
+        &self.core
+    }
+
+    /// Mutable access to the underlying [`SimCore`].
+    pub fn core_mut(&mut self) -> &mut SimCore<M> {
+        &mut self.core
     }
 
     /// Adds a node and returns its id.
     ///
-    /// Nodes added before the first call to [`Network::run`] /
-    /// [`Network::run_with_limit`] receive their `on_start` callback when the
-    /// run begins; a node added to an already-started network (e.g. a backend
-    /// brought up mid-experiment by a scenario schedule) is started
-    /// immediately at the current simulated time.
-    pub fn add_node(&mut self, node: impl Node<M> + 'static) -> NodeId {
-        let id = NodeId(self.nodes.len());
-        self.nodes.push(Some(Box::new(node)));
-        if self.started {
-            self.start_node(id);
-        }
-        id
+    /// Nodes added before the first run segment receive their `on_start`
+    /// callback when the run begins; a node added to an already-started
+    /// network (e.g. a backend brought up mid-experiment by a scenario
+    /// schedule) is started immediately at the current simulated time.
+    pub fn add_node(&mut self, node: impl Node<M> + Send + 'static) -> NodeId {
+        self.core.add_node(node)
     }
 
-    /// Reserves an empty node slot and returns its id, so a scenario can fix
-    /// the id ↔ address layout of backends that only join the cluster later
-    /// (via [`Network::insert_node`]).  Events addressed to a reserved but
-    /// unfilled slot are dropped and counted in
-    /// [`SimStats::messages_dropped`].
+    /// Reserves an empty node slot and returns its id; see
+    /// [`SimCore::reserve_node`].
     pub fn reserve_node(&mut self) -> NodeId {
-        let id = NodeId(self.nodes.len());
-        self.nodes.push(None);
-        id
+        self.core.reserve_node()
     }
 
-    /// Fills an empty node slot (from [`Network::reserve_node`] or a
-    /// [`Network::take_node`] removal) with `node`.  On an already-started
-    /// network the node's `on_start` runs immediately at the current
-    /// simulated time.
+    /// Fills an empty node slot with `node`; see [`SimCore::insert_node`].
     ///
     /// # Panics
     ///
     /// Panics if the id is out of range or the slot is occupied.
-    pub fn insert_node(&mut self, id: NodeId, node: impl Node<M> + 'static) {
-        let slot = self
-            .nodes
-            .get_mut(id.index())
-            .unwrap_or_else(|| panic!("node slot {id} out of range"));
-        assert!(slot.is_none(), "node slot {id} is already occupied");
-        *slot = Some(Box::new(node));
-        if self.started {
-            self.start_node(id);
-        }
-    }
-
-    /// Runs `on_start` on the node in slot `id` (which must be occupied).
-    fn start_node(&mut self, id: NodeId) {
-        let mut node = self.nodes[id.index()].take().expect("node present");
-        let mut ctx = Context {
-            now: self.now,
-            self_id: id,
-            from: None,
-            queue: &mut self.queue,
-            topology: &self.topology,
-            rng: &mut self.rng,
-            stop_requested: &mut self.stop_requested,
-        };
-        node.on_start(&mut ctx);
-        self.nodes[id.index()] = Some(node);
+    pub fn insert_node(&mut self, id: NodeId, node: impl Node<M> + Send + 'static) {
+        self.core.insert_node(id, node)
     }
 
     /// Enables tracing of message deliveries, using `describe` to render each
     /// message for the trace log.
-    pub fn enable_trace(&mut self, describe: impl Fn(&M) -> String + 'static) {
-        self.trace = TraceLog::new();
-        self.trace_describe = Some(Box::new(describe));
+    pub fn enable_trace(&mut self, describe: impl Fn(&M) -> String + Send + 'static) {
+        self.core.enable_trace(describe)
     }
 
     /// The trace log (empty unless [`Network::enable_trace`] was called).
     pub fn trace(&self) -> &TraceLog {
-        &self.trace
+        self.core.trace()
     }
 
     /// Current simulated time.
     pub fn now(&self) -> SimTime {
-        self.now
+        self.core.now()
     }
 
     /// Run statistics so far.
     pub fn stats(&self) -> SimStats {
-        self.stats
+        self.core.stats()
     }
 
     /// Number of nodes in the network.
     pub fn node_count(&self) -> usize {
-        self.nodes.len()
+        self.core.node_count()
     }
 
     /// The topology used for link latencies.
     pub fn topology(&self) -> &Topology {
-        &self.topology
+        self.core.topology()
     }
 
-    /// Immutable access to a node as a `dyn Node<M>`.
-    ///
-    /// Returns `None` if the id is out of range.
+    /// Delivery time of the next pending event, if any.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.core.peek_time()
+    }
+
+    /// Pops and dispatches the single next event; see [`SimCore::step`].
+    pub fn step(&mut self) -> StepOutcome {
+        self.core.step()
+    }
+
+    /// Immutable access to a node as a `dyn Node<M>`; see
+    /// [`SimCore::with_node`].
     pub fn with_node<R>(&self, id: NodeId, f: impl FnOnce(&dyn Node<M>) -> R) -> Option<R> {
-        self.nodes
-            .get(id.index())
-            .and_then(|slot| slot.as_ref())
-            .map(|node| f(node.as_node()))
+        self.core.with_node(id, f)
     }
 
-    /// Immutable, downcast access to a node of concrete type `T`.
-    ///
-    /// Returns `None` if the id is out of range or the node has a different
-    /// type.  Useful for peeking at node state (e.g. a server's scoreboard)
-    /// while the simulation is paused between [`Network::run_with_limit`]
-    /// calls.
+    /// Immutable, downcast access to a node of concrete type `T`; see
+    /// [`SimCore::node_as`].
     pub fn node_as<T: 'static>(&self, id: NodeId) -> Option<&T> {
-        self.nodes
-            .get(id.index())
-            .and_then(|slot| slot.as_ref())
-            .and_then(|node| node.as_any().downcast_ref::<T>())
+        self.core.node_as(id)
     }
 
-    /// Mutable, downcast access to a node of concrete type `T`.
-    ///
-    /// Returns `None` if the id is out of range or the node has a different
-    /// type.  Intended for applying out-of-band state changes between
-    /// [`Network::run_with_limit`] segments; prefer [`Network::control`] when
-    /// the change needs to schedule timers or send messages.
+    /// Mutable, downcast access to a node of concrete type `T`; see
+    /// [`SimCore::node_as_mut`].
     pub fn node_as_mut<T: 'static>(&mut self, id: NodeId) -> Option<&mut T> {
-        self.nodes
-            .get_mut(id.index())
-            .and_then(|slot| slot.as_mut())
-            .and_then(|node| node.as_any_mut().downcast_mut::<T>())
+        self.core.node_as_mut(id)
     }
 
-    /// Delivers a **control event** to the node in slot `id`: runs `f` with
-    /// mutable access to the node (downcast to `T`) and a [`Context`] at the
-    /// current simulated time, exactly as if the engine were delivering a
-    /// callback.  This is how a scenario schedule applies out-of-band
-    /// changes — failing a load balancer, resizing a server — that may need
-    /// to reschedule timers or emit messages.
-    ///
-    /// Returns `None` (without running `f`) if the id is out of range, the
-    /// slot is empty, or the node is not of type `T`.
+    /// Delivers a **control event** to the node in slot `id`; see
+    /// [`SimCore::control`].
     pub fn control<T: 'static, R>(
         &mut self,
         id: NodeId,
         f: impl FnOnce(&mut T, &mut Context<'_, M>) -> R,
     ) -> Option<R> {
-        let slot = self.nodes.get_mut(id.index())?;
-        if !slot.as_ref()?.as_any().is::<T>() {
-            return None;
-        }
-        let mut node = slot.take()?;
-        let mut ctx = Context {
-            now: self.now,
-            self_id: id,
-            from: None,
-            queue: &mut self.queue,
-            topology: &self.topology,
-            rng: &mut self.rng,
-            stop_requested: &mut self.stop_requested,
-        };
-        let result = node
-            .as_any_mut()
-            .downcast_mut::<T>()
-            .map(|typed| f(typed, &mut ctx));
-        self.nodes[id.index()] = Some(node);
-        result
+        self.core.control(id, f)
     }
 
-    /// Runs `on_start` on every node (once).
-    fn start(&mut self) {
-        if self.started {
-            return;
-        }
-        self.started = true;
-        for index in 0..self.nodes.len() {
-            if self.nodes[index].is_some() {
-                self.start_node(NodeId(index));
-            }
-        }
+    /// Runs under the given policy using the **batched** stepper (all events
+    /// sharing a timestamp dispatch in one pass).  Returns the statistics of
+    /// the whole run so far.
+    ///
+    /// A [`Context::stop`] request only ends the run segment it was issued
+    /// in (including one issued from an `on_start` of this call); a
+    /// subsequent run call resumes processing (scenario drivers alternate
+    /// run segments with control events).
+    pub fn run_until(&mut self, policy: RunUntil) -> SimStats {
+        drive_core(&mut self.core, policy, true);
+        self.core.stats()
+    }
+
+    /// Runs under the given policy one event at a time — the reference
+    /// execution the batched and sharded modes are checked against.
+    pub fn run_until_stepwise(&mut self, policy: RunUntil) -> SimStats {
+        drive_core(&mut self.core, policy, false);
+        self.core.stats()
     }
 
     /// Runs until the event queue drains, a node requests a stop, or the
     /// limit is hit.  Returns the statistics of the whole run so far.
     ///
-    /// A [`Context::stop`] request only ends the run segment it was issued
-    /// in (including one issued from an `on_start` of this call); a
-    /// subsequent `run_with_limit` call resumes processing (scenario drivers
-    /// alternate run segments with control events).
+    /// Deprecated in favour of [`Network::run_until`] with a [`RunUntil`]
+    /// policy; kept as a thin shim so existing drivers migrate without
+    /// churn.
     pub fn run_with_limit(&mut self, limit: RunLimit) -> SimStats {
-        // Clear before start() so a stop issued from an on_start callback
-        // still ends this segment before any event is processed.
-        self.stop_requested = false;
-        self.start();
-        let mut processed_this_call: u64 = 0;
-        while let Some(next_time) = self.queue.peek_time() {
-            if self.stop_requested {
-                break;
-            }
-            if let Some(until) = limit.until {
-                if next_time > until {
-                    break;
-                }
-            }
-            if let Some(max) = limit.max_events {
-                if processed_this_call >= max {
-                    break;
-                }
-            }
-            let event = self.queue.pop().expect("peeked event exists");
-            self.now = event.time;
-            self.stats.events_processed += 1;
-            self.stats.last_event_time = self.now;
-            processed_this_call += 1;
-
-            let target = event.target;
-            let Some(slot) = self.nodes.get_mut(target.index()) else {
-                self.stats.messages_dropped += 1;
-                continue;
-            };
-            let Some(mut node) = slot.take() else {
-                self.stats.messages_dropped += 1;
-                continue;
-            };
-
-            match event.payload {
-                EventPayload::Message { from, msg } => {
-                    self.stats.messages_delivered += 1;
-                    if let Some(describe) = &self.trace_describe {
-                        self.trace.record(TraceEntry {
-                            time: self.now,
-                            kind: TraceKind::MessageDelivered,
-                            target,
-                            from: Some(from),
-                            description: describe(&msg),
-                        });
-                    }
-                    let mut ctx = Context {
-                        now: self.now,
-                        self_id: target,
-                        from: Some(from),
-                        queue: &mut self.queue,
-                        topology: &self.topology,
-                        rng: &mut self.rng,
-                        stop_requested: &mut self.stop_requested,
-                    };
-                    node.on_message(msg, from, &mut ctx);
-                }
-                EventPayload::Timer { token } => {
-                    self.stats.timers_fired += 1;
-                    if self.trace.is_enabled() {
-                        self.trace.record(TraceEntry {
-                            time: self.now,
-                            kind: TraceKind::TimerFired,
-                            target,
-                            from: None,
-                            description: format!("timer {}", token.0),
-                        });
-                    }
-                    let mut ctx = Context {
-                        now: self.now,
-                        self_id: target,
-                        from: None,
-                        queue: &mut self.queue,
-                        topology: &self.topology,
-                        rng: &mut self.rng,
-                        stop_requested: &mut self.stop_requested,
-                    };
-                    node.on_timer(token, &mut ctx);
-                }
-            }
-            self.nodes[target.index()] = Some(node);
-        }
-        self.stats
+        self.run_until(limit.into())
     }
 
     /// Runs until the event queue drains or a node requests a stop.
+    ///
+    /// Deprecated in favour of `run_until(RunUntil::Drained)`; kept as a
+    /// thin shim so existing drivers migrate without churn.
     pub fn run(&mut self) -> SimStats {
-        self.run_with_limit(RunLimit::unlimited())
+        self.run_until(RunUntil::Drained)
     }
 
     /// Consumes the network and returns the node with id `id`, downcast to
@@ -402,47 +340,12 @@ impl<M> Network<M> {
     }
 
     /// Removes the node with id `id` from the network and returns it,
-    /// downcast to `T`.  Returns `None` if the id is out of range, the node
-    /// was already taken, or it has a different concrete type.
-    ///
-    /// Use this after a run to extract results from several nodes (the
-    /// engine will simply drop any further events addressed to the removed
-    /// node, counting them in [`SimStats::messages_dropped`]).
+    /// downcast to `T`; see [`SimCore::take_node`].
     pub fn take_node<T: 'static>(&mut self, id: NodeId) -> Option<T>
     where
         M: 'static,
     {
-        let slot = self.nodes.get_mut(id.index())?;
-        if !slot.as_ref()?.as_any().is::<T>() {
-            return None;
-        }
-        let node = slot.take()?;
-        node.into_any().downcast::<T>().ok().map(|boxed| *boxed)
-    }
-}
-
-/// Object-safe combination of [`Node`] and `Any`, so concrete node types can
-/// be recovered after a run (used by the experiment driver to extract
-/// collected measurements).
-trait AnyNode<M>: Node<M> {
-    fn as_node(&self) -> &dyn Node<M>;
-    fn as_any(&self) -> &dyn std::any::Any;
-    fn as_any_mut(&mut self) -> &mut dyn std::any::Any;
-    fn into_any(self: Box<Self>) -> Box<dyn std::any::Any>;
-}
-
-impl<M, T: Node<M> + 'static> AnyNode<M> for T {
-    fn as_node(&self) -> &dyn Node<M> {
-        self
-    }
-    fn as_any(&self) -> &dyn std::any::Any {
-        self
-    }
-    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
-        self
-    }
-    fn into_any(self: Box<Self>) -> Box<dyn std::any::Any> {
-        self
+        self.core.take_node(id)
     }
 }
 
@@ -515,7 +418,7 @@ mod tests {
             cap: 1_000,
             seen: vec![],
         });
-        let stats = net.run_with_limit(RunLimit::until(SimTime::from_secs_f64(0.0105)));
+        let stats = net.run_until(RunUntil::Time(SimTime::from_secs_f64(0.0105)));
         assert!(stats.messages_delivered <= 11);
         assert!(net.now() <= SimTime::from_secs_f64(0.0105));
     }
@@ -533,8 +436,86 @@ mod tests {
             cap: u32::MAX,
             seen: vec![],
         });
+        let stats = net.run_until(RunUntil::Events(50));
+        assert_eq!(stats.events_processed, 50);
+    }
+
+    #[test]
+    fn legacy_run_limit_shims_still_work() {
+        let mut net = Network::new(1, Topology::uniform(SimDuration::from_micros(1)));
+        let a = net.add_node(Echo {
+            peer: None,
+            cap: u32::MAX,
+            seen: vec![],
+        });
+        let _b = net.add_node(Echo {
+            peer: Some(a),
+            cap: u32::MAX,
+            seen: vec![],
+        });
         let stats = net.run_with_limit(RunLimit::max_events(50));
         assert_eq!(stats.events_processed, 50);
+        assert_eq!(
+            RunUntil::from(RunLimit::until(SimTime::from_nanos(5))),
+            RunUntil::Time(SimTime::from_nanos(5))
+        );
+        assert_eq!(RunUntil::from(RunLimit::unlimited()), RunUntil::Drained);
+    }
+
+    #[test]
+    fn run_until_combinators_normalise_and_tighten() {
+        let t5 = SimTime::from_nanos(5);
+        let t9 = SimTime::from_nanos(9);
+        assert_eq!(RunUntil::Drained.or_time(t5), RunUntil::Time(t5));
+        assert_eq!(RunUntil::Stopped.or_events(3), RunUntil::Events(3));
+        assert_eq!(RunUntil::Time(t9).or_time(t5), RunUntil::Time(t5));
+        assert_eq!(RunUntil::Time(t5).or_time(t9), RunUntil::Time(t5));
+        assert_eq!(RunUntil::Events(7).or_events(9), RunUntil::Events(7));
+        assert_eq!(
+            RunUntil::Time(t5).or_events(7),
+            RunUntil::TimeOrEvents {
+                until: t5,
+                max_events: 7
+            }
+        );
+        assert_eq!(
+            RunUntil::TimeOrEvents {
+                until: t9,
+                max_events: 9
+            }
+            .or_time(t5)
+            .or_events(7),
+            RunUntil::TimeOrEvents {
+                until: t5,
+                max_events: 7
+            }
+        );
+        assert_eq!(RunUntil::Stopped.bounds(), (None, None));
+    }
+
+    #[test]
+    fn stepwise_and_batched_runs_agree() {
+        fn outcome(batched: bool) -> (SimStats, Vec<u32>) {
+            let mut net = Network::new(1, Topology::uniform(SimDuration::from_micros(100)));
+            let a = net.add_node(Echo {
+                peer: None,
+                cap: 20,
+                seen: vec![],
+            });
+            let _b = net.add_node(Echo {
+                peer: Some(a),
+                cap: 20,
+                seen: vec![],
+            });
+            if batched {
+                net.run_until(RunUntil::Drained);
+            } else {
+                net.run_until_stepwise(RunUntil::Drained);
+            }
+            let stats = net.stats();
+            (stats, net.into_node::<Echo>(a).seen)
+        }
+        assert_eq!(outcome(true), outcome(false));
     }
 
     /// A node that schedules a periodic timer and stops the run after 5 fires.
@@ -584,6 +565,8 @@ mod tests {
         net.add_node(Lost);
         let stats = net.run();
         assert_eq!(stats.messages_dropped, 1);
+        assert_eq!(stats.dropped_unroutable, 1);
+        assert_eq!(stats.dropped_vacant, 0);
         assert_eq!(stats.messages_delivered, 0);
     }
 
@@ -674,6 +657,8 @@ mod tests {
         net.add_node(To { target: reserved });
         let stats = net.run();
         assert_eq!(stats.messages_dropped, 1);
+        assert_eq!(stats.dropped_vacant, 1);
+        assert_eq!(stats.dropped_unroutable, 0);
         assert_eq!(stats.messages_delivered, 0);
 
         // Filling the slot mid-run starts the node and delivers to it.

@@ -2,11 +2,12 @@
 //! [`Context`] handed to nodes during callbacks.
 
 use std::fmt;
+use std::sync::Arc;
 
 use rand::RngCore;
 use serde::{Deserialize, Serialize};
 
-use crate::event::{EventPayload, EventQueue};
+use crate::event::{EventKey, EventPayload, EventQueue, ScheduledEvent};
 use crate::link::Topology;
 use crate::rng::SimRng;
 use crate::time::{SimDuration, SimTime};
@@ -40,6 +41,10 @@ pub struct TimerToken(pub u64);
 /// Nodes communicate exclusively by exchanging messages of type `M` through
 /// the [`Context`]; the engine delivers each message after the link latency
 /// configured in the [`Topology`].
+///
+/// Nodes must be `Send` so the sharded engine can drive disjoint node
+/// partitions from worker threads; a node is only ever touched by one thread
+/// at a time, so no `Sync` bound is needed.
 pub trait Node<M> {
     /// Called once when the simulation starts, before any message is
     /// delivered.  The default implementation does nothing.
@@ -62,17 +67,70 @@ pub trait Node<M> {
     }
 }
 
+/// Routes freshly scheduled events either into the local event queue or into
+/// per-destination-shard outboxes, depending on which shard owns the target
+/// node.  Outboxes are exchanged at conservative time-window boundaries by
+/// the sharded driver.
+pub(crate) struct ShardRouter<M> {
+    shard_of: Arc<[u32]>,
+    my_shard: u32,
+    outbound: Vec<Vec<ScheduledEvent<M>>>,
+}
+
+impl<M> fmt::Debug for ShardRouter<M> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ShardRouter")
+            .field("my_shard", &self.my_shard)
+            .field("shards", &self.outbound.len())
+            .finish()
+    }
+}
+
+impl<M> ShardRouter<M> {
+    pub(crate) fn new(shard_of: Arc<[u32]>, my_shard: u32, shards: usize) -> Self {
+        ShardRouter {
+            shard_of,
+            my_shard,
+            outbound: (0..shards).map(|_| Vec::new()).collect(),
+        }
+    }
+
+    /// The destination shard if `to` is owned by a *different* shard.  Ids
+    /// outside the shard plan resolve to `None` (treated as local, so the
+    /// owning core drops them exactly as the serial engine would).
+    fn remote_shard(&self, to: NodeId) -> Option<usize> {
+        let shard = *self.shard_of.get(to.index())?;
+        (shard != self.my_shard).then_some(shard as usize)
+    }
+
+    /// Drains the non-empty outboxes as `(destination shard, events)` pairs.
+    pub(crate) fn drain_outboxes(&mut self) -> Vec<(usize, Vec<ScheduledEvent<M>>)> {
+        let mut out = Vec::new();
+        for (shard, events) in self.outbound.iter_mut().enumerate() {
+            if !events.is_empty() {
+                out.push((shard, std::mem::take(events)));
+            }
+        }
+        out
+    }
+}
+
 /// The API available to a node while it handles a callback.
 ///
-/// A `Context` borrows the engine's event queue, topology and random number
-/// generator; everything a node schedules through it is inserted into the
-/// global event queue with deterministic ordering.
+/// A `Context` borrows the engine's event queue and topology plus the node's
+/// *private* random-number generator and scheduling counter.  Everything a
+/// node schedules through it carries an [`EventKey`] derived purely from the
+/// node's own history, so event ordering — and therefore the whole run — is
+/// identical whether the engine executes serially, in same-timestamp
+/// batches, or across worker shards.
 #[derive(Debug)]
 pub struct Context<'a, M> {
     pub(crate) now: SimTime,
     pub(crate) self_id: NodeId,
     pub(crate) from: Option<NodeId>,
     pub(crate) queue: &'a mut EventQueue<M>,
+    pub(crate) send_seq: &'a mut u64,
+    pub(crate) router: Option<&'a mut ShardRouter<M>>,
     pub(crate) topology: &'a Topology,
     pub(crate) rng: &'a mut SimRng,
     pub(crate) stop_requested: &'a mut bool,
@@ -121,6 +179,18 @@ impl<'a, M> Context<'a, M> {
         self.send(to, msg);
     }
 
+    /// Claims the next ordering key from this node's private scheduling
+    /// counter.
+    fn next_key(&mut self, deliver_at: SimTime) -> EventKey {
+        let seq = *self.send_seq;
+        *self.send_seq += 1;
+        EventKey {
+            time: deliver_at,
+            src: self.self_id,
+            seq,
+        }
+    }
+
     fn send_with_extra_delay(
         &mut self,
         to: NodeId,
@@ -129,32 +199,46 @@ impl<'a, M> Context<'a, M> {
         extra: SimDuration,
     ) {
         let deliver_at = self.now + latency + extra;
-        self.queue.push(
-            deliver_at,
-            to,
-            EventPayload::Message {
-                from: self.self_id,
-                msg,
-            },
-        );
+        let key = self.next_key(deliver_at);
+        let payload = EventPayload::Message {
+            from: self.self_id,
+            msg,
+        };
+        if let Some(router) = self.router.as_deref_mut() {
+            if let Some(shard) = router.remote_shard(to) {
+                router.outbound[shard].push(ScheduledEvent {
+                    key,
+                    target: to,
+                    payload,
+                });
+                return;
+            }
+        }
+        self.queue.push(key, to, payload);
     }
 
     /// Schedules a timer for this node to fire after `delay`, carrying
-    /// `token`.
+    /// `token`.  Timers are always local to the shard owning the node.
     pub fn schedule_timer(&mut self, delay: SimDuration, token: TimerToken) {
-        self.queue.push(
-            self.now + delay,
-            self.self_id,
-            EventPayload::Timer { token },
-        );
+        let key = self.next_key(self.now + delay);
+        self.queue
+            .push(key, self.self_id, EventPayload::Timer { token });
     }
 
     /// Requests that the simulation stop after the current callback returns.
+    ///
+    /// In sharded execution the request is honoured at the next conservative
+    /// time-window boundary rather than at the next event; the SRLB
+    /// experiment nodes never call `stop`, so run outputs stay identical
+    /// across execution modes.
     pub fn stop(&mut self) {
         *self.stop_requested = true;
     }
 
-    /// Mutable access to this run's deterministic random number generator.
+    /// Mutable access to this **node's** deterministic random number
+    /// generator.  Each node owns an independent stream forked from the run
+    /// seed and the node id, so one node's draws never perturb another's —
+    /// regardless of how the engine interleaves callbacks.
     pub fn rng(&mut self) -> &mut impl RngCore {
         &mut *self.rng
     }
@@ -185,5 +269,17 @@ mod tests {
     fn timer_token_is_ordered() {
         assert!(TimerToken(1) < TimerToken(2));
         assert_eq!(TimerToken::default(), TimerToken(0));
+    }
+
+    #[test]
+    fn router_routes_only_foreign_ids() {
+        let shard_of: Arc<[u32]> = Arc::from(vec![0u32, 1, 0].into_boxed_slice());
+        let router: ShardRouter<u32> = ShardRouter::new(shard_of, 0, 2);
+        assert_eq!(router.remote_shard(NodeId(0)), None);
+        assert_eq!(router.remote_shard(NodeId(1)), Some(1));
+        assert_eq!(router.remote_shard(NodeId(2)), None);
+        // Out-of-plan ids are treated as local so the owning core drops them.
+        assert_eq!(router.remote_shard(NodeId(99)), None);
+        assert!(!format!("{router:?}").is_empty());
     }
 }

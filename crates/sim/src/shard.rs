@@ -1,0 +1,822 @@
+//! Multi-threaded sharded execution over [`SimCore`]s, synchronised by
+//! conservative time windows — byte-identical to the serial loop.
+//!
+//! # Model
+//!
+//! The node table is partitioned by a [`ShardPlan`]; each shard owns one
+//! [`SimCore`] holding the nodes assigned to it (foreign slots stay vacant so
+//! ids line up).  A classic conservative (Chandy–Misra–Bryant-style) window
+//! protocol synchronises the shards: with `lookahead` = the minimum link
+//! latency between any cross-shard node pair, every event a shard processes
+//! in the window `[t0, t0 + lookahead)` can only schedule cross-shard
+//! arrivals at `≥ t0 + lookahead`, so all shards may process their local
+//! events inside the window in parallel without ever receiving a "past"
+//! event.  Cross-shard messages accumulate in per-destination outboxes and
+//! are exchanged at window barriers.
+//!
+//! # Why the result is byte-identical to the serial loop
+//!
+//! Event order is defined by globally unique
+//! [`EventKey`](crate::event::EventKey)s `(time, src, seq)` that are pure
+//! functions of each *scheduling* node's own history, and every node draws
+//! randomness from its private stream.  By induction over windows, each node
+//! therefore observes exactly the callback sequence it would observe under
+//! the serial engine and emits exactly the same events with the same keys —
+//! regardless of shard count or thread interleaving.  Two caveats (neither
+//! is exercised by the SRLB experiment drivers): a [`Context::stop`] request
+//! is honoured at the next window boundary rather than the next event, and a
+//! pure event budget (`RunUntil::Events`) may overshoot by up to one window
+//! before the coordinator notices.
+
+use std::fmt;
+use std::sync::mpsc;
+use std::sync::Arc;
+
+use crate::core::{SimCore, SimStats};
+use crate::event::ScheduledEvent;
+use crate::link::Topology;
+use crate::network::{drive_core, RunUntil};
+use crate::node::{Context, Node, NodeId};
+use crate::time::{SimDuration, SimTime};
+
+/// How an experiment driver executes the simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ExecMode {
+    /// Single-threaded, one event at a time — the reference loop.
+    SerialStep,
+    /// Single-threaded, same-timestamp batched loop (the default).
+    #[default]
+    Batched,
+    /// Multi-threaded conservative-window sharding across `threads` worker
+    /// shards.  `threads <= 1` degenerates to [`ExecMode::Batched`].
+    Sharded {
+        /// Number of worker shards (and threads).
+        threads: usize,
+    },
+}
+
+impl ExecMode {
+    /// Environment variable read by [`ExecMode::from_env`] (and set by the
+    /// bench CLI's `--sim-threads` flag).
+    pub const ENV_VAR: &'static str = "SRLB_SIM_THREADS";
+
+    /// Resolves the mode from `SRLB_SIM_THREADS`: values above 1 select
+    /// sharded execution with that many worker shards; everything else
+    /// (unset, empty, `0`, `1`, unparsable) selects the batched default.
+    pub fn from_env() -> Self {
+        match std::env::var(Self::ENV_VAR)
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+        {
+            Some(threads) if threads > 1 => ExecMode::Sharded { threads },
+            _ => ExecMode::Batched,
+        }
+    }
+
+    /// The number of worker shards this mode drives.
+    pub fn threads(self) -> usize {
+        match self {
+            ExecMode::SerialStep | ExecMode::Batched => 1,
+            ExecMode::Sharded { threads } => threads.max(1),
+        }
+    }
+}
+
+/// Assignment of node-table slots to shards.
+#[derive(Debug, Clone)]
+pub struct ShardPlan {
+    shard_of: Vec<u32>,
+    shards: u32,
+}
+
+impl ShardPlan {
+    /// Everything on one shard (serial execution).
+    pub fn single(slots: usize) -> Self {
+        ShardPlan {
+            shard_of: vec![0; slots],
+            shards: 1,
+        }
+    }
+
+    /// Builds a plan from explicit per-slot assignments.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards` is zero or any assignment is out of range.
+    pub fn from_assignments(shard_of: Vec<u32>, shards: u32) -> Self {
+        assert!(shards > 0, "a shard plan needs at least one shard");
+        assert!(
+            shard_of.iter().all(|&s| s < shards),
+            "shard assignment out of range"
+        );
+        ShardPlan { shard_of, shards }
+    }
+
+    /// Number of shards.
+    pub fn shards(&self) -> usize {
+        self.shards as usize
+    }
+
+    /// Number of planned node slots.
+    pub fn slots(&self) -> usize {
+        self.shard_of.len()
+    }
+
+    /// The shard owning slot `id` (0 for ids beyond the plan).
+    pub fn shard_of(&self, id: NodeId) -> usize {
+        self.shard_of.get(id.index()).copied().unwrap_or(0) as usize
+    }
+
+    /// The minimum link latency between any two slots on *different* shards
+    /// — the conservative lookahead.  `None` when no cross-shard pair
+    /// exists (single shard).
+    fn lookahead(&self, topology: &Topology) -> Option<SimDuration> {
+        let n = self.shard_of.len();
+        let mut min: Option<SimDuration> = None;
+        for a in 0..n {
+            for b in 0..n {
+                if a != b && self.shard_of[a] != self.shard_of[b] {
+                    let lat = topology.latency(NodeId(a), NodeId(b));
+                    min = Some(min.map_or(lat, |m| m.min(lat)));
+                }
+            }
+        }
+        min
+    }
+}
+
+/// A window assignment sent to a worker shard.
+struct WindowCmd<M> {
+    /// Process local events strictly below this time.
+    horizon: SimTime,
+    /// Additional time bound from the run policy (inclusive).
+    until: Option<SimTime>,
+    /// Cross-shard events that arrived for this shard at the last barrier.
+    inbox: Vec<ScheduledEvent<M>>,
+}
+
+/// A worker shard's report at a window barrier.
+struct WindowReply<M> {
+    shard: usize,
+    next_time: Option<SimTime>,
+    outboxes: Vec<(usize, Vec<ScheduledEvent<M>>)>,
+    processed: u64,
+    stopped: bool,
+}
+
+/// The multi-threaded discrete-event engine frontend: a set of per-shard
+/// [`SimCore`]s advancing in lock-step conservative time windows.
+///
+/// With a single shard this is exactly the batched serial engine (no threads
+/// are spawned); with `S > 1` shards, `S` scoped worker threads each drive
+/// one core.  Either way the run output is byte-identical to
+/// [`crate::Network`] on the same seed and node layout.
+pub struct ShardedNetwork<M> {
+    cores: Vec<SimCore<M>>,
+    plan: ShardPlan,
+    lookahead: SimDuration,
+    /// Cross-shard events awaiting ingestion, per destination shard (held
+    /// between run segments when a run ends at a barrier).
+    pending: Vec<Vec<ScheduledEvent<M>>>,
+    next_slot: usize,
+}
+
+impl<M> fmt::Debug for ShardedNetwork<M> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ShardedNetwork")
+            .field("shards", &self.cores.len())
+            .field("lookahead", &self.lookahead)
+            .field("nodes", &self.next_slot)
+            .finish()
+    }
+}
+
+impl<M> ShardedNetwork<M> {
+    /// Creates an empty sharded network.
+    ///
+    /// If the plan's cross-shard lookahead is zero (some cross-shard link
+    /// has no latency) or the plan has one shard, execution collapses to a
+    /// single shard: conservative windows would not permit any parallelism
+    /// at zero lookahead, and a single core needs no synchronisation at all.
+    pub fn new(seed: u64, topology: Topology, plan: ShardPlan) -> Self {
+        let lookahead = plan.lookahead(&topology);
+        let (plan, lookahead) = match lookahead {
+            Some(l) if l > SimDuration::ZERO && plan.shards() > 1 => (plan, l),
+            _ => (ShardPlan::single(plan.slots()), SimDuration::ZERO),
+        };
+        let shards = plan.shards();
+        let shard_of: Arc<[u32]> = Arc::from(plan.shard_of.clone().into_boxed_slice());
+        let cores = (0..shards)
+            .map(|s| {
+                let mut core = SimCore::new(seed, topology.clone());
+                if shards > 1 {
+                    core.set_router(Arc::clone(&shard_of), s as u32, shards);
+                }
+                core
+            })
+            .collect();
+        ShardedNetwork {
+            cores,
+            plan,
+            lookahead,
+            pending: (0..shards).map(|_| Vec::new()).collect(),
+            next_slot: 0,
+        }
+    }
+
+    /// Number of shards actually in use (after any zero-lookahead collapse).
+    pub fn shards(&self) -> usize {
+        self.cores.len()
+    }
+
+    /// The conservative lookahead window length (zero on a single shard).
+    pub fn lookahead(&self) -> SimDuration {
+        self.lookahead
+    }
+
+    fn owner_of(&self, id: NodeId) -> usize {
+        if self.cores.len() == 1 {
+            0
+        } else {
+            self.plan.shard_of(id)
+        }
+    }
+
+    /// Allocates the next slot id on every core (keeping the tables
+    /// aligned) and returns it.
+    fn alloc_slot(&mut self) -> NodeId {
+        let expected = NodeId(self.next_slot);
+        for core in &mut self.cores {
+            let id = core.reserve_node();
+            debug_assert_eq!(id, expected, "core node tables must stay aligned");
+        }
+        self.next_slot += 1;
+        expected
+    }
+
+    /// Adds a node (owned by the shard its slot is planned onto) and returns
+    /// its id.  Same start semantics as [`SimCore::add_node`].
+    pub fn add_node(&mut self, node: impl Node<M> + Send + 'static) -> NodeId {
+        let id = self.alloc_slot();
+        let owner = self.owner_of(id);
+        self.cores[owner].insert_node(id, node);
+        id
+    }
+
+    /// Reserves an empty node slot on every shard; see
+    /// [`SimCore::reserve_node`].
+    pub fn reserve_node(&mut self) -> NodeId {
+        self.alloc_slot()
+    }
+
+    /// Fills a reserved (or vacated) slot on its owning shard; see
+    /// [`SimCore::insert_node`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range or the slot is occupied.
+    pub fn insert_node(&mut self, id: NodeId, node: impl Node<M> + Send + 'static) {
+        let owner = self.owner_of(id);
+        self.cores[owner].insert_node(id, node);
+    }
+
+    /// Current simulated time: the furthest any shard has processed.
+    pub fn now(&self) -> SimTime {
+        self.cores
+            .iter()
+            .map(SimCore::now)
+            .max()
+            .unwrap_or(SimTime::ZERO)
+    }
+
+    /// Merged run statistics across all shards (counts add,
+    /// `last_event_time` is the maximum).
+    pub fn stats(&self) -> SimStats {
+        let mut merged = SimStats::default();
+        for core in &self.cores {
+            merged.absorb(core.stats());
+        }
+        merged
+    }
+
+    /// Number of node slots.
+    pub fn node_count(&self) -> usize {
+        self.next_slot
+    }
+
+    /// The topology used for link latencies.
+    pub fn topology(&self) -> &Topology {
+        self.cores[0].topology()
+    }
+
+    /// Total number of events ever scheduled, summed over shards.  An event
+    /// is counted once: on the queue of the shard that delivers it.
+    pub fn scheduled_total(&self) -> u64 {
+        self.cores.iter().map(SimCore::scheduled_total).sum()
+    }
+
+    /// Immutable access to a node as a `dyn Node<M>`; see
+    /// [`SimCore::with_node`].
+    pub fn with_node<R>(&self, id: NodeId, f: impl FnOnce(&dyn Node<M>) -> R) -> Option<R> {
+        self.cores[self.owner_of(id)].with_node(id, f)
+    }
+
+    /// Immutable, downcast access to a node; see [`SimCore::node_as`].
+    pub fn node_as<T: 'static>(&self, id: NodeId) -> Option<&T> {
+        self.cores[self.owner_of(id)].node_as(id)
+    }
+
+    /// Mutable, downcast access to a node; see [`SimCore::node_as_mut`].
+    pub fn node_as_mut<T: 'static>(&mut self, id: NodeId) -> Option<&mut T> {
+        let owner = self.owner_of(id);
+        self.cores[owner].node_as_mut(id)
+    }
+
+    /// Delivers a **control event** to a node on its owning shard; see
+    /// [`SimCore::control`].  Cross-shard messages emitted by the callback
+    /// are exchanged when the next run segment begins.
+    pub fn control<T: 'static, R>(
+        &mut self,
+        id: NodeId,
+        f: impl FnOnce(&mut T, &mut Context<'_, M>) -> R,
+    ) -> Option<R> {
+        let owner = self.owner_of(id);
+        self.cores[owner].control(id, f)
+    }
+
+    /// Removes a node from its owning shard and returns it; see
+    /// [`SimCore::take_node`].
+    pub fn take_node<T: 'static>(&mut self, id: NodeId) -> Option<T>
+    where
+        M: 'static,
+    {
+        let owner = self.owner_of(id);
+        self.cores[owner].take_node(id)
+    }
+
+    /// Moves every event sitting in a core outbox (from `on_start` or
+    /// barrier-time `control` callbacks) into the owning core's queue or the
+    /// coordinator's pending set.
+    fn collect_outboxes(&mut self) {
+        for src in 0..self.cores.len() {
+            for (dest, events) in self.cores[src].drain_outboxes() {
+                self.pending[dest].extend(events);
+            }
+        }
+        self.flush_pending();
+    }
+
+    /// Ingests all coordinator-held cross-shard events into their cores.
+    fn flush_pending(&mut self) {
+        for (shard, events) in self.pending.iter_mut().enumerate() {
+            for event in events.drain(..) {
+                self.cores[shard].ingest(event);
+            }
+        }
+    }
+
+    /// Runs under the given policy with batched stepping (and conservative
+    /// windows when more than one shard is in use).  Returns merged
+    /// statistics for the whole run so far.
+    pub fn run_until(&mut self, policy: RunUntil) -> SimStats
+    where
+        M: Send,
+    {
+        self.run_internal(policy, true)
+    }
+
+    /// Runs under the given policy one event at a time — the reference
+    /// serial loop.  Only meaningful on a single shard; with multiple shards
+    /// the workers still step batched (the result is identical either way).
+    pub fn run_until_stepwise(&mut self, policy: RunUntil) -> SimStats
+    where
+        M: Send,
+    {
+        self.run_internal(policy, false)
+    }
+
+    fn run_internal(&mut self, policy: RunUntil, batched: bool) -> SimStats
+    where
+        M: Send,
+    {
+        for core in &mut self.cores {
+            core.clear_stop_request();
+        }
+        // Start all cores first, then exchange: an on_start callback may
+        // have queued cross-shard messages into the outboxes.
+        for core in &mut self.cores {
+            core.start();
+        }
+        self.collect_outboxes();
+
+        if self.cores.len() == 1 {
+            drive_core(&mut self.cores[0], policy, batched);
+        } else {
+            self.run_windows(policy);
+            // At a time-bounded barrier the serial engine's clock reads the
+            // time of the last processed event *globally*; align every shard
+            // so barrier-time control callbacks observe the identical `now`.
+            let global_now = self.now();
+            for core in &mut self.cores {
+                core.align_clock(global_now);
+            }
+        }
+        self.stats()
+    }
+
+    /// The conservative window loop across scoped worker threads.
+    fn run_windows(&mut self, policy: RunUntil)
+    where
+        M: Send,
+    {
+        let (until, max_events) = policy.bounds();
+        let lookahead = self.lookahead;
+        let shard_count = self.cores.len();
+        let pending = &mut self.pending;
+
+        // Next pending local time per shard, captured before the cores move
+        // into their worker threads.
+        let mut next_times: Vec<Option<SimTime>> =
+            self.cores.iter().map(|c| c.peek_time()).collect();
+
+        std::thread::scope(|scope| {
+            let (reply_tx, reply_rx) = mpsc::channel::<WindowReply<M>>();
+            let mut cmd_txs = Vec::with_capacity(shard_count);
+            for (shard, core) in self.cores.iter_mut().enumerate() {
+                let (cmd_tx, cmd_rx) = mpsc::channel::<WindowCmd<M>>();
+                let reply_tx = reply_tx.clone();
+                cmd_txs.push(cmd_tx);
+                scope.spawn(move || {
+                    while let Ok(cmd) = cmd_rx.recv() {
+                        for event in cmd.inbox {
+                            core.ingest(event);
+                        }
+                        let mut processed = 0u64;
+                        while !core.stop_requested() {
+                            let Some(next) = core.peek_time() else {
+                                break;
+                            };
+                            if next >= cmd.horizon {
+                                break;
+                            }
+                            if cmd.until.is_some_and(|u| next > u) {
+                                break;
+                            }
+                            processed += core.step_batch(u64::MAX);
+                        }
+                        let reply = WindowReply {
+                            shard,
+                            next_time: core.peek_time(),
+                            outboxes: core.drain_outboxes(),
+                            processed,
+                            stopped: core.stop_requested(),
+                        };
+                        if reply_tx.send(reply).is_err() {
+                            break;
+                        }
+                    }
+                });
+            }
+            drop(reply_tx);
+
+            let mut total_processed = 0u64;
+            loop {
+                // The earliest pending work anywhere: local queues plus
+                // cross-shard events still held by the coordinator.
+                let mut t0: Option<SimTime> = None;
+                for shard in 0..shard_count {
+                    let local = next_times[shard];
+                    let inbox = pending[shard].iter().map(|e| e.key.time).min();
+                    for t in [local, inbox].into_iter().flatten() {
+                        t0 = Some(t0.map_or(t, |cur: SimTime| cur.min(t)));
+                    }
+                }
+                let Some(t0) = t0 else {
+                    break;
+                };
+                if until.is_some_and(|u| t0 > u) {
+                    break;
+                }
+                if max_events.is_some_and(|m| total_processed >= m) {
+                    break;
+                }
+
+                let horizon = t0 + lookahead;
+                for (shard, cmd_tx) in cmd_txs.iter().enumerate() {
+                    let cmd = WindowCmd {
+                        horizon,
+                        until,
+                        inbox: std::mem::take(&mut pending[shard]),
+                    };
+                    if cmd_tx.send(cmd).is_err() {
+                        return; // a worker died; scope will propagate its panic
+                    }
+                }
+                let mut stopped = false;
+                for _ in 0..shard_count {
+                    let Ok(reply) = reply_rx.recv() else {
+                        return; // a worker died; scope will propagate its panic
+                    };
+                    next_times[reply.shard] = reply.next_time;
+                    total_processed += reply.processed;
+                    stopped |= reply.stopped;
+                    for (dest, events) in reply.outboxes {
+                        pending[dest].extend(events);
+                    }
+                }
+                if stopped {
+                    break;
+                }
+            }
+            drop(cmd_txs); // workers exit their recv loops
+        });
+
+        // Park any events still in flight at the final barrier on the owning
+        // cores so a later run segment (or node harvest) sees them.
+        self.flush_pending();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::network::Network;
+    use crate::node::TimerToken;
+
+    /// Ping-pong across a uniform-latency link, counting what each side saw.
+    struct Echo {
+        peer: Option<NodeId>,
+        cap: u32,
+        seen: Vec<u32>,
+    }
+
+    impl Node<u32> for Echo {
+        fn on_start(&mut self, ctx: &mut Context<'_, u32>) {
+            if let Some(peer) = self.peer {
+                ctx.send(peer, 0);
+            }
+        }
+        fn on_message(&mut self, msg: u32, from: NodeId, ctx: &mut Context<'_, u32>) {
+            self.seen.push(msg);
+            if msg < self.cap {
+                ctx.send(from, msg + 1);
+            }
+        }
+    }
+
+    /// A node that periodically fires a timer and sprays random-valued
+    /// messages at all peers — exercises timers, fan-out and per-node RNG.
+    struct Sprayer {
+        peers: Vec<NodeId>,
+        rounds: u32,
+        got: Vec<(usize, u32)>,
+    }
+
+    impl Node<u32> for Sprayer {
+        fn on_start(&mut self, ctx: &mut Context<'_, u32>) {
+            ctx.schedule_timer(SimDuration::from_micros(30), TimerToken(0));
+        }
+        fn on_message(&mut self, msg: u32, from: NodeId, _ctx: &mut Context<'_, u32>) {
+            self.got.push((from.index(), msg));
+        }
+        fn on_timer(&mut self, _token: TimerToken, ctx: &mut Context<'_, u32>) {
+            for &peer in &self.peers {
+                let v = ctx.random_index(1_000) as u32;
+                ctx.send(peer, v);
+            }
+            self.rounds -= 1;
+            if self.rounds > 0 {
+                ctx.schedule_timer(SimDuration::from_micros(30), TimerToken(0));
+            }
+        }
+    }
+
+    fn spray_fleet(net_add: &mut dyn FnMut(Sprayer) -> NodeId, n: usize) -> Vec<NodeId> {
+        // First allocate ids 0..n, wiring everyone to everyone (ids are
+        // deterministic because slots allocate sequentially).
+        let all: Vec<NodeId> = (0..n).map(NodeId).collect();
+        (0..n)
+            .map(|i| {
+                let peers: Vec<NodeId> = all.iter().copied().filter(|p| p.index() != i).collect();
+                net_add(Sprayer {
+                    peers,
+                    rounds: 5,
+                    got: vec![],
+                })
+            })
+            .collect()
+    }
+
+    /// Harvested per-node message logs plus merged stats — the full
+    /// observable outcome of a spray run.
+    type SprayOutcome = (SimStats, Vec<Vec<(usize, u32)>>);
+
+    fn spray_serial(n: usize) -> SprayOutcome {
+        let mut net = Network::new(11, Topology::uniform(SimDuration::from_micros(50)));
+        let ids = spray_fleet(&mut |s| net.add_node(s), n);
+        net.run_until_stepwise(RunUntil::Drained);
+        let stats = net.stats();
+        let logs = ids
+            .iter()
+            .map(|&id| net.take_node::<Sprayer>(id).unwrap().got)
+            .collect();
+        (stats, logs)
+    }
+
+    fn spray_sharded(n: usize, shards: u32) -> SprayOutcome {
+        let plan = ShardPlan::from_assignments((0..n).map(|i| i as u32 % shards).collect(), shards);
+        let mut net =
+            ShardedNetwork::new(11, Topology::uniform(SimDuration::from_micros(50)), plan);
+        let ids = spray_fleet(&mut |s| net.add_node(s), n);
+        net.run_until(RunUntil::Drained);
+        let stats = net.stats();
+        let logs = ids
+            .iter()
+            .map(|&id| net.take_node::<Sprayer>(id).unwrap().got)
+            .collect();
+        (stats, logs)
+    }
+
+    #[test]
+    fn sharded_runs_match_the_serial_loop_exactly() {
+        let reference = spray_serial(6);
+        for shards in [1, 2, 3, 4] {
+            assert_eq!(
+                spray_sharded(6, shards),
+                reference,
+                "{shards}-shard run must be byte-identical to serial"
+            );
+        }
+    }
+
+    #[test]
+    fn ping_pong_across_shards_matches_serial() {
+        fn serial() -> (SimStats, Vec<u32>) {
+            let mut net = Network::new(1, Topology::uniform(SimDuration::from_micros(100)));
+            let a = net.add_node(Echo {
+                peer: None,
+                cap: 40,
+                seen: vec![],
+            });
+            let _b = net.add_node(Echo {
+                peer: Some(a),
+                cap: 40,
+                seen: vec![],
+            });
+            net.run_until_stepwise(RunUntil::Drained);
+            let stats = net.stats();
+            (stats, net.take_node::<Echo>(a).unwrap().seen)
+        }
+        fn sharded() -> (SimStats, Vec<u32>) {
+            let plan = ShardPlan::from_assignments(vec![0, 1], 2);
+            let mut net =
+                ShardedNetwork::new(1, Topology::uniform(SimDuration::from_micros(100)), plan);
+            let a = net.add_node(Echo {
+                peer: None,
+                cap: 40,
+                seen: vec![],
+            });
+            let _b = net.add_node(Echo {
+                peer: Some(a),
+                cap: 40,
+                seen: vec![],
+            });
+            assert_eq!(net.shards(), 2);
+            assert_eq!(net.lookahead(), SimDuration::from_micros(100));
+            net.run_until(RunUntil::Drained);
+            let stats = net.stats();
+            (stats, net.take_node::<Echo>(a).unwrap().seen)
+        }
+        assert_eq!(sharded(), serial());
+    }
+
+    #[test]
+    fn time_bounded_segments_and_controls_match_serial() {
+        // Alternate run segments with control events (like the scenario
+        // engine does) and check clocks and outputs agree.
+        fn drive(sharded: bool) -> (SimStats, SimTime, Vec<u32>) {
+            let topo = Topology::uniform(SimDuration::from_micros(100));
+            let bound = RunUntil::Time(SimTime::from_secs_f64(0.001));
+            if sharded {
+                let plan = ShardPlan::from_assignments(vec![0, 1], 2);
+                let mut net = ShardedNetwork::new(3, topo, plan);
+                let a = net.add_node(Echo {
+                    peer: None,
+                    cap: 1_000,
+                    seen: vec![],
+                });
+                let b = net.add_node(Echo {
+                    peer: Some(a),
+                    cap: 1_000,
+                    seen: vec![],
+                });
+                net.run_until(bound);
+                let t = net.now();
+                net.control::<Echo, _>(b, |echo, ctx| {
+                    echo.cap = 0;
+                    ctx.send(a, 7_000);
+                });
+                net.run_until(RunUntil::Drained);
+                (net.stats(), t, net.take_node::<Echo>(a).unwrap().seen)
+            } else {
+                let mut net = Network::new(3, topo);
+                let a = net.add_node(Echo {
+                    peer: None,
+                    cap: 1_000,
+                    seen: vec![],
+                });
+                let b = net.add_node(Echo {
+                    peer: Some(a),
+                    cap: 1_000,
+                    seen: vec![],
+                });
+                net.run_until_stepwise(bound);
+                let t = net.now();
+                net.control::<Echo, _>(b, |echo, ctx| {
+                    echo.cap = 0;
+                    ctx.send(a, 7_000);
+                });
+                net.run_until_stepwise(RunUntil::Drained);
+                (net.stats(), t, net.take_node::<Echo>(a).unwrap().seen)
+            }
+        }
+        assert_eq!(drive(true), drive(false));
+    }
+
+    #[test]
+    fn zero_lookahead_collapses_to_one_shard() {
+        let plan = ShardPlan::from_assignments(vec![0, 1], 2);
+        let net: ShardedNetwork<u32> =
+            ShardedNetwork::new(1, Topology::uniform(SimDuration::ZERO), plan);
+        assert_eq!(net.shards(), 1);
+        assert_eq!(net.lookahead(), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn reserved_and_late_inserted_nodes_work_across_shards() {
+        let plan = ShardPlan::from_assignments(vec![0, 1, 1], 2);
+        let mut net = ShardedNetwork::new(5, Topology::uniform(SimDuration::from_micros(10)), plan);
+        let a = net.add_node(Echo {
+            peer: None,
+            cap: 0,
+            seen: vec![],
+        });
+        let reserved = net.reserve_node(); // slot 1 on shard 1
+
+        struct To {
+            target: NodeId,
+        }
+        impl Node<u32> for To {
+            fn on_start(&mut self, ctx: &mut Context<'_, u32>) {
+                ctx.send(self.target, 5);
+            }
+            fn on_message(&mut self, _m: u32, _f: NodeId, _c: &mut Context<'_, u32>) {}
+        }
+        net.add_node(To { target: reserved }); // slot 2 on shard 1
+        net.run_until(RunUntil::Drained);
+        let stats = net.stats();
+        assert_eq!(stats.dropped_vacant, 1, "reserved slot dropped the send");
+
+        net.insert_node(
+            reserved,
+            Echo {
+                peer: None,
+                cap: 0,
+                seen: vec![],
+            },
+        );
+        // A control on shard 0 sends cross-shard to the just-inserted node.
+        net.control::<Echo, _>(a, |_echo, ctx| ctx.send(reserved, 9))
+            .unwrap();
+        net.run_until(RunUntil::Drained);
+        let echo = net.take_node::<Echo>(reserved).unwrap();
+        assert_eq!(echo.seen, vec![9]);
+    }
+
+    #[test]
+    fn exec_mode_defaults_and_thread_counts() {
+        assert_eq!(ExecMode::default(), ExecMode::Batched);
+        assert_eq!(ExecMode::SerialStep.threads(), 1);
+        assert_eq!(ExecMode::Batched.threads(), 1);
+        assert_eq!(ExecMode::Sharded { threads: 4 }.threads(), 4);
+        assert_eq!(ExecMode::Sharded { threads: 0 }.threads(), 1);
+    }
+
+    #[test]
+    fn shard_plan_accessors() {
+        let plan = ShardPlan::from_assignments(vec![0, 1, 0], 2);
+        assert_eq!(plan.shards(), 2);
+        assert_eq!(plan.slots(), 3);
+        assert_eq!(plan.shard_of(NodeId(1)), 1);
+        assert_eq!(plan.shard_of(NodeId(99)), 0);
+        let single = ShardPlan::single(4);
+        assert_eq!(single.shards(), 1);
+        assert_eq!(single.slots(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "shard assignment out of range")]
+    fn shard_plan_rejects_out_of_range_assignments() {
+        let _ = ShardPlan::from_assignments(vec![0, 2], 2);
+    }
+}
