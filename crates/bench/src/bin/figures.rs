@@ -13,7 +13,8 @@
 //!
 //! Each figure's series is printed to stdout (policy labels, x/y columns)
 //! and written as CSV under `target/figures/`, so the curves can be plotted
-//! and compared against the paper's Figures 2–8.
+//! and compared against the paper's Figures 2–8 (plus fig9, a deferred
+//! fault-injection figure with no paper counterpart).
 //!
 //! The `(policy, ρ)` sweep runs across `--jobs` worker threads (default:
 //! the `SRLB_JOBS` environment variable, then the machine's available
@@ -30,7 +31,8 @@
 use srlb_bench::output::fmt;
 use srlb_bench::{
     default_jobs, fig2_mean_response, fig3_cdf_high_load, fig4_load_fairness, fig5_cdf_low_load,
-    fig6_wiki_median, fig7_wiki_deciles, fig8_wiki_cdf, write_bench_micro, write_csv, Scale,
+    fig6_wiki_median, fig7_wiki_deciles, fig8_wiki_cdf, fig9_rackzone_hunting, write_bench_micro,
+    write_csv, Scale,
 };
 
 const SEED: u64 = 42;
@@ -65,7 +67,7 @@ fn main() {
         return;
     }
 
-    const KNOWN: [&str; 10] = [
+    const KNOWN: [&str; 11] = [
         "all",
         "fig2",
         "fig3",
@@ -74,6 +76,7 @@ fn main() {
         "fig6",
         "fig7",
         "fig8",
+        "fig9",
         "bench-micro",
         "scenarios",
     ];
@@ -120,6 +123,9 @@ fn main() {
     }
     if want("fig8") {
         run_fig8(scale, jobs);
+    }
+    if want("fig9") {
+        run_fig9(scale, jobs);
     }
 }
 
@@ -316,6 +322,25 @@ fn run_scenarios_sweep(scale: Scale, jobs: usize) {
             cell.report.rehunts,
         );
     }
+    println!("\n## fault-injection sweep (lossy failover, incast, saturated uplink)");
+    println!(
+        "{:<20} {:<22} {:>6} {:>6} {:>7} {:>7} {:>7} {:>7} {:>7}",
+        "scenario", "dispatcher", "sent", "done", "resets", "drops", "queue", "retx", "aborted"
+    );
+    for report in &doc.faults {
+        println!(
+            "{:<20} {:<22} {:>6} {:>6} {:>7} {:>7} {:>7} {:>7} {:>7}",
+            report.name,
+            report.dispatcher,
+            report.sent,
+            report.completed,
+            report.resets,
+            report.dropped_injected,
+            report.dropped_queue,
+            report.retransmits,
+            report.aborted,
+        );
+    }
     match srlb_bench::write_bench_scenarios(&srlb_bench::micro::workspace_root(), &doc) {
         Ok(path) => println!("  -> wrote {}", path.display()),
         Err(err) => eprintln!("  !! could not write scenario report: {err}"),
@@ -454,6 +479,74 @@ fn run_fig8(scale: Scale, jobs: usize) {
     report_write(write_csv(
         "fig8_wiki_cdf",
         &["policy", "response_s", "cdf"],
+        &rows,
+    ));
+}
+
+fn run_fig9(scale: Scale, jobs: usize) {
+    println!("\n## Figure 9 — hunting cost vs rack placement x LB tier spread (1% loss column)");
+    let cells = fig9_rackzone_hunting(scale, SEED, jobs);
+    println!(
+        "{:<10} {:>4} {:>6} {:>6} {:>6} {:>9} {:>9} {:>8} {:>8} {:>7} {:>7}",
+        "topology",
+        "lbs",
+        "lossy",
+        "sent",
+        "done",
+        "mean-ms",
+        "p99-ms",
+        "hunts",
+        "rehunts",
+        "drops",
+        "retx"
+    );
+    let mut rows = Vec::new();
+    for c in &cells {
+        println!(
+            "{:<10} {:>4} {:>6} {:>6} {:>6} {:>9.1} {:>9.1} {:>8} {:>8} {:>7} {:>7}",
+            c.topology,
+            c.lb_count,
+            c.lossy,
+            c.sent,
+            c.completed,
+            c.mean_response_ms,
+            c.p99_response_ms,
+            c.passed_on,
+            c.rehunts,
+            c.dropped_injected,
+            c.retransmits,
+        );
+        rows.push(vec![
+            c.topology.clone(),
+            c.lb_count.to_string(),
+            c.lossy.to_string(),
+            c.sent.to_string(),
+            c.completed.to_string(),
+            fmt(c.mean_response_ms),
+            fmt(c.p99_response_ms),
+            c.passed_on.to_string(),
+            c.rehunts.to_string(),
+            c.dropped_injected.to_string(),
+            c.retransmits.to_string(),
+            c.aborted.to_string(),
+        ]);
+    }
+    report_write(write_csv(
+        "fig9_rackzone_hunting",
+        &[
+            "topology",
+            "lb_count",
+            "lossy",
+            "sent",
+            "completed",
+            "mean_ms",
+            "p99_ms",
+            "passed_on",
+            "rehunts",
+            "dropped_injected",
+            "retransmits",
+            "aborted",
+        ],
         &rows,
     ));
 }

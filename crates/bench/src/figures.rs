@@ -6,10 +6,13 @@
 //! results in input order — so output is byte-identical whatever the worker
 //! count, and `jobs = 1` is a fully serial run.
 
+use srlb_core::dispatch::DispatcherConfig;
 use srlb_core::experiment::ExperimentResult;
 use srlb_core::runner::Runner;
-use srlb_core::spec::{ExperimentSpec, PolicyKind};
+use srlb_core::spec::{ExperimentSpec, FaultLink, FaultPlan, LossSpec, PolicyKind};
 use srlb_metrics::{jain_fairness, Ewma, RequestClass};
+use srlb_server::PolicyConfig;
+use srlb_sim::TopologyModel;
 
 use crate::parallel::parallel_map;
 
@@ -330,6 +333,104 @@ pub fn fig8_wiki_cdf(scale: Scale, seed: u64, jobs: usize) -> WikiCdf {
     WikiCdf { series }
 }
 
+/// LB tier sizes swept by Figure 9.
+pub const FIG9_LB_COUNTS: [usize; 3] = [1, 2, 4];
+
+/// One cell of the Figure 9 sweep: Service Hunting cost under rack
+/// placement × LB tier spread, measured fault-free and under 1 % injected
+/// loss with retransmission.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig9Cell {
+    /// Topology label (`"uniform"` or `"rackzone"`).
+    pub topology: String,
+    /// Load-balancer tier size (ECMP spread).
+    pub lb_count: usize,
+    /// Whether 1 % loss + retransmission was injected.
+    pub lossy: bool,
+    /// Requests sent.
+    pub sent: u64,
+    /// Requests completed.
+    pub completed: u64,
+    /// Mean response time in milliseconds.
+    pub mean_response_ms: f64,
+    /// 99th-percentile response time in milliseconds.
+    pub p99_response_ms: f64,
+    /// Flow-table misses recovered by re-hunting (tier-wide).
+    pub rehunts: u64,
+    /// Service Hunting hops: connections a candidate declined and passed on
+    /// to the next server in the SR list (summed over servers).
+    pub passed_on: u64,
+    /// Messages dropped by the injected loss rule.
+    pub dropped_injected: u64,
+    /// Client retransmissions recovering the drops.
+    pub retransmits: u64,
+    /// Requests aborted after exhausting the retransmission budget.
+    pub aborted: u64,
+}
+
+/// Figure 9 (deferred from the LB-tier PR): hunting cost as a function of
+/// rack placement and LB tier spread, with a lossy column.
+///
+/// Sweeps {uniform 50 µs, rack-zone default} × LB tier size {1, 2, 4} ×
+/// {fault-free, 1 % uniform loss}, all under consistent-hash dispatch
+/// (`vnodes = 128, k = 2`) with the SR4 acceptance policy, so candidate
+/// hunting crosses rack boundaries and its latency cost — and its
+/// interaction with retransmission — is visible per cell.
+pub fn fig9_rackzone_hunting(scale: Scale, seed: u64, jobs: usize) -> Vec<Fig9Cell> {
+    let topologies = [
+        ("uniform", TopologyModel::paper()),
+        ("rackzone", TopologyModel::rack_zone_default()),
+    ];
+    let grid: Vec<(&str, TopologyModel, usize, bool)> = topologies
+        .iter()
+        .flat_map(|&(label, topology)| {
+            FIG9_LB_COUNTS.iter().flat_map(move |&lb_count| {
+                [false, true]
+                    .iter()
+                    .map(move |&lossy| (label, topology, lb_count, lossy))
+            })
+        })
+        .collect();
+    parallel_map(&grid, jobs, |&(label, topology, lb_count, lossy)| {
+        let policy = PolicyKind::Explicit {
+            dispatcher: DispatcherConfig::ConsistentHash { vnodes: 128, k: 2 },
+            acceptance: PolicyConfig::Static { threshold: 4 },
+        };
+        let mut spec = ExperimentSpec::poisson_paper(0.88, policy)
+            .with_queries(scale.poisson_queries())
+            .with_seed(seed)
+            .with_topology(topology)
+            .with_lb_count(lb_count)
+            .with_name(format!("fig9-{label}-lb{lb_count}"));
+        if lossy {
+            spec = spec.with_faults(FaultPlan {
+                loss: vec![LossSpec {
+                    link: FaultLink::default(),
+                    probability: 0.01,
+                }],
+                recovery: Some(srlb_net::RetransmitPolicy::default()),
+                ..FaultPlan::default()
+            });
+        }
+        let outcome = Runner::new(spec).expect("fig9 spec is valid").run();
+        let summary = outcome.collector.summary(None);
+        Fig9Cell {
+            topology: label.to_string(),
+            lb_count,
+            lossy,
+            sent: outcome.collector.len() as u64,
+            completed: outcome.collector.completed_count() as u64,
+            mean_response_ms: summary.mean(),
+            p99_response_ms: summary.percentile(99.0).unwrap_or(0.0),
+            rehunts: outcome.lb_stats.rehunts,
+            passed_on: outcome.server_stats.iter().map(|s| s.passed_on).sum(),
+            dropped_injected: outcome.dropped_injected,
+            retransmits: outcome.retransmits,
+            aborted: outcome.aborted,
+        }
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -366,6 +467,33 @@ mod tests {
     fn load_grid_handles_empty_input() {
         assert!(load_grid(&[], 10.0, 1.0).is_empty());
         assert!(load_grid(&[vec![(0.0, 1)]], 0.0, 1.0).is_empty());
+    }
+
+    #[test]
+    fn fig9_sweep_contrasts_topology_and_loss() {
+        let serial = fig9_rackzone_hunting(Scale::Tiny, 7, 1);
+        // {uniform, rackzone} x {1, 2, 4} LBs x {fault-free, lossy}.
+        assert_eq!(serial.len(), 12);
+        for cell in &serial {
+            assert!(cell.sent > 0);
+            assert!(cell.completed > 0);
+            assert!(cell.mean_response_ms > 0.0);
+            if cell.lossy {
+                // The lossy column actually injects and recovers drops.
+                assert!(cell.dropped_injected > 0, "lossy cell saw no drops");
+                assert!(cell.retransmits > 0, "lossy cell never retransmitted");
+            } else {
+                assert_eq!(cell.dropped_injected, 0);
+                assert_eq!(cell.retransmits, 0);
+                assert_eq!(cell.aborted, 0);
+            }
+        }
+        // Consistent-hash dispatch with SR4 acceptance actually hunts at
+        // rho = 0.88, in every topology / tier-spread cell.
+        assert!(serial.iter().all(|c| c.passed_on > 0));
+        // Byte-identical whatever the worker count.
+        let parallel = fig9_rackzone_hunting(Scale::Tiny, 7, 4);
+        assert_eq!(serial, parallel);
     }
 
     #[test]

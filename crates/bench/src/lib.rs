@@ -1,6 +1,7 @@
 //! # srlb-bench — the figure-regeneration harness
 //!
-//! One function per figure of the paper's evaluation section (Figures 2–8),
+//! One function per figure of the paper's evaluation section (Figures 2–8,
+//! plus a deferred fault-injection figure, fig9),
 //! shared between:
 //!
 //! * the `figures` binary (`cargo run -p srlb-bench --release --bin figures`),
@@ -29,8 +30,8 @@ pub mod spec_run;
 
 pub use figures::{
     fig2_mean_response, fig3_cdf_high_load, fig4_load_fairness, fig5_cdf_low_load,
-    fig6_wiki_median, fig7_wiki_deciles, fig8_wiki_cdf, CdfSeries, Fig2Series, Fig4Series, Scale,
-    WikiBinSeries, WikiCdf,
+    fig6_wiki_median, fig7_wiki_deciles, fig8_wiki_cdf, fig9_rackzone_hunting, CdfSeries,
+    Fig2Series, Fig4Series, Fig9Cell, Scale, WikiBinSeries, WikiCdf, FIG9_LB_COUNTS,
 };
 pub use micro::{engine_events_per_sec, write_bench_micro, BenchReport, BENCH_MICRO_FILE};
 pub use output::{write_csv, FIGURES_DIR};

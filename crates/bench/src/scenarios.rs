@@ -209,6 +209,11 @@ pub struct ScenariosDoc {
     /// (absent from reports written before the multi-LB refactor).
     #[serde(default)]
     pub ecmp_reshuffle: Vec<EcmpReshuffleReport>,
+    /// The fault-injection sweep: the lossy-failover, incast and
+    /// saturated-uplink presets crossed with every dispatcher (absent from
+    /// reports written before the fault layer existed).
+    #[serde(default)]
+    pub faults: Vec<ScenarioReport>,
 }
 
 /// The LB tier sizes the ECMP-reshuffle sweep crosses each dispatcher
@@ -252,6 +257,18 @@ pub fn run_scenarios(scale: Scale, seed: u64, jobs: usize) -> ScenariosDoc {
         }
     });
 
+    // The fault-injection sweep: lossy failover, incast into a hot server,
+    // and a saturated client uplink, per dispatcher.
+    let mut fault_grid: Vec<Scenario> = Vec::new();
+    for (_, dispatcher) in dispatchers() {
+        fault_grid.push(Scenario::lossy_lb_failover(dispatcher, queries).with_seed(seed));
+        fault_grid.push(Scenario::incast(dispatcher, queries).with_seed(seed));
+        fault_grid.push(Scenario::saturated_uplink(dispatcher, queries).with_seed(seed));
+    }
+    let faults = parallel_map(&fault_grid, jobs, |scenario| {
+        run(scenario).expect("fault presets are valid").report()
+    });
+
     ScenariosDoc {
         schema: 1,
         scale: format!("{scale:?}"),
@@ -259,6 +276,7 @@ pub fn run_scenarios(scale: Scale, seed: u64, jobs: usize) -> ScenariosDoc {
         scenarios,
         remap,
         ecmp_reshuffle,
+        faults,
     }
 }
 
@@ -420,6 +438,47 @@ mod tests {
                     "{} x{} must not lose established connections",
                     cell.dispatcher, cell.lb_count
                 );
+            }
+        }
+        // The fault-injection acceptance property: under ≥1% injected loss
+        // the deterministic dispatchers complete every request through
+        // retransmission with zero established-connection remaps, and the
+        // per-cause counters actually fire.
+        assert_eq!(serial.faults.len(), 9);
+        for report in &serial.faults {
+            assert!(report.retransmits > 0, "{}: no retransmits", report.name);
+            match report.name.as_str() {
+                "lossy_lb_failover" => {
+                    assert!(report.dropped_injected > 0);
+                    assert_eq!(report.dropped_queue, 0);
+                    if !report.dispatcher.starts_with("random") {
+                        // The tentpole acceptance property: with
+                        // deterministic dispatch, retransmission (with
+                        // server-side duplicate suppression and response
+                        // replay from lingering connection state) recovers
+                        // every injected drop — all requests complete, no
+                        // aborts, no hangs, no established connection is
+                        // broken even by a retransmit crossing the
+                        // failover.
+                        assert_eq!(report.aborted, 0);
+                        assert_eq!(report.unfinished, 0, "nothing may hang");
+                        assert_eq!(
+                            report.completed, report.sent,
+                            "{} must complete every request under loss",
+                            report.dispatcher
+                        );
+                        assert_eq!(
+                            report.broken_established, 0,
+                            "{} must not break established connections",
+                            report.dispatcher
+                        );
+                    }
+                }
+                "incast" | "saturated_uplink" => {
+                    assert!(report.dropped_queue > 0, "{}: no tail drops", report.name);
+                    assert_eq!(report.dropped_injected, 0);
+                }
+                other => panic!("unexpected fault preset {other}"),
             }
         }
     }

@@ -4,7 +4,7 @@
 //! *any* experiment — a paper figure point, a dynamic-cluster scenario, or
 //! a cross product such as an LB failover during a Wikipedia replay — is a
 //! spec file that can be committed, reviewed, and replayed bit-for-bit.
-//! Five canonical specs live in `examples/specs/` at the workspace root
+//! Seven canonical specs live in `examples/specs/` at the workspace root
 //! (regenerate them with `figures -- write-specs`, round-trip-checked by
 //! `crates/bench/tests/spec_roundtrip.rs`).
 
@@ -39,7 +39,13 @@ use crate::figures::Scale;
 /// * `multi_lb_ecmp` — a four-instance LB tier behind deterministic
 ///   resilient ECMP steering, with one instance withdrawn mid-run: live
 ///   flows re-steer onto peers that have never seen them and survive via
-///   re-hunt over consistent-hash candidates.
+///   re-hunt over consistent-hash candidates,
+/// * `lossy_poisson` — the Poisson testbed at ρ = 0.89 over a fabric that
+///   loses 1% of every link's packets, recovered end to end by the
+///   client's retransmission policy (explicit in the spec),
+/// * `incast` — incast into one hot server: a 4× slow server 0 behind a
+///   shallow bounded LB → server queue, tail drops absorbed by
+///   retransmission.
 pub fn example_specs() -> Vec<(&'static str, ExperimentSpec)> {
     let poisson = ExperimentSpec::poisson_paper(0.89, PolicyKind::Dynamic).with_seed(42);
     let poisson_48 = ExperimentSpec::poisson_paper(0.89, PolicyKind::Dynamic)
@@ -68,12 +74,31 @@ pub fn example_specs() -> Vec<(&'static str, ExperimentSpec)> {
     .to_spec()
     .with_seed(42)
     .with_name("multi_lb_ecmp");
+    let lossy_poisson = ExperimentSpec::poisson_paper(0.89, PolicyKind::Dynamic)
+        .with_seed(42)
+        .with_name("lossy_poisson")
+        .with_faults(srlb_core::spec::FaultPlan {
+            loss: vec![srlb_core::spec::LossSpec {
+                link: srlb_core::spec::FaultLink::default(),
+                probability: 0.01,
+            }],
+            recovery: Some(srlb_net::RetransmitPolicy::default()),
+            ..srlb_core::spec::FaultPlan::default()
+        });
+    let incast = srlb_scenario::Scenario::incast(
+        DispatcherConfig::ConsistentHash { vnodes: 128, k: 2 },
+        800,
+    )
+    .to_spec()
+    .with_seed(42);
     vec![
         ("poisson_rho089", poisson),
         ("poisson_rho089_48s", poisson_48),
         ("wikipedia_replay", wikipedia),
         ("lb_failover_wikipedia", failover_wiki),
         ("multi_lb_ecmp", multi_lb),
+        ("lossy_poisson", lossy_poisson),
+        ("incast", incast),
     ]
 }
 
@@ -170,8 +195,30 @@ pub struct SpecRunReport {
     pub duration_seconds: f64,
     /// Total simulation events processed.
     pub events_processed: u64,
+    /// Requests aborted after exhausting the retransmission budget
+    /// (fault-injection runs only; omitted when zero so fault-free report
+    /// bytes stay stable).
+    #[serde(default, skip_serializing_if = "is_zero_u64")]
+    pub aborted: u64,
+    /// Total client retransmissions (omitted when zero).
+    #[serde(default, skip_serializing_if = "is_zero_u64")]
+    pub retransmits: u64,
+    /// Messages dropped by injected faults (omitted when zero).
+    #[serde(default, skip_serializing_if = "is_zero_u64")]
+    pub dropped_injected: u64,
+    /// Messages tail-dropped by bounded queues (omitted when zero).
+    #[serde(default, skip_serializing_if = "is_zero_u64")]
+    pub dropped_queue: u64,
+    /// Messages dropped inside link down windows (omitted when zero).
+    #[serde(default, skip_serializing_if = "is_zero_u64")]
+    pub dropped_link_down: u64,
     /// Per-phase disruption statistics (one phase for static runs).
     pub phases: Vec<PhaseStats>,
+}
+
+/// Serde skip predicate for the fault counters.
+fn is_zero_u64(n: &u64) -> bool {
+    *n == 0
 }
 
 impl SpecRunReport {
@@ -197,6 +244,11 @@ impl SpecRunReport {
             reconstruction_ms: outcome.reconstruction_latency_s.map(|s| s * 1e3),
             duration_seconds: outcome.duration_seconds,
             events_processed: outcome.events_processed,
+            aborted: outcome.aborted,
+            retransmits: outcome.retransmits,
+            dropped_injected: outcome.dropped_injected,
+            dropped_queue: outcome.dropped_queue,
+            dropped_link_down: outcome.dropped_link_down,
             phases: outcome.phases.clone(),
         }
     }
@@ -279,7 +331,7 @@ mod tests {
     fn write_load_run_roundtrip() {
         let dir = std::env::temp_dir().join("srlb-spec-run-test");
         let paths = write_example_specs(&dir).unwrap();
-        assert_eq!(paths.len(), 5);
+        assert_eq!(paths.len(), 7);
         // Byte-level round trip of every written file.
         for path in &paths {
             let text = std::fs::read_to_string(path).unwrap();
@@ -303,6 +355,19 @@ mod tests {
         assert_eq!(report.completed, report.sent, "zero connections lost");
         assert!(report.rehunts > 0, "re-steered flows were re-hunted");
         assert_eq!(report.phases.len(), 2);
+        // The lossy Poisson spec runs end to end at tiny scale: losses
+        // occur, retransmission recovers them, the per-cause counters
+        // surface in the report.
+        let report = run_spec_file(&dir.join("lossy_poisson.json"), Scale::Tiny).unwrap();
+        assert_eq!(report.name, "lossy_poisson");
+        assert!(report.dropped_injected > 0, "1% loss must fire at tiny");
+        assert!(report.retransmits > 0);
+        assert_eq!(report.completed + report.resets, report.sent);
+        // And the incast spec tail-drops at its bounded queue.
+        let report = run_spec_file(&dir.join("incast.json"), Scale::Tiny).unwrap();
+        assert_eq!(report.name, "incast");
+        assert!(report.dropped_queue > 0, "incast queue must overflow");
+        assert!(report.retransmits > 0);
         let _ = std::fs::remove_dir_all(&dir);
     }
 

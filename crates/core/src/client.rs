@@ -18,8 +18,9 @@
 
 use std::net::Ipv6Addr;
 
+use rand::RngCore;
 use srlb_metrics::{RequestClass, RequestOutcome, RequestRecord, ResponseTimeCollector};
-use srlb_net::{AddressPlan, Packet, PacketBuilder, TcpFlags};
+use srlb_net::{AddressPlan, Packet, PacketBuilder, RetransmitPolicy, TcpFlags};
 use srlb_server::server_node::encode_request_payload;
 use srlb_server::Directory;
 use srlb_sim::{Context, Node, NodeId, SimDuration, SimTime, TimerToken};
@@ -29,6 +30,12 @@ use srlb_workload::{requests_into_stream, BoxedWorkload, Request};
 /// request id); SYN timers use the plain request id, which never reaches
 /// this bit.
 const REQUEST_TIMER_BIT: u64 = 1 << 63;
+
+/// Timer-token bit marking a retransmission timeout (the low bits carry the
+/// request id).  Only armed when a [`RetransmitPolicy`] is configured, so
+/// fault-free runs schedule exactly the same timers as before the fault
+/// layer existed.
+const RETX_TIMER_BIT: u64 = 1 << 62;
 
 /// Number of source ports used per client address before moving to the next
 /// address (keeps ports in the dynamic range 1024–61023).
@@ -61,6 +68,19 @@ pub fn client_addr_count(n: usize) -> u32 {
     (n as u64 / PORTS_PER_ADDR) as u32 + 1
 }
 
+/// Which transmission a request is currently waiting on, for deciding what
+/// to resend when a retransmission timer fires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Awaiting {
+    /// SYN sent, waiting for the SYN-ACK.
+    SynSent,
+    /// Handshake done, think timer armed; nothing is on the wire, so a
+    /// retransmission timer firing in this state is stale.
+    Thinking,
+    /// HTTP request sent, waiting for the response.
+    RequestSent,
+}
+
 /// Per-request in-flight bookkeeping.
 #[derive(Debug, Clone, Copy)]
 struct InFlight {
@@ -69,6 +89,16 @@ struct InFlight {
     /// CPU service demand carried in the HTTP request payload once the
     /// handshake completes (the trace itself is streamed, not retained).
     service: SimDuration,
+    /// What the request currently waits on.
+    awaiting: Awaiting,
+    /// Retransmissions performed so far.
+    retries: u32,
+    /// Fire time of the armed retransmission timer.  A timer is honored
+    /// only if it fires exactly at this instant; re-arming or a state
+    /// change moves the deadline and thereby cancels older timers (the
+    /// engine has no timer cancellation).  [`SimTime::ZERO`] means "none
+    /// armed" — no timer scheduled strictly after time zero can fire at it.
+    deadline: SimTime,
 }
 
 /// The open-loop client node.
@@ -95,6 +125,13 @@ pub struct ClientNode {
     sent: u64,
     completed: u64,
     resets: u64,
+    /// End-to-end recovery policy.  `None` (the default) reproduces the
+    /// legacy fire-and-forget behavior exactly: no retransmission timers
+    /// are armed and no extra randomness is drawn, so fault-free runs stay
+    /// byte-identical to pre-fault-layer builds.
+    retransmit: Option<RetransmitPolicy>,
+    aborted: u64,
+    retransmits: u64,
 }
 
 impl ClientNode {
@@ -145,6 +182,9 @@ impl ClientNode {
             sent: 0,
             completed: 0,
             resets: 0,
+            retransmit: None,
+            aborted: 0,
+            retransmits: 0,
         }
     }
 
@@ -171,6 +211,16 @@ impl ClientNode {
         self
     }
 
+    /// Enables end-to-end recovery: each outstanding transmission (SYN or
+    /// HTTP request) is guarded by a retransmission timer with exponential
+    /// backoff and jitter, and the request is aborted — surfaced as
+    /// [`RequestOutcome::Aborted`] rather than hanging forever — once the
+    /// policy's retry budget is spent.
+    pub fn with_retransmit(mut self, policy: RetransmitPolicy) -> Self {
+        self.retransmit = Some(policy);
+        self
+    }
+
     /// Number of requests sent so far.
     pub fn sent(&self) -> u64 {
         self.sent
@@ -184,6 +234,17 @@ impl ClientNode {
     /// Number of reset requests.
     pub fn resets(&self) -> u64 {
         self.resets
+    }
+
+    /// Number of requests aborted after exhausting the retransmission
+    /// budget.
+    pub fn aborted(&self) -> u64 {
+        self.aborted
+    }
+
+    /// Total retransmissions performed across all requests.
+    pub fn retransmits(&self) -> u64 {
+        self.retransmits
     }
 
     /// Number of requests still awaiting a response.
@@ -205,6 +266,7 @@ impl ClientNode {
                 class: info.class,
                 outcome: RequestOutcome::Unfinished,
                 served_by: None,
+                retransmits: info.retries,
             });
         }
         self.collector
@@ -239,23 +301,65 @@ impl ClientNode {
         }
     }
 
-    fn send_request_syn(&mut self, request: Request, ctx: &mut Context<'_, Packet>) {
-        let (addr, port) = request_endpoint(&self.plan, request.id);
-        let vip = self.vip_of(request.id);
-        let syn = PacketBuilder::tcp(addr, vip)
+    /// Builds the SYN of request `id` (identical bytes on every
+    /// (re)transmission, so the LB's hunt is keyed by the same flow).
+    fn syn_packet(&self, id: u64) -> Packet {
+        let (addr, port) = request_endpoint(&self.plan, id);
+        PacketBuilder::tcp(addr, self.vip_of(id))
             .ports(port, VIP_PORT)
             .flags(TcpFlags::SYN)
-            .build();
+            .build()
+    }
+
+    /// Builds the HTTP request (ACK|PSH) of request `id` carrying `service`.
+    fn http_packet(&self, id: u64, service: SimDuration) -> Packet {
+        let (addr, port) = request_endpoint(&self.plan, id);
+        PacketBuilder::tcp(addr, self.vip_of(id))
+            .ports(port, VIP_PORT)
+            .flags(TcpFlags::ACK | TcpFlags::PSH)
+            .payload(encode_request_payload(id, service))
+            .build()
+    }
+
+    /// Arms the retransmission timer for request `id`'s current
+    /// transmission: `timeout_ms × backoff^retries` plus a uniform jitter
+    /// from the client's own forked random stream.  No-op without a policy,
+    /// so fault-free runs neither schedule timers nor draw randomness here.
+    fn arm_retransmit(&mut self, id: u64, ctx: &mut Context<'_, Packet>) {
+        let Some(policy) = self.retransmit else {
+            return;
+        };
+        let Some(info) = self.in_flight.get_mut(&id) else {
+            return;
+        };
+        let mut timeout = policy.timeout_nanos(info.retries);
+        let max_jitter = policy.max_jitter_nanos(info.retries);
+        if max_jitter > 0 {
+            timeout += ctx.rng().next_u64() % (max_jitter + 1);
+        }
+        let delay = SimDuration::from_nanos(timeout);
+        let info = self.in_flight.get_mut(&id).expect("checked above");
+        info.deadline = ctx.now() + delay;
+        ctx.schedule_timer(delay, TimerToken(id | RETX_TIMER_BIT));
+    }
+
+    fn send_request_syn(&mut self, request: Request, ctx: &mut Context<'_, Packet>) {
+        let vip = self.vip_of(request.id);
+        let syn = self.syn_packet(request.id);
         self.in_flight.insert(
             request.id,
             InFlight {
                 sent_at: ctx.now(),
                 class: request.class,
                 service: request.service,
+                awaiting: Awaiting::SynSent,
+                retries: 0,
+                deadline: SimTime::ZERO,
             },
         );
         self.sent += 1;
         self.send_to_vip(ctx, vip, syn);
+        self.arm_retransmit(request.id, ctx);
     }
 
     fn handle_syn_ack(&mut self, packet: &Packet, ctx: &mut Context<'_, Packet>) {
@@ -269,6 +373,18 @@ impl ClientNode {
         ) else {
             return;
         };
+        // A duplicate SYN-ACK (a retransmitted SYN accepted by a second
+        // server, or the original acceptance racing a retransmission) must
+        // not re-send the request or arm a second think timer.
+        match self.in_flight.get_mut(&id) {
+            Some(info) if info.awaiting == Awaiting::SynSent => {
+                if !self.request_delay.is_zero() {
+                    info.awaiting = Awaiting::Thinking;
+                    info.deadline = SimTime::ZERO;
+                }
+            }
+            _ => return,
+        }
         if self.request_delay.is_zero() {
             self.send_http_request(id, ctx);
         } else {
@@ -279,18 +395,53 @@ impl ClientNode {
     fn send_http_request(&mut self, id: u64, ctx: &mut Context<'_, Packet>) {
         // The service demand travels with the in-flight record; a flow that
         // already finished (or was never sent) has nothing to request.
-        let Some(info) = self.in_flight.get(&id) else {
+        let Some(info) = self.in_flight.get_mut(&id) else {
             return;
         };
+        info.awaiting = Awaiting::RequestSent;
         let service = info.service;
-        let (addr, port) = request_endpoint(&self.plan, id);
         let vip = self.vip_of(id);
-        let http_request = PacketBuilder::tcp(addr, vip)
-            .ports(port, VIP_PORT)
-            .flags(TcpFlags::ACK | TcpFlags::PSH)
-            .payload(encode_request_payload(id, service))
-            .build();
+        let http_request = self.http_packet(id, service);
         self.send_to_vip(ctx, vip, http_request);
+        self.arm_retransmit(id, ctx);
+    }
+
+    /// A retransmission timer fired for request `id`.  Honored only when it
+    /// matches the armed deadline exactly (older timers keep firing because
+    /// the engine has no cancellation; the moved deadline invalidates
+    /// them) and the request is actually waiting on the wire.
+    fn on_retransmit_timeout(&mut self, id: u64, ctx: &mut Context<'_, Packet>) {
+        let Some(policy) = self.retransmit else {
+            return;
+        };
+        let Some(info) = self.in_flight.get_mut(&id) else {
+            return; // already finished
+        };
+        if info.awaiting == Awaiting::Thinking || info.deadline != ctx.now() {
+            return; // stale timer
+        }
+        if info.retries >= policy.max_retries {
+            // Budget spent: give up gracefully instead of hanging.  The
+            // request was transmitted `1 + max_retries` times in total.
+            self.finish(id, RequestOutcome::Aborted, None, ctx);
+            return;
+        }
+        info.retries += 1;
+        self.retransmits += 1;
+        let awaiting = info.awaiting;
+        let service = info.service;
+        let vip = self.vip_of(id);
+        let packet = match awaiting {
+            // The LB treats every SYN as new and re-hunts, so the retry may
+            // land on a different (healthier) server.
+            Awaiting::SynSent => self.syn_packet(id),
+            // An established flow: the LB's flow table steers the copy to
+            // the server that accepted the connection.
+            Awaiting::RequestSent => self.http_packet(id, service),
+            Awaiting::Thinking => unreachable!("checked above"),
+        };
+        self.send_to_vip(ctx, vip, packet);
+        self.arm_retransmit(id, ctx);
     }
 
     fn finish(
@@ -312,6 +463,7 @@ impl ClientNode {
         match outcome {
             RequestOutcome::Completed => self.completed += 1,
             RequestOutcome::Reset => self.resets += 1,
+            RequestOutcome::Aborted => self.aborted += 1,
             RequestOutcome::Unfinished => {}
         }
         self.collector.push(RequestRecord {
@@ -320,6 +472,7 @@ impl ClientNode {
             class: info.class,
             outcome,
             served_by,
+            retransmits: info.retries,
         });
     }
 }
@@ -334,6 +487,12 @@ impl Node<Packet> for ClientNode {
             // Think time elapsed: send the HTTP request of an established
             // connection.
             self.send_http_request(token.0 & !REQUEST_TIMER_BIT, ctx);
+            return;
+        }
+        if token.0 & RETX_TIMER_BIT != 0 {
+            // Must be checked before the pending-request branch below: a
+            // retransmission timer is not the arrival timer of `pending`.
+            self.on_retransmit_timeout(token.0 & !RETX_TIMER_BIT, ctx);
             return;
         }
         // The timer for request `token.0` fired: send it, then pull and arm
@@ -439,6 +598,9 @@ mod tests {
                 sent_at: SimTime::ZERO,
                 class: RequestClass::Synthetic,
                 service: SimDuration::from_millis(1),
+                awaiting: Awaiting::SynSent,
+                retries: 0,
+                deadline: SimTime::ZERO,
             },
         );
         let collector = client.into_collector();

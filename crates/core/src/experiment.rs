@@ -15,7 +15,7 @@ use srlb_workload::Request;
 
 use crate::lb_node::LbStats;
 use crate::runner::{RunOutcome, Runner};
-use crate::spec::{ClusterSpec, ExperimentSpec, WorkloadSpec};
+use crate::spec::{ClusterSpec, ExperimentSpec, FaultPlan, WorkloadSpec};
 use crate::CoreError;
 
 pub use crate::spec::PolicyKind;
@@ -237,6 +237,7 @@ impl ExperimentConfig {
             scenario: Vec::new(),
             policy: self.policy,
             request_delay_ms: 0.0,
+            faults: FaultPlan::default(),
         }
     }
 

@@ -93,6 +93,18 @@ pub struct RunOutcome {
     pub duration_seconds: f64,
     /// Total simulation events processed.
     pub events_processed: u64,
+    /// Messages dropped by injected faults (probabilistic loss and
+    /// one-shot drops); zero on fault-free runs.
+    pub dropped_injected: u64,
+    /// Messages tail-dropped by bounded per-link queues.
+    pub dropped_queue: u64,
+    /// Messages dropped inside link down windows.
+    pub dropped_link_down: u64,
+    /// Total client retransmissions across all requests.
+    pub retransmits: u64,
+    /// Requests the client aborted after exhausting its retransmission
+    /// budget.
+    pub aborted: u64,
 }
 
 /// Executes [`ExperimentSpec`]s.
@@ -205,15 +217,31 @@ impl Runner {
             directory.register(plan.server_addr(ServerId(i as u32)), sid);
         }
 
-        let mut network: ShardedNetwork<Packet> = ShardedNetwork::new(
-            spec.seed,
-            spec.topology.build(client_id, &lb_ids, &server_ids),
-            self.shard_plan(),
-        );
+        // Slow-node latency multipliers are folded into the topology before
+        // the network is built, so conservative-window lookahead is computed
+        // from the slowed links and sharding stays byte-identical.
+        let mut topology = spec.topology.build(client_id, &lb_ids, &server_ids);
+        let node_count = 1 + lb_count + cluster.max_servers;
+        for slow in &spec.faults.slow_nodes {
+            topology.scale_links_of(
+                slow.node.resolve(client_id, &lb_ids, &server_ids),
+                slow.multiplier,
+                node_count,
+            );
+        }
+        let mut network: ShardedNetwork<Packet> =
+            ShardedNetwork::new(spec.seed, topology, self.shard_plan());
+        if spec.faults.injects_faults() {
+            network.set_faults(&spec.faults.to_fault_config(client_id, &lb_ids, &server_ids));
+        }
 
-        let client = ClientNode::from_workload(plan.clone(), vips[0], directory.clone(), source)
-            .with_vips(vips.clone())
-            .with_request_delay(SimDuration::from_millis_f64(spec.request_delay_ms));
+        let mut client =
+            ClientNode::from_workload(plan.clone(), vips[0], directory.clone(), source)
+                .with_vips(vips.clone())
+                .with_request_delay(SimDuration::from_millis_f64(spec.request_delay_ms));
+        if !spec.faults.is_empty() {
+            client = client.with_retransmit(spec.faults.effective_recovery());
+        }
         let added_client = network.add_node(client);
         debug_assert_eq!(added_client, client_id);
 
@@ -372,7 +400,14 @@ impl Runner {
         // request, service timer, response, …); 96 per request is a
         // generous safety margin that also covers post-failover re-hunts
         // and ownership adverts.
-        let limit = RunUntil::Events((total_requests as u64).saturating_mul(96) + 10_000);
+        // Retransmitting clients re-send whole requests: scale the budget
+        // by the retry allowance so lossy runs drain fully.
+        let per_request: u64 = if self.spec.faults.is_empty() {
+            96
+        } else {
+            96 * (1 + u64::from(self.spec.faults.effective_recovery().max_retries))
+        };
+        let limit = RunUntil::Events((total_requests as u64).saturating_mul(per_request) + 10_000);
         let stats = self.drive(&mut network, limit);
 
         for (i, up) in alive.iter().enumerate() {
@@ -417,9 +452,14 @@ impl Runner {
             load_series,
             acceptance_ratios,
             phases,
-            collector,
             duration_seconds: stats.last_event_time.as_secs_f64(),
             events_processed: stats.events_processed,
+            dropped_injected: stats.dropped_injected,
+            dropped_queue: stats.dropped_queue,
+            dropped_link_down: stats.dropped_link_down,
+            retransmits: collector.retransmit_total(),
+            aborted: collector.aborted_count() as u64,
+            collector,
         }
     }
 }
@@ -427,7 +467,7 @@ impl Runner {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::spec::{PolicyKind, WorkloadSpec};
+    use crate::spec::{FaultPlan, PolicyKind, WorkloadSpec};
     use srlb_sim::TopologyModel;
 
     fn quick_spec(rho: f64, policy: PolicyKind) -> ExperimentSpec {
@@ -543,6 +583,7 @@ mod tests {
                 acceptance: srlb_server::PolicyConfig::Static { threshold: 4 },
             },
             request_delay_ms: 100.0,
+            faults: FaultPlan::default(),
         };
         spec.cluster.lb_count = 2;
         spec.cluster.recover_flows = true;
@@ -617,6 +658,118 @@ mod tests {
         let u = uniform.collector.summary(None).mean();
         let r = remote.collector.summary(None).mean();
         assert!(r > u + 10.0, "uniform mean {u} ms vs remote mean {r} ms");
+    }
+
+    #[test]
+    fn lossy_run_recovers_every_request_via_retransmission() {
+        use crate::spec::{FaultLink, LossSpec};
+        // 2% loss on every link; default recovery policy.  Retransmission
+        // must complete every request with no established-flow remaps.
+        let spec = quick_spec(
+            0.5,
+            PolicyKind::Explicit {
+                dispatcher: crate::dispatch::DispatcherConfig::ConsistentHash { vnodes: 64, k: 2 },
+                acceptance: srlb_server::PolicyConfig::Static { threshold: 4 },
+            },
+        )
+        .with_seed(7)
+        .with_faults(FaultPlan {
+            loss: vec![LossSpec {
+                link: FaultLink::default(),
+                probability: 0.02,
+            }],
+            ..FaultPlan::default()
+        });
+        let outcome = Runner::new(spec.clone()).unwrap().run();
+        assert_eq!(outcome.collector.len(), 400);
+        assert_eq!(outcome.collector.completed_count(), 400, "zero give-ups");
+        assert!(outcome.dropped_injected > 0, "losses must actually occur");
+        assert!(outcome.retransmits > 0, "recovery must actually retransmit");
+        assert_eq!(outcome.aborted, 0);
+        assert_eq!(outcome.dropped_queue, 0);
+        assert_eq!(outcome.dropped_link_down, 0);
+
+        // And the lossy run is byte-identical across execution modes.
+        for exec in [ExecMode::SerialStep, ExecMode::Sharded { threads: 2 }] {
+            let again = Runner::new(spec.clone()).unwrap().with_exec(exec).run();
+            assert_eq!(again.collector.records(), outcome.collector.records());
+            assert_eq!(again.dropped_injected, outcome.dropped_injected);
+            assert_eq!(again.retransmits, outcome.retransmits);
+            assert_eq!(again.events_processed, outcome.events_processed);
+        }
+    }
+
+    #[test]
+    fn total_loss_aborts_gracefully_instead_of_hanging() {
+        use crate::spec::{FaultLink, FaultNode, LossSpec};
+        use srlb_net::RetransmitPolicy;
+        // The client → LB direction loses everything: no SYN ever arrives,
+        // every request must abort after exactly max_retries retransmits.
+        let spec = quick_spec(0.5, PolicyKind::Static { threshold: 4 })
+            .with_queries(50)
+            .with_faults(FaultPlan {
+                loss: vec![LossSpec {
+                    link: FaultLink {
+                        from: Some(FaultNode::Client),
+                        to: None,
+                    },
+                    probability: 1.0,
+                }],
+                recovery: Some(RetransmitPolicy {
+                    max_retries: 3,
+                    ..RetransmitPolicy::default()
+                }),
+                ..FaultPlan::default()
+            });
+        let outcome = Runner::new(spec).unwrap().run();
+        assert_eq!(outcome.collector.len(), 50);
+        assert_eq!(outcome.aborted, 50, "every request gives up");
+        assert_eq!(outcome.collector.completed_count(), 0);
+        // 1 original + 3 retransmits per request, all lost.
+        assert_eq!(outcome.retransmits, 150);
+        assert_eq!(outcome.dropped_injected, 200);
+    }
+
+    #[test]
+    fn slow_node_multiplier_stretches_response_times_deterministically() {
+        use crate::spec::{FaultNode, SlowNodeSpec};
+        let base = Runner::new(quick_spec(0.4, PolicyKind::RoundRobin))
+            .unwrap()
+            .run();
+        // A 20× slower client edge adds latency to every round trip.
+        let spec = quick_spec(0.4, PolicyKind::RoundRobin).with_faults(FaultPlan {
+            slow_nodes: vec![SlowNodeSpec {
+                node: FaultNode::Client,
+                multiplier: 20.0,
+            }],
+            ..FaultPlan::default()
+        });
+        let slow = Runner::new(spec.clone()).unwrap().run();
+        let again = Runner::new(spec).unwrap().run();
+        assert_eq!(slow.collector.records(), again.collector.records());
+        assert_eq!(slow.collector.completed_count(), 400);
+        let b = base.collector.summary(None).mean();
+        let s = slow.collector.summary(None).mean();
+        assert!(s > b, "slowed client mean {s} ms vs baseline {b} ms");
+    }
+
+    #[test]
+    fn empty_fault_plan_reproduces_the_fault_free_run_exactly() {
+        // The zero-fault equivalence guard at the runner level: a spec
+        // whose plan is empty must not perturb a single byte of the
+        // outcome relative to a spec with no fault axis at all.
+        let spec = quick_spec(0.6, PolicyKind::Dynamic).with_seed(11);
+        let baseline = Runner::new(spec.clone()).unwrap().run();
+        let with_empty_plan = Runner::new(spec.with_faults(FaultPlan::default()))
+            .unwrap()
+            .run();
+        assert_eq!(
+            baseline.collector.records(),
+            with_empty_plan.collector.records()
+        );
+        assert_eq!(baseline.events_processed, with_empty_plan.events_processed);
+        assert_eq!(baseline.dropped_injected, 0);
+        assert_eq!(baseline.retransmits, 0);
     }
 
     #[test]

@@ -480,6 +480,318 @@ impl WorkloadSpec {
 }
 
 // ---------------------------------------------------------------------------
+// Faults
+// ---------------------------------------------------------------------------
+
+/// A role-based endpoint in a [`FaultPlan`]: specs name the client, a
+/// load-balancer instance or a backend rather than raw simulator node ids,
+/// and the runner lowers these to `NodeId`s once the layout is fixed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FaultNode {
+    /// The traffic-generating client.
+    Client,
+    /// Load-balancer instance `index` (must be `< lb_count`).
+    Lb {
+        /// Index into the LB tier.
+        index: usize,
+    },
+    /// Backend server `index` (must be `< max_servers`).
+    Server {
+        /// Index into the backend set.
+        index: usize,
+    },
+}
+
+impl FaultNode {
+    /// The simulator node id of this endpoint under the runner's layout.
+    pub fn resolve(
+        &self,
+        client: srlb_sim::NodeId,
+        lbs: &[srlb_sim::NodeId],
+        servers: &[srlb_sim::NodeId],
+    ) -> srlb_sim::NodeId {
+        match *self {
+            FaultNode::Client => client,
+            FaultNode::Lb { index } => lbs[index],
+            FaultNode::Server { index } => servers[index],
+        }
+    }
+
+    /// Validates the endpoint's index against the cluster shape.
+    fn check(&self, cluster: &ClusterSpec) -> Result<(), CoreError> {
+        let bad = |msg: String| Err(CoreError::InvalidConfig(msg));
+        match *self {
+            FaultNode::Client => Ok(()),
+            FaultNode::Lb { index } if index >= cluster.lb_count => bad(format!(
+                "fault endpoint names unknown load balancer {index}"
+            )),
+            FaultNode::Server { index } if index >= cluster.max_servers => {
+                bad(format!("fault endpoint names unknown server {index}"))
+            }
+            _ => Ok(()),
+        }
+    }
+}
+
+/// A directed link pattern between role-based endpoints; `None` endpoints
+/// are wildcards (and are omitted from serialised specs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct FaultLink {
+    /// Sending endpoint (`None` matches any sender).
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub from: Option<FaultNode>,
+    /// Receiving endpoint (`None` matches any receiver).
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub to: Option<FaultNode>,
+}
+
+/// Independent per-message loss on matching links.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LossSpec {
+    /// Which links the rule applies to.
+    #[serde(default)]
+    pub link: FaultLink,
+    /// Per-message drop probability in `[0, 1]`.
+    pub probability: f64,
+}
+
+/// Deterministically drops the `packet`-th message delivered over one
+/// concrete link, once (1-based).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OneShotDropSpec {
+    /// Sending endpoint.
+    pub from: FaultNode,
+    /// Receiving endpoint.
+    pub to: FaultNode,
+    /// 1-based index of the doomed message among the link's deliveries.
+    pub packet: u64,
+}
+
+/// Matching links drop every message inside the window.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DownWindowSpec {
+    /// Which links go down.
+    #[serde(default)]
+    pub link: FaultLink,
+    /// Start of the outage, in seconds since the start of the run
+    /// (inclusive).
+    pub from_seconds: f64,
+    /// End of the outage, in seconds (exclusive).
+    pub until_seconds: f64,
+}
+
+/// A bounded FIFO on one concrete link: finite capacity, tail drop.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct QueueSpec {
+    /// Sending endpoint.
+    pub from: FaultNode,
+    /// Receiving endpoint.
+    pub to: FaultNode,
+    /// Maximum number of queued messages before tail drop.
+    pub capacity: u64,
+    /// Drain rate in packets per second.
+    pub drain_pps: f64,
+}
+
+/// Multiplies the latency of every link touching one node — a degraded NIC
+/// or an oversubscribed hypervisor.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SlowNodeSpec {
+    /// The slowed node.
+    pub node: FaultNode,
+    /// Latency multiplier (must be positive; values below 1 speed the node
+    /// up, which is occasionally useful for asymmetry experiments).
+    pub multiplier: f64,
+}
+
+/// The fault-injection axis of an experiment: what the network does to the
+/// experiment's packets, and how the client recovers.
+///
+/// The default (empty) plan injects nothing, enables no retransmission and
+/// is omitted from serialised specs entirely — committed spec JSONs written
+/// before the fault layer existed parse and re-serialise byte-identically
+/// (the [`ClusterSpec::lb_count`] precedent).
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct FaultPlan {
+    /// Probabilistic per-link loss rules.
+    #[serde(default, skip_serializing_if = "Vec::is_empty")]
+    pub loss: Vec<LossSpec>,
+    /// Deterministic one-shot drops.
+    #[serde(default, skip_serializing_if = "Vec::is_empty")]
+    pub drops: Vec<OneShotDropSpec>,
+    /// Link down/up windows.
+    #[serde(default, skip_serializing_if = "Vec::is_empty")]
+    pub down: Vec<DownWindowSpec>,
+    /// Per-link bounded queues.
+    #[serde(default, skip_serializing_if = "Vec::is_empty")]
+    pub queues: Vec<QueueSpec>,
+    /// Slow-node latency multipliers.
+    #[serde(default, skip_serializing_if = "Vec::is_empty")]
+    pub slow_nodes: Vec<SlowNodeSpec>,
+    /// End-to-end recovery policy.  `None` with faults present uses
+    /// [`RetransmitPolicy::default`]; on an empty plan no retransmission
+    /// machinery is enabled at all.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub recovery: Option<srlb_net::RetransmitPolicy>,
+}
+
+/// Serde skip predicate for [`ExperimentSpec::faults`]; public so other
+/// schemas embedding a `FaultPlan` (e.g. the scenario crate) share the
+/// "omitted means no faults" contract.
+pub fn fault_plan_is_empty(plan: &FaultPlan) -> bool {
+    plan.is_empty()
+}
+
+impl FaultPlan {
+    /// Whether the plan injects nothing and configures no recovery.
+    pub fn is_empty(&self) -> bool {
+        self.loss.is_empty()
+            && self.drops.is_empty()
+            && self.down.is_empty()
+            && self.queues.is_empty()
+            && self.slow_nodes.is_empty()
+            && self.recovery.is_none()
+    }
+
+    /// Whether the plan can actually lose or delay packets (as opposed to
+    /// only configuring recovery).
+    pub fn injects_faults(&self) -> bool {
+        !self.loss.is_empty()
+            || !self.drops.is_empty()
+            || !self.down.is_empty()
+            || !self.queues.is_empty()
+            || !self.slow_nodes.is_empty()
+    }
+
+    /// The retransmission policy a non-empty plan runs with: the explicit
+    /// `recovery` policy, or the default.
+    pub fn effective_recovery(&self) -> srlb_net::RetransmitPolicy {
+        self.recovery.unwrap_or_default()
+    }
+
+    /// Checks the plan's parameters against the cluster shape.
+    fn validate(&self, cluster: &ClusterSpec) -> Result<(), CoreError> {
+        let bad = |msg: String| Err(CoreError::InvalidConfig(msg));
+        for rule in &self.loss {
+            if !rule.probability.is_finite() || !(0.0..=1.0).contains(&rule.probability) {
+                return bad(format!(
+                    "loss probability {} must be within [0, 1]",
+                    rule.probability
+                ));
+            }
+            for end in [rule.link.from, rule.link.to].into_iter().flatten() {
+                end.check(cluster)?;
+            }
+        }
+        for drop in &self.drops {
+            if drop.packet == 0 {
+                return bad("one-shot drop indices are 1-based; 0 names no packet".into());
+            }
+            drop.from.check(cluster)?;
+            drop.to.check(cluster)?;
+        }
+        for window in &self.down {
+            if !window.from_seconds.is_finite()
+                || !window.until_seconds.is_finite()
+                || window.from_seconds < 0.0
+                || window.until_seconds <= window.from_seconds
+            {
+                return bad(format!(
+                    "down window [{}, {}) s is empty or inverted",
+                    window.from_seconds, window.until_seconds
+                ));
+            }
+            for end in [window.link.from, window.link.to].into_iter().flatten() {
+                end.check(cluster)?;
+            }
+        }
+        for queue in &self.queues {
+            if queue.capacity == 0 {
+                return bad("a bounded queue needs capacity for at least one message".into());
+            }
+            if !queue.drain_pps.is_finite() || queue.drain_pps <= 0.0 {
+                return bad(format!(
+                    "queue drain rate {} pps must be positive",
+                    queue.drain_pps
+                ));
+            }
+            queue.from.check(cluster)?;
+            queue.to.check(cluster)?;
+        }
+        for slow in &self.slow_nodes {
+            if !slow.multiplier.is_finite() || slow.multiplier <= 0.0 {
+                return bad(format!(
+                    "slow-node multiplier {} must be positive",
+                    slow.multiplier
+                ));
+            }
+            slow.node.check(cluster)?;
+        }
+        if let Some(recovery) = &self.recovery {
+            recovery.validate().map_err(CoreError::InvalidConfig)?;
+        }
+        Ok(())
+    }
+
+    /// Lowers the role-based plan to the simulator's [`FaultConfig`]
+    /// (`srlb_sim::FaultConfig`) under the runner's node layout.  Slow
+    /// nodes are not part of the delivery-path config — the runner folds
+    /// them into the topology before the network is built — and `recovery`
+    /// configures the client, not the network.
+    pub fn to_fault_config(
+        &self,
+        client: srlb_sim::NodeId,
+        lbs: &[srlb_sim::NodeId],
+        servers: &[srlb_sim::NodeId],
+    ) -> srlb_sim::FaultConfig {
+        let link = |l: &FaultLink| srlb_sim::LinkMatch {
+            from: l.from.map(|n| n.resolve(client, lbs, servers)),
+            to: l.to.map(|n| n.resolve(client, lbs, servers)),
+        };
+        srlb_sim::FaultConfig {
+            loss: self
+                .loss
+                .iter()
+                .map(|r| srlb_sim::LossRule {
+                    link: link(&r.link),
+                    probability: r.probability,
+                })
+                .collect(),
+            drops: self
+                .drops
+                .iter()
+                .map(|d| srlb_sim::OneShotDrop {
+                    from: d.from.resolve(client, lbs, servers),
+                    to: d.to.resolve(client, lbs, servers),
+                    packet: d.packet,
+                })
+                .collect(),
+            down: self
+                .down
+                .iter()
+                .map(|w| srlb_sim::DownWindow {
+                    link: link(&w.link),
+                    down_from: srlb_sim::SimTime::from_secs_f64(w.from_seconds),
+                    down_until: srlb_sim::SimTime::from_secs_f64(w.until_seconds),
+                })
+                .collect(),
+            queues:
+                self.queues
+                    .iter()
+                    .map(|q| srlb_sim::QueueRule {
+                        from: q.from.resolve(client, lbs, servers),
+                        to: q.to.resolve(client, lbs, servers),
+                        capacity: q.capacity,
+                        service: srlb_sim::SimDuration::from_nanos(
+                            (1.0e9 / q.drain_pps).round() as u64
+                        ),
+                    })
+                    .collect(),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
 // The spec itself
 // ---------------------------------------------------------------------------
 
@@ -512,6 +824,12 @@ pub struct ExperimentSpec {
     /// *established but quiescent* for a realistic window — the state a
     /// load-balancer failover actually disrupts.
     pub request_delay_ms: f64,
+    /// The fault-injection axis: what the network does to the experiment's
+    /// packets, and how the client recovers.  The empty default is skipped
+    /// when serialising, so fault-free specs are byte-identical to those
+    /// written before the fault layer existed.
+    #[serde(default, skip_serializing_if = "fault_plan_is_empty")]
+    pub faults: FaultPlan,
 }
 
 impl ExperimentSpec {
@@ -533,6 +851,7 @@ impl ExperimentSpec {
             scenario: Vec::new(),
             policy,
             request_delay_ms: 0.0,
+            faults: FaultPlan::default(),
         }
     }
 
@@ -551,6 +870,7 @@ impl ExperimentSpec {
             scenario: Vec::new(),
             policy,
             request_delay_ms: 0.0,
+            faults: FaultPlan::default(),
         }
     }
 
@@ -618,6 +938,12 @@ impl ExperimentSpec {
     /// Sets the client think time in milliseconds (builder style).
     pub fn with_request_delay_ms(mut self, ms: f64) -> Self {
         self.request_delay_ms = ms;
+        self
+    }
+
+    /// Sets the fault-injection plan (builder style).
+    pub fn with_faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = faults;
         self
     }
 
@@ -689,6 +1015,7 @@ impl ExperimentSpec {
         if !self.request_delay_ms.is_finite() || self.request_delay_ms < 0.0 {
             return bad("request delay must be finite and non-negative".into());
         }
+        self.faults.validate(c)?;
 
         // The schedule: replay it against the alive server and LB sets.
         let mut alive: Vec<bool> = (0..c.max_servers).map(|i| i < c.initial_servers).collect();
@@ -924,6 +1251,202 @@ mod tests {
         assert!(json.contains("\"lb_count\":4"));
         let back: ExperimentSpec = serde_json::from_str(&json).unwrap();
         assert_eq!(back, spec);
+    }
+
+    #[test]
+    fn fault_plan_serde_is_byte_stable_and_defaulted() {
+        // An empty fault plan is omitted from the JSON entirely, so
+        // committed specs written before the fault layer existed parse and
+        // re-serialise byte-identically (the `lb_count` precedent).
+        let spec = ExperimentSpec::poisson_paper(0.5, PolicyKind::Dynamic);
+        let json = serde_json::to_string(&spec).unwrap();
+        assert!(!json.contains("faults"), "an empty plan must be skipped");
+        let back: ExperimentSpec = serde_json::from_str(&json).unwrap();
+        assert!(back.faults.is_empty());
+        assert_eq!(back, spec);
+
+        // A lossy plan round-trips explicitly, and empty rule classes stay
+        // out of the JSON.
+        let spec = spec.with_faults(FaultPlan {
+            loss: vec![LossSpec {
+                link: FaultLink::default(),
+                probability: 0.01,
+            }],
+            recovery: Some(srlb_net::RetransmitPolicy::default()),
+            ..FaultPlan::default()
+        });
+        let json = serde_json::to_string(&spec).unwrap();
+        assert!(json.contains("\"probability\":0.01"), "{json}");
+        assert!(!json.contains("\"drops\""), "{json}");
+        assert!(!json.contains("\"slow_nodes\""), "{json}");
+        let back: ExperimentSpec = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, spec);
+        assert!(back.faults.injects_faults());
+        spec.validate().unwrap();
+    }
+
+    #[test]
+    fn fault_plan_validation_rejects_bad_rules() {
+        let base = || ExperimentSpec::poisson_paper(0.5, PolicyKind::Dynamic).with_lb_count(2);
+        let with_plan = |faults| base().with_faults(faults);
+        // Probability out of range.
+        assert!(with_plan(FaultPlan {
+            loss: vec![LossSpec {
+                link: FaultLink::default(),
+                probability: 1.5,
+            }],
+            ..FaultPlan::default()
+        })
+        .validate()
+        .is_err());
+        // One-shot drop with a zero (0-based) packet index.
+        assert!(with_plan(FaultPlan {
+            drops: vec![OneShotDropSpec {
+                from: FaultNode::Client,
+                to: FaultNode::Lb { index: 0 },
+                packet: 0,
+            }],
+            ..FaultPlan::default()
+        })
+        .validate()
+        .is_err());
+        // Inverted down window.
+        assert!(with_plan(FaultPlan {
+            down: vec![DownWindowSpec {
+                link: FaultLink::default(),
+                from_seconds: 5.0,
+                until_seconds: 1.0,
+            }],
+            ..FaultPlan::default()
+        })
+        .validate()
+        .is_err());
+        // Zero-capacity queue and non-positive drain rate.
+        assert!(with_plan(FaultPlan {
+            queues: vec![QueueSpec {
+                from: FaultNode::Client,
+                to: FaultNode::Lb { index: 0 },
+                capacity: 0,
+                drain_pps: 100.0,
+            }],
+            ..FaultPlan::default()
+        })
+        .validate()
+        .is_err());
+        assert!(with_plan(FaultPlan {
+            queues: vec![QueueSpec {
+                from: FaultNode::Client,
+                to: FaultNode::Lb { index: 0 },
+                capacity: 8,
+                drain_pps: 0.0,
+            }],
+            ..FaultPlan::default()
+        })
+        .validate()
+        .is_err());
+        // Non-positive slow-node multiplier.
+        assert!(with_plan(FaultPlan {
+            slow_nodes: vec![SlowNodeSpec {
+                node: FaultNode::Server { index: 0 },
+                multiplier: 0.0,
+            }],
+            ..FaultPlan::default()
+        })
+        .validate()
+        .is_err());
+        // Endpoint indices out of range for the cluster shape.
+        assert!(with_plan(FaultPlan {
+            slow_nodes: vec![SlowNodeSpec {
+                node: FaultNode::Lb { index: 7 },
+                multiplier: 2.0,
+            }],
+            ..FaultPlan::default()
+        })
+        .validate()
+        .is_err());
+        assert!(with_plan(FaultPlan {
+            drops: vec![OneShotDropSpec {
+                from: FaultNode::Server { index: 99 },
+                to: FaultNode::Client,
+                packet: 1,
+            }],
+            ..FaultPlan::default()
+        })
+        .validate()
+        .is_err());
+        // Broken recovery policy.
+        assert!(with_plan(FaultPlan {
+            recovery: Some(srlb_net::RetransmitPolicy {
+                timeout_ms: -1.0,
+                ..srlb_net::RetransmitPolicy::default()
+            }),
+            ..FaultPlan::default()
+        })
+        .validate()
+        .is_err());
+        // A well-formed plan over the same shape passes.
+        with_plan(FaultPlan {
+            loss: vec![LossSpec {
+                link: FaultLink {
+                    from: Some(FaultNode::Lb { index: 1 }),
+                    to: None,
+                },
+                probability: 0.02,
+            }],
+            queues: vec![QueueSpec {
+                from: FaultNode::Client,
+                to: FaultNode::Lb { index: 0 },
+                capacity: 64,
+                drain_pps: 10_000.0,
+            }],
+            slow_nodes: vec![SlowNodeSpec {
+                node: FaultNode::Server { index: 0 },
+                multiplier: 4.0,
+            }],
+            ..FaultPlan::default()
+        })
+        .validate()
+        .unwrap();
+    }
+
+    #[test]
+    fn fault_plan_lowers_roles_to_node_ids() {
+        use srlb_sim::NodeId;
+        let plan = FaultPlan {
+            loss: vec![LossSpec {
+                link: FaultLink {
+                    from: Some(FaultNode::Client),
+                    to: Some(FaultNode::Lb { index: 1 }),
+                },
+                probability: 0.5,
+            }],
+            drops: vec![OneShotDropSpec {
+                from: FaultNode::Lb { index: 0 },
+                to: FaultNode::Server { index: 2 },
+                packet: 7,
+            }],
+            queues: vec![QueueSpec {
+                from: FaultNode::Server { index: 0 },
+                to: FaultNode::Client,
+                capacity: 16,
+                drain_pps: 1.0e9, // 1 ns service time
+            }],
+            ..FaultPlan::default()
+        };
+        let client = NodeId(0);
+        let lbs = [NodeId(1), NodeId(2)];
+        let servers = [NodeId(3), NodeId(4), NodeId(5)];
+        let config = plan.to_fault_config(client, &lbs, &servers);
+        assert_eq!(config.loss[0].link.from, Some(NodeId(0)));
+        assert_eq!(config.loss[0].link.to, Some(NodeId(2)));
+        assert_eq!(config.drops[0].from, NodeId(1));
+        assert_eq!(config.drops[0].to, NodeId(5));
+        assert_eq!(config.drops[0].packet, 7);
+        assert_eq!(config.queues[0].from, NodeId(3));
+        assert_eq!(config.queues[0].to, NodeId(0));
+        assert_eq!(config.queues[0].service.as_nanos(), 1);
+        assert!(config.down.is_empty());
+        config.validate().unwrap();
     }
 
     #[test]

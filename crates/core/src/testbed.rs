@@ -19,7 +19,7 @@ use srlb_workload::Request;
 use crate::dispatch::DispatcherConfig;
 use crate::lb_node::LbStats;
 use crate::runner::Runner;
-use crate::spec::{ClusterSpec, ExperimentSpec, PolicyKind, WorkloadSpec};
+use crate::spec::{ClusterSpec, ExperimentSpec, FaultPlan, PolicyKind, WorkloadSpec};
 use crate::CoreError;
 
 /// Static configuration of the simulated cluster.
@@ -87,6 +87,7 @@ impl TestbedConfig {
                 acceptance: self.policy,
             },
             request_delay_ms: 0.0,
+            faults: FaultPlan::default(),
         }
     }
 

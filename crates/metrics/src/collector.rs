@@ -32,6 +32,10 @@ pub enum RequestOutcome {
     Reset,
     /// The request was still outstanding when the experiment ended.
     Unfinished,
+    /// The client gave up after exhausting its retransmission budget
+    /// (fault-injection runs only): every copy of the SYN or the request —
+    /// or of the corresponding response — was lost in the network.
+    Aborted,
 }
 
 /// One request's measurement record.
@@ -47,6 +51,16 @@ pub struct RequestRecord {
     pub outcome: RequestOutcome,
     /// Which server ultimately served the request, if known.
     pub served_by: Option<u32>,
+    /// How many times the request was retransmitted (fault-injection runs
+    /// only; omitted from serialized records when zero so fault-free
+    /// outputs are byte-identical to those of older versions).
+    #[serde(default, skip_serializing_if = "is_zero_u32")]
+    pub retransmits: u32,
+}
+
+/// Serde helper: skip serializing zero counters.
+fn is_zero_u32(n: &u32) -> bool {
+    *n == 0
 }
 
 /// Accumulates [`RequestRecord`]s and derives the statistics the paper
@@ -96,6 +110,20 @@ impl ResponseTimeCollector {
             .iter()
             .filter(|r| r.outcome == RequestOutcome::Reset)
             .count()
+    }
+
+    /// Number of requests aborted after exhausting the retransmission
+    /// budget.
+    pub fn aborted_count(&self) -> usize {
+        self.records
+            .iter()
+            .filter(|r| r.outcome == RequestOutcome::Aborted)
+            .count()
+    }
+
+    /// Total retransmissions across all records.
+    pub fn retransmit_total(&self) -> u64 {
+        self.records.iter().map(|r| u64::from(r.retransmits)).sum()
     }
 
     /// Completed response times in milliseconds, optionally filtered by
@@ -190,6 +218,7 @@ mod tests {
                 RequestOutcome::Reset
             },
             served_by: server,
+            retransmits: 0,
         }
     }
 
@@ -261,5 +290,47 @@ mod tests {
         let json = serde_json::to_string(&c).unwrap();
         let back: ResponseTimeCollector = serde_json::from_str(&json).unwrap();
         assert_eq!(back, c);
+    }
+
+    #[test]
+    fn zero_retransmit_records_serialize_as_before() {
+        let fault_free = record(0.5, Some(12.0), RequestClass::Synthetic, Some(3));
+        let json = serde_json::to_string(&fault_free).unwrap();
+        assert!(
+            !json.contains("retransmits"),
+            "fault-free records must stay byte-identical to older outputs: {json}"
+        );
+        let back: RequestRecord = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, fault_free);
+
+        let mut retried = record(0.5, Some(30.0), RequestClass::Synthetic, Some(1));
+        retried.retransmits = 2;
+        let json = serde_json::to_string(&retried).unwrap();
+        assert!(json.contains("\"retransmits\":2"));
+        let back: RequestRecord = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, retried);
+        assert_eq!(
+            serde_json::from_str::<RequestRecord>(&serde_json::to_string(&fault_free).unwrap())
+                .unwrap()
+                .retransmits,
+            0
+        );
+    }
+
+    #[test]
+    fn aborted_counts_and_retransmit_totals() {
+        let mut c = ResponseTimeCollector::new();
+        let mut aborted = record(0.0, None, RequestClass::Synthetic, None);
+        aborted.outcome = RequestOutcome::Aborted;
+        aborted.retransmits = 5;
+        c.push(aborted);
+        let mut retried = record(1.0, Some(50.0), RequestClass::Synthetic, Some(0));
+        retried.retransmits = 1;
+        c.push(retried);
+        c.push(record(2.0, Some(10.0), RequestClass::Synthetic, Some(1)));
+        assert_eq!(c.aborted_count(), 1);
+        assert_eq!(c.retransmit_total(), 6);
+        assert_eq!(c.completed_count(), 2);
+        assert_eq!(c.reset_count(), 0);
     }
 }

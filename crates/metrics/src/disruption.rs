@@ -32,6 +32,16 @@ pub struct PhaseStats {
     pub resets: u64,
     /// Requests sent during the phase that never finished.
     pub unfinished: u64,
+    /// Requests sent during the phase that the client aborted after
+    /// exhausting its retransmission budget (fault-injection runs only;
+    /// omitted from serialized stats when zero so fault-free outputs stay
+    /// byte-identical to those of older versions).
+    #[serde(default, skip_serializing_if = "is_zero_u64")]
+    pub aborted: u64,
+    /// Total retransmissions across requests sent during the phase
+    /// (fault-injection runs only; omitted when zero, as above).
+    #[serde(default, skip_serializing_if = "is_zero_u64")]
+    pub retransmits: u64,
     /// Mean response time of the phase's completed requests (ms).
     pub mean_response_ms: f64,
     /// 99th-percentile response time of the phase's completed requests (ms).
@@ -39,6 +49,11 @@ pub struct PhaseStats {
     /// Jain fairness of per-server completion counts within the phase
     /// (1.0 = perfectly even; 0.0 when nothing completed).
     pub fairness: f64,
+}
+
+/// Serde helper: skip serializing zero counters.
+fn is_zero_u64(n: &u64) -> bool {
+    *n == 0
 }
 
 /// Slices request records into phases delimited by scenario control events.
@@ -95,11 +110,14 @@ impl DisruptionCollector {
         let mut completed = vec![0u64; n];
         let mut resets = vec![0u64; n];
         let mut unfinished = vec![0u64; n];
+        let mut aborted = vec![0u64; n];
+        let mut retransmits = vec![0u64; n];
         let mut times: Vec<Vec<f64>> = vec![Vec::new(); n];
         let mut per_server: Vec<Vec<f64>> = vec![vec![0.0; self.servers]; n];
         for record in records {
             let phase = self.phase_of(record.sent_at_seconds);
             sent[phase] += 1;
+            retransmits[phase] += u64::from(record.retransmits);
             match record.outcome {
                 RequestOutcome::Completed => {
                     completed[phase] += 1;
@@ -114,6 +132,7 @@ impl DisruptionCollector {
                 }
                 RequestOutcome::Reset => resets[phase] += 1,
                 RequestOutcome::Unfinished => unfinished[phase] += 1,
+                RequestOutcome::Aborted => aborted[phase] += 1,
             }
         }
         (0..n)
@@ -127,6 +146,8 @@ impl DisruptionCollector {
                     completed: completed[i],
                     resets: resets[i],
                     unfinished: unfinished[i],
+                    aborted: aborted[i],
+                    retransmits: retransmits[i],
                     mean_response_ms: summary.mean(),
                     p99_response_ms: summary.percentile(99.0).unwrap_or(0.0),
                     // `jain_fairness` reports an all-zero vector as 1.0;
@@ -154,6 +175,7 @@ mod tests {
             class: RequestClass::Synthetic,
             outcome,
             served_by: server,
+            retransmits: 0,
         }
     }
 
@@ -235,5 +257,32 @@ mod tests {
     #[should_panic(expected = "sorted")]
     fn unsorted_boundaries_panic() {
         DisruptionCollector::new(vec![("b".into(), 5.0), ("a".into(), 1.0)], 1);
+    }
+
+    #[test]
+    fn aborts_and_retransmits_are_sliced_by_phase_and_skipped_when_zero() {
+        let collector = DisruptionCollector::new(vec![("failover".into(), 10.0)], 2);
+        let mut retried = record(1.0, RequestOutcome::Completed, Some(0));
+        retried.retransmits = 2;
+        let mut gave_up = record(11.0, RequestOutcome::Aborted, None);
+        gave_up.retransmits = 5;
+        let stats = collector.stats(&[
+            retried,
+            record(2.0, RequestOutcome::Completed, Some(1)),
+            gave_up,
+        ]);
+        assert_eq!(stats[0].retransmits, 2);
+        assert_eq!(stats[0].aborted, 0);
+        assert_eq!(stats[1].aborted, 1);
+        assert_eq!(stats[1].retransmits, 5);
+        assert_eq!(stats[1].sent, 1);
+
+        // Fault-free phases serialize without the new fields.
+        let clean = collector.stats(&[record(1.0, RequestOutcome::Completed, Some(0))]);
+        let json = serde_json::to_string(&clean[0]).unwrap();
+        assert!(!json.contains("aborted"), "{json}");
+        assert!(!json.contains("retransmits"), "{json}");
+        let json = serde_json::to_string(&stats[1]).unwrap();
+        assert!(json.contains("\"aborted\":1"));
     }
 }

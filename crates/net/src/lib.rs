@@ -64,7 +64,7 @@ pub use flow::{mix64, FlowKey, Protocol};
 pub use ipv6::{Ipv6Header, NextHeader, IPV6_HEADER_LEN};
 pub use packet::{Packet, PacketBuilder};
 pub use srh::{SegmentRoutingHeader, MAX_SEGMENTS, SRH_FIXED_LEN};
-pub use tcp::{TcpFlags, TcpHeader, TCP_HEADER_LEN};
+pub use tcp::{RetransmitPolicy, TcpFlags, TcpHeader, TCP_HEADER_LEN};
 
 /// Convenience result alias used throughout the crate.
 pub type Result<T> = std::result::Result<T, NetError>;

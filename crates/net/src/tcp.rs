@@ -228,6 +228,99 @@ impl TcpHeader {
     }
 }
 
+/// End-to-end retransmission parameters: how long a sender waits for the
+/// reply to a SYN or request before sending it again, and when it gives up.
+///
+/// The timeout for attempt `n` (0-based: the wait after the `n`-th
+/// transmission) is `timeout_ms × backoff^n`, optionally spread by up to
+/// `jitter` (a fraction of the computed timeout) drawn by the caller from
+/// its own random stream to avoid synchronized retry storms.  After
+/// `max_retries` retransmissions the request is aborted, so a request is
+/// transmitted at most `1 + max_retries` times.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RetransmitPolicy {
+    /// Base retransmission timeout in milliseconds.
+    #[serde(default = "default_timeout_ms")]
+    pub timeout_ms: f64,
+    /// Exponential backoff factor applied per retry.
+    #[serde(default = "default_backoff")]
+    pub backoff: f64,
+    /// Maximum jitter as a fraction of the computed timeout (`0.1` adds up
+    /// to 10%).
+    #[serde(default = "default_jitter")]
+    pub jitter: f64,
+    /// Number of retransmissions before the request is aborted.
+    #[serde(default = "default_max_retries")]
+    pub max_retries: u32,
+}
+
+fn default_timeout_ms() -> f64 {
+    200.0
+}
+fn default_backoff() -> f64 {
+    2.0
+}
+fn default_jitter() -> f64 {
+    0.1
+}
+fn default_max_retries() -> u32 {
+    5
+}
+
+impl Default for RetransmitPolicy {
+    fn default() -> Self {
+        RetransmitPolicy {
+            timeout_ms: default_timeout_ms(),
+            backoff: default_backoff(),
+            jitter: default_jitter(),
+            max_retries: default_max_retries(),
+        }
+    }
+}
+
+impl RetransmitPolicy {
+    /// The timeout before retry `retries + 1`, in integer nanoseconds
+    /// (before jitter): `timeout_ms × backoff^retries`.
+    pub fn timeout_nanos(&self, retries: u32) -> u64 {
+        let ms = self.timeout_ms * self.backoff.powi(retries as i32);
+        (ms * 1_000_000.0).round() as u64
+    }
+
+    /// The largest jitter (in nanoseconds) that may be added to the timeout
+    /// for the given retry count.
+    pub fn max_jitter_nanos(&self, retries: u32) -> u64 {
+        (self.timeout_nanos(retries) as f64 * self.jitter).round() as u64
+    }
+
+    /// Checks the policy's parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the first invalid parameter: a non-positive
+    /// timeout, a backoff below 1, or a jitter fraction outside `[0, 1]`.
+    pub fn validate(&self) -> std::result::Result<(), String> {
+        if !self.timeout_ms.is_finite() || self.timeout_ms <= 0.0 {
+            return Err(format!(
+                "retransmit timeout {} ms must be positive",
+                self.timeout_ms
+            ));
+        }
+        if !self.backoff.is_finite() || self.backoff < 1.0 {
+            return Err(format!(
+                "retransmit backoff {} must be at least 1",
+                self.backoff
+            ));
+        }
+        if !self.jitter.is_finite() || !(0.0..=1.0).contains(&self.jitter) {
+            return Err(format!(
+                "retransmit jitter {} must be within [0, 1]",
+                self.jitter
+            ));
+        }
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -253,6 +346,43 @@ mod tests {
         assert_eq!(TcpFlags::RST.to_string(), "RST");
         assert_eq!(TcpFlags::EMPTY.to_string(), "-");
         assert_eq!((TcpFlags::FIN | TcpFlags::PSH).to_string(), "FIN|PSH");
+    }
+
+    #[test]
+    fn retransmit_policy_backs_off_exponentially() {
+        let policy = RetransmitPolicy::default();
+        policy.validate().unwrap();
+        assert_eq!(policy.timeout_nanos(0), 200_000_000);
+        assert_eq!(policy.timeout_nanos(1), 400_000_000);
+        assert_eq!(policy.timeout_nanos(3), 1_600_000_000);
+        assert_eq!(policy.max_jitter_nanos(0), 20_000_000);
+
+        let json = serde_json::to_string(&policy).unwrap();
+        let back: RetransmitPolicy = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, policy);
+        // Omitted fields fall back to the defaults.
+        let partial: RetransmitPolicy = serde_json::from_str("{\"max_retries\":2}").unwrap();
+        assert_eq!(partial.max_retries, 2);
+        assert_eq!(partial.timeout_ms, 200.0);
+
+        assert!(RetransmitPolicy {
+            timeout_ms: 0.0,
+            ..RetransmitPolicy::default()
+        }
+        .validate()
+        .is_err());
+        assert!(RetransmitPolicy {
+            backoff: 0.5,
+            ..RetransmitPolicy::default()
+        }
+        .validate()
+        .is_err());
+        assert!(RetransmitPolicy {
+            jitter: 2.0,
+            ..RetransmitPolicy::default()
+        }
+        .validate()
+        .is_err());
     }
 
     #[test]

@@ -58,6 +58,17 @@ pub struct ScenarioOutcome {
     pub duration_seconds: f64,
     /// Total simulation events processed.
     pub events_processed: u64,
+    /// Messages dropped by injected faults (probabilistic loss, one-shot
+    /// drops); zero on fault-free runs.
+    pub dropped_injected: u64,
+    /// Messages tail-dropped by bounded per-link queues.
+    pub dropped_queue: u64,
+    /// Messages dropped inside link down windows.
+    pub dropped_link_down: u64,
+    /// Total client retransmissions.
+    pub retransmits: u64,
+    /// Requests aborted after exhausting the retransmission budget.
+    pub aborted: u64,
 }
 
 impl ScenarioOutcome {
@@ -107,6 +118,11 @@ impl ScenarioOutcome {
             flows_learned: self.lb_stats.flows_learned,
             reconstruction_ms: self.reconstruction_latency_s.map(|s| s * 1e3),
             duration_seconds: self.duration_seconds,
+            aborted: self.aborted,
+            retransmits: self.retransmits,
+            dropped_injected: self.dropped_injected,
+            dropped_queue: self.dropped_queue,
+            dropped_link_down: self.dropped_link_down,
             phases: self.phases.clone(),
             // Populated only for multi-instance tiers (a single instance
             // adds nothing over the aggregate counters), so the report's
@@ -125,6 +141,12 @@ impl ScenarioOutcome {
 /// Serde skip predicate for [`ScenarioReport::per_lb`].
 fn per_lb_is_trivial(per_lb: &[LbStats]) -> bool {
     per_lb.is_empty()
+}
+
+/// Serde skip predicate for the fault counters: fault-free reports carry
+/// none of them, so pre-fault-layer report bytes stay stable.
+fn is_zero_u64(n: &u64) -> bool {
+    *n == 0
 }
 
 /// Machine-readable summary of a scenario run (one entry of
@@ -161,6 +183,22 @@ pub struct ScenarioReport {
     pub reconstruction_ms: Option<f64>,
     /// Simulated duration in seconds.
     pub duration_seconds: f64,
+    /// Requests aborted after exhausting the retransmission budget
+    /// (fault-injection runs only; omitted when zero).
+    #[serde(default, skip_serializing_if = "is_zero_u64")]
+    pub aborted: u64,
+    /// Total client retransmissions (omitted when zero).
+    #[serde(default, skip_serializing_if = "is_zero_u64")]
+    pub retransmits: u64,
+    /// Messages dropped by injected faults (omitted when zero).
+    #[serde(default, skip_serializing_if = "is_zero_u64")]
+    pub dropped_injected: u64,
+    /// Messages tail-dropped by bounded queues (omitted when zero).
+    #[serde(default, skip_serializing_if = "is_zero_u64")]
+    pub dropped_queue: u64,
+    /// Messages dropped inside link down windows (omitted when zero).
+    #[serde(default, skip_serializing_if = "is_zero_u64")]
+    pub dropped_link_down: u64,
     /// Per-phase disruption statistics.
     pub phases: Vec<PhaseStats>,
     /// Per-instance load-balancer counters (omitted for single-LB tiers).
@@ -188,5 +226,10 @@ pub fn run(scenario: &Scenario) -> Result<ScenarioOutcome, ScenarioError> {
         collector: outcome.collector,
         duration_seconds: outcome.duration_seconds,
         events_processed: outcome.events_processed,
+        dropped_injected: outcome.dropped_injected,
+        dropped_queue: outcome.dropped_queue,
+        dropped_link_down: outcome.dropped_link_down,
+        retransmits: outcome.retransmits,
+        aborted: outcome.aborted,
     })
 }

@@ -21,9 +21,12 @@ use srlb_core::spec::{ExperimentSpec, PolicyKind};
 use srlb_server::PolicyConfig;
 use srlb_sim::TopologyModel;
 
-use srlb_core::spec::{default_lb_count, lb_count_is_one};
+use srlb_core::spec::{default_lb_count, fault_plan_is_empty, lb_count_is_one};
 
-pub use srlb_core::spec::{CapacityOverride, ScenarioEvent, TimedEvent};
+pub use srlb_core::spec::{
+    CapacityOverride, DownWindowSpec, FaultLink, FaultNode, FaultPlan, LossSpec, OneShotDropSpec,
+    QueueSpec, ScenarioEvent, SlowNodeSpec, TimedEvent,
+};
 
 /// Static description of the cluster a scenario runs on.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -139,6 +142,12 @@ pub struct Scenario {
     pub workload: WorkloadSpec,
     /// Control events, sorted by time.
     pub events: Vec<TimedEvent>,
+    /// The fault-injection plan (lossy links, bounded queues, down
+    /// windows, slow nodes) and the client's recovery policy.  The empty
+    /// default is omitted from serialised scenarios, so pre-fault-layer
+    /// scenario JSONs round-trip byte-identically.
+    #[serde(default, skip_serializing_if = "fault_plan_is_empty")]
+    pub faults: FaultPlan,
 }
 
 impl Scenario {
@@ -151,6 +160,7 @@ impl Scenario {
             cluster: ClusterSpec::default(),
             workload: WorkloadSpec::default(),
             events: Vec::new(),
+            faults: FaultPlan::default(),
         }
     }
 
@@ -192,6 +202,12 @@ impl Scenario {
         self
     }
 
+    /// Sets the fault-injection plan (builder style).
+    pub fn with_faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = faults;
+        self
+    }
+
     /// The unified [`ExperimentSpec`] this scenario denotes: the same
     /// cluster and schedule, the Poisson workload at its explicit rate, and
     /// an `Explicit` dispatcher/acceptance policy pairing.
@@ -226,6 +242,7 @@ impl Scenario {
                 acceptance: c.policy,
             },
             request_delay_ms: self.workload.request_delay_ms,
+            faults: self.faults.clone(),
         }
     }
 
@@ -330,6 +347,67 @@ impl Scenario {
         scenario
             .at(mid, ScenarioEvent::RemoveServer { server: 2 })
             .at(mid, ScenarioEvent::RemoveServer { server: 5 })
+    }
+
+    /// The [`lb_failover`](Scenario::lb_failover) schedule under a lossy
+    /// fabric: 1% independent loss on *every* link, with the default
+    /// retransmission policy recovering end to end.  A deterministic
+    /// dispatcher must still complete every request — retransmitted SYNs
+    /// re-hunt at the rebuilt flow table, retransmitted requests steer
+    /// through learned entries — with zero established-connection remaps.
+    pub fn lossy_lb_failover(dispatcher: DispatcherConfig, queries: usize) -> Self {
+        let mut scenario = Scenario::lb_failover(dispatcher, queries);
+        scenario.name = "lossy_lb_failover".to_string();
+        scenario.with_faults(FaultPlan {
+            loss: vec![LossSpec {
+                link: FaultLink::default(),
+                probability: 0.01,
+            }],
+            ..FaultPlan::default()
+        })
+    }
+
+    /// Incast into one hot server: server 0 runs 4× slower than its peers
+    /// and the load balancer's link to it is a shallow bounded queue, so
+    /// synchronized arrivals tail-drop.  The client's retransmissions
+    /// absorb the drops; what survives to the application is the queue's
+    /// admission rate, not a hang.
+    pub fn incast(dispatcher: DispatcherConfig, queries: usize) -> Self {
+        Scenario::new("incast")
+            .with_dispatcher(dispatcher)
+            .with_queries(queries)
+            .with_faults(FaultPlan {
+                queues: vec![QueueSpec {
+                    from: FaultNode::Lb { index: 0 },
+                    to: FaultNode::Server { index: 0 },
+                    capacity: 4,
+                    drain_pps: 20.0,
+                }],
+                slow_nodes: vec![SlowNodeSpec {
+                    node: FaultNode::Server { index: 0 },
+                    multiplier: 4.0,
+                }],
+                ..FaultPlan::default()
+            })
+    }
+
+    /// A saturated load-balancer uplink: the client → LB link is a bounded
+    /// FIFO draining just below the offered SYN/request rate, so bursts
+    /// overflow and tail-drop on ingress.  Every request must still
+    /// complete through retransmission.
+    pub fn saturated_uplink(dispatcher: DispatcherConfig, queries: usize) -> Self {
+        Scenario::new("saturated_uplink")
+            .with_dispatcher(dispatcher)
+            .with_queries(queries)
+            .with_faults(FaultPlan {
+                queues: vec![QueueSpec {
+                    from: FaultNode::Client,
+                    to: FaultNode::Lb { index: 0 },
+                    capacity: 8,
+                    drain_pps: 180.0,
+                }],
+                ..FaultPlan::default()
+            })
     }
 }
 

@@ -202,3 +202,69 @@ fn scenario_runs_are_deterministic() {
     assert_eq!(json_a, json_b);
     assert!(json_a.contains("\"rolling_upgrade\""));
 }
+
+#[test]
+fn lossy_lb_failover_completes_everything_through_retransmission() {
+    let outcome = run(&Scenario::lossy_lb_failover(CH, 400).with_seed(7)).unwrap();
+    assert!(outcome.dropped_injected > 0, "1% loss must drop something");
+    assert!(outcome.retransmits > 0, "drops must be retransmitted");
+    assert_eq!(outcome.aborted, 0, "1% loss never exhausts the budget");
+    assert_eq!(outcome.broken_established(), 0);
+    assert_eq!(
+        outcome.collector.completed_count() + outcome.collector.reset_count(),
+        400,
+        "every request resolves despite the lossy fabric"
+    );
+    // The report carries the per-cause taxonomy, and only non-zero causes.
+    let report = outcome.report();
+    let json = serde_json::to_string(&report).unwrap();
+    assert!(json.contains("\"dropped_injected\""));
+    assert!(!json.contains("\"dropped_queue\""));
+    assert!(!json.contains("\"dropped_link_down\""));
+    let back: srlb_scenario::ScenarioReport = serde_json::from_str(&json).unwrap();
+    assert_eq!(back, report);
+}
+
+#[test]
+fn incast_tail_drops_at_the_hot_server_queue() {
+    let outcome = run(&Scenario::incast(CH, 400).with_seed(7)).unwrap();
+    assert!(
+        outcome.dropped_queue > 0,
+        "the shallow queue must tail-drop"
+    );
+    assert_eq!(outcome.dropped_injected, 0);
+    assert!(outcome.retransmits > 0);
+    assert!(
+        outcome.collector.completed_count() > 300,
+        "most requests survive the incast, got {}",
+        outcome.collector.completed_count()
+    );
+}
+
+#[test]
+fn saturated_uplink_drops_on_ingress_but_recovers() {
+    let outcome = run(&Scenario::saturated_uplink(CH, 400).with_seed(7)).unwrap();
+    assert!(outcome.dropped_queue > 0, "uplink queue must overflow");
+    assert!(outcome.retransmits > 0);
+    assert!(outcome.collector.completed_count() > 300);
+}
+
+#[test]
+fn fault_free_reports_serialize_without_fault_counters() {
+    let outcome = run(&Scenario::lb_failover(CH, 200).with_seed(7)).unwrap();
+    assert_eq!(outcome.dropped_injected, 0);
+    assert_eq!(outcome.retransmits, 0);
+    let json = serde_json::to_string(&outcome.report()).unwrap();
+    for key in [
+        "aborted",
+        "retransmits",
+        "dropped_injected",
+        "dropped_queue",
+        "dropped_link_down",
+    ] {
+        assert!(
+            !json.contains(key),
+            "fault-free report leaked {key}: {json}"
+        );
+    }
+}

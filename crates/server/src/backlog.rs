@@ -74,6 +74,11 @@ impl<T> Backlog<T> {
     pub fn pop(&mut self) -> Option<T> {
         self.queue.pop_front()
     }
+
+    /// Iterates over the queued connections, oldest first.
+    pub fn iter(&self) -> impl Iterator<Item = &T> {
+        self.queue.iter()
+    }
 }
 
 #[cfg(test)]

@@ -109,6 +109,23 @@ pub struct ServerStats {
     /// without any candidate owning the flow: the connection is
     /// unrecoverable and was reset.
     pub orphaned: u64,
+    /// Retransmitted requests ignored because the same `(flow, request)`
+    /// was already running or backlogged — the duplicate-segment
+    /// suppression real TCP performs by sequence number.  Zero on
+    /// fault-free runs.
+    #[serde(default, skip_serializing_if = "duplicate_count_is_zero")]
+    pub duplicates_ignored: u64,
+    /// Responses replayed from lingering connection state for a
+    /// retransmitted request whose original response was lost.  Zero on
+    /// fault-free runs.
+    #[serde(default, skip_serializing_if = "duplicate_count_is_zero")]
+    pub responses_replayed: u64,
+}
+
+/// Serde skip predicate for [`ServerStats::duplicates_ignored`], keeping
+/// fault-free serialized stats byte-identical to the pre-fault-layer form.
+fn duplicate_count_is_zero(n: &u64) -> bool {
+    *n == 0
 }
 
 impl ServerStats {
@@ -125,7 +142,28 @@ impl ServerStats {
         self.completed += other.completed;
         self.ownership_adverts += other.ownership_adverts;
         self.orphaned += other.orphaned;
+        self.duplicates_ignored += other.duplicates_ignored;
+        self.responses_replayed += other.responses_replayed;
     }
+}
+
+/// Per-flow connection state.
+///
+/// An entry is created when the hunted SYN is accepted and lives until the
+/// peer closes (RST/FIN) — **including after the response was sent**: the
+/// completed request's id is retained so a retransmitted request whose
+/// response was lost on the way back is answered from this state instead of
+/// being re-served (or, after a load-balancer failover wiped the flow
+/// table, orphaned as unrecoverable).  Flows are never reused within a run
+/// (each request gets a unique client `(address, port)` pair), so a
+/// retained entry can only ever match its own request's retransmissions.
+#[derive(Debug, Clone, Copy)]
+struct Connection {
+    /// The client's address (responses go here, direct server return).
+    client: Ipv6Addr,
+    /// Id of the request this connection completed, once the response has
+    /// been sent.
+    completed: Option<u64>,
 }
 
 /// A request waiting in the backlog for a worker thread.
@@ -203,7 +241,7 @@ pub struct ServerNode {
     pool: WorkerPool,
     cpu: ProcessorSharingCpu,
     backlog: Backlog<PendingJob>,
-    connections: HashMap<FlowKey, Ipv6Addr>,
+    connections: HashMap<FlowKey, Connection>,
     running: HashMap<u64, RunningJob>,
     next_job_token: u64,
     /// Generation counter for the single CPU completion timer: any timer
@@ -343,7 +381,13 @@ impl ServerNode {
         let flow = packet.flow_key_forward();
         let client = flow.client();
         let vip = flow.vip();
-        self.connections.insert(flow, client);
+        self.connections.insert(
+            flow,
+            Connection {
+                client,
+                completed: None,
+            },
+        );
 
         let srh = self
             .router
@@ -367,11 +411,38 @@ impl ServerNode {
         let Some((request_id, service)) = decode_request_payload(&packet.payload) else {
             return; // bare ACK / FIN of the handshake: nothing to do
         };
-        let client = self
-            .connections
-            .get(&flow)
-            .copied()
-            .unwrap_or(flow.client());
+        let connection = self.connections.get(&flow).copied();
+        // A retransmitted request for an already-completed connection means
+        // the response was lost on the way back: replay it from connection
+        // state instead of re-serving the job.
+        if let Some(done) = connection.and_then(|c| c.completed) {
+            if done == request_id {
+                self.stats.responses_replayed += 1;
+                let client = connection.map_or(flow.client(), |c| c.client);
+                self.send_response(&flow, client, request_id, ctx);
+            }
+            return;
+        }
+        let client = connection.map_or(flow.client(), |c| c.client);
+        // Duplicate-segment suppression: a retransmitted request whose
+        // original is already running or backlogged (a spurious client
+        // timeout, or a drop between here and the client while the job is
+        // still in service) must not be served twice — the in-flight job's
+        // response answers the retransmission.  Without this, spurious
+        // retransmits under load feed back into longer queues and collapse
+        // the server, exactly the storm TCP's sequence numbers prevent.
+        if self
+            .running
+            .values()
+            .any(|j| j.flow == flow && j.request_id == request_id)
+            || self
+                .backlog
+                .iter()
+                .any(|j| j.flow == flow && j.request_id == request_id)
+        {
+            self.stats.duplicates_ignored += 1;
+            return;
+        }
         let job = PendingJob {
             flow,
             client,
@@ -431,24 +502,43 @@ impl ServerNode {
         };
         self.pool.release(job.worker);
         self.stats.completed += 1;
-        self.connections.remove(&job.flow);
-
-        // Response goes directly to the client (direct server return); the
-        // payload names this server so completions are attributable.
-        let response = PacketBuilder::tcp(job.flow.vip(), job.client)
-            .ports(job.flow.vip_port(), job.flow.client_port())
-            .flags(TcpFlags::PSH | TcpFlags::ACK)
-            .payload(encode_response_payload(
-                job.request_id,
-                self.config.server_index,
-            ))
-            .build();
-        self.send_to_addr(ctx, job.client, response);
+        // The connection lingers with the completed request id recorded, so
+        // a retransmission of the request (lost response) can be answered
+        // from state; the entry is dropped when the peer closes (RST/FIN).
+        self.connections.insert(
+            job.flow,
+            Connection {
+                client: job.client,
+                completed: Some(job.request_id),
+            },
+        );
+        self.send_response(&job.flow, job.client, job.request_id, ctx);
 
         // Pull the next waiting request onto the freed worker thread.
         if let Some(next) = self.backlog.pop() {
             self.start_service(next, ctx.now());
         }
+    }
+
+    /// Sends the response for `request_id` directly to the client (direct
+    /// server return); the payload names this server so completions are
+    /// attributable.
+    fn send_response(
+        &self,
+        flow: &FlowKey,
+        client: Ipv6Addr,
+        request_id: u64,
+        ctx: &mut Context<'_, Packet>,
+    ) {
+        let response = PacketBuilder::tcp(flow.vip(), client)
+            .ports(flow.vip_port(), flow.client_port())
+            .flags(TcpFlags::PSH | TcpFlags::ACK)
+            .payload(encode_response_payload(
+                request_id,
+                self.config.server_index,
+            ))
+            .build();
+        self.send_to_addr(ctx, client, response);
     }
 
     /// Handles a *re-hunted* packet: a non-SYN packet carrying a Service
@@ -457,23 +547,49 @@ impl ServerNode {
     /// candidate list.  Unlike connection establishment, the decision here
     /// is by **ownership**, not instantaneous load:
     ///
-    /// * this server owns the connection — deliver locally and send an
-    ///   ownership advert (an acceptance-style SRH) to the load balancer so
-    ///   its flow table is reconstructed in-band,
+    /// * this server owns the *live* connection — deliver locally and send
+    ///   an ownership advert (an acceptance-style SRH) to the load balancer
+    ///   so its flow table is reconstructed in-band,
+    /// * the connection completed and only lingers for response replay — a
+    ///   retransmission of the completed request is answered from state,
+    ///   anything else falls through as if the flow were unknown (a dead
+    ///   flow must not be resurrected into the flow table),
     /// * another candidate may own it — forward along the SR list,
     /// * last candidate and nobody owned it — the connection is
     ///   unrecoverable: reset it so the client learns immediately.
     fn handle_rehunted(&mut self, mut packet: Packet, ctx: &mut Context<'_, Packet>) {
         let flow = packet.flow_key_forward();
         let segments_left = packet.srh.as_ref().map_or(0, |s| s.segments_left());
-        if self.connections.contains_key(&flow) {
-            if packet.set_segments_left(0).is_err() {
+        match self.connections.get(&flow).copied() {
+            Some(conn) if conn.completed.is_none() => {
+                if packet.set_segments_left(0).is_err() {
+                    return;
+                }
+                self.stats.ownership_adverts += 1;
+                self.send_ownership_advert(&flow, ctx);
+                self.deliver_established(packet, ctx);
                 return;
             }
-            self.stats.ownership_adverts += 1;
-            self.send_ownership_advert(&flow, ctx);
-            self.deliver_established(packet, ctx);
-        } else if segments_left >= 2 {
+            Some(conn) => {
+                // The connection completed and lingers only to answer
+                // retransmissions: replay a matching request, but never
+                // advert ownership — the flow is dead, and a re-hunt must
+                // not re-install it in the load balancer's table.
+                if let Some((request_id, _)) = decode_request_payload(&packet.payload) {
+                    if conn.completed == Some(request_id) {
+                        self.stats.responses_replayed += 1;
+                        self.send_response(&flow, conn.client, request_id, ctx);
+                        return;
+                    }
+                }
+                if packet.is_rst() || packet.is_fin() {
+                    self.connections.remove(&flow);
+                    return;
+                }
+            }
+            None => {}
+        }
+        if segments_left >= 2 {
             if let Ok(next_hop) = packet.advance_segment() {
                 self.send_to_addr(ctx, next_hop, packet);
             }

@@ -11,6 +11,7 @@ use std::fmt;
 use std::sync::Arc;
 
 use crate::event::{EventPayload, EventQueue, ScheduledEvent};
+use crate::faults::{DropCause, FaultConfig, FaultState};
 use crate::link::Topology;
 use crate::node::{Context, Node, NodeId, ShardRouter};
 use crate::rng::SimRng;
@@ -26,14 +27,22 @@ pub struct SimStats {
     pub messages_delivered: u64,
     /// Timers fired.
     pub timers_fired: u64,
-    /// Total messages dropped; always equals
-    /// `dropped_unroutable + dropped_vacant`.
+    /// Total messages dropped for any reason; always equals
+    /// `dropped_unroutable + dropped_vacant + dropped_injected +
+    /// dropped_queue + dropped_link_down`.
     pub messages_dropped: u64,
     /// Messages addressed to a node id outside the node table (dropped).
     pub dropped_unroutable: u64,
     /// Messages addressed to a valid slot that holds no node — reserved but
     /// never filled, or removed via `take_node` (dropped).
     pub dropped_vacant: u64,
+    /// Messages consumed by the fault layer's injected faults: a
+    /// probabilistic loss rule or a deterministic one-shot drop.
+    pub dropped_injected: u64,
+    /// Messages tail-dropped by a full per-link bounded queue.
+    pub dropped_queue: u64,
+    /// Messages lost to a link down window.
+    pub dropped_link_down: u64,
     /// Simulated time of the last processed event.
     pub last_event_time: SimTime,
 }
@@ -48,6 +57,9 @@ impl SimStats {
         self.messages_dropped += other.messages_dropped;
         self.dropped_unroutable += other.dropped_unroutable;
         self.dropped_vacant += other.dropped_vacant;
+        self.dropped_injected += other.dropped_injected;
+        self.dropped_queue += other.dropped_queue;
+        self.dropped_link_down += other.dropped_link_down;
         self.last_event_time = self.last_event_time.max(other.last_event_time);
     }
 }
@@ -103,6 +115,12 @@ pub struct SimCore<M> {
     trace: TraceLog,
     trace_describe: Option<DescribeFn<M>>,
     router: Option<ShardRouter<M>>,
+    /// Run seed, kept so a fault layer installed later can salt its
+    /// interleaving-independent loss coin.
+    seed: u64,
+    /// Fault-injection state; `None` (the default) costs one branch per
+    /// delivery and changes nothing else.
+    faults: Option<Box<FaultState>>,
 }
 
 impl<M> fmt::Debug for SimCore<M> {
@@ -132,7 +150,22 @@ impl<M> SimCore<M> {
             trace: TraceLog::disabled(),
             trace_describe: None,
             router: None,
+            seed,
+            faults: None,
         }
+    }
+
+    /// Installs a fault-injection layer compiled from `config` (see
+    /// [`crate::faults`]).  An empty config removes the layer.  Must be
+    /// called before any node is started so every execution mode sees the
+    /// same fault state from the first delivery on.
+    pub fn set_faults(&mut self, config: &FaultConfig) {
+        debug_assert!(!self.started, "faults must be installed before start");
+        self.faults = if config.is_empty() {
+            None
+        } else {
+            Some(Box::new(FaultState::new(config, self.seed)))
+        };
     }
 
     /// Installs the cross-shard router (sharded execution only).  Must be
@@ -326,6 +359,23 @@ impl<M> SimCore<M> {
         self.now = event.key.time;
         self.stats.events_processed += 1;
         self.stats.last_event_time = self.now;
+
+        // Fault layer: only messages traverse links (timers are node-local),
+        // and the verdict is taken before target resolution so a doomed
+        // message costs no registry traffic.  `event.key.src` is the sender.
+        if matches!(event.payload, EventPayload::Message { .. }) {
+            if let Some(faults) = self.faults.as_mut() {
+                if let Some(cause) = faults.judge(event.key, event.target, self.now) {
+                    self.stats.messages_dropped += 1;
+                    match cause {
+                        DropCause::Injected => self.stats.dropped_injected += 1,
+                        DropCause::Queue => self.stats.dropped_queue += 1,
+                        DropCause::LinkDown => self.stats.dropped_link_down += 1,
+                    }
+                    return;
+                }
+            }
+        }
 
         let target = event.target;
         if held.as_ref().is_none_or(|(id, _)| *id != target) {
@@ -845,25 +895,86 @@ mod tests {
             events_processed: 2,
             messages_delivered: 1,
             timers_fired: 1,
-            messages_dropped: 1,
+            messages_dropped: 2,
             dropped_unroutable: 1,
             dropped_vacant: 0,
+            dropped_injected: 1,
+            dropped_queue: 0,
+            dropped_link_down: 0,
             last_event_time: SimTime::from_nanos(10),
         };
         let b = SimStats {
             events_processed: 3,
             messages_delivered: 2,
             timers_fired: 0,
-            messages_dropped: 2,
+            messages_dropped: 5,
             dropped_unroutable: 0,
             dropped_vacant: 2,
+            dropped_injected: 1,
+            dropped_queue: 1,
+            dropped_link_down: 1,
             last_event_time: SimTime::from_nanos(7),
         };
         a.absorb(b);
         assert_eq!(a.events_processed, 5);
-        assert_eq!(a.messages_dropped, 3);
+        assert_eq!(a.messages_dropped, 7);
         assert_eq!(a.dropped_unroutable, 1);
         assert_eq!(a.dropped_vacant, 2);
+        assert_eq!(a.dropped_injected, 2);
+        assert_eq!(a.dropped_queue, 1);
+        assert_eq!(a.dropped_link_down, 1);
         assert_eq!(a.last_event_time, SimTime::from_nanos(10));
+    }
+
+    #[test]
+    fn fault_layer_drops_messages_but_never_timers() {
+        use crate::faults::{FaultConfig, LinkMatch, LossRule};
+
+        struct Talker {
+            peer: NodeId,
+            timer_fired: bool,
+        }
+        impl Node<u32> for Talker {
+            fn on_start(&mut self, ctx: &mut Context<'_, u32>) {
+                ctx.send(self.peer, 7);
+                ctx.schedule_timer(SimDuration::from_micros(5), TimerToken(1));
+            }
+            fn on_message(&mut self, _m: u32, _f: NodeId, _c: &mut Context<'_, u32>) {}
+            fn on_timer(&mut self, _t: TimerToken, _c: &mut Context<'_, u32>) {
+                self.timer_fired = true;
+            }
+        }
+        let mut core = SimCore::new(5, Topology::datacenter());
+        let config = FaultConfig {
+            loss: vec![LossRule {
+                link: LinkMatch::default(),
+                probability: 1.0,
+            }],
+            ..FaultConfig::default()
+        };
+        core.set_faults(&config);
+        let sink = core.add_node(Echo {
+            peer: None,
+            cap: 0,
+            seen: vec![],
+        });
+        let talker = core.add_node(Talker {
+            peer: sink,
+            timer_fired: false,
+        });
+        drained(&mut core);
+        let stats = core.stats();
+        assert_eq!(stats.messages_delivered, 0);
+        assert_eq!(stats.dropped_injected, 1);
+        assert_eq!(stats.messages_dropped, 1);
+        assert_eq!(stats.timers_fired, 1, "timers are exempt from faults");
+        assert!(core.take_node::<Talker>(talker).unwrap().timer_fired);
+    }
+
+    #[test]
+    fn empty_fault_config_clears_the_layer() {
+        let mut core: SimCore<u32> = SimCore::new(5, Topology::datacenter());
+        core.set_faults(&crate::faults::FaultConfig::default());
+        assert!(core.faults.is_none());
     }
 }

@@ -70,6 +70,7 @@
 
 pub mod core;
 pub mod event;
+pub mod faults;
 pub mod link;
 pub mod network;
 pub mod node;
@@ -81,6 +82,7 @@ pub mod trace;
 
 pub use crate::core::{SimCore, SimStats, StepOutcome};
 pub use event::{EventKey, EventQueue};
+pub use faults::{DownWindow, DropCause, FaultConfig, LinkMatch, LossRule, OneShotDrop, QueueRule};
 pub use link::{Topology, TopologyModel};
 pub use network::{Network, RunLimit, RunUntil};
 pub use node::{Context, Node, NodeId, TimerToken};

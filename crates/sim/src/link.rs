@@ -75,6 +75,32 @@ impl Topology {
     pub fn default_latency(&self) -> SimDuration {
         self.default_latency
     }
+
+    /// Multiplies the latency of every directed link touching `node` by
+    /// `multiplier` — the "slow node" fault model: a degraded NIC or an
+    /// oversubscribed hypervisor slows everything in and out of one box.
+    ///
+    /// `node_count` bounds the peer ids considered (the topology itself is
+    /// a default plus overrides and has no node list).  Both directions of
+    /// each pair are written as explicit overrides, each scaled from its
+    /// own current latency, so asymmetric topologies stay asymmetric.
+    /// Self-links are untouched.  Must be applied before the topology is
+    /// handed to a sharded network, so the conservative lookahead is
+    /// computed from the slowed links.
+    pub fn scale_links_of(&mut self, node: NodeId, multiplier: f64, node_count: usize) {
+        let scale = |d: SimDuration| {
+            SimDuration::from_nanos((d.as_nanos() as f64 * multiplier).round() as u64)
+        };
+        for other in (0..node_count).map(NodeId) {
+            if other == node {
+                continue;
+            }
+            let out = scale(self.latency(node, other));
+            let back = scale(self.latency(other, node));
+            self.overrides.insert((node, other), out);
+            self.overrides.insert((other, node), back);
+        }
+    }
 }
 
 impl Default for Topology {
@@ -286,6 +312,38 @@ mod tests {
             topo.latency(NodeId(1), NodeId(0)),
             SimDuration::from_micros(1)
         );
+    }
+
+    #[test]
+    fn scale_links_of_slows_both_directions_preserving_asymmetry() {
+        let mut topo = Topology::uniform(SimDuration::from_micros(10));
+        topo.asymmetric()
+            .set_link(NodeId(2), NodeId(1), SimDuration::from_micros(40));
+        topo.scale_links_of(NodeId(1), 3.0, 4);
+        // Outbound and inbound default links are tripled.
+        assert_eq!(
+            topo.latency(NodeId(1), NodeId(0)),
+            SimDuration::from_micros(30)
+        );
+        assert_eq!(
+            topo.latency(NodeId(0), NodeId(1)),
+            SimDuration::from_micros(30)
+        );
+        // The asymmetric override scales from its own value.
+        assert_eq!(
+            topo.latency(NodeId(2), NodeId(1)),
+            SimDuration::from_micros(120)
+        );
+        assert_eq!(
+            topo.latency(NodeId(1), NodeId(2)),
+            SimDuration::from_micros(30)
+        );
+        // Links not touching the node are untouched, as is the self-link.
+        assert_eq!(
+            topo.latency(NodeId(0), NodeId(2)),
+            SimDuration::from_micros(10)
+        );
+        assert_eq!(topo.latency(NodeId(1), NodeId(1)), SimDuration::ZERO);
     }
 
     #[test]

@@ -224,6 +224,21 @@ impl<M> ShardedNetwork<M> {
         }
     }
 
+    /// Installs a fault-injection layer on every core (see
+    /// [`crate::faults`]).  Must be called before any node is added so all
+    /// execution modes see the same fault state from the first delivery on.
+    ///
+    /// Each core compiles its own copy of the config; the stateless rules
+    /// are pure functions of event keys and the stateful rules are per
+    /// directed link, whose deliveries all land on the destination's owning
+    /// core in global key order — so per-shard copies evolve exactly like
+    /// the single serial copy would.
+    pub fn set_faults(&mut self, config: &crate::faults::FaultConfig) {
+        for core in &mut self.cores {
+            core.set_faults(config);
+        }
+    }
+
     /// Number of shards actually in use (after any zero-lookahead collapse).
     pub fn shards(&self) -> usize {
         self.cores.len()

@@ -203,6 +203,71 @@ fn event_scheduling_is_allocation_free_in_steady_state() {
     );
     assert!(stats.messages_delivered >= 800);
 
+    // --- Fault layer: a warm lossy delivery path never allocates -----------
+    // Every fault-rule class is armed at once — wildcard probabilistic loss,
+    // a one-shot drop, a down window and a bounded queue on the fan's first
+    // sink — so each delivery runs the full judge path (coin hash, link
+    // state lookup, queue drain).  Timer-driven fan rounds keep the event
+    // chain alive through drops; after a warm-up segment populated the lazy
+    // link-state table, steady-state judged delivery must be alloc-free.
+    let mut net: Network<u64> = Network::new(4, Topology::datacenter());
+    let sinks: Vec<NodeId> = (0..8)
+        .map(|_| {
+            net.add_node(Counter {
+                peer: None,
+                bounces: 0,
+                received: 0,
+            })
+        })
+        .collect();
+    let first_sink = sinks[0];
+    let fan = net.add_node(Fan {
+        sinks,
+        remaining: 50,
+    });
+    net.core_mut().set_faults(&srlb_sim::FaultConfig {
+        loss: vec![srlb_sim::LossRule {
+            link: srlb_sim::LinkMatch {
+                from: None,
+                to: None,
+            },
+            probability: 0.3,
+        }],
+        drops: vec![srlb_sim::OneShotDrop {
+            from: fan,
+            to: first_sink,
+            packet: 3,
+        }],
+        down: vec![srlb_sim::DownWindow {
+            link: srlb_sim::LinkMatch {
+                from: Some(fan),
+                to: Some(first_sink),
+            },
+            down_from: SimTime::from_nanos(1_000_000),
+            down_until: SimTime::from_nanos(2_000_000),
+        }],
+        queues: vec![srlb_sim::QueueRule {
+            from: fan,
+            to: first_sink,
+            capacity: 2,
+            service: SimDuration::from_micros(400),
+        }],
+    });
+    net.run_until(RunUntil::Drained); // warm-up: grows heap + link states
+    net.control::<Fan, _>(fan, |f, ctx| {
+        f.remaining = 50;
+        ctx.schedule_timer(SimDuration::from_micros(100), TimerToken(0));
+    })
+    .expect("fan node present");
+    let (allocs, stats) = counting_allocs(|| net.run_until(RunUntil::Drained));
+    assert_eq!(
+        allocs, 0,
+        "steady-state lossy delivery must not allocate (got {allocs})"
+    );
+    let dropped = stats.dropped_injected + stats.dropped_queue + stats.dropped_link_down;
+    assert!(dropped > 0, "the armed fault rules actually fired");
+    assert!(stats.messages_delivered > 0);
+
     // --- ECMP steering: per-packet tier selection never allocates ----------
     let members: Vec<NodeId> = (1..=4).map(NodeId).collect();
     let (allocs, picked) = counting_allocs(|| {
