@@ -6,6 +6,7 @@
 //! cargo run -p srlb-bench --release --bin figures -- all --jobs 4    # explicit worker count
 //! cargo run -p srlb-bench --release --bin figures -- all --sim-threads 2  # shard each simulation
 //! cargo run -p srlb-bench --release --bin figures -- bench-micro     # write BENCH_micro.json
+//! cargo run -p srlb-bench --release --bin figures -- bench-macro     # write BENCH_macro.json
 //! cargo run -p srlb-bench --release --bin figures -- run examples/specs/poisson_rho089.json
 //! cargo run -p srlb-bench --release --bin figures -- run <spec> --tiny  # scaled-down smoke run
 //! cargo run -p srlb-bench --release --bin figures -- write-specs    # regenerate examples/specs/
@@ -67,7 +68,7 @@ fn main() {
         return;
     }
 
-    const KNOWN: [&str; 11] = [
+    const KNOWN: [&str; 12] = [
         "all",
         "fig2",
         "fig3",
@@ -78,6 +79,7 @@ fn main() {
         "fig8",
         "fig9",
         "bench-micro",
+        "bench-macro",
         "scenarios",
     ];
     if let Some(unknown) = which.iter().find(|name| !KNOWN.contains(name)) {
@@ -90,6 +92,11 @@ fn main() {
 
     if which.contains(&"bench-micro") {
         run_bench_micro();
+        return;
+    }
+
+    if which.contains(&"bench-macro") {
+        run_bench_macro(scale);
         return;
     }
 
@@ -254,6 +261,121 @@ fn write_specs_command(operands: &[&str]) {
             eprintln!("error: could not write specs: {err}");
             std::process::exit(1);
         }
+    }
+}
+
+/// `figures -- bench-macro [--quick|--tiny]`: the million-flow flow-state
+/// macro-bench plus the load-aware policy ablation.  Full scale writes the
+/// committed `BENCH_macro.json` at the workspace root; reduced scales
+/// write under `target/figures/` with timing fields zeroed, so two runs
+/// (any `--sim-threads`) are byte-identical — CI diffs them.
+fn run_bench_macro(scale: Scale) {
+    println!(
+        "# SRLB macro-bench harness (scale: {scale:?}, seed: {SEED}, sim: {:?})",
+        srlb_sim::ExecMode::from_env()
+    );
+    let report = srlb_bench::run_macro_bench(scale, SEED);
+    let fs = &report.flow_scale;
+    println!(
+        "flow-scale: {} flows -> {} x {} slots ({} shards each), timeout {:.0} ms",
+        fs.distinct_flows,
+        fs.instances,
+        fs.capacity_per_instance,
+        fs.shards_per_instance,
+        fs.idle_timeout_ns as f64 / 1e6,
+    );
+    println!(
+        "  learns/s {:>12.0}   lookups/s {:>12.0}   resident {:>10} B",
+        fs.learns_per_sec, fs.lookups_per_sec, fs.resident_bytes
+    );
+    println!(
+        "  hits {:>8} misses {:>8} evicted(expired/idle/active) {}/{}/{} expired {:>8}",
+        fs.lookup_hits,
+        fs.lookup_misses,
+        fs.evicted_expired,
+        fs.evicted_idle,
+        fs.evicted_active,
+        fs.expired,
+    );
+    println!(
+        "\n{:<12} {:>5} {:>7} {:>7} {:>9} {:>9} {:>9}",
+        "policy", "rho", "sent", "done", "mean-ms", "p95-ms", "p99-ms"
+    );
+    for cell in &report.ablation {
+        println!(
+            "{:<12} {:>5.2} {:>7} {:>7} {:>9.1} {:>9.1} {:>9.1}",
+            cell.policy,
+            cell.rho,
+            cell.sent,
+            cell.completed,
+            cell.mean_response_ms,
+            cell.p95_response_ms,
+            cell.p99_response_ms,
+        );
+    }
+    report_write(write_csv(
+        "bench_macro_flow_scale",
+        &[
+            "distinct_flows",
+            "capacity_per_instance",
+            "lookup_hits",
+            "lookup_misses",
+            "evicted_expired",
+            "evicted_idle",
+            "evicted_active",
+            "expired",
+            "peak_occupancy",
+            "resident_bytes",
+        ],
+        &[vec![
+            fs.distinct_flows.to_string(),
+            fs.capacity_per_instance.to_string(),
+            fs.lookup_hits.to_string(),
+            fs.lookup_misses.to_string(),
+            fs.evicted_expired.to_string(),
+            fs.evicted_idle.to_string(),
+            fs.evicted_active.to_string(),
+            fs.expired.to_string(),
+            fs.peak_occupancy.to_string(),
+            fs.resident_bytes.to_string(),
+        ]],
+    ));
+    let rows: Vec<Vec<String>> = report
+        .ablation
+        .iter()
+        .map(|c| {
+            vec![
+                c.policy.clone(),
+                fmt(c.rho),
+                c.sent.to_string(),
+                c.completed.to_string(),
+                fmt(c.mean_response_ms),
+                fmt(c.p95_response_ms),
+                fmt(c.p99_response_ms),
+            ]
+        })
+        .collect();
+    report_write(write_csv(
+        "bench_macro_ablation",
+        &[
+            "policy",
+            "rho",
+            "sent",
+            "completed",
+            "mean_ms",
+            "p95_ms",
+            "p99_ms",
+        ],
+        &rows,
+    ));
+    let dir = if scale == Scale::Paper {
+        srlb_bench::micro::workspace_root()
+    } else {
+        std::path::PathBuf::from(srlb_bench::FIGURES_DIR)
+    };
+    match srlb_bench::write_bench_macro(&dir, &report) {
+        Ok(path) => println!("  -> wrote {}", path.display()),
+        Err(err) => eprintln!("  !! could not write macro-bench report: {err}"),
     }
 }
 

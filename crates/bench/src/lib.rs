@@ -22,6 +22,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod figures;
+pub mod macrobench;
 pub mod micro;
 pub mod output;
 pub mod parallel;
@@ -32,6 +33,10 @@ pub use figures::{
     fig2_mean_response, fig3_cdf_high_load, fig4_load_fairness, fig5_cdf_low_load,
     fig6_wiki_median, fig7_wiki_deciles, fig8_wiki_cdf, fig9_rackzone_hunting, CdfSeries,
     Fig2Series, Fig4Series, Fig9Cell, Scale, WikiBinSeries, WikiCdf, FIG9_LB_COUNTS,
+};
+pub use macrobench::{
+    run_macro_bench, write_bench_macro, AblationCell, FlowScaleReport, MacroBenchReport,
+    BENCH_MACRO_FILE,
 };
 pub use micro::{engine_events_per_sec, write_bench_micro, BenchReport, BENCH_MICRO_FILE};
 pub use output::{write_csv, FIGURES_DIR};

@@ -167,6 +167,39 @@ pub fn run_all() -> BTreeMap<String, f64> {
         }),
     );
 
+    // The explicitly-sharded flow state over the full 1024-key working set:
+    // the per-packet learn+lookup cost of the bounded-table subsystem in
+    // its unbounded configuration.
+    let mut sharded =
+        srlb_core::FlowState::with_config(srlb_core::FlowStateConfig::new().with_shards(8));
+    let mut i = 0;
+    record(
+        "flow_table_sharded_learn_and_lookup",
+        median_ns(|| {
+            i = (i + 1) % keys.len();
+            sharded.learn(keys[i], servers[i % servers.len()], SimTime::ZERO);
+            sharded.lookup(&keys[i], SimTime::ZERO)
+        }),
+    );
+
+    // The eviction path: a table half the size of the cycling working set,
+    // so (after warm-up) every learn is a miss that evicts the
+    // least-recently-touched entry.
+    let mut bounded = srlb_core::FlowState::with_config(
+        srlb_core::FlowStateConfig::new()
+            .with_shards(8)
+            .with_capacity(512),
+    );
+    let mut i = 0;
+    record(
+        "flow_table_bounded_learn_evict",
+        median_ns(|| {
+            i = (i + 1) % keys.len();
+            bounded.learn(keys[i], servers[i % servers.len()], SimTime::ZERO);
+            bounded.len()
+        }),
+    );
+
     // --- micro_net: per-packet wire operations -----------------------------
     let route = vec![
         plan.server_addr(ServerId(3)),

@@ -4,7 +4,7 @@
 //! *any* experiment — a paper figure point, a dynamic-cluster scenario, or
 //! a cross product such as an LB failover during a Wikipedia replay — is a
 //! spec file that can be committed, reviewed, and replayed bit-for-bit.
-//! Seven canonical specs live in `examples/specs/` at the workspace root
+//! Eight canonical specs live in `examples/specs/` at the workspace root
 //! (regenerate them with `figures -- write-specs`, round-trip-checked by
 //! `crates/bench/tests/spec_roundtrip.rs`).
 
@@ -45,7 +45,13 @@ use crate::figures::Scale;
 ///   client's retransmission policy (explicit in the spec),
 /// * `incast` — incast into one hot server: a 4× slow server 0 behind a
 ///   shallow bounded LB → server queue, tail drops absorbed by
-///   retransmission.
+///   retransmission,
+/// * `bounded_flow_table` — the Poisson testbed at ρ = 0.89 through a
+///   memory-bounded flow table (256 entries over 8 shards, 30 s idle
+///   timeout, 5 s incremental sweep) under the load-aware policy: flows
+///   out-living their table entry are evicted under pressure, counted by
+///   cause, and candidates are ranked by the load hints servers piggyback
+///   on acceptance SYN-ACKs.
 pub fn example_specs() -> Vec<(&'static str, ExperimentSpec)> {
     let poisson = ExperimentSpec::poisson_paper(0.89, PolicyKind::Dynamic).with_seed(42);
     let poisson_48 = ExperimentSpec::poisson_paper(0.89, PolicyKind::Dynamic)
@@ -91,6 +97,21 @@ pub fn example_specs() -> Vec<(&'static str, ExperimentSpec)> {
     )
     .to_spec()
     .with_seed(42);
+    let bounded_flow_table = ExperimentSpec::poisson_paper(
+        0.89,
+        PolicyKind::LoadAware {
+            pool: 4,
+            threshold: 4,
+        },
+    )
+    .with_seed(42)
+    .with_name("bounded_flow_table")
+    .with_flow_table(srlb_core::spec::FlowTableSpec {
+        idle_timeout_s: 30.0,
+        capacity: Some(256),
+        shards: 8,
+        sweep_interval_s: Some(5.0),
+    });
     vec![
         ("poisson_rho089", poisson),
         ("poisson_rho089_48s", poisson_48),
@@ -99,6 +120,7 @@ pub fn example_specs() -> Vec<(&'static str, ExperimentSpec)> {
         ("multi_lb_ecmp", multi_lb),
         ("lossy_poisson", lossy_poisson),
         ("incast", incast),
+        ("bounded_flow_table", bounded_flow_table),
     ]
 }
 
@@ -189,6 +211,24 @@ pub struct SpecRunReport {
     pub rehunts: u64,
     /// Flow-table entries learned in-band.
     pub flows_learned: u64,
+    /// Flow-table entries expired by the incremental idle sweep (omitted
+    /// when zero, so reports from unbounded default-table runs keep their
+    /// pre-flow-state bytes).
+    #[serde(default, skip_serializing_if = "is_zero_u64")]
+    pub flow_expired: u64,
+    /// Capacity evictions of already-expired entries (omitted when zero).
+    #[serde(default, skip_serializing_if = "is_zero_u64")]
+    pub flow_evicted_expired: u64,
+    /// Capacity evictions of long-idle entries (omitted when zero).
+    #[serde(default, skip_serializing_if = "is_zero_u64")]
+    pub flow_evicted_idle: u64,
+    /// Capacity evictions of recently-active entries (omitted when zero).
+    #[serde(default, skip_serializing_if = "is_zero_u64")]
+    pub flow_evicted_active: u64,
+    /// Peak flow-table occupancy across LB instances (omitted when zero;
+    /// only bounded tables report it).
+    #[serde(default, skip_serializing_if = "is_zero_u64")]
+    pub flow_peak_occupancy: u64,
     /// Milliseconds from fail-over to the last re-hunt, if any.
     pub reconstruction_ms: Option<f64>,
     /// Simulated duration in seconds.
@@ -241,6 +281,11 @@ impl SpecRunReport {
             failovers: outcome.lb_stats.failovers,
             rehunts: outcome.lb_stats.rehunts,
             flows_learned: outcome.lb_stats.flows_learned,
+            flow_expired: outcome.lb_stats.flow_expired,
+            flow_evicted_expired: outcome.lb_stats.flow_evicted_expired,
+            flow_evicted_idle: outcome.lb_stats.flow_evicted_idle,
+            flow_evicted_active: outcome.lb_stats.flow_evicted_active,
+            flow_peak_occupancy: outcome.lb_stats.flow_peak_occupancy,
             reconstruction_ms: outcome.reconstruction_latency_s.map(|s| s * 1e3),
             duration_seconds: outcome.duration_seconds,
             events_processed: outcome.events_processed,
@@ -331,7 +376,7 @@ mod tests {
     fn write_load_run_roundtrip() {
         let dir = std::env::temp_dir().join("srlb-spec-run-test");
         let paths = write_example_specs(&dir).unwrap();
-        assert_eq!(paths.len(), 7);
+        assert_eq!(paths.len(), 8);
         // Byte-level round trip of every written file.
         for path in &paths {
             let text = std::fs::read_to_string(path).unwrap();
@@ -368,6 +413,19 @@ mod tests {
         assert_eq!(report.name, "incast");
         assert!(report.dropped_queue > 0, "incast queue must overflow");
         assert!(report.retransmits > 0);
+        // The bounded flow table evicts under pressure at tiny scale and
+        // surfaces the per-cause counters in the report.
+        let report = run_spec_file(&dir.join("bounded_flow_table.json"), Scale::Tiny).unwrap();
+        assert_eq!(report.name, "bounded_flow_table");
+        assert_eq!(report.completed, report.sent);
+        assert!(report.flow_peak_occupancy > 0);
+        assert!(report.flow_peak_occupancy <= 256);
+        let json = serde_json::to_string(&report).unwrap();
+        assert!(json.contains("flow_peak_occupancy"), "{json}");
+        // Default-table runs keep their pre-flow-state report bytes.
+        let report = run_spec_file(&dir.join("poisson_rho089.json"), Scale::Tiny).unwrap();
+        let json = serde_json::to_string(&report).unwrap();
+        assert!(!json.contains("flow_"), "{json}");
         let _ = std::fs::remove_dir_all(&dir);
     }
 

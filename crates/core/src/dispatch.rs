@@ -12,7 +12,11 @@
 //! * [`ConsistentHashDispatcher`] — a hash ring with virtual nodes; the
 //!   candidates are the first `k` distinct servers clockwise from the flow's
 //!   hash (Maglev/Ananta-style flow affinity without per-flow state),
-//! * [`MaglevDispatcher`] — Maglev's permutation-filled lookup table.
+//! * [`MaglevDispatcher`] — Maglev's permutation-filled lookup table,
+//! * [`LoadAwareDispatcher`] — a consistent-hash candidate pool re-ranked by
+//!   per-server load hints (EWMA-smoothed acceptance/backlog signals fed
+//!   back through [`Dispatcher::observe_load`]), after Charon-style
+//!   load-aware selection.
 //!
 //! ## Allocation-free selection
 //!
@@ -27,6 +31,7 @@ use std::net::Ipv6Addr;
 
 use rand::RngCore;
 use serde::{Deserialize, Serialize};
+use srlb_metrics::Ewma;
 use srlb_net::{mix64, FlowKey, MAX_SEGMENTS};
 
 /// Maximum number of candidates a dispatcher may produce per flow: one less
@@ -165,6 +170,12 @@ pub trait Dispatcher: std::fmt::Debug + Send {
     ///
     /// Panics if `servers` is empty.
     fn rebuild(&mut self, servers: Vec<Ipv6Addr>);
+
+    /// Feeds a per-server load observation (e.g. the hint a server attached
+    /// to its acceptance SYN-ACK), timestamped in seconds.  Load-oblivious
+    /// dispatchers ignore it; [`LoadAwareDispatcher`] folds it into its
+    /// per-server EWMA.  Performs no heap allocation.
+    fn observe_load(&mut self, _server: Ipv6Addr, _load: f64, _now_s: f64) {}
 
     /// Convenience wrapper around [`Dispatcher::candidates_into`] returning
     /// a fresh `Vec`.  Allocates; intended for tests and reporting, not the
@@ -514,6 +525,136 @@ impl Dispatcher for MaglevDispatcher {
     }
 }
 
+/// Load-aware candidate selection: a consistent-hash pool re-ranked by
+/// per-server load.
+///
+/// A [`ConsistentHashDispatcher`] produces a deterministic pool of `pool`
+/// candidates per flow; the `k` least-loaded of those (by EWMA-smoothed load
+/// hints fed in through [`Dispatcher::observe_load`]) become the Service
+/// Hunting candidates, in ascending-load order.  Servers with no observation
+/// yet count as load 0 so a fresh (or rebuilt) dispatcher degenerates to the
+/// pool's natural ring order; ties keep ring order too, so selection is
+/// fully deterministic.
+#[derive(Debug, Clone)]
+pub struct LoadAwareDispatcher {
+    inner: ConsistentHashDispatcher,
+    k: usize,
+    /// The selection count as configured (before capping at the pool size).
+    k_config: usize,
+    /// Per-server EWMA of observed load, in `inner` backend order.
+    loads: Vec<(Ipv6Addr, Ewma)>,
+    /// Persistent buffer for the inner pool, so re-ranking allocates nothing.
+    scratch: CandidateList,
+}
+
+impl PartialEq for LoadAwareDispatcher {
+    fn eq(&self, other: &Self) -> bool {
+        // The scratch buffer is internal state, not configuration.
+        self.inner == other.inner && self.k == other.k && self.loads == other.loads
+    }
+}
+
+impl LoadAwareDispatcher {
+    /// Creates a dispatcher drawing a `pool`-wide consistent-hash candidate
+    /// pool (with `vnodes` virtual nodes per server) and selecting the `k`
+    /// least-loaded candidates from it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `servers` is empty, `vnodes`/`pool`/`k` is zero, or `pool`
+    /// (after capping at the server count) exceeds [`MAX_CANDIDATES`].
+    pub fn new(servers: Vec<Ipv6Addr>, vnodes: usize, pool: usize, k: usize) -> Self {
+        assert!(k > 0, "k must be at least 1");
+        let inner = ConsistentHashDispatcher::new(servers, vnodes, pool);
+        let k_config = k;
+        let k = k.min(inner.fanout());
+        let loads = inner
+            .backends()
+            .iter()
+            .map(|&addr| (addr, Ewma::new()))
+            .collect();
+        LoadAwareDispatcher {
+            inner,
+            k,
+            k_config,
+            loads,
+            scratch: CandidateList::new(),
+        }
+    }
+
+    /// The pool width (number of consistent-hash candidates re-ranked per
+    /// flow).
+    pub fn pool(&self) -> usize {
+        self.inner.fanout()
+    }
+
+    /// The current smoothed load estimate for `server` (0 if never
+    /// observed).
+    pub fn load_of(&self, server: &Ipv6Addr) -> f64 {
+        self.loads
+            .iter()
+            .find(|(addr, _)| addr == server)
+            .and_then(|(_, ewma)| ewma.value())
+            .unwrap_or(0.0)
+    }
+}
+
+impl Dispatcher for LoadAwareDispatcher {
+    fn candidates_into(&mut self, flow: &FlowKey, rng: &mut dyn RngCore, out: &mut CandidateList) {
+        self.inner.candidates_into(flow, rng, &mut self.scratch);
+        out.clear();
+        // Selection sort of the k smallest: the pool is at most
+        // MAX_CANDIDATES wide, so two nested linear scans beat anything
+        // requiring scratch allocations.
+        for _ in 0..self.k {
+            let mut best: Option<(usize, f64)> = None;
+            for (i, addr) in self.scratch.as_slice().iter().enumerate() {
+                if out.contains(addr) {
+                    continue;
+                }
+                let load = self.load_of(addr);
+                if best.is_none_or(|(_, b)| load < b) {
+                    best = Some((i, load));
+                }
+            }
+            let (i, _) = best.expect("pool is at least as wide as k");
+            out.push(self.scratch.as_slice()[i]);
+        }
+    }
+
+    fn fanout(&self) -> usize {
+        self.k
+    }
+
+    fn name(&self) -> String {
+        format!("load-aware-{}of{}", self.k, self.inner.fanout())
+    }
+
+    fn backends(&self) -> &[Ipv6Addr] {
+        self.inner.backends()
+    }
+
+    fn rebuild(&mut self, servers: Vec<Ipv6Addr>) {
+        // Membership change invalidates the smoothed loads (server indices,
+        // capacities and queue states all shift), so start estimation afresh
+        // — identical to a newly constructed dispatcher.
+        self.inner.rebuild(servers);
+        self.k = self.k_config.min(self.inner.fanout());
+        self.loads = self
+            .inner
+            .backends()
+            .iter()
+            .map(|&addr| (addr, Ewma::new()))
+            .collect();
+    }
+
+    fn observe_load(&mut self, server: Ipv6Addr, load: f64, now_s: f64) {
+        if let Some((_, ewma)) = self.loads.iter_mut().find(|(addr, _)| *addr == server) {
+            ewma.observe(now_s, load);
+        }
+    }
+}
+
 /// Serialisable dispatcher configuration.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum DispatcherConfig {
@@ -536,6 +677,15 @@ pub enum DispatcherConfig {
         /// Number of candidates per flow.
         k: usize,
     },
+    /// Consistent-hash pool re-ranked by per-server load hints.
+    LoadAware {
+        /// Virtual nodes per server on the inner ring.
+        vnodes: usize,
+        /// Width of the candidate pool drawn from the ring.
+        pool: usize,
+        /// Number of (least-loaded) candidates selected from the pool.
+        k: usize,
+    },
 }
 
 impl DispatcherConfig {
@@ -554,6 +704,9 @@ impl DispatcherConfig {
             DispatcherConfig::Maglev { table_size, k } => {
                 Box::new(MaglevDispatcher::new(servers, table_size, k))
             }
+            DispatcherConfig::LoadAware { vnodes, pool, k } => {
+                Box::new(LoadAwareDispatcher::new(servers, vnodes, pool, k))
+            }
         }
     }
 
@@ -562,7 +715,8 @@ impl DispatcherConfig {
         match *self {
             DispatcherConfig::Random { k }
             | DispatcherConfig::ConsistentHash { k, .. }
-            | DispatcherConfig::Maglev { k, .. } => k,
+            | DispatcherConfig::Maglev { k, .. }
+            | DispatcherConfig::LoadAware { k, .. } => k,
         }
     }
 }
@@ -762,6 +916,11 @@ mod tests {
                 table_size: 53,
                 k: 2,
             },
+            DispatcherConfig::LoadAware {
+                vnodes: 16,
+                pool: 3,
+                k: 2,
+            },
         ] {
             let mut d = config.build(s.clone());
             let c = d.candidates(&flow(3), &mut rng);
@@ -826,6 +985,83 @@ mod tests {
     #[should_panic(expected = "at least one server")]
     fn empty_server_set_panics() {
         RandomDispatcher::new(vec![], 2);
+    }
+
+    #[test]
+    fn load_aware_defaults_to_ring_order_without_observations() {
+        let s = servers(12);
+        let mut aware = LoadAwareDispatcher::new(s.clone(), 64, 4, 2);
+        let mut pool = ConsistentHashDispatcher::new(s, 64, 4);
+        let mut rng = SimRng::new(1);
+        for port in 0..200 {
+            let chosen = aware.candidates(&flow(port), &mut rng);
+            let ring = pool.candidates(&flow(port), &mut rng);
+            assert_eq!(
+                chosen,
+                ring[..2].to_vec(),
+                "unobserved loads must preserve ring order"
+            );
+        }
+        assert_eq!(aware.fanout(), 2);
+        assert_eq!(aware.pool(), 4);
+        assert_eq!(aware.name(), "load-aware-2of4");
+    }
+
+    #[test]
+    fn load_aware_steers_away_from_loaded_servers() {
+        let s = servers(12);
+        let mut aware = LoadAwareDispatcher::new(s.clone(), 64, 4, 2);
+        let mut pool = ConsistentHashDispatcher::new(s, 64, 4);
+        let mut rng = SimRng::new(1);
+
+        let f = flow(42);
+        let ring = pool.candidates(&f, &mut rng);
+        // Mark the first two ring candidates heavily loaded; the tail two
+        // (still load 0) must now win, in ring order.
+        aware.observe_load(ring[0], 10.0, 0.0);
+        aware.observe_load(ring[1], 10.0, 0.0);
+        assert_eq!(aware.candidates(&f, &mut rng), vec![ring[2], ring[3]]);
+        assert!(aware.load_of(&ring[0]) > 9.0);
+
+        // The least-loaded of the loaded pair still outranks the other.
+        aware.observe_load(ring[2], 20.0, 1.0);
+        aware.observe_load(ring[3], 20.0, 1.0);
+        assert_eq!(aware.candidates(&f, &mut rng)[0], ring[0]);
+    }
+
+    #[test]
+    fn load_aware_rebuild_matches_fresh_construction_and_resets_loads() {
+        let before = servers(8);
+        let after = servers(6);
+        let mut d = LoadAwareDispatcher::new(before, 64, 4, 2);
+        d.observe_load(after[0], 5.0, 0.0);
+        d.rebuild(after.clone());
+        assert_eq!(d, LoadAwareDispatcher::new(after.clone(), 64, 4, 2));
+        assert_eq!(d.load_of(&after[0]), 0.0, "rebuild resets load estimates");
+        assert_eq!(d.backends(), &after[..]);
+    }
+
+    #[test]
+    fn load_aware_pool_and_k_are_capped_at_server_count() {
+        let mut d = LoadAwareDispatcher::new(servers(3), 16, 6, 4);
+        assert_eq!(d.pool(), 3);
+        assert_eq!(d.fanout(), 3);
+        d.rebuild(servers(10));
+        assert_eq!(d.pool(), 6);
+        assert_eq!(d.fanout(), 4);
+    }
+
+    #[test]
+    fn observe_load_is_a_no_op_for_oblivious_dispatchers() {
+        let s = servers(4);
+        let mut rng = SimRng::new(2);
+        let mut plain = RandomDispatcher::power_of_two(s.clone());
+        let mut observed = RandomDispatcher::power_of_two(s.clone());
+        observed.observe_load(s[0], 100.0, 0.0);
+        assert_eq!(
+            plain.candidates(&flow(5), &mut rng.clone()),
+            observed.candidates(&flow(5), &mut rng)
+        );
     }
 
     #[test]

@@ -230,6 +230,7 @@ impl ExperimentConfig {
                 capacity_overrides: Vec::new(),
                 vips: 1,
                 lb_count: 1,
+                flow_table: crate::spec::FlowTableSpec::default(),
                 recover_flows: false,
                 record_load: self.record_load,
             },

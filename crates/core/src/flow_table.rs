@@ -5,17 +5,17 @@
 //! subsequent packet of the flow is steered to that server so a connection
 //! is always handled by the instance that accepted it.
 //!
-//! [`FlowKey`] carries a cached, finalised 64-bit hash computed once at
+//! `FlowKey` carries a cached, finalised 64-bit hash computed once at
 //! construction, so the table uses a pass-through [`std::hash::BuildHasher`]
 //! ([`PassthroughHashBuilder`]) instead of re-hashing every key with SipHash
 //! on every map operation.
+//!
+//! The table implementation itself lives in [`crate::flow_state`]: a
+//! sharded, optionally capacity-bounded store with incremental expiry.
+//! [`FlowTable`] is the legacy name for that type and keeps the original
+//! constructor surface (`new`, `with_default_timeout`) working unchanged.
 
-use std::collections::HashMap;
 use std::hash::{BuildHasher, Hasher};
-use std::net::Ipv6Addr;
-
-use srlb_net::FlowKey;
-use srlb_sim::{SimDuration, SimTime};
 
 /// A [`Hasher`] that passes an already-hashed `u64` straight through.
 ///
@@ -78,119 +78,22 @@ impl BuildHasher for PassthroughHashBuilder {
     }
 }
 
-/// One flow-table entry.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-struct FlowEntry {
-    server: Ipv6Addr,
-    last_active: SimTime,
-}
-
 /// The flow → server stickiness table.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct FlowTable {
-    entries: HashMap<FlowKey, FlowEntry, PassthroughHashBuilder>,
-    idle_timeout: SimDuration,
-    /// Total number of entries ever inserted.
-    inserted: u64,
-    /// Total number of entries removed by expiry.
-    expired: u64,
-}
-
-impl FlowTable {
-    /// Creates a flow table whose entries expire after `idle_timeout` without
-    /// traffic.
-    pub fn new(idle_timeout: SimDuration) -> Self {
-        FlowTable {
-            entries: HashMap::with_hasher(PassthroughHashBuilder),
-            idle_timeout,
-            inserted: 0,
-            expired: 0,
-        }
-    }
-
-    /// A table with a five-minute idle timeout (a typical TCP session
-    /// timeout for data-centre load balancers).
-    pub fn with_default_timeout() -> Self {
-        Self::new(SimDuration::from_secs(300))
-    }
-
-    /// The configured idle timeout.
-    pub fn idle_timeout(&self) -> SimDuration {
-        self.idle_timeout
-    }
-
-    /// Number of live entries.
-    pub fn len(&self) -> usize {
-        self.entries.len()
-    }
-
-    /// Returns `true` if the table is empty.
-    pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
-    }
-
-    /// Total number of insertions performed.
-    pub fn inserted_total(&self) -> u64 {
-        self.inserted
-    }
-
-    /// Total number of entries removed by [`FlowTable::expire_idle`].
-    pub fn expired_total(&self) -> u64 {
-        self.expired
-    }
-
-    /// Records (or refreshes) the owner of `flow`.
-    pub fn learn(&mut self, flow: FlowKey, server: Ipv6Addr, now: SimTime) {
-        self.inserted += 1;
-        self.entries.insert(
-            flow,
-            FlowEntry {
-                server,
-                last_active: now,
-            },
-        );
-    }
-
-    /// Looks up the owner of `flow`, refreshing its activity timestamp.
-    pub fn lookup(&mut self, flow: &FlowKey, now: SimTime) -> Option<Ipv6Addr> {
-        let entry = self.entries.get_mut(flow)?;
-        entry.last_active = now;
-        Some(entry.server)
-    }
-
-    /// Looks up the owner of `flow` without refreshing it.
-    pub fn peek(&self, flow: &FlowKey) -> Option<Ipv6Addr> {
-        self.entries.get(flow).map(|e| e.server)
-    }
-
-    /// Removes the entry for `flow` (connection closed), returning the owner.
-    pub fn remove(&mut self, flow: &FlowKey) -> Option<Ipv6Addr> {
-        self.entries.remove(flow).map(|e| e.server)
-    }
-
-    /// Drops every entry idle for longer than the configured timeout;
-    /// returns how many were removed.
-    pub fn expire_idle(&mut self, now: SimTime) -> usize {
-        let timeout = self.idle_timeout;
-        let before = self.entries.len();
-        self.entries
-            .retain(|_, e| now.duration_since(e.last_active) <= timeout);
-        let removed = before - self.entries.len();
-        self.expired += removed as u64;
-        removed
-    }
-}
-
-impl Default for FlowTable {
-    fn default() -> Self {
-        Self::with_default_timeout()
-    }
-}
+///
+/// Legacy name for [`crate::flow_state::FlowState`]; `FlowTable::new` builds
+/// the default (unbounded, 8-shard) configuration, matching the behaviour of
+/// the original single-map table while gaining incremental expiry and
+/// optional capacity bounding.
+pub type FlowTable = crate::flow_state::FlowState;
 
 #[cfg(test)]
 mod tests {
+    use std::net::Ipv6Addr;
+
+    use srlb_net::{FlowKey, Protocol};
+    use srlb_sim::{SimDuration, SimTime};
+
     use super::*;
-    use srlb_net::Protocol;
 
     fn flow(port: u16) -> FlowKey {
         FlowKey::new(

@@ -47,6 +47,35 @@ pub struct LbStats {
     pub failovers: u64,
     /// Packets forwarded by plain destination routing.
     pub forwarded: u64,
+    /// Flow-table entries removed by idle expiry.  Zero unless an expiry
+    /// sweep is configured.
+    #[serde(default, skip_serializing_if = "flow_stat_is_zero")]
+    pub flow_expired: u64,
+    /// Flow-table entries evicted under capacity pressure that had already
+    /// outlived the idle timeout.  Zero for unbounded tables.
+    #[serde(default, skip_serializing_if = "flow_stat_is_zero")]
+    pub flow_evicted_expired: u64,
+    /// Flow-table entries evicted under capacity pressure after being idle
+    /// for at least half the timeout.  Zero for unbounded tables.
+    #[serde(default, skip_serializing_if = "flow_stat_is_zero")]
+    pub flow_evicted_idle: u64,
+    /// Recently-active flow-table entries evicted under capacity pressure —
+    /// the evictions that can break an established connection's affinity,
+    /// counted so they are never silent.  Zero for unbounded tables.
+    #[serde(default, skip_serializing_if = "flow_stat_is_zero")]
+    pub flow_evicted_active: u64,
+    /// Highest flow-table occupancy reached.  Reported (and serialized)
+    /// only for capacity-bounded tables, so default configurations keep
+    /// their serialized stats byte-identical.
+    #[serde(default, skip_serializing_if = "flow_stat_is_zero")]
+    pub flow_peak_occupancy: u64,
+}
+
+/// Serde skip predicate for the flow-state counters of [`LbStats`], keeping
+/// serialized stats of default (unbounded, sweep-less) configurations
+/// byte-identical to the pre-flow-state form.
+fn flow_stat_is_zero(n: &u64) -> bool {
+    *n == 0
 }
 
 impl LbStats {
@@ -56,6 +85,11 @@ impl LbStats {
     /// tier-wide aggregate — the property the multi-LB runner relies on
     /// when it merges N instances' counters (and, for N = 1, exactly the
     /// single load balancer's own counters).
+    ///
+    /// Counters are summed; `flow_peak_occupancy` takes the maximum across
+    /// instances (also associative and commutative with identity 0), which
+    /// is the per-instance memory high-water mark the capacity bound is
+    /// provisioned against.
     pub fn merge(&mut self, other: LbStats) {
         self.new_flows += other.new_flows;
         self.flows_learned += other.flows_learned;
@@ -64,6 +98,11 @@ impl LbStats {
         self.rehunts += other.rehunts;
         self.failovers += other.failovers;
         self.forwarded += other.forwarded;
+        self.flow_expired += other.flow_expired;
+        self.flow_evicted_expired += other.flow_evicted_expired;
+        self.flow_evicted_idle += other.flow_evicted_idle;
+        self.flow_evicted_active += other.flow_evicted_active;
+        self.flow_peak_occupancy = self.flow_peak_occupancy.max(other.flow_peak_occupancy);
     }
 
     /// Folds an iterator of per-instance snapshots into the tier-wide
@@ -186,9 +225,17 @@ impl LoadBalancerNode {
         &self.vips
     }
 
-    /// Run counters.
+    /// Run counters, with the flow table's occupancy/eviction/expiry
+    /// statistics folded in at read time.
     pub fn stats(&self) -> LbStats {
-        self.stats
+        let mut stats = self.stats;
+        let fs = self.flow_table.stats();
+        stats.flow_expired = fs.expired;
+        stats.flow_evicted_expired = fs.evictions.expired;
+        stats.flow_evicted_idle = fs.evictions.idle;
+        stats.flow_evicted_active = fs.evictions.active;
+        stats.flow_peak_occupancy = fs.peak_occupancy;
+        stats
     }
 
     /// Number of live flow-table entries.
@@ -227,10 +274,11 @@ impl LoadBalancerNode {
     /// Simulates the fail-over of this load balancer to a cold standby at
     /// the same address: all per-flow state is lost (the standby starts with
     /// an empty flow table) and must be reconstructed in-band from SYN-ACKs
-    /// and ownership adverts.  Returns the number of entries lost.
+    /// and ownership adverts.  The table's configuration and accumulated
+    /// occupancy/eviction statistics survive the wipe.  Returns the number
+    /// of entries lost.
     pub fn fail_over(&mut self, now: SimTime) -> usize {
-        let lost = self.flow_table.len();
-        self.flow_table = FlowTable::new(self.flow_table.idle_timeout());
+        let lost = self.flow_table.wipe();
         self.stats.failovers += 1;
         self.failed_over_at = Some(now);
         self.last_rehunt_at = None;
@@ -324,6 +372,17 @@ impl LoadBalancerNode {
         let flow = packet.flow_key_reverse();
         self.flow_table.learn(flow, server, ctx.now());
         self.stats.flows_learned += 1;
+        // Acceptance SYN-ACKs and ownership adverts carry the server's load
+        // hint; feed it to the dispatcher (a no-op for load-oblivious ones).
+        if let Some((busy, workers, backlog)) =
+            srlb_server::server_node::decode_load_hint(&packet.payload)
+        {
+            if workers > 0 {
+                let load = f64::from(busy + backlog) / f64::from(workers);
+                self.dispatcher
+                    .observe_load(server, load, ctx.now().as_secs_f64());
+            }
+        }
         // Advance past our own segment and forward to the client.
         if let Ok(next_hop) = packet.advance_segment() {
             self.send_to_addr(ctx, next_hop, packet);
@@ -412,6 +471,11 @@ mod tests {
             rehunts: seed % 11,
             failovers: seed % 3,
             forwarded: seed % 13,
+            flow_expired: seed.wrapping_mul(7) % 83,
+            flow_evicted_expired: seed % 17,
+            flow_evicted_idle: seed % 19,
+            flow_evicted_active: seed % 23,
+            flow_peak_occupancy: seed.wrapping_mul(11) % 101,
         }
     }
 
@@ -442,6 +506,35 @@ mod tests {
         a_bc.merge(bc);
         assert_eq!(ab_c, a_bc, "(a+b)+c == a+(b+c)");
         assert_eq!(LbStats::merged([a, b, c]), ab_c);
+    }
+
+    #[test]
+    fn lb_stats_merge_takes_max_of_peak_occupancy() {
+        let mut a = LbStats {
+            flow_peak_occupancy: 10,
+            ..LbStats::default()
+        };
+        a.merge(LbStats {
+            flow_peak_occupancy: 7,
+            flow_evicted_active: 2,
+            ..LbStats::default()
+        });
+        assert_eq!(a.flow_peak_occupancy, 10, "peak merges as max, not sum");
+        assert_eq!(a.flow_evicted_active, 2);
+    }
+
+    #[test]
+    fn lb_stats_flow_counters_are_serde_skipped_when_zero() {
+        let json = serde_json::to_string(&LbStats::default()).unwrap();
+        assert!(
+            !json.contains("flow_"),
+            "zero flow-state counters must not serialize: {json}"
+        );
+        let full = sample_stats(123_456);
+        let round: LbStats = serde_json::from_str(&serde_json::to_string(&full).unwrap()).unwrap();
+        assert_eq!(round, full);
+        let legacy: LbStats = serde_json::from_str(&json).unwrap();
+        assert_eq!(legacy, LbStats::default(), "old stats deserialize cleanly");
     }
     use srlb_net::{AddressPlan, PacketBuilder, ServerId, TcpFlags};
     use srlb_server::{PolicyConfig, ServerConfig, ServerNode};

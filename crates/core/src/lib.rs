@@ -7,8 +7,10 @@
 //!   uniform random k-choices (the paper uses two random candidates, after
 //!   Mitzenmacher's power-of-two-choices result), plus consistent-hashing and
 //!   Maglev-style selection as related-work baselines,
-//! * [`flow_table`] — the per-flow stickiness table the load balancer learns
-//!   from acceptance SYN-ACKs,
+//! * [`flow_state`] / [`flow_table`] — the per-flow stickiness table the
+//!   load balancer learns from acceptance SYN-ACKs: sharded, optionally
+//!   capacity-bounded with per-cause eviction accounting, and with
+//!   incremental (O(expired)) idle expiry,
 //! * [`lb_node`] — the load balancer simulation node: SRH insertion on new
 //!   flows, flow learning, and steering of established flows,
 //! * [`client`] — the open-loop traffic generator / measurement client,
@@ -44,6 +46,7 @@ pub mod calibration;
 pub mod client;
 pub mod dispatch;
 pub mod experiment;
+pub mod flow_state;
 pub mod flow_table;
 pub mod lb_node;
 pub mod runner;
@@ -53,12 +56,13 @@ pub mod testbed;
 pub use client::ClientNode;
 pub use dispatch::{CandidateList, Dispatcher, DispatcherConfig, MAX_CANDIDATES};
 pub use experiment::{ExperimentConfig, ExperimentResult, WorkloadKind};
+pub use flow_state::{FlowState, FlowStateConfig, FlowStateStats};
 pub use flow_table::FlowTable;
 pub use lb_node::{LbStats, LoadBalancerNode};
 pub use runner::{RunOutcome, Runner};
 pub use spec::{
-    CapacityOverride, ClusterSpec, ExperimentSpec, PolicyKind, ScenarioEvent, TimedEvent,
-    WorkloadSpec,
+    CapacityOverride, ClusterSpec, ExperimentSpec, FlowTableSpec, PolicyKind, ScenarioEvent,
+    TimedEvent, WorkloadSpec,
 };
 pub use testbed::{Testbed, TestbedConfig, TestbedResult};
 

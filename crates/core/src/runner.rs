@@ -267,7 +267,11 @@ impl Runner {
                 directory.clone(),
                 spec.policy.dispatcher().build(alive_addrs(&alive)),
             )
-            .with_vips(vips.clone());
+            .with_vips(vips.clone())
+            .with_flow_table(cluster.flow_table.build());
+            if let Some(interval) = cluster.flow_table.sweep_interval() {
+                lb = lb.with_expiry_sweep(interval);
+            }
             if cluster.recover_flows {
                 lb = lb.with_flow_recovery();
             }
@@ -628,6 +632,72 @@ mod tests {
             assert_eq!(outcome.per_lb_stats, reference.per_lb_stats);
             assert_eq!(outcome.server_stats, reference.server_stats);
             assert_eq!(outcome.duration_seconds, reference.duration_seconds);
+        }
+    }
+
+    #[test]
+    fn bounded_flow_table_run_evicts_and_stays_deterministic() {
+        use crate::spec::FlowTableSpec;
+        // A table far smaller than the flow count: the run must complete
+        // under eviction pressure, report every eviction by cause, and stay
+        // byte-identical across execution modes.
+        let spec = quick_spec(0.6, PolicyKind::Static { threshold: 4 })
+            .with_seed(13)
+            .with_flow_table(FlowTableSpec {
+                idle_timeout_s: 30.0,
+                capacity: Some(32),
+                shards: 4,
+                sweep_interval_s: Some(5.0),
+            });
+        let outcome = Runner::new(spec.clone()).unwrap().run();
+        assert_eq!(outcome.collector.len(), 400);
+        let evicted = outcome.lb_stats.flow_evicted_expired
+            + outcome.lb_stats.flow_evicted_idle
+            + outcome.lb_stats.flow_evicted_active;
+        assert!(evicted > 0, "32 slots for 400 flows must evict");
+        assert!(outcome.lb_stats.flow_peak_occupancy > 0);
+        assert!(outcome.lb_stats.flow_peak_occupancy <= 32);
+        for exec in [ExecMode::SerialStep, ExecMode::Sharded { threads: 2 }] {
+            let again = Runner::new(spec.clone()).unwrap().with_exec(exec).run();
+            assert_eq!(again.collector.records(), outcome.collector.records());
+            assert_eq!(again.lb_stats, outcome.lb_stats);
+            assert_eq!(again.events_processed, outcome.events_processed);
+        }
+    }
+
+    #[test]
+    fn default_flow_table_surfaces_no_new_counters() {
+        // The unbounded default table must keep `LbStats` free of the new
+        // flow counters (they are serde-skipped at zero), so committed
+        // artifacts stay byte-stable.
+        let outcome = Runner::new(quick_spec(0.5, PolicyKind::Dynamic))
+            .unwrap()
+            .run();
+        assert_eq!(outcome.lb_stats.flow_evicted_expired, 0);
+        assert_eq!(outcome.lb_stats.flow_evicted_idle, 0);
+        assert_eq!(outcome.lb_stats.flow_evicted_active, 0);
+        assert_eq!(outcome.lb_stats.flow_peak_occupancy, 0);
+    }
+
+    #[test]
+    fn load_aware_policy_runs_end_to_end_deterministically() {
+        let spec = quick_spec(
+            0.7,
+            PolicyKind::LoadAware {
+                pool: 4,
+                threshold: 4,
+            },
+        )
+        .with_seed(17);
+        let outcome = Runner::new(spec.clone()).unwrap().run();
+        assert_eq!(outcome.label, "SRla-p4c4");
+        assert!(outcome.dispatcher_name.contains("load-aware"));
+        assert_eq!(outcome.collector.len(), 400);
+        assert!(outcome.collector.completed_count() > 0);
+        for exec in [ExecMode::SerialStep, ExecMode::Sharded { threads: 2 }] {
+            let again = Runner::new(spec.clone()).unwrap().with_exec(exec).run();
+            assert_eq!(again.collector.records(), outcome.collector.records());
+            assert_eq!(again.events_processed, outcome.events_processed);
         }
     }
 

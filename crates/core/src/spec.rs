@@ -23,7 +23,8 @@ use srlb_workload::{
 };
 
 use crate::calibration::analytic_lambda0;
-use crate::dispatch::DispatcherConfig;
+use crate::dispatch::{DispatcherConfig, MAX_CANDIDATES};
+use crate::flow_state::{FlowState, FlowStateConfig, DEFAULT_IDLE_TIMEOUT_SECS, DEFAULT_SHARDS};
 use crate::lb_node::MAX_RECOVERY_CANDIDATES;
 use crate::CoreError;
 
@@ -45,6 +46,17 @@ pub enum PolicyKind {
     },
     /// `SRdyn`: Service Hunting with the dynamic threshold policy.
     Dynamic,
+    /// Service Hunting over the two least-loaded of `pool` hash-derived
+    /// candidates, ranked by the EWMA of the load hints servers piggyback
+    /// on acceptance SYN-ACKs and ownership adverts, with the static
+    /// acceptance threshold as the server-side backstop.
+    LoadAware {
+        /// Number of hash-derived candidates ranked by load (at most
+        /// [`MAX_CANDIDATES`]).
+        pool: usize,
+        /// The busy-thread threshold servers still enforce.
+        threshold: usize,
+    },
     /// Service Hunting with an explicit candidate count and policy (used by
     /// the ablation benches).
     Custom {
@@ -71,6 +83,7 @@ impl PolicyKind {
             PolicyKind::RoundRobin => "RR".to_string(),
             PolicyKind::Static { threshold } => format!("SR{threshold}"),
             PolicyKind::Dynamic => "SRdyn".to_string(),
+            PolicyKind::LoadAware { pool, threshold } => format!("SRla-p{pool}c{threshold}"),
             PolicyKind::Custom { candidates, policy } => {
                 format!("custom-k{}-{}", candidates, policy.name())
             }
@@ -86,6 +99,11 @@ impl PolicyKind {
         match self {
             PolicyKind::RoundRobin => DispatcherConfig::Random { k: 1 },
             PolicyKind::Static { .. } | PolicyKind::Dynamic => DispatcherConfig::Random { k: 2 },
+            PolicyKind::LoadAware { pool, .. } => DispatcherConfig::LoadAware {
+                vnodes: 64,
+                pool: *pool,
+                k: 2,
+            },
             PolicyKind::Custom { candidates, .. } => DispatcherConfig::Random { k: *candidates },
             PolicyKind::Explicit { dispatcher, .. } => *dispatcher,
         }
@@ -96,9 +114,11 @@ impl PolicyKind {
         match self {
             // With a single candidate the policy is never consulted.
             PolicyKind::RoundRobin => PolicyConfig::AlwaysAccept,
-            PolicyKind::Static { threshold } => PolicyConfig::Static {
-                threshold: *threshold,
-            },
+            PolicyKind::Static { threshold } | PolicyKind::LoadAware { threshold, .. } => {
+                PolicyConfig::Static {
+                    threshold: *threshold,
+                }
+            }
             PolicyKind::Dynamic => PolicyConfig::paper_dynamic(),
             PolicyKind::Custom { policy, .. } => *policy,
             PolicyKind::Explicit { acceptance, .. } => *acceptance,
@@ -216,6 +236,119 @@ pub fn lb_count_is_one(n: &usize) -> bool {
     *n == 1
 }
 
+fn default_idle_timeout_s() -> f64 {
+    DEFAULT_IDLE_TIMEOUT_SECS as f64
+}
+
+fn idle_timeout_is_default(s: &f64) -> bool {
+    *s == DEFAULT_IDLE_TIMEOUT_SECS as f64
+}
+
+fn default_flow_shards() -> usize {
+    DEFAULT_SHARDS
+}
+
+fn shards_is_default(n: &usize) -> bool {
+    *n == DEFAULT_SHARDS
+}
+
+/// Serde skip predicate for [`ClusterSpec::flow_table`]: the unbounded
+/// default table is not serialised, so committed specs written before the
+/// flow-state subsystem existed parse and re-serialise byte-identically
+/// (the [`lb_count_is_one`] precedent).
+pub fn flow_table_is_default(ft: &FlowTableSpec) -> bool {
+    *ft == FlowTableSpec::default()
+}
+
+/// Configuration of each load balancer's flow-stickiness table.
+///
+/// The default — the 5-minute idle timeout, no capacity bound, no periodic
+/// sweep — matches the table every spec ran with before this axis existed
+/// and is omitted from serialised specs entirely.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FlowTableSpec {
+    /// Idle timeout in seconds after which an entry expires.
+    #[serde(
+        default = "default_idle_timeout_s",
+        skip_serializing_if = "idle_timeout_is_default"
+    )]
+    pub idle_timeout_s: f64,
+    /// Hard bound on live entries per load balancer; `None` is unbounded.
+    /// When full, learning a new flow evicts the least-recently-touched
+    /// entry (preferring expired, then long-idle ones), and every eviction
+    /// is counted by cause in [`crate::lb_node::LbStats`].
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub capacity: Option<usize>,
+    /// Number of power-of-two shards the table is split into.
+    #[serde(
+        default = "default_flow_shards",
+        skip_serializing_if = "shards_is_default"
+    )]
+    pub shards: usize,
+    /// Interval of the amortised incremental expiry sweep, in seconds;
+    /// `None` expires lazily on access only.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub sweep_interval_s: Option<f64>,
+}
+
+impl Default for FlowTableSpec {
+    fn default() -> Self {
+        FlowTableSpec {
+            idle_timeout_s: default_idle_timeout_s(),
+            capacity: None,
+            shards: DEFAULT_SHARDS,
+            sweep_interval_s: None,
+        }
+    }
+}
+
+impl FlowTableSpec {
+    /// Builds the configured [`FlowState`] table.
+    pub fn build(&self) -> FlowState {
+        let mut config = FlowStateConfig::new()
+            .with_idle_timeout(srlb_sim::SimDuration::from_secs_f64(self.idle_timeout_s))
+            .with_shards(self.shards);
+        if let Some(capacity) = self.capacity {
+            config = config.with_capacity(capacity);
+        }
+        FlowState::with_config(config)
+    }
+
+    /// The periodic sweep interval, if configured.
+    pub fn sweep_interval(&self) -> Option<srlb_sim::SimDuration> {
+        self.sweep_interval_s
+            .map(srlb_sim::SimDuration::from_secs_f64)
+    }
+
+    /// Checks the table parameters.
+    fn validate(&self) -> Result<(), CoreError> {
+        let bad = |msg: String| Err(CoreError::InvalidConfig(msg));
+        if !self.idle_timeout_s.is_finite() || self.idle_timeout_s <= 0.0 {
+            return bad(format!(
+                "flow-table idle timeout {} s must be positive",
+                self.idle_timeout_s
+            ));
+        }
+        if self.capacity == Some(0) {
+            return bad("a bounded flow table needs capacity for at least one flow".into());
+        }
+        if self.shards == 0 || !self.shards.is_power_of_two() {
+            return bad(format!(
+                "flow-table shard count {} must be a power of two",
+                self.shards
+            ));
+        }
+        if let Some(sweep) = self.sweep_interval_s {
+            if !sweep.is_finite() || sweep <= 0.0 {
+                return bad(format!(
+                    "flow-table sweep interval {sweep} s must be positive"
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
 /// Static description of the cluster an experiment runs on.
 ///
 /// The candidate-selection and acceptance policies live in
@@ -248,6 +381,12 @@ pub struct ClusterSpec {
     /// from serialised specs, so committed spec JSONs stay byte-stable.
     #[serde(default = "default_lb_count", skip_serializing_if = "lb_count_is_one")]
     pub lb_count: usize,
+    /// Per-LB flow-stickiness table configuration (idle timeout, capacity
+    /// bound, shard count, sweep interval).  The unbounded default is
+    /// omitted from serialised specs, so committed spec JSONs stay
+    /// byte-stable.
+    #[serde(default, skip_serializing_if = "flow_table_is_default")]
+    pub flow_table: FlowTableSpec,
     /// Whether the load balancers reconstruct lost flow-table entries
     /// in-band (re-hunt on miss + server ownership adverts).
     pub recover_flows: bool,
@@ -267,6 +406,7 @@ impl ClusterSpec {
             capacity_overrides: Vec::new(),
             vips: 1,
             lb_count: 1,
+            flow_table: FlowTableSpec::default(),
             recover_flows: false,
             record_load: false,
         }
@@ -923,6 +1063,12 @@ impl ExperimentSpec {
         self
     }
 
+    /// Overrides the flow-table configuration (builder style).
+    pub fn with_flow_table(mut self, flow_table: FlowTableSpec) -> Self {
+        self.cluster.flow_table = flow_table;
+        self
+    }
+
     /// Overrides the topology model (builder style).
     pub fn with_topology(mut self, topology: TopologyModel) -> Self {
         self.topology = topology;
@@ -993,7 +1139,18 @@ impl ExperimentSpec {
                 return bad("capacity overrides must keep at least 1 worker / 1 core".into());
             }
         }
+        c.flow_table.validate()?;
         self.topology.validate().map_err(CoreError::InvalidConfig)?;
+        if let PolicyKind::LoadAware { pool, threshold } = self.policy {
+            if pool == 0 || threshold == 0 {
+                return bad("load-aware pool and threshold must be at least 1".into());
+            }
+            if pool > MAX_CANDIDATES {
+                return bad(format!(
+                    "load-aware pool {pool} exceeds the {MAX_CANDIDATES}-candidate SRH budget"
+                ));
+            }
+        }
         let dispatcher = self.policy.dispatcher();
         if dispatcher.fanout() == 0 {
             return bad("dispatcher fan-out must be at least 1".into());
@@ -1251,6 +1408,138 @@ mod tests {
         assert!(json.contains("\"lb_count\":4"));
         let back: ExperimentSpec = serde_json::from_str(&json).unwrap();
         assert_eq!(back, spec);
+    }
+
+    #[test]
+    fn load_aware_policy_maps_to_dispatcher_and_acceptance() {
+        let policy = PolicyKind::LoadAware {
+            pool: 4,
+            threshold: 4,
+        };
+        assert_eq!(policy.label(), "SRla-p4c4");
+        assert_eq!(
+            policy.dispatcher(),
+            DispatcherConfig::LoadAware {
+                vnodes: 64,
+                pool: 4,
+                k: 2,
+            }
+        );
+        assert_eq!(
+            policy.acceptance_policy(),
+            PolicyConfig::Static { threshold: 4 }
+        );
+        ExperimentSpec::poisson_paper(0.89, policy)
+            .validate()
+            .unwrap();
+        // Pool 0 and pools beyond the SRH candidate budget are rejected.
+        let spec = ExperimentSpec::poisson_paper(
+            0.5,
+            PolicyKind::LoadAware {
+                pool: 0,
+                threshold: 4,
+            },
+        );
+        assert!(spec.validate().is_err());
+        let spec = ExperimentSpec::poisson_paper(
+            0.5,
+            PolicyKind::LoadAware {
+                pool: MAX_CANDIDATES + 1,
+                threshold: 4,
+            },
+        );
+        assert!(spec.validate().is_err());
+    }
+
+    #[test]
+    fn flow_table_serde_is_byte_stable_and_defaulted() {
+        // The unbounded default table is omitted from the JSON entirely, so
+        // committed specs written before the flow-state subsystem existed
+        // parse and re-serialise byte-identically (the `lb_count`
+        // precedent).
+        let spec = ExperimentSpec::poisson_paper(0.5, PolicyKind::Dynamic);
+        let json = serde_json::to_string(&spec).unwrap();
+        assert!(
+            !json.contains("flow_table"),
+            "the default table must be skipped: {json}"
+        );
+        let back: ExperimentSpec = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.cluster.flow_table, FlowTableSpec::default());
+        assert_eq!(back, spec);
+
+        // A bounded table round-trips, serialising only non-default fields.
+        let spec = spec.with_flow_table(FlowTableSpec {
+            idle_timeout_s: 30.0,
+            capacity: Some(256),
+            shards: DEFAULT_SHARDS,
+            sweep_interval_s: Some(5.0),
+        });
+        let json = serde_json::to_string(&spec).unwrap();
+        assert!(json.contains("\"capacity\":256"), "{json}");
+        assert!(json.contains("\"idle_timeout_s\":30.0"), "{json}");
+        assert!(!json.contains("shards"), "default shards skipped: {json}");
+        let back: ExperimentSpec = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, spec);
+        spec.validate().unwrap();
+    }
+
+    #[test]
+    fn flow_table_spec_builds_the_configured_table() {
+        let table = FlowTableSpec {
+            idle_timeout_s: 30.0,
+            capacity: Some(256),
+            shards: 4,
+            sweep_interval_s: Some(5.0),
+        };
+        let state = table.build();
+        assert_eq!(
+            state.idle_timeout(),
+            srlb_sim::SimDuration::from_secs_f64(30.0)
+        );
+        assert_eq!(state.capacity(), Some(256));
+        assert_eq!(state.config().shards(), 4);
+        assert_eq!(
+            table.sweep_interval(),
+            Some(srlb_sim::SimDuration::from_secs_f64(5.0))
+        );
+        let default = FlowTableSpec::default();
+        assert_eq!(default.build().capacity(), None);
+        assert_eq!(default.sweep_interval(), None);
+    }
+
+    #[test]
+    fn flow_table_validation_rejects_bad_parameters() {
+        let with_table = |flow_table| {
+            ExperimentSpec::poisson_paper(0.5, PolicyKind::Dynamic).with_flow_table(flow_table)
+        };
+        // Non-positive idle timeout.
+        assert!(with_table(FlowTableSpec {
+            idle_timeout_s: 0.0,
+            ..FlowTableSpec::default()
+        })
+        .validate()
+        .is_err());
+        // Zero capacity.
+        assert!(with_table(FlowTableSpec {
+            capacity: Some(0),
+            ..FlowTableSpec::default()
+        })
+        .validate()
+        .is_err());
+        // Non-power-of-two shard count.
+        assert!(with_table(FlowTableSpec {
+            shards: 3,
+            ..FlowTableSpec::default()
+        })
+        .validate()
+        .is_err());
+        // Non-positive sweep interval.
+        assert!(with_table(FlowTableSpec {
+            sweep_interval_s: Some(0.0),
+            ..FlowTableSpec::default()
+        })
+        .validate()
+        .is_err());
     }
 
     #[test]

@@ -99,4 +99,44 @@ fn per_flow_operations_are_allocation_free() {
         allocs, 0,
         "warm flow-table learn/lookup must not allocate per flow"
     );
+
+    // Bounded table under sustained eviction pressure: cycle a fixed
+    // working set twice the capacity, so every learn of a currently-absent
+    // key evicts the LRU entry and recycles its slot from the shard's free
+    // list.  After one warm-up lap has grown each shard to its peak, the
+    // steady-state learn → evict → reinsert → lookup cycle must not touch
+    // the allocator.
+    let mut bounded = srlb_core::FlowState::with_config(
+        srlb_core::FlowStateConfig::new()
+            .with_capacity(128)
+            .with_shards(8),
+    );
+    // Two untimed laps: the first fills the table, the second cycles the
+    // eviction window through every wrap-around position so each shard's
+    // slot storage and index map reach their all-time peak before timing.
+    for _ in 0..2 {
+        for (i, key) in keys.iter().enumerate() {
+            bounded.learn(*key, servers[i % servers.len()], SimTime::ZERO);
+        }
+    }
+    let evictions_before = bounded.stats().evictions.total();
+    let (allocs, _) = counting_allocs(|| {
+        for _ in 0..4 {
+            for (i, key) in keys.iter().enumerate() {
+                bounded.learn(*key, servers[i % servers.len()], SimTime::ZERO);
+                assert!(bounded.lookup(key, SimTime::ZERO).is_some());
+            }
+            assert_eq!(bounded.len(), 128);
+        }
+    });
+    assert_eq!(
+        allocs, 0,
+        "warm bounded learn/evict/lookup must not allocate per flow"
+    );
+    // Every learn of the cycling working set evicted the LRU entry: the
+    // timed section exercised the eviction path on all 4 × 256 learns.
+    assert_eq!(
+        bounded.stats().evictions.total(),
+        evictions_before + 4 * keys.len() as u64
+    );
 }

@@ -16,6 +16,8 @@
 //! * [`DisruptionCollector`] — per-phase disruption statistics (broken /
 //!   rerouted connections, fairness) for dynamic-cluster scenario runs,
 //! * [`Histogram`] — fixed-bucket latency histograms used by the benches,
+//! * [`OccupancyGauge`] / [`EvictionBreakdown`] — occupancy and per-cause
+//!   eviction accounting for the bounded flow-state tables,
 //! * [`ResponseTimeCollector`] — the per-query sample store from which all
 //!   of the above are derived.
 //!
@@ -32,6 +34,7 @@ pub mod disruption;
 pub mod ewma;
 pub mod fairness;
 pub mod histogram;
+pub mod occupancy;
 pub mod summary;
 pub mod timebin;
 
@@ -41,5 +44,6 @@ pub use disruption::{DisruptionCollector, PhaseStats};
 pub use ewma::Ewma;
 pub use fairness::jain_fairness;
 pub use histogram::Histogram;
+pub use occupancy::{EvictionBreakdown, EvictionCause, OccupancyGauge};
 pub use summary::Summary;
 pub use timebin::{BinStats, TimeBinner};

@@ -1,0 +1,170 @@
+//! Occupancy tracking and eviction accounting for bounded state tables.
+//!
+//! The flow-state subsystem of `srlb-core` bounds the per-LB flow table to a
+//! hard capacity; when the bound is hit an entry must be evicted.  This module
+//! provides the two small collectors that subsystem reports through:
+//!
+//! * [`OccupancyGauge`] — current and peak entry counts,
+//! * [`EvictionBreakdown`] — a per-cause eviction tally ([`EvictionCause`]),
+//!   so that "an active, established flow was dropped under memory pressure"
+//!   is always a counted, visible event rather than a silent one.
+
+use serde::{Deserialize, Serialize};
+
+/// Why a bounded table evicted an entry.
+///
+/// Ordered from most to least benign: an [`Expired`](EvictionCause::Expired)
+/// eviction merely front-runs the idle-timeout sweep, an
+/// [`Idle`](EvictionCause::Idle) eviction drops an entry that was at least
+/// halfway to expiry, and an [`Active`](EvictionCause::Active) eviction drops
+/// an entry a live connection may still need — the case the paper's
+/// consistency argument cares about, and the one that must never go uncounted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum EvictionCause {
+    /// The victim had already outlived the idle timeout and would have been
+    /// removed by the next expiry sweep anyway.
+    Expired,
+    /// The victim was idle for at least half the idle timeout.
+    Idle,
+    /// The victim was recently active; dropping it can break an established
+    /// connection's affinity.
+    Active,
+}
+
+/// Per-cause eviction counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EvictionBreakdown {
+    /// Evictions of entries already past the idle timeout.
+    pub expired: u64,
+    /// Evictions of entries idle for at least half the timeout.
+    pub idle: u64,
+    /// Evictions of recently-active entries.
+    pub active: u64,
+}
+
+impl EvictionBreakdown {
+    /// Records one eviction with the given cause.
+    pub fn record(&mut self, cause: EvictionCause) {
+        match cause {
+            EvictionCause::Expired => self.expired += 1,
+            EvictionCause::Idle => self.idle += 1,
+            EvictionCause::Active => self.active += 1,
+        }
+    }
+
+    /// Total evictions across all causes.
+    pub fn total(&self) -> u64 {
+        self.expired + self.idle + self.active
+    }
+
+    /// Component-wise sum of two breakdowns.
+    pub fn merge(&mut self, other: &EvictionBreakdown) {
+        self.expired += other.expired;
+        self.idle += other.idle;
+        self.active += other.active;
+    }
+}
+
+/// Tracks the current and peak number of occupied entries.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OccupancyGauge {
+    current: u64,
+    peak: u64,
+}
+
+impl OccupancyGauge {
+    /// Creates an empty gauge.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Current occupancy.
+    pub fn current(&self) -> u64 {
+        self.current
+    }
+
+    /// Highest occupancy ever observed.
+    pub fn peak(&self) -> u64 {
+        self.peak
+    }
+
+    /// Records `n` entries added.
+    pub fn add(&mut self, n: u64) {
+        self.current += n;
+        if self.current > self.peak {
+            self.peak = self.current;
+        }
+    }
+
+    /// Records `n` entries removed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if more entries are removed than are currently tracked; that is
+    /// always an accounting bug in the caller.
+    pub fn remove(&mut self, n: u64) {
+        assert!(
+            n <= self.current,
+            "occupancy underflow: -{n} at {}",
+            self.current
+        );
+        self.current -= n;
+    }
+
+    /// Drops all current entries (e.g. on a fail-over wipe) while keeping the
+    /// recorded peak.
+    pub fn clear(&mut self) {
+        self.current = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gauge_tracks_current_and_peak() {
+        let mut g = OccupancyGauge::new();
+        g.add(3);
+        g.add(2);
+        assert_eq!(g.current(), 5);
+        assert_eq!(g.peak(), 5);
+        g.remove(4);
+        assert_eq!(g.current(), 1);
+        assert_eq!(g.peak(), 5);
+        g.add(1);
+        assert_eq!(g.peak(), 5);
+    }
+
+    #[test]
+    fn gauge_clear_keeps_peak() {
+        let mut g = OccupancyGauge::new();
+        g.add(7);
+        g.clear();
+        assert_eq!(g.current(), 0);
+        assert_eq!(g.peak(), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "underflow")]
+    fn gauge_underflow_panics() {
+        let mut g = OccupancyGauge::new();
+        g.add(1);
+        g.remove(2);
+    }
+
+    #[test]
+    fn breakdown_records_and_merges() {
+        let mut a = EvictionBreakdown::default();
+        a.record(EvictionCause::Expired);
+        a.record(EvictionCause::Active);
+        let mut b = EvictionBreakdown::default();
+        b.record(EvictionCause::Idle);
+        b.record(EvictionCause::Idle);
+        a.merge(&b);
+        assert_eq!(a.expired, 1);
+        assert_eq!(a.idle, 2);
+        assert_eq!(a.active, 1);
+        assert_eq!(a.total(), 4);
+    }
+}

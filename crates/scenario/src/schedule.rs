@@ -230,6 +230,7 @@ impl Scenario {
                 capacity_overrides: c.capacity_overrides.clone(),
                 vips: c.vips,
                 lb_count: c.lb_count,
+                flow_table: srlb_core::spec::FlowTableSpec::default(),
                 recover_flows: c.recover_flows,
                 record_load: false,
             },

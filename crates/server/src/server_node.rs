@@ -231,6 +231,37 @@ pub fn decode_response_payload(payload: &[u8]) -> Option<(u64, u32)> {
     Some((id, server))
 }
 
+/// Encodes the server-load hint a server attaches to its acceptance SYN-ACK
+/// (and ownership adverts): busy worker threads, configured worker threads
+/// and current backlog depth, each as a big-endian `u32`.
+///
+/// The load balancer's load-aware dispatcher smooths
+/// `(busy + backlog) / workers` into a per-server EWMA; load-oblivious
+/// dispatchers (the default) ignore the hint entirely, and the measurement
+/// client ignores payloads on SYN-ACKs, so attaching it is invisible to every
+/// existing configuration.
+pub fn encode_load_hint(busy: u32, workers: u32, backlog: u32) -> Bytes {
+    let mut buf = Vec::with_capacity(12);
+    buf.extend_from_slice(&busy.to_be_bytes());
+    buf.extend_from_slice(&workers.to_be_bytes());
+    buf.extend_from_slice(&backlog.to_be_bytes());
+    Bytes::from(buf)
+}
+
+/// Decodes a payload produced by [`encode_load_hint`], returning
+/// `(busy, workers, backlog)`.
+///
+/// Returns `None` if the payload is too short.
+pub fn decode_load_hint(payload: &[u8]) -> Option<(u32, u32, u32)> {
+    if payload.len() < 12 {
+        return None;
+    }
+    let busy = u32::from_be_bytes(payload[0..4].try_into().ok()?);
+    let workers = u32::from_be_bytes(payload[4..8].try_into().ok()?);
+    let backlog = u32::from_be_bytes(payload[8..12].try_into().ok()?);
+    Some((busy, workers, backlog))
+}
+
 /// One backend server of the simulated cluster.
 #[derive(Debug)]
 pub struct ServerNode {
@@ -363,6 +394,16 @@ impl ServerNode {
         }
     }
 
+    /// The load hint describing this server's instantaneous state, attached
+    /// to acceptance SYN-ACKs and ownership adverts.
+    fn load_hint(&self) -> Bytes {
+        encode_load_hint(
+            self.pool.busy_count() as u32,
+            self.config.workers as u32,
+            self.backlog.len() as u32,
+        )
+    }
+
     /// Bumps the timer generation and schedules a wake-up at the CPU's next
     /// completion instant (if any).  Must be called after every change to the
     /// set of running jobs.
@@ -397,6 +438,7 @@ impl ServerNode {
             .ports(flow.vip_port(), flow.client_port())
             .flags(TcpFlags::SYN_ACK)
             .segment_routing(srh)
+            .payload(self.load_hint())
             .build();
         // The active segment of the acceptance SRH is the load balancer —
         // specifically the tier instance this flow is ECMP-steered to, so
@@ -615,6 +657,7 @@ impl ServerNode {
             .ports(flow.vip_port(), flow.client_port())
             .flags(TcpFlags::ACK)
             .segment_routing(srh)
+            .payload(self.load_hint())
             .build();
         self.send_to_lb(ctx, flow, advert);
     }
@@ -736,6 +779,15 @@ mod tests {
     fn short_payload_is_rejected() {
         assert_eq!(decode_request_payload(&[1, 2, 3]), None);
         assert_eq!(decode_request_payload(&[]), None);
+    }
+
+    #[test]
+    fn load_hint_roundtrip() {
+        let payload = encode_load_hint(5, 32, 17);
+        assert_eq!(payload.len(), 12);
+        assert_eq!(decode_load_hint(&payload), Some((5, 32, 17)));
+        assert_eq!(decode_load_hint(&payload[..8]), None);
+        assert_eq!(decode_load_hint(&[]), None);
     }
 
     #[test]
