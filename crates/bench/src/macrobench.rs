@@ -152,7 +152,7 @@ pub fn flow_scale(flows: usize, timed: bool) -> FlowScaleReport {
     let keys: Vec<FlowKey> = (0..flows as u64).map(|i| flow_key(i, vip)).collect();
 
     // Primary pass: every key once, time advancing one step per learn.
-    let start = Instant::now();
+    let start = Instant::now(); // srlb-lint: allow(ambient-time) -- wall-clock throughput is this bench's measurand, not simulation state
     for (i, key) in keys.iter().enumerate() {
         let now = SimTime::ZERO + step * i as u64;
         tables[instance_of(key)].learn(*key, servers[i % servers.len()], now);
@@ -163,7 +163,7 @@ pub fn flow_scale(flows: usize, timed: bool) -> FlowScaleReport {
     // touched), evicted or expired entries miss.
     let now = SimTime::ZERO + step * flows as u64;
     let mut hits = 0u64;
-    let start = Instant::now();
+    let start = Instant::now(); // srlb-lint: allow(ambient-time) -- wall-clock throughput is this bench's measurand, not simulation state
     for key in &keys {
         if tables[instance_of(key)].lookup(key, now).is_some() {
             hits += 1;

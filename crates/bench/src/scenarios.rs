@@ -207,12 +207,12 @@ pub struct ScenariosDoc {
     pub remap: Vec<RemapReport>,
     /// The ECMP-reshuffle sweep: dispatcher × lb_count ∈ {1, 2, 4}
     /// (absent from reports written before the multi-LB refactor).
-    #[serde(default)]
+    #[serde(default, skip_serializing_if = "Vec::is_empty")]
     pub ecmp_reshuffle: Vec<EcmpReshuffleReport>,
     /// The fault-injection sweep: the lossy-failover, incast and
     /// saturated-uplink presets crossed with every dispatcher (absent from
     /// reports written before the fault layer existed).
-    #[serde(default)]
+    #[serde(default, skip_serializing_if = "Vec::is_empty")]
     pub faults: Vec<ScenarioReport>,
 }
 

@@ -120,7 +120,12 @@ pub struct ClientNode {
     source: BoxedWorkload,
     /// The next request to send: pulled from the stream, timer armed.
     pending: Option<Request>,
-    in_flight: std::collections::HashMap<u64, InFlight>,
+    /// Outstanding requests by id.  A `BTreeMap` so every traversal —
+    /// most importantly the leftover drain in
+    /// [`ClientNode::into_collector`], which feeds the committed reports —
+    /// is ordered by request id with no per-instance hash randomness to
+    /// depend on.
+    in_flight: std::collections::BTreeMap<u64, InFlight>,
     collector: ResponseTimeCollector,
     sent: u64,
     completed: u64,
@@ -177,7 +182,7 @@ impl ClientNode {
             directory,
             source,
             pending: None,
-            in_flight: std::collections::HashMap::new(),
+            in_flight: std::collections::BTreeMap::new(),
             collector: ResponseTimeCollector::new(),
             sent: 0,
             completed: 0,
@@ -255,10 +260,10 @@ impl ClientNode {
     /// Consumes the client and returns its measurement collector, marking
     /// any still-outstanding requests as unfinished.
     pub fn into_collector(mut self) -> ResponseTimeCollector {
-        // Drain in request-id order: HashMap iteration order is randomized
-        // per instance, and leftover records must not depend on it.
-        let mut leftover: Vec<(u64, InFlight)> = self.in_flight.drain().collect();
-        leftover.sort_by_key(|&(id, _)| id);
+        // `in_flight` is a BTreeMap precisely so this drain is in
+        // request-id order by construction — leftover records land in the
+        // report deterministically with nothing left to sort.
+        let leftover = std::mem::take(&mut self.in_flight);
         for (_, info) in leftover {
             self.collector.push(RequestRecord {
                 sent_at_seconds: info.sent_at.as_secs_f64(),
@@ -338,7 +343,6 @@ impl ClientNode {
             timeout += ctx.rng().next_u64() % (max_jitter + 1);
         }
         let delay = SimDuration::from_nanos(timeout);
-        let info = self.in_flight.get_mut(&id).expect("checked above");
         info.deadline = ctx.now() + delay;
         ctx.schedule_timer(delay, TimerToken(id | RETX_TIMER_BIT));
     }
@@ -500,6 +504,7 @@ impl Node<Packet> for ClientNode {
         let request = self
             .pending
             .take()
+            // srlb-lint: allow(panic-hygiene) -- timer tokens without RETX_TIMER_BIT are armed only in schedule_next, which always sets `pending` first
             .expect("a request timer only fires for the pending request");
         debug_assert_eq!(request.id, token.0);
         self.send_request_syn(request, ctx);
@@ -586,6 +591,39 @@ mod tests {
             ClientNode::new(plan.clone(), plan.vip(0), Directory::new(), requests)
         });
         assert!(result.is_err());
+    }
+
+    #[test]
+    fn into_collector_drains_leftovers_in_request_id_order() {
+        // Regression for the PR 6 nondeterminism bug: `in_flight` used to
+        // be a HashMap whose drain order was randomized per instance, so
+        // leftover records could land in the report in any order.  The
+        // field is a BTreeMap now; an adversarial insertion order must not
+        // be observable in the drained records.
+        let plan = AddressPlan::default();
+        let mut client = ClientNode::new(plan.clone(), plan.vip(0), Directory::new(), vec![]);
+        for id in [7u64, 2, 9, 0, 5, 3] {
+            client.in_flight.insert(
+                id,
+                InFlight {
+                    // Encode the id into the record so the drain order is
+                    // observable from the outside.
+                    sent_at: SimTime::from_secs_f64(id as f64),
+                    class: RequestClass::Synthetic,
+                    service: SimDuration::from_millis(1),
+                    awaiting: Awaiting::SynSent,
+                    retries: 0,
+                    deadline: SimTime::ZERO,
+                },
+            );
+        }
+        let collector = client.into_collector();
+        let drained: Vec<f64> = collector
+            .records()
+            .iter()
+            .map(|r| r.sent_at_seconds)
+            .collect();
+        assert_eq!(drained, vec![0.0, 2.0, 3.0, 5.0, 7.0, 9.0]);
     }
 
     #[test]

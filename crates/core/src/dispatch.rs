@@ -457,6 +457,7 @@ impl MaglevDispatcher {
         MaglevDispatcher {
             table: table
                 .into_iter()
+                // srlb-lint: allow(panic-hygiene) -- Maglev population loop above runs until every table slot is Some
                 .map(|s| s.expect("table filled"))
                 .collect(),
             k,
@@ -617,7 +618,7 @@ impl Dispatcher for LoadAwareDispatcher {
                     best = Some((i, load));
                 }
             }
-            let (i, _) = best.expect("pool is at least as wide as k");
+            let (i, _) = best.expect("pool is at least as wide as k"); // srlb-lint: allow(panic-hygiene) -- loop invariant: out.len() < k ≤ scratch.len(), so an unpicked candidate always exists
             out.push(self.scratch.as_slice()[i]);
         }
     }

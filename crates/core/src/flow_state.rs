@@ -529,6 +529,7 @@ impl PartialEq for FlowState {
             return false;
         }
         self.shards.iter().all(|shard| {
+            // srlb-lint: allow(unordered-iter) -- `.all()` over every entry is order-independent; no order-sensitive value escapes
             shard.map.iter().all(|(key, &idx)| {
                 let slot = &shard.slots[idx as usize];
                 let other_shard = &other.shards[other.shard_of(key)];

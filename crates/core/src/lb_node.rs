@@ -322,6 +322,7 @@ impl LoadBalancerNode {
             .candidates_into(&flow, ctx.rng(), &mut self.route_scratch);
         self.route_scratch.push(vip);
         let srh = SegmentRoutingHeader::from_route(self.route_scratch.as_slice())
+            // srlb-lint: allow(panic-hygiene) -- the VIP was just pushed, so the route is non-empty and within MAX_SEGMENTS (checked at construction)
             .expect("candidate list plus VIP is a non-empty route");
         let first_hop = srh.active_segment();
         packet.insert_srh(srh);
@@ -354,8 +355,10 @@ impl LoadBalancerNode {
         route[1..=k].copy_from_slice(self.route_scratch.as_slice());
         route[k + 1] = vip;
         let mut srh = SegmentRoutingHeader::from_route(&route[..k + 2])
+            // srlb-lint: allow(panic-hygiene) -- k ≤ MAX_RECOVERY_CANDIDATES is enforced at construction, so k+2 segments always fit
             .expect("lb marker, candidates and VIP fit one re-hunt route");
         srh.set_segments_left(k as u8)
+            // srlb-lint: allow(panic-hygiene) -- k < k+2 segments, so the index is always in range
             .expect("the first candidate is a valid active segment");
         let first_hop = srh.active_segment();
         packet.insert_srh(srh);
@@ -398,6 +401,7 @@ impl LoadBalancerNode {
         match self.flow_table.lookup(&flow, ctx.now()) {
             Some(server) => {
                 let srh = SegmentRoutingHeader::from_route(&[server, flow.vip()])
+                    // srlb-lint: allow(panic-hygiene) -- a fixed two-segment route can never be empty or exceed MAX_SEGMENTS
                     .expect("two-segment steering route is valid");
                 packet.insert_srh(srh);
                 self.stats.steered += 1;
@@ -538,7 +542,7 @@ mod tests {
     }
     use srlb_net::{AddressPlan, PacketBuilder, ServerId, TcpFlags};
     use srlb_server::{PolicyConfig, ServerConfig, ServerNode};
-    use srlb_sim::{Network, Topology};
+    use srlb_sim::{Network, RunUntil, Topology};
 
     /// A sink node that records every packet it receives.
     #[derive(Debug, Default)]
@@ -619,7 +623,7 @@ mod tests {
             build_cluster(4, PolicyConfig::Static { threshold: 4 }, 2);
         // Add a driver that sends one SYN to the LB.
         net.add_node(SynSource { lb, port: 40_000 });
-        net.run();
+        net.run_until(RunUntil::Drained);
 
         let lb_node: LoadBalancerNode = net.take_node(lb).unwrap();
         assert_eq!(lb_node.stats().new_flows, 1);
@@ -642,7 +646,7 @@ mod tests {
     fn rr_baseline_uses_single_candidate() {
         let (mut net, _client, lb, servers) = build_cluster(4, PolicyConfig::NeverAccept, 1);
         net.add_node(SynSource { lb, port: 41_000 });
-        net.run();
+        net.run_until(RunUntil::Drained);
         let lb_node: LoadBalancerNode = net.take_node(lb).unwrap();
         assert_eq!(lb_node.stats().new_flows, 1);
         assert_eq!(lb_node.stats().flows_learned, 1);
@@ -681,7 +685,7 @@ mod tests {
             fn on_message(&mut self, _p: Packet, _f: NodeId, _c: &mut Context<'_, Packet>) {}
         }
         net.add_node(AckSource { lb });
-        net.run();
+        net.run_until(RunUntil::Drained);
         let lb_node: LoadBalancerNode = net.take_node(lb).unwrap();
         assert_eq!(lb_node.stats().missing_flow, 1);
         assert_eq!(lb_node.stats().new_flows, 0);
@@ -753,7 +757,7 @@ mod tests {
 
         // Establish one connection.
         net.add_node(SynSource { lb, port: 50_000 });
-        net.run();
+        net.run_until(RunUntil::Drained);
         assert_eq!(
             net.node_as::<LoadBalancerNode>(lb)
                 .unwrap()
@@ -777,7 +781,7 @@ mod tests {
         // table: it is re-hunted, the owner adverts itself, the table is
         // reconstructed, and the request is served.
         net.add_node(RequestSource { lb, port: 50_000 });
-        net.run();
+        net.run_until(RunUntil::Drained);
         let lb_node: LoadBalancerNode = net.take_node(lb).unwrap();
         assert_eq!(lb_node.stats().failovers, 1);
         assert_eq!(lb_node.stats().rehunts, 1);
@@ -830,7 +834,7 @@ mod tests {
         }
         net.add_node(SynSource { lb, port: 43_500 });
         net.add_node(SecondVipSyn { lb });
-        net.run();
+        net.run_until(RunUntil::Drained);
         let lb_node: LoadBalancerNode = net.take_node(lb).unwrap();
         assert_eq!(lb_node.stats().new_flows, 2);
         assert_eq!(lb_node.stats().flows_learned, 2);
@@ -862,7 +866,7 @@ mod tests {
             fn on_message(&mut self, _p: Packet, _f: NodeId, _c: &mut Context<'_, Packet>) {}
         }
         net.add_node(StraySource { lb });
-        net.run();
+        net.run_until(RunUntil::Drained);
         let lb_node: LoadBalancerNode = net.take_node(lb).unwrap();
         assert_eq!(lb_node.stats().forwarded, 1);
         let sink: Sink = net.take_node(client).unwrap();

@@ -323,6 +323,7 @@ impl Runner {
             for &lb in &lb_ids {
                 network
                     .node_as_mut::<LoadBalancerNode>(lb)
+                    // srlb-lint: allow(panic-hygiene) -- lb_ids come from the layout this runner just built; a missing node is a setup bug worth aborting on
                     .expect("load balancer present")
                     .rebuild_backends(addrs.to_vec());
             }
@@ -350,6 +351,7 @@ impl Runner {
                     let i = server as usize;
                     let node: ServerNode = network
                         .take_node(server_node_id(i))
+                        // srlb-lint: allow(panic-hygiene) -- ScenarioSpec::validate rejects schedules that remove a dead server before the run starts
                         .expect("validated schedule removes only live servers");
                     harvest(node, i);
                     alive[i] = false;
@@ -359,6 +361,7 @@ impl Runner {
                     // Fail over every *advertised* instance; the shared
                     // tier is the single source of truth for advertisement.
                     let advertised: Vec<usize> = {
+                        // srlb-lint: allow(panic-hygiene) -- lock poisoning means another thread already panicked; propagating is the only sound option
                         let tier = tier.read().expect("tier lock poisoned");
                         (0..lb_count)
                             .filter(|&j| tier.contains(lb_node_id(j)))
@@ -369,11 +372,13 @@ impl Runner {
                             .control::<LoadBalancerNode, _>(lb_node_id(j), |lb, ctx| {
                                 lb.fail_over(ctx.now())
                             })
+                            // srlb-lint: allow(panic-hygiene) -- every tier instance is created up front and withdrawal never removes the node
                             .expect("load balancer present");
                     }
                 }
                 ScenarioEvent::AddLb { lb } => {
                     tier.write()
+                        // srlb-lint: allow(panic-hygiene) -- lock poisoning means another thread already panicked; propagating is the only sound option
                         .expect("tier lock poisoned")
                         .add(lb_node_id(lb as usize));
                 }
@@ -382,6 +387,7 @@ impl Runner {
                     // already in the fabric still deliver, subsequent
                     // packets of the instance's flows re-steer to peers.
                     tier.write()
+                        // srlb-lint: allow(panic-hygiene) -- lock poisoning means another thread already panicked; propagating is the only sound option
                         .expect("tier lock poisoned")
                         .remove(lb_node_id(lb as usize));
                 }
@@ -394,6 +400,7 @@ impl Runner {
                         .control::<ServerNode, _>(server_node_id(server as usize), |s, ctx| {
                             s.set_capacity(workers, cores, ctx)
                         })
+                        // srlb-lint: allow(panic-hygiene) -- ScenarioSpec::validate rejects schedules that resize a dead server before the run starts
                         .expect("validated schedule resizes only live servers");
                 }
             }
@@ -418,6 +425,7 @@ impl Runner {
             if *up {
                 let node: ServerNode = network
                     .take_node(server_node_id(i))
+                    // srlb-lint: allow(panic-hygiene) -- `alive[i]` tracks exactly which server nodes the runner inserted and never removed
                     .expect("live server present after run");
                 harvest(node, i);
             }
@@ -430,6 +438,7 @@ impl Runner {
         for j in 0..lb_count {
             let lb_node: LoadBalancerNode = network
                 .take_node(lb_node_id(j))
+                // srlb-lint: allow(panic-hygiene) -- every tier instance is created up front and withdrawal never removes the node
                 .expect("load balancer present after run");
             if let Some(latency) = lb_node.reconstruction_latency_seconds() {
                 reconstruction_latency_s =
@@ -439,6 +448,7 @@ impl Runner {
         }
         let client_node: ClientNode = network
             .take_node(client_id)
+            // srlb-lint: allow(panic-hygiene) -- the client node is inserted at setup and nothing in the run removes it
             .expect("client present after run");
         let collector = client_node.into_collector();
 

@@ -506,6 +506,7 @@ impl WorkloadSpec {
             } => {
                 let lambda0 = self
                     .effective_lambda0(cluster)
+                    // srlb-lint: allow(panic-hygiene) -- effective_lambda0 returns Some for every Poisson variant, and this arm only matches Poisson
                     .expect("poisson workload has a lambda0");
                 Box::new(
                     PoissonWorkload::paper(*rho, lambda0)
@@ -685,11 +686,20 @@ pub struct FaultLink {
     pub to: Option<FaultNode>,
 }
 
+impl FaultLink {
+    /// `true` for the double-wildcard pattern (the `Default`), which is
+    /// omitted from serialised specs so defaulted and explicit
+    /// match-anything links produce identical bytes.
+    pub fn is_any(&self) -> bool {
+        self.from.is_none() && self.to.is_none()
+    }
+}
+
 /// Independent per-message loss on matching links.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct LossSpec {
     /// Which links the rule applies to.
-    #[serde(default)]
+    #[serde(default, skip_serializing_if = "FaultLink::is_any")]
     pub link: FaultLink,
     /// Per-message drop probability in `[0, 1]`.
     pub probability: f64,
@@ -711,7 +721,7 @@ pub struct OneShotDropSpec {
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct DownWindowSpec {
     /// Which links go down.
-    #[serde(default)]
+    #[serde(default, skip_serializing_if = "FaultLink::is_any")]
     pub link: FaultLink,
     /// Start of the outage, in seconds since the start of the run
     /// (inclusive).

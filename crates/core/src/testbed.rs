@@ -156,6 +156,7 @@ impl Testbed {
     /// the event count.
     pub fn run(&self, requests: Vec<Request>) -> TestbedResult {
         let outcome = Runner::new(self.config.to_spec(requests))
+            // srlb-lint: allow(panic-hygiene) -- Testbed::new already ran the same validation; a late failure is a bug worth aborting on
             .expect("configuration validated at construction")
             .run();
         TestbedResult {

@@ -1,0 +1,202 @@
+//! Edge-case coverage for the hand-rolled lexer.
+//!
+//! Every case here is one a naive regex scan gets wrong — and therefore a
+//! way the lint could false-positive (flagging text inside a string) or
+//! false-negative (missing code after a mis-lexed literal).
+
+use srlb_lint::lexer::{lex, TokenKind};
+
+/// The non-comment token texts, for compact structural assertions.
+fn texts(source: &str) -> Vec<String> {
+    lex(source)
+        .into_iter()
+        .filter(|t| !t.is_comment())
+        .map(|t| t.text)
+        .collect()
+}
+
+fn kinds(source: &str) -> Vec<TokenKind> {
+    lex(source).into_iter().map(|t| t.kind).collect()
+}
+
+#[test]
+fn raw_string_with_hashes_is_one_token() {
+    let src = r##"let s = r#"a "quoted" b"#;"##;
+    let tokens = lex(src);
+    let strs: Vec<_> = tokens.iter().filter(|t| t.kind == TokenKind::Str).collect();
+    assert_eq!(strs.len(), 1);
+    assert_eq!(strs[0].text, r##"r#"a "quoted" b"#"##);
+    // The trailing `;` survives as punctuation — the lexer did not run off
+    // the end chasing an unmatched quote.
+    assert!(tokens.iter().any(|t| t.is_punct(';')));
+}
+
+#[test]
+fn raw_string_with_two_hashes_swallows_single_hash_quote() {
+    let src = r###"r##"contains "# inside"##"###;
+    let tokens = lex(src);
+    assert_eq!(tokens.len(), 1);
+    assert_eq!(tokens[0].kind, TokenKind::Str);
+    assert_eq!(tokens[0].text, src);
+}
+
+#[test]
+fn hazard_inside_raw_string_is_not_an_ident() {
+    // `Instant::now` inside a raw string must lex as string content, not
+    // as identifier tokens the ambient-time rule could match.
+    let src = r#"let doc = r"call Instant::now() here";"#;
+    let idents: Vec<_> = lex(src)
+        .into_iter()
+        .filter(|t| t.kind == TokenKind::Ident)
+        .map(|t| t.text)
+        .collect();
+    assert_eq!(idents, vec!["let", "doc"]);
+}
+
+#[test]
+fn byte_string_and_byte_char() {
+    let tokens = lex(r#"let a = b"bytes"; let c = b'x';"#);
+    let strs: Vec<_> = tokens
+        .iter()
+        .filter(|t| t.kind == TokenKind::Str)
+        .map(|t| t.text.as_str())
+        .collect();
+    assert_eq!(strs, vec![r#"b"bytes""#]);
+    let chars: Vec<_> = tokens
+        .iter()
+        .filter(|t| t.kind == TokenKind::Char)
+        .map(|t| t.text.as_str())
+        .collect();
+    assert_eq!(chars, vec!["b'x'"]);
+}
+
+#[test]
+fn nested_block_comment_is_one_token() {
+    let src = "/* outer /* inner */ still outer */ fn";
+    let tokens = lex(src);
+    assert_eq!(tokens.len(), 2);
+    assert_eq!(tokens[0].kind, TokenKind::BlockComment);
+    assert_eq!(tokens[0].text, "/* outer /* inner */ still outer */");
+    assert!(tokens[1].is_ident("fn"));
+}
+
+#[test]
+fn char_literal_vs_lifetime() {
+    let tokens = lex("let c = 'a'; fn f<'a>(x: &'a str) -> &'static str { x }");
+    let chars: Vec<_> = tokens
+        .iter()
+        .filter(|t| t.kind == TokenKind::Char)
+        .map(|t| t.text.as_str())
+        .collect();
+    assert_eq!(chars, vec!["'a'"]);
+    let lifetimes: Vec<_> = tokens
+        .iter()
+        .filter(|t| t.kind == TokenKind::Lifetime)
+        .map(|t| t.text.as_str())
+        .collect();
+    assert_eq!(lifetimes, vec!["'a", "'a", "'static"]);
+}
+
+#[test]
+fn escaped_char_literals() {
+    for src in ["'\\n'", "'\\''", "'\\u{1F600}'"] {
+        let tokens = lex(src);
+        assert_eq!(tokens[0].kind, TokenKind::Char, "{src}");
+        assert_eq!(tokens[0].text, src, "{src}");
+    }
+}
+
+#[test]
+fn raw_identifier_is_an_ident_not_a_string() {
+    let tokens = lex("let r#type = 1;");
+    assert!(tokens.iter().any(|t| t.is_ident("type")));
+    assert!(tokens.iter().all(|t| t.kind != TokenKind::Str));
+}
+
+#[test]
+fn plain_r_and_b_idents_are_not_literal_heads() {
+    assert_eq!(texts("r + b"), vec!["r", "+", "b"]);
+    assert_eq!(
+        texts("rb_buffer.len()"),
+        vec!["rb_buffer", ".", "len", "(", ")"]
+    );
+}
+
+#[test]
+fn number_with_exponent_and_range() {
+    // `1.0e-6` is one number; `0..5` must not swallow the range dots.
+    assert_eq!(texts("1.0e-6"), vec!["1.0e-6"]);
+    assert_eq!(texts("0..5"), vec!["0", ".", ".", "5"]);
+    assert_eq!(texts("1_000u64"), vec!["1_000u64"]);
+    // `e` without a signed digit after it stays within the literal only
+    // when alphanumeric continuation applies (`2e10` is one token).
+    assert_eq!(texts("2e10"), vec!["2e10"]);
+}
+
+#[test]
+fn method_call_on_float_is_not_a_fraction() {
+    // `1.max(2)` — the dot starts a method call, not a decimal fraction.
+    assert_eq!(texts("1.max(2)"), vec!["1", ".", "max", "(", "2", ")"]);
+}
+
+#[test]
+fn line_and_column_tracking() {
+    let tokens = lex("a\n  bb\ncc");
+    assert_eq!(
+        tokens
+            .iter()
+            .map(|t| (t.text.as_str(), t.line, t.col))
+            .collect::<Vec<_>>(),
+        vec![("a", 1, 1), ("bb", 2, 3), ("cc", 3, 1)]
+    );
+}
+
+#[test]
+fn comments_are_emitted_with_positions() {
+    let tokens = lex("x // trailing note\n/* block */ y");
+    assert_eq!(tokens[1].kind, TokenKind::LineComment);
+    assert_eq!(tokens[1].text, "// trailing note");
+    assert_eq!(tokens[1].line, 1);
+    assert_eq!(tokens[2].kind, TokenKind::BlockComment);
+    assert_eq!(tokens[2].line, 2);
+}
+
+#[test]
+fn malformed_input_never_panics() {
+    for src in [
+        "\"unterminated",
+        "r#\"unterminated raw",
+        "/* unterminated comment",
+        "'",
+        "''",
+        "b'",
+        "let x = '",
+    ] {
+        let _ = lex(src); // must not panic
+    }
+}
+
+#[test]
+fn empty_and_whitespace_sources() {
+    assert!(lex("").is_empty());
+    assert!(lex("  \n\t \n").is_empty());
+}
+
+#[test]
+fn kinds_roundtrip_smoke() {
+    // A dense line touching every token class.
+    let src = "fn f<'a>() { let s = r#\"x\"#; let c = 'y'; 1.5; /* b */ } // l";
+    let ks = kinds(src);
+    for expect in [
+        TokenKind::Ident,
+        TokenKind::Lifetime,
+        TokenKind::Str,
+        TokenKind::Char,
+        TokenKind::Number,
+        TokenKind::Punct,
+        TokenKind::BlockComment,
+        TokenKind::LineComment,
+    ] {
+        assert!(ks.contains(&expect), "missing {expect:?} in {ks:?}");
+    }
+}

@@ -239,6 +239,7 @@ impl SegmentRoutingHeader {
             .segment_list
             .as_slice()
             .last()
+            // srlb-lint: allow(panic-hygiene) -- from_route rejects empty routes, so a constructed SRH always has ≥ 1 segment
             .expect("segment list is never empty")
     }
 

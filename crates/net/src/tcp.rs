@@ -240,16 +240,20 @@ impl TcpHeader {
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct RetransmitPolicy {
     /// Base retransmission timeout in milliseconds.
+    // srlb-lint: allow(serde-no-skip) -- always serialised in full so committed fault specs stay self-describing even when a field happens to equal its default
     #[serde(default = "default_timeout_ms")]
     pub timeout_ms: f64,
     /// Exponential backoff factor applied per retry.
+    // srlb-lint: allow(serde-no-skip) -- always serialised in full so committed fault specs stay self-describing even when a field happens to equal its default
     #[serde(default = "default_backoff")]
     pub backoff: f64,
     /// Maximum jitter as a fraction of the computed timeout (`0.1` adds up
     /// to 10%).
+    // srlb-lint: allow(serde-no-skip) -- always serialised in full so committed fault specs stay self-describing even when a field happens to equal its default
     #[serde(default = "default_jitter")]
     pub jitter: f64,
     /// Number of retransmissions before the request is aborted.
+    // srlb-lint: allow(serde-no-skip) -- always serialised in full so committed fault specs stay self-describing even when a field happens to equal its default
     #[serde(default = "default_max_retries")]
     pub max_retries: u32,
 }

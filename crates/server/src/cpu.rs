@@ -14,7 +14,7 @@
 //! completion) and exposes the next completion instant so the owning node
 //! can schedule a single wake-up timer.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use srlb_sim::{SimDuration, SimTime};
 
@@ -23,8 +23,11 @@ use srlb_sim::{SimDuration, SimTime};
 pub struct ProcessorSharingCpu {
     cores: f64,
     /// Remaining CPU demand of each running job, in seconds of dedicated-core
-    /// time.
-    remaining: HashMap<u64, f64>,
+    /// time.  A `BTreeMap` so every traversal — the lazy work advance, the
+    /// minimum-remaining scan and especially the completed-job sweep that
+    /// feeds response ordering — runs in job-id order by construction,
+    /// with no per-instance hash randomness to depend on.
+    remaining: BTreeMap<u64, f64>,
     last_update: SimTime,
 }
 
@@ -38,7 +41,7 @@ impl ProcessorSharingCpu {
         assert!(cores > 0, "at least one core is required");
         ProcessorSharingCpu {
             cores: cores as f64,
-            remaining: HashMap::new(),
+            remaining: BTreeMap::new(),
             last_update: SimTime::ZERO,
         }
     }
@@ -121,13 +124,14 @@ impl ProcessorSharingCpu {
         // are always detected by the timer scheduled from
         // [`ProcessorSharingCpu::next_completion`].
         const EPSILON: f64 = 1e-6;
-        let mut done: Vec<u64> = self
+        // BTreeMap iteration is id-ordered, so the returned list is sorted
+        // ascending by construction.
+        let done: Vec<u64> = self
             .remaining
             .iter()
             .filter(|(_, &w)| w <= EPSILON)
             .map(|(&id, _)| id)
             .collect();
-        done.sort_unstable();
         for id in &done {
             self.remaining.remove(id);
         }

@@ -49,6 +49,7 @@ impl PartialEq for Directory {
     fn eq(&self, other: &Self) -> bool {
         self.entries == other.entries
             && self.tiers.len() == other.tiers.len()
+            // srlb-lint: allow(unordered-iter) -- `.all()` over every entry is order-independent; no order-sensitive value escapes
             && self.tiers.iter().all(|(addr, members)| {
                 other.tiers.get(addr).is_some_and(|o| {
                     *members.read().expect("tier lock poisoned")

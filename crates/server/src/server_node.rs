@@ -475,6 +475,7 @@ impl ServerNode {
         // the server, exactly the storm TCP's sequence numbers prevent.
         if self
             .running
+            // srlb-lint: allow(unordered-iter) -- `.any()` over an existence predicate is order-independent; no order-sensitive value escapes
             .values()
             .any(|j| j.flow == flow && j.request_id == request_id)
             || self

@@ -222,6 +222,7 @@ impl<M> SimCore<M> {
         let slot = self
             .nodes
             .get_mut(id.index())
+            // srlb-lint: allow(panic-hygiene) -- documented panic contract of insert_node: an out-of-range id is caller error
             .unwrap_or_else(|| panic!("node slot {id} out of range"));
         assert!(slot.is_none(), "node slot {id} is already occupied");
         *slot = Some(Box::new(node));
@@ -232,7 +233,7 @@ impl<M> SimCore<M> {
 
     /// Runs `on_start` on the node in slot `id` (which must be occupied).
     fn start_node(&mut self, id: NodeId) {
-        let mut node = self.nodes[id.index()].take().expect("node present");
+        let mut node = self.nodes[id.index()].take().expect("node present"); // srlb-lint: allow(panic-hygiene) -- private helper; both callers check occupancy before calling
         let meta = &mut self.meta[id.index()];
         let mut ctx = Context {
             now: self.now,
@@ -394,7 +395,7 @@ impl<M> SimCore<M> {
             };
             *held = Some((target, node));
         }
-        let (_, node) = held.as_mut().expect("node held for dispatch");
+        let (_, node) = held.as_mut().expect("node held for dispatch"); // srlb-lint: allow(panic-hygiene) -- the block above either populated `held` or returned early
         let meta = &mut self.meta[target.index()];
 
         match event.payload {
@@ -502,7 +503,7 @@ impl<M> SimCore<M> {
     ) -> u64 {
         let mut processed = 0u64;
         loop {
-            let event = self.queue.pop().expect("peeked event exists");
+            let event = self.queue.pop().expect("peeked event exists"); // srlb-lint: allow(panic-hygiene) -- callers enter only after peek_time returned Some, and the loop re-peeks before iterating
             self.dispatch(event, held);
             processed += 1;
             if self.stop_requested || processed >= budget {

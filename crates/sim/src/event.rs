@@ -203,7 +203,7 @@ impl<M> EventQueue<M> {
                 slot
             }
             None => {
-                let slot = u32::try_from(self.bodies.len()).expect("fewer than 2^32 pending");
+                let slot = u32::try_from(self.bodies.len()).expect("fewer than 2^32 pending"); // srlb-lint: allow(panic-hygiene) -- 2^32 pending events exceeds any feasible memory budget; overflow is unreachable in practice
                 self.bodies.push(Some(body));
                 slot
             }
@@ -251,6 +251,7 @@ impl<M> EventQueue<M> {
         let entry = self.heap.pop()?;
         let body = self.bodies[entry.slot as usize]
             .take()
+            // srlb-lint: allow(panic-hygiene) -- slab invariant: a slot is freed only when its heap entry is popped, so a live entry always has a body
             .expect("heap entry points at a live slab slot");
         self.free.push(entry.slot);
         Some(ScheduledEvent {
@@ -265,7 +266,7 @@ impl<M> EventQueue<M> {
     pub fn pop_ties_into(&mut self, time: SimTime, out: &mut Vec<ScheduledEvent<M>>) {
         out.clear();
         while self.peek_time() == Some(time) {
-            out.push(self.pop().expect("peeked event exists"));
+            out.push(self.pop().expect("peeked event exists")); // srlb-lint: allow(panic-hygiene) -- peek_time returned Some on this very iteration, so pop cannot be empty
         }
     }
 

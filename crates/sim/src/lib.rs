@@ -39,7 +39,7 @@
 //! ## Example
 //!
 //! ```
-//! use srlb_sim::{Context, Network, Node, NodeId, SimDuration, Topology};
+//! use srlb_sim::{Context, Network, Node, NodeId, RunUntil, SimDuration, Topology};
 //!
 //! struct Counter { peer: Option<NodeId>, received: u32 }
 //!
@@ -60,7 +60,7 @@
 //! let mut net = Network::new(42, Topology::uniform(SimDuration::from_micros(50)));
 //! let a = net.add_node(Counter { peer: None, received: 0 });
 //! let _b = net.add_node(Counter { peer: Some(a), received: 0 });
-//! net.run();
+//! net.run_until(RunUntil::Drained);
 //! assert_eq!(net.stats().messages_delivered, 3);
 //! ```
 
@@ -84,7 +84,7 @@ pub use crate::core::{SimCore, SimStats, StepOutcome};
 pub use event::{EventKey, EventQueue};
 pub use faults::{DownWindow, DropCause, FaultConfig, LinkMatch, LossRule, OneShotDrop, QueueRule};
 pub use link::{Topology, TopologyModel};
-pub use network::{Network, RunLimit, RunUntil};
+pub use network::{Network, RunUntil};
 pub use node::{Context, Node, NodeId, TimerToken};
 pub use rng::SimRng;
 pub use shard::{ExecMode, ShardPlan, ShardedNetwork};

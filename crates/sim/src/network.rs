@@ -17,8 +17,8 @@ use crate::trace::TraceLog;
 
 /// How far a run segment should advance the simulation.
 ///
-/// This collapses the historical `run()` / `run_with_limit(RunLimit)` / stop
-/// flag trio into one policy value.  All variants additionally end early if
+/// This collapses the historical unbounded-run / limit-struct / stop flag
+/// trio into one policy value.  All variants additionally end early if
 /// the queue drains or a node calls [`Context::stop`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum RunUntil {
@@ -78,48 +78,6 @@ impl RunUntil {
     pub fn or_events(self, n: u64) -> Self {
         let (until, max_events) = self.bounds();
         Self::from_bounds(until, Some(max_events.map_or(n, |m| m.min(n))))
-    }
-}
-
-/// Limits applied to a simulation run (legacy form of [`RunUntil`]).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct RunLimit {
-    /// Stop once simulated time exceeds this value (`None` = unlimited).
-    pub until: Option<SimTime>,
-    /// Stop after processing this many events (`None` = unlimited).
-    pub max_events: Option<u64>,
-}
-
-impl RunLimit {
-    /// No limits: run until the event queue drains or a node calls
-    /// [`Context::stop`].
-    pub fn unlimited() -> Self {
-        RunLimit {
-            until: None,
-            max_events: None,
-        }
-    }
-
-    /// Run until the given simulated time.
-    pub fn until(time: SimTime) -> Self {
-        RunLimit {
-            until: Some(time),
-            max_events: None,
-        }
-    }
-
-    /// Run for at most `n` events.
-    pub fn max_events(n: u64) -> Self {
-        RunLimit {
-            until: None,
-            max_events: Some(n),
-        }
-    }
-}
-
-impl From<RunLimit> for RunUntil {
-    fn from(limit: RunLimit) -> Self {
-        RunUntil::from_bounds(limit.until, limit.max_events)
     }
 }
 
@@ -307,24 +265,6 @@ impl<M> Network<M> {
         self.core.stats()
     }
 
-    /// Runs until the event queue drains, a node requests a stop, or the
-    /// limit is hit.  Returns the statistics of the whole run so far.
-    ///
-    /// Deprecated in favour of [`Network::run_until`] with a [`RunUntil`]
-    /// policy; kept as a thin shim so existing drivers migrate without
-    /// churn.
-    pub fn run_with_limit(&mut self, limit: RunLimit) -> SimStats {
-        self.run_until(limit.into())
-    }
-
-    /// Runs until the event queue drains or a node requests a stop.
-    ///
-    /// Deprecated in favour of `run_until(RunUntil::Drained)`; kept as a
-    /// thin shim so existing drivers migrate without churn.
-    pub fn run(&mut self) -> SimStats {
-        self.run_until(RunUntil::Drained)
-    }
-
     /// Consumes the network and returns the node with id `id`, downcast to
     /// `T`, so results accumulated inside nodes can be extracted after a run.
     ///
@@ -336,6 +276,7 @@ impl<M> Network<M> {
         M: 'static,
     {
         self.take_node(id)
+            // srlb-lint: allow(panic-hygiene) -- documented panic contract of into_node; take_node is the fallible alternative
             .unwrap_or_else(|| panic!("node {id} is missing or not of the requested type"))
     }
 
@@ -389,7 +330,7 @@ mod tests {
             cap: 10,
             seen: vec![],
         });
-        let stats = net.run();
+        let stats = net.run_until(RunUntil::Drained);
         assert_eq!(stats.messages_delivered, 11); // msgs 0..=10
         assert_eq!(stats.timers_fired, 0);
         assert_eq!(stats.messages_dropped, 0);
@@ -438,28 +379,6 @@ mod tests {
         });
         let stats = net.run_until(RunUntil::Events(50));
         assert_eq!(stats.events_processed, 50);
-    }
-
-    #[test]
-    fn legacy_run_limit_shims_still_work() {
-        let mut net = Network::new(1, Topology::uniform(SimDuration::from_micros(1)));
-        let a = net.add_node(Echo {
-            peer: None,
-            cap: u32::MAX,
-            seen: vec![],
-        });
-        let _b = net.add_node(Echo {
-            peer: Some(a),
-            cap: u32::MAX,
-            seen: vec![],
-        });
-        let stats = net.run_with_limit(RunLimit::max_events(50));
-        assert_eq!(stats.events_processed, 50);
-        assert_eq!(
-            RunUntil::from(RunLimit::until(SimTime::from_nanos(5))),
-            RunUntil::Time(SimTime::from_nanos(5))
-        );
-        assert_eq!(RunUntil::from(RunLimit::unlimited()), RunUntil::Drained);
     }
 
     #[test]
@@ -543,7 +462,7 @@ mod tests {
     fn timers_fire_and_stop_works() {
         let mut net = Network::new(7, Topology::datacenter());
         let t = net.add_node(Ticker { fired: 0 });
-        let stats = net.run();
+        let stats = net.run_until(RunUntil::Drained);
         assert_eq!(stats.timers_fired, 5);
         assert_eq!(net.now(), SimTime::from_secs_f64(0.05));
         let ticker: Ticker = net.into_node(t);
@@ -563,7 +482,7 @@ mod tests {
     fn messages_to_unknown_nodes_are_dropped_and_counted() {
         let mut net = Network::new(7, Topology::datacenter());
         net.add_node(Lost);
-        let stats = net.run();
+        let stats = net.run_until(RunUntil::Drained);
         assert_eq!(stats.messages_dropped, 1);
         assert_eq!(stats.dropped_unroutable, 1);
         assert_eq!(stats.dropped_vacant, 0);
@@ -599,7 +518,7 @@ mod tests {
                 peer: Some(sink),
                 got: vec![],
             });
-            net.run();
+            net.run_until(RunUntil::Drained);
             let sink_node: RandomSender = net.into_node(sink);
             sink_node.got
         }
@@ -621,7 +540,7 @@ mod tests {
             seen: vec![],
         });
         net.enable_trace(|m| format!("msg {m}"));
-        net.run();
+        net.run_until(RunUntil::Drained);
         assert_eq!(net.trace().len(), 3);
         assert!(net.trace().entries()[0].description.contains("msg 0"));
     }
@@ -655,7 +574,7 @@ mod tests {
             fn on_message(&mut self, _m: u32, _f: NodeId, _c: &mut Context<'_, u32>) {}
         }
         net.add_node(To { target: reserved });
-        let stats = net.run();
+        let stats = net.run_until(RunUntil::Drained);
         assert_eq!(stats.messages_dropped, 1);
         assert_eq!(stats.dropped_vacant, 1);
         assert_eq!(stats.dropped_unroutable, 0);
@@ -671,7 +590,7 @@ mod tests {
             },
         );
         net.add_node(To { target: reserved });
-        net.run();
+        net.run_until(RunUntil::Drained);
         let echo: Echo = net.take_node(reserved).unwrap();
         assert_eq!(echo.seen, vec![5]);
     }
@@ -680,12 +599,12 @@ mod tests {
     fn late_added_nodes_are_started_immediately() {
         let mut net = Network::new(7, Topology::datacenter());
         net.add_node(Ticker { fired: 0 });
-        net.run();
+        net.run_until(RunUntil::Drained);
         // The network has already started and stopped once; a node added now
         // receives on_start right away and its timers are delivered by the
         // next run segment.
         let t2 = net.add_node(Ticker { fired: 0 });
-        net.run();
+        net.run_until(RunUntil::Drained);
         let ticker: Ticker = net.into_node(t2);
         assert_eq!(ticker.fired, 5);
     }
@@ -698,7 +617,7 @@ mod tests {
             cap: 0,
             seen: vec![],
         });
-        net.run();
+        net.run_until(RunUntil::Drained);
         // A control event can both mutate the node and send messages.
         let sent = net
             .control::<Echo, _>(a, |echo, ctx| {
@@ -708,7 +627,7 @@ mod tests {
             })
             .unwrap();
         assert_eq!(sent, 1);
-        net.run();
+        net.run_until(RunUntil::Drained);
         net.node_as_mut::<Echo>(a).unwrap().cap = 7;
         let echo: Echo = net.into_node(a);
         assert_eq!(echo.seen, vec![99, 1]);
@@ -732,10 +651,10 @@ mod tests {
         }
         let mut net = Network::new(1, Topology::datacenter());
         let a = net.add_node(StopImmediately { got: 0 });
-        let stats = net.run();
+        let stats = net.run_until(RunUntil::Drained);
         assert_eq!(stats.events_processed, 0, "stop from on_start is honoured");
         // The stop only ended that segment: a further run delivers normally.
-        net.run();
+        net.run_until(RunUntil::Drained);
         let node: StopImmediately = net.into_node(a);
         assert_eq!(node.got, 1);
     }

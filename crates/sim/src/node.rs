@@ -175,6 +175,7 @@ impl<'a, M> Context<'a, M> {
     pub fn reply(&mut self, msg: M) {
         let to = self
             .from
+            // srlb-lint: allow(panic-hygiene) -- documented panic contract of reply(): calling outside on_message is caller error
             .expect("reply() may only be used while handling a message");
         self.send(to, msg);
     }

@@ -133,7 +133,7 @@ fn event_scheduling_is_allocation_free_in_steady_state() {
         bounces: 200,
         received: 0,
     });
-    net.run();
+    net.run_until(RunUntil::Drained);
 
     // Steady state: another ping-pong burst through the same engine.
     let b2 = net.add_node(Counter {
@@ -141,7 +141,7 @@ fn event_scheduling_is_allocation_free_in_steady_state() {
         bounces: 200,
         received: 0,
     });
-    let (allocs, stats) = counting_allocs(|| net.run());
+    let (allocs, stats) = counting_allocs(|| net.run_until(RunUntil::Drained));
     assert_eq!(
         allocs, 0,
         "steady-state event delivery must not allocate (got {allocs})"

@@ -16,7 +16,7 @@ use srlb::core::LoadBalancerNode;
 use srlb::net::{AddressPlan, Packet, PacketBuilder, ServerId, TcpFlags};
 use srlb::server::server_node::encode_request_payload;
 use srlb::server::{Directory, PolicyConfig, ServerConfig, ServerNode};
-use srlb::sim::{Context, Network, Node, NodeId, SimDuration, Topology};
+use srlb::sim::{Context, Network, Node, NodeId, RunUntil, SimDuration, Topology};
 
 /// A scripted client: sends the SYN, then answers the SYN-ACK with the HTTP
 /// request, and stops once the response arrives.
@@ -91,7 +91,7 @@ fn main() {
         net.add_node(ServerNode::new(config, directory.clone()));
     }
 
-    net.run();
+    net.run_until(RunUntil::Drained);
 
     println!("Service Hunting packet walk (paper Figure 1); every message delivery in order:\n");
     for (i, entry) in net.trace().entries().iter().enumerate() {

@@ -18,7 +18,7 @@ use srlb::net::{AddressPlan, Packet, PacketBuilder, ServerId, TcpFlags};
 use srlb::server::server_node::encode_request_payload;
 use srlb::server::{Directory, PolicyConfig, ServerConfig, ServerNode};
 use srlb::sim::{
-    Context, Network, Node, NodeId, RunLimit, SimDuration, SimTime, TimerToken, Topology,
+    Context, Network, Node, NodeId, RunUntil, SimDuration, SimTime, TimerToken, Topology,
 };
 
 const CLIENT: NodeId = NodeId(0);
@@ -126,7 +126,7 @@ fn expired_entries_are_not_resurrected_by_the_rehunt() {
 
     // The exchange completes and, past the idle timeout, the sweep removes
     // the learned entry.
-    net.run_with_limit(RunLimit::until(SimTime::from_secs_f64(8.0)));
+    net.run_until(RunUntil::Time(SimTime::from_secs_f64(8.0)));
     assert_eq!(
         net.node_as::<LoadBalancerNode>(LB)
             .unwrap()
@@ -137,7 +137,7 @@ fn expired_entries_are_not_resurrected_by_the_rehunt() {
 
     // The stale packet at t = 10 s misses the table, is re-hunted, finds no
     // owner (the server closed the connection at completion) and is reset.
-    net.run_with_limit(RunLimit::until(SimTime::from_secs_f64(15.0)));
+    net.run_until(RunUntil::Time(SimTime::from_secs_f64(15.0)));
     let lb = net.node_as::<LoadBalancerNode>(LB).unwrap();
     assert_eq!(lb.stats().rehunts, 1, "the stale packet was re-hunted");
     assert_eq!(
@@ -209,7 +209,7 @@ fn live_flows_are_resurrected_and_then_expire_normally() {
     net.add_node(server(&plan, directory));
 
     // Handshake done, request still held back: fail the LB over at t = 1 s.
-    net.run_with_limit(RunLimit::until(SimTime::from_secs_f64(1.0)));
+    net.run_until(RunUntil::Time(SimTime::from_secs_f64(1.0)));
     net.control::<LoadBalancerNode, _>(LB, |lb, ctx| {
         assert_eq!(lb.flow_table_len(), 1);
         lb.fail_over(ctx.now());
@@ -219,7 +219,7 @@ fn live_flows_are_resurrected_and_then_expire_normally() {
 
     // The delayed request re-hunts; the server still owns the connection,
     // adverts it back, and the entry is legitimately re-learned.
-    net.run_with_limit(RunLimit::until(SimTime::from_secs_f64(3.0)));
+    net.run_until(RunUntil::Time(SimTime::from_secs_f64(3.0)));
     {
         let lb = net.node_as::<LoadBalancerNode>(LB).unwrap();
         assert_eq!(lb.stats().rehunts, 1);
@@ -233,7 +233,7 @@ fn live_flows_are_resurrected_and_then_expire_normally() {
 
     // The re-learned entry is an ordinary entry: once idle past the 2 s
     // timeout, the sweep removes it like any other.
-    net.run_with_limit(RunLimit::until(SimTime::from_secs_f64(10.0)));
+    net.run_until(RunUntil::Time(SimTime::from_secs_f64(10.0)));
     let lb = net.node_as::<LoadBalancerNode>(LB).unwrap();
     assert_eq!(
         lb.flow_table_len(),

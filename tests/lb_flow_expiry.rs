@@ -9,7 +9,7 @@ use srlb::core::{FlowTable, LoadBalancerNode};
 use srlb::net::{AddressPlan, Packet, PacketBuilder, ServerId, TcpFlags};
 use srlb::server::server_node::encode_request_payload;
 use srlb::server::{Directory, PolicyConfig, ServerConfig, ServerNode};
-use srlb::sim::{Context, Network, Node, NodeId, RunLimit, SimDuration, SimTime, Topology};
+use srlb::sim::{Context, Network, Node, NodeId, RunUntil, SimDuration, SimTime, Topology};
 
 /// A client that opens one connection at start-up and nothing else.
 #[derive(Debug)]
@@ -84,7 +84,7 @@ fn idle_flows_are_swept_from_the_flow_table() {
     ));
 
     // Shortly after the exchange, the flow is still in the table.
-    net.run_with_limit(RunLimit::until(SimTime::from_secs_f64(0.5)));
+    net.run_until(RunUntil::Time(SimTime::from_secs_f64(0.5)));
     let still_there = net
         .node_as::<LoadBalancerNode>(lb_id)
         .expect("lb node present")
@@ -95,7 +95,7 @@ fn idle_flows_are_swept_from_the_flow_table() {
     );
 
     // Well past the idle timeout, the sweep has removed it.
-    net.run_with_limit(RunLimit::until(SimTime::from_secs_f64(10.0)));
+    net.run_until(RunUntil::Time(SimTime::from_secs_f64(10.0)));
     let after_sweep = net
         .node_as::<LoadBalancerNode>(lb_id)
         .expect("lb node present")

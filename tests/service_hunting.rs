@@ -11,7 +11,7 @@ use srlb::core::LoadBalancerNode;
 use srlb::net::{AddressPlan, Packet, PacketBuilder, ServerId, TcpFlags};
 use srlb::server::server_node::encode_request_payload;
 use srlb::server::{Directory, PolicyConfig, ServerConfig, ServerNode};
-use srlb::sim::{Context, Network, Node, NodeId, SimDuration, Topology};
+use srlb::sim::{Context, Network, Node, NodeId, RunUntil, SimDuration, Topology};
 
 #[derive(Debug, Default)]
 struct ScriptedClient {
@@ -101,7 +101,7 @@ fn build(
 #[test]
 fn hunted_connection_reaches_the_second_candidate_when_the_first_refuses() {
     let (mut net, client_id, lb_id, server_ids) = build(PolicyConfig::NeverAccept, 2);
-    net.run();
+    net.run_until(RunUntil::Drained);
 
     // Exactly one server passed the connection on, exactly one was forced to
     // accept, and that same server completed the request.
@@ -156,7 +156,7 @@ fn idle_first_candidate_accepts_immediately() {
     // accepts: no pass-on happens and the hunt never reaches the second
     // candidate.
     let (mut net, client_id, _lb, server_ids) = build(PolicyConfig::Static { threshold: 4 }, 2);
-    net.run();
+    net.run_until(RunUntil::Drained);
     let mut passed = 0;
     let mut accepted_by_policy = 0;
     for sid in server_ids {
@@ -181,7 +181,7 @@ fn idle_first_candidate_accepts_immediately() {
 #[test]
 fn single_candidate_behaves_like_the_rr_baseline() {
     let (mut net, client_id, _lb, server_ids) = build(PolicyConfig::NeverAccept, 1);
-    net.run();
+    net.run_until(RunUntil::Drained);
     let mut forced = 0;
     let mut passed = 0;
     for sid in server_ids {
