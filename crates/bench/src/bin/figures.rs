@@ -7,6 +7,7 @@
 //! cargo run -p srlb-bench --release --bin figures -- all --sim-threads 2  # shard each simulation
 //! cargo run -p srlb-bench --release --bin figures -- bench-micro     # write BENCH_micro.json
 //! cargo run -p srlb-bench --release --bin figures -- bench-macro     # write BENCH_macro.json
+//! cargo run -p srlb-bench --release --bin figures -- bench-check     # sharded-vs-serial perf guard
 //! cargo run -p srlb-bench --release --bin figures -- run examples/specs/poisson_rho089.json
 //! cargo run -p srlb-bench --release --bin figures -- run <spec> --tiny  # scaled-down smoke run
 //! cargo run -p srlb-bench --release --bin figures -- write-specs    # regenerate examples/specs/
@@ -68,7 +69,7 @@ fn main() {
         return;
     }
 
-    const KNOWN: [&str; 12] = [
+    const KNOWN: [&str; 13] = [
         "all",
         "fig2",
         "fig3",
@@ -80,6 +81,7 @@ fn main() {
         "fig9",
         "bench-micro",
         "bench-macro",
+        "bench-check",
         "scenarios",
     ];
     if let Some(unknown) = which.iter().find(|name| !KNOWN.contains(name)) {
@@ -92,6 +94,11 @@ fn main() {
 
     if which.contains(&"bench-micro") {
         run_bench_micro();
+        return;
+    }
+
+    if which.contains(&"bench-check") {
+        run_bench_check();
         return;
     }
 
@@ -232,6 +239,11 @@ fn run_spec_command(operands: &[&str], scale: Scale) {
             phase.p99_response_ms,
             phase.fairness,
         );
+    }
+    if let Some(plan) = &report.shard_plan {
+        // Stdout only: the plan names the execution mode, which the
+        // byte-diffed report JSON must stay blind to.
+        println!("  shard plan: {plan}");
     }
     let dir = std::path::Path::new(srlb_bench::FIGURES_DIR);
     match srlb_bench::write_spec_report(dir, &report) {
@@ -388,6 +400,17 @@ fn run_bench_micro() {
             println!("  -> wrote {}", path.display());
         }
         Err(err) => eprintln!("  !! could not write bench report: {err}"),
+    }
+}
+
+fn run_bench_check() {
+    println!("# SRLB sharded-throughput guard");
+    match srlb_bench::micro::check_sharded_throughput() {
+        Ok(summary) => println!("  ok: {summary}"),
+        Err(err) => {
+            eprintln!("  !! {err}");
+            std::process::exit(1);
+        }
     }
 }
 

@@ -254,11 +254,22 @@ pub struct SpecRunReport {
     pub dropped_link_down: u64,
     /// Per-phase disruption statistics (one phase for static runs).
     pub phases: Vec<PhaseStats>,
+    /// Shard plan the run executed on, for stdout diagnostics only.
+    /// Never serialized: the report JSON is byte-diffed across execution
+    /// modes in CI, and the plan legitimately differs between them.
+    #[serde(default, skip_serializing_if = "always")]
+    pub shard_plan: Option<String>,
 }
 
 /// Serde skip predicate for the fault counters.
 fn is_zero_u64(n: &u64) -> bool {
     *n == 0
+}
+
+/// Serde skip predicate for stdout-only fields that must never reach the
+/// byte-diffed report JSON.
+fn always<T>(_: &T) -> bool {
+    true
 }
 
 impl SpecRunReport {
@@ -295,6 +306,7 @@ impl SpecRunReport {
             dropped_queue: outcome.dropped_queue,
             dropped_link_down: outcome.dropped_link_down,
             phases: outcome.phases.clone(),
+            shard_plan: outcome.shard_plan.clone(),
         }
     }
 }

@@ -59,7 +59,7 @@ pub use experiment::{ExperimentConfig, ExperimentResult, WorkloadKind};
 pub use flow_state::{FlowState, FlowStateConfig, FlowStateStats};
 pub use flow_table::FlowTable;
 pub use lb_node::{LbStats, LoadBalancerNode};
-pub use runner::{RunOutcome, Runner};
+pub use runner::{RunOutcome, Runner, ShardPlanning};
 pub use spec::{
     CapacityOverride, ClusterSpec, ExperimentSpec, FlowTableSpec, PolicyKind, ScenarioEvent,
     TimedEvent, WorkloadSpec,

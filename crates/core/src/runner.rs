@@ -33,10 +33,16 @@
 //! by construction — so the mode is a pure throughput knob.  The default is
 //! taken from the `SRLB_SIM_THREADS` environment variable (set by the bench
 //! CLI's `--sim-threads` flag) and can be overridden per runner with
-//! [`Runner::with_exec`].  Shards are aligned with the ECMP steering
-//! boundary: each LB instance — and with it the flow state of every flow the
-//! ECMP tier steers to that instance — lives on one shard, with the backend
-//! slots round-robined across shards.
+//! [`Runner::with_exec`].
+//!
+//! Shard *placement* defaults to [`ShardPlanning::TopologyAware`]: under a
+//! rack/zone topology each rack's servers and its attached LB instances are
+//! kept on one shard, so the only cross-shard links are cross-rack (or
+//! client) links — maximising the conservative lookahead window and
+//! minimising cross-shard event volume.  Placement is a pure throughput
+//! knob: any plan produces byte-identical outcomes (pinned by proptest), so
+//! [`ShardPlanning::RoundRobin`] exists only as the comparison baseline.
+//! The chosen plan is recorded in [`RunOutcome::shard_plan`].
 
 use std::net::Ipv6Addr;
 
@@ -44,7 +50,8 @@ use srlb_metrics::{DisruptionCollector, PhaseStats, ResponseTimeCollector};
 use srlb_net::{AddressPlan, Packet, ServerId};
 use srlb_server::{tier_members, Directory, ServerConfig, ServerNode, ServerStats};
 use srlb_sim::{
-    ExecMode, NodeId, RunUntil, ShardPlan, ShardedNetwork, SimDuration, SimStats, SimTime,
+    ExecMode, NodeId, PoolPolicy, RunUntil, ShardPlan, ShardedNetwork, SimDuration, SimStats,
+    SimTime,
 };
 
 use crate::client::{client_addr_count, ClientNode};
@@ -105,6 +112,30 @@ pub struct RunOutcome {
     /// Requests the client aborted after exhausting its retransmission
     /// budget.
     pub aborted: u64,
+    /// Human-readable description of the shard plan the run executed on
+    /// (`None` when it ran on a single core — one-shard plan, zero
+    /// lookahead, or the pool policy collapsed a multi-shard plan).  Purely
+    /// informational: placement never affects any other field.
+    pub shard_plan: Option<String>,
+}
+
+/// How the runner assigns nodes to shards under [`ExecMode::Sharded`].
+///
+/// Placement is a pure throughput knob — every plan produces byte-identical
+/// outcomes — but it bounds the conservative lookahead: the window length is
+/// the minimum cross-shard link latency, so a plan that splits a rack
+/// across shards is stuck synchronising at the intra-rack latency.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ShardPlanning {
+    /// Group each rack's servers with their attached LB instances
+    /// ([`ShardPlan::topology_aware`]); degenerates to round-robin on
+    /// uniform topologies, where placement cannot change the lookahead.
+    #[default]
+    TopologyAware,
+    /// Stripe LBs and servers modulo the thread count
+    /// ([`ShardPlan::round_robin`]) — the pre-placement baseline, kept as
+    /// the comparison arm for the plan-equivalence tests.
+    RoundRobin,
 }
 
 /// Executes [`ExperimentSpec`]s.
@@ -112,6 +143,8 @@ pub struct RunOutcome {
 pub struct Runner {
     spec: ExperimentSpec,
     exec: ExecMode,
+    planning: ShardPlanning,
+    pool: PoolPolicy,
 }
 
 impl Runner {
@@ -130,6 +163,8 @@ impl Runner {
         Ok(Runner {
             spec,
             exec: ExecMode::from_env(),
+            planning: ShardPlanning::default(),
+            pool: PoolPolicy::default(),
         })
     }
 
@@ -138,6 +173,22 @@ impl Runner {
     #[must_use]
     pub fn with_exec(mut self, exec: ExecMode) -> Self {
         self.exec = exec;
+        self
+    }
+
+    /// Overrides the shard placement strategy (throughput knob only; see
+    /// [`ShardPlanning`]).
+    #[must_use]
+    pub fn with_shard_planning(mut self, planning: ShardPlanning) -> Self {
+        self.planning = planning;
+        self
+    }
+
+    /// Overrides the worker-pool policy ([`PoolPolicy::Force`] lets tests
+    /// exercise the threaded window protocol on single-core hosts).
+    #[must_use]
+    pub fn with_pool_policy(mut self, pool: PoolPolicy) -> Self {
+        self.pool = pool;
         self
     }
 
@@ -151,24 +202,20 @@ impl Runner {
         &self.spec
     }
 
-    /// The shard layout for this spec: the client and LB instance `j` on
-    /// shard `j % s` (keeping each instance's flow table and its steered
-    /// flows on one shard), backend slot `i` on shard `i % s`.
+    /// The shard layout for this spec, per the configured
+    /// [`ShardPlanning`].  Every LB instance lives whole on one shard
+    /// either way (keeping its flow table and its ECMP-steered flows
+    /// together); the strategies differ in how racks map onto shards.
     fn shard_plan(&self) -> ShardPlan {
         let lb_count = self.spec.cluster.lb_count;
-        let total = 1 + lb_count + self.spec.cluster.max_servers;
-        let threads = self.exec.threads().min(total);
-        if threads <= 1 {
-            return ShardPlan::single(total);
+        let max_servers = self.spec.cluster.max_servers;
+        let threads = self.exec.threads();
+        match self.planning {
+            ShardPlanning::TopologyAware => {
+                ShardPlan::topology_aware(&self.spec.topology, lb_count, max_servers, threads)
+            }
+            ShardPlanning::RoundRobin => ShardPlan::round_robin(lb_count, max_servers, threads),
         }
-        let mut shard_of = vec![0u32; total];
-        for j in 0..lb_count {
-            shard_of[1 + j] = (j % threads) as u32;
-        }
-        for i in 0..self.spec.cluster.max_servers {
-            shard_of[1 + lb_count + i] = (i % threads) as u32;
-        }
-        ShardPlan::from_assignments(shard_of, threads as u32)
     }
 
     /// Advances the network under `policy` using the configured execution
@@ -230,7 +277,22 @@ impl Runner {
             );
         }
         let mut network: ShardedNetwork<Packet> =
-            ShardedNetwork::new(spec.seed, topology, self.shard_plan());
+            ShardedNetwork::with_pool_policy(spec.seed, topology, self.shard_plan(), self.pool);
+        // Describe the plan actually in effect (after any single-core
+        // collapse).  Informational only — it must never enter serialized
+        // run reports, which are byte-diffed across `--sim-threads` values.
+        let shard_plan_summary = (network.shards() > 1).then(|| {
+            format!(
+                "{}: {} shards {:?}, lookahead {} µs",
+                match self.planning {
+                    ShardPlanning::TopologyAware => "topology-aware",
+                    ShardPlanning::RoundRobin => "round-robin",
+                },
+                network.shards(),
+                network.plan().shard_sizes(),
+                network.lookahead().as_nanos() / 1_000,
+            )
+        });
         if spec.faults.injects_faults() {
             network.set_faults(&spec.faults.to_fault_config(client_id, &lb_ids, &server_ids));
         }
@@ -474,6 +536,7 @@ impl Runner {
             retransmits: collector.retransmit_total(),
             aborted: collector.aborted_count() as u64,
             collector,
+            shard_plan: shard_plan_summary,
         }
     }
 }
@@ -632,7 +695,13 @@ mod tests {
             ExecMode::Sharded { threads: 2 },
             ExecMode::Sharded { threads: 4 },
         ] {
-            let outcome = Runner::new(spec.clone()).unwrap().with_exec(exec).run();
+            // Force the worker pool so sharded modes exercise the real
+            // window protocol even on single-core test hosts.
+            let outcome = Runner::new(spec.clone())
+                .unwrap()
+                .with_exec(exec)
+                .with_pool_policy(PoolPolicy::Force)
+                .run();
             assert_eq!(
                 outcome.collector.records(),
                 reference.collector.records(),
@@ -643,6 +712,41 @@ mod tests {
             assert_eq!(outcome.server_stats, reference.server_stats);
             assert_eq!(outcome.duration_seconds, reference.duration_seconds);
         }
+    }
+
+    #[test]
+    fn shard_planning_strategies_produce_identical_outcomes() {
+        // Placement is a throughput knob only: on a rack/zone topology the
+        // topology-aware and round-robin plans differ (different shard
+        // count and lookahead at 3 threads) yet must agree byte for byte.
+        let mut spec = quick_spec(0.6, PolicyKind::Dynamic).with_seed(23);
+        spec.topology = TopologyModel::rack_zone_default();
+        let run = |planning: ShardPlanning| {
+            Runner::new(spec.clone())
+                .unwrap()
+                .with_exec(ExecMode::Sharded { threads: 3 })
+                .with_pool_policy(PoolPolicy::Force)
+                .with_shard_planning(planning)
+                .run()
+        };
+        let aware = run(ShardPlanning::TopologyAware);
+        let rr = run(ShardPlanning::RoundRobin);
+        assert_ne!(
+            aware.shard_plan, rr.shard_plan,
+            "the two strategies must actually produce different plans here"
+        );
+        assert_eq!(aware.collector.records(), rr.collector.records());
+        assert_eq!(aware.events_processed, rr.events_processed);
+        assert_eq!(aware.per_lb_stats, rr.per_lb_stats);
+        assert_eq!(aware.server_stats, rr.server_stats);
+        assert!(
+            aware
+                .shard_plan
+                .as_deref()
+                .is_some_and(|p| p.starts_with("topology-aware")),
+            "plan summary records the strategy: {:?}",
+            aware.shard_plan
+        );
     }
 
     #[test]
@@ -668,7 +772,11 @@ mod tests {
         assert!(outcome.lb_stats.flow_peak_occupancy > 0);
         assert!(outcome.lb_stats.flow_peak_occupancy <= 32);
         for exec in [ExecMode::SerialStep, ExecMode::Sharded { threads: 2 }] {
-            let again = Runner::new(spec.clone()).unwrap().with_exec(exec).run();
+            let again = Runner::new(spec.clone())
+                .unwrap()
+                .with_exec(exec)
+                .with_pool_policy(PoolPolicy::Force)
+                .run();
             assert_eq!(again.collector.records(), outcome.collector.records());
             assert_eq!(again.lb_stats, outcome.lb_stats);
             assert_eq!(again.events_processed, outcome.events_processed);
@@ -705,7 +813,11 @@ mod tests {
         assert_eq!(outcome.collector.len(), 400);
         assert!(outcome.collector.completed_count() > 0);
         for exec in [ExecMode::SerialStep, ExecMode::Sharded { threads: 2 }] {
-            let again = Runner::new(spec.clone()).unwrap().with_exec(exec).run();
+            let again = Runner::new(spec.clone())
+                .unwrap()
+                .with_exec(exec)
+                .with_pool_policy(PoolPolicy::Force)
+                .run();
             assert_eq!(again.collector.records(), outcome.collector.records());
             assert_eq!(again.events_processed, outcome.events_processed);
         }
@@ -771,7 +883,11 @@ mod tests {
 
         // And the lossy run is byte-identical across execution modes.
         for exec in [ExecMode::SerialStep, ExecMode::Sharded { threads: 2 }] {
-            let again = Runner::new(spec.clone()).unwrap().with_exec(exec).run();
+            let again = Runner::new(spec.clone())
+                .unwrap()
+                .with_exec(exec)
+                .with_pool_policy(PoolPolicy::Force)
+                .run();
             assert_eq!(again.collector.records(), outcome.collector.records());
             assert_eq!(again.dropped_injected, outcome.dropped_injected);
             assert_eq!(again.retransmits, outcome.retransmits);

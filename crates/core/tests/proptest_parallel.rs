@@ -5,24 +5,41 @@
 //! batched loop, and conservative-window sharding at any thread count must
 //! produce **byte-identical** outcomes for every spec.  These tests throw
 //! randomly generated small experiments — varying load, policy (including
-//! the RNG-drawing random dispatcher), tier size, seed and mid-run churn —
-//! at all five loops and compare the fully serialized `RunOutcome`s.
+//! the RNG-drawing random dispatcher), tier size, seed, mid-run churn and
+//! fault plans — at every loop (serial, batched, sharded at 1/2/3/4/8
+//! threads, pool forced so the real window protocol runs even on one core)
+//! and compare the fully serialized `RunOutcome`s.  Shard *placement* gets
+//! the same treatment: topology-aware and round-robin plans must agree.
 
 use proptest::prelude::*;
 use srlb_core::spec::{
     DownWindowSpec, ExperimentSpec, FaultLink, FaultNode, FaultPlan, LossSpec, PolicyKind,
     QueueSpec, ScenarioEvent,
 };
-use srlb_core::{RunOutcome, Runner};
+use srlb_core::{RunOutcome, Runner, ShardPlanning};
 use srlb_metrics::RequestOutcome;
-use srlb_sim::ExecMode;
+use srlb_sim::{ExecMode, PoolPolicy, TopologyModel};
 
 /// Serializes everything observable about an outcome.  `RunOutcome` derives
 /// `Debug` all the way down (per-request records, per-LB and per-server
 /// counters, phase stats, durations), so two equal strings mean the runs
-/// were indistinguishable event for event.
+/// were indistinguishable event for event.  The informational
+/// `shard_plan` summary is normalized away first: it names the plan the run
+/// executed on and *legitimately* differs across execution modes.
 fn fingerprint(outcome: &RunOutcome) -> String {
-    format!("{outcome:?}")
+    let mut normalized = outcome.clone();
+    normalized.shard_plan = None;
+    format!("{normalized:?}")
+}
+
+/// Runs a spec under `exec`, forcing the worker pool so sharded modes
+/// exercise the real window protocol even on single-core test hosts.
+fn run(spec: &ExperimentSpec, exec: ExecMode) -> RunOutcome {
+    Runner::new(spec.clone())
+        .unwrap()
+        .with_exec(exec)
+        .with_pool_policy(PoolPolicy::Force)
+        .run()
 }
 
 fn policy(choice: u8) -> PolicyKind {
@@ -120,16 +137,15 @@ proptest! {
             .with_queries(queries)
             .with_seed(seed)
             .with_lb_count(lb_count);
-        let reference = fingerprint(
-            &Runner::new(spec.clone()).unwrap().with_exec(ExecMode::SerialStep).run(),
-        );
+        let reference = fingerprint(&run(&spec, ExecMode::SerialStep));
         for exec in [
             ExecMode::Batched,
             ExecMode::Sharded { threads: 1 },
             ExecMode::Sharded { threads: 2 },
             ExecMode::Sharded { threads: 4 },
+            ExecMode::Sharded { threads: 8 },
         ] {
-            let outcome = Runner::new(spec.clone()).unwrap().with_exec(exec).run();
+            let outcome = run(&spec, exec);
             prop_assert_eq!(
                 &fingerprint(&outcome),
                 &reference,
@@ -156,11 +172,13 @@ proptest! {
             .at(churn_at + 0.4, ScenarioEvent::AddServer { server })
             .at(churn_at + 0.6, ScenarioEvent::LbFailover);
         spec.cluster.recover_flows = true;
-        let reference = fingerprint(
-            &Runner::new(spec.clone()).unwrap().with_exec(ExecMode::SerialStep).run(),
-        );
-        for exec in [ExecMode::Batched, ExecMode::Sharded { threads: 3 }] {
-            let outcome = Runner::new(spec.clone()).unwrap().with_exec(exec).run();
+        let reference = fingerprint(&run(&spec, ExecMode::SerialStep));
+        for exec in [
+            ExecMode::Batched,
+            ExecMode::Sharded { threads: 3 },
+            ExecMode::Sharded { threads: 8 },
+        ] {
+            let outcome = run(&spec, exec);
             prop_assert_eq!(
                 &fingerprint(&outcome),
                 &reference,
@@ -191,8 +209,7 @@ proptest! {
             .with_seed(seed)
             .with_lb_count(lb_count)
             .with_faults(fault_plan(loss_p, drop_packet, down, queue, slow, max_retries));
-        let reference_outcome =
-            Runner::new(spec.clone()).unwrap().with_exec(ExecMode::SerialStep).run();
+        let reference_outcome = run(&spec, ExecMode::SerialStep);
         // Every request ends in exactly one terminal state; retransmission
         // never double-counts a completion.
         let terminal = reference_outcome.collector.completed_count()
@@ -211,8 +228,9 @@ proptest! {
             ExecMode::Sharded { threads: 1 },
             ExecMode::Sharded { threads: 2 },
             ExecMode::Sharded { threads: 4 },
+            ExecMode::Sharded { threads: 8 },
         ] {
-            let outcome = Runner::new(spec.clone()).unwrap().with_exec(exec).run();
+            let outcome = run(&spec, exec);
             prop_assert_eq!(
                 &fingerprint(&outcome),
                 &reference,
@@ -220,6 +238,43 @@ proptest! {
                 exec
             );
         }
+    }
+
+    /// Shard *placement* is a pure throughput knob: on a rack/zone topology
+    /// the topology-aware and round-robin plans assign nodes differently
+    /// (different lookahead, different cross-shard links) yet must produce
+    /// byte-identical outcomes for random specs at random thread counts.
+    #[test]
+    fn shard_plans_agree_on_rack_topologies(
+        rho in 0.3f64..0.9,
+        choice in 0u8..4,
+        queries in 60usize..140,
+        seed in 0u64..1_000,
+        threads in 2usize..6,
+    ) {
+        let spec = ExperimentSpec::poisson_paper(rho, policy(choice))
+            .with_queries(queries)
+            .with_seed(seed)
+            .with_lb_count(2)
+            .with_topology(TopologyModel::rack_zone_default());
+        let plan_run = |planning: ShardPlanning| {
+            Runner::new(spec.clone())
+                .unwrap()
+                .with_exec(ExecMode::Sharded { threads })
+                .with_pool_policy(PoolPolicy::Force)
+                .with_shard_planning(planning)
+                .run()
+        };
+        let aware = plan_run(ShardPlanning::TopologyAware);
+        let rr = plan_run(ShardPlanning::RoundRobin);
+        prop_assert_eq!(
+            fingerprint(&aware),
+            fingerprint(&rr),
+            "plans diverged at {} threads: {:?} vs {:?}",
+            threads,
+            aware.shard_plan,
+            rr.shard_plan
+        );
     }
 
     /// Under total loss every request aborts after exactly `max_retries`
@@ -242,7 +297,7 @@ proptest! {
             1 => ExecMode::Batched,
             _ => ExecMode::Sharded { threads: 2 },
         };
-        let outcome = Runner::new(spec).unwrap().with_exec(exec).run();
+        let outcome = run(&spec, exec);
         prop_assert_eq!(outcome.collector.aborted_count(), 20);
         for record in outcome.collector.records() {
             prop_assert_eq!(record.outcome, RequestOutcome::Aborted);

@@ -132,7 +132,7 @@ impl LintConfig {
                 "crates/net/src".to_string(),
             ],
             sanctioned_threads: vec![
-                "crates/sim/src/shard.rs".to_string(),
+                "crates/sim/src/pool.rs".to_string(),
                 "crates/bench/src/parallel.rs".to_string(),
             ],
         }

@@ -172,8 +172,13 @@ fn workspace_config_scopes_rules_by_path() {
     assert!(lint_source("crates/bench/src/x.rs", panic_src, &config).is_empty());
 
     let spawn_src = "pub fn f() { std::thread::spawn(|| ()); }\n";
-    // Sanctioned sharding module: clean; anywhere else: flagged.
-    assert!(lint_source("crates/sim/src/shard.rs", spawn_src, &config).is_empty());
+    // Sanctioned worker-pool module: clean; anywhere else — including the
+    // sharded frontend, whose spawns moved into the pool — flagged.
+    assert!(lint_source("crates/sim/src/pool.rs", spawn_src, &config).is_empty());
+    assert_eq!(
+        lint_source("crates/sim/src/shard.rs", spawn_src, &config).len(),
+        1
+    );
     assert_eq!(
         lint_source("crates/sim/src/core.rs", spawn_src, &config).len(),
         1

@@ -346,6 +346,68 @@ impl<M> SimCore<M> {
             .unwrap_or_default()
     }
 
+    /// Whether any cross-shard outbox holds an undelivered event.
+    pub(crate) fn outbound_pending(&self) -> bool {
+        self.router.as_ref().is_some_and(ShardRouter::has_outbound)
+    }
+
+    /// Visits every per-destination-shard outbox (including empty ones, so
+    /// callers can reset per-destination state) with `(dst, &mut outbox)`.
+    /// The pool swaps non-empty outboxes against its mailbox buffers in
+    /// place of the allocating [`SimCore::drain_outboxes`].
+    pub(crate) fn publish_outboxes(
+        &mut self,
+        mut f: impl FnMut(usize, &mut Vec<ScheduledEvent<M>>),
+    ) {
+        if let Some(router) = self.router.as_mut() {
+            for (dst, outbox) in router.outbound_mut().iter_mut().enumerate() {
+                f(dst, outbox);
+            }
+        }
+    }
+
+    /// One sharded compute phase: processes local events strictly below
+    /// `below` (and at or below `until`), at most `budget` of them.
+    ///
+    /// `below = None` means the coordinator proved every other shard idle —
+    /// run freely, but stop after the time-group that emits the first
+    /// cross-shard send: a reply routed back through another shard could
+    /// otherwise arrive in this core's processed past.
+    pub(crate) fn run_window(
+        &mut self,
+        below: Option<SimTime>,
+        until: Option<SimTime>,
+        budget: u64,
+    ) -> u64 {
+        match below {
+            Some(h) => {
+                // `below` is exclusive; `run_segment`'s bound is inclusive.
+                let Some(h) = h.as_nanos().checked_sub(1) else {
+                    return 0;
+                };
+                let mut bound = SimTime::from_nanos(h);
+                if let Some(u) = until {
+                    bound = bound.min(u);
+                }
+                self.run_segment(Some(bound), budget)
+            }
+            None => {
+                let mut processed = 0u64;
+                while processed < budget && !self.stop_requested {
+                    match self.queue.peek_time() {
+                        Some(t) if until.is_none_or(|u| t <= u) => {}
+                        _ => break,
+                    }
+                    processed += self.step_batch(budget - processed);
+                    if self.outbound_pending() {
+                        break;
+                    }
+                }
+                processed
+            }
+        }
+    }
+
     /// Puts a held node back into its registry slot.
     fn put_back(&mut self, held: HeldNode<M>) {
         if let Some((id, node)) = held {
@@ -457,6 +519,21 @@ impl<M> SimCore<M> {
     /// `step()` calls in key order".
     pub fn step(&mut self) -> StepOutcome {
         let Some(event) = self.queue.pop() else {
+            return StepOutcome::Idle;
+        };
+        let time = event.key.time;
+        let mut held = None;
+        self.dispatch(event, &mut held);
+        self.put_back(held);
+        StepOutcome::Processed { time }
+    }
+
+    /// [`SimCore::step`] with the time bound fused into the pop: dispatches
+    /// the next event only if its time is at or below `until`, in one queue
+    /// operation instead of a separate peek + bounds check + pop.  `None`
+    /// bounds nothing (identical to `step`).
+    pub fn step_within(&mut self, until: Option<SimTime>) -> StepOutcome {
+        let Some(event) = self.queue.pop_within(until) else {
             return StepOutcome::Idle;
         };
         let time = event.key.time;

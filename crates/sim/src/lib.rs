@@ -74,6 +74,7 @@ pub mod faults;
 pub mod link;
 pub mod network;
 pub mod node;
+pub mod pool;
 pub mod rng;
 pub mod shard;
 pub mod steering;
@@ -87,7 +88,7 @@ pub use link::{Topology, TopologyModel};
 pub use network::{Network, RunUntil};
 pub use node::{Context, Node, NodeId, TimerToken};
 pub use rng::SimRng;
-pub use shard::{ExecMode, ShardPlan, ShardedNetwork};
-pub use steering::{ecmp_steer, Steering};
+pub use shard::{ExecMode, PoolPolicy, ShardPlan, ShardedNetwork};
+pub use steering::{ecmp_steer, steer_rack, Steering};
 pub use time::{SimDuration, SimTime};
 pub use trace::{TraceEntry, TraceKind, TraceLog};

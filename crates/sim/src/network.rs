@@ -92,28 +92,37 @@ pub(crate) fn drive_core<M>(core: &mut SimCore<M>, policy: RunUntil, batched: bo
     core.start();
     let (until, max_events) = policy.bounds();
     let mut processed = 0u64;
-    loop {
-        if core.stop_requested() {
-            break;
-        }
-        let Some(next_time) = core.peek_time() else {
-            break;
-        };
-        if until.is_some_and(|u| next_time > u) {
-            break;
-        }
-        if max_events.is_some_and(|m| processed >= m) {
-            break;
-        }
-        if batched {
+    if batched {
+        loop {
+            if core.stop_requested() {
+                break;
+            }
+            let Some(next_time) = core.peek_time() else {
+                break;
+            };
+            if until.is_some_and(|u| next_time > u) {
+                break;
+            }
+            if max_events.is_some_and(|m| processed >= m) {
+                break;
+            }
             // One call runs whole same-timestamp groups with every policy
             // check hoisted to the group boundary; the outer loop re-checks
             // the exit conditions and terminates on the next pass.
             let budget = max_events.map_or(u64::MAX, |m| m - processed);
             processed += core.run_segment(until, budget);
-        } else {
-            core.step();
-            processed += 1;
+        }
+    } else {
+        // The reference per-event loop, with the same fused peek/pop the
+        // batched path enjoys: the time bound rides the pop, so each event
+        // costs one heap operation plus the stop/budget re-checks.  The
+        // remaining throughput delta vs batched is the held-node
+        // amortisation and group-level policy hoisting `run_segment` adds.
+        while !core.stop_requested() && max_events.is_none_or(|m| processed < m) {
+            match core.step_within(until) {
+                StepOutcome::Processed { .. } => processed += 1,
+                StepOutcome::Idle => break,
+            }
         }
     }
     processed

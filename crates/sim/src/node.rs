@@ -103,6 +103,17 @@ impl<M> ShardRouter<M> {
         (shard != self.my_shard).then_some(shard as usize)
     }
 
+    /// Whether any outbox holds an undelivered cross-shard event.
+    pub(crate) fn has_outbound(&self) -> bool {
+        self.outbound.iter().any(|events| !events.is_empty())
+    }
+
+    /// Direct access to the per-destination-shard outbox vectors, for the
+    /// pool's swap-based (allocation-free) exchange.
+    pub(crate) fn outbound_mut(&mut self) -> &mut [Vec<ScheduledEvent<M>>] {
+        &mut self.outbound
+    }
+
     /// Drains the non-empty outboxes as `(destination shard, events)` pairs.
     pub(crate) fn drain_outboxes(&mut self) -> Vec<(usize, Vec<ScheduledEvent<M>>)> {
         let mut out = Vec::new();

@@ -8,11 +8,29 @@
 //! ids line up).  A classic conservative (Chandy–Misra–Bryant-style) window
 //! protocol synchronises the shards: with `lookahead` = the minimum link
 //! latency between any cross-shard node pair, every event a shard processes
-//! in the window `[t0, t0 + lookahead)` can only schedule cross-shard
-//! arrivals at `≥ t0 + lookahead`, so all shards may process their local
-//! events inside the window in parallel without ever receiving a "past"
-//! event.  Cross-shard messages accumulate in per-destination outboxes and
-//! are exchanged at window barriers.
+//! before time `t` can only schedule cross-shard arrivals at `≥ t +
+//! lookahead`, so each shard may run ahead of its peers by the lookahead
+//! without ever receiving a "past" event.  Cross-shard messages accumulate in
+//! per-destination outboxes and are exchanged at window barriers.
+//!
+//! Windows are driven by a persistent [`WorkerPool`](crate::pool): the main
+//! thread is the coordinator plus the worker for shard 0, and `S - 1`
+//! long-lived threads (parked between run segments) drive the rest.  Each
+//! window, the coordinator **fast-forwards** the window start to the global
+//! minimum next-event time `t0` (empty windows cost one barrier round, not
+//! one round per lookahead of simulated time), hands each shard its own
+//! horizon `h[d] = lookahead + min(min over s != d of next[s],
+//! t0 + lookahead)` — the cap accounts for reaction chains triggered by this
+//! window's own sends; see [`crate::pool`] for the full soundness argument —
+//! (a shard whose peers are all provably idle **coalesces** arbitrarily many
+//! windows, stopping at its first cross-shard send), and workers exchange
+//! outboxes by swapping double-buffered mailbox vectors — no channels, no
+//! per-window allocation.
+//!
+//! On hosts with a single available core — or under
+//! [`PoolPolicy::Never`] — a multi-shard plan *collapses* to the single-core
+//! batched engine: conservative windows only pay off when shards actually
+//! run in parallel, and outputs are identical either way by construction.
 //!
 //! # Why the result is byte-identical to the serial loop
 //!
@@ -22,21 +40,31 @@
 //! randomness from its private stream.  By induction over windows, each node
 //! therefore observes exactly the callback sequence it would observe under
 //! the serial engine and emits exactly the same events with the same keys —
-//! regardless of shard count or thread interleaving.  Two caveats (neither
-//! is exercised by the SRLB experiment drivers): a [`Context::stop`] request
-//! is honoured at the next window boundary rather than the next event, and a
-//! pure event budget (`RunUntil::Events`) may overshoot by up to one window
-//! before the coordinator notices.
+//! regardless of shard count, shard plan, or thread interleaving.  One
+//! caveat (not exercised by the SRLB experiment drivers): a
+//! [`Context::stop`] request is honoured at the next window boundary rather
+//! than the next event.
+//!
+//! # `RunUntil::Events` overshoot contract
+//!
+//! A pure event budget of `n` stops the run at the first window barrier
+//! where the cumulative processed count reaches `n`.  Every window carries a
+//! per-shard cap equal to the remaining budget `r`, so with `S` shards the
+//! run processes at most `n + (S - 1) · r` events, where `r` is the
+//! remainder at the final window's start — and **exactly** `n` (matching
+//! the serial engine) whenever no window processes more than one event
+//! globally, or more generally whenever the budget does not expire mid
+//! window.  The contract is pinned by unit tests below.
 
 use std::fmt;
-use std::sync::mpsc;
 use std::sync::Arc;
 
 use crate::core::{SimCore, SimStats};
 use crate::event::ScheduledEvent;
-use crate::link::Topology;
+use crate::link::{Topology, TopologyModel};
 use crate::network::{drive_core, RunUntil};
 use crate::node::{Context, Node, NodeId};
+use crate::pool::WorkerPool;
 use crate::time::{SimDuration, SimTime};
 
 /// How an experiment driver executes the simulation.
@@ -78,6 +106,46 @@ impl ExecMode {
         match self {
             ExecMode::SerialStep | ExecMode::Batched => 1,
             ExecMode::Sharded { threads } => threads.max(1),
+        }
+    }
+}
+
+/// Whether a multi-shard plan actually runs on worker threads.
+///
+/// Conservative-window sharding is a pure throughput knob: outputs are
+/// byte-identical either way, so on a host without at least two available
+/// cores the threaded protocol can only lose to the batched single-core loop
+/// (every window still costs barrier hand-offs, with no parallel work to pay
+/// for them).  The default policy therefore collapses to a single core when
+/// the host cannot run two shards at once.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PoolPolicy {
+    /// Use worker threads iff `std::thread::available_parallelism() >= 2`,
+    /// overridable via the `SRLB_SIM_POOL` environment variable (`force` /
+    /// `off`).
+    #[default]
+    Auto,
+    /// Always run the threaded pool (tests use this to exercise the full
+    /// window protocol regardless of host shape).
+    Force,
+    /// Never spawn workers: collapse to the single-core batched engine.
+    Never,
+}
+
+impl PoolPolicy {
+    /// Environment override consulted by [`PoolPolicy::Auto`].
+    pub const ENV_VAR: &'static str = "SRLB_SIM_POOL";
+
+    /// Whether a multi-shard plan should run on the threaded pool.
+    fn threaded(self) -> bool {
+        match self {
+            PoolPolicy::Force => true,
+            PoolPolicy::Never => false,
+            PoolPolicy::Auto => match std::env::var(Self::ENV_VAR).ok().as_deref() {
+                Some("force") => true,
+                Some("off") => false,
+                _ => std::thread::available_parallelism().is_ok_and(|n| n.get() >= 2),
+            },
         }
     }
 }
@@ -127,6 +195,77 @@ impl ShardPlan {
         self.shard_of.get(id.index()).copied().unwrap_or(0) as usize
     }
 
+    /// Round-robin placement over the experiment layout `client | lbs |
+    /// servers` (node 0 is the client, then `lb_count` load balancers, then
+    /// `max_servers` backends): the client on shard 0, every other tier
+    /// striped modulo `threads`.  Placement never affects outputs, only the
+    /// achievable lookahead — see [`ShardPlan::topology_aware`].
+    pub fn round_robin(lb_count: usize, max_servers: usize, threads: usize) -> Self {
+        let total = 1 + lb_count + max_servers;
+        let threads = threads.clamp(1, total);
+        if threads <= 1 {
+            return ShardPlan::single(total);
+        }
+        let mut shard_of = vec![0u32; total];
+        for j in 0..lb_count {
+            shard_of[1 + j] = (j % threads) as u32;
+        }
+        for i in 0..max_servers {
+            shard_of[1 + lb_count + i] = (i % threads) as u32;
+        }
+        ShardPlan::from_assignments(shard_of, threads as u32)
+    }
+
+    /// Topology-aware placement over the same layout: keeps each rack's
+    /// servers *and* its attached load balancers on one shard so the only
+    /// cross-shard links are cross-rack (or client) links.
+    ///
+    /// Under [`TopologyModel::RackZone`] this lifts the conservative
+    /// lookahead from the intra-rack latency (the minimum link anywhere) to
+    /// the cross-rack latency — e.g. 15 µs → 80 µs on the default rack/zone
+    /// model, >5× fewer barriers for the same simulated time — and shrinks
+    /// cross-shard event volume to the request/response legs that actually
+    /// cross racks.  Racks are grouped modulo `min(threads, racks)`: more
+    /// threads than racks cannot help (any rack split re-introduces an
+    /// intra-rack cross-shard link), so the plan caps the shard count
+    /// instead.  For [`TopologyModel::Uniform`] every placement yields the
+    /// same lookahead and this degenerates to round-robin.
+    pub fn topology_aware(
+        model: &TopologyModel,
+        lb_count: usize,
+        max_servers: usize,
+        threads: usize,
+    ) -> Self {
+        let total = 1 + lb_count + max_servers;
+        let threads = threads.clamp(1, total);
+        match model {
+            TopologyModel::Uniform { .. } => ShardPlan::round_robin(lb_count, max_servers, threads),
+            TopologyModel::RackZone { racks, .. } => {
+                let shards = threads.min((*racks).max(1));
+                if shards <= 1 {
+                    return ShardPlan::single(total);
+                }
+                let mut shard_of = vec![0u32; total];
+                for j in 0..lb_count {
+                    shard_of[1 + j] = (model.rack_of(j) % shards) as u32;
+                }
+                for i in 0..max_servers {
+                    shard_of[1 + lb_count + i] = (model.rack_of(i) % shards) as u32;
+                }
+                ShardPlan::from_assignments(shard_of, shards as u32)
+            }
+        }
+    }
+
+    /// Node-slot counts per shard (index = shard).
+    pub fn shard_sizes(&self) -> Vec<usize> {
+        let mut sizes = vec![0usize; self.shards as usize];
+        for &s in &self.shard_of {
+            sizes[s as usize] += 1;
+        }
+        sizes
+    }
+
     /// The minimum link latency between any two slots on *different* shards
     /// — the conservative lookahead.  `None` when no cross-shard pair
     /// exists (single shard).
@@ -145,38 +284,23 @@ impl ShardPlan {
     }
 }
 
-/// A window assignment sent to a worker shard.
-struct WindowCmd<M> {
-    /// Process local events strictly below this time.
-    horizon: SimTime,
-    /// Additional time bound from the run policy (inclusive).
-    until: Option<SimTime>,
-    /// Cross-shard events that arrived for this shard at the last barrier.
-    inbox: Vec<ScheduledEvent<M>>,
-}
-
-/// A worker shard's report at a window barrier.
-struct WindowReply<M> {
-    shard: usize,
-    next_time: Option<SimTime>,
-    outboxes: Vec<(usize, Vec<ScheduledEvent<M>>)>,
-    processed: u64,
-    stopped: bool,
-}
-
 /// The multi-threaded discrete-event engine frontend: a set of per-shard
-/// [`SimCore`]s advancing in lock-step conservative time windows.
+/// [`SimCore`]s advancing in conservative time windows.
 ///
 /// With a single shard this is exactly the batched serial engine (no threads
-/// are spawned); with `S > 1` shards, `S` scoped worker threads each drive
-/// one core.  Either way the run output is byte-identical to
-/// [`crate::Network`] on the same seed and node layout.
+/// are spawned); with `S > 1` shards, a persistent `WorkerPool` of `S - 1`
+/// threads plus the calling thread each drive one core.  Either way the run
+/// output is byte-identical to [`crate::Network`] on the same seed and node
+/// layout.
 pub struct ShardedNetwork<M> {
     cores: Vec<SimCore<M>>,
     plan: ShardPlan,
     lookahead: SimDuration,
-    /// Cross-shard events awaiting ingestion, per destination shard (held
-    /// between run segments when a run ends at a barrier).
+    /// Lazily spawned on the first multi-shard run segment; reused (workers
+    /// parked, buffers warm) for every segment after.
+    pool: Option<WorkerPool<M>>,
+    /// Cross-shard events awaiting ingestion, per destination shard (from
+    /// barrier-time `control` / `on_start` callbacks).
     pending: Vec<Vec<ScheduledEvent<M>>>,
     next_slot: usize,
 }
@@ -192,16 +316,29 @@ impl<M> fmt::Debug for ShardedNetwork<M> {
 }
 
 impl<M> ShardedNetwork<M> {
+    /// Creates an empty sharded network under [`PoolPolicy::Auto`]; see
+    /// [`ShardedNetwork::with_pool_policy`].
+    pub fn new(seed: u64, topology: Topology, plan: ShardPlan) -> Self {
+        Self::with_pool_policy(seed, topology, plan, PoolPolicy::default())
+    }
+
     /// Creates an empty sharded network.
     ///
-    /// If the plan's cross-shard lookahead is zero (some cross-shard link
-    /// has no latency) or the plan has one shard, execution collapses to a
-    /// single shard: conservative windows would not permit any parallelism
-    /// at zero lookahead, and a single core needs no synchronisation at all.
-    pub fn new(seed: u64, topology: Topology, plan: ShardPlan) -> Self {
+    /// A multi-shard plan *collapses* to one shard (the batched single-core
+    /// engine, byte-identical outputs) when the cross-shard lookahead is
+    /// zero (some cross-shard link has no latency, so conservative windows
+    /// would permit no parallelism), when the plan has one shard, or when
+    /// `policy` resolves against worker threads (no second core available,
+    /// or [`PoolPolicy::Never`]).
+    pub fn with_pool_policy(
+        seed: u64,
+        topology: Topology,
+        plan: ShardPlan,
+        policy: PoolPolicy,
+    ) -> Self {
         let lookahead = plan.lookahead(&topology);
         let (plan, lookahead) = match lookahead {
-            Some(l) if l > SimDuration::ZERO && plan.shards() > 1 => (plan, l),
+            Some(l) if l > SimDuration::ZERO && plan.shards() > 1 && policy.threaded() => (plan, l),
             _ => (ShardPlan::single(plan.slots()), SimDuration::ZERO),
         };
         let shards = plan.shards();
@@ -219,9 +356,15 @@ impl<M> ShardedNetwork<M> {
             cores,
             plan,
             lookahead,
+            pool: None,
             pending: (0..shards).map(|_| Vec::new()).collect(),
             next_slot: 0,
         }
+    }
+
+    /// The shard plan in effect (after any collapse).
+    pub fn plan(&self) -> &ShardPlan {
+        &self.plan
     }
 
     /// Installs a fault-injection layer on every core (see
@@ -395,7 +538,7 @@ impl<M> ShardedNetwork<M> {
     /// statistics for the whole run so far.
     pub fn run_until(&mut self, policy: RunUntil) -> SimStats
     where
-        M: Send,
+        M: Send + 'static,
     {
         self.run_internal(policy, true)
     }
@@ -405,14 +548,14 @@ impl<M> ShardedNetwork<M> {
     /// the workers still step batched (the result is identical either way).
     pub fn run_until_stepwise(&mut self, policy: RunUntil) -> SimStats
     where
-        M: Send,
+        M: Send + 'static,
     {
         self.run_internal(policy, false)
     }
 
     fn run_internal(&mut self, policy: RunUntil, batched: bool) -> SimStats
     where
-        M: Send,
+        M: Send + 'static,
     {
         for core in &mut self.cores {
             core.clear_stop_request();
@@ -439,116 +582,22 @@ impl<M> ShardedNetwork<M> {
         self.stats()
     }
 
-    /// The conservative window loop across scoped worker threads.
+    /// One conservative-window run segment on the persistent pool.
+    ///
+    /// All cross-shard events are fully exchanged and ingested by the time
+    /// `run_segment` returns, so between segments the only coordinator-held
+    /// state is `pending` (barrier-time control traffic).
     fn run_windows(&mut self, policy: RunUntil)
     where
-        M: Send,
+        M: Send + 'static,
     {
         let (until, max_events) = policy.bounds();
-        let lookahead = self.lookahead;
-        let shard_count = self.cores.len();
-        let pending = &mut self.pending;
-
-        // Next pending local time per shard, captured before the cores move
-        // into their worker threads.
-        let mut next_times: Vec<Option<SimTime>> =
-            self.cores.iter().map(|c| c.peek_time()).collect();
-
-        std::thread::scope(|scope| {
-            let (reply_tx, reply_rx) = mpsc::channel::<WindowReply<M>>();
-            let mut cmd_txs = Vec::with_capacity(shard_count);
-            for (shard, core) in self.cores.iter_mut().enumerate() {
-                let (cmd_tx, cmd_rx) = mpsc::channel::<WindowCmd<M>>();
-                let reply_tx = reply_tx.clone();
-                cmd_txs.push(cmd_tx);
-                scope.spawn(move || {
-                    while let Ok(cmd) = cmd_rx.recv() {
-                        for event in cmd.inbox {
-                            core.ingest(event);
-                        }
-                        let mut processed = 0u64;
-                        while !core.stop_requested() {
-                            let Some(next) = core.peek_time() else {
-                                break;
-                            };
-                            if next >= cmd.horizon {
-                                break;
-                            }
-                            if cmd.until.is_some_and(|u| next > u) {
-                                break;
-                            }
-                            processed += core.step_batch(u64::MAX);
-                        }
-                        let reply = WindowReply {
-                            shard,
-                            next_time: core.peek_time(),
-                            outboxes: core.drain_outboxes(),
-                            processed,
-                            stopped: core.stop_requested(),
-                        };
-                        if reply_tx.send(reply).is_err() {
-                            break;
-                        }
-                    }
-                });
-            }
-            drop(reply_tx);
-
-            let mut total_processed = 0u64;
-            loop {
-                // The earliest pending work anywhere: local queues plus
-                // cross-shard events still held by the coordinator.
-                let mut t0: Option<SimTime> = None;
-                for shard in 0..shard_count {
-                    let local = next_times[shard];
-                    let inbox = pending[shard].iter().map(|e| e.key.time).min();
-                    for t in [local, inbox].into_iter().flatten() {
-                        t0 = Some(t0.map_or(t, |cur: SimTime| cur.min(t)));
-                    }
-                }
-                let Some(t0) = t0 else {
-                    break;
-                };
-                if until.is_some_and(|u| t0 > u) {
-                    break;
-                }
-                if max_events.is_some_and(|m| total_processed >= m) {
-                    break;
-                }
-
-                let horizon = t0 + lookahead;
-                for (shard, cmd_tx) in cmd_txs.iter().enumerate() {
-                    let cmd = WindowCmd {
-                        horizon,
-                        until,
-                        inbox: std::mem::take(&mut pending[shard]),
-                    };
-                    if cmd_tx.send(cmd).is_err() {
-                        return; // a worker died; scope will propagate its panic
-                    }
-                }
-                let mut stopped = false;
-                for _ in 0..shard_count {
-                    let Ok(reply) = reply_rx.recv() else {
-                        return; // a worker died; scope will propagate its panic
-                    };
-                    next_times[reply.shard] = reply.next_time;
-                    total_processed += reply.processed;
-                    stopped |= reply.stopped;
-                    for (dest, events) in reply.outboxes {
-                        pending[dest].extend(events);
-                    }
-                }
-                if stopped {
-                    break;
-                }
-            }
-            drop(cmd_txs); // workers exit their recv loops
-        });
-
-        // Park any events still in flight at the final barrier on the owning
-        // cores so a later run segment (or node harvest) sees them.
-        self.flush_pending();
+        let lookahead = self.lookahead.as_nanos();
+        let shards = self.cores.len();
+        let pool = self
+            .pool
+            .get_or_insert_with(|| WorkerPool::new(shards, lookahead));
+        pool.run_segment(&mut self.cores, until, max_events);
     }
 }
 
@@ -640,8 +689,14 @@ mod tests {
 
     fn spray_sharded(n: usize, shards: u32) -> SprayOutcome {
         let plan = ShardPlan::from_assignments((0..n).map(|i| i as u32 % shards).collect(), shards);
-        let mut net =
-            ShardedNetwork::new(11, Topology::uniform(SimDuration::from_micros(50)), plan);
+        // Force the worker pool so the full window protocol runs even when
+        // the test host reports a single available core.
+        let mut net = ShardedNetwork::with_pool_policy(
+            11,
+            Topology::uniform(SimDuration::from_micros(50)),
+            plan,
+            PoolPolicy::Force,
+        );
         let ids = spray_fleet(&mut |s| net.add_node(s), n);
         net.run_until(RunUntil::Drained);
         let stats = net.stats();
@@ -684,8 +739,12 @@ mod tests {
         }
         fn sharded() -> (SimStats, Vec<u32>) {
             let plan = ShardPlan::from_assignments(vec![0, 1], 2);
-            let mut net =
-                ShardedNetwork::new(1, Topology::uniform(SimDuration::from_micros(100)), plan);
+            let mut net = ShardedNetwork::with_pool_policy(
+                1,
+                Topology::uniform(SimDuration::from_micros(100)),
+                plan,
+                PoolPolicy::Force,
+            );
             let a = net.add_node(Echo {
                 peer: None,
                 cap: 40,
@@ -714,7 +773,7 @@ mod tests {
             let bound = RunUntil::Time(SimTime::from_secs_f64(0.001));
             if sharded {
                 let plan = ShardPlan::from_assignments(vec![0, 1], 2);
-                let mut net = ShardedNetwork::new(3, topo, plan);
+                let mut net = ShardedNetwork::with_pool_policy(3, topo, plan, PoolPolicy::Force);
                 let a = net.add_node(Echo {
                     peer: None,
                     cap: 1_000,
@@ -770,7 +829,12 @@ mod tests {
     #[test]
     fn reserved_and_late_inserted_nodes_work_across_shards() {
         let plan = ShardPlan::from_assignments(vec![0, 1, 1], 2);
-        let mut net = ShardedNetwork::new(5, Topology::uniform(SimDuration::from_micros(10)), plan);
+        let mut net = ShardedNetwork::with_pool_policy(
+            5,
+            Topology::uniform(SimDuration::from_micros(10)),
+            plan,
+            PoolPolicy::Force,
+        );
         let a = net.add_node(Echo {
             peer: None,
             cap: 0,
@@ -833,5 +897,297 @@ mod tests {
     #[should_panic(expected = "shard assignment out of range")]
     fn shard_plan_rejects_out_of_range_assignments() {
         let _ = ShardPlan::from_assignments(vec![0, 2], 2);
+    }
+
+    #[test]
+    fn pool_policy_never_collapses_to_one_shard() {
+        let plan = ShardPlan::from_assignments(vec![0, 1], 2);
+        let net: ShardedNetwork<u32> = ShardedNetwork::with_pool_policy(
+            1,
+            Topology::uniform(SimDuration::from_micros(100)),
+            plan,
+            PoolPolicy::Never,
+        );
+        assert_eq!(net.shards(), 1);
+        assert_eq!(net.lookahead(), SimDuration::ZERO);
+    }
+
+    /// `RunUntil::Events` contract, exact half: when no window processes
+    /// more than one event globally (a ping-pong has exactly one in-flight
+    /// message), a budget stop lands on exactly the serial count — for any
+    /// budget.
+    #[test]
+    fn event_budget_is_exact_when_windows_hold_single_events() {
+        for budget in [1u64, 2, 3, 7, 20] {
+            let plan = ShardPlan::from_assignments(vec![0, 1], 2);
+            let mut net = ShardedNetwork::with_pool_policy(
+                1,
+                Topology::uniform(SimDuration::from_micros(100)),
+                plan,
+                PoolPolicy::Force,
+            );
+            let a = net.add_node(Echo {
+                peer: None,
+                cap: 1_000,
+                seen: vec![],
+            });
+            let _b = net.add_node(Echo {
+                peer: Some(a),
+                cap: 1_000,
+                seen: vec![],
+            });
+            net.run_until(RunUntil::Events(budget));
+            assert_eq!(
+                net.stats().events_processed,
+                budget,
+                "budget {budget} must stop exactly on the serial count"
+            );
+        }
+    }
+
+    /// `RunUntil::Events` contract, bound half: with `S` shards and
+    /// remainder `r` at the final window's start, the run processes at most
+    /// `n + (S - 1) · r ≤ S · n` events — and never more than the serial
+    /// engine has available.  Also pins that the overshoot is deterministic
+    /// (same spec, same budget → same count).
+    #[test]
+    fn event_budget_overshoot_stays_within_documented_bound() {
+        let serial_total = spray_serial(6).0.events_processed;
+        for shards in [2u32, 3] {
+            for budget in [5u64, 17, 50] {
+                let run = || {
+                    let plan = ShardPlan::from_assignments(
+                        (0..6).map(|i| i as u32 % shards).collect(),
+                        shards,
+                    );
+                    let mut net = ShardedNetwork::with_pool_policy(
+                        11,
+                        Topology::uniform(SimDuration::from_micros(50)),
+                        plan,
+                        PoolPolicy::Force,
+                    );
+                    spray_fleet(&mut |s| net.add_node(s), 6);
+                    net.run_until(RunUntil::Events(budget));
+                    net.stats().events_processed
+                };
+                let processed = run();
+                let available = serial_total.min(budget * u64::from(shards));
+                assert!(
+                    processed >= budget.min(serial_total) && processed <= available,
+                    "{shards} shards, budget {budget}: processed {processed} \
+                     outside [{}, {available}]",
+                    budget.min(serial_total)
+                );
+                assert_eq!(processed, run(), "overshoot must be deterministic");
+            }
+        }
+    }
+
+    /// A shard whose peers are idle runs to completion in one coalesced
+    /// window instead of one barrier round per lookahead of simulated time.
+    #[test]
+    fn isolated_shard_work_drains_without_cross_shard_traffic() {
+        // Two echo pairs, each pair entirely on one shard: after on_start
+        // neither shard ever sends cross-shard, so every window is
+        // unbounded and the run must still terminate (and match serial).
+        fn build(net_add: &mut dyn FnMut(Echo) -> NodeId) {
+            let a = net_add(Echo {
+                peer: None,
+                cap: 30,
+                seen: vec![],
+            });
+            net_add(Echo {
+                peer: Some(a),
+                cap: 30,
+                seen: vec![],
+            });
+            let c = net_add(Echo {
+                peer: None,
+                cap: 50,
+                seen: vec![],
+            });
+            net_add(Echo {
+                peer: Some(c),
+                cap: 50,
+                seen: vec![],
+            });
+        }
+        let mut serial = Network::new(9, Topology::uniform(SimDuration::from_micros(40)));
+        build(&mut |e| serial.add_node(e));
+        serial.run_until_stepwise(RunUntil::Drained);
+
+        let plan = ShardPlan::from_assignments(vec![0, 0, 1, 1], 2);
+        let mut sharded = ShardedNetwork::with_pool_policy(
+            9,
+            Topology::uniform(SimDuration::from_micros(40)),
+            plan,
+            PoolPolicy::Force,
+        );
+        build(&mut |e| sharded.add_node(e));
+        sharded.run_until(RunUntil::Drained);
+        assert_eq!(sharded.stats(), serial.stats());
+    }
+
+    /// A node with a far-future timer that instantly acks anything it is
+    /// sent — bait for an unsound horizon: its shard looks idle until the
+    /// timer, but a message can wake it this very window.
+    struct SleepyRelay {
+        acked: u32,
+    }
+
+    impl Node<u32> for SleepyRelay {
+        fn on_start(&mut self, ctx: &mut Context<'_, u32>) {
+            ctx.schedule_timer(SimDuration::from_secs_f64(1.0), TimerToken(0));
+        }
+        fn on_message(&mut self, msg: u32, from: NodeId, ctx: &mut Context<'_, u32>) {
+            self.acked += 1;
+            ctx.send(from, msg + 1);
+        }
+        fn on_timer(&mut self, _token: TimerToken, _ctx: &mut Context<'_, u32>) {}
+    }
+
+    /// A node ticking a fast local timer; on one designated tick it pings
+    /// the relay, and it logs every callback so the ack's position in its
+    /// history is observable.
+    struct Ticker {
+        relay: NodeId,
+        ticks_left: u32,
+        ping_on_tick: u32,
+        log: Vec<(u64, u32)>,
+    }
+
+    impl Node<u32> for Ticker {
+        fn on_start(&mut self, ctx: &mut Context<'_, u32>) {
+            ctx.schedule_timer(SimDuration::from_micros(10), TimerToken(0));
+        }
+        fn on_message(&mut self, msg: u32, _from: NodeId, ctx: &mut Context<'_, u32>) {
+            self.log.push((ctx.now().as_nanos(), msg));
+        }
+        fn on_timer(&mut self, _token: TimerToken, ctx: &mut Context<'_, u32>) {
+            self.log.push((ctx.now().as_nanos(), u32::MAX));
+            if self.ticks_left == self.ping_on_tick {
+                ctx.send(self.relay, 0);
+            }
+            self.ticks_left -= 1;
+            if self.ticks_left > 0 {
+                ctx.schedule_timer(SimDuration::from_micros(10), TimerToken(0));
+            }
+        }
+    }
+
+    /// Regression: the per-shard horizon must cap at `t0 + lookahead` for
+    /// reaction chains.  Shard 1's only queued work is a timer one second
+    /// out, so `next[1]` alone would let shard 0 run its whole fast timer
+    /// train in one window — but shard 0's ping wakes the relay *this*
+    /// window and the ack must land mid-train, exactly as in serial.
+    #[test]
+    fn reaction_chain_from_idle_shard_cannot_be_overtaken() {
+        fn run(sharded: bool) -> (SimStats, Vec<(u64, u32)>, u32) {
+            let topo = Topology::uniform(SimDuration::from_micros(50));
+            let (stats, log, acked);
+            if sharded {
+                let plan = ShardPlan::from_assignments(vec![0, 1], 2);
+                let mut net = ShardedNetwork::with_pool_policy(7, topo, plan, PoolPolicy::Force);
+                let relay = NodeId(1);
+                let t = net.add_node(Ticker {
+                    relay,
+                    ticks_left: 100,
+                    ping_on_tick: 95,
+                    log: vec![],
+                });
+                let r = net.add_node(SleepyRelay { acked: 0 });
+                net.run_until(RunUntil::Drained);
+                stats = net.stats();
+                log = net.take_node::<Ticker>(t).unwrap().log;
+                acked = net.take_node::<SleepyRelay>(r).unwrap().acked;
+            } else {
+                let mut net = Network::new(7, topo);
+                let relay = NodeId(1);
+                let t = net.add_node(Ticker {
+                    relay,
+                    ticks_left: 100,
+                    ping_on_tick: 95,
+                    log: vec![],
+                });
+                let r = net.add_node(SleepyRelay { acked: 0 });
+                net.run_until_stepwise(RunUntil::Drained);
+                stats = net.stats();
+                log = net.take_node::<Ticker>(t).unwrap().log;
+                acked = net.take_node::<SleepyRelay>(r).unwrap().acked;
+            }
+            (stats, log, acked)
+        }
+        let serial = run(false);
+        assert_eq!(serial.2, 1, "the relay saw exactly one ping");
+        let ack_pos = serial.1.iter().position(|&(_, m)| m != u32::MAX);
+        assert!(
+            ack_pos.is_some_and(|p| p < serial.1.len() - 1),
+            "the ack must land mid-train in serial, or the test is inert"
+        );
+        assert_eq!(run(true), serial);
+    }
+
+    #[test]
+    fn topology_aware_plan_groups_racks_and_caps_shards() {
+        let model = TopologyModel::rack_zone_default(); // 4 racks
+                                                        // 2 LBs, 8 servers: rack r holds servers {r, r+4} and LB r % 2.
+        let plan = ShardPlan::topology_aware(&model, 2, 8, 4);
+        assert_eq!(plan.shards(), 4);
+        // Same-rack nodes always share a shard.
+        for i in 0..8 {
+            for j in 0..8 {
+                if model.rack_of(i) == model.rack_of(j) {
+                    assert_eq!(
+                        plan.shard_of(NodeId(1 + 2 + i)),
+                        plan.shard_of(NodeId(1 + 2 + j)),
+                        "servers {i} and {j} share a rack, must share a shard"
+                    );
+                }
+            }
+        }
+        // LB j rides with rack j % racks.
+        for j in 0..2 {
+            assert_eq!(
+                plan.shard_of(NodeId(1 + j)),
+                plan.shard_of(NodeId(1 + 2 + (j % 4))),
+                "LB {j} must be co-sharded with its rack's servers"
+            );
+        }
+        // More threads than racks cannot help: shard count caps at racks.
+        assert_eq!(ShardPlan::topology_aware(&model, 2, 8, 8).shards(), 4);
+        // The grouped plan's lookahead is the cross-rack latency, not the
+        // intra-rack minimum a rack-splitting plan would be stuck with.
+        let client = NodeId(0);
+        let lbs = [NodeId(1), NodeId(2)];
+        let servers: Vec<NodeId> = (0..8).map(|i| NodeId(3 + i)).collect();
+        let topo = model.build(client, &lbs, &servers);
+        assert_eq!(
+            plan.lookahead(&topo),
+            Some(SimDuration::from_micros(80)),
+            "rack-grouped lookahead must be the cross-rack latency"
+        );
+        // A 3-thread round-robin plan splits racks and pays the intra-rack
+        // minimum instead.
+        let rr = ShardPlan::round_robin(2, 8, 3);
+        assert_eq!(rr.lookahead(&topo), Some(SimDuration::from_micros(15)));
+        // ... while the topology-aware 3-thread plan keeps racks whole.
+        let aware = ShardPlan::topology_aware(&model, 2, 8, 3);
+        assert_eq!(aware.shards(), 3);
+        assert_eq!(aware.lookahead(&topo), Some(SimDuration::from_micros(80)));
+    }
+
+    #[test]
+    fn topology_aware_plan_degenerates_to_round_robin_on_uniform() {
+        let model = TopologyModel::paper();
+        let aware = ShardPlan::topology_aware(&model, 2, 6, 3);
+        let rr = ShardPlan::round_robin(2, 6, 3);
+        assert_eq!(aware.shard_of, rr.shard_of);
+        assert_eq!(ShardPlan::topology_aware(&model, 2, 6, 1).shards(), 1);
+    }
+
+    #[test]
+    fn shard_sizes_counts_slots_per_shard() {
+        let plan = ShardPlan::from_assignments(vec![0, 1, 0, 1, 1], 2);
+        assert_eq!(plan.shard_sizes(), vec![2, 3]);
     }
 }
